@@ -1,0 +1,239 @@
+//! Closed nested transactions (Moss-style).
+//!
+//! Read/write locks are acquired by the leaf operations. When a
+//! subtransaction commits, its locks are **inherited by its parent**
+//! instead of being released (the defining difference from open nesting):
+//! nothing becomes visible to other transactions before top-level commit.
+//! A requesting node may acquire a lock whose conflicting holders are all
+//! among its own ancestors (lock inheritance makes this the common case for
+//! sequentially executed siblings).
+//!
+//! With one thread per transaction and sequential children, the
+//! *inter*-transaction behaviour of this protocol coincides with strict
+//! object 2PL — which is exactly the point the paper makes about closed
+//! nesting: it "is restricted to read/write locking and does not support
+//! semantically rich operations". The implementation nevertheless performs
+//! genuine per-node ownership and inheritance so the mechanism itself is
+//! faithful (and testable).
+
+use crate::rwtable::Mode;
+use parking_lot::Mutex;
+use semcc_core::deadlock::BlockDecision;
+use semcc_core::notify::{WaitCell, WaitOutcome};
+use semcc_core::stats::{Stats, StatsSnapshot};
+use semcc_core::tree::TxnTree;
+use semcc_core::{AcquireRequest, Discipline, DisciplineDeps, GrantInfo, NodeRef, TopId};
+use semcc_semantics::{ObjectId, Result, SemccError};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+const SHARD_COUNT: usize = 64;
+
+#[derive(Default)]
+struct KeyState {
+    /// Current owners: node → mode. Ownership migrates to the parent when a
+    /// subtransaction commits.
+    holders: HashMap<NodeRef, Mode>,
+    waiters: Vec<Arc<WaitCell>>,
+}
+
+/// The closed nested locking discipline.
+pub struct ClosedNested {
+    shards: Vec<Mutex<HashMap<ObjectId, KeyState>>>,
+    /// Objects each transaction touches (release / inheritance index).
+    touched: Mutex<HashMap<TopId, HashSet<ObjectId>>>,
+    deps: DisciplineDeps,
+}
+
+impl ClosedNested {
+    /// Build from shared engine infrastructure.
+    pub fn new(deps: &DisciplineDeps) -> Arc<Self> {
+        Arc::new(ClosedNested {
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect(),
+            touched: Mutex::new(HashMap::new()),
+            deps: deps.clone(),
+        })
+    }
+
+    fn shard(&self, o: ObjectId) -> &Mutex<HashMap<ObjectId, KeyState>> {
+        &self.shards[(o.0 as usize) % SHARD_COUNT]
+    }
+
+    /// Number of objects currently locked.
+    pub fn locked_objects(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Moss's rule: a requestor may hold the lock if every incompatible
+    /// holder is a node of its own transaction. (Moss restricts this to
+    /// *ancestors* to isolate concurrent siblings; our engine executes the
+    /// children of a node sequentially, so the only same-transaction,
+    /// non-ancestor holders a request can encounter are the inherited locks
+    /// of earlier siblings and the locks a compensation branch revisits —
+    /// both must be transparent, exactly like in a single-threaded closed
+    /// nested transaction.)
+    fn blockers_of(
+        holders: &HashMap<NodeRef, Mode>,
+        req_node: NodeRef,
+        _ancestors: &HashSet<u32>,
+        mode: Mode,
+    ) -> Vec<TopId> {
+        holders
+            .iter()
+            .filter(|(h, m)| !mode.compatible(**m) && h.top != req_node.top)
+            .map(|(h, _)| h.top)
+            .collect()
+    }
+}
+
+impl Discipline for ClosedNested {
+    fn name(&self) -> &str {
+        "closed-nested"
+    }
+
+    fn acquire(&self, req: AcquireRequest<'_>) -> Result<GrantInfo> {
+        if !req.is_leaf {
+            return Ok(GrantInfo { waited: false });
+        }
+        let top = req.node.top;
+        let stats = &self.deps.stats;
+        Stats::bump(&stats.lock_requests);
+        if !req.compensating && self.deps.wfg.is_doomed(top) {
+            Stats::bump(&stats.deadlocks);
+            return Err(SemccError::Deadlock);
+        }
+        let obj = req.inv.object;
+        let mode = if req.writes { Mode::Write } else { Mode::Read };
+        let ancestors: HashSet<u32> = req.chain.iter().map(|l| l.node.idx).collect();
+        let mut waited = false;
+        loop {
+            let blocked = {
+                let mut shard = self.shard(obj).lock();
+                let state = shard.entry(obj).or_default();
+                let blockers = Self::blockers_of(&state.holders, req.node, &ancestors, mode);
+                if blockers.is_empty() {
+                    let slot = state.holders.entry(req.node).or_insert(mode);
+                    *slot = slot.max(mode);
+                    self.touched.lock().entry(top).or_default().insert(obj);
+                    None
+                } else {
+                    let cell = WaitCell::new();
+                    cell.add_pending();
+                    state.waiters.push(Arc::clone(&cell));
+                    Some((cell, blockers))
+                }
+            };
+            let Some((cell, blockers)) = blocked else {
+                if waited {
+                    Stats::bump(&stats.blocked_requests);
+                } else {
+                    Stats::bump(&stats.immediate_grants);
+                }
+                self.deps.sink.record(semcc_core::Event::Granted { node: req.node, waited });
+                return Ok(GrantInfo { waited });
+            };
+            waited = true;
+            Stats::bump(&stats.wait_episodes);
+            self.deps
+                .sink
+                .record(semcc_core::Event::Blocked { node: req.node, on: blockers.iter().map(|t| NodeRef::root(*t)).collect() });
+            match self.deps.wfg.block(top, &blockers, &cell) {
+                BlockDecision::VictimSelf => {
+                    Stats::bump(&stats.deadlocks);
+                    return Err(SemccError::Deadlock);
+                }
+                BlockDecision::Wait => {}
+            }
+            let outcome = cell.wait();
+            self.deps.wfg.unblock(top);
+            if outcome == WaitOutcome::Killed {
+                Stats::bump(&stats.deadlocks);
+                return Err(SemccError::Deadlock);
+            }
+        }
+    }
+
+    fn node_completed(&self, tree: &TxnTree, idx: u32) {
+        // Anti-release: the committed subtransaction's locks are inherited
+        // by its parent (upward migration of ownership).
+        let Some(parent) = tree.parent(idx) else { return };
+        let top = tree.top();
+        let from = NodeRef { top, idx };
+        let to = NodeRef { top, idx: parent };
+        let objs: Vec<ObjectId> = self
+            .touched
+            .lock()
+            .get(&top)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        for obj in objs {
+            let mut shard = self.shard(obj).lock();
+            if let Some(state) = shard.get_mut(&obj) {
+                if let Some(mode) = state.holders.remove(&from) {
+                    let slot = state.holders.entry(to).or_insert(mode);
+                    *slot = slot.max(mode);
+                }
+            }
+        }
+    }
+
+    fn top_finished(&self, top: TopId) {
+        let objs = self.touched.lock().remove(&top).unwrap_or_default();
+        let stats = &self.deps.stats;
+        for obj in objs {
+            let mut shard = self.shard(obj).lock();
+            if let Some(state) = shard.get_mut(&obj) {
+                let before = state.holders.len();
+                state.holders.retain(|h, _| h.top != top);
+                for _ in state.holders.len()..before {
+                    Stats::bump(&stats.locks_released);
+                }
+                for w in state.waiters.drain(..) {
+                    w.poke();
+                }
+                if state.holders.is_empty() {
+                    shard.remove(&obj);
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.deps.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_transaction_holders_are_transparent() {
+        let mut holders = HashMap::new();
+        let top = TopId(1);
+        holders.insert(NodeRef { top, idx: 1 }, Mode::Write);
+        // An ancestor holder is transparent…
+        let ancestors: HashSet<u32> = [3, 1, 0].into_iter().collect();
+        let b = ClosedNested::blockers_of(&holders, NodeRef { top, idx: 3 }, &ancestors, Mode::Write);
+        assert!(b.is_empty());
+        // …and so is any other node of the same (sequential) transaction,
+        // e.g. a compensation branch revisiting an inherited lock.
+        let ancestors: HashSet<u32> = [4, 2, 0].into_iter().collect();
+        let b = ClosedNested::blockers_of(&holders, NodeRef { top, idx: 4 }, &ancestors, Mode::Write);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn foreign_writers_block_readers() {
+        let mut holders = HashMap::new();
+        holders.insert(NodeRef { top: TopId(1), idx: 1 }, Mode::Write);
+        let ancestors: HashSet<u32> = [1, 0].into_iter().collect();
+        let b = ClosedNested::blockers_of(&holders, NodeRef { top: TopId(2), idx: 1 }, &ancestors, Mode::Read);
+        assert_eq!(b, vec![TopId(1)]);
+        // Read/read share across transactions.
+        let mut holders = HashMap::new();
+        holders.insert(NodeRef { top: TopId(1), idx: 1 }, Mode::Read);
+        let b = ClosedNested::blockers_of(&holders, NodeRef { top: TopId(2), idx: 1 }, &ancestors, Mode::Read);
+        assert!(b.is_empty());
+    }
+}

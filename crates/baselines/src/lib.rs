@@ -1,0 +1,27 @@
+//! # semcc-baselines
+//!
+//! Conventional concurrency control protocols, implemented behind the same
+//! [`Discipline`](semcc_core::Discipline) interface as the paper's semantic
+//! lock manager so that identical workloads can be executed under every
+//! protocol:
+//!
+//! * [`FlatObject2pl`] — strict two-phase read/write locking on the objects
+//!   touched by leaf operations ("record-oriented" locking);
+//! * [`Page2pl`] — strict two-phase read/write locking on the **pages**
+//!   containing those objects (the page-oriented locking the paper names as
+//!   the state of the art it improves on);
+//! * [`ClosedNested`] — closed nested transactions in the style of Moss:
+//!   read/write locks at the leaves, **inherited by the parent** when a
+//!   subtransaction commits (instead of being released early), so nothing
+//!   is exposed before top-level commit.
+//!
+//! All three use the shared waits-for graph of `semcc-core` for deadlock
+//! detection, making abort/retry behaviour comparable across protocols.
+
+pub mod closed;
+pub mod flat;
+pub mod rwtable;
+
+pub use closed::ClosedNested;
+pub use flat::{FlatObject2pl, Page2pl};
+pub use rwtable::{Mode, RwTable};

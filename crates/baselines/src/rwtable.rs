@@ -1,0 +1,235 @@
+//! A generic blocking read/write lock table with transaction-granularity
+//! ownership, strict two-phase discipline and shared deadlock detection.
+
+use parking_lot::Mutex;
+use semcc_core::deadlock::BlockDecision;
+use semcc_core::notify::{WaitCell, WaitOutcome};
+use semcc_core::stats::Stats;
+use semcc_core::{TopId, WaitsForGraph};
+use semcc_semantics::{Result, SemccError};
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+use std::sync::Arc;
+
+const SHARD_COUNT: usize = 64;
+
+/// Lock mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Shared.
+    Read,
+    /// Exclusive.
+    Write,
+}
+
+impl Mode {
+    /// Classic r/w compatibility.
+    pub fn compatible(self, other: Mode) -> bool {
+        matches!((self, other), (Mode::Read, Mode::Read))
+    }
+
+    /// The stronger of two modes.
+    pub fn max(self, other: Mode) -> Mode {
+        if self == Mode::Write || other == Mode::Write {
+            Mode::Write
+        } else {
+            Mode::Read
+        }
+    }
+}
+
+#[derive(Default)]
+struct KeyState {
+    holders: HashMap<TopId, Mode>,
+    waiters: Vec<Arc<WaitCell>>,
+}
+
+/// Read/write lock table keyed by `K`, with strict 2PL semantics: locks are
+/// owned by top-level transactions and released only at transaction end.
+pub struct RwTable<K: Eq + Hash + Copy> {
+    shards: Vec<Mutex<HashMap<K, KeyState>>>,
+    held: Mutex<HashMap<TopId, HashSet<K>>>,
+    wfg: Arc<WaitsForGraph>,
+    stats: Arc<Stats>,
+    hasher: fn(&K) -> usize,
+}
+
+fn default_hash<K: Hash>(k: &K) -> usize {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    k.hash(&mut h);
+    h.finish() as usize
+}
+
+impl<K: Eq + Hash + Copy> RwTable<K> {
+    /// Table sharing the engine's waits-for graph and counters.
+    pub fn new(wfg: Arc<WaitsForGraph>, stats: Arc<Stats>) -> Self {
+        RwTable {
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect(),
+            held: Mutex::new(HashMap::new()),
+            wfg,
+            stats,
+            hasher: default_hash::<K>,
+        }
+    }
+
+    fn shard(&self, k: &K) -> &Mutex<HashMap<K, KeyState>> {
+        &self.shards[(self.hasher)(k) % SHARD_COUNT]
+    }
+
+    /// Acquire (or upgrade) a lock; blocks until compatible.
+    pub fn acquire(&self, top: TopId, key: K, mode: Mode, compensating: bool) -> Result<bool> {
+        Stats::bump(&self.stats.lock_requests);
+        if !compensating && self.wfg.is_doomed(top) {
+            Stats::bump(&self.stats.deadlocks);
+            return Err(SemccError::Deadlock);
+        }
+        let mut waited = false;
+        loop {
+            let outcome = {
+                let mut shard = self.shard(&key).lock();
+                let state = shard.entry(key).or_default();
+                let blockers: Vec<TopId> = state
+                    .holders
+                    .iter()
+                    .filter(|(t, m)| **t != top && !mode.compatible(**m))
+                    .map(|(t, _)| *t)
+                    .collect();
+                if blockers.is_empty() {
+                    let entry = state.holders.entry(top).or_insert(mode);
+                    *entry = entry.max(mode);
+                    self.held.lock().entry(top).or_default().insert(key);
+                    None
+                } else {
+                    let cell = WaitCell::new();
+                    cell.add_pending(); // only pokes/kills wake us
+                    state.waiters.push(Arc::clone(&cell));
+                    Some((cell, blockers))
+                }
+            };
+            let Some((cell, blockers)) = outcome else {
+                if waited {
+                    Stats::bump(&self.stats.blocked_requests);
+                } else {
+                    Stats::bump(&self.stats.immediate_grants);
+                }
+                return Ok(waited);
+            };
+            waited = true;
+            Stats::bump(&self.stats.wait_episodes);
+            match self.wfg.block(top, &blockers, &cell) {
+                BlockDecision::VictimSelf => {
+                    Stats::bump(&self.stats.deadlocks);
+                    return Err(SemccError::Deadlock);
+                }
+                BlockDecision::Wait => {}
+            }
+            let outcome = cell.wait();
+            self.wfg.unblock(top);
+            if outcome == WaitOutcome::Killed {
+                Stats::bump(&self.stats.deadlocks);
+                return Err(SemccError::Deadlock);
+            }
+        }
+    }
+
+    /// Release everything a transaction holds (strictness: only at end).
+    pub fn release_top(&self, top: TopId) {
+        let keys = self.held.lock().remove(&top).unwrap_or_default();
+        for key in keys {
+            let mut shard = self.shard(&key).lock();
+            if let Some(state) = shard.get_mut(&key) {
+                if state.holders.remove(&top).is_some() {
+                    Stats::bump(&self.stats.locks_released);
+                }
+                for w in state.waiters.drain(..) {
+                    w.poke();
+                }
+                if state.holders.is_empty() && state.waiters.is_empty() {
+                    shard.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Number of keys currently locked (tests / introspection).
+    pub fn locked_keys(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> RwTable<u64> {
+        RwTable::new(Arc::new(WaitsForGraph::new()), Arc::new(Stats::default()))
+    }
+
+    #[test]
+    fn readers_share() {
+        let t = table();
+        assert!(!t.acquire(TopId(1), 5, Mode::Read, false).unwrap());
+        assert!(!t.acquire(TopId(2), 5, Mode::Read, false).unwrap());
+        assert_eq!(t.locked_keys(), 1);
+    }
+
+    #[test]
+    fn reentrant_and_upgrade() {
+        let t = table();
+        t.acquire(TopId(1), 5, Mode::Read, false).unwrap();
+        assert!(!t.acquire(TopId(1), 5, Mode::Write, false).unwrap(), "self-upgrade never waits");
+        t.acquire(TopId(1), 5, Mode::Read, false).unwrap();
+        t.release_top(TopId(1));
+        assert_eq!(t.locked_keys(), 0);
+    }
+
+    #[test]
+    fn writer_blocks_reader_until_release() {
+        let t = Arc::new(table());
+        t.acquire(TopId(1), 7, Mode::Write, false).unwrap();
+        let t2 = Arc::clone(&t);
+        let h = std::thread::spawn(move || t2.acquire(TopId(2), 7, Mode::Read, false).unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!h.is_finished());
+        t.release_top(TopId(1));
+        assert!(h.join().unwrap(), "waited");
+    }
+
+    #[test]
+    fn deadlock_detected_between_two_writers() {
+        let t = Arc::new(table());
+        t.acquire(TopId(1), 1, Mode::Write, false).unwrap();
+        t.acquire(TopId(2), 2, Mode::Write, false).unwrap();
+        let t2 = Arc::clone(&t);
+        let h = std::thread::spawn(move || t2.acquire(TopId(1), 2, Mode::Write, false));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Closing the cycle from this thread: T2 (younger) is the victim.
+        let err = t.acquire(TopId(2), 1, Mode::Write, false).unwrap_err();
+        assert_eq!(err, SemccError::Deadlock);
+        t.release_top(TopId(2));
+        h.join().unwrap().unwrap();
+        t.release_top(TopId(1));
+        assert_eq!(t.locked_keys(), 0);
+    }
+
+    #[test]
+    fn doomed_transactions_fail_fast_but_compensating_passes() {
+        let t = table();
+        // Doom T2 via a cycle.
+        t.acquire(TopId(1), 1, Mode::Write, false).unwrap();
+        t.acquire(TopId(2), 2, Mode::Write, false).unwrap();
+        let tref = &t;
+        std::thread::scope(|s| {
+            let h = s.spawn(move || tref.acquire(TopId(1), 2, Mode::Write, false));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let _ = tref.acquire(TopId(2), 1, Mode::Write, false).unwrap_err();
+            // Doomed: plain acquire fails fast…
+            assert_eq!(tref.acquire(TopId(2), 99, Mode::Write, false).unwrap_err(), SemccError::Deadlock);
+            // …but a compensating acquire on a free key succeeds.
+            assert!(!tref.acquire(TopId(2), 98, Mode::Write, true).unwrap());
+            tref.release_top(TopId(2));
+            h.join().unwrap().unwrap();
+        });
+    }
+}

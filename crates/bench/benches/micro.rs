@@ -1,0 +1,148 @@
+//! Micro-benchmarks of the protocol mechanisms:
+//! * matrix / commutativity test cost (argument-dependent vs plain),
+//! * the Figure-9 conflict test as a function of tree depth,
+//! * the full lock acquire→release path per discipline,
+//! * single-transaction latency per order-entry transaction type.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semcc_core::lock::conflict::{test_conflict, Requestor};
+use semcc_core::lock::entry::LockEntry;
+use semcc_core::stats::Stats;
+use semcc_core::tree::Registry;
+use semcc_core::ProtocolConfig;
+use semcc_orderentry::matrices::{item_matrix, order_matrix};
+use semcc_orderentry::types::{ITEM_PAY_ORDER, ITEM_SHIP_ORDER, ORDER_CHANGE_STATUS, ORDER_TEST_STATUS};
+use semcc_orderentry::{Database, DbParams, StatusEvent, Target, TxnSpec};
+use semcc_semantics::{CommutativitySpec, Invocation, ObjectId, TypeId, Value, TYPE_ATOMIC};
+use semcc_sim::{build_engine, ProtocolKind};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_commutativity(c: &mut Criterion) {
+    let item = item_matrix(false);
+    let order = order_matrix();
+    let ship = Invocation::user(ObjectId(1), TypeId(17), ITEM_SHIP_ORDER, vec![Value::Id(ObjectId(9))]);
+    let pay = Invocation::user(ObjectId(1), TypeId(17), ITEM_PAY_ORDER, vec![Value::Id(ObjectId(9))]);
+    let cs = Invocation::user(ObjectId(2), TypeId(16), ORDER_CHANGE_STATUS, vec![StatusEvent::Shipped.value()]);
+    let ts = Invocation::user(ObjectId(2), TypeId(16), ORDER_TEST_STATUS, vec![StatusEvent::Paid.value()]);
+
+    let mut g = c.benchmark_group("commutativity");
+    g.bench_function("matrix_static_entry", |b| {
+        b.iter(|| black_box(item.commute(black_box(&ship), black_box(&pay))))
+    });
+    g.bench_function("matrix_param_dependent_entry", |b| {
+        b.iter(|| black_box(order.commute(black_box(&cs), black_box(&ts))))
+    });
+    g.finish();
+}
+
+/// Build holder/requestor lock entries whose ancestor chains have the
+/// given depth (no commutative pair → full scan = worst case).
+fn deep_entry(registry: &Registry, depth: u32, base: u64) -> (LockEntry, Arc<Invocation>, Arc<[semcc_core::tree::ChainLink]>, semcc_core::NodeRef) {
+    let tree = registry.begin();
+    let mut parent = 0;
+    for d in 0..depth {
+        // Distinct objects per tree: no ancestor pair ever commutes, so the
+        // conflict test performs the full O(depth²) scan (worst case).
+        parent = tree.add_child(parent, Arc::new(Invocation::get(ObjectId(base + u64::from(d)), TYPE_ATOMIC)));
+    }
+    let leaf = tree.add_child(
+        parent,
+        Arc::new(Invocation::put(ObjectId(7), TYPE_ATOMIC, Value::Int(0))),
+    );
+    let node = semcc_core::NodeRef { top: tree.top(), idx: leaf };
+    let inv = tree.invocation(leaf);
+    let chain = tree.chain(leaf);
+    (LockEntry { node, inv: Arc::clone(&inv), chain: Arc::clone(&chain), retained: true }, inv, chain, node)
+}
+
+fn bench_conflict_test_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure9_conflict_test");
+    let catalog = semcc_semantics::Catalog::new();
+    let router = catalog.router();
+    let cfg = ProtocolConfig::semantic();
+    let stats = Stats::default();
+    for depth in [1u32, 2, 4, 8] {
+        let registry = Registry::new();
+        let (holder, _, _, _) = deep_entry(&registry, depth, 1000);
+        let (_, r_inv, r_chain, r_node) = deep_entry(&registry, depth, 2000);
+        g.bench_with_input(BenchmarkId::new("worst_case_depth", depth), &depth, |b, _| {
+            b.iter(|| {
+                let r = Requestor { node: r_node, inv: &r_inv, chain: &r_chain };
+                black_box(test_conflict(&router, &registry, &cfg, &stats, &holder, &r))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_acquire_release_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lock_path_single_txn");
+    g.sample_size(20);
+    for kind in [
+        ProtocolKind::Semantic,
+        ProtocolKind::ClosedNested,
+        ProtocolKind::Object2pl,
+        ProtocolKind::Page2pl,
+    ] {
+        let db = Database::build(&DbParams { n_items: 4, orders_per_item: 4, ..Default::default() }).unwrap();
+        let engine = build_engine(kind, &db, None);
+        let t = Target { item: db.items[0].item, order: db.items[0].orders[0].order };
+        g.bench_function(kind.name().replace('/', "_"), |b| {
+            b.iter(|| {
+                engine.execute(black_box(&TxnSpec::Pay(vec![t]))).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_txn_types(c: &mut Criterion) {
+    let mut g = c.benchmark_group("order_entry_txn_latency");
+    g.sample_size(20);
+    let db = Database::build(&DbParams { n_items: 4, orders_per_item: 8, ..Default::default() }).unwrap();
+    let engine = build_engine(ProtocolKind::Semantic, &db, None);
+    let t = Target { item: db.items[0].item, order: db.items[0].orders[0].order };
+    let u = Target { item: db.items[1].item, order: db.items[1].orders[0].order };
+
+    g.bench_function("T1_ship_two", |b| {
+        b.iter(|| engine.execute(black_box(&TxnSpec::Ship(vec![t, u]))).unwrap())
+    });
+    g.bench_function("T2_pay_two", |b| {
+        b.iter(|| engine.execute(black_box(&TxnSpec::Pay(vec![t, u]))).unwrap())
+    });
+    g.bench_function("T3_check_shipped_bypass", |b| {
+        b.iter(|| {
+            engine
+                .execute(black_box(&TxnSpec::CheckShipped { targets: vec![t, u], bypass: true }))
+                .unwrap()
+        })
+    });
+    g.bench_function("T5_total_payment", |b| {
+        b.iter(|| engine.execute(black_box(&TxnSpec::Total(t.item))).unwrap())
+    });
+    let mut no = 100_000u64;
+    g.bench_function("T0_new_order", |b| {
+        b.iter(|| {
+            no += 1;
+            engine
+                .execute(black_box(&TxnSpec::NewOrders { entries: vec![(t.item, no)], customer: 1, quantity: 1 }))
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_commutativity, bench_conflict_test_depth, bench_acquire_release_path, bench_txn_types
+}
+criterion_main!(benches);

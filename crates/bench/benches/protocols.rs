@@ -1,0 +1,57 @@
+//! Protocol throughput comparison as a Criterion benchmark: a fixed
+//! contended batch of the order-entry workload per protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semcc_orderentry::{Database, DbParams, MixWeights, Workload, WorkloadConfig};
+use semcc_sim::{build_engine, run_workload, ProtocolKind, RunParams};
+
+fn bench_protocol_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_batch_200txn_4workers");
+    g.sample_size(10);
+    for kind in [
+        ProtocolKind::Semantic,
+        ProtocolKind::SemanticNoAncestor,
+        ProtocolKind::ClosedNested,
+        ProtocolKind::Object2pl,
+        ProtocolKind::Page2pl,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name().replace('/', "_")), &kind, |b, &kind| {
+            b.iter_with_setup(
+                || {
+                    let db = Database::build(&DbParams { n_items: 4, orders_per_item: 8, ..Default::default() })
+                        .unwrap();
+                    let engine = build_engine(kind, &db, None);
+                    let mut w = Workload::new(
+                        &db,
+                        WorkloadConfig { mix: MixWeights::update_heavy(), zipf_theta: 0.9, ..Default::default() },
+                    );
+                    let batch = w.batch(&db, 200);
+                    (engine, batch)
+                },
+                |(engine, batch)| {
+                    let out = run_workload(
+                        &engine,
+                        batch,
+                        &RunParams { workers: 4, max_retries: 100_000, record_outcomes: false },
+                    );
+                    assert_eq!(out.metrics.failed, 0);
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_protocol_batch
+}
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! The experiment driver: regenerates every evaluation artifact.
+//!
+//! ```text
+//! experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5] [--quick]
+//! ```
+
+use semcc_bench::figures;
+use semcc_bench::sweeps::{self, Scale};
+
+fn print_and_save(title: &str, name: &str, table: semcc_bench::tables::Table) {
+    println!("=== {title} ===\n");
+    println!("{}", table.render());
+    if let Some(path) = table.save_csv(name) {
+        println!("(csv written to {path})");
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let what = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".into());
+    let trials = if quick { 5 } else { 25 };
+
+    let run_figures = |which: &str| match which {
+        "fig1" => figures::fig1(),
+        "fig2" => figures::fig2(),
+        "fig3" => figures::fig3(),
+        "fig4" => figures::fig4(),
+        "fig5" => figures::fig5(),
+        "fig6" => figures::fig6(),
+        "fig7" => figures::fig7(),
+        _ => unreachable!(),
+    };
+
+    match what.as_str() {
+        "figures" => {
+            for f in ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"] {
+                run_figures(f);
+            }
+            println!("{}", figures::summary().render());
+        }
+        f @ ("fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7") => run_figures(f),
+        "b1" => print_and_save(
+            "B1: throughput & blocking vs multiprogramming level (8 hot items, update-heavy mix)",
+            "b1_mpl",
+            sweeps::b1_mpl_sweep(scale),
+        ),
+        "b2" => print_and_save(
+            "B2: throughput vs data contention (number of items; MPL 8)",
+            "b2_contention",
+            sweeps::b2_contention_sweep(scale),
+        ),
+        "b3" => print_and_save(
+            "B3: ablation of the Figure-9 commutative-ancestor machinery (bypass-heavy mix)",
+            "b3_ablation",
+            sweeps::b3_ablation(scale),
+        ),
+        "b4" => {
+            let (viol, cost) = sweeps::b4_bypassing(scale, trials);
+            print_and_save(
+                "B4a: serializability violations in crafted Figure-5 interleavings",
+                "b4a_violations",
+                viol,
+            );
+            print_and_save(
+                "B4b: cost of bypassing vs encapsulated checks (semantic protocol)",
+                "b4b_bypass_cost",
+                cost,
+            );
+        }
+        "b5" => print_and_save(
+            "B5: transaction length sweep (orders per transaction; MPL 8)",
+            "b5_txn_length",
+            sweeps::b5_txn_length(scale),
+        ),
+        "all" => {
+            for f in ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"] {
+                run_figures(f);
+            }
+            println!("{}", figures::summary().render());
+            print_and_save(
+                "B1: throughput & blocking vs multiprogramming level (8 hot items, update-heavy mix)",
+                "b1_mpl",
+                sweeps::b1_mpl_sweep(scale),
+            );
+            print_and_save(
+                "B2: throughput vs data contention (number of items; MPL 8)",
+                "b2_contention",
+                sweeps::b2_contention_sweep(scale),
+            );
+            print_and_save(
+                "B3: ablation of the Figure-9 commutative-ancestor machinery (bypass-heavy mix)",
+                "b3_ablation",
+                sweeps::b3_ablation(scale),
+            );
+            let (viol, cost) = sweeps::b4_bypassing(scale, trials);
+            print_and_save(
+                "B4a: serializability violations in crafted Figure-5 interleavings",
+                "b4a_violations",
+                viol,
+            );
+            print_and_save(
+                "B4b: cost of bypassing vs encapsulated checks (semantic protocol)",
+                "b4b_bypass_cost",
+                cost,
+            );
+            print_and_save(
+                "B5: transaction length sweep (orders per transaction; MPL 8)",
+                "b5_txn_length",
+                sweeps::b5_txn_length(scale),
+            );
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            eprintln!("usage: experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5] [--quick]");
+            std::process::exit(2);
+        }
+    }
+}

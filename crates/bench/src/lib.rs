@@ -1,0 +1,19 @@
+//! # semcc-bench
+//!
+//! Experiment harness for the reproduction. The `experiments` binary
+//! regenerates every evaluation artifact:
+//!
+//! * `fig1`–`fig7` — the paper's figures (schema, compatibility matrices,
+//!   execution scenarios), executed and assertion-checked;
+//! * `b1`–`b5` — the quantitative evaluation the paper defers to its
+//!   companion performance work: protocol comparisons over the order-entry
+//!   workload (multiprogramming sweep, contention sweep, ancestor-rule
+//!   ablation, bypassing correctness/cost, transaction-length sweep);
+//! * Criterion micro-benchmarks (`cargo bench`) for the protocol
+//!   mechanisms themselves.
+//!
+//! Results are printed as text tables and written as CSV into `results/`.
+
+pub mod figures;
+pub mod sweeps;
+pub mod tables;

@@ -1,0 +1,109 @@
+//! Minimal text-table and CSV helpers for the experiment reports.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (cells are stringified already).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<w$}  ", c, w = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the CSV under `results/` (best effort; reports the path).
+    pub fn save_csv(&self, name: &str) -> Option<String> {
+        let dir = Path::new("results");
+        std::fs::create_dir_all(dir).ok()?;
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, self.csv()).ok()?;
+        Some(path.display().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_text_and_csv() {
+        let mut t = Table::new(&["proto", "txn/s"]);
+        t.row(vec!["semantic".into(), "1234".into()]);
+        t.row(vec!["2pl".into(), "99".into()]);
+        let text = t.render();
+        assert!(text.contains("semantic"));
+        assert!(text.lines().count() == 4);
+        let csv = t.csv();
+        assert_eq!(csv.lines().next().unwrap(), "proto,txn/s");
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["x,y".into()]);
+        assert!(t.csv().contains("\"x,y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_is_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,89 @@
+//! The pluggable concurrency control interface.
+//!
+//! The engine executes the *same* transaction programs under any
+//! [`Discipline`]: the paper's semantic lock manager, the conventional
+//! two-phase locking baselines, or closed nested locking. A discipline sees
+//! every action of the transaction tree and decides what (if anything) to
+//! lock and when to release.
+
+use crate::deadlock::WaitsForGraph;
+use crate::history::HistorySink;
+use crate::ids::{NodeRef, TopId};
+use crate::notify::CompletionHub;
+use crate::stats::{Stats, StatsSnapshot};
+use crate::tree::{ChainLink, Registry, TxnTree};
+use semcc_semantics::{Invocation, PageId, Result, SemanticsRouter, Storage};
+use std::sync::Arc;
+
+/// Shared infrastructure a discipline needs: built once by the
+/// [`EngineBuilder`](crate::engine::EngineBuilder) and handed to the
+/// discipline factory so that engine and discipline agree on registry,
+/// notification hub, waits-for graph and counters.
+#[derive(Clone)]
+pub struct DisciplineDeps {
+    /// Live transaction trees.
+    pub registry: Arc<Registry>,
+    /// Node completion notifications.
+    pub hub: Arc<CompletionHub>,
+    /// Shared deadlock detector.
+    pub wfg: Arc<WaitsForGraph>,
+    /// Shared counters.
+    pub stats: Arc<Stats>,
+    /// Event sink.
+    pub sink: Arc<dyn HistorySink>,
+    /// Commutativity dispatch.
+    pub router: Arc<SemanticsRouter>,
+    /// The object store (for page lookups).
+    pub storage: Arc<dyn Storage>,
+}
+
+/// A lock acquisition request for one action of a transaction tree.
+pub struct AcquireRequest<'a> {
+    /// The acting node.
+    pub node: NodeRef,
+    /// Its invocation.
+    pub inv: &'a Arc<Invocation>,
+    /// Ancestor chain, `[self, parent, …, root]`.
+    pub chain: &'a Arc<[ChainLink]>,
+    /// Whether the action is a leaf storage operation (a generic method).
+    pub is_leaf: bool,
+    /// Whether the action may update its object.
+    pub writes: bool,
+    /// The page of the object, for page-granularity disciplines
+    /// (`None` for non-leaf actions).
+    pub page: Option<PageId>,
+    /// Whether this acquisition belongs to a compensating subtransaction
+    /// of an aborting transaction.
+    pub compensating: bool,
+}
+
+/// Grant information returned by a successful acquisition.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GrantInfo {
+    /// The request had to wait at least once.
+    pub waited: bool,
+}
+
+/// A concurrency control protocol driving the engine's lock steps.
+pub trait Discipline: Send + Sync {
+    /// Stable display name (for reports).
+    fn name(&self) -> &str;
+
+    /// Acquire whatever this discipline locks for the action. Blocks until
+    /// granted; returns [`SemccError::Deadlock`] if the transaction was
+    /// chosen as a deadlock victim.
+    ///
+    /// [`SemccError::Deadlock`]: semcc_semantics::SemccError::Deadlock
+    fn acquire(&self, req: AcquireRequest<'_>) -> Result<GrantInfo>;
+
+    /// The action committed (subtransaction completion): convert or release
+    /// the locks of its children according to the protocol.
+    fn node_completed(&self, tree: &TxnTree, idx: u32);
+
+    /// The top-level transaction ended (commit or abort): release every
+    /// lock it still holds.
+    fn top_finished(&self, top: TopId);
+
+    /// Counter snapshot.
+    fn stats(&self) -> StatsSnapshot;
+}

@@ -1,0 +1,587 @@
+//! The open nested transaction engine — the `exec-transaction` procedure of
+//! the paper's Figure 8.
+//!
+//! A top-level transaction is a [`TransactionProgram`] executed against a
+//! [`MethodContext`]. Every `invoke` creates a child subtransaction,
+//! acquires its semantic lock through the configured
+//! [`Discipline`](crate::discipline::Discipline) (possibly waiting), runs
+//! the method body (which recursively invokes further methods — the dynamic
+//! method invocation hierarchy), and on completion converts the children's
+//! locks into retained locks and notifies waiters.
+//!
+//! **Aborts are compensation-based** (paper Section 3): committed
+//! subtransactions have already exposed their effects, so they are undone
+//! by *inverse* method invocations executed under the very same locking
+//! protocol. Each method may declare a compensation builder in the catalog;
+//! methods without one inherit the (reversed) compensations of their
+//! children, bottoming out at the built-in inverses of the generic leaf
+//! operations (`Put` restores the old value, `Insert` removes, `Remove`
+//! re-inserts).
+
+use crate::config::ProtocolConfig;
+use crate::deadlock::WaitsForGraph;
+use crate::discipline::{AcquireRequest, Discipline, DisciplineDeps, GrantInfo};
+use crate::history::{Event, HistorySink, NullSink};
+use crate::ids::{NodeRef, TopId};
+use crate::lock::SemanticLockManager;
+use crate::notify::CompletionHub;
+use crate::stats::{Stats, StatsSnapshot};
+use crate::tree::{Registry, TxnTree};
+use parking_lot::Mutex;
+use semcc_semantics::{
+    Catalog, GenericMethod, Invocation, MethodContext, MethodSel, ObjectId, Result, SemccError,
+    SemanticsRouter, Storage, TypeId, Value,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A top-level transaction program.
+pub trait TransactionProgram: Send + Sync {
+    /// Display label for histories and reports (e.g. `"T1"`).
+    fn label(&self) -> String {
+        "txn".to_owned()
+    }
+
+    /// The body: invoke methods through the context, return the
+    /// transaction's result. Returning `Err` aborts the transaction (with
+    /// compensation).
+    fn run(&self, ctx: &mut dyn MethodContext) -> Result<Value>;
+}
+
+/// A program built from a closure plus a label.
+pub struct FnProgram<F> {
+    label: String,
+    f: F,
+}
+
+impl<F> FnProgram<F>
+where
+    F: Fn(&mut dyn MethodContext) -> Result<Value> + Send + Sync,
+{
+    /// Wrap a closure as a program.
+    pub fn new(label: impl Into<String>, f: F) -> Self {
+        FnProgram { label: label.into(), f }
+    }
+}
+
+impl<F> TransactionProgram for FnProgram<F>
+where
+    F: Fn(&mut dyn MethodContext) -> Result<Value> + Send + Sync,
+{
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn run(&self, ctx: &mut dyn MethodContext) -> Result<Value> {
+        (self.f)(ctx)
+    }
+}
+
+/// Result of a committed transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxnOutcome {
+    /// The transaction's id (for correlating histories).
+    pub top: TopId,
+    /// The program's return value.
+    pub value: Value,
+}
+
+/// Per-transaction shared state.
+struct TxnShared {
+    tree: Arc<TxnTree>,
+    /// Objects created by this transaction (deleted again on abort).
+    created: Mutex<Vec<ObjectId>>,
+}
+
+/// Builds an [`Engine`].
+pub struct EngineBuilder {
+    storage: Arc<dyn Storage>,
+    catalog: Arc<Catalog>,
+    sink: Arc<dyn HistorySink>,
+    config: ProtocolConfig,
+    #[allow(clippy::type_complexity)]
+    discipline_factory: Option<Box<dyn FnOnce(&DisciplineDeps) -> Arc<dyn Discipline>>>,
+    comp_retry_limit: u32,
+    comp_retry_backoff: Duration,
+    op_delay: Duration,
+}
+
+impl EngineBuilder {
+    /// Start building an engine over a store and a catalog.
+    pub fn new(storage: Arc<dyn Storage>, catalog: Arc<Catalog>) -> Self {
+        EngineBuilder {
+            storage,
+            catalog,
+            sink: Arc::new(NullSink::new()),
+            config: ProtocolConfig::semantic(),
+            discipline_factory: None,
+            comp_retry_limit: 1000,
+            comp_retry_backoff: Duration::from_micros(200),
+            op_delay: Duration::ZERO,
+        }
+    }
+
+    /// Simulated latency of every leaf (storage) operation, applied while
+    /// the operation's lock is held. The in-memory store completes leaf
+    /// operations in nanoseconds, which would measure lock-manager overhead
+    /// rather than concurrency; a per-operation delay (≈ a page access of
+    /// the paper's disk-based setting) restores realistic lock hold times
+    /// for the performance experiments.
+    pub fn op_delay(mut self, delay: Duration) -> Self {
+        self.op_delay = delay;
+        self
+    }
+
+    /// Use a history sink (e.g. [`MemorySink`](crate::history::MemorySink)).
+    pub fn sink(mut self, sink: Arc<dyn HistorySink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Configure the built-in semantic lock manager (ignored if a custom
+    /// discipline factory is installed).
+    pub fn protocol(mut self, config: ProtocolConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Install a custom concurrency control discipline (baselines).
+    pub fn discipline<F>(mut self, factory: F) -> Self
+    where
+        F: FnOnce(&DisciplineDeps) -> Arc<dyn Discipline> + 'static,
+    {
+        self.discipline_factory = Some(Box::new(factory));
+        self
+    }
+
+    /// How often a compensating invocation is retried on deadlock.
+    pub fn compensation_retries(mut self, limit: u32, backoff: Duration) -> Self {
+        self.comp_retry_limit = limit;
+        self.comp_retry_backoff = backoff;
+        self
+    }
+
+    /// Build the engine.
+    pub fn build(self) -> Arc<Engine> {
+        let deps = DisciplineDeps {
+            registry: Arc::new(Registry::new()),
+            hub: Arc::new(CompletionHub::new()),
+            wfg: Arc::new(WaitsForGraph::new()),
+            stats: Arc::new(Stats::default()),
+            sink: Arc::clone(&self.sink),
+            router: Arc::new(self.catalog.router()),
+            storage: Arc::clone(&self.storage),
+        };
+        let discipline: Arc<dyn Discipline> = match self.discipline_factory {
+            Some(f) => f(&deps),
+            None => SemanticLockManager::new(self.config, deps.clone()),
+        };
+        Arc::new(Engine {
+            storage: self.storage,
+            catalog: self.catalog,
+            deps,
+            discipline,
+            comp_retry_limit: self.comp_retry_limit,
+            comp_retry_backoff: self.comp_retry_backoff,
+            op_delay: self.op_delay,
+        })
+    }
+}
+
+/// The transaction engine.
+pub struct Engine {
+    storage: Arc<dyn Storage>,
+    catalog: Arc<Catalog>,
+    deps: DisciplineDeps,
+    discipline: Arc<dyn Discipline>,
+    comp_retry_limit: u32,
+    comp_retry_backoff: Duration,
+    op_delay: Duration,
+}
+
+impl Engine {
+    /// Start building an engine.
+    pub fn builder(storage: Arc<dyn Storage>, catalog: Arc<Catalog>) -> EngineBuilder {
+        EngineBuilder::new(storage, catalog)
+    }
+
+    /// The schema catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The object store.
+    pub fn storage(&self) -> &Arc<dyn Storage> {
+        &self.storage
+    }
+
+    /// The commutativity router.
+    pub fn router(&self) -> &Arc<SemanticsRouter> {
+        &self.deps.router
+    }
+
+    /// The active discipline's name.
+    pub fn protocol_name(&self) -> &str {
+        self.discipline.name()
+    }
+
+    /// Counter snapshot (engine + lock manager share one [`Stats`]).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.deps.stats.snapshot()
+    }
+
+    /// Number of live (uncommitted) transactions.
+    pub fn live_transactions(&self) -> usize {
+        self.deps.registry.live_count()
+    }
+
+    /// Execute a top-level transaction: commit on `Ok`, abort with
+    /// compensation on `Err` (the error is passed through).
+    pub fn execute(&self, prog: &dyn TransactionProgram) -> Result<TxnOutcome> {
+        let tree = self.deps.registry.begin();
+        let top = tree.top();
+        self.deps.sink.record(Event::TopBegin { top, label: prog.label() });
+        let shared = Arc::new(TxnShared { tree: Arc::clone(&tree), created: Mutex::new(Vec::new()) });
+        let mut ctx = ExecCtx {
+            engine: self,
+            shared: Arc::clone(&shared),
+            node_idx: 0,
+            stash: Vec::new(),
+            comp: Vec::new(),
+            compensating: false,
+        };
+        match prog.run(&mut ctx) {
+            Ok(value) => {
+                self.commit(top, &tree);
+                Ok(TxnOutcome { top, value })
+            }
+            Err(e) => {
+                let comp = std::mem::take(&mut ctx.comp);
+                self.abort(top, &shared, comp, &e);
+                Err(e)
+            }
+        }
+    }
+
+    /// Execute with automatic retry on deadlock aborts. Returns the outcome
+    /// and the number of aborted attempts.
+    pub fn execute_with_retry(&self, prog: &dyn TransactionProgram, max_retries: u32) -> (Result<TxnOutcome>, u32) {
+        let mut retries = 0;
+        loop {
+            match self.execute(prog) {
+                Err(SemccError::Deadlock) if retries < max_retries => {
+                    retries += 1;
+                    // Brief randomless backoff proportional to attempts.
+                    std::thread::sleep(self.comp_retry_backoff * retries.min(16));
+                }
+                other => return (other, retries),
+            }
+        }
+    }
+
+    fn commit(&self, top: TopId, tree: &TxnTree) {
+        // Release every lock first (wakes waiters into a world without our
+        // entries), then mark the root committed and notify.
+        self.discipline.top_finished(top);
+        tree.complete(0);
+        self.deps.hub.node_finished(NodeRef::root(top));
+        self.deps.registry.remove(top);
+        self.deps.wfg.finished(top);
+        Stats::bump(&self.deps.stats.commits);
+        self.deps.sink.record(Event::TopCommit { top });
+    }
+
+    fn abort(&self, top: TopId, shared: &Arc<TxnShared>, comp: Vec<Invocation>, reason: &SemccError) {
+        self.deps.wfg.begin_abort(top);
+        Stats::bump(&self.deps.stats.aborts);
+
+        // Compensate committed top-level children (and, transitively,
+        // whatever they inherited), newest first. Failures here indicate a
+        // schema without proper inverses; they are surfaced in the event
+        // stream but cannot stop the abort.
+        if let Err(e) = self.compensate_list(shared, comp) {
+            self.deps.sink.record(Event::TopAbort { top, reason: format!("compensation failed: {e}") });
+        }
+
+        // Garbage-collect objects created by this transaction.
+        let created = std::mem::take(&mut *shared.created.lock());
+        for obj in created.into_iter().rev() {
+            let _ = self.storage.delete(obj);
+        }
+
+        // Release locks, then mark every still-active node aborted.
+        self.discipline.top_finished(top);
+        for idx in shared.tree.active_nodes() {
+            shared.tree.abort(idx);
+            self.deps.hub.node_finished(NodeRef { top, idx });
+        }
+        self.deps.registry.remove(top);
+        self.deps.wfg.finished(top);
+        self.deps.sink.record(Event::TopAbort { top, reason: reason.to_string() });
+    }
+
+    /// Execute compensations in reverse chronological order, retrying on
+    /// deadlock.
+    fn compensate_list(&self, shared: &Arc<TxnShared>, comp: Vec<Invocation>) -> Result<()> {
+        for inv in comp.into_iter().rev() {
+            let mut attempts = 0;
+            loop {
+                self.deps.sink.record(Event::Compensate {
+                    top: shared.tree.top(),
+                    inv: Arc::new(inv.clone()),
+                });
+                Stats::bump(&self.deps.stats.compensations);
+                match self.run_action(shared, 0, inv.clone(), true) {
+                    Ok(_) => break,
+                    Err(SemccError::Deadlock) if attempts < self.comp_retry_limit => {
+                        attempts += 1;
+                        std::thread::sleep(self.comp_retry_backoff);
+                    }
+                    Err(e) => {
+                        return Err(SemccError::CompensationFailed(format!("{inv}: {e}")));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute one action (create node → acquire lock → run → complete).
+    /// Returns the result value and the compensation entries the parent
+    /// must record for this (now committed) child.
+    fn run_action(
+        &self,
+        shared: &Arc<TxnShared>,
+        parent: u32,
+        inv: Invocation,
+        compensating: bool,
+    ) -> Result<(Value, Vec<Invocation>)> {
+        let tree = &shared.tree;
+        let top = tree.top();
+        let inv = Arc::new(inv);
+        let child = tree.add_child(parent, Arc::clone(&inv));
+        let node = NodeRef { top, idx: child };
+        self.deps.sink.record(Event::ActionStart {
+            node,
+            parent: NodeRef { top, idx: parent },
+            inv: Arc::clone(&inv),
+        });
+
+        let chain = tree.chain(child);
+        let is_leaf = inv.method.is_generic();
+        let writes = inv.method.as_generic().map(|g| g.is_update()).unwrap_or(true);
+        let page = if is_leaf { self.storage.page_of(inv.object).ok() } else { None };
+
+        let _grant: GrantInfo = match self.discipline.acquire(AcquireRequest {
+            node,
+            inv: &inv,
+            chain: &chain,
+            is_leaf,
+            writes,
+            page,
+            compensating,
+        }) {
+            Ok(g) => g,
+            Err(e) => {
+                tree.abort(child);
+                self.deps.hub.node_finished(node);
+                return Err(e);
+            }
+        };
+
+        let result = match inv.method {
+            MethodSel::Generic(g) => self.apply_generic(&inv, g),
+            MethodSel::User(m) => self.run_user_method(shared, child, &inv, m, compensating),
+        };
+
+        match result {
+            Ok((value, comp)) => {
+                tree.complete(child);
+                self.discipline.node_completed(tree, child);
+                self.deps.hub.node_finished(node);
+                self.deps.sink.record(Event::ActionComplete { node });
+                Ok((value, comp))
+            }
+            Err(e) => {
+                tree.abort(child);
+                self.deps.hub.node_finished(node);
+                Err(e)
+            }
+        }
+    }
+
+    fn run_user_method(
+        &self,
+        shared: &Arc<TxnShared>,
+        child: u32,
+        inv: &Arc<Invocation>,
+        m: semcc_semantics::MethodId,
+        compensating: bool,
+    ) -> Result<(Value, Vec<Invocation>)> {
+        let (body, compensation) = {
+            let def = self.catalog.method_def(inv.type_id, m)?;
+            let body = def
+                .body
+                .clone()
+                .ok_or_else(|| SemccError::Internal(format!("method {} has no body", def.name)))?;
+            (body, def.compensation.clone())
+        };
+        let mut ctx = ExecCtx {
+            engine: self,
+            shared: Arc::clone(shared),
+            node_idx: child,
+            stash: Vec::new(),
+            comp: Vec::new(),
+            compensating,
+        };
+        match body.run(&mut ctx, inv) {
+            Ok(ret) => {
+                let comp = if compensating {
+                    Vec::new()
+                } else {
+                    match &compensation {
+                        // The method declares its own (semantic) inverse —
+                        // it supersedes the children's compensations.
+                        Some(f) => f(inv, &ret, &ctx.stash).into_iter().collect(),
+                        // No declared inverse: inherit the children's
+                        // compensations (structural compensation).
+                        None => ctx.comp,
+                    }
+                };
+                Ok((ret, comp))
+            }
+            Err(e) => {
+                // Eagerly roll back the partial subtransaction: compensate
+                // its committed children before propagating the error.
+                if !compensating && e.is_abort() {
+                    self.deps.wfg.begin_abort(shared.tree.top());
+                }
+                if !compensating {
+                    let partial = std::mem::take(&mut ctx.comp);
+                    if let Err(ce) = self.compensate_list(shared, partial) {
+                        return Err(ce);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Apply a generic (leaf) operation to the store, producing its
+    /// built-in compensation.
+    fn apply_generic(&self, inv: &Invocation, g: GenericMethod) -> Result<(Value, Vec<Invocation>)> {
+        if !self.op_delay.is_zero() {
+            // Simulated page access, while the leaf's lock is held.
+            std::thread::sleep(self.op_delay);
+        }
+        let obj = inv.object;
+        match g {
+            GenericMethod::Get => Ok((self.storage.get(obj)?, Vec::new())),
+            GenericMethod::Put => {
+                let new = inv.arg(0)?.clone();
+                let old = self.storage.put(obj, new)?;
+                Ok((Value::Unit, vec![Invocation::put(obj, inv.type_id, old)]))
+            }
+            GenericMethod::Select => {
+                let key = inv.arg_key(0)?;
+                let found = self.storage.set_select(obj, key)?;
+                Ok((found.map(Value::Id).unwrap_or(Value::Unit), Vec::new()))
+            }
+            GenericMethod::Insert => {
+                let key = inv.arg_key(0)?;
+                let member = inv.arg_id(1)?;
+                self.storage.set_insert(obj, key, member)?;
+                Ok((Value::Unit, vec![Invocation::remove(obj, inv.type_id, key)]))
+            }
+            GenericMethod::Remove => {
+                let key = inv.arg_key(0)?;
+                let removed = self.storage.set_remove(obj, key)?;
+                let comp = removed
+                    .map(|m| Invocation::insert(obj, inv.type_id, key, m))
+                    .into_iter()
+                    .collect();
+                Ok((removed.map(Value::Id).unwrap_or(Value::Unit), comp))
+            }
+            GenericMethod::Scan => {
+                let pairs = self.storage.set_scan(obj)?;
+                let list = pairs
+                    .into_iter()
+                    .map(|(k, m)| Value::List(vec![Value::Int(k as i64), Value::Id(m)]))
+                    .collect();
+                Ok((Value::List(list), Vec::new()))
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Engine(protocol = {})", self.protocol_name())
+    }
+}
+
+/// The execution context of one action. Implements [`MethodContext`];
+/// method bodies see only the trait.
+struct ExecCtx<'e> {
+    engine: &'e Engine,
+    shared: Arc<TxnShared>,
+    node_idx: u32,
+    stash: Vec<Value>,
+    /// Compensations of committed children, chronological order.
+    comp: Vec<Invocation>,
+    compensating: bool,
+}
+
+impl MethodContext for ExecCtx<'_> {
+    fn invoke(&mut self, inv: Invocation) -> Result<Value> {
+        let (value, comp) = self
+            .engine
+            .run_action(&self.shared, self.node_idx, inv, self.compensating)?;
+        self.comp.extend(comp);
+        Ok(value)
+    }
+
+    fn self_object(&self) -> ObjectId {
+        self.shared.tree.invocation(self.node_idx).object
+    }
+
+    fn stash(&mut self, v: Value) {
+        self.stash.push(v);
+    }
+
+    fn field(&self, obj: ObjectId, name: &str) -> Result<ObjectId> {
+        self.engine.storage.field(obj, name)
+    }
+
+    fn type_of(&self, obj: ObjectId) -> Result<TypeId> {
+        self.engine.storage.type_of(obj)
+    }
+
+    fn create_atomic(&mut self, v: Value) -> Result<ObjectId> {
+        let id = self.engine.storage.create_atomic(semcc_semantics::TYPE_ATOMIC, v)?;
+        if !self.compensating {
+            self.shared.created.lock().push(id);
+        }
+        Ok(id)
+    }
+
+    fn create_tuple(&mut self, type_id: TypeId, fields: Vec<(String, ObjectId)>) -> Result<ObjectId> {
+        let id = self.engine.storage.create_tuple(type_id, fields)?;
+        if !self.compensating {
+            self.shared.created.lock().push(id);
+        }
+        Ok(id)
+    }
+
+    fn create_set(&mut self) -> Result<ObjectId> {
+        let id = self.engine.storage.create_set(semcc_semantics::TYPE_SET)?;
+        if !self.compensating {
+            self.shared.created.lock().push(id);
+        }
+        Ok(id)
+    }
+
+    fn catalog(&self) -> &Catalog {
+        &self.engine.catalog
+    }
+}

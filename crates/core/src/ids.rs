@@ -1,0 +1,75 @@
+//! Transaction and node identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a top-level transaction. Monotonically increasing, so a
+/// larger id means a *younger* transaction (used by deadlock victim
+/// selection).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TopId(pub u64);
+
+impl fmt::Debug for TopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Reference to a node (action / subtransaction) of a transaction tree:
+/// the top-level transaction plus the node's index in that tree's arena.
+/// Index 0 is always the transaction root.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeRef {
+    /// Owning top-level transaction.
+    pub top: TopId,
+    /// Arena index within the transaction tree.
+    pub idx: u32,
+}
+
+impl NodeRef {
+    /// The root node of a transaction.
+    pub fn root(top: TopId) -> Self {
+        NodeRef { top, idx: 0 }
+    }
+
+    /// Is this a transaction root?
+    pub fn is_root(&self) -> bool {
+        self.idx == 0
+    }
+}
+
+impl fmt::Debug for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.top, self.idx)
+    }
+}
+
+impl fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.top, self.idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_refs() {
+        let r = NodeRef::root(TopId(3));
+        assert!(r.is_root());
+        assert!(!NodeRef { top: TopId(3), idx: 1 }.is_root());
+        assert_eq!(format!("{r}"), "T3#0");
+    }
+
+    #[test]
+    fn ordering_reflects_age() {
+        assert!(TopId(1) < TopId(2), "smaller id = older transaction");
+    }
+}

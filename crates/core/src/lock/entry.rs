@@ -1,0 +1,59 @@
+//! Lock control blocks.
+
+use crate::ids::NodeRef;
+use crate::notify::WaitCell;
+use crate::tree::ChainLink;
+use semcc_semantics::Invocation;
+use std::sync::Arc;
+
+/// A semantic lock control block: "a lock is associated with a method name,
+/// an object id on which the method operates, optionally a list of actual
+/// parameters of the method, and the identification of a subtransaction"
+/// (paper Section 4.2). The invocation carries method, object and
+/// parameters; the node identifies the owning subtransaction; the cached
+/// ancestor chain makes the Figure-9 conflict test self-contained.
+#[derive(Clone)]
+pub struct LockEntry {
+    /// The owning action (subtransaction).
+    pub node: NodeRef,
+    /// Method + object + actual parameters (the lock mode).
+    pub inv: Arc<Invocation>,
+    /// Ancestor chain `[self, parent, …, root]` of the owner. Invocations
+    /// are immutable once issued, so the chain can be cached at request
+    /// time; completion states are looked up live in the registry.
+    pub chain: Arc<[ChainLink]>,
+    /// Whether the lock was converted into a *retained* lock (the owning
+    /// subtransaction's parent has completed).
+    pub retained: bool,
+}
+
+impl std::fmt::Debug for LockEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LockEntry({} holds {}{})",
+            self.node,
+            self.inv,
+            if self.retained { ", retained" } else { "" }
+        )
+    }
+}
+
+/// A queued (not yet granted) lock request. The paper requires requested
+/// locks to be considered by the conflict test of later requests ("all
+/// locks h that are held **or have been requested** on t.object") and FCFS
+/// granting among conflicting requests.
+pub struct WaitingRequest {
+    /// Queue position (monotonic per object).
+    pub ticket: u64,
+    /// The request's lock control block.
+    pub entry: LockEntry,
+    /// The current wait episode's cell (re-set on each retry).
+    pub cell: Arc<WaitCell>,
+}
+
+impl std::fmt::Debug for WaitingRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WaitingRequest(#{} {:?})", self.ticket, self.entry)
+    }
+}

@@ -1,0 +1,199 @@
+//! The sharded lock table: one FCFS queue per object.
+
+use crate::ids::{NodeRef, TopId};
+use crate::lock::entry::{LockEntry, WaitingRequest};
+use parking_lot::Mutex;
+use semcc_semantics::ObjectId;
+use std::collections::HashMap;
+
+const SHARD_COUNT: usize = 64;
+
+/// Per-object lock queue: granted lock control blocks plus the FCFS wait
+/// queue of requested locks.
+#[derive(Default)]
+pub struct ObjectQueue {
+    /// Granted locks (held and retained).
+    pub granted: Vec<LockEntry>,
+    /// Requested but not yet granted locks, in arrival order.
+    pub waiting: Vec<WaitingRequest>,
+    next_ticket: u64,
+}
+
+impl ObjectQueue {
+    /// Allocate the next FCFS ticket.
+    pub fn next_ticket(&mut self) -> u64 {
+        let t = self.next_ticket;
+        self.next_ticket += 1;
+        t
+    }
+
+    /// Remove a waiting request by ticket; returns whether it was present.
+    pub fn remove_waiting(&mut self, ticket: u64) -> bool {
+        let before = self.waiting.len();
+        self.waiting.retain(|w| w.ticket != ticket);
+        self.waiting.len() != before
+    }
+
+    /// Wake every waiting request for a re-test (the queue changed).
+    pub fn poke_all(&self) {
+        for w in &self.waiting {
+            w.cell.poke();
+        }
+    }
+
+    /// Find the granted entry owned by a node.
+    pub fn granted_by(&mut self, node: NodeRef) -> Option<&mut LockEntry> {
+        self.granted.iter_mut().find(|e| e.node == node)
+    }
+
+    /// Remove all granted entries of a top-level transaction; returns how
+    /// many were removed.
+    pub fn release_top(&mut self, top: TopId) -> usize {
+        let before = self.granted.len();
+        self.granted.retain(|e| e.node.top != top);
+        before - self.granted.len()
+    }
+
+    /// Whether the queue holds nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.granted.is_empty() && self.waiting.is_empty()
+    }
+}
+
+/// The sharded lock table.
+pub struct LockTable {
+    shards: Vec<Mutex<HashMap<ObjectId, ObjectQueue>>>,
+}
+
+impl Default for LockTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LockTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        LockTable { shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    /// Run `f` with the (possibly fresh) queue of an object, under the
+    /// shard latch.
+    pub fn with_queue<R>(&self, obj: ObjectId, f: impl FnOnce(&mut ObjectQueue) -> R) -> R {
+        let mut shard = self.shards[(obj.0 as usize) % SHARD_COUNT].lock();
+        let r = f(shard.entry(obj).or_default());
+        // Drop empty queues eagerly to keep the table small.
+        if shard.get(&obj).is_some_and(|q| q.is_empty()) {
+            shard.remove(&obj);
+        }
+        r
+    }
+
+    /// Total number of granted locks (introspection / tests).
+    pub fn granted_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().values().map(|q| q.granted.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Total number of waiting requests.
+    pub fn waiting_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().values().map(|q| q.waiting.len()).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::notify::WaitCell;
+    use crate::tree::TxnTree;
+    use semcc_semantics::{Invocation, TYPE_ATOMIC};
+    use std::sync::Arc;
+
+    fn entry(top: u64) -> LockEntry {
+        let tree = TxnTree::new(TopId(top));
+        let leaf = tree.add_child(0, Arc::new(Invocation::get(ObjectId(9), TYPE_ATOMIC)));
+        LockEntry {
+            node: NodeRef { top: TopId(top), idx: leaf },
+            inv: tree.invocation(leaf),
+            chain: tree.chain(leaf),
+            retained: false,
+        }
+    }
+
+    #[test]
+    fn tickets_are_fcfs() {
+        let t = LockTable::new();
+        let (a, b) = t.with_queue(ObjectId(1), |q| (q.next_ticket(), q.next_ticket()));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn grant_release_cycle() {
+        let t = LockTable::new();
+        t.with_queue(ObjectId(1), |q| q.granted.push(entry(1)));
+        t.with_queue(ObjectId(1), |q| q.granted.push(entry(2)));
+        assert_eq!(t.granted_count(), 2);
+        let removed = t.with_queue(ObjectId(1), |q| q.release_top(TopId(1)));
+        assert_eq!(removed, 1);
+        assert_eq!(t.granted_count(), 1);
+        t.with_queue(ObjectId(1), |q| {
+            q.release_top(TopId(2));
+        });
+        assert_eq!(t.granted_count(), 0);
+    }
+
+    #[test]
+    fn granted_by_finds_owner() {
+        let t = LockTable::new();
+        let e = entry(1);
+        let node = e.node;
+        t.with_queue(ObjectId(1), |q| q.granted.push(e));
+        t.with_queue(ObjectId(1), |q| {
+            let found = q.granted_by(node).expect("entry exists");
+            found.retained = true;
+        });
+        t.with_queue(ObjectId(1), |q| {
+            assert!(q.granted_by(node).unwrap().retained);
+            assert!(q.granted_by(NodeRef { top: TopId(9), idx: 3 }).is_none());
+        });
+    }
+
+    #[test]
+    fn waiting_queue_management() {
+        let t = LockTable::new();
+        let cell = WaitCell::new();
+        cell.add_pending();
+        let ticket = t.with_queue(ObjectId(1), |q| {
+            let ticket = q.next_ticket();
+            q.waiting.push(WaitingRequest { ticket, entry: entry(3), cell: Arc::clone(&cell) });
+            ticket
+        });
+        assert_eq!(t.waiting_count(), 1);
+        t.with_queue(ObjectId(1), |q| q.poke_all());
+        assert!(!cell.would_wait(), "poked");
+        let present = t.with_queue(ObjectId(1), |q| q.remove_waiting(ticket));
+        assert!(present);
+        assert_eq!(t.waiting_count(), 0);
+        let present = t.with_queue(ObjectId(1), |q| q.remove_waiting(ticket));
+        assert!(!present);
+    }
+
+    #[test]
+    fn empty_queues_are_garbage_collected() {
+        let t = LockTable::new();
+        t.with_queue(ObjectId(5), |q| {
+            q.granted.push(entry(1));
+        });
+        t.with_queue(ObjectId(5), |q| {
+            q.release_top(TopId(1));
+        });
+        // The shard map no longer holds the object.
+        let shard = &t.shards[(5usize) % SHARD_COUNT];
+        assert!(shard.lock().get(&ObjectId(5)).is_none());
+    }
+}

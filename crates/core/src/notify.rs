@@ -1,0 +1,225 @@
+//! Blocking and wake-up machinery.
+//!
+//! A blocked lock requestor "waits for the completion of all transactions /
+//! subtransactions in its waits-for set" (paper Figure 8). The
+//! [`CompletionHub`] delivers exactly those notifications; in addition, a
+//! waiter is *poked* whenever its object's lock queue changes (a lock was
+//! released or granted), after which it re-runs the conflict test. A waiter
+//! can also be *killed* by the deadlock detector.
+
+use crate::ids::NodeRef;
+use crate::tree::Registry;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct CellState {
+    /// Outstanding node completions.
+    pending: usize,
+    /// Set when the lock queue changed and the waiter should re-test.
+    poked: bool,
+    /// Set when the deadlock detector chose this waiter as victim.
+    killed: bool,
+}
+
+/// One wait episode of a blocked lock request.
+pub struct WaitCell {
+    state: Mutex<CellState>,
+    cv: Condvar,
+}
+
+/// Outcome of a wait.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// All awaited completions arrived or the queue changed: re-test.
+    Retest,
+    /// This transaction was chosen as deadlock victim.
+    Killed,
+}
+
+impl WaitCell {
+    /// A fresh cell; `add_pending` is called while subscribing.
+    pub fn new() -> Arc<Self> {
+        Arc::new(WaitCell { state: Mutex::new(CellState::default()), cv: Condvar::new() })
+    }
+
+    /// Account one more completion to wait for.
+    pub fn add_pending(&self) {
+        self.state.lock().pending += 1;
+    }
+
+    /// One awaited node completed.
+    pub fn complete_one(&self) {
+        let mut s = self.state.lock();
+        s.pending = s.pending.saturating_sub(1);
+        if s.pending == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// The lock queue changed; wake for a re-test.
+    pub fn poke(&self) {
+        let mut s = self.state.lock();
+        s.poked = true;
+        self.cv.notify_all();
+    }
+
+    /// Deadlock victim: wake with failure.
+    pub fn kill(&self) {
+        let mut s = self.state.lock();
+        s.killed = true;
+        self.cv.notify_all();
+    }
+
+    /// Block until all pending completions arrived, a poke, or a kill.
+    pub fn wait(&self) -> WaitOutcome {
+        let mut s = self.state.lock();
+        loop {
+            if s.killed {
+                return WaitOutcome::Killed;
+            }
+            if s.pending == 0 || s.poked {
+                return WaitOutcome::Retest;
+            }
+            self.cv.wait(&mut s);
+        }
+    }
+
+    /// Non-blocking check used by tests.
+    pub fn would_wait(&self) -> bool {
+        let s = self.state.lock();
+        !s.killed && s.pending > 0 && !s.poked
+    }
+}
+
+/// Delivers "node completed" notifications to wait cells.
+///
+/// The subscription check and the completion notification are serialized by
+/// the hub lock, and nodes are marked finished in the tree **before**
+/// [`CompletionHub::node_finished`] is called — together this closes the
+/// race where a node completes between the conflict test and the
+/// subscription (the subscriber then simply observes it as finished and
+/// does not wait for it).
+#[derive(Default)]
+pub struct CompletionHub {
+    waiters: Mutex<HashMap<NodeRef, Vec<Arc<WaitCell>>>>,
+}
+
+impl CompletionHub {
+    /// Fresh hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribe `cell` to the completion of `node`. If the node is already
+    /// finished (per the registry), the subscription is skipped and the
+    /// cell's pending count is not incremented.
+    pub fn subscribe(&self, node: NodeRef, cell: &Arc<WaitCell>, registry: &Registry) {
+        let mut waiters = self.waiters.lock();
+        if registry.is_finished(node) {
+            return;
+        }
+        cell.add_pending();
+        waiters.entry(node).or_default().push(Arc::clone(cell));
+    }
+
+    /// A node committed or aborted: wake everyone subscribed to it. The
+    /// caller must have marked the node finished in its tree first.
+    pub fn node_finished(&self, node: NodeRef) {
+        let cells = self.waiters.lock().remove(&node);
+        if let Some(cells) = cells {
+            for c in cells {
+                c.complete_one();
+            }
+        }
+    }
+
+    /// Number of nodes with live subscriptions (tests / introspection).
+    pub fn subscription_count(&self) -> usize {
+        self.waiters.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TopId;
+    use std::time::Duration;
+
+    #[test]
+    fn wait_returns_when_pending_drains() {
+        let cell = WaitCell::new();
+        cell.add_pending();
+        cell.add_pending();
+        assert!(cell.would_wait());
+        let c2 = Arc::clone(&cell);
+        let h = std::thread::spawn(move || c2.wait());
+        std::thread::sleep(Duration::from_millis(10));
+        cell.complete_one();
+        cell.complete_one();
+        assert_eq!(h.join().unwrap(), WaitOutcome::Retest);
+    }
+
+    #[test]
+    fn poke_wakes_early() {
+        let cell = WaitCell::new();
+        cell.add_pending();
+        let c2 = Arc::clone(&cell);
+        let h = std::thread::spawn(move || c2.wait());
+        std::thread::sleep(Duration::from_millis(5));
+        cell.poke();
+        assert_eq!(h.join().unwrap(), WaitOutcome::Retest);
+    }
+
+    #[test]
+    fn kill_wins() {
+        let cell = WaitCell::new();
+        cell.add_pending();
+        let c2 = Arc::clone(&cell);
+        let h = std::thread::spawn(move || c2.wait());
+        std::thread::sleep(Duration::from_millis(5));
+        cell.kill();
+        assert_eq!(h.join().unwrap(), WaitOutcome::Killed);
+        assert!(!cell.would_wait());
+    }
+
+    #[test]
+    fn hub_skips_finished_nodes() {
+        let registry = Registry::new();
+        let tree = registry.begin();
+        let hub = CompletionHub::new();
+        let cell = WaitCell::new();
+
+        let root = NodeRef::root(tree.top());
+        tree.complete(0);
+        hub.subscribe(root, &cell, &registry);
+        assert!(!cell.would_wait(), "finished node adds no pending count");
+        assert_eq!(hub.subscription_count(), 0);
+    }
+
+    #[test]
+    fn hub_delivers_completion() {
+        let registry = Registry::new();
+        let tree = registry.begin();
+        let hub = CompletionHub::new();
+        let cell = WaitCell::new();
+        let root = NodeRef::root(tree.top());
+
+        hub.subscribe(root, &cell, &registry);
+        assert!(cell.would_wait());
+        tree.complete(0);
+        hub.node_finished(root);
+        assert_eq!(cell.wait(), WaitOutcome::Retest);
+        assert_eq!(hub.subscription_count(), 0);
+    }
+
+    #[test]
+    fn hub_unknown_tree_is_finished() {
+        let registry = Registry::new();
+        let hub = CompletionHub::new();
+        let cell = WaitCell::new();
+        hub.subscribe(NodeRef::root(TopId(999)), &cell, &registry);
+        assert!(!cell.would_wait());
+    }
+}

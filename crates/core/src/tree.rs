@@ -1,0 +1,295 @@
+//! Transaction trees and the global registry.
+//!
+//! An open nested transaction is a tree of actions (method invocations);
+//! edges represent the caller–callee relationship (paper Section 3). The
+//! tree grows dynamically while the transaction executes. Nodes are stored
+//! in an arena; node 0 is the transaction root, whose synthetic invocation
+//! operates on the database pseudo object (paper footnote 2).
+
+use crate::ids::{NodeRef, TopId};
+use parking_lot::RwLock;
+use semcc_semantics::{Invocation, DB_OBJECT, TYPE_DB};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Lifecycle state of a tree node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeState {
+    /// Currently executing (or waiting for a lock).
+    Active,
+    /// Completed successfully — in the open nested model the subtransaction
+    /// has *committed* and exposed its effects.
+    Committed,
+    /// Aborted (the whole top-level transaction aborted, or the
+    /// subtransaction was rolled back eagerly).
+    Aborted,
+}
+
+impl NodeState {
+    /// Committed or aborted.
+    pub fn is_finished(self) -> bool {
+        !matches!(self, NodeState::Active)
+    }
+}
+
+/// One link of an ancestor chain: the node and its (immutable) invocation.
+#[derive(Clone, Debug)]
+pub struct ChainLink {
+    /// The ancestor node.
+    pub node: NodeRef,
+    /// The invocation labelling that node.
+    pub inv: Arc<Invocation>,
+}
+
+#[derive(Debug)]
+struct Node {
+    parent: Option<u32>,
+    inv: Arc<Invocation>,
+    state: NodeState,
+    children: Vec<u32>,
+}
+
+/// The tree of one top-level transaction.
+pub struct TxnTree {
+    top: TopId,
+    nodes: RwLock<Vec<Node>>,
+}
+
+impl TxnTree {
+    /// Create a tree whose root carries the synthetic "transaction on the
+    /// database object" invocation.
+    pub fn new(top: TopId) -> Arc<Self> {
+        let root_inv = Arc::new(Invocation::user(
+            DB_OBJECT,
+            TYPE_DB,
+            semcc_semantics::MethodId(0),
+            vec![],
+        ));
+        Arc::new(TxnTree {
+            top,
+            nodes: RwLock::new(vec![Node {
+                parent: None,
+                inv: root_inv,
+                state: NodeState::Active,
+                children: Vec::new(),
+            }]),
+        })
+    }
+
+    /// The owning top-level transaction.
+    pub fn top(&self) -> TopId {
+        self.top
+    }
+
+    /// Add a child action under `parent` and return its index.
+    pub fn add_child(&self, parent: u32, inv: Arc<Invocation>) -> u32 {
+        let mut nodes = self.nodes.write();
+        let idx = nodes.len() as u32;
+        nodes.push(Node { parent: Some(parent), inv, state: NodeState::Active, children: Vec::new() });
+        nodes[parent as usize].children.push(idx);
+        idx
+    }
+
+    /// Mark a node committed.
+    pub fn complete(&self, idx: u32) {
+        self.nodes.write()[idx as usize].state = NodeState::Committed;
+    }
+
+    /// Mark a node aborted.
+    pub fn abort(&self, idx: u32) {
+        self.nodes.write()[idx as usize].state = NodeState::Aborted;
+    }
+
+    /// Current state of a node.
+    pub fn state(&self, idx: u32) -> NodeState {
+        self.nodes.read()[idx as usize].state
+    }
+
+    /// The invocation of a node.
+    pub fn invocation(&self, idx: u32) -> Arc<Invocation> {
+        Arc::clone(&self.nodes.read()[idx as usize].inv)
+    }
+
+    /// The children of a node (snapshot).
+    pub fn children(&self, idx: u32) -> Vec<u32> {
+        self.nodes.read()[idx as usize].children.clone()
+    }
+
+    /// The parent of a node.
+    pub fn parent(&self, idx: u32) -> Option<u32> {
+        self.nodes.read()[idx as usize].parent
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.read().len()
+    }
+
+    /// Always false — a tree has at least its root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Ancestor chain of a node in bottom-up order **including the node
+    /// itself** at position 0 and the root at the last position. The
+    /// conflict test of Figure 9 iterates over `chain[1..]` (the proper
+    /// ancestors, "sorted list of the ancestors of t in bottom-up order").
+    pub fn chain(&self, idx: u32) -> Arc<[ChainLink]> {
+        let nodes = self.nodes.read();
+        let mut links = Vec::new();
+        let mut cur = Some(idx);
+        while let Some(i) = cur {
+            let n = &nodes[i as usize];
+            links.push(ChainLink {
+                node: NodeRef { top: self.top, idx: i },
+                inv: Arc::clone(&n.inv),
+            });
+            cur = n.parent;
+        }
+        links.into()
+    }
+
+    /// Indices of all nodes that are still active (used on abort).
+    pub fn active_nodes(&self) -> Vec<u32> {
+        self.nodes
+            .read()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.state == NodeState::Active)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for TxnTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TxnTree({}, {} nodes)", self.top, self.len())
+    }
+}
+
+/// Global registry of live transaction trees.
+///
+/// Trees are registered at transaction begin and dropped after all locks of
+/// the transaction are gone; a status query for a dropped tree answers
+/// "finished", which is exactly what late readers (conflict tests racing
+/// with a commit) need.
+pub struct Registry {
+    trees: RwLock<HashMap<TopId, Arc<TxnTree>>>,
+    next: AtomicU64,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Registry { trees: RwLock::new(HashMap::new()), next: AtomicU64::new(1) }
+    }
+
+    /// Begin a new top-level transaction: allocate an id and a tree.
+    pub fn begin(&self) -> Arc<TxnTree> {
+        let top = TopId(self.next.fetch_add(1, Ordering::Relaxed));
+        let tree = TxnTree::new(top);
+        self.trees.write().insert(top, Arc::clone(&tree));
+        tree
+    }
+
+    /// Look up a live tree.
+    pub fn tree(&self, top: TopId) -> Option<Arc<TxnTree>> {
+        self.trees.read().get(&top).cloned()
+    }
+
+    /// Drop a finished tree.
+    pub fn remove(&self, top: TopId) {
+        self.trees.write().remove(&top);
+    }
+
+    /// Is the node committed or aborted? Nodes of dropped trees count as
+    /// finished.
+    pub fn is_finished(&self, node: NodeRef) -> bool {
+        match self.trees.read().get(&node.top) {
+            Some(tree) => tree.state(node.idx).is_finished(),
+            None => true,
+        }
+    }
+
+    /// Number of live transactions.
+    pub fn live_count(&self) -> usize {
+        self.trees.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcc_semantics::{ObjectId, TYPE_ATOMIC};
+
+    fn inv(o: u64) -> Arc<Invocation> {
+        Arc::new(Invocation::get(ObjectId(o), TYPE_ATOMIC))
+    }
+
+    #[test]
+    fn tree_growth_and_states() {
+        let t = TxnTree::new(TopId(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.state(0), NodeState::Active);
+        let a = t.add_child(0, inv(1));
+        let b = t.add_child(a, inv(2));
+        assert_eq!(t.parent(b), Some(a));
+        assert_eq!(t.children(0), vec![a]);
+        assert_eq!(t.children(a), vec![b]);
+        t.complete(b);
+        assert_eq!(t.state(b), NodeState::Committed);
+        assert!(t.state(b).is_finished());
+        t.abort(a);
+        assert!(t.state(a).is_finished());
+        assert!(!t.state(0).is_finished());
+    }
+
+    #[test]
+    fn chain_is_bottom_up_with_self_first() {
+        let t = TxnTree::new(TopId(7));
+        let a = t.add_child(0, inv(1));
+        let b = t.add_child(a, inv(2));
+        let chain = t.chain(b);
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain[0].node, NodeRef { top: TopId(7), idx: b });
+        assert_eq!(chain[1].node, NodeRef { top: TopId(7), idx: a });
+        assert_eq!(chain[2].node, NodeRef::root(TopId(7)));
+        assert_eq!(chain[2].inv.object, DB_OBJECT);
+    }
+
+    #[test]
+    fn active_nodes_tracking() {
+        let t = TxnTree::new(TopId(1));
+        let a = t.add_child(0, inv(1));
+        let b = t.add_child(0, inv(2));
+        t.complete(a);
+        assert_eq!(t.active_nodes(), vec![0, b]);
+    }
+
+    #[test]
+    fn registry_lifecycle() {
+        let r = Registry::new();
+        let t1 = r.begin();
+        let t2 = r.begin();
+        assert_ne!(t1.top(), t2.top());
+        assert!(t1.top() < t2.top(), "ids increase with age");
+        assert_eq!(r.live_count(), 2);
+        assert!(r.tree(t1.top()).is_some());
+
+        let n = NodeRef::root(t1.top());
+        assert!(!r.is_finished(n));
+        t1.complete(0);
+        assert!(r.is_finished(n));
+        r.remove(t1.top());
+        assert_eq!(r.live_count(), 1);
+        assert!(r.is_finished(n), "dropped trees count as finished");
+        assert!(r.tree(t1.top()).is_none());
+    }
+}

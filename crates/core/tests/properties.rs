@@ -1,0 +1,167 @@
+//! Property-based tests of the engine: random concurrent commutative
+//! workloads must be exactly serializable (final value equals the sum of
+//! all applied deltas), random abort patterns must compensate exactly, and
+//! the waits-for graph must only ever victimize on real cycles.
+
+use proptest::prelude::*;
+use semcc_core::deadlock::BlockDecision;
+use semcc_core::notify::WaitCell;
+use semcc_core::{Engine, FnProgram, ProtocolConfig, TopId, WaitsForGraph};
+use semcc_objstore::MemoryStore;
+use semcc_semantics::{
+    Catalog, CompatibilityMatrix, Invocation, MethodContext, MethodDef, MethodId, SemccError,
+    Storage, TypeDef, TypeKind, Value,
+};
+use std::sync::Arc;
+
+const ADD: MethodId = MethodId(0);
+
+/// Counter type: Add(n) commutes with itself; compensation = Add(-n).
+fn counter_engine(cfg: ProtocolConfig) -> (Arc<Engine>, Arc<MemoryStore>, semcc_semantics::ObjectId, semcc_semantics::TypeId) {
+    let mut m = CompatibilityMatrix::new();
+    m.ok(ADD, ADD);
+    let body = Arc::new(|ctx: &mut dyn MethodContext, inv: &Invocation| {
+        let n = inv.arg_int(0)?;
+        let v = ctx.field(inv.object, "v")?;
+        let x = ctx.get(v)?.as_int().unwrap_or(0);
+        ctx.put(v, Value::Int(x + n))?;
+        Ok(Value::Unit)
+    });
+    let comp: Arc<semcc_semantics::CompensationFn> = Arc::new(|inv, _ret, _stash| {
+        let n = inv.args.first()?.as_int()?;
+        Some(Invocation::user(inv.object, inv.type_id, ADD, vec![Value::Int(-n)]))
+    });
+    let mut catalog = Catalog::new();
+    let ty = catalog.register_type(TypeDef {
+        name: "Counter".into(),
+        kind: TypeKind::Encapsulated,
+        methods: vec![MethodDef { name: "Add".into(), body: Some(body), compensation: Some(comp), updates: true }],
+        spec: Arc::new(m),
+    });
+    let store = Arc::new(MemoryStore::new());
+    let (obj, _) = store.create_tuple_with_atoms(ty, &[("v", Value::Int(0))]).unwrap();
+    let engine = Engine::builder(Arc::clone(&store) as Arc<dyn Storage>, Arc::new(catalog))
+        .protocol(cfg)
+        .build();
+    (engine, store, obj, ty)
+}
+
+fn protocol_from(flag: u8) -> ProtocolConfig {
+    match flag % 3 {
+        0 => ProtocolConfig::semantic(),
+        1 => ProtocolConfig::no_ancestor_check(),
+        _ => ProtocolConfig::open_nested_plain(),
+    }
+}
+
+proptest! {
+    // Each case spawns threads: keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Concurrent commutative additions under any protocol variant apply
+    /// exactly once each.
+    #[test]
+    fn concurrent_adds_apply_exactly_once(
+        deltas in proptest::collection::vec(-5i64..6, 4..40),
+        threads in 2usize..5,
+        proto in any::<u8>(),
+    ) {
+        let (engine, store, obj, ty) = counter_engine(protocol_from(proto));
+        let expected: i64 = deltas.iter().sum();
+        let chunks: Vec<Vec<i64>> = deltas
+            .chunks(deltas.len().div_ceil(threads))
+            .map(|c| c.to_vec())
+            .collect();
+        std::thread::scope(|s| {
+            for chunk in chunks {
+                let engine = Arc::clone(&engine);
+                s.spawn(move || {
+                    for n in chunk {
+                        let p = FnProgram::new("add", move |ctx: &mut dyn MethodContext| {
+                            ctx.invoke(Invocation::user(obj, ty, ADD, vec![Value::Int(n)]))
+                        });
+                        engine.execute_with_retry(&p, 100_000).0.unwrap();
+                    }
+                });
+            }
+        });
+        let v = store.field(obj, "v").unwrap();
+        prop_assert_eq!(store.get(v).unwrap(), Value::Int(expected));
+        prop_assert_eq!(engine.live_transactions(), 0);
+    }
+
+    /// A transaction that applies a random prefix of additions and then
+    /// aborts leaves the counter exactly where it started — regardless of
+    /// how many additions committed as subtransactions before the abort.
+    #[test]
+    fn abort_compensates_random_prefixes(
+        deltas in proptest::collection::vec(-5i64..6, 1..12),
+        committed_before in 0i64..100,
+        proto in any::<u8>(),
+    ) {
+        let (engine, store, obj, ty) = counter_engine(protocol_from(proto));
+        // Establish a committed baseline.
+        let p = FnProgram::new("base", move |ctx: &mut dyn MethodContext| {
+            ctx.invoke(Invocation::user(obj, ty, ADD, vec![Value::Int(committed_before)]))
+        });
+        engine.execute(&p).unwrap();
+
+        let ds = deltas.clone();
+        let p = FnProgram::new("doomed", move |ctx: &mut dyn MethodContext| {
+            for n in &ds {
+                ctx.invoke(Invocation::user(obj, ty, ADD, vec![Value::Int(*n)]))?;
+            }
+            Err(SemccError::Aborted("prop".into()))
+        });
+        let err = engine.execute(&p).unwrap_err();
+        prop_assert!(matches!(err, SemccError::Aborted(_)));
+        let v = store.field(obj, "v").unwrap();
+        prop_assert_eq!(store.get(v).unwrap(), Value::Int(committed_before));
+        prop_assert_eq!(engine.stats().compensations, deltas.len() as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Acyclic random waits-for graphs never select a victim.
+    #[test]
+    fn wfg_without_cycles_never_victimizes(
+        // Edges always point from a higher id to a lower id → acyclic.
+        edges in proptest::collection::vec((1u64..30, 1u64..30), 0..60),
+    ) {
+        let g = WaitsForGraph::new();
+        for (a, b) in edges {
+            let (hi, lo) = if a > b { (a, b) } else { (b, a) };
+            if hi == lo {
+                continue;
+            }
+            let decision = g.block(TopId(hi), &[TopId(lo)], &WaitCell::new());
+            prop_assert_eq!(decision, BlockDecision::Wait);
+        }
+        prop_assert_eq!(g.victim_count(), 0);
+    }
+
+    /// Any closed 2-cycle is broken immediately, and exactly one victim is
+    /// chosen.
+    #[test]
+    fn wfg_two_cycles_pick_exactly_one_victim(a in 1u64..50, b in 1u64..50) {
+        prop_assume!(a != b);
+        let g = WaitsForGraph::new();
+        let ca = WaitCell::new();
+        ca.add_pending();
+        let cb = WaitCell::new();
+        cb.add_pending();
+        let d1 = g.block(TopId(a), &[TopId(b)], &ca);
+        prop_assert_eq!(d1, BlockDecision::Wait);
+        let d2 = g.block(TopId(b), &[TopId(a)], &cb);
+        let youngest = TopId(a.max(b));
+        if youngest == TopId(b) {
+            prop_assert_eq!(d2, BlockDecision::VictimSelf);
+        } else {
+            prop_assert_eq!(d2, BlockDecision::Wait);
+            prop_assert!(g.is_doomed(youngest));
+        }
+        prop_assert_eq!(g.victim_count(), 1);
+    }
+}

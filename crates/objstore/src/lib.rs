@@ -1,0 +1,32 @@
+//! # semcc-objstore
+//!
+//! In-memory object store for the OODB substrate: the physical layer the
+//! open nested transaction engine executes its leaf actions against.
+//!
+//! The store implements the object-structure graph model the paper uses as
+//! its "lowest common denominator" (Section 2.1):
+//!
+//! * **atomic objects** holding a single [`Value`](semcc_semantics::Value),
+//!   manipulated with `Get`/`Put`;
+//! * **tuple objects** with named, structurally immutable components;
+//! * **set objects** with a primary key among the atomic components of the
+//!   member type, supporting `Select`/`Insert`/`Remove`/`Scan`.
+//!
+//! Every object is mapped to a **page** — the lockable unit of the
+//! conventional page-level two-phase locking baseline the paper compares
+//! against conceptually. A configurable page capacity yields natural
+//! clustering (objects created together share pages, e.g. an item and its
+//! orders), which is exactly what makes page locking prone to false
+//! conflicts.
+//!
+//! The store performs **no concurrency control** beyond short internal
+//! latches making each operation individually atomic; isolation is the lock
+//! manager's job (crate `semcc-core`).
+
+pub mod object;
+pub mod pages;
+pub mod store;
+
+pub use object::{ObjKind, StoredObject};
+pub use pages::PagePolicy;
+pub use store::MemoryStore;

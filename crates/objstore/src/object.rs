@@ -1,0 +1,112 @@
+//! Stored object representation.
+
+use semcc_semantics::{ObjectId, PageId, Result, SemccError, TypeId, Value};
+use std::collections::BTreeMap;
+
+/// The structural payload of a stored object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObjKind {
+    /// Atomic value.
+    Atomic(Value),
+    /// Tuple with named components. The component map is immutable after
+    /// creation (schema navigation needs no locks).
+    Tuple(BTreeMap<String, ObjectId>),
+    /// Set keyed by primary key.
+    Set(BTreeMap<u64, ObjectId>),
+}
+
+impl ObjKind {
+    /// Short kind name for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ObjKind::Atomic(_) => "atomic",
+            ObjKind::Tuple(_) => "tuple",
+            ObjKind::Set(_) => "set",
+        }
+    }
+}
+
+/// A stored object: type, page assignment and payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoredObject {
+    /// The object's type (built-in or user-defined encapsulated type).
+    pub type_id: TypeId,
+    /// The page the object lives on.
+    pub page: PageId,
+    /// Structural payload.
+    pub kind: ObjKind,
+}
+
+impl StoredObject {
+    /// Borrow the atomic value or fail with [`SemccError::WrongKind`].
+    pub fn atomic(&self, id: ObjectId) -> Result<&Value> {
+        match &self.kind {
+            ObjKind::Atomic(v) => Ok(v),
+            _ => Err(SemccError::WrongKind { object: id, expected: "atomic" }),
+        }
+    }
+
+    /// Mutably borrow the atomic value.
+    pub fn atomic_mut(&mut self, id: ObjectId) -> Result<&mut Value> {
+        match &mut self.kind {
+            ObjKind::Atomic(v) => Ok(v),
+            _ => Err(SemccError::WrongKind { object: id, expected: "atomic" }),
+        }
+    }
+
+    /// Borrow the tuple components.
+    pub fn tuple(&self, id: ObjectId) -> Result<&BTreeMap<String, ObjectId>> {
+        match &self.kind {
+            ObjKind::Tuple(t) => Ok(t),
+            _ => Err(SemccError::WrongKind { object: id, expected: "tuple" }),
+        }
+    }
+
+    /// Borrow the set members.
+    pub fn set(&self, id: ObjectId) -> Result<&BTreeMap<u64, ObjectId>> {
+        match &self.kind {
+            ObjKind::Set(s) => Ok(s),
+            _ => Err(SemccError::WrongKind { object: id, expected: "set" }),
+        }
+    }
+
+    /// Mutably borrow the set members.
+    pub fn set_mut(&mut self, id: ObjectId) -> Result<&mut BTreeMap<u64, ObjectId>> {
+        match &mut self.kind {
+            ObjKind::Set(s) => Ok(s),
+            _ => Err(SemccError::WrongKind { object: id, expected: "set" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atomic(v: i64) -> StoredObject {
+        StoredObject {
+            type_id: semcc_semantics::TYPE_ATOMIC,
+            page: PageId(0),
+            kind: ObjKind::Atomic(Value::Int(v)),
+        }
+    }
+
+    #[test]
+    fn accessors_enforce_kind() {
+        let mut a = atomic(1);
+        let id = ObjectId(7);
+        assert_eq!(a.atomic(id).unwrap(), &Value::Int(1));
+        *a.atomic_mut(id).unwrap() = Value::Int(2);
+        assert_eq!(a.atomic(id).unwrap(), &Value::Int(2));
+        assert!(a.tuple(id).is_err());
+        assert!(a.set(id).is_err());
+        assert!(a.set_mut(id).is_err());
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(ObjKind::Atomic(Value::Unit).kind_name(), "atomic");
+        assert_eq!(ObjKind::Tuple(BTreeMap::new()).kind_name(), "tuple");
+        assert_eq!(ObjKind::Set(BTreeMap::new()).kind_name(), "set");
+    }
+}

@@ -1,0 +1,146 @@
+//! Page assignment policies.
+//!
+//! Disk-based OODBs map objects (or the storage atoms of complex objects)
+//! onto pages; conventional concurrency control then locks those pages. The
+//! store reproduces that mapping so the page-level two-phase locking
+//! baseline has realistic units: objects created together are clustered on
+//! the same page, so an item tuple, its atomic components and its orders
+//! typically share pages — the source of false sharing under page locks.
+
+use semcc_semantics::PageId;
+use serde::{Deserialize, Serialize};
+
+/// How objects are assigned to pages at creation time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PagePolicy {
+    /// Every object gets its own page: page locking degenerates to object
+    /// locking (useful as an experimental control).
+    PagePerObject,
+    /// Sequential fill: each page holds up to `capacity` objects, in
+    /// creation order. Creation order therefore controls clustering.
+    Sequential {
+        /// Number of objects per page.
+        capacity: u32,
+    },
+}
+
+impl Default for PagePolicy {
+    fn default() -> Self {
+        // A realistic default: ~16 small objects per page.
+        PagePolicy::Sequential { capacity: 16 }
+    }
+}
+
+/// Allocation state for a [`PagePolicy`].
+#[derive(Clone, Debug)]
+pub struct PageAllocator {
+    policy: PagePolicy,
+    next_page: u64,
+    filled_on_current: u32,
+}
+
+impl PageAllocator {
+    /// Fresh allocator for a policy.
+    pub fn new(policy: PagePolicy) -> Self {
+        PageAllocator { policy, next_page: 0, filled_on_current: 0 }
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> PagePolicy {
+        self.policy
+    }
+
+    /// Assign a page to the next created object.
+    pub fn assign(&mut self) -> PageId {
+        match self.policy {
+            PagePolicy::PagePerObject => {
+                let p = PageId(self.next_page);
+                self.next_page += 1;
+                p
+            }
+            PagePolicy::Sequential { capacity } => {
+                let cap = capacity.max(1);
+                if self.filled_on_current >= cap {
+                    self.next_page += 1;
+                    self.filled_on_current = 0;
+                }
+                self.filled_on_current += 1;
+                PageId(self.next_page)
+            }
+        }
+    }
+
+    /// Start a fresh page regardless of remaining capacity (used to avoid
+    /// clustering unrelated neighbours, e.g. between two items).
+    pub fn break_cluster(&mut self) {
+        if let PagePolicy::Sequential { .. } = self.policy {
+            if self.filled_on_current > 0 {
+                self.next_page += 1;
+                self.filled_on_current = 0;
+            }
+        }
+    }
+
+    /// Number of pages allocated so far.
+    pub fn pages_used(&self) -> u64 {
+        if self.filled_on_current > 0 || matches!(self.policy, PagePolicy::PagePerObject) {
+            self.next_page + u64::from(self.filled_on_current > 0)
+        } else {
+            self.next_page
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_per_object_is_unique() {
+        let mut a = PageAllocator::new(PagePolicy::PagePerObject);
+        let p1 = a.assign();
+        let p2 = a.assign();
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn sequential_fills_to_capacity() {
+        let mut a = PageAllocator::new(PagePolicy::Sequential { capacity: 3 });
+        let pages: Vec<PageId> = (0..7).map(|_| a.assign()).collect();
+        assert_eq!(pages[0], pages[1]);
+        assert_eq!(pages[1], pages[2]);
+        assert_ne!(pages[2], pages[3]);
+        assert_eq!(pages[3], pages[5]);
+        assert_ne!(pages[5], pages[6]);
+    }
+
+    #[test]
+    fn capacity_zero_behaves_like_one() {
+        let mut a = PageAllocator::new(PagePolicy::Sequential { capacity: 0 });
+        assert_ne!(a.assign(), a.assign());
+    }
+
+    #[test]
+    fn break_cluster_starts_new_page() {
+        let mut a = PageAllocator::new(PagePolicy::Sequential { capacity: 10 });
+        let p1 = a.assign();
+        a.break_cluster();
+        let p2 = a.assign();
+        assert_ne!(p1, p2);
+        // Breaking an empty page is a no-op.
+        let mut b = PageAllocator::new(PagePolicy::Sequential { capacity: 10 });
+        b.break_cluster();
+        assert_eq!(b.assign(), PageId(0));
+    }
+
+    #[test]
+    fn pages_used_counts() {
+        let mut a = PageAllocator::new(PagePolicy::Sequential { capacity: 2 });
+        assert_eq!(a.pages_used(), 0);
+        a.assign();
+        assert_eq!(a.pages_used(), 1);
+        a.assign();
+        a.assign();
+        assert_eq!(a.pages_used(), 2);
+    }
+}

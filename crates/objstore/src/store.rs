@@ -1,0 +1,376 @@
+//! The in-memory object store.
+
+use crate::object::{ObjKind, StoredObject};
+use crate::pages::{PageAllocator, PagePolicy};
+use parking_lot::{Mutex, RwLock};
+use semcc_semantics::{ObjectId, PageId, Result, SemccError, Storage, TypeId, Value, TYPE_ATOMIC};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SHARD_COUNT: usize = 64;
+
+/// A sharded, latch-protected in-memory object store.
+///
+/// Each operation is individually atomic (a short latch on one shard);
+/// transactional isolation is provided by the lock manager above the store,
+/// never by the store itself.
+pub struct MemoryStore {
+    shards: Vec<RwLock<HashMap<ObjectId, StoredObject>>>,
+    next_id: AtomicU64,
+    allocator: Mutex<PageAllocator>,
+}
+
+impl MemoryStore {
+    /// Store with the default page policy.
+    pub fn new() -> Self {
+        Self::with_policy(PagePolicy::default())
+    }
+
+    /// Store with an explicit page policy.
+    pub fn with_policy(policy: PagePolicy) -> Self {
+        MemoryStore {
+            shards: (0..SHARD_COUNT).map(|_| RwLock::new(HashMap::new())).collect(),
+            // ObjectId(0) is the database pseudo object.
+            next_id: AtomicU64::new(1),
+            allocator: Mutex::new(PageAllocator::new(policy)),
+        }
+    }
+
+    fn shard(&self, o: ObjectId) -> &RwLock<HashMap<ObjectId, StoredObject>> {
+        &self.shards[(o.0 as usize) % SHARD_COUNT]
+    }
+
+    fn alloc_id(&self) -> ObjectId {
+        ObjectId(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn insert_object(&self, obj: StoredObject) -> ObjectId {
+        let id = self.alloc_id();
+        self.shard(id).write().insert(id, obj);
+        id
+    }
+
+    fn with_object<R>(&self, o: ObjectId, f: impl FnOnce(&StoredObject) -> Result<R>) -> Result<R> {
+        let shard = self.shard(o).read();
+        let obj = shard.get(&o).ok_or(SemccError::NoSuchObject(o))?;
+        f(obj)
+    }
+
+    fn with_object_mut<R>(
+        &self,
+        o: ObjectId,
+        f: impl FnOnce(&mut StoredObject) -> Result<R>,
+    ) -> Result<R> {
+        let mut shard = self.shard(o).write();
+        let obj = shard.get_mut(&o).ok_or(SemccError::NoSuchObject(o))?;
+        f(obj)
+    }
+
+    /// Force the next created object onto a fresh page (clustering control;
+    /// see [`PageAllocator::break_cluster`]).
+    pub fn break_cluster(&self) {
+        self.allocator.lock().break_cluster();
+    }
+
+    /// Create a tuple whose components are freshly created atomic objects.
+    /// Returns the tuple id and the component ids in input order.
+    pub fn create_tuple_with_atoms(
+        &self,
+        type_id: TypeId,
+        fields: &[(&str, Value)],
+    ) -> Result<(ObjectId, Vec<ObjectId>)> {
+        let mut ids = Vec::with_capacity(fields.len());
+        let mut named = Vec::with_capacity(fields.len());
+        for (name, v) in fields {
+            let id = self.create_atomic(TYPE_ATOMIC, v.clone())?;
+            ids.push(id);
+            named.push(((*name).to_owned(), id));
+        }
+        let t = self.create_tuple(type_id, named)?;
+        Ok((t, ids))
+    }
+
+    /// Number of live objects.
+    pub fn object_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Number of pages allocated so far.
+    pub fn pages_used(&self) -> u64 {
+        self.allocator.lock().pages_used()
+    }
+
+    /// The values of all atomic objects, in id order. This is the canonical
+    /// observable state used by the serializability validators.
+    pub fn atomic_state(&self) -> BTreeMap<ObjectId, Value> {
+        let mut out = BTreeMap::new();
+        for shard in &self.shards {
+            for (id, obj) in shard.read().iter() {
+                if let ObjKind::Atomic(v) = &obj.kind {
+                    out.insert(*id, v.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// The member maps of all set objects, in id order (also part of the
+    /// observable state: inserts/removes must be serializable too).
+    pub fn set_state(&self) -> BTreeMap<ObjectId, BTreeMap<u64, ObjectId>> {
+        let mut out = BTreeMap::new();
+        for shard in &self.shards {
+            for (id, obj) in shard.read().iter() {
+                if let ObjKind::Set(s) = &obj.kind {
+                    out.insert(*id, s.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Deep copy of the whole store (same object ids, same pages, same id
+    /// counter). Used by validators to re-execute transactions serially
+    /// from the initial state.
+    pub fn snapshot(&self) -> MemoryStore {
+        let store = MemoryStore {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| RwLock::new(s.read().clone()))
+                .collect(),
+            next_id: AtomicU64::new(self.next_id.load(Ordering::Relaxed)),
+            allocator: Mutex::new(self.allocator.lock().clone()),
+        };
+        store
+    }
+}
+
+impl Default for MemoryStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Storage for MemoryStore {
+    fn get(&self, o: ObjectId) -> Result<Value> {
+        self.with_object(o, |obj| obj.atomic(o).cloned())
+    }
+
+    fn put(&self, o: ObjectId, v: Value) -> Result<Value> {
+        self.with_object_mut(o, |obj| {
+            let slot = obj.atomic_mut(o)?;
+            Ok(std::mem::replace(slot, v))
+        })
+    }
+
+    fn set_select(&self, s: ObjectId, key: u64) -> Result<Option<ObjectId>> {
+        self.with_object(s, |obj| Ok(obj.set(s)?.get(&key).copied()))
+    }
+
+    fn set_insert(&self, s: ObjectId, key: u64, member: ObjectId) -> Result<()> {
+        self.with_object_mut(s, |obj| {
+            let set = obj.set_mut(s)?;
+            if set.contains_key(&key) {
+                return Err(SemccError::DuplicateKey(s, key));
+            }
+            set.insert(key, member);
+            Ok(())
+        })
+    }
+
+    fn set_remove(&self, s: ObjectId, key: u64) -> Result<Option<ObjectId>> {
+        self.with_object_mut(s, |obj| Ok(obj.set_mut(s)?.remove(&key)))
+    }
+
+    fn set_scan(&self, s: ObjectId) -> Result<Vec<(u64, ObjectId)>> {
+        self.with_object(s, |obj| Ok(obj.set(s)?.iter().map(|(k, m)| (*k, *m)).collect()))
+    }
+
+    fn field(&self, o: ObjectId, name: &str) -> Result<ObjectId> {
+        self.with_object(o, |obj| {
+            obj.tuple(o)?
+                .get(name)
+                .copied()
+                .ok_or_else(|| SemccError::NoSuchField(o, name.to_owned()))
+        })
+    }
+
+    fn type_of(&self, o: ObjectId) -> Result<TypeId> {
+        self.with_object(o, |obj| Ok(obj.type_id))
+    }
+
+    fn page_of(&self, o: ObjectId) -> Result<PageId> {
+        self.with_object(o, |obj| Ok(obj.page))
+    }
+
+    fn create_atomic(&self, type_id: TypeId, v: Value) -> Result<ObjectId> {
+        let page = self.allocator.lock().assign();
+        Ok(self.insert_object(StoredObject { type_id, page, kind: ObjKind::Atomic(v) }))
+    }
+
+    fn create_tuple(&self, type_id: TypeId, fields: Vec<(String, ObjectId)>) -> Result<ObjectId> {
+        for (_, f) in &fields {
+            // Fail fast on dangling components.
+            self.with_object(*f, |_| Ok(()))?;
+        }
+        let page = self.allocator.lock().assign();
+        let map: BTreeMap<String, ObjectId> = fields.into_iter().collect();
+        Ok(self.insert_object(StoredObject { type_id, page, kind: ObjKind::Tuple(map) }))
+    }
+
+    fn create_set(&self, type_id: TypeId) -> Result<ObjectId> {
+        let page = self.allocator.lock().assign();
+        Ok(self.insert_object(StoredObject { type_id, page, kind: ObjKind::Set(BTreeMap::new()) }))
+    }
+
+    fn delete(&self, o: ObjectId) -> Result<()> {
+        self.shard(o)
+            .write()
+            .remove(&o)
+            .map(|_| ())
+            .ok_or(SemccError::NoSuchObject(o))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcc_semantics::{TYPE_SET, TYPE_TUPLE};
+
+    #[test]
+    fn atomic_crud() {
+        let s = MemoryStore::new();
+        let o = s.create_atomic(TYPE_ATOMIC, Value::Int(1)).unwrap();
+        assert_eq!(s.get(o).unwrap(), Value::Int(1));
+        assert_eq!(s.put(o, Value::Int(2)).unwrap(), Value::Int(1), "put returns old value");
+        assert_eq!(s.get(o).unwrap(), Value::Int(2));
+        s.delete(o).unwrap();
+        assert_eq!(s.get(o).unwrap_err(), SemccError::NoSuchObject(o));
+        assert_eq!(s.delete(o).unwrap_err(), SemccError::NoSuchObject(o));
+    }
+
+    #[test]
+    fn object_zero_is_reserved() {
+        let s = MemoryStore::new();
+        let o = s.create_atomic(TYPE_ATOMIC, Value::Unit).unwrap();
+        assert!(o.0 >= 1, "ObjectId(0) is the database pseudo object");
+    }
+
+    #[test]
+    fn kind_confusion_is_rejected() {
+        let s = MemoryStore::new();
+        let a = s.create_atomic(TYPE_ATOMIC, Value::Int(1)).unwrap();
+        let set = s.create_set(TYPE_SET).unwrap();
+        assert!(matches!(s.set_scan(a), Err(SemccError::WrongKind { .. })));
+        assert!(matches!(s.get(set), Err(SemccError::WrongKind { .. })));
+        assert!(matches!(s.field(a, "x"), Err(SemccError::WrongKind { .. })));
+    }
+
+    #[test]
+    fn set_crud_and_duplicates() {
+        let s = MemoryStore::new();
+        let set = s.create_set(TYPE_SET).unwrap();
+        let m1 = s.create_atomic(TYPE_ATOMIC, Value::Int(1)).unwrap();
+        let m2 = s.create_atomic(TYPE_ATOMIC, Value::Int(2)).unwrap();
+        assert_eq!(s.set_select(set, 10).unwrap(), None);
+        s.set_insert(set, 10, m1).unwrap();
+        s.set_insert(set, 20, m2).unwrap();
+        assert_eq!(s.set_insert(set, 10, m2).unwrap_err(), SemccError::DuplicateKey(set, 10));
+        assert_eq!(s.set_select(set, 10).unwrap(), Some(m1));
+        assert_eq!(s.set_scan(set).unwrap(), vec![(10, m1), (20, m2)]);
+        assert_eq!(s.set_remove(set, 10).unwrap(), Some(m1));
+        assert_eq!(s.set_remove(set, 10).unwrap(), None);
+    }
+
+    #[test]
+    fn tuple_navigation() {
+        let s = MemoryStore::new();
+        let (t, ids) = s
+            .create_tuple_with_atoms(TYPE_TUPLE, &[("A", Value::Int(1)), ("B", Value::Int(2))])
+            .unwrap();
+        assert_eq!(s.field(t, "A").unwrap(), ids[0]);
+        assert_eq!(s.field(t, "B").unwrap(), ids[1]);
+        assert!(matches!(s.field(t, "C"), Err(SemccError::NoSuchField(_, _))));
+        assert_eq!(s.type_of(t).unwrap(), TYPE_TUPLE);
+        assert_eq!(s.get(ids[1]).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn tuple_rejects_dangling_components() {
+        let s = MemoryStore::new();
+        let err = s
+            .create_tuple(TYPE_TUPLE, vec![("X".into(), ObjectId(999))])
+            .unwrap_err();
+        assert_eq!(err, SemccError::NoSuchObject(ObjectId(999)));
+    }
+
+    #[test]
+    fn pages_cluster_sequentially() {
+        let s = MemoryStore::with_policy(PagePolicy::Sequential { capacity: 2 });
+        let a = s.create_atomic(TYPE_ATOMIC, Value::Unit).unwrap();
+        let b = s.create_atomic(TYPE_ATOMIC, Value::Unit).unwrap();
+        let c = s.create_atomic(TYPE_ATOMIC, Value::Unit).unwrap();
+        assert_eq!(s.page_of(a).unwrap(), s.page_of(b).unwrap());
+        assert_ne!(s.page_of(b).unwrap(), s.page_of(c).unwrap());
+        s.break_cluster();
+        let d = s.create_atomic(TYPE_ATOMIC, Value::Unit).unwrap();
+        assert_ne!(s.page_of(c).unwrap(), s.page_of(d).unwrap());
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let s = MemoryStore::new();
+        let o = s.create_atomic(TYPE_ATOMIC, Value::Int(1)).unwrap();
+        let snap = s.snapshot();
+        s.put(o, Value::Int(99)).unwrap();
+        assert_eq!(snap.get(o).unwrap(), Value::Int(1));
+        // Fresh ids continue from the same counter and do not collide.
+        let n1 = s.create_atomic(TYPE_ATOMIC, Value::Unit).unwrap();
+        let n2 = snap.create_atomic(TYPE_ATOMIC, Value::Unit).unwrap();
+        assert_eq!(n1, n2, "snapshot preserves the id counter for deterministic replay");
+    }
+
+    #[test]
+    fn atomic_and_set_state_capture() {
+        let s = MemoryStore::new();
+        let a = s.create_atomic(TYPE_ATOMIC, Value::Int(5)).unwrap();
+        let set = s.create_set(TYPE_SET).unwrap();
+        s.set_insert(set, 1, a).unwrap();
+        let st = s.atomic_state();
+        assert_eq!(st.get(&a), Some(&Value::Int(5)));
+        assert_eq!(st.len(), 1);
+        let ss = s.set_state();
+        assert_eq!(ss.get(&set).unwrap().get(&1), Some(&a));
+    }
+
+    #[test]
+    fn object_count_tracks_creation_and_deletion() {
+        let s = MemoryStore::new();
+        assert_eq!(s.object_count(), 0);
+        let o = s.create_atomic(TYPE_ATOMIC, Value::Unit).unwrap();
+        let _ = s.create_set(TYPE_SET).unwrap();
+        assert_eq!(s.object_count(), 2);
+        s.delete(o).unwrap();
+        assert_eq!(s.object_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_creation_yields_unique_ids() {
+        use std::sync::Arc;
+        let s = Arc::new(MemoryStore::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                (0..100)
+                    .map(|i| s.create_atomic(TYPE_ATOMIC, Value::Int(i)).unwrap())
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<ObjectId> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 800);
+        assert_eq!(s.object_count(), 800);
+    }
+}

@@ -1,0 +1,172 @@
+//! Model-based property tests: the store must behave like a reference
+//! model (BTreeMaps) under arbitrary operation sequences, and snapshots
+//! must be isolated.
+
+use proptest::prelude::*;
+use semcc_objstore::{MemoryStore, PagePolicy};
+use semcc_semantics::{ObjectId, SemccError, Storage, Value, TYPE_ATOMIC, TYPE_SET};
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    CreateAtomic(i64),
+    Get(usize),
+    Put(usize, i64),
+    Delete(usize),
+    SetInsert(u64, usize),
+    SetRemove(u64),
+    SetSelect(u64),
+    Scan,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<i64>().prop_map(Op::CreateAtomic),
+        (0usize..12).prop_map(Op::Get),
+        ((0usize..12), any::<i64>()).prop_map(|(i, v)| Op::Put(i, v)),
+        (0usize..12).prop_map(Op::Delete),
+        ((0u64..8), (0usize..12)).prop_map(|(k, i)| Op::SetInsert(k, i)),
+        (0u64..8).prop_map(Op::SetRemove),
+        (0u64..8).prop_map(Op::SetSelect),
+        Just(Op::Scan),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The store agrees with a simple model over arbitrary op sequences.
+    #[test]
+    fn store_matches_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let store = MemoryStore::new();
+        let set = store.create_set(TYPE_SET).unwrap();
+        let mut created: Vec<ObjectId> = Vec::new();
+        let mut model_atoms: BTreeMap<ObjectId, i64> = BTreeMap::new();
+        let mut model_set: BTreeMap<u64, ObjectId> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::CreateAtomic(v) => {
+                    let id = store.create_atomic(TYPE_ATOMIC, Value::Int(v)).unwrap();
+                    prop_assert!(!model_atoms.contains_key(&id), "ids never reused");
+                    created.push(id);
+                    model_atoms.insert(id, v);
+                }
+                Op::Get(i) => {
+                    if let Some(&id) = created.get(i) {
+                        match model_atoms.get(&id) {
+                            Some(v) => prop_assert_eq!(store.get(id).unwrap(), Value::Int(*v)),
+                            None => prop_assert_eq!(store.get(id).unwrap_err(), SemccError::NoSuchObject(id)),
+                        }
+                    }
+                }
+                Op::Put(i, v) => {
+                    if let Some(&id) = created.get(i) {
+                        if let Some(old) = model_atoms.get(&id).copied() {
+                            prop_assert_eq!(store.put(id, Value::Int(v)).unwrap(), Value::Int(old));
+                            model_atoms.insert(id, v);
+                        } else {
+                            prop_assert!(store.put(id, Value::Int(v)).is_err());
+                        }
+                    }
+                }
+                Op::Delete(i) => {
+                    if let Some(&id) = created.get(i) {
+                        if model_atoms.remove(&id).is_some() {
+                            store.delete(id).unwrap();
+                            // Also drop dangling set members referencing it.
+                            model_set.retain(|_, m| *m != id);
+                            let keys: Vec<u64> = store
+                                .set_scan(set)
+                                .unwrap()
+                                .into_iter()
+                                .filter(|(_, m)| *m == id)
+                                .map(|(k, _)| k)
+                                .collect();
+                            for k in keys {
+                                store.set_remove(set, k).unwrap();
+                            }
+                        } else {
+                            prop_assert!(store.delete(id).is_err());
+                        }
+                    }
+                }
+                Op::SetInsert(k, i) => {
+                    if let Some(&id) = created.get(i) {
+                        if !model_atoms.contains_key(&id) {
+                            continue;
+                        }
+                        let r = store.set_insert(set, k, id);
+                        if model_set.contains_key(&k) {
+                            prop_assert_eq!(r.unwrap_err(), SemccError::DuplicateKey(set, k));
+                        } else {
+                            r.unwrap();
+                            model_set.insert(k, id);
+                        }
+                    }
+                }
+                Op::SetRemove(k) => {
+                    prop_assert_eq!(store.set_remove(set, k).unwrap(), model_set.remove(&k));
+                }
+                Op::SetSelect(k) => {
+                    prop_assert_eq!(store.set_select(set, k).unwrap(), model_set.get(&k).copied());
+                }
+                Op::Scan => {
+                    let scanned: Vec<(u64, ObjectId)> = store.set_scan(set).unwrap();
+                    let expected: Vec<(u64, ObjectId)> = model_set.iter().map(|(k, m)| (*k, *m)).collect();
+                    prop_assert_eq!(scanned, expected, "scan is key-ordered");
+                }
+            }
+        }
+    }
+
+    /// Snapshots are fully isolated from subsequent mutations, in both
+    /// directions.
+    #[test]
+    fn snapshots_are_isolated(
+        initial in proptest::collection::vec(any::<i64>(), 1..10),
+        updates in proptest::collection::vec((0usize..10, any::<i64>()), 0..20),
+    ) {
+        let store = MemoryStore::new();
+        let ids: Vec<ObjectId> = initial
+            .iter()
+            .map(|v| store.create_atomic(TYPE_ATOMIC, Value::Int(*v)).unwrap())
+            .collect();
+        let snap = store.snapshot();
+        for (i, v) in &updates {
+            if let Some(&id) = ids.get(*i) {
+                store.put(id, Value::Int(*v)).unwrap();
+                snap.put(id, Value::Int(v.wrapping_add(1))).unwrap();
+            }
+        }
+        // The snapshot still agrees with `initial` after reverting its own
+        // writes; more simply: re-snapshot from scratch and compare shapes.
+        for (idx, &id) in ids.iter().enumerate() {
+            let in_snap = snap.get(id).unwrap();
+            let originally = Value::Int(initial[idx]);
+            let overwritten = updates.iter().any(|(i, _)| ids.get(*i) == Some(&id));
+            if !overwritten {
+                prop_assert_eq!(in_snap, originally);
+            }
+        }
+        prop_assert_eq!(store.object_count(), snap.object_count());
+    }
+
+    /// Page assignment: with capacity c, any c+1 consecutively created
+    /// objects span at most 2 pages, and page ids are monotone.
+    #[test]
+    fn page_assignment_is_dense_and_monotone(cap in 1u32..16, n in 1usize..60) {
+        let store = MemoryStore::with_policy(PagePolicy::Sequential { capacity: cap });
+        let ids: Vec<ObjectId> = (0..n)
+            .map(|i| store.create_atomic(TYPE_ATOMIC, Value::Int(i as i64)).unwrap())
+            .collect();
+        let pages: Vec<u64> = ids.iter().map(|id| store.page_of(*id).unwrap().0).collect();
+        for w in pages.windows(2) {
+            prop_assert!(w[1] == w[0] || w[1] == w[0] + 1, "monotone, dense: {:?}", pages);
+        }
+        for chunk in pages.chunks(cap as usize) {
+            let distinct: std::collections::BTreeSet<u64> = chunk.iter().copied().collect();
+            prop_assert!(distinct.len() <= 2);
+        }
+    }
+}

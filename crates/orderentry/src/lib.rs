@@ -1,0 +1,44 @@
+//! # semcc-orderentry
+//!
+//! The order-entry application of the paper's Section 2, built on the
+//! `semcc` stack: the object schema of Figure 1, the encapsulated types
+//! `Item` and `Order` with the compatibility matrices of Figures 2 and 3,
+//! the transaction types T1–T5 (plus an order-entry type T0 exercising
+//! `NewOrder`), and a parameterized workload generator.
+//!
+//! ## Schema (paper Figure 1)
+//!
+//! ```text
+//! DB
+//! └── Items : Set<Item>                         (primary key ItemNo)
+//!     └── Item = ⟨ItemNo, Price, QOH (quantity on hand),
+//!                 Orders : Set<Order>⟩          (primary key OrderNo)
+//!         └── Order = ⟨OrderNo, CustomerNo, Quantity, Status⟩
+//! ```
+//!
+//! `Status` is a **set of events** encoded as a bit mask (`shipped`,
+//! `paid`): `ChangeStatus` adds an event and deliberately "does not
+//! remember the ordering in which the events occurred" — that is what makes
+//! it commute with itself (paper Figure 3).
+//!
+//! ## Deviations from the paper (documented)
+//!
+//! * `NewOrder` takes the order number as a client-supplied argument (and
+//!   still returns it). The paper's version generates the number
+//!   internally; an internal counter would make two `NewOrder`s
+//!   order-sensitive in their return values, contradicting the printed
+//!   `ok` entry of Figure 2. Client-side surrogate generation is the
+//!   standard resolution and keeps serial replay deterministic.
+//! * `ShipOrder` reads `Quantity` through a `Get` child that Figure 4 does
+//!   not draw (the paper elides it); the blocking behaviour is unaffected.
+
+pub mod matrices;
+pub mod schema;
+pub mod txns;
+pub mod types;
+pub mod workload;
+
+pub use schema::{Database, DbParams, ItemInfo, OrderInfo};
+pub use txns::{Target, TxnSpec};
+pub use types::{build_catalog, build_catalog_hooked, ScenarioHook, StatusEvent, HOOK_SHIP_AFTER_CHANGE_STATUS, ITEM_METHODS, ORDER_METHODS};
+pub use workload::{MixWeights, Workload, WorkloadConfig, ZipfSampler};

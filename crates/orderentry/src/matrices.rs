@@ -1,0 +1,281 @@
+//! The compatibility matrices of the paper's Figures 2 and 3.
+//!
+//! **Figure 2 — object type `Item`** (method-level, state-independent):
+//!
+//! | ×            | NewOrder | ShipOrder | PayOrder | TotalPayment |
+//! |--------------|----------|-----------|----------|--------------|
+//! | NewOrder     | ok       | conflict  | conflict | conflict     |
+//! | ShipOrder    | conflict | conflict  | **ok**   | **ok**       |
+//! | PayOrder     | conflict | **ok**    | conflict | conflict     |
+//! | TotalPayment | conflict | **ok**    | conflict | ok           |
+//!
+//! Rationale, following the paper's definition of commutativity:
+//! `ShipOrder`/`PayOrder` commute because "the ordering of shipment and
+//! payment is irrelevant"; two `NewOrder`s commute because order-number
+//! assignment is order-insensitive (surrogates); `ShipOrder` commutes with
+//! `TotalPayment` — shipping changes the `shipped` event and QOH, neither
+//! of which the total over *paid* orders observes (the paper's Figure 7
+//! depends on exactly this pair being commutative); `PayOrder` and
+//! `NewOrder` conflict with `TotalPayment` conservatively; two
+//! `ShipOrder`s (or two `PayOrder`s) may target the same order, so the
+//! method-level entry must conservatively conflict.
+//!
+//! **Figure 3 — object type `Order`** (parameter-dependent):
+//! `ChangeStatus(e)` commutes with itself ("its semantics is to add
+//! another event to a set of events; it does not remember the ordering"),
+//! and with `TestStatus(e')` iff `e ≠ e'`; `TestStatus` pairs always
+//! commute.
+//!
+//! Extensions beyond the paper (marked): the inverse methods
+//! (`ClearStatus`, `RemoveOrder`) used for compensation, the encapsulated
+//! `CheckOrder` of Section 4.1, and an optional **parameter-aware** variant
+//! of the Item matrix that lets `ShipOrder(o)` / `ShipOrder(o')` (and the
+//! `PayOrder` analogue) commute when `o ≠ o'` — the refinement the paper
+//! explicitly permits.
+
+use crate::types::{
+    StatusEvent, ITEM_CHECK_ORDER, ITEM_NEW_ORDER, ITEM_PAY_ORDER, ITEM_REMOVE_ORDER,
+    ITEM_SHIP_ORDER, ITEM_TOTAL_PAYMENT, ORDER_CHANGE_STATUS, ORDER_CLEAR_STATUS,
+    ORDER_TEST_STATUS,
+};
+use semcc_semantics::{CompatibilityMatrix, Invocation};
+
+fn same_first_arg(a: &Invocation, b: &Invocation) -> bool {
+    match (a.args.first(), b.args.first()) {
+        (Some(x), Some(y)) => x == y,
+        _ => true, // malformed: conservative
+    }
+}
+
+/// Figure 3: the `Order` matrix.
+pub fn order_matrix() -> CompatibilityMatrix {
+    let mut m = CompatibilityMatrix::new();
+    // ChangeStatus commutes with itself (event-set semantics).
+    m.ok(ORDER_CHANGE_STATUS, ORDER_CHANGE_STATUS);
+    // ChangeStatus(e) vs TestStatus(e'): commute iff e ≠ e'.
+    m.when(ORDER_CHANGE_STATUS, ORDER_TEST_STATUS, |a, b| !same_first_arg(a, b));
+    // TestStatus is read-only.
+    m.ok(ORDER_TEST_STATUS, ORDER_TEST_STATUS);
+    // Extension: ClearStatus (compensation inverse of ChangeStatus).
+    // Removing different events commutes; removing vs adding the same
+    // event, or testing it, does not.
+    m.when(ORDER_CLEAR_STATUS, ORDER_CLEAR_STATUS, |a, b| !same_first_arg(a, b));
+    m.when(ORDER_CLEAR_STATUS, ORDER_CHANGE_STATUS, |a, b| !same_first_arg(a, b));
+    m.when(ORDER_CLEAR_STATUS, ORDER_TEST_STATUS, |a, b| !same_first_arg(a, b));
+    m
+}
+
+/// Figure 2: the `Item` matrix. With `param_aware = true`, the entries for
+/// `ShipOrder`/`ShipOrder` and `PayOrder`/`PayOrder` become "ok iff
+/// different order" (extension).
+pub fn item_matrix(param_aware: bool) -> CompatibilityMatrix {
+    let mut m = CompatibilityMatrix::new();
+
+    // --- Figure 2 proper -------------------------------------------------
+    m.ok(ITEM_NEW_ORDER, ITEM_NEW_ORDER);
+    m.conflict(ITEM_NEW_ORDER, ITEM_SHIP_ORDER);
+    m.conflict(ITEM_NEW_ORDER, ITEM_PAY_ORDER);
+    m.conflict(ITEM_NEW_ORDER, ITEM_TOTAL_PAYMENT);
+    if param_aware {
+        m.when(ITEM_SHIP_ORDER, ITEM_SHIP_ORDER, |a, b| !same_first_arg(a, b));
+        m.when(ITEM_PAY_ORDER, ITEM_PAY_ORDER, |a, b| !same_first_arg(a, b));
+    } else {
+        m.conflict(ITEM_SHIP_ORDER, ITEM_SHIP_ORDER);
+        m.conflict(ITEM_PAY_ORDER, ITEM_PAY_ORDER);
+    }
+    m.ok(ITEM_SHIP_ORDER, ITEM_PAY_ORDER); // "ordering of shipment and payment is irrelevant"
+    // TotalPayment only observes the `paid` event and Quantity of paid
+    // orders — shipping is invisible to it (the Figure-7 pair).
+    m.ok(ITEM_SHIP_ORDER, ITEM_TOTAL_PAYMENT);
+    m.conflict(ITEM_PAY_ORDER, ITEM_TOTAL_PAYMENT);
+    m.ok(ITEM_TOTAL_PAYMENT, ITEM_TOTAL_PAYMENT);
+
+    // --- Extensions ------------------------------------------------------
+    // RemoveOrder: conservative conflict with every update and read;
+    // removing different orders commutes.
+    m.when(ITEM_REMOVE_ORDER, ITEM_REMOVE_ORDER, |a, b| !same_first_arg(a, b));
+    m.conflict(ITEM_REMOVE_ORDER, ITEM_NEW_ORDER);
+    m.conflict(ITEM_REMOVE_ORDER, ITEM_SHIP_ORDER);
+    m.conflict(ITEM_REMOVE_ORDER, ITEM_PAY_ORDER);
+    m.conflict(ITEM_REMOVE_ORDER, ITEM_TOTAL_PAYMENT);
+    m.conflict(ITEM_REMOVE_ORDER, ITEM_CHECK_ORDER);
+
+    // CheckOrder(order, event): read-only; conflicts with the updater of
+    // the same event kind (ShipOrder ↔ shipped, PayOrder ↔ paid), like the
+    // TestStatus row of Figure 3 lifted to the Item level.
+    m.ok(ITEM_CHECK_ORDER, ITEM_CHECK_ORDER);
+    m.ok(ITEM_CHECK_ORDER, ITEM_TOTAL_PAYMENT);
+    m.conflict(ITEM_CHECK_ORDER, ITEM_NEW_ORDER);
+    m.when(ITEM_CHECK_ORDER, ITEM_SHIP_ORDER, |check, _ship| {
+        check.args.get(1).and_then(|v| v.as_int()) != Some(StatusEvent::Shipped.bit())
+    });
+    m.when(ITEM_CHECK_ORDER, ITEM_PAY_ORDER, |check, _pay| {
+        check.args.get(1).and_then(|v| v.as_int()) != Some(StatusEvent::Paid.bit())
+    });
+    m
+}
+
+/// One cell of a rendered matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cell {
+    /// Compatible.
+    Ok,
+    /// Conflict.
+    Conflict,
+}
+
+impl Cell {
+    fn label(self) -> &'static str {
+        match self {
+            Cell::Ok => "ok",
+            Cell::Conflict => "conflict",
+        }
+    }
+}
+
+/// Render a compatibility matrix as the paper prints it, by evaluating the
+/// spec on representative invocations.
+pub fn render(title: &str, labels: &[&str], probe: impl Fn(usize, usize) -> bool) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    let width = labels.iter().map(|l| l.len()).max().unwrap_or(8).max(8) + 2;
+    out.push_str(&format!("{:width$}", ""));
+    for l in labels {
+        out.push_str(&format!("{l:width$}"));
+    }
+    out.push('\n');
+    for (i, row) in labels.iter().enumerate() {
+        out.push_str(&format!("{row:width$}"));
+        for j in 0..labels.len() {
+            let cell = if probe(i, j) { Cell::Ok } else { Cell::Conflict };
+            out.push_str(&format!("{:width$}", cell.label()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcc_semantics::{CommutativitySpec, MethodId, ObjectId, TypeId, Value};
+
+    fn item_inv(m: MethodId, args: Vec<Value>) -> Invocation {
+        Invocation::user(ObjectId(1), TypeId(17), m, args)
+    }
+    fn order_inv(m: MethodId, event: StatusEvent) -> Invocation {
+        Invocation::user(ObjectId(2), TypeId(16), m, vec![event.value()])
+    }
+
+    /// The Figure-2 matrix, cell by cell.
+    #[test]
+    fn figure2_item_matrix() {
+        let m = item_matrix(false);
+        let probe = |a: MethodId, b: MethodId| {
+            m.commute(
+                &item_inv(a, vec![Value::Id(ObjectId(9))]),
+                &item_inv(b, vec![Value::Id(ObjectId(9))]),
+            )
+        };
+        use crate::types::*;
+        let expected = [
+            (ITEM_NEW_ORDER, ITEM_NEW_ORDER, true),
+            (ITEM_NEW_ORDER, ITEM_SHIP_ORDER, false),
+            (ITEM_NEW_ORDER, ITEM_PAY_ORDER, false),
+            (ITEM_NEW_ORDER, ITEM_TOTAL_PAYMENT, false),
+            (ITEM_SHIP_ORDER, ITEM_SHIP_ORDER, false),
+            (ITEM_SHIP_ORDER, ITEM_PAY_ORDER, true),
+            (ITEM_SHIP_ORDER, ITEM_TOTAL_PAYMENT, true),
+            (ITEM_PAY_ORDER, ITEM_PAY_ORDER, false),
+            (ITEM_PAY_ORDER, ITEM_TOTAL_PAYMENT, false),
+            (ITEM_TOTAL_PAYMENT, ITEM_TOTAL_PAYMENT, true),
+        ];
+        for (a, b, ok) in expected {
+            assert_eq!(probe(a, b), ok, "{a:?} vs {b:?}");
+            assert_eq!(probe(b, a), ok, "symmetry {a:?} vs {b:?}");
+        }
+    }
+
+    /// The Figure-3 matrix on all four instantiated rows/columns.
+    #[test]
+    fn figure3_order_matrix() {
+        let m = order_matrix();
+        use crate::types::*;
+        use StatusEvent::*;
+        let cs = |e| order_inv(ORDER_CHANGE_STATUS, e);
+        let ts = |e| order_inv(ORDER_TEST_STATUS, e);
+        // ChangeStatus commutes with itself regardless of events.
+        assert!(m.commute(&cs(Shipped), &cs(Shipped)));
+        assert!(m.commute(&cs(Shipped), &cs(Paid)));
+        // ChangeStatus(e) vs TestStatus(e).
+        assert!(!m.commute(&cs(Shipped), &ts(Shipped)));
+        assert!(!m.commute(&cs(Paid), &ts(Paid)));
+        // ChangeStatus(e) vs TestStatus(e'), e ≠ e' — the Figure-6 case.
+        assert!(m.commute(&cs(Shipped), &ts(Paid)));
+        assert!(m.commute(&cs(Paid), &ts(Shipped)));
+        // TestStatus read-only.
+        assert!(m.commute(&ts(Shipped), &ts(Paid)));
+        assert!(m.commute(&ts(Shipped), &ts(Shipped)));
+    }
+
+    #[test]
+    fn clear_status_extension_rows() {
+        let m = order_matrix();
+        use crate::types::*;
+        use StatusEvent::*;
+        let cs = |e: StatusEvent| order_inv(ORDER_CHANGE_STATUS, e);
+        let cls = |e: StatusEvent| order_inv(ORDER_CLEAR_STATUS, e);
+        let ts = |e: StatusEvent| order_inv(ORDER_TEST_STATUS, e);
+        assert!(!m.commute(&cls(Shipped), &cs(Shipped)));
+        assert!(m.commute(&cls(Shipped), &cs(Paid)));
+        assert!(!m.commute(&cls(Paid), &ts(Paid)));
+        assert!(m.commute(&cls(Paid), &ts(Shipped)));
+        assert!(m.commute(&cls(Paid), &cls(Shipped)));
+        assert!(!m.commute(&cls(Paid), &cls(Paid)));
+    }
+
+    #[test]
+    fn param_aware_variant_refines_ship_ship() {
+        let m = item_matrix(true);
+        use crate::types::*;
+        let ship = |o: u64| item_inv(ITEM_SHIP_ORDER, vec![Value::Id(ObjectId(o))]);
+        let pay = |o: u64| item_inv(ITEM_PAY_ORDER, vec![Value::Id(ObjectId(o))]);
+        assert!(m.commute(&ship(1), &ship(2)), "different orders commute");
+        assert!(!m.commute(&ship(1), &ship(1)), "same order conflicts");
+        assert!(m.commute(&pay(1), &pay(2)));
+        assert!(!m.commute(&pay(1), &pay(1)));
+        assert!(m.commute(&ship(1), &pay(1)), "Ship/Pay stays ok");
+    }
+
+    #[test]
+    fn check_order_event_sensitivity() {
+        let m = item_matrix(false);
+        use crate::types::*;
+        let check = |e: StatusEvent| {
+            item_inv(ITEM_CHECK_ORDER, vec![Value::Id(ObjectId(9)), e.value()])
+        };
+        let ship = item_inv(ITEM_SHIP_ORDER, vec![Value::Id(ObjectId(9))]);
+        let pay = item_inv(ITEM_PAY_ORDER, vec![Value::Id(ObjectId(9))]);
+        assert!(!m.commute(&check(StatusEvent::Shipped), &ship));
+        assert!(m.commute(&check(StatusEvent::Paid), &ship), "Figure-6 analogue");
+        assert!(!m.commute(&check(StatusEvent::Paid), &pay));
+        assert!(m.commute(&check(StatusEvent::Shipped), &pay));
+    }
+
+    #[test]
+    fn render_produces_table() {
+        let m = item_matrix(false);
+        use crate::types::*;
+        let methods = [ITEM_NEW_ORDER, ITEM_SHIP_ORDER, ITEM_PAY_ORDER, ITEM_TOTAL_PAYMENT];
+        let s = render("Figure 2", &["NewOrder", "ShipOrder", "PayOrder", "TotalPayment"], |i, j| {
+            m.commute(
+                &item_inv(methods[i], vec![Value::Id(ObjectId(9))]),
+                &item_inv(methods[j], vec![Value::Id(ObjectId(9))]),
+            )
+        });
+        assert!(s.contains("Figure 2"));
+        assert!(s.contains("conflict"));
+        assert!(s.contains("ok"));
+        assert_eq!(s.lines().count(), 6);
+    }
+}

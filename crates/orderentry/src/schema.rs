@@ -1,0 +1,267 @@
+//! Database construction: the object schema of the paper's Figure 1,
+//! populated with items and orders.
+
+use crate::types::{build_catalog_hooked, ScenarioHook};
+use semcc_objstore::{MemoryStore, PagePolicy};
+use semcc_semantics::{Catalog, ObjectId, Result, Storage, TypeId, Value, TYPE_SET};
+use std::sync::Arc;
+
+/// Construction parameters.
+#[derive(Clone, Debug)]
+pub struct DbParams {
+    /// Number of items.
+    pub n_items: usize,
+    /// Pre-populated orders per item.
+    pub orders_per_item: usize,
+    /// Initial quantity on hand per item.
+    pub initial_qoh: i64,
+    /// Price in cents (per item index, simple ramp).
+    pub base_price_cents: i64,
+    /// Page policy of the store (clustering matters for page locking).
+    pub page_policy: PagePolicy,
+    /// Use the parameter-aware variant of the Item matrix (extension).
+    pub param_aware_item_matrix: bool,
+}
+
+impl Default for DbParams {
+    fn default() -> Self {
+        DbParams {
+            n_items: 16,
+            orders_per_item: 4,
+            initial_qoh: 1_000_000,
+            base_price_cents: 100,
+            page_policy: PagePolicy::default(),
+            param_aware_item_matrix: false,
+        }
+    }
+}
+
+/// Handle to one pre-populated order.
+#[derive(Clone, Copy, Debug)]
+pub struct OrderInfo {
+    /// The order tuple object.
+    pub order: ObjectId,
+    /// Its primary key.
+    pub order_no: u64,
+    /// The `Status` atom (used by bypassing transactions).
+    pub status: ObjectId,
+    /// The `Quantity` atom.
+    pub quantity: ObjectId,
+    /// The ordered quantity.
+    pub qty: i64,
+}
+
+/// Handle to one item with its orders.
+#[derive(Clone, Debug)]
+pub struct ItemInfo {
+    /// The item tuple object.
+    pub item: ObjectId,
+    /// Its primary key.
+    pub item_no: u64,
+    /// The `QOH` atom.
+    pub qoh: ObjectId,
+    /// The `Price` atom.
+    pub price: ObjectId,
+    /// Price in cents.
+    pub price_cents: i64,
+    /// The `Orders` set object.
+    pub orders_set: ObjectId,
+    /// Pre-populated orders.
+    pub orders: Vec<OrderInfo>,
+}
+
+/// The populated order-entry database.
+pub struct Database {
+    /// The object store.
+    pub store: Arc<MemoryStore>,
+    /// The catalog with `Item` and `Order` registered.
+    pub catalog: Arc<Catalog>,
+    /// TypeId of `Item`.
+    pub item_type: TypeId,
+    /// TypeId of `Order`.
+    pub order_type: TypeId,
+    /// The top-level `Items` set.
+    pub items_set: ObjectId,
+    /// Handles to all items.
+    pub items: Vec<ItemInfo>,
+    /// First order number not yet used by the initial population.
+    pub next_order_no: u64,
+}
+
+impl Database {
+    /// Build and populate a database.
+    pub fn build(params: &DbParams) -> Result<Database> {
+        Self::build_with_hook(params, None)
+    }
+
+    /// [`Database::build`] with a scenario hook wired into the method
+    /// bodies (deterministic figure reproductions only).
+    pub fn build_with_hook(params: &DbParams, hook: Option<ScenarioHook>) -> Result<Database> {
+        let (catalog, item_type, order_type) =
+            build_catalog_hooked(params.param_aware_item_matrix, hook);
+        let store = Arc::new(MemoryStore::with_policy(params.page_policy));
+
+        let items_set = store.create_set(TYPE_SET)?;
+        let mut items = Vec::with_capacity(params.n_items);
+        let mut order_no: u64 = 1;
+
+        for i in 0..params.n_items {
+            // Cluster each item with its orders on its own page run —
+            // realistic physical design, and the false-sharing substrate
+            // for the page-locking baseline.
+            store.break_cluster();
+            let item_no = (i + 1) as u64;
+            let price_cents = params.base_price_cents + (i as i64) * 10;
+
+            let orders_set = store.create_set(TYPE_SET)?;
+            let item_no_atom =
+                store.create_atomic(semcc_semantics::TYPE_ATOMIC, Value::Int(item_no as i64))?;
+            let price_atom = store.create_atomic(semcc_semantics::TYPE_ATOMIC, Value::Int(price_cents))?;
+            let qoh_atom =
+                store.create_atomic(semcc_semantics::TYPE_ATOMIC, Value::Int(params.initial_qoh))?;
+            let item = store.create_tuple(
+                item_type,
+                vec![
+                    ("ItemNo".into(), item_no_atom),
+                    ("Price".into(), price_atom),
+                    ("QOH".into(), qoh_atom),
+                    ("Orders".into(), orders_set),
+                ],
+            )?;
+            let atoms = [item_no_atom, price_atom, qoh_atom];
+            store.set_insert(items_set, item_no, item)?;
+
+            let mut orders = Vec::with_capacity(params.orders_per_item);
+            for j in 0..params.orders_per_item {
+                let qty = 1 + (j as i64 % 5);
+                let no = order_no;
+                order_no += 1;
+                let (order, oatoms) = store.create_tuple_with_atoms(
+                    order_type,
+                    &[
+                        ("OrderNo", Value::Int(no as i64)),
+                        ("CustomerNo", Value::Int(1000 + no as i64)),
+                        ("Quantity", Value::Int(qty)),
+                        ("Status", Value::Int(0)),
+                    ],
+                )?;
+                store.set_insert(orders_set, no, order)?;
+                orders.push(OrderInfo {
+                    order,
+                    order_no: no,
+                    status: oatoms[3],
+                    quantity: oatoms[2],
+                    qty,
+                });
+            }
+
+            items.push(ItemInfo {
+                item,
+                item_no,
+                qoh: atoms[2],
+                price: atoms[1],
+                price_cents,
+                orders_set,
+                orders,
+            });
+        }
+
+        Ok(Database {
+            store,
+            catalog: Arc::new(catalog),
+            item_type,
+            order_type,
+            items_set,
+            items,
+            next_order_no: order_no,
+        })
+    }
+
+    /// Sum of `Price × Quantity` over the paid orders of an item, computed
+    /// directly on the store (oracle for `TotalPayment`).
+    pub fn oracle_total_payment(&self, item_idx: usize) -> Result<i64> {
+        let info = &self.items[item_idx];
+        let mut total = 0;
+        for (_no, order) in self.store.set_scan(info.orders_set)? {
+            let status_atom = self.store.field(order, "Status")?;
+            let status = self.store.get(status_atom)?.as_int().unwrap_or(0);
+            if status & crate::types::StatusEvent::Paid.bit() != 0 {
+                let qty_atom = self.store.field(order, "Quantity")?;
+                let qty = self.store.get(qty_atom)?.as_int().unwrap_or(0);
+                total += info.price_cents * qty;
+            }
+        }
+        Ok(total)
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Database({} items × {} orders)",
+            self.items.len(),
+            self.items.first().map(|i| i.orders.len()).unwrap_or(0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_populates_schema() {
+        let db = Database::build(&DbParams { n_items: 3, orders_per_item: 2, ..Default::default() }).unwrap();
+        assert_eq!(db.items.len(), 3);
+        assert_eq!(db.store.set_scan(db.items_set).unwrap().len(), 3);
+        for item in &db.items {
+            assert_eq!(db.store.set_scan(item.orders_set).unwrap().len(), 2);
+            assert_eq!(db.store.type_of(item.item).unwrap(), db.item_type);
+            assert_eq!(db.store.get(item.qoh).unwrap(), Value::Int(1_000_000));
+            for o in &item.orders {
+                assert_eq!(db.store.type_of(o.order).unwrap(), db.order_type);
+                assert_eq!(db.store.get(o.status).unwrap(), Value::Int(0), "status 'new'");
+                assert_eq!(db.store.get(o.quantity).unwrap(), Value::Int(o.qty));
+            }
+        }
+        // Order numbers are globally unique.
+        let mut nos: Vec<u64> = db.items.iter().flat_map(|i| i.orders.iter().map(|o| o.order_no)).collect();
+        nos.sort();
+        nos.dedup();
+        assert_eq!(nos.len(), 6);
+        assert_eq!(db.next_order_no, 7);
+    }
+
+    #[test]
+    fn items_are_clustered_on_distinct_pages() {
+        let db = Database::build(&DbParams {
+            n_items: 2,
+            orders_per_item: 1,
+            page_policy: PagePolicy::Sequential { capacity: 64 },
+            ..Default::default()
+        })
+        .unwrap();
+        let p0 = db.store.page_of(db.items[0].item).unwrap();
+        let p1 = db.store.page_of(db.items[1].item).unwrap();
+        assert_ne!(p0, p1, "break_cluster separates items");
+        // An item's own orders share its page run.
+        let po = db.store.page_of(db.items[0].orders[0].order).unwrap();
+        assert_eq!(p0, po);
+    }
+
+    #[test]
+    fn oracle_total_payment_counts_only_paid() {
+        let db = Database::build(&DbParams { n_items: 1, orders_per_item: 3, ..Default::default() }).unwrap();
+        assert_eq!(db.oracle_total_payment(0).unwrap(), 0);
+        let item = &db.items[0];
+        // Mark order 0 paid directly.
+        db.store
+            .put(item.orders[0].status, Value::Int(crate::types::StatusEvent::Paid.bit()))
+            .unwrap();
+        assert_eq!(
+            db.oracle_total_payment(0).unwrap(),
+            item.price_cents * item.orders[0].qty
+        );
+    }
+}

@@ -1,0 +1,269 @@
+//! The transaction types of the paper's Section 2.3 (T1–T5), an additional
+//! order-entry type T0 exercising `NewOrder`, and the encapsulated
+//! (non-bypassing) variants of the status checks.
+//!
+//! A [`TxnSpec`] is a *deterministic* program over pre-resolved object ids
+//! (the paper: "we will omit the necessary Select operations … and will
+//! rather refer directly to object-ids"). Determinism — the same spec
+//! executed serially on the same state produces the same result — is what
+//! the state-equivalence serializability oracle relies on.
+
+use crate::types::{StatusEvent, ITEM_CHECK_ORDER, ITEM_NEW_ORDER, ITEM_PAY_ORDER, ITEM_SHIP_ORDER, ITEM_TOTAL_PAYMENT};
+use semcc_core::TransactionProgram;
+use semcc_semantics::{Invocation, MethodContext, ObjectId, Result, TypeId, Value};
+
+/// A pre-resolved `(item, order)` pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Target {
+    /// The item object.
+    pub item: ObjectId,
+    /// The order object (a subobject of the item).
+    pub order: ObjectId,
+}
+
+/// One of the paper's transaction types, ready to execute.
+#[derive(Clone, Debug)]
+pub enum TxnSpec {
+    /// T0 (extension): enter new orders for the given items.
+    NewOrders {
+        /// `(item, fresh order number)` pairs.
+        entries: Vec<(ObjectId, u64)>,
+        /// Customer number.
+        customer: i64,
+        /// Ordered quantity.
+        quantity: i64,
+    },
+    /// T1: "ship two orders for two different items to a customer".
+    Ship(Vec<Target>),
+    /// T2: "record a customer's payment of two orders".
+    Pay(Vec<Target>),
+    /// T3: "check the shipment of two orders" — invokes `TestStatus`
+    /// **directly on the orders** (bypassing the items) when `bypass`,
+    /// otherwise through the encapsulated `Item::CheckOrder`.
+    CheckShipped {
+        /// The orders to check.
+        targets: Vec<Target>,
+        /// Bypass the Item encapsulation (the paper's T3 does).
+        bypass: bool,
+    },
+    /// T4: "check the payment of two orders" (same bypass choice).
+    CheckPaid {
+        /// The orders to check.
+        targets: Vec<Target>,
+        /// Bypass the Item encapsulation (the paper's T4 does).
+        bypass: bool,
+    },
+    /// T5: "compute the total payment for an item".
+    Total(ObjectId),
+}
+
+impl TxnSpec {
+    /// The paper's name for this transaction type.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TxnSpec::NewOrders { .. } => "T0",
+            TxnSpec::Ship(_) => "T1",
+            TxnSpec::Pay(_) => "T2",
+            TxnSpec::CheckShipped { .. } => "T3",
+            TxnSpec::CheckPaid { .. } => "T4",
+            TxnSpec::Total(_) => "T5",
+        }
+    }
+
+    /// Whether the transaction may update the database.
+    pub fn is_update(&self) -> bool {
+        matches!(self, TxnSpec::NewOrders { .. } | TxnSpec::Ship(_) | TxnSpec::Pay(_))
+    }
+
+    fn item_call(
+        ctx: &mut dyn MethodContext,
+        item: ObjectId,
+        method: semcc_semantics::MethodId,
+        args: Vec<Value>,
+    ) -> Result<Value> {
+        let t: TypeId = ctx.type_of(item)?;
+        ctx.invoke(Invocation::user(item, t, method, args))
+    }
+
+    fn check(ctx: &mut dyn MethodContext, target: &Target, event: StatusEvent, bypass: bool) -> Result<Value> {
+        if bypass {
+            // Directly on the Order object: TestStatus(o, event).
+            ctx.call(target.order, "TestStatus", vec![event.value()])
+        } else {
+            // Through the item: CheckOrder(i, o, event).
+            Self::item_call(
+                ctx,
+                target.item,
+                ITEM_CHECK_ORDER,
+                vec![Value::Id(target.order), event.value()],
+            )
+        }
+    }
+}
+
+impl TransactionProgram for TxnSpec {
+    fn label(&self) -> String {
+        self.kind().to_owned()
+    }
+
+    fn run(&self, ctx: &mut dyn MethodContext) -> Result<Value> {
+        match self {
+            TxnSpec::NewOrders { entries, customer, quantity } => {
+                let mut out = Vec::new();
+                for (item, order_no) in entries {
+                    out.push(Self::item_call(
+                        ctx,
+                        *item,
+                        ITEM_NEW_ORDER,
+                        vec![Value::Int(*customer), Value::Int(*quantity), Value::Int(*order_no as i64)],
+                    )?);
+                }
+                Ok(Value::List(out))
+            }
+            TxnSpec::Ship(targets) => {
+                for t in targets {
+                    Self::item_call(ctx, t.item, ITEM_SHIP_ORDER, vec![Value::Id(t.order)])?;
+                }
+                Ok(Value::Unit)
+            }
+            TxnSpec::Pay(targets) => {
+                for t in targets {
+                    Self::item_call(ctx, t.item, ITEM_PAY_ORDER, vec![Value::Id(t.order)])?;
+                }
+                Ok(Value::Unit)
+            }
+            TxnSpec::CheckShipped { targets, bypass } => {
+                let mut out = Vec::new();
+                for t in targets {
+                    out.push(Self::check(ctx, t, StatusEvent::Shipped, *bypass)?);
+                }
+                Ok(Value::List(out))
+            }
+            TxnSpec::CheckPaid { targets, bypass } => {
+                let mut out = Vec::new();
+                for t in targets {
+                    out.push(Self::check(ctx, t, StatusEvent::Paid, *bypass)?);
+                }
+                Ok(Value::List(out))
+            }
+            TxnSpec::Total(item) => Self::item_call(ctx, *item, ITEM_TOTAL_PAYMENT, vec![]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Database, DbParams};
+    use semcc_core::Engine;
+    use semcc_semantics::Storage;
+    use std::sync::Arc;
+
+    fn setup() -> (Database, Arc<Engine>) {
+        let db = Database::build(&DbParams { n_items: 2, orders_per_item: 2, ..Default::default() }).unwrap();
+        let engine = Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog)).build();
+        (db, engine)
+    }
+
+    fn target(db: &Database, i: usize, o: usize) -> Target {
+        Target { item: db.items[i].item, order: db.items[i].orders[o].order }
+    }
+
+    #[test]
+    fn t1_ship_updates_status_and_qoh() {
+        let (db, engine) = setup();
+        let spec = TxnSpec::Ship(vec![target(&db, 0, 0), target(&db, 1, 0)]);
+        assert_eq!(spec.kind(), "T1");
+        assert!(spec.is_update());
+        engine.execute(&spec).unwrap();
+        let s = db.store.get(db.items[0].orders[0].status).unwrap();
+        assert_eq!(s, Value::Int(StatusEvent::Shipped.bit()));
+        let qoh = db.store.get(db.items[0].qoh).unwrap().as_int().unwrap();
+        assert_eq!(qoh, 1_000_000 - db.items[0].orders[0].qty);
+    }
+
+    #[test]
+    fn t2_pay_then_t5_total() {
+        let (db, engine) = setup();
+        engine
+            .execute(&TxnSpec::Pay(vec![target(&db, 0, 0), target(&db, 0, 1)]))
+            .unwrap();
+        let out = engine.execute(&TxnSpec::Total(db.items[0].item)).unwrap();
+        let expected = db.items[0].price_cents * (db.items[0].orders[0].qty + db.items[0].orders[1].qty);
+        assert_eq!(out.value, Value::Money(expected));
+        assert_eq!(db.oracle_total_payment(0).unwrap(), expected);
+    }
+
+    #[test]
+    fn t3_t4_checks_in_both_variants() {
+        let (db, engine) = setup();
+        engine.execute(&TxnSpec::Ship(vec![target(&db, 0, 0)])).unwrap();
+        for bypass in [true, false] {
+            let out = engine
+                .execute(&TxnSpec::CheckShipped { targets: vec![target(&db, 0, 0), target(&db, 0, 1)], bypass })
+                .unwrap();
+            assert_eq!(out.value, Value::List(vec![Value::Bool(true), Value::Bool(false)]));
+            let out = engine
+                .execute(&TxnSpec::CheckPaid { targets: vec![target(&db, 0, 0)], bypass })
+                .unwrap();
+            assert_eq!(out.value, Value::List(vec![Value::Bool(false)]));
+        }
+    }
+
+    #[test]
+    fn t0_new_orders_become_visible_to_total() {
+        let (db, engine) = setup();
+        let spec = TxnSpec::NewOrders {
+            entries: vec![(db.items[0].item, db.next_order_no)],
+            customer: 7,
+            quantity: 3,
+        };
+        let out = engine.execute(&spec).unwrap();
+        assert_eq!(out.value, Value::List(vec![Value::Int(db.next_order_no as i64)]));
+        assert_eq!(db.store.set_scan(db.items[0].orders_set).unwrap().len(), 3);
+
+        // Pay the new order through its id, then Total sees it.
+        let new_order = db.store.set_select(db.items[0].orders_set, db.next_order_no).unwrap().unwrap();
+        engine
+            .execute(&TxnSpec::Pay(vec![Target { item: db.items[0].item, order: new_order }]))
+            .unwrap();
+        let out = engine.execute(&TxnSpec::Total(db.items[0].item)).unwrap();
+        assert_eq!(out.value, Value::Money(db.items[0].price_cents * 3));
+    }
+
+    #[test]
+    fn aborted_ship_is_fully_compensated() {
+        let (db, engine) = setup();
+        // A program that ships and then aborts.
+        let t = target(&db, 0, 0);
+        let prog = semcc_core::FnProgram::new("ship-abort", move |ctx: &mut dyn MethodContext| {
+            let ty = ctx.type_of(t.item)?;
+            ctx.invoke(Invocation::user(t.item, ty, ITEM_SHIP_ORDER, vec![Value::Id(t.order)]))?;
+            Err(semcc_semantics::SemccError::Aborted("test".into()))
+        });
+        let _ = engine.execute(&prog).unwrap_err();
+        assert_eq!(db.store.get(db.items[0].orders[0].status).unwrap(), Value::Int(0));
+        assert_eq!(db.store.get(db.items[0].qoh).unwrap(), Value::Int(1_000_000));
+    }
+
+    #[test]
+    fn aborted_new_order_is_removed_and_objects_deleted() {
+        let (db, engine) = setup();
+        let before = db.store.object_count();
+        let item = db.items[0].item;
+        let no = db.next_order_no;
+        let prog = semcc_core::FnProgram::new("new-abort", move |ctx: &mut dyn MethodContext| {
+            let ty = ctx.type_of(item)?;
+            ctx.invoke(Invocation::user(
+                item,
+                ty,
+                ITEM_NEW_ORDER,
+                vec![Value::Int(1), Value::Int(1), Value::Int(no as i64)],
+            ))?;
+            Err(semcc_semantics::SemccError::Aborted("test".into()))
+        });
+        let _ = engine.execute(&prog).unwrap_err();
+        assert_eq!(db.store.set_scan(db.items[0].orders_set).unwrap().len(), 2);
+        assert_eq!(db.store.object_count(), before, "created objects garbage-collected");
+    }
+}

@@ -1,0 +1,380 @@
+//! The encapsulated types `Item` and `Order`: method identifiers, bodies,
+//! compensations and registration.
+//!
+//! Compensation strategy (paper Section 3 requires committed
+//! subtransactions to be compensated by inverse operations):
+//!
+//! * `ChangeStatus` / `ClearStatus` declare **semantic inverses** built from
+//!   the status value observed before the update (stashed by the body).
+//!   This matters under Case-1 concurrency: another transaction may have
+//!   OR-ed its own event into the same status atom in the meantime, so a
+//!   physical restore would erase it — clearing exactly the added bit does
+//!   not.
+//! * Every other update method uses **structural compensation** (inverse of
+//!   the children, in reverse): sound here because every method pair that
+//!   touches the same leaves non-commutatively conflicts in the Figure-2
+//!   matrix and is therefore blocked until top-level commit.
+
+use semcc_semantics::{
+    Catalog, CompensationFn, Invocation, MethodContext, MethodDef, MethodId, Result, SemccError,
+    TypeDef, TypeId, TypeKind, Value,
+};
+use std::sync::Arc;
+
+use crate::matrices;
+
+/// Test instrumentation: a callback invoked at named points inside method
+/// bodies (used by the deterministic figure reproductions to hold a
+/// subtransaction open at a precise point, e.g. Figure 7's snapshot
+/// "ChangeStatus completed, ShipOrder not yet"). Production databases pass
+/// `None`; the hook has no semantic effect.
+pub type ScenarioHook = Arc<dyn Fn(&str) + Send + Sync>;
+
+/// Hook point inside `ShipOrder`, right after `ChangeStatus` completed and
+/// before the QOH update (the paper's Figure-7 moment).
+pub const HOOK_SHIP_AFTER_CHANGE_STATUS: &str = "ship_order.after_change_status";
+
+/// The status events of an order ("the status of an order can be 'new',
+/// 'shipped', 'paid', or 'shipped&paid'").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StatusEvent {
+    /// The ordered quantity was shipped to the customer.
+    Shipped,
+    /// The customer paid the order.
+    Paid,
+}
+
+impl StatusEvent {
+    /// Bit mask value.
+    pub fn bit(self) -> i64 {
+        match self {
+            StatusEvent::Shipped => 1,
+            StatusEvent::Paid => 2,
+        }
+    }
+
+    /// As an invocation argument.
+    pub fn value(self) -> Value {
+        Value::Int(self.bit())
+    }
+
+    /// Parse from an argument.
+    pub fn from_bit(v: i64) -> Result<Self> {
+        match v {
+            1 => Ok(StatusEvent::Shipped),
+            2 => Ok(StatusEvent::Paid),
+            _ => Err(SemccError::BadArguments(format!("unknown status event {v}"))),
+        }
+    }
+
+    /// Display name as in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            StatusEvent::Shipped => "shipped",
+            StatusEvent::Paid => "paid",
+        }
+    }
+}
+
+/// Method names of type `Order`, index = [`MethodId`].
+pub const ORDER_METHODS: [&str; 3] = ["ChangeStatus", "TestStatus", "ClearStatus"];
+/// `Order::ChangeStatus(event)` — record that an event occurred.
+pub const ORDER_CHANGE_STATUS: MethodId = MethodId(0);
+/// `Order::TestStatus(event) → Bool` — has the event occurred?
+pub const ORDER_TEST_STATUS: MethodId = MethodId(1);
+/// `Order::ClearStatus(event)` — inverse of `ChangeStatus` (compensation).
+pub const ORDER_CLEAR_STATUS: MethodId = MethodId(2);
+
+/// Method names of type `Item`, index = [`MethodId`].
+pub const ITEM_METHODS: [&str; 6] =
+    ["NewOrder", "ShipOrder", "PayOrder", "TotalPayment", "RemoveOrder", "CheckOrder"];
+/// `Item::NewOrder(customer, qty, orderNo) → Int` — enter a new order.
+pub const ITEM_NEW_ORDER: MethodId = MethodId(0);
+/// `Item::ShipOrder(order) ` — ship: add `shipped`, decrement QOH.
+pub const ITEM_SHIP_ORDER: MethodId = MethodId(1);
+/// `Item::PayOrder(order)` — record the customer's payment.
+pub const ITEM_PAY_ORDER: MethodId = MethodId(2);
+/// `Item::TotalPayment() → Money` — total value of the paid orders.
+pub const ITEM_TOTAL_PAYMENT: MethodId = MethodId(3);
+/// `Item::RemoveOrder(orderNo) → Id|Unit` — remove an order (inverse of
+/// `NewOrder`; not in the paper).
+pub const ITEM_REMOVE_ORDER: MethodId = MethodId(4);
+/// `Item::CheckOrder(order, event) → Bool` — encapsulated status check
+/// (the alternative to bypassing described in Section 4.1).
+pub const ITEM_CHECK_ORDER: MethodId = MethodId(5);
+
+fn body<F>(f: F) -> Arc<dyn semcc_semantics::MethodBody>
+where
+    F: Fn(&mut dyn MethodContext, &Invocation) -> Result<Value> + Send + Sync + 'static,
+{
+    Arc::new(f)
+}
+
+/// `ChangeStatus(o, event)`: read the event set, add the event. Stash the
+/// old status for the semantic compensation.
+fn change_status_body(ctx: &mut dyn MethodContext, inv: &Invocation) -> Result<Value> {
+    let event = inv.arg_int(0)?;
+    let status = ctx.field(inv.object, "Status")?;
+    let old = ctx.get(status)?.as_int().unwrap_or(0);
+    ctx.stash(Value::Int(old));
+    ctx.put(status, Value::Int(old | event))?;
+    Ok(Value::Unit)
+}
+
+/// `TestStatus(o, event)`: has the event occurred?
+fn test_status_body(ctx: &mut dyn MethodContext, inv: &Invocation) -> Result<Value> {
+    let event = inv.arg_int(0)?;
+    let status = ctx.field(inv.object, "Status")?;
+    let s = ctx.get(status)?.as_int().unwrap_or(0);
+    Ok(Value::Bool(s & event != 0))
+}
+
+/// `ClearStatus(o, event)`: remove the event (compensation of
+/// `ChangeStatus`).
+fn clear_status_body(ctx: &mut dyn MethodContext, inv: &Invocation) -> Result<Value> {
+    let event = inv.arg_int(0)?;
+    let status = ctx.field(inv.object, "Status")?;
+    let old = ctx.get(status)?.as_int().unwrap_or(0);
+    ctx.stash(Value::Int(old));
+    ctx.put(status, Value::Int(old & !event))?;
+    Ok(Value::Unit)
+}
+
+/// Register the `Order` type.
+fn register_order(catalog: &mut Catalog) -> TypeId {
+    let change_comp: Arc<CompensationFn> = Arc::new(|inv, _ret, stash| {
+        let event = inv.args.first()?.as_int()?;
+        let old = stash.first()?.as_int()?;
+        if old & event == 0 {
+            // We newly added the bit: clear exactly it.
+            Some(Invocation::user(inv.object, inv.type_id, ORDER_CLEAR_STATUS, inv.args.clone()))
+        } else {
+            // Idempotent re-add: nothing to undo.
+            None
+        }
+    });
+    let clear_comp: Arc<CompensationFn> = Arc::new(|inv, _ret, stash| {
+        let event = inv.args.first()?.as_int()?;
+        let old = stash.first()?.as_int()?;
+        if old & event != 0 {
+            Some(Invocation::user(inv.object, inv.type_id, ORDER_CHANGE_STATUS, inv.args.clone()))
+        } else {
+            None
+        }
+    });
+
+    catalog.register_type(TypeDef {
+        name: "Order".into(),
+        kind: TypeKind::Encapsulated,
+        methods: vec![
+            MethodDef {
+                name: "ChangeStatus".into(),
+                body: Some(body(change_status_body)),
+                compensation: Some(change_comp),
+                updates: true,
+            },
+            MethodDef {
+                name: "TestStatus".into(),
+                body: Some(body(test_status_body)),
+                compensation: None,
+                updates: false,
+            },
+            MethodDef {
+                name: "ClearStatus".into(),
+                body: Some(body(clear_status_body)),
+                compensation: Some(clear_comp),
+                updates: true,
+            },
+        ],
+        spec: Arc::new(matrices::order_matrix()),
+    })
+}
+
+/// `NewOrder(i, customer, qty, orderNo)`: create the order tuple and insert
+/// it into the item's orders.
+fn new_order_body(ctx: &mut dyn MethodContext, inv: &Invocation) -> Result<Value> {
+    let customer = inv.arg_int(0)?;
+    let qty = inv.arg_int(1)?;
+    let order_no = inv.arg_int(2)?;
+    let order_type = ctx
+        .catalog()
+        .type_by_name("Order")
+        .ok_or_else(|| SemccError::Internal("Order type not registered".into()))?;
+
+    let no = ctx.create_atomic(Value::Int(order_no))?;
+    let cust = ctx.create_atomic(Value::Int(customer))?;
+    let quantity = ctx.create_atomic(Value::Int(qty))?;
+    let status = ctx.create_atomic(Value::Int(0))?; // "new"
+    let order = ctx.create_tuple(
+        order_type,
+        vec![
+            ("OrderNo".into(), no),
+            ("CustomerNo".into(), cust),
+            ("Quantity".into(), quantity),
+            ("Status".into(), status),
+        ],
+    )?;
+    let orders = ctx.field(inv.object, "Orders")?;
+    ctx.insert(orders, order_no as u64, order)?;
+    Ok(Value::Int(order_no))
+}
+
+/// `ShipOrder(i, order)`: add `shipped` to the order status and decrement
+/// the item's quantity on hand (paper Figure 4's subtree, plus the elided
+/// `Get(Quantity)`).
+fn ship_order_body_hooked(hook: Option<ScenarioHook>) -> Arc<dyn semcc_semantics::MethodBody> {
+    body(move |ctx: &mut dyn MethodContext, inv: &Invocation| {
+        let order = inv.arg_id(0)?;
+        ctx.call(order, "ChangeStatus", vec![StatusEvent::Shipped.value()])?;
+        if let Some(h) = &hook {
+            h(HOOK_SHIP_AFTER_CHANGE_STATUS);
+        }
+        let qty = ctx.get_field(order, "Quantity")?.as_int().unwrap_or(0);
+        let qoh = ctx.field(inv.object, "QOH")?;
+        let on_hand = ctx.get(qoh)?.as_int().unwrap_or(0);
+        ctx.put(qoh, Value::Int(on_hand - qty))?;
+        Ok(Value::Unit)
+    })
+}
+
+/// `PayOrder(i, order)`: record the payment.
+fn pay_order_body(ctx: &mut dyn MethodContext, inv: &Invocation) -> Result<Value> {
+    let order = inv.arg_id(0)?;
+    ctx.call(order, "ChangeStatus", vec![StatusEvent::Paid.value()])?;
+    Ok(Value::Unit)
+}
+
+/// `TotalPayment(i)`: total value (price × quantity) of the already-paid
+/// orders. **Bypasses** the `Order` encapsulation by reading the status
+/// atoms directly (paper footnote 4: "for efficiency reasons, or because
+/// TotalPayment was implemented before the TestStatus method was added").
+/// The read of `Quantity` is state-dependent: it only happens for paid
+/// orders — the dynamic tree shape the paper points out.
+fn total_payment_body(ctx: &mut dyn MethodContext, inv: &Invocation) -> Result<Value> {
+    let price = ctx.get_field(inv.object, "Price")?.as_int().unwrap_or(0);
+    let orders = ctx.field(inv.object, "Orders")?;
+    let mut total = 0i64;
+    for (_no, order) in ctx.scan(orders)? {
+        let status_atom = ctx.field(order, "Status")?;
+        let status = ctx.get(status_atom)?.as_int().unwrap_or(0);
+        if status & StatusEvent::Paid.bit() != 0 {
+            let qty = ctx.get_field(order, "Quantity")?.as_int().unwrap_or(0);
+            total += price * qty;
+        }
+    }
+    Ok(Value::Money(total))
+}
+
+/// `RemoveOrder(i, orderNo)`: remove the order from the item's set.
+fn remove_order_body(ctx: &mut dyn MethodContext, inv: &Invocation) -> Result<Value> {
+    let order_no = inv.arg_int(0)?;
+    let orders = ctx.field(inv.object, "Orders")?;
+    Ok(match ctx.remove(orders, order_no as u64)? {
+        Some(o) => Value::Id(o),
+        None => Value::Unit,
+    })
+}
+
+/// `CheckOrder(i, order, event)`: the *encapsulated* status check of
+/// Section 4.1 — invoking it on the item makes the Figure-2 conflict with
+/// `ShipOrder` detectable without retained locks.
+fn check_order_body(ctx: &mut dyn MethodContext, inv: &Invocation) -> Result<Value> {
+    let order = inv.arg_id(0)?;
+    let event = inv.arg_int(1)?;
+    ctx.call(order, "TestStatus", vec![Value::Int(event)])
+}
+
+/// Register the `Item` type. `param_aware` selects the refined
+/// parameter-dependent variant of the Figure-2 matrix (an extension the
+/// paper explicitly allows: "taking into account the actual input
+/// parameters of operations").
+fn register_item(catalog: &mut Catalog, param_aware: bool, hook: Option<ScenarioHook>) -> TypeId {
+    catalog.register_type(TypeDef {
+        name: "Item".into(),
+        kind: TypeKind::Encapsulated,
+        methods: vec![
+            MethodDef {
+                name: "NewOrder".into(),
+                body: Some(body(new_order_body)),
+                compensation: None, // structural: Insert → Remove
+                updates: true,
+            },
+            MethodDef {
+                name: "ShipOrder".into(),
+                body: Some(ship_order_body_hooked(hook)),
+                compensation: None, // structural: ClearStatus + QOH restore
+                updates: true,
+            },
+            MethodDef {
+                name: "PayOrder".into(),
+                body: Some(body(pay_order_body)),
+                compensation: None, // structural: ClearStatus
+                updates: true,
+            },
+            MethodDef {
+                name: "TotalPayment".into(),
+                body: Some(body(total_payment_body)),
+                compensation: None,
+                updates: false,
+            },
+            MethodDef {
+                name: "RemoveOrder".into(),
+                body: Some(body(remove_order_body)),
+                compensation: None, // structural: Remove → Insert
+                updates: true,
+            },
+            MethodDef {
+                name: "CheckOrder".into(),
+                body: Some(body(check_order_body)),
+                compensation: None,
+                updates: false,
+            },
+        ],
+        spec: Arc::new(matrices::item_matrix(param_aware)),
+    })
+}
+
+/// Build the order-entry catalog. Returns `(catalog, item_type, order_type)`.
+pub fn build_catalog(param_aware_item_matrix: bool) -> (Catalog, TypeId, TypeId) {
+    build_catalog_hooked(param_aware_item_matrix, None)
+}
+
+/// [`build_catalog`] with a scenario hook (figure reproductions only).
+pub fn build_catalog_hooked(
+    param_aware_item_matrix: bool,
+    hook: Option<ScenarioHook>,
+) -> (Catalog, TypeId, TypeId) {
+    let mut catalog = Catalog::new();
+    let order_type = register_order(&mut catalog);
+    let item_type = register_item(&mut catalog, param_aware_item_matrix, hook);
+    (catalog, item_type, order_type)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_event_bits() {
+        assert_eq!(StatusEvent::Shipped.bit(), 1);
+        assert_eq!(StatusEvent::Paid.bit(), 2);
+        assert_eq!(StatusEvent::from_bit(1).unwrap(), StatusEvent::Shipped);
+        assert_eq!(StatusEvent::from_bit(2).unwrap(), StatusEvent::Paid);
+        assert!(StatusEvent::from_bit(3).is_err());
+        assert_eq!(StatusEvent::Shipped.name(), "shipped");
+        assert_eq!(StatusEvent::Paid.name(), "paid");
+    }
+
+    #[test]
+    fn catalog_registers_both_types() {
+        let (catalog, item, order) = build_catalog(false);
+        assert_eq!(catalog.type_by_name("Item"), Some(item));
+        assert_eq!(catalog.type_by_name("Order"), Some(order));
+        for (i, name) in ITEM_METHODS.iter().enumerate() {
+            assert_eq!(catalog.method_by_name(item, name), Some(MethodId(i as u32)), "{name}");
+        }
+        for (i, name) in ORDER_METHODS.iter().enumerate() {
+            assert_eq!(catalog.method_by_name(order, name), Some(MethodId(i as u32)), "{name}");
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Workload generation for the quantitative experiments.
+//!
+//! The generator produces streams of [`TxnSpec`]s over a populated
+//! [`Database`], with a configurable transaction mix (T0–T5), Zipf-skewed
+//! item popularity (data contention control), a bypass flag for the status
+//! checks, and a transaction length (targets per transaction). Everything
+//! is seeded and deterministic.
+
+use crate::schema::Database;
+use crate::txns::{Target, TxnSpec};
+use rand::distr::weighted::WeightedIndex;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Relative frequencies of the transaction types.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MixWeights {
+    /// T0: enter new orders (extension; 0 in the paper's own mix).
+    pub t0_new: u32,
+    /// T1: ship orders.
+    pub t1_ship: u32,
+    /// T2: pay orders.
+    pub t2_pay: u32,
+    /// T3: check shipment.
+    pub t3_check_shipped: u32,
+    /// T4: check payment.
+    pub t4_check_paid: u32,
+    /// T5: total payment.
+    pub t5_total: u32,
+}
+
+impl MixWeights {
+    /// The paper's five types, uniformly.
+    pub fn paper_uniform() -> Self {
+        MixWeights { t0_new: 0, t1_ship: 1, t2_pay: 1, t3_check_shipped: 1, t4_check_paid: 1, t5_total: 1 }
+    }
+
+    /// An order-entry-like mix: mostly updates, some checks, few scans.
+    pub fn update_heavy() -> Self {
+        MixWeights { t0_new: 0, t1_ship: 4, t2_pay: 4, t3_check_shipped: 2, t4_check_paid: 2, t5_total: 1 }
+    }
+
+    /// Read-mostly mix.
+    pub fn read_heavy() -> Self {
+        MixWeights { t0_new: 0, t1_ship: 1, t2_pay: 1, t3_check_shipped: 4, t4_check_paid: 4, t5_total: 2 }
+    }
+
+    fn weights(&self) -> [u32; 6] {
+        [self.t0_new, self.t1_ship, self.t2_pay, self.t3_check_shipped, self.t4_check_paid, self.t5_total]
+    }
+}
+
+impl Default for MixWeights {
+    fn default() -> Self {
+        Self::paper_uniform()
+    }
+}
+
+/// Workload parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Transaction mix.
+    pub mix: MixWeights,
+    /// Zipf skew of item popularity (0.0 = uniform; ~1.0 = heavy hotspot).
+    pub zipf_theta: f64,
+    /// Orders touched per T1/T2/T3/T4 transaction (the paper uses 2).
+    pub targets_per_txn: usize,
+    /// Whether T3/T4 bypass the Item encapsulation (the paper's default)
+    /// or call `Item::CheckOrder`.
+    pub bypass_checks: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            mix: MixWeights::default(),
+            zipf_theta: 0.6,
+            targets_per_txn: 2,
+            bypass_checks: true,
+            seed: 42,
+        }
+    }
+}
+
+/// Zipf-like sampler over `0..n` via inverse CDF (no external distribution
+/// crates).
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Ranked distribution: probability of rank `r` ∝ `1/(r+1)^theta`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r as f64) + 1.0).powf(theta);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().unwrap();
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draw a rank.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|c| *c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// A seeded workload generator bound to a database.
+pub struct Workload {
+    cfg: WorkloadConfig,
+    rng: StdRng,
+    zipf: ZipfSampler,
+    dist: WeightedIndex<u32>,
+    /// Next fresh order number for T0.
+    next_order_no: u64,
+    /// Item count (ranks are permuted onto items by a fixed stride to avoid
+    /// always-hot low ids).
+    n_items: usize,
+}
+
+impl Workload {
+    /// Create a generator for a database.
+    pub fn new(db: &Database, cfg: WorkloadConfig) -> Self {
+        let n_items = db.items.len();
+        let dist = WeightedIndex::new(cfg.mix.weights()).expect("at least one non-zero weight");
+        Workload {
+            zipf: ZipfSampler::new(n_items, cfg.zipf_theta),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            next_order_no: db.next_order_no,
+            n_items,
+            cfg,
+            dist,
+        }
+    }
+
+    fn pick_item(&mut self) -> usize {
+        let rank = self.zipf.sample(&mut self.rng);
+        // Spread hot ranks over the id space deterministically.
+        (rank * 7 + 3) % self.n_items
+    }
+
+    fn pick_target(&mut self, db: &Database, item_idx: usize) -> Target {
+        let item = &db.items[item_idx];
+        let o = self.rng.random_range(0..item.orders.len());
+        Target { item: item.item, order: item.orders[o].order }
+    }
+
+    /// Distinct-item targets, as in the paper ("two different items").
+    fn pick_targets(&mut self, db: &Database) -> Vec<Target> {
+        let want = self.cfg.targets_per_txn.min(self.n_items);
+        let mut idxs: Vec<usize> = Vec::with_capacity(want);
+        while idxs.len() < want {
+            let i = self.pick_item();
+            if !idxs.contains(&i) {
+                idxs.push(i);
+            }
+        }
+        idxs.into_iter().map(|i| self.pick_target(db, i)).collect()
+    }
+
+    /// Generate the next transaction.
+    pub fn next_txn(&mut self, db: &Database) -> TxnSpec {
+        match self.dist.sample(&mut self.rng) {
+            0 => {
+                let mut entries = Vec::with_capacity(self.cfg.targets_per_txn);
+                for _ in 0..self.cfg.targets_per_txn.min(self.n_items) {
+                    let i = self.pick_item();
+                    let no = self.next_order_no;
+                    self.next_order_no += 1;
+                    entries.push((db.items[i].item, no));
+                }
+                TxnSpec::NewOrders {
+                    entries,
+                    customer: self.rng.random_range(1..10_000),
+                    quantity: self.rng.random_range(1..10),
+                }
+            }
+            1 => TxnSpec::Ship(self.pick_targets(db)),
+            2 => TxnSpec::Pay(self.pick_targets(db)),
+            3 => TxnSpec::CheckShipped { targets: self.pick_targets(db), bypass: self.cfg.bypass_checks },
+            4 => TxnSpec::CheckPaid { targets: self.pick_targets(db), bypass: self.cfg.bypass_checks },
+            _ => {
+                let i = self.pick_item();
+                TxnSpec::Total(db.items[i].item)
+            }
+        }
+    }
+
+    /// Generate a batch.
+    pub fn batch(&mut self, db: &Database, count: usize) -> Vec<TxnSpec> {
+        (0..count).map(|_| self.next_txn(db)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Database, DbParams};
+
+    fn db() -> Database {
+        Database::build(&DbParams { n_items: 8, orders_per_item: 3, ..Default::default() }).unwrap()
+    }
+
+    #[test]
+    fn zipf_skews_towards_low_ranks() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[50] * 5, "rank 0 much hotter than rank 50");
+        // Uniform theta=0: roughly flat.
+        let z = ZipfSampler::new(10, 0.0);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min < 400, "uniform-ish: {counts:?}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let database = db();
+        let cfg = WorkloadConfig::default();
+        let a = Workload::new(&database, cfg.clone()).batch(&database, 50);
+        let b = Workload::new(&database, cfg).batch(&database, 50);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn mix_weights_are_respected() {
+        let database = db();
+        let cfg = WorkloadConfig {
+            mix: MixWeights { t0_new: 0, t1_ship: 1, t2_pay: 0, t3_check_shipped: 0, t4_check_paid: 0, t5_total: 0 },
+            ..Default::default()
+        };
+        let batch = Workload::new(&database, cfg).batch(&database, 20);
+        assert!(batch.iter().all(|t| t.kind() == "T1"));
+    }
+
+    #[test]
+    fn targets_are_distinct_items() {
+        let database = db();
+        let mut w = Workload::new(&database, WorkloadConfig { targets_per_txn: 3, ..Default::default() });
+        for _ in 0..30 {
+            if let TxnSpec::Ship(ts) = w.next_txn(&database) {
+                let mut items: Vec<_> = ts.iter().map(|t| t.item).collect();
+                items.sort();
+                items.dedup();
+                assert_eq!(items.len(), ts.len(), "different items per paper");
+            }
+        }
+    }
+
+    #[test]
+    fn new_order_numbers_are_fresh_and_unique() {
+        let database = db();
+        let cfg = WorkloadConfig {
+            mix: MixWeights { t0_new: 1, t1_ship: 0, t2_pay: 0, t3_check_shipped: 0, t4_check_paid: 0, t5_total: 0 },
+            ..Default::default()
+        };
+        let batch = Workload::new(&database, cfg).batch(&database, 10);
+        let mut nos = Vec::new();
+        for t in batch {
+            if let TxnSpec::NewOrders { entries, .. } = t {
+                for (_, no) in entries {
+                    assert!(no >= database.next_order_no);
+                    nos.push(no);
+                }
+            }
+        }
+        let len = nos.len();
+        nos.sort();
+        nos.dedup();
+        assert_eq!(nos.len(), len);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests of the order-entry schema and a deterministic test of
+//! compensation precision under Case-1 concurrency (the scenario that
+//! justifies semantic inverses over physical undo).
+
+use proptest::prelude::*;
+use semcc_core::{Engine, FnProgram, MemorySink, ProtocolConfig};
+use semcc_orderentry::matrices::{item_matrix, order_matrix};
+use semcc_orderentry::types::{ITEM_CHECK_ORDER, ITEM_NEW_ORDER, ITEM_PAY_ORDER, ITEM_REMOVE_ORDER, ITEM_SHIP_ORDER, ITEM_TOTAL_PAYMENT, ORDER_CHANGE_STATUS, ORDER_CLEAR_STATUS, ORDER_TEST_STATUS};
+use semcc_orderentry::{Database, DbParams, StatusEvent, Target, TxnSpec};
+use semcc_semantics::{CommutativitySpec, Invocation, MethodContext, ObjectId, Storage, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn arb_item_invocation() -> impl Strategy<Value = Invocation> {
+    let methods = [
+        ITEM_NEW_ORDER,
+        ITEM_SHIP_ORDER,
+        ITEM_PAY_ORDER,
+        ITEM_TOTAL_PAYMENT,
+        ITEM_REMOVE_ORDER,
+        ITEM_CHECK_ORDER,
+    ];
+    (0usize..6, 0u64..4, 0i64..3).prop_map(move |(m, obj, arg)| {
+        Invocation::user(
+            ObjectId(1),
+            semcc_semantics::TypeId(17),
+            methods[m],
+            vec![Value::Id(ObjectId(100 + obj)), Value::Int(1 + arg % 2)],
+        )
+    })
+}
+
+fn arb_order_invocation() -> impl Strategy<Value = Invocation> {
+    let methods = [ORDER_CHANGE_STATUS, ORDER_TEST_STATUS, ORDER_CLEAR_STATUS];
+    (0usize..3, prop_oneof![Just(StatusEvent::Shipped), Just(StatusEvent::Paid)]).prop_map(
+        move |(m, ev)| {
+            Invocation::user(ObjectId(2), semcc_semantics::TypeId(16), methods[m], vec![ev.value()])
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Both published matrices (and the extensions) are symmetric for all
+    /// argument combinations, in both variants.
+    #[test]
+    fn item_matrix_symmetric(a in arb_item_invocation(), b in arb_item_invocation(), pa in any::<bool>()) {
+        let m = item_matrix(pa);
+        prop_assert_eq!(m.commute(&a, &b), m.commute(&b, &a));
+    }
+
+    #[test]
+    fn order_matrix_symmetric(a in arb_order_invocation(), b in arb_order_invocation()) {
+        let m = order_matrix();
+        prop_assert_eq!(m.commute(&a, &b), m.commute(&b, &a));
+    }
+
+    /// The parameter-aware matrix only ever ADDS commutativity relative to
+    /// the published method-level matrix (it is a refinement, never a
+    /// coarsening).
+    #[test]
+    fn param_aware_is_a_refinement(a in arb_item_invocation(), b in arb_item_invocation()) {
+        let coarse = item_matrix(false);
+        let fine = item_matrix(true);
+        if coarse.commute(&a, &b) {
+            prop_assert!(fine.commute(&a, &b));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random T1/T2 sequences keep the books exact: QOH deficit equals the
+    /// shipped quantities, TotalPayment equals the oracle.
+    #[test]
+    fn random_serial_runs_keep_books_exact(
+        choices in proptest::collection::vec((any::<bool>(), 0usize..4, 0usize..3), 1..20),
+    ) {
+        let db = Database::build(&DbParams { n_items: 4, orders_per_item: 3, ..Default::default() }).unwrap();
+        let engine = Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog)).build();
+        let mut deficits = vec![0i64; 4];
+        for (ship, item, order) in choices {
+            let t = Target { item: db.items[item].item, order: db.items[item].orders[order].order };
+            if ship {
+                engine.execute(&TxnSpec::Ship(vec![t])).unwrap();
+                deficits[item] += db.items[item].orders[order].qty;
+            } else {
+                engine.execute(&TxnSpec::Pay(vec![t])).unwrap();
+            }
+        }
+        for (i, item) in db.items.iter().enumerate() {
+            let qoh = db.store.get(item.qoh).unwrap().as_int().unwrap();
+            prop_assert_eq!(1_000_000 - qoh, deficits[i]);
+            let total = engine.execute(&TxnSpec::Total(item.item)).unwrap().value.as_money().unwrap();
+            prop_assert_eq!(total, db.oracle_total_payment(i).unwrap());
+        }
+    }
+}
+
+/// The compensation-precision scenario: T1 ships o (ChangeStatus sets
+/// `shipped`), then — via Case 1 — T2 pays the same order concurrently and
+/// commits. T1 then aborts. The semantic inverse (`ClearStatus(shipped)`)
+/// must remove ONLY the shipped bit, preserving T2's committed `paid` bit;
+/// a physical restore of the status atom would erase it.
+#[test]
+fn ship_abort_preserves_concurrent_payment() {
+    let db = Database::build(&DbParams { n_items: 1, orders_per_item: 1, ..Default::default() }).unwrap();
+    let sink = MemorySink::new();
+    let engine = Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog))
+        .protocol(ProtocolConfig::semantic())
+        .sink(Arc::clone(&sink) as Arc<dyn semcc_core::HistorySink>)
+        .build();
+    let t = Target { item: db.items[0].item, order: db.items[0].orders[0].order };
+    let status_atom = db.items[0].orders[0].status;
+
+    let gate = Arc::new(std::sync::Mutex::new(false));
+    let cv = Arc::new(std::sync::Condvar::new());
+
+    std::thread::scope(|s| {
+        let (e1, g1, c1) = (Arc::clone(&engine), Arc::clone(&gate), Arc::clone(&cv));
+        let h1 = s.spawn(move || {
+            let p = FnProgram::new("T1-ship-abort", move |ctx: &mut dyn MethodContext| {
+                ctx.call(t.item, "ShipOrder", vec![Value::Id(t.order)])?;
+                let mut open = g1.lock().unwrap();
+                while !*open {
+                    open = c1.wait(open).unwrap();
+                }
+                Err(semcc_semantics::SemccError::Aborted("deliberate".into()))
+            });
+            e1.execute(&p)
+        });
+        // Wait until T1's ShipOrder subtransaction committed.
+        sink.wait_for(
+            |e| matches!(e.ev, semcc_core::Event::ActionComplete { node } if node.idx == 1),
+            Duration::from_secs(5),
+        )
+        .expect("ShipOrder completes");
+
+        // T2 pays the same order; PayOrder commutes with the retained
+        // ShipOrder lock, and the status-leaf conflict resolves via Case 1.
+        engine.execute(&TxnSpec::Pay(vec![t])).unwrap();
+        assert!(engine.stats().case1_grants >= 1, "Case 1 admitted the concurrent payment");
+        assert_eq!(
+            db.store.get(status_atom).unwrap().as_int().unwrap(),
+            StatusEvent::Shipped.bit() | StatusEvent::Paid.bit()
+        );
+
+        // Abort T1.
+        *gate.lock().unwrap() = true;
+        cv.notify_all();
+        assert!(h1.join().unwrap().is_err());
+    });
+
+    // The shipped bit is gone, the paid bit SURVIVED, QOH restored.
+    let status = db.store.get(status_atom).unwrap().as_int().unwrap();
+    assert_eq!(status, StatusEvent::Paid.bit(), "semantic compensation preserved T2's payment");
+    assert_eq!(db.store.get(db.items[0].qoh).unwrap(), Value::Int(1_000_000));
+    // And a payment total still sees the paid order.
+    let total = engine.execute(&TxnSpec::Total(t.item)).unwrap().value.as_money().unwrap();
+    assert_eq!(total, db.oracle_total_payment(0).unwrap());
+    assert!(total > 0);
+}

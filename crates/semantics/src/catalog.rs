@@ -1,0 +1,351 @@
+//! The type catalog: encapsulated object types, their methods, method
+//! bodies, compensations and commutativity specifications.
+//!
+//! The catalog plays the role of the OODBMS schema manager. The transaction
+//! engine consults it to execute user-defined methods (dynamic dispatch into
+//! [`MethodBody`] implementations) and to build compensating invocations for
+//! aborts; the lock manager consults the per-type commutativity
+//! specifications through a [`SemanticsRouter`].
+
+use crate::commutativity::{CommutativitySpec, GenericSpec, NeverCommute, SemanticsRouter};
+use crate::context::MethodContext;
+use crate::error::{Result, SemccError};
+use crate::ids::{MethodId, TypeId, FIRST_USER_TYPE, TYPE_ATOMIC, TYPE_DB, TYPE_SET, TYPE_TUPLE};
+use crate::invocation::Invocation;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Implementation of a user-defined method. The body receives an execution
+/// context through which it invokes further methods — each such invocation
+/// becomes a child subtransaction in the open nested transaction tree.
+pub trait MethodBody: Send + Sync {
+    /// Execute the method `inv` on `inv.object`.
+    fn run(&self, ctx: &mut dyn MethodContext, inv: &Invocation) -> Result<Value>;
+}
+
+impl<F> MethodBody for F
+where
+    F: Fn(&mut dyn MethodContext, &Invocation) -> Result<Value> + Send + Sync,
+{
+    fn run(&self, ctx: &mut dyn MethodContext, inv: &Invocation) -> Result<Value> {
+        self(ctx, inv)
+    }
+}
+
+/// Builds the compensating invocation for a committed subtransaction.
+///
+/// Arguments: the original invocation, its return value, and the values the
+/// body stashed via [`MethodContext::stash`] while executing (e.g. the
+/// status bits observed before an update). Returning `None` means the
+/// method needs no compensation (read-only methods).
+pub type CompensationFn =
+    dyn Fn(&Invocation, &Value, &[Value]) -> Option<Invocation> + Send + Sync;
+
+/// Definition of one user method.
+pub struct MethodDef {
+    /// Display name, e.g. `"ShipOrder"`.
+    pub name: String,
+    /// The executable body. `None` for abstract methods that are only used
+    /// as lock modes (not expected in practice).
+    pub body: Option<Arc<dyn MethodBody>>,
+    /// How to compensate a committed execution of this method on abort of
+    /// an ancestor. `None` means no compensation necessary.
+    pub compensation: Option<Arc<CompensationFn>>,
+    /// Whether the method may update the object (documentation/metrics).
+    pub updates: bool,
+}
+
+impl fmt::Debug for MethodDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MethodDef")
+            .field("name", &self.name)
+            .field("has_body", &self.body.is_some())
+            .field("has_compensation", &self.compensation.is_some())
+            .field("updates", &self.updates)
+            .finish()
+    }
+}
+
+/// Structural kind of a type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TypeKind {
+    /// The database pseudo type (transaction roots).
+    Database,
+    /// Atomic value objects.
+    Atomic,
+    /// Tuple objects with named components.
+    Tuple,
+    /// Set objects with a primary key.
+    Set,
+    /// A user-defined encapsulated type; the variant names the kind of the
+    /// implementation object (tuples in the order-entry example).
+    Encapsulated,
+}
+
+/// Definition of one object type.
+pub struct TypeDef {
+    /// Display name, e.g. `"Item"`.
+    pub name: String,
+    /// Structural kind.
+    pub kind: TypeKind,
+    /// User methods, indexed by [`MethodId`].
+    pub methods: Vec<MethodDef>,
+    /// Commutativity specification for pairs of this type's user methods.
+    pub spec: Arc<dyn CommutativitySpec>,
+}
+
+impl fmt::Debug for TypeDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TypeDef")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("methods", &self.methods)
+            .finish()
+    }
+}
+
+/// The schema catalog. Types `0..16` are reserved for the built-ins
+/// (database, atomic, tuple, set); user types start at
+/// [`FIRST_USER_TYPE`](crate::ids::FIRST_USER_TYPE).
+pub struct Catalog {
+    user_types: Vec<TypeDef>,
+    by_name: HashMap<String, TypeId>,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Catalog {
+    /// Empty catalog (built-ins are implicit).
+    pub fn new() -> Self {
+        Catalog { user_types: Vec::new(), by_name: HashMap::new() }
+    }
+
+    /// Register a user type and return its identifier.
+    ///
+    /// # Panics
+    /// Panics if the name is already taken — schema definition is a
+    /// programming-time activity and duplicate names are a bug.
+    pub fn register_type(&mut self, def: TypeDef) -> TypeId {
+        let id = TypeId(FIRST_USER_TYPE + self.user_types.len() as u32);
+        assert!(
+            self.by_name.insert(def.name.clone(), id).is_none(),
+            "duplicate type name {:?}",
+            def.name
+        );
+        self.user_types.push(def);
+        id
+    }
+
+    /// Look up a user type definition.
+    pub fn type_def(&self, t: TypeId) -> Result<&TypeDef> {
+        if t.is_builtin() {
+            return Err(SemccError::NoSuchType(t));
+        }
+        self.user_types
+            .get((t.0 - FIRST_USER_TYPE) as usize)
+            .ok_or(SemccError::NoSuchType(t))
+    }
+
+    /// Find a type by name.
+    pub fn type_by_name(&self, name: &str) -> Option<TypeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Look up a method definition.
+    pub fn method_def(&self, t: TypeId, m: MethodId) -> Result<&MethodDef> {
+        self.type_def(t)?
+            .methods
+            .get(m.0 as usize)
+            .ok_or(SemccError::NoSuchMethod(t, m))
+    }
+
+    /// Find a method by name on a type.
+    pub fn method_by_name(&self, t: TypeId, name: &str) -> Option<MethodId> {
+        let def = self.type_def(t).ok()?;
+        def.methods
+            .iter()
+            .position(|m| m.name == name)
+            .map(|i| MethodId(i as u32))
+    }
+
+    /// Human-readable rendering of an invocation using catalog names.
+    pub fn describe(&self, inv: &Invocation) -> String {
+        match inv.method {
+            crate::invocation::MethodSel::Generic(g) => {
+                let mut s = format!("{}({}", g.name(), inv.object);
+                for a in &inv.args {
+                    s.push_str(&format!(", {a:?}"));
+                }
+                s.push(')');
+                s
+            }
+            crate::invocation::MethodSel::User(m) => {
+                let name = self
+                    .method_def(inv.type_id, m)
+                    .map(|d| d.name.clone())
+                    .unwrap_or_else(|_| format!("{m:?}"));
+                let mut s = format!("{}({}", name, inv.object);
+                for a in &inv.args {
+                    s.push_str(&format!(", {a:?}"));
+                }
+                s.push(')');
+                s
+            }
+        }
+    }
+
+    /// All user types, in registration order, with their identifiers.
+    pub fn user_types(&self) -> impl Iterator<Item = (TypeId, &TypeDef)> {
+        self.user_types
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (TypeId(FIRST_USER_TYPE + i as u32), d))
+    }
+
+    /// Build the [`SemanticsRouter`] covering all registered types plus the
+    /// built-in generic and database specs.
+    pub fn router(&self) -> SemanticsRouter {
+        let mut specs: Vec<(TypeId, Arc<dyn CommutativitySpec>)> = vec![
+            (TYPE_DB, Arc::new(NeverCommute)),
+            (TYPE_ATOMIC, Arc::new(GenericSpec)),
+            (TYPE_TUPLE, Arc::new(GenericSpec)),
+            (TYPE_SET, Arc::new(GenericSpec)),
+        ];
+        for (id, def) in self.user_types() {
+            specs.push((id, Arc::clone(&def.spec)));
+        }
+        SemanticsRouter::new(specs)
+    }
+}
+
+impl fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Catalog").field("user_types", &self.user_types).finish()
+    }
+}
+
+/// Convenience builder for [`TypeDef`]s.
+pub struct TypeDefBuilder {
+    name: String,
+    kind: TypeKind,
+    methods: Vec<MethodDef>,
+    spec: Option<Arc<dyn CommutativitySpec>>,
+}
+
+impl TypeDefBuilder {
+    /// Start building an encapsulated type.
+    pub fn encapsulated(name: &str) -> Self {
+        TypeDefBuilder { name: name.to_owned(), kind: TypeKind::Encapsulated, methods: Vec::new(), spec: None }
+    }
+
+    /// Add a method; returns its [`MethodId`].
+    pub fn method(
+        &mut self,
+        name: &str,
+        updates: bool,
+        body: Arc<dyn MethodBody>,
+        compensation: Option<Arc<CompensationFn>>,
+    ) -> MethodId {
+        let id = MethodId(self.methods.len() as u32);
+        self.methods.push(MethodDef { name: name.to_owned(), body: Some(body), compensation, updates });
+        id
+    }
+
+    /// Set the commutativity specification.
+    pub fn spec(&mut self, spec: Arc<dyn CommutativitySpec>) -> &mut Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Finish, defaulting to a conflict-everything spec if none was given.
+    pub fn build(self) -> TypeDef {
+        TypeDef {
+            name: self.name,
+            kind: self.kind,
+            methods: self.methods,
+            spec: self.spec.unwrap_or_else(|| Arc::new(NeverCommute)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ObjectId;
+
+    fn noop_body() -> Arc<dyn MethodBody> {
+        Arc::new(|_: &mut dyn MethodContext, _: &Invocation| Ok(Value::Unit))
+    }
+
+    fn sample_type(name: &str) -> TypeDef {
+        let mut b = TypeDefBuilder::encapsulated(name);
+        b.method("Foo", false, noop_body(), None);
+        b.method("Bar", true, noop_body(), None);
+        b.build()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        let t = c.register_type(sample_type("Item"));
+        assert_eq!(t, TypeId(FIRST_USER_TYPE));
+        assert_eq!(c.type_by_name("Item"), Some(t));
+        assert_eq!(c.type_def(t).unwrap().name, "Item");
+        assert_eq!(c.method_by_name(t, "Foo"), Some(MethodId(0)));
+        assert_eq!(c.method_by_name(t, "Bar"), Some(MethodId(1)));
+        assert_eq!(c.method_by_name(t, "Baz"), None);
+        assert_eq!(c.method_def(t, MethodId(1)).unwrap().name, "Bar");
+    }
+
+    #[test]
+    fn lookup_errors() {
+        let c = Catalog::new();
+        assert_eq!(c.type_def(TypeId(99)).unwrap_err(), SemccError::NoSuchType(TypeId(99)));
+        assert_eq!(c.type_def(TYPE_ATOMIC).unwrap_err(), SemccError::NoSuchType(TYPE_ATOMIC));
+        let mut c = Catalog::new();
+        let t = c.register_type(sample_type("Item"));
+        assert!(matches!(c.method_def(t, MethodId(9)), Err(SemccError::NoSuchMethod(_, _))));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate type name")]
+    fn duplicate_names_panic() {
+        let mut c = Catalog::new();
+        c.register_type(sample_type("Item"));
+        c.register_type(sample_type("Item"));
+    }
+
+    #[test]
+    fn describe_uses_names() {
+        let mut c = Catalog::new();
+        let t = c.register_type(sample_type("Item"));
+        let inv = Invocation::user(ObjectId(3), t, MethodId(0), vec![Value::Int(1)]);
+        assert_eq!(c.describe(&inv), "Foo(o3, 1)");
+        let g = Invocation::get(ObjectId(4), TYPE_ATOMIC);
+        assert_eq!(c.describe(&g), "Get(o4)");
+    }
+
+    #[test]
+    fn router_covers_builtins_and_user_types() {
+        let mut c = Catalog::new();
+        let _ = c.register_type(sample_type("Item"));
+        let router = c.router();
+        let g = Invocation::get(ObjectId(4), TYPE_ATOMIC);
+        assert!(router.commute(&g, &g.clone()), "Get/Get via builtin spec");
+    }
+
+    #[test]
+    fn user_types_iterates_in_order() {
+        let mut c = Catalog::new();
+        let a = c.register_type(sample_type("A"));
+        let b = c.register_type(sample_type("B"));
+        let ids: Vec<TypeId> = c.user_types().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![a, b]);
+    }
+}

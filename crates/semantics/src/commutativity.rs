@@ -1,0 +1,372 @@
+//! Commutativity specifications — the semantic heart of the protocol.
+//!
+//! Two method invocations `f` and `g` on the same object *commute* iff the
+//! two sequential executions `fg` and `gf` are behaviorally equivalent: the
+//! return values of `f` and `g` are identical in both orders and every
+//! possible subsequent method invocation returns the same values regardless
+//! of the order (paper Section 2.2). The underlying implementation objects
+//! may be left in different states.
+//!
+//! Commutativity is declared per encapsulated type via a
+//! [`CompatibilityMatrix`] (paper Figures 2 and 3). Entries may be
+//! parameter-dependent (state-independent, parameter-dependent
+//! commutativity): e.g. `ChangeStatus(o, e)` and `TestStatus(o, e')`
+//! commute iff `e ≠ e'`.
+//!
+//! The built-in [`GenericSpec`] covers the generic methods (`Get`, `Put`,
+//! set operations) that bypassing transactions use directly.
+
+use crate::ids::{MethodId, TypeId};
+use crate::invocation::{GenericMethod, Invocation, MethodSel};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Predicate deciding parameter-dependent commutativity. Receives the two
+/// invocations in the orientation in which the entry was registered.
+pub type CompatPredicate = dyn Fn(&Invocation, &Invocation) -> bool + Send + Sync;
+
+/// One entry of a compatibility matrix.
+#[derive(Clone)]
+pub enum Compat {
+    /// The two methods always commute.
+    Ok,
+    /// The two methods never commute.
+    Conflict,
+    /// Commutativity depends on the actual parameters.
+    When(Arc<CompatPredicate>),
+}
+
+impl fmt::Debug for Compat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Compat::Ok => write!(f, "ok"),
+            Compat::Conflict => write!(f, "conflict"),
+            Compat::When(_) => write!(f, "param-dependent"),
+        }
+    }
+}
+
+/// A specification answering whether two invocations **on the same object**
+/// commute. Implementations must be symmetric:
+/// `commute(a, b) == commute(b, a)`.
+pub trait CommutativitySpec: Send + Sync {
+    /// Do `a` and `b` commute? Both invocations target the same object.
+    fn commute(&self, a: &Invocation, b: &Invocation) -> bool;
+}
+
+/// A compatibility matrix over the user-defined methods of one type
+/// (paper Figures 2 and 3). Missing entries default to *conflict* — the
+/// conservative choice, matching read/write locking for unspecified pairs.
+#[derive(Default)]
+pub struct CompatibilityMatrix {
+    entries: HashMap<(MethodId, MethodId), Compat>,
+}
+
+impl fmt::Debug for CompatibilityMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CompatibilityMatrix({} entries)", self.entries.len())
+    }
+}
+
+impl CompatibilityMatrix {
+    /// Empty matrix; every pair conflicts until declared otherwise.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare that `a` and `b` always commute (symmetric).
+    pub fn ok(&mut self, a: MethodId, b: MethodId) -> &mut Self {
+        self.entries.insert((a, b), Compat::Ok);
+        self.entries.insert((b, a), Compat::Ok);
+        self
+    }
+
+    /// Declare that `a` and `b` always conflict (symmetric). Redundant with
+    /// the default but useful for documenting a full matrix.
+    pub fn conflict(&mut self, a: MethodId, b: MethodId) -> &mut Self {
+        self.entries.insert((a, b), Compat::Conflict);
+        self.entries.insert((b, a), Compat::Conflict);
+        self
+    }
+
+    /// Declare parameter-dependent commutativity. The predicate is called
+    /// with the invocations oriented as `(invocation-of-a, invocation-of-b)`
+    /// and is automatically flipped for the symmetric lookup.
+    pub fn when<F>(&mut self, a: MethodId, b: MethodId, pred: F) -> &mut Self
+    where
+        F: Fn(&Invocation, &Invocation) -> bool + Send + Sync + 'static,
+    {
+        let pred: Arc<CompatPredicate> = Arc::new(pred);
+        let flipped = {
+            let pred = Arc::clone(&pred);
+            Arc::new(move |x: &Invocation, y: &Invocation| pred(y, x)) as Arc<CompatPredicate>
+        };
+        self.entries.insert((a, b), Compat::When(pred));
+        if a != b {
+            self.entries.insert((b, a), Compat::When(flipped));
+        }
+        self
+    }
+
+    /// The registered entry for an (ordered) method pair.
+    pub fn entry(&self, a: MethodId, b: MethodId) -> Compat {
+        self.entries.get(&(a, b)).cloned().unwrap_or(Compat::Conflict)
+    }
+}
+
+impl CommutativitySpec for CompatibilityMatrix {
+    fn commute(&self, a: &Invocation, b: &Invocation) -> bool {
+        let (MethodSel::User(ma), MethodSel::User(mb)) = (a.method, b.method) else {
+            // A matrix only covers user-defined methods. A pair involving a
+            // generic (bypassing) operation is conservatively a conflict.
+            return false;
+        };
+        match self.entry(ma, mb) {
+            Compat::Ok => true,
+            Compat::Conflict => false,
+            Compat::When(pred) => pred(a, b),
+        }
+    }
+}
+
+/// Commutativity of the built-in generic methods on atomic and set objects.
+///
+/// * `Get`/`Get` commute; anything involving `Put` conflicts.
+/// * Keyed set operations commute iff their keys differ (two `Insert`s of
+///   different orders commute); `Scan` conflicts with every set update.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GenericSpec;
+
+impl GenericSpec {
+    fn key_of(inv: &Invocation) -> Option<i64> {
+        inv.args.first().and_then(|v| v.as_int())
+    }
+
+    /// Commutativity of two generic invocations on the same object.
+    pub fn commute_generic(a: &Invocation, b: &Invocation, ga: GenericMethod, gb: GenericMethod) -> bool {
+        use GenericMethod::*;
+        match (ga, gb) {
+            (Get, Get) => true,
+            (Get, Put) | (Put, Get) | (Put, Put) => false,
+            (Select, Select) | (Scan, Scan) | (Select, Scan) | (Scan, Select) => true,
+            (Scan, Insert) | (Insert, Scan) | (Scan, Remove) | (Remove, Scan) => false,
+            (Select | Insert | Remove, Select | Insert | Remove) => {
+                match (Self::key_of(a), Self::key_of(b)) {
+                    (Some(ka), Some(kb)) => ka != kb,
+                    // Malformed arguments: be conservative.
+                    _ => false,
+                }
+            }
+            // Atomic ops vs. set ops can only meet on a mis-typed object;
+            // conservative conflict.
+            _ => false,
+        }
+    }
+}
+
+impl CommutativitySpec for GenericSpec {
+    fn commute(&self, a: &Invocation, b: &Invocation) -> bool {
+        match (a.method.as_generic(), b.method.as_generic()) {
+            (Some(ga), Some(gb)) => Self::commute_generic(a, b, ga, gb),
+            _ => false,
+        }
+    }
+}
+
+/// A spec under which nothing commutes. Used for the database pseudo type:
+/// transaction roots never commute with each other (the conflict test's
+/// worst case, "waiting for the top-level commit").
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NeverCommute;
+
+impl CommutativitySpec for NeverCommute {
+    fn commute(&self, _a: &Invocation, _b: &Invocation) -> bool {
+        false
+    }
+}
+
+/// Routes a commutativity question to the right specification:
+/// generic ↔ generic pairs go to [`GenericSpec`], user ↔ user pairs of the
+/// same type go to that type's matrix, and every mixed pair conservatively
+/// conflicts.
+///
+/// The router also enforces the crucial same-object rule: invocations on
+/// *different* objects are **never** reported as commutative. (They trivially
+/// commute as operations, but the protocol's "commutative ancestor pair"
+/// rule is only sound for pairs on the same object — see the paper's
+/// Figure 5 discussion: a transaction root must not be considered a
+/// commutative partner of an arbitrary method.)
+pub struct SemanticsRouter {
+    specs: HashMap<TypeId, Arc<dyn CommutativitySpec>>,
+    generic: GenericSpec,
+}
+
+impl SemanticsRouter {
+    /// Build a router from `(type, spec)` pairs (usually from the catalog).
+    pub fn new<I>(specs: I) -> Self
+    where
+        I: IntoIterator<Item = (TypeId, Arc<dyn CommutativitySpec>)>,
+    {
+        SemanticsRouter { specs: specs.into_iter().collect(), generic: GenericSpec }
+    }
+
+    /// Do `a` and `b` form a commutative pair in the sense of the protocol?
+    /// Returns `false` whenever the objects differ.
+    pub fn commute(&self, a: &Invocation, b: &Invocation) -> bool {
+        if a.object != b.object {
+            return false;
+        }
+        match (a.method, b.method) {
+            (MethodSel::Generic(_), MethodSel::Generic(_)) => self.generic.commute(a, b),
+            (MethodSel::User(_), MethodSel::User(_)) => {
+                if a.type_id != b.type_id {
+                    return false;
+                }
+                match self.specs.get(&a.type_id) {
+                    Some(spec) => spec.commute(a, b),
+                    None => false,
+                }
+            }
+            // Encapsulated method vs. bypassing generic operation on the
+            // very same object: semantics unknown, conservative conflict.
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Debug for SemanticsRouter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SemanticsRouter({} type specs)", self.specs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ObjectId, TYPE_ATOMIC, TYPE_SET};
+    use crate::value::Value;
+
+    fn get(o: u64) -> Invocation {
+        Invocation::get(ObjectId(o), TYPE_ATOMIC)
+    }
+    fn put(o: u64) -> Invocation {
+        Invocation::put(ObjectId(o), TYPE_ATOMIC, Value::Int(1))
+    }
+
+    #[test]
+    fn generic_atomic_rules() {
+        let s = GenericSpec;
+        assert!(s.commute(&get(1), &get(1)));
+        assert!(!s.commute(&get(1), &put(1)));
+        assert!(!s.commute(&put(1), &get(1)));
+        assert!(!s.commute(&put(1), &put(1)));
+    }
+
+    #[test]
+    fn generic_set_rules_are_key_aware() {
+        let s = GenericSpec;
+        let set = ObjectId(9);
+        let ins = |k| Invocation::insert(set, TYPE_SET, k, ObjectId(100 + k));
+        let sel = |k| Invocation::select(set, TYPE_SET, k);
+        let rem = |k| Invocation::remove(set, TYPE_SET, k);
+        let scan = Invocation::scan(set, TYPE_SET);
+
+        assert!(s.commute(&ins(1), &ins(2)));
+        assert!(!s.commute(&ins(1), &ins(1)));
+        assert!(s.commute(&sel(1), &ins(2)));
+        assert!(!s.commute(&sel(1), &ins(1)));
+        assert!(s.commute(&rem(1), &rem(2)));
+        assert!(!s.commute(&rem(1), &rem(1)));
+        assert!(s.commute(&sel(1), &sel(1)));
+        assert!(!s.commute(&scan, &ins(1)));
+        assert!(!s.commute(&scan, &rem(1)));
+        assert!(s.commute(&scan, &scan));
+        assert!(s.commute(&scan, &sel(1)));
+    }
+
+    #[test]
+    fn generic_rules_are_symmetric() {
+        let s = GenericSpec;
+        let set = ObjectId(9);
+        let invs = vec![
+            Invocation::insert(set, TYPE_SET, 1, ObjectId(101)),
+            Invocation::insert(set, TYPE_SET, 2, ObjectId(102)),
+            Invocation::select(set, TYPE_SET, 1),
+            Invocation::remove(set, TYPE_SET, 2),
+            Invocation::scan(set, TYPE_SET),
+        ];
+        for a in &invs {
+            for b in &invs {
+                assert_eq!(s.commute(a, b), s.commute(b, a), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_defaults_to_conflict() {
+        let m = CompatibilityMatrix::new();
+        let a = Invocation::user(ObjectId(1), TypeId(20), MethodId(0), vec![]);
+        let b = Invocation::user(ObjectId(1), TypeId(20), MethodId(1), vec![]);
+        assert!(!m.commute(&a, &b));
+    }
+
+    #[test]
+    fn matrix_ok_and_when_entries() {
+        let mut m = CompatibilityMatrix::new();
+        m.ok(MethodId(0), MethodId(1));
+        m.when(MethodId(2), MethodId(3), |a, b| a.args[0] != b.args[0]);
+
+        let mk = |mid, arg: i64| Invocation::user(ObjectId(1), TypeId(20), MethodId(mid), vec![Value::Int(arg)]);
+        assert!(m.commute(&mk(0, 0), &mk(1, 0)));
+        assert!(m.commute(&mk(1, 0), &mk(0, 0)), "symmetric ok");
+        assert!(m.commute(&mk(2, 1), &mk(3, 2)));
+        assert!(!m.commute(&mk(2, 1), &mk(3, 1)));
+        assert!(m.commute(&mk(3, 2), &mk(2, 1)), "symmetric when");
+        assert!(!m.commute(&mk(3, 1), &mk(2, 1)), "symmetric when conflict");
+    }
+
+    #[test]
+    fn matrix_rejects_generic_invocations() {
+        let mut m = CompatibilityMatrix::new();
+        m.ok(MethodId(0), MethodId(0));
+        assert!(!m.commute(&get(1), &get(1)));
+    }
+
+    #[test]
+    fn router_requires_same_object() {
+        let router = SemanticsRouter::new(std::iter::empty());
+        assert!(router.commute(&get(1), &get(1)));
+        assert!(!router.commute(&get(1), &get(2)), "different objects never form a pair");
+    }
+
+    #[test]
+    fn router_dispatches_user_methods() {
+        let t = TypeId(20);
+        let mut m = CompatibilityMatrix::new();
+        m.ok(MethodId(0), MethodId(0));
+        let router = SemanticsRouter::new(vec![(t, Arc::new(m) as Arc<dyn CommutativitySpec>)]);
+        let a = Invocation::user(ObjectId(1), t, MethodId(0), vec![]);
+        assert!(router.commute(&a, &a.clone()));
+        let unknown = Invocation::user(ObjectId(1), TypeId(21), MethodId(0), vec![]);
+        assert!(!router.commute(&unknown, &unknown.clone()), "unregistered type conflicts");
+    }
+
+    #[test]
+    fn router_mixed_pairs_conflict() {
+        let t = TypeId(20);
+        let mut m = CompatibilityMatrix::new();
+        m.ok(MethodId(0), MethodId(0));
+        let router = SemanticsRouter::new(vec![(t, Arc::new(m) as Arc<dyn CommutativitySpec>)]);
+        let user = Invocation::user(ObjectId(1), t, MethodId(0), vec![]);
+        let gen = Invocation::get(ObjectId(1), TYPE_ATOMIC);
+        assert!(!router.commute(&user, &gen));
+        assert!(!router.commute(&gen, &user));
+    }
+
+    #[test]
+    fn never_commute_never_commutes() {
+        let s = NeverCommute;
+        assert!(!s.commute(&get(1), &get(1)));
+    }
+}

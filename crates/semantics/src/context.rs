@@ -1,0 +1,303 @@
+//! The execution context seen by method bodies.
+//!
+//! A method body never touches the store directly: every data access is an
+//! [`Invocation`] routed through [`MethodContext::invoke`], which makes the
+//! engine create a child subtransaction, acquire the semantic lock and
+//! dispatch the operation. This is how the *dynamic method invocation
+//! hierarchy* of the paper (Section 3) is built: the shape of the tree may
+//! depend on the state read so far (e.g. `TotalPayment` only reads the
+//! quantity of an order whose status it found to be "paid").
+
+use crate::catalog::Catalog;
+use crate::error::{Result, SemccError};
+use crate::ids::{ObjectId, TypeId};
+use crate::invocation::Invocation;
+use crate::value::Value;
+
+/// Execution context passed to method bodies and top-level transaction
+/// programs.
+pub trait MethodContext {
+    /// Invoke a method as a child subtransaction of the current action.
+    /// Blocks until the semantic lock is granted; returns the method result.
+    fn invoke(&mut self, inv: Invocation) -> Result<Value>;
+
+    /// The object the current method executes on ([`DB_OBJECT`] for a
+    /// top-level transaction program).
+    ///
+    /// [`DB_OBJECT`]: crate::ids::DB_OBJECT
+    fn self_object(&self) -> ObjectId;
+
+    /// Stash a value for the compensation function of the current method
+    /// (e.g. the old state observed before an update).
+    fn stash(&mut self, v: Value);
+
+    /// Schema navigation: the component `name` of a tuple object. This is a
+    /// structural lookup (tuple structure is immutable once created) and
+    /// acquires no lock.
+    fn field(&self, obj: ObjectId, name: &str) -> Result<ObjectId>;
+
+    /// The type of an object (structural lookup, no lock).
+    fn type_of(&self, obj: ObjectId) -> Result<TypeId>;
+
+    /// Create a fresh atomic object. Freshly created objects are invisible
+    /// to other transactions until linked into a locked set or tuple, so
+    /// creation itself acquires no lock. Created objects are deleted again
+    /// if the creating transaction aborts.
+    fn create_atomic(&mut self, v: Value) -> Result<ObjectId>;
+
+    /// Create a fresh tuple object of the given type with named components.
+    fn create_tuple(&mut self, type_id: TypeId, fields: Vec<(String, ObjectId)>) -> Result<ObjectId>;
+
+    /// Create a fresh set object.
+    fn create_set(&mut self) -> Result<ObjectId>;
+
+    /// The schema catalog.
+    fn catalog(&self) -> &Catalog;
+
+    // ------------------------------------------------------------------
+    // Convenience wrappers (all routed through `invoke`).
+    // ------------------------------------------------------------------
+
+    /// `Get` the value of an atomic object.
+    fn get(&mut self, obj: ObjectId) -> Result<Value> {
+        let t = self.type_of(obj)?;
+        self.invoke(Invocation::get(obj, t))
+    }
+
+    /// `Put` a new value into an atomic object.
+    fn put(&mut self, obj: ObjectId, v: Value) -> Result<()> {
+        let t = self.type_of(obj)?;
+        self.invoke(Invocation::put(obj, t, v))?;
+        Ok(())
+    }
+
+    /// `Get` the atomic component `name` of tuple `obj`.
+    fn get_field(&mut self, obj: ObjectId, name: &str) -> Result<Value> {
+        let f = self.field(obj, name)?;
+        self.get(f)
+    }
+
+    /// `Put` into the atomic component `name` of tuple `obj`.
+    fn put_field(&mut self, obj: ObjectId, name: &str, v: Value) -> Result<()> {
+        let f = self.field(obj, name)?;
+        self.put(f, v)
+    }
+
+    /// `Select` the member of a set by key; `Ok(None)` if absent.
+    fn select(&mut self, set: ObjectId, key: u64) -> Result<Option<ObjectId>> {
+        let t = self.type_of(set)?;
+        match self.invoke(Invocation::select(set, t, key))? {
+            Value::Unit => Ok(None),
+            Value::Id(o) => Ok(Some(o)),
+            other => Err(SemccError::TypeMismatch { expected: "Id or Unit", got: format!("{other:?}") }),
+        }
+    }
+
+    /// `Insert` a member into a set.
+    fn insert(&mut self, set: ObjectId, key: u64, member: ObjectId) -> Result<()> {
+        let t = self.type_of(set)?;
+        self.invoke(Invocation::insert(set, t, key, member))?;
+        Ok(())
+    }
+
+    /// `Remove` a member from a set; `Ok(None)` if the key was absent.
+    fn remove(&mut self, set: ObjectId, key: u64) -> Result<Option<ObjectId>> {
+        let t = self.type_of(set)?;
+        match self.invoke(Invocation::remove(set, t, key))? {
+            Value::Unit => Ok(None),
+            Value::Id(o) => Ok(Some(o)),
+            other => Err(SemccError::TypeMismatch { expected: "Id or Unit", got: format!("{other:?}") }),
+        }
+    }
+
+    /// `Scan` all `(key, member)` pairs of a set.
+    fn scan(&mut self, set: ObjectId) -> Result<Vec<(u64, ObjectId)>> {
+        let t = self.type_of(set)?;
+        let v = self.invoke(Invocation::scan(set, t))?;
+        let list = v
+            .as_list()
+            .ok_or_else(|| SemccError::TypeMismatch { expected: "List", got: format!("{v:?}") })?;
+        let mut out = Vec::with_capacity(list.len());
+        for pair in list {
+            let p = pair
+                .as_list()
+                .ok_or_else(|| SemccError::TypeMismatch { expected: "List pair", got: format!("{pair:?}") })?;
+            let key = p
+                .first()
+                .and_then(|k| k.as_int())
+                .ok_or_else(|| SemccError::TypeMismatch { expected: "Int key", got: format!("{p:?}") })?;
+            let member = p
+                .get(1)
+                .and_then(|m| m.as_id())
+                .ok_or_else(|| SemccError::TypeMismatch { expected: "Id member", got: format!("{p:?}") })?;
+            out.push((key as u64, member));
+        }
+        Ok(out)
+    }
+
+    /// Invoke a user method by name: `ctx.call(item, "ShipOrder", vec![...])`.
+    fn call(&mut self, obj: ObjectId, method: &str, args: Vec<Value>) -> Result<Value> {
+        let t = self.type_of(obj)?;
+        let m = self
+            .catalog()
+            .method_by_name(t, method)
+            .ok_or_else(|| SemccError::BadArguments(format!("no method {method:?} on {t:?}")))?;
+        self.invoke(Invocation::user(obj, t, m, args))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, TypeDefBuilder};
+    use crate::invocation::{GenericMethod, MethodSel};
+    use std::collections::HashMap;
+
+    /// A tiny fake context: atomic objects in a HashMap, one set, no locks.
+    /// Exercises the default convenience methods of the trait.
+    struct FakeCtx {
+        catalog: Catalog,
+        atoms: HashMap<ObjectId, Value>,
+        set: Vec<(u64, ObjectId)>,
+        set_id: ObjectId,
+        stash: Vec<Value>,
+        next: u64,
+    }
+
+    impl FakeCtx {
+        fn new() -> Self {
+            FakeCtx {
+                catalog: Catalog::new(),
+                atoms: HashMap::new(),
+                set: Vec::new(),
+                set_id: ObjectId(1),
+                stash: Vec::new(),
+                next: 100,
+            }
+        }
+    }
+
+    impl MethodContext for FakeCtx {
+        fn invoke(&mut self, inv: Invocation) -> Result<Value> {
+            let MethodSel::Generic(g) = inv.method else {
+                return Err(SemccError::Internal("fake supports generics only".into()));
+            };
+            match g {
+                GenericMethod::Get => {
+                    self.atoms.get(&inv.object).cloned().ok_or(SemccError::NoSuchObject(inv.object))
+                }
+                GenericMethod::Put => {
+                    self.atoms.insert(inv.object, inv.args[0].clone());
+                    Ok(Value::Unit)
+                }
+                GenericMethod::Select => {
+                    let k = inv.arg_key(0)?;
+                    Ok(self
+                        .set
+                        .iter()
+                        .find(|(key, _)| *key == k)
+                        .map(|(_, m)| Value::Id(*m))
+                        .unwrap_or(Value::Unit))
+                }
+                GenericMethod::Insert => {
+                    self.set.push((inv.arg_key(0)?, inv.arg_id(1)?));
+                    Ok(Value::Unit)
+                }
+                GenericMethod::Remove => {
+                    let k = inv.arg_key(0)?;
+                    if let Some(pos) = self.set.iter().position(|(key, _)| *key == k) {
+                        let (_, m) = self.set.remove(pos);
+                        Ok(Value::Id(m))
+                    } else {
+                        Ok(Value::Unit)
+                    }
+                }
+                GenericMethod::Scan => Ok(Value::List(
+                    self.set
+                        .iter()
+                        .map(|(k, m)| Value::List(vec![Value::Int(*k as i64), Value::Id(*m)]))
+                        .collect(),
+                )),
+            }
+        }
+
+        fn self_object(&self) -> ObjectId {
+            crate::ids::DB_OBJECT
+        }
+
+        fn stash(&mut self, v: Value) {
+            self.stash.push(v);
+        }
+
+        fn field(&self, _obj: ObjectId, name: &str) -> Result<ObjectId> {
+            Err(SemccError::NoSuchField(_obj, name.to_owned()))
+        }
+
+        fn type_of(&self, obj: ObjectId) -> Result<TypeId> {
+            if obj == self.set_id {
+                Ok(crate::ids::TYPE_SET)
+            } else {
+                Ok(crate::ids::TYPE_ATOMIC)
+            }
+        }
+
+        fn create_atomic(&mut self, v: Value) -> Result<ObjectId> {
+            self.next += 1;
+            let id = ObjectId(self.next);
+            self.atoms.insert(id, v);
+            Ok(id)
+        }
+
+        fn create_tuple(&mut self, _t: TypeId, _f: Vec<(String, ObjectId)>) -> Result<ObjectId> {
+            Err(SemccError::Internal("not supported".into()))
+        }
+
+        fn create_set(&mut self) -> Result<ObjectId> {
+            Ok(self.set_id)
+        }
+
+        fn catalog(&self) -> &Catalog {
+            &self.catalog
+        }
+    }
+
+    #[test]
+    fn get_put_round_trip() {
+        let mut ctx = FakeCtx::new();
+        let o = ctx.create_atomic(Value::Int(1)).unwrap();
+        assert_eq!(ctx.get(o).unwrap(), Value::Int(1));
+        ctx.put(o, Value::Int(2)).unwrap();
+        assert_eq!(ctx.get(o).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn set_helpers_round_trip() {
+        let mut ctx = FakeCtx::new();
+        let s = ctx.create_set().unwrap();
+        let m = ctx.create_atomic(Value::Int(5)).unwrap();
+        assert_eq!(ctx.select(s, 7).unwrap(), None);
+        ctx.insert(s, 7, m).unwrap();
+        assert_eq!(ctx.select(s, 7).unwrap(), Some(m));
+        let scanned = ctx.scan(s).unwrap();
+        assert_eq!(scanned, vec![(7, m)]);
+        assert_eq!(ctx.remove(s, 7).unwrap(), Some(m));
+        assert_eq!(ctx.remove(s, 7).unwrap(), None);
+    }
+
+    #[test]
+    fn call_reports_unknown_method() {
+        let mut ctx = FakeCtx::new();
+        let mut b = TypeDefBuilder::encapsulated("T");
+        let _ = b.method(
+            "M",
+            false,
+            std::sync::Arc::new(|_: &mut dyn MethodContext, _: &Invocation| Ok(Value::Unit)),
+            None,
+        );
+        ctx.catalog.register_type(b.build());
+        // type_of() maps everything to ATOMIC in the fake, so `call` fails
+        // to resolve the method on that type.
+        let err = ctx.call(ObjectId(55), "M", vec![]).unwrap_err();
+        assert!(matches!(err, SemccError::BadArguments(_)));
+    }
+}

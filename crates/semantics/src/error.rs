@@ -1,0 +1,103 @@
+//! Error type shared by all crates of the workspace.
+
+use crate::ids::{MethodId, ObjectId, TypeId};
+use std::fmt;
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, SemccError>;
+
+/// Errors raised by the object store, catalog, engine and lock manager.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SemccError {
+    /// The referenced object does not exist.
+    NoSuchObject(ObjectId),
+    /// The referenced type is not registered in the catalog.
+    NoSuchType(TypeId),
+    /// The referenced method is not defined on the given type.
+    NoSuchMethod(TypeId, MethodId),
+    /// A tuple object has no component with the given name.
+    NoSuchField(ObjectId, String),
+    /// The object exists but has the wrong kind for the requested operation
+    /// (e.g. `Get` on a set object).
+    WrongKind { object: ObjectId, expected: &'static str },
+    /// A set insert collided with an existing key.
+    DuplicateKey(ObjectId, u64),
+    /// A set lookup did not find the key.
+    KeyNotFound(ObjectId, u64),
+    /// A value had an unexpected runtime type.
+    TypeMismatch { expected: &'static str, got: String },
+    /// A method argument was missing or malformed.
+    BadArguments(String),
+    /// The transaction was chosen as a deadlock victim and must abort.
+    Deadlock,
+    /// The transaction was aborted (by the application or the engine).
+    Aborted(String),
+    /// The engine is shutting down or the transaction was cancelled.
+    Cancelled,
+    /// Compensation of a committed subtransaction failed irrecoverably.
+    CompensationFailed(String),
+    /// Any other internal invariant violation.
+    Internal(String),
+}
+
+impl fmt::Display for SemccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemccError::NoSuchObject(o) => write!(f, "no such object: {o:?}"),
+            SemccError::NoSuchType(t) => write!(f, "no such type: {t:?}"),
+            SemccError::NoSuchMethod(t, m) => write!(f, "no method {m:?} on type {t:?}"),
+            SemccError::NoSuchField(o, n) => write!(f, "object {o:?} has no component {n:?}"),
+            SemccError::WrongKind { object, expected } => {
+                write!(f, "object {object:?} is not a {expected} object")
+            }
+            SemccError::DuplicateKey(s, k) => write!(f, "duplicate key {k} in set {s:?}"),
+            SemccError::KeyNotFound(s, k) => write!(f, "key {k} not found in set {s:?}"),
+            SemccError::TypeMismatch { expected, got } => {
+                write!(f, "expected {expected}, got {got}")
+            }
+            SemccError::BadArguments(msg) => write!(f, "bad arguments: {msg}"),
+            SemccError::Deadlock => write!(f, "transaction aborted: deadlock victim"),
+            SemccError::Aborted(msg) => write!(f, "transaction aborted: {msg}"),
+            SemccError::Cancelled => write!(f, "operation cancelled"),
+            SemccError::CompensationFailed(msg) => write!(f, "compensation failed: {msg}"),
+            SemccError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SemccError {}
+
+impl SemccError {
+    /// Whether the error means the whole top-level transaction must abort
+    /// (and may be retried by the application).
+    pub fn is_abort(&self) -> bool {
+        matches!(
+            self,
+            SemccError::Deadlock | SemccError::Aborted(_) | SemccError::Cancelled
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SemccError::NoSuchObject(ObjectId(5));
+        assert!(e.to_string().contains("o5"));
+        let e = SemccError::DuplicateKey(ObjectId(1), 42);
+        assert!(e.to_string().contains("42"));
+        let e = SemccError::TypeMismatch { expected: "Int", got: "Bool".into() };
+        assert!(e.to_string().contains("Int"));
+    }
+
+    #[test]
+    fn abort_classification() {
+        assert!(SemccError::Deadlock.is_abort());
+        assert!(SemccError::Aborted("x".into()).is_abort());
+        assert!(SemccError::Cancelled.is_abort());
+        assert!(!SemccError::NoSuchObject(ObjectId(1)).is_abort());
+        assert!(!SemccError::Internal("x".into()).is_abort());
+    }
+}

@@ -1,0 +1,117 @@
+//! Identifier newtypes used throughout the workspace.
+//!
+//! All identifiers are small `Copy` integers so that lock table keys,
+//! transaction tree nodes and history events stay cheap to move around.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a database object (atomic, tuple, set or encapsulated).
+///
+/// Object identifiers are never reused; the store hands them out from a
+/// monotonically increasing counter.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// The pseudo object representing the whole database.
+///
+/// The paper (footnote 2) views top-level transactions as actions that
+/// operate on the object "Database"; transaction roots therefore carry an
+/// invocation on this object and never commute with each other.
+pub const DB_OBJECT: ObjectId = ObjectId(0);
+
+/// Identifier of an object type in the [`Catalog`](crate::catalog::Catalog).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TypeId(pub u32);
+
+impl fmt::Debug for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ty{}", self.0)
+    }
+}
+
+/// Built-in type of the database pseudo object.
+pub const TYPE_DB: TypeId = TypeId(0);
+/// Built-in type of atomic objects (values manipulated with `Get`/`Put`).
+pub const TYPE_ATOMIC: TypeId = TypeId(1);
+/// Built-in type of tuple objects (named components).
+pub const TYPE_TUPLE: TypeId = TypeId(2);
+/// Built-in type of set objects (key → member, `Select`/`Insert`/…).
+pub const TYPE_SET: TypeId = TypeId(3);
+
+/// First identifier available for user-defined encapsulated types.
+pub const FIRST_USER_TYPE: u32 = 16;
+
+impl TypeId {
+    /// Whether this is one of the built-in generic types.
+    pub fn is_builtin(self) -> bool {
+        self.0 < FIRST_USER_TYPE
+    }
+}
+
+/// Identifier of a (user-defined) method, scoped to its owning type.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MethodId(pub u32);
+
+impl fmt::Debug for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Identifier of a storage page.
+///
+/// The object store maps every object to a page; page identifiers are the
+/// lockable units of the conventional page-level two-phase locking baseline.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PageId(pub u64);
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_id_formats_compactly() {
+        assert_eq!(format!("{:?}", ObjectId(42)), "o42");
+        assert_eq!(format!("{}", ObjectId(42)), "o42");
+    }
+
+    #[test]
+    fn builtin_types_are_builtin() {
+        assert!(TYPE_DB.is_builtin());
+        assert!(TYPE_ATOMIC.is_builtin());
+        assert!(TYPE_TUPLE.is_builtin());
+        assert!(TYPE_SET.is_builtin());
+        assert!(!TypeId(FIRST_USER_TYPE).is_builtin());
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(ObjectId(1));
+        s.insert(ObjectId(1));
+        s.insert(ObjectId(2));
+        assert_eq!(s.len(), 2);
+        assert!(ObjectId(1) < ObjectId(2));
+        assert!(PageId(3) < PageId(4));
+    }
+}

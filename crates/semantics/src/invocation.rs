@@ -1,0 +1,257 @@
+//! The invocation model.
+//!
+//! Every action of an open nested transaction — from a top-level transaction
+//! root down to a `Get` on an atomic object — is an [`Invocation`]: a method
+//! applied to exactly one object with a list of argument values. The lock
+//! manager derives the semantic lock mode directly from the invocation
+//! (method plus actual parameters), as prescribed in Section 3 of the paper.
+
+use crate::ids::{MethodId, ObjectId, TypeId};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The built-in "generic methods" of the paper's Section 2.2: operations
+/// provided for the generic type constructors *set* and *tuple* and for
+/// atomic types, used by transactions that bypass encapsulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum GenericMethod {
+    /// Read the value of an atomic object.
+    Get,
+    /// Update the value of an atomic object. Args: `[new_value]`.
+    Put,
+    /// Return the member of a set with the given primary key. Args: `[key]`.
+    Select,
+    /// Insert a member with the given primary key. Args: `[key, member_id]`.
+    Insert,
+    /// Remove the member with the given primary key. Args: `[key]`.
+    Remove,
+    /// Return all `(key, member)` pairs of a set.
+    Scan,
+}
+
+impl GenericMethod {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GenericMethod::Get => "Get",
+            GenericMethod::Put => "Put",
+            GenericMethod::Select => "Select",
+            GenericMethod::Insert => "Insert",
+            GenericMethod::Remove => "Remove",
+            GenericMethod::Scan => "Scan",
+        }
+    }
+
+    /// Whether the operation may modify the object.
+    pub fn is_update(self) -> bool {
+        matches!(
+            self,
+            GenericMethod::Put | GenericMethod::Insert | GenericMethod::Remove
+        )
+    }
+
+    /// All generic methods, for exhaustive tests.
+    pub const ALL: [GenericMethod; 6] = [
+        GenericMethod::Get,
+        GenericMethod::Put,
+        GenericMethod::Select,
+        GenericMethod::Insert,
+        GenericMethod::Remove,
+        GenericMethod::Scan,
+    ];
+}
+
+/// Selects which method an invocation applies: a built-in generic method or
+/// a user-defined method of the object's encapsulated type.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum MethodSel {
+    /// A built-in generic method (`Get`, `Put`, `Select`, …).
+    Generic(GenericMethod),
+    /// A user-defined method, identified within the object's type.
+    User(MethodId),
+}
+
+impl MethodSel {
+    /// `true` for built-in generic methods.
+    pub fn is_generic(&self) -> bool {
+        matches!(self, MethodSel::Generic(_))
+    }
+
+    /// The generic method, if this is one.
+    pub fn as_generic(&self) -> Option<GenericMethod> {
+        match self {
+            MethodSel::Generic(g) => Some(*g),
+            MethodSel::User(_) => None,
+        }
+    }
+
+    /// The user method identifier, if this is one.
+    pub fn as_user(&self) -> Option<MethodId> {
+        match self {
+            MethodSel::User(m) => Some(*m),
+            MethodSel::Generic(_) => None,
+        }
+    }
+}
+
+/// A method invocation on a single object: the unit of locking and the node
+/// label of the transaction tree.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Invocation {
+    /// The object the method operates on.
+    pub object: ObjectId,
+    /// The type of the object (cached here so the lock manager can pick the
+    /// right commutativity specification without a store round trip).
+    pub type_id: TypeId,
+    /// Which method is invoked.
+    pub method: MethodSel,
+    /// Actual parameters. The commutativity specification may inspect them
+    /// (state-independent, parameter-dependent commutativity).
+    pub args: Vec<Value>,
+}
+
+impl Invocation {
+    /// Invocation of a generic method.
+    pub fn generic(object: ObjectId, type_id: TypeId, method: GenericMethod, args: Vec<Value>) -> Self {
+        Invocation { object, type_id, method: MethodSel::Generic(method), args }
+    }
+
+    /// Invocation of a user-defined method.
+    pub fn user(object: ObjectId, type_id: TypeId, method: MethodId, args: Vec<Value>) -> Self {
+        Invocation { object, type_id, method: MethodSel::User(method), args }
+    }
+
+    /// `Get(object)`.
+    pub fn get(object: ObjectId, type_id: TypeId) -> Self {
+        Self::generic(object, type_id, GenericMethod::Get, vec![])
+    }
+
+    /// `Put(object, value)`.
+    pub fn put(object: ObjectId, type_id: TypeId, value: Value) -> Self {
+        Self::generic(object, type_id, GenericMethod::Put, vec![value])
+    }
+
+    /// `Select(set, key)`.
+    pub fn select(set: ObjectId, type_id: TypeId, key: u64) -> Self {
+        Self::generic(set, type_id, GenericMethod::Select, vec![Value::Int(key as i64)])
+    }
+
+    /// `Insert(set, key, member)`.
+    pub fn insert(set: ObjectId, type_id: TypeId, key: u64, member: ObjectId) -> Self {
+        Self::generic(
+            set,
+            type_id,
+            GenericMethod::Insert,
+            vec![Value::Int(key as i64), Value::Id(member)],
+        )
+    }
+
+    /// `Remove(set, key)`.
+    pub fn remove(set: ObjectId, type_id: TypeId, key: u64) -> Self {
+        Self::generic(set, type_id, GenericMethod::Remove, vec![Value::Int(key as i64)])
+    }
+
+    /// `Scan(set)`.
+    pub fn scan(set: ObjectId, type_id: TypeId) -> Self {
+        Self::generic(set, type_id, GenericMethod::Scan, vec![])
+    }
+
+    /// The n-th argument, or an error naming the method.
+    pub fn arg(&self, n: usize) -> crate::error::Result<&Value> {
+        self.args.get(n).ok_or_else(|| {
+            crate::error::SemccError::BadArguments(format!(
+                "missing argument #{n} of {self}"
+            ))
+        })
+    }
+
+    /// The n-th argument as an integer.
+    pub fn arg_int(&self, n: usize) -> crate::error::Result<i64> {
+        self.arg(n)?.as_int().ok_or_else(|| {
+            crate::error::SemccError::BadArguments(format!("argument #{n} of {self} is not an Int"))
+        })
+    }
+
+    /// The n-th argument as a set key.
+    pub fn arg_key(&self, n: usize) -> crate::error::Result<u64> {
+        Ok(self.arg_int(n)? as u64)
+    }
+
+    /// The n-th argument as an object id.
+    pub fn arg_id(&self, n: usize) -> crate::error::Result<ObjectId> {
+        self.arg(n)?.as_id().ok_or_else(|| {
+            crate::error::SemccError::BadArguments(format!("argument #{n} of {self} is not an Id"))
+        })
+    }
+}
+
+impl fmt::Display for Invocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.method {
+            MethodSel::Generic(g) => write!(f, "{}({:?}", g.name(), self.object)?,
+            MethodSel::User(m) => write!(f, "{:?}.{:?}({:?}", self.type_id, m, self.object)?,
+        }
+        for a in &self.args {
+            write!(f, ", {a:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TYPE_ATOMIC;
+
+    #[test]
+    fn generic_method_classification() {
+        assert!(GenericMethod::Put.is_update());
+        assert!(GenericMethod::Insert.is_update());
+        assert!(GenericMethod::Remove.is_update());
+        assert!(!GenericMethod::Get.is_update());
+        assert!(!GenericMethod::Select.is_update());
+        assert!(!GenericMethod::Scan.is_update());
+    }
+
+    #[test]
+    fn method_sel_accessors() {
+        let g = MethodSel::Generic(GenericMethod::Get);
+        assert!(g.is_generic());
+        assert_eq!(g.as_generic(), Some(GenericMethod::Get));
+        assert_eq!(g.as_user(), None);
+        let u = MethodSel::User(MethodId(3));
+        assert!(!u.is_generic());
+        assert_eq!(u.as_user(), Some(MethodId(3)));
+        assert_eq!(u.as_generic(), None);
+    }
+
+    #[test]
+    fn constructors_build_expected_args() {
+        let i = Invocation::put(ObjectId(7), TYPE_ATOMIC, Value::Int(9));
+        assert_eq!(i.args, vec![Value::Int(9)]);
+        assert_eq!(i.method, MethodSel::Generic(GenericMethod::Put));
+
+        let s = Invocation::insert(ObjectId(1), crate::ids::TYPE_SET, 5, ObjectId(2));
+        assert_eq!(s.arg_key(0).unwrap(), 5);
+        assert_eq!(s.arg_id(1).unwrap(), ObjectId(2));
+    }
+
+    #[test]
+    fn arg_errors_are_reported() {
+        let i = Invocation::get(ObjectId(7), TYPE_ATOMIC);
+        assert!(i.arg(0).is_err());
+        assert!(i.arg_int(0).is_err());
+        let p = Invocation::put(ObjectId(7), TYPE_ATOMIC, Value::Bool(true));
+        assert!(p.arg_int(0).is_err());
+        assert!(p.arg_id(0).is_err());
+    }
+
+    #[test]
+    fn display_includes_method_and_object() {
+        let i = Invocation::get(ObjectId(7), TYPE_ATOMIC);
+        let s = format!("{i}");
+        assert!(s.contains("Get"), "{s}");
+        assert!(s.contains("o7"), "{s}");
+    }
+}

@@ -1,0 +1,57 @@
+//! The storage abstraction implemented by the object store.
+//!
+//! The transaction engine performs all *leaf* actions (generic methods on
+//! atomic and set objects) through this trait; it is deliberately free of
+//! any concurrency control — isolation is entirely the lock manager's job,
+//! physical operations only need to be individually atomic (which the store
+//! guarantees internally with short latches).
+
+use crate::error::Result;
+use crate::ids::{ObjectId, PageId, TypeId};
+use crate::value::Value;
+
+/// Physical object store interface.
+pub trait Storage: Send + Sync {
+    /// Read the value of an atomic object.
+    fn get(&self, o: ObjectId) -> Result<Value>;
+
+    /// Update the value of an atomic object, returning the previous value
+    /// (used for physical undo information).
+    fn put(&self, o: ObjectId, v: Value) -> Result<Value>;
+
+    /// Member of a set with the given primary key.
+    fn set_select(&self, s: ObjectId, key: u64) -> Result<Option<ObjectId>>;
+
+    /// Insert a member under a key; fails on duplicates.
+    fn set_insert(&self, s: ObjectId, key: u64, member: ObjectId) -> Result<()>;
+
+    /// Remove a member by key, returning it if present.
+    fn set_remove(&self, s: ObjectId, key: u64) -> Result<Option<ObjectId>>;
+
+    /// All `(key, member)` pairs of a set, in key order.
+    fn set_scan(&self, s: ObjectId) -> Result<Vec<(u64, ObjectId)>>;
+
+    /// Component `name` of a tuple object (structural, immutable).
+    fn field(&self, o: ObjectId, name: &str) -> Result<ObjectId>;
+
+    /// Type of an object.
+    fn type_of(&self, o: ObjectId) -> Result<TypeId>;
+
+    /// Page on which the object is stored (the lockable unit of the
+    /// page-level two-phase locking baseline).
+    fn page_of(&self, o: ObjectId) -> Result<PageId>;
+
+    /// Create an atomic object with the given initial value.
+    fn create_atomic(&self, type_id: TypeId, v: Value) -> Result<ObjectId>;
+
+    /// Create a tuple object with named components. `type_id` may be the
+    /// generic tuple type or a user-defined encapsulated type.
+    fn create_tuple(&self, type_id: TypeId, fields: Vec<(String, ObjectId)>) -> Result<ObjectId>;
+
+    /// Create an empty set object.
+    fn create_set(&self, type_id: TypeId) -> Result<ObjectId>;
+
+    /// Delete an object (used to garbage-collect objects created by an
+    /// aborted transaction).
+    fn delete(&self, o: ObjectId) -> Result<()>;
+}

@@ -1,0 +1,184 @@
+//! The value model of the object store.
+//!
+//! Atomic objects hold a single [`Value`]; method arguments and return
+//! values are also [`Value`]s. The model is intentionally small — just
+//! enough to express the paper's order-entry scenario and the generic
+//! set/tuple operations — but extensible (lists nest arbitrarily).
+
+use crate::ids::ObjectId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A database value.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// Absence of a value (method without a result, empty component).
+    Unit,
+    /// Boolean, e.g. the result of `TestStatus`.
+    Bool(bool),
+    /// Signed integer (quantities, counters, event bit sets).
+    Int(i64),
+    /// Monetary amount in the smallest currency unit (e.g. cents).
+    Money(i64),
+    /// Character string.
+    Str(String),
+    /// Reference to another object.
+    Id(ObjectId),
+    /// Heterogeneous list; also used to encode optional values.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Interpret the value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a monetary amount.
+    pub fn as_money(&self) -> Option<i64> {
+        match self {
+            Value::Money(m) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as an object reference.
+    pub fn as_id(&self) -> Option<ObjectId> {
+        match self {
+            Value::Id(o) => Some(*o),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a list.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`Value::Unit`].
+    pub fn is_unit(&self) -> bool {
+        matches!(self, Value::Unit)
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Unit
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<ObjectId> for Value {
+    fn from(o: ObjectId) -> Self {
+        Value::Id(o)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::List(v)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Money(m) => write!(f, "${}.{:02}", m / 100, (m % 100).abs()),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Id(o) => write!(f, "{o:?}"),
+            Value::List(v) => f.debug_list().entries(v.iter()).finish(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_round_trip() {
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from(7i64).as_int(), Some(7));
+        assert_eq!(Value::Money(150).as_money(), Some(150));
+        assert_eq!(Value::from(ObjectId(9)).as_id(), Some(ObjectId(9)));
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+        let l = Value::from(vec![Value::Int(1)]);
+        assert_eq!(l.as_list().unwrap().len(), 1);
+        assert!(Value::Unit.is_unit());
+    }
+
+    #[test]
+    fn wrong_kind_accessors_return_none() {
+        assert_eq!(Value::Unit.as_bool(), None);
+        assert_eq!(Value::Bool(true).as_int(), None);
+        assert_eq!(Value::Int(3).as_money(), None);
+        assert_eq!(Value::Int(3).as_id(), None);
+        assert_eq!(Value::Int(3).as_str(), None);
+        assert_eq!(Value::Int(3).as_list(), None);
+    }
+
+    #[test]
+    fn money_debug_formats_cents() {
+        assert_eq!(format!("{:?}", Value::Money(1234)), "$12.34");
+        assert_eq!(format!("{:?}", Value::Money(5)), "$0.05");
+    }
+
+    #[test]
+    fn default_is_unit() {
+        assert!(Value::default().is_unit());
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests of the semantics layer: commutativity must be
+//! symmetric, the router must respect the same-object rule, and values
+//! must round-trip.
+
+use proptest::prelude::*;
+use semcc_semantics::{
+    Catalog, CompatibilityMatrix, CommutativitySpec, GenericMethod, Invocation, MethodId, ObjectId,
+    TypeDef, TypeId, TypeKind, Value, TYPE_ATOMIC, TYPE_SET,
+};
+use std::sync::Arc;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Unit),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<i64>().prop_map(Value::Money),
+        "[a-z]{0,8}".prop_map(Value::Str),
+        (0u64..100).prop_map(|i| Value::Id(ObjectId(i))),
+    ]
+}
+
+fn arb_generic_invocation() -> impl Strategy<Value = Invocation> {
+    let method = prop_oneof![
+        Just(GenericMethod::Get),
+        Just(GenericMethod::Put),
+        Just(GenericMethod::Select),
+        Just(GenericMethod::Insert),
+        Just(GenericMethod::Remove),
+        Just(GenericMethod::Scan),
+    ];
+    (0u64..4, method, 0i64..6).prop_map(|(obj, m, key)| {
+        let object = ObjectId(obj);
+        match m {
+            GenericMethod::Get => Invocation::get(object, TYPE_ATOMIC),
+            GenericMethod::Put => Invocation::put(object, TYPE_ATOMIC, Value::Int(key)),
+            GenericMethod::Select => Invocation::select(object, TYPE_SET, key as u64),
+            GenericMethod::Insert => Invocation::insert(object, TYPE_SET, key as u64, ObjectId(900)),
+            GenericMethod::Remove => Invocation::remove(object, TYPE_SET, key as u64),
+            GenericMethod::Scan => Invocation::scan(object, TYPE_SET),
+        }
+    })
+}
+
+/// A randomized user-method matrix over 4 methods: some pairs ok, some
+/// param-dependent.
+fn arb_matrix() -> impl Strategy<Value = CompatibilityMatrix> {
+    proptest::collection::vec(any::<u8>(), 16).prop_map(|choices| {
+        let mut m = CompatibilityMatrix::new();
+        for a in 0..4u32 {
+            for b in a..4u32 {
+                match choices[(a * 4 + b) as usize] % 3 {
+                    0 => {
+                        m.ok(MethodId(a), MethodId(b));
+                    }
+                    1 => {
+                        m.conflict(MethodId(a), MethodId(b));
+                    }
+                    _ => {
+                        m.when(MethodId(a), MethodId(b), |x, y| x.args.first() != y.args.first());
+                    }
+                }
+            }
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Generic-method commutativity is symmetric.
+    #[test]
+    fn generic_commutativity_is_symmetric(a in arb_generic_invocation(), b in arb_generic_invocation()) {
+        let catalog = Catalog::new();
+        let router = catalog.router();
+        prop_assert_eq!(router.commute(&a, &b), router.commute(&b, &a));
+    }
+
+    /// The router never declares invocations on different objects
+    /// commutative.
+    #[test]
+    fn different_objects_never_commute(a in arb_generic_invocation(), b in arb_generic_invocation()) {
+        let catalog = Catalog::new();
+        let router = catalog.router();
+        if a.object != b.object {
+            prop_assert!(!router.commute(&a, &b));
+        }
+    }
+
+    /// Randomized matrices stay symmetric, including param-dependent
+    /// entries and their flipped orientation.
+    #[test]
+    fn matrix_commutativity_is_symmetric(
+        m in arb_matrix(),
+        seed_a in (0u64..4, 0u32..4, 0i64..4),
+        seed_b in (0u64..4, 0u32..4, 0i64..4),
+    ) {
+        let ty = TypeId(20);
+        let inv = |(o, mm, arg): (u64, u32, i64)| {
+            Invocation::user(ObjectId(o), ty, MethodId(mm), vec![Value::Int(arg)])
+        };
+        let (a, b) = (inv(seed_a), inv(seed_b));
+        prop_assert_eq!(m.commute(&a, &b), m.commute(&b, &a));
+    }
+
+    /// Routing through a registered catalog keeps symmetry.
+    #[test]
+    fn router_user_methods_symmetric(
+        m in arb_matrix(),
+        seed_a in (0u64..4, 0u32..4, 0i64..4),
+        seed_b in (0u64..4, 0u32..4, 0i64..4),
+    ) {
+        let mut catalog = Catalog::new();
+        let ty = catalog.register_type(TypeDef {
+            name: "X".into(),
+            kind: TypeKind::Encapsulated,
+            methods: vec![],
+            spec: Arc::new(m),
+        });
+        let router = catalog.router();
+        let inv = |(o, mm, arg): (u64, u32, i64)| {
+            Invocation::user(ObjectId(o), ty, MethodId(mm), vec![Value::Int(arg)])
+        };
+        let (a, b) = (inv(seed_a), inv(seed_b));
+        prop_assert_eq!(router.commute(&a, &b), router.commute(&b, &a));
+    }
+
+    /// Value accessors agree with the constructing variant.
+    #[test]
+    fn value_accessors_are_consistent(v in arb_value()) {
+        let kinds = [
+            v.as_bool().is_some(),
+            v.as_int().is_some(),
+            v.as_money().is_some(),
+            v.as_str().is_some(),
+            v.as_id().is_some(),
+            v.as_list().is_some(),
+            v.is_unit(),
+        ];
+        prop_assert_eq!(kinds.iter().filter(|k| **k).count(), 1, "value {:?}", v);
+    }
+
+    /// Display/Debug of invocations never panics and names the object.
+    #[test]
+    fn invocation_display_total(inv in arb_generic_invocation()) {
+        let s = format!("{inv}");
+        let expected = format!("o{}", inv.object.0);
+        let ok = s.contains(&expected);
+        prop_assert!(ok, "display {} lacks {}", s, expected);
+    }
+}

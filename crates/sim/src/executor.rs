@@ -1,0 +1,169 @@
+//! Multi-threaded workload executor.
+
+use crate::metrics::RunMetrics;
+use parking_lot::Mutex;
+use semcc_core::{Engine, TopId};
+use semcc_orderentry::TxnSpec;
+use semcc_semantics::Value;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Parameters of one run.
+#[derive(Clone, Debug)]
+pub struct RunParams {
+    /// Worker threads (multiprogramming level).
+    pub workers: usize,
+    /// Retries per transaction before giving up.
+    pub max_retries: u32,
+    /// Record committed transactions for validation (adds allocation
+    /// overhead; disable for throughput measurements).
+    pub record_outcomes: bool,
+}
+
+impl Default for RunParams {
+    fn default() -> Self {
+        RunParams { workers: 4, max_retries: 1000, record_outcomes: false }
+    }
+}
+
+/// A committed transaction: its program, engine-assigned id and result.
+#[derive(Clone, Debug)]
+pub struct CommittedTxn {
+    /// Position in the input batch.
+    pub input_idx: usize,
+    /// The executed program.
+    pub spec: TxnSpec,
+    /// Engine transaction id (commit order correlates with it loosely).
+    pub top: TopId,
+    /// Return value.
+    pub value: Value,
+}
+
+/// Result of [`run_workload`].
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Aggregated metrics.
+    pub metrics: RunMetrics,
+    /// Committed transactions (empty unless `record_outcomes`).
+    pub committed: Vec<CommittedTxn>,
+}
+
+/// Execute a batch of transactions on `engine` with `params.workers`
+/// threads. Each transaction is retried on deadlock up to
+/// `params.max_retries` times.
+pub fn run_workload(engine: &Arc<Engine>, batch: Vec<TxnSpec>, params: &RunParams) -> RunOutcome {
+    let stats_before = engine.stats();
+    let next = AtomicUsize::new(0);
+    let batch = Arc::new(batch);
+    let committed = Mutex::new(Vec::new());
+    let commit_count = AtomicU64::new(0);
+    let abort_count = AtomicU64::new(0);
+    let failed_count = AtomicU64::new(0);
+    let latency_us = AtomicU64::new(0);
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..params.workers.max(1) {
+            let batch = Arc::clone(&batch);
+            let next = &next;
+            let committed = &committed;
+            let commit_count = &commit_count;
+            let abort_count = &abort_count;
+            let failed_count = &failed_count;
+            let latency_us = &latency_us;
+            s.spawn(move || loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = batch.get(idx) else { break };
+                let t = Instant::now();
+                let (res, retries) = engine.execute_with_retry(spec, params.max_retries);
+                latency_us.fetch_add(t.elapsed().as_micros() as u64, Ordering::Relaxed);
+                abort_count.fetch_add(u64::from(retries), Ordering::Relaxed);
+                match res {
+                    Ok(out) => {
+                        commit_count.fetch_add(1, Ordering::Relaxed);
+                        if params.record_outcomes {
+                            committed.lock().push(CommittedTxn {
+                                input_idx: idx,
+                                spec: spec.clone(),
+                                top: out.top,
+                                value: out.value,
+                            });
+                        }
+                    }
+                    Err(_) => {
+                        failed_count.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+
+    let stats = engine.stats().delta(&stats_before);
+    let committed_n = commit_count.load(Ordering::Relaxed);
+    let block_ratio = if stats.lock_requests > 0 {
+        stats.blocked_requests as f64 / stats.lock_requests as f64
+    } else {
+        0.0
+    };
+    let mut committed = committed.into_inner();
+    committed.sort_by_key(|c| c.top);
+
+    RunOutcome {
+        metrics: RunMetrics {
+            protocol: engine.protocol_name().to_owned(),
+            workers: params.workers,
+            committed: committed_n,
+            aborted_attempts: abort_count.load(Ordering::Relaxed),
+            failed: failed_count.load(Ordering::Relaxed),
+            elapsed,
+            throughput: committed_n as f64 / elapsed.as_secs_f64().max(1e-9),
+            mean_latency_us: latency_us.load(Ordering::Relaxed) as f64 / (committed_n.max(1) as f64),
+            block_ratio,
+            stats,
+        },
+        committed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::{build_engine, ProtocolKind};
+    use semcc_orderentry::{Database, DbParams, Workload, WorkloadConfig};
+
+    #[test]
+    fn runs_a_batch_and_counts_commits() {
+        let db = Database::build(&DbParams { n_items: 4, orders_per_item: 3, ..Default::default() }).unwrap();
+        let engine = build_engine(ProtocolKind::Semantic, &db, None);
+        let mut w = Workload::new(&db, WorkloadConfig::default());
+        let batch = w.batch(&db, 40);
+        let out = run_workload(&engine, batch, &RunParams { workers: 4, ..Default::default() });
+        assert_eq!(out.metrics.committed + out.metrics.failed, 40);
+        assert_eq!(out.metrics.failed, 0);
+        assert!(out.metrics.throughput > 0.0);
+        assert!(out.committed.is_empty(), "outcomes not recorded by default");
+    }
+
+    #[test]
+    fn records_outcomes_when_asked() {
+        let db = Database::build(&DbParams { n_items: 4, orders_per_item: 3, ..Default::default() }).unwrap();
+        let engine = build_engine(ProtocolKind::Object2pl, &db, None);
+        let mut w = Workload::new(&db, WorkloadConfig::default());
+        let batch = w.batch(&db, 10);
+        let out = run_workload(
+            &engine,
+            batch,
+            &RunParams { workers: 2, record_outcomes: true, ..Default::default() },
+        );
+        assert_eq!(out.committed.len(), 10);
+        // Tops are unique and sorted.
+        let mut tops: Vec<_> = out.committed.iter().map(|c| c.top).collect();
+        let sorted = tops.clone();
+        tops.sort();
+        tops.dedup();
+        assert_eq!(tops.len(), 10);
+        assert_eq!(tops, sorted);
+    }
+}

@@ -1,0 +1,34 @@
+//! # semcc-sim
+//!
+//! Execution harness for the experiments: a multi-threaded workload
+//! executor with metrics, a registry of all concurrency control protocols
+//! under test, deterministic scenario utilities (gates + event waits) used
+//! to reproduce the paper's figures, and two independent serializability
+//! validators:
+//!
+//! * **state/return-value equivalence** — re-execute the committed
+//!   transactions serially (in some permutation) on a snapshot of the
+//!   initial state and compare the final observable state and every
+//!   transaction's return value; exact for the deterministic
+//!   [`TxnSpec`](semcc_orderentry::TxnSpec) programs, used with small
+//!   transaction counts;
+//! * **semantic serialization graph** — from the recorded history, an edge
+//!   `A → B` is drawn for each semantically conflicting action pair that is
+//!   *not absorbed by a commutative ancestor pair* (the same criterion the
+//!   protocol enforces); a cycle indicates a non-(semantically-)serializable
+//!   execution. This is the detector that flags the Figure-5 anomaly of the
+//!   unsafe no-retention protocol.
+
+pub mod executor;
+pub mod metrics;
+pub mod protocols;
+pub mod scenario;
+pub mod treeview;
+pub mod validate;
+
+pub use executor::{run_workload, CommittedTxn, RunOutcome, RunParams};
+pub use metrics::RunMetrics;
+pub use protocols::{build_engine, build_engine_cfg, ProtocolKind};
+pub use scenario::Gate;
+pub use treeview::TreeView;
+pub use validate::{check_semantic_graph, check_state_equivalence, GraphReport};

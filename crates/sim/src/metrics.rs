@@ -1,0 +1,87 @@
+//! Run metrics.
+
+use semcc_core::StatsSnapshot;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Aggregated results of one workload run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Protocol display name.
+    pub protocol: String,
+    /// Worker threads (multiprogramming level).
+    pub workers: usize,
+    /// Committed transactions.
+    pub committed: u64,
+    /// Aborted attempts (deadlock victims that were retried).
+    pub aborted_attempts: u64,
+    /// Transactions that exhausted their retries.
+    pub failed: u64,
+    /// Wall-clock duration of the run.
+    #[serde(with = "duration_micros")]
+    pub elapsed: Duration,
+    /// Committed transactions per second.
+    pub throughput: f64,
+    /// Mean latency per committed transaction (µs).
+    pub mean_latency_us: f64,
+    /// Fraction of lock requests that had to wait.
+    pub block_ratio: f64,
+    /// Protocol counter snapshot (deltas for this run).
+    pub stats: StatsSnapshot,
+}
+
+mod duration_micros {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        (d.as_micros() as u64).serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        Ok(Duration::from_micros(u64::deserialize(d)?))
+    }
+}
+
+impl RunMetrics {
+    /// Compact single-line rendering for tables.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<22} {:>3}w  {:>8.0} txn/s  commits {:>6}  aborts {:>5}  block {:>5.1}%  case1 {:>5}  case2 {:>5}  rootw {:>6}",
+            self.protocol,
+            self.workers,
+            self.throughput,
+            self.committed,
+            self.aborted_attempts,
+            self.block_ratio * 100.0,
+            self.stats.case1_grants,
+            self.stats.case2_waits,
+            self.stats.root_waits,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_renders_key_figures() {
+        let m = RunMetrics {
+            protocol: "semantic".into(),
+            workers: 8,
+            committed: 100,
+            aborted_attempts: 3,
+            failed: 0,
+            elapsed: Duration::from_millis(500),
+            throughput: 200.0,
+            mean_latency_us: 123.0,
+            block_ratio: 0.25,
+            stats: StatsSnapshot::default(),
+        };
+        let row = m.row();
+        assert!(row.contains("semantic"));
+        assert!(row.contains("200"));
+        assert!(row.contains("25.0%"));
+    }
+}

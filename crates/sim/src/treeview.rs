@@ -1,0 +1,220 @@
+//! Render recorded transaction trees the way the paper draws them
+//! (Figure 4): one tree per top-level transaction, nodes labelled with
+//! their invocations, annotated with grant/completion order so
+//! interleavings are visible.
+
+use semcc_core::{Event, Stamped, TopId};
+use semcc_semantics::Catalog;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+struct NodeView {
+    label: String,
+    children: Vec<u32>,
+    granted_seq: Option<u64>,
+    completed_seq: Option<u64>,
+    blocked: bool,
+}
+
+/// A reconstructed transaction tree.
+pub struct TreeView {
+    top: TopId,
+    label: String,
+    nodes: HashMap<u32, NodeView>,
+    committed: bool,
+    aborted: bool,
+}
+
+impl TreeView {
+    /// Reconstruct the trees of all transactions appearing in `events`.
+    /// Catalog names are used for the node labels.
+    pub fn from_events(events: &[Stamped], catalog: &Catalog) -> Vec<TreeView> {
+        let mut trees: HashMap<TopId, TreeView> = HashMap::new();
+        let mut order: Vec<TopId> = Vec::new();
+        for e in events {
+            match &e.ev {
+                Event::TopBegin { top, label } => {
+                    order.push(*top);
+                    let mut nodes = HashMap::new();
+                    nodes.insert(
+                        0,
+                        NodeView {
+                            label: label.clone(),
+                            children: Vec::new(),
+                            granted_seq: None,
+                            completed_seq: None,
+                            blocked: false,
+                        },
+                    );
+                    trees.insert(
+                        *top,
+                        TreeView { top: *top, label: label.clone(), nodes, committed: false, aborted: false },
+                    );
+                }
+                Event::ActionStart { node, parent, inv } => {
+                    if let Some(t) = trees.get_mut(&node.top) {
+                        t.nodes.insert(
+                            node.idx,
+                            NodeView {
+                                label: catalog.describe(inv),
+                                children: Vec::new(),
+                                granted_seq: None,
+                                completed_seq: None,
+                                blocked: false,
+                            },
+                        );
+                        if let Some(p) = t.nodes.get_mut(&parent.idx) {
+                            p.children.push(node.idx);
+                        }
+                    }
+                }
+                Event::Granted { node, .. } => {
+                    if let Some(t) = trees.get_mut(&node.top) {
+                        if let Some(n) = t.nodes.get_mut(&node.idx) {
+                            n.granted_seq = Some(e.seq);
+                        }
+                    }
+                }
+                Event::Blocked { node, .. } => {
+                    if let Some(t) = trees.get_mut(&node.top) {
+                        if let Some(n) = t.nodes.get_mut(&node.idx) {
+                            n.blocked = true;
+                        }
+                    }
+                }
+                Event::ActionComplete { node } => {
+                    if let Some(t) = trees.get_mut(&node.top) {
+                        if let Some(n) = t.nodes.get_mut(&node.idx) {
+                            n.completed_seq = Some(e.seq);
+                        }
+                    }
+                }
+                Event::TopCommit { top } => {
+                    if let Some(t) = trees.get_mut(top) {
+                        t.committed = true;
+                    }
+                }
+                Event::TopAbort { top, .. } => {
+                    if let Some(t) = trees.get_mut(top) {
+                        t.aborted = true;
+                    }
+                }
+                Event::Compensate { .. } => {}
+            }
+        }
+        order.into_iter().filter_map(|t| trees.remove(&t)).collect()
+    }
+
+    /// The transaction this tree belongs to.
+    pub fn top(&self) -> TopId {
+        self.top
+    }
+
+    /// Whether the transaction committed.
+    pub fn committed(&self) -> bool {
+        self.committed
+    }
+
+    fn render_node(&self, idx: u32, prefix: &str, is_last: bool, out: &mut String) {
+        let Some(n) = self.nodes.get(&idx) else { return };
+        let connector = if idx == 0 {
+            ""
+        } else if is_last {
+            "└── "
+        } else {
+            "├── "
+        };
+        let mut annot = Vec::new();
+        if let Some(g) = n.granted_seq {
+            annot.push(format!("granted@{g}"));
+        }
+        if n.blocked {
+            annot.push("BLOCKED".into());
+        }
+        if let Some(c) = n.completed_seq {
+            annot.push(format!("done@{c}"));
+        }
+        let annots = if annot.is_empty() { String::new() } else { format!("   [{}]", annot.join(", ")) };
+        let _ = writeln!(out, "{prefix}{connector}{}{annots}", n.label);
+        let child_prefix = if idx == 0 {
+            String::new()
+        } else {
+            format!("{prefix}{}", if is_last { "    " } else { "│   " })
+        };
+        for (i, c) in n.children.iter().enumerate() {
+            self.render_node(*c, &child_prefix, i + 1 == n.children.len(), out);
+        }
+    }
+
+    /// ASCII rendering of the tree (Figure-4 style, vertical).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let status = if self.committed {
+            "committed"
+        } else if self.aborted {
+            "aborted"
+        } else {
+            "active"
+        };
+        let _ = writeln!(out, "{} = {} ({status})", self.top, self.label);
+        if let Some(root) = self.nodes.get(&0) {
+            for (i, c) in root.children.iter().enumerate() {
+                self.render_node(*c, "", i + 1 == root.children.len(), &mut out);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::{build_engine, ProtocolKind};
+    use semcc_core::MemorySink;
+    use semcc_orderentry::{Database, DbParams, Target, TxnSpec};
+
+    #[test]
+    fn renders_a_ship_transaction_tree() {
+        let db = Database::build(&DbParams { n_items: 1, orders_per_item: 1, ..Default::default() }).unwrap();
+        let sink = MemorySink::new();
+        let engine = build_engine(ProtocolKind::Semantic, &db, Some(sink.clone()));
+        let t = Target { item: db.items[0].item, order: db.items[0].orders[0].order };
+        engine.execute(&TxnSpec::Ship(vec![t])).unwrap();
+
+        let trees = TreeView::from_events(&sink.events(), &db.catalog);
+        assert_eq!(trees.len(), 1);
+        assert!(trees[0].committed());
+        let text = trees[0].render();
+        assert!(text.contains("ShipOrder"), "{text}");
+        assert!(text.contains("ChangeStatus"), "{text}");
+        assert!(text.contains("Put("), "{text}");
+        assert!(text.contains("granted@"), "{text}");
+        assert!(text.contains("committed"), "{text}");
+        // ShipOrder is indented under the root; leaves deeper.
+        let ship_line = text.lines().find(|l| l.contains("ShipOrder")).unwrap();
+        let cs_line = text.lines().find(|l| l.contains("ChangeStatus")).unwrap();
+        assert!(cs_line.find("ChangeStatus") > ship_line.find("ShipOrder"));
+    }
+
+    #[test]
+    fn renders_aborted_transactions() {
+        use semcc_core::FnProgram;
+        use semcc_semantics::{MethodContext, SemccError, Value};
+        let db = Database::build(&DbParams { n_items: 1, orders_per_item: 1, ..Default::default() }).unwrap();
+        let sink = MemorySink::new();
+        let engine = build_engine(ProtocolKind::Semantic, &db, Some(sink.clone()));
+        let t = Target { item: db.items[0].item, order: db.items[0].orders[0].order };
+        let p = FnProgram::new("doomed", move |ctx: &mut dyn MethodContext| {
+            ctx.call(t.item, "PayOrder", vec![Value::Id(t.order)])?;
+            Err(SemccError::Aborted("x".into()))
+        });
+        let _ = engine.execute(&p).unwrap_err();
+        let trees = TreeView::from_events(&sink.events(), &db.catalog);
+        assert_eq!(trees.len(), 1);
+        assert!(!trees[0].committed());
+        let text = trees[0].render();
+        assert!(text.contains("aborted"), "{text}");
+        // Compensation ran as extra children under the root.
+        assert!(text.contains("ClearStatus"), "{text}");
+    }
+}

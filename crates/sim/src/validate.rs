@@ -1,0 +1,433 @@
+//! Serializability validators.
+//!
+//! Two independent oracles, used together in the correctness experiments:
+//!
+//! 1. [`check_state_equivalence`] — the ground truth for small histories:
+//!    does *some* serial order of the committed transactions reproduce the
+//!    observed final state and every transaction's return values?
+//!    (Behavioral equivalence in the paper's sense, projected onto the
+//!    canonical observable state: identifiers assigned to freshly created
+//!    objects are normalized away.)
+//! 2. [`check_semantic_graph`] — a conflict-graph test on the recorded
+//!    history that mirrors the protocol's own criterion: two actions of
+//!    different transactions conflict iff they operate on the same object,
+//!    do not commute, and have **no commutative ancestor pair on a common
+//!    object** (conflicts between implementation-level actions are absorbed
+//!    by commutative ancestors, exactly as in the Figure-9 test). Acyclic ⇒
+//!    semantically serializable in the serialization order of the graph.
+
+use crate::executor::CommittedTxn;
+use semcc_core::{Engine, Event, NodeRef, Stamped, TopId};
+use semcc_objstore::MemoryStore;
+use semcc_semantics::{Catalog, Invocation, ObjectId, Result, SemanticsRouter, Storage, Value};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// State / return-value equivalence
+// ---------------------------------------------------------------------
+
+/// Canonical observable database state: per item `(ItemNo, Price, QOH,
+/// orders)` with orders as `(OrderNo, CustomerNo, Quantity, Status)` —
+/// object identities normalized away.
+pub type CanonicalDb = Vec<(i64, i64, i64, Vec<(i64, i64, i64, i64)>)>;
+
+/// Project a store onto the canonical order-entry state.
+pub fn canonical_state(store: &dyn Storage, items_set: ObjectId) -> Result<CanonicalDb> {
+    let mut out = Vec::new();
+    for (_k, item) in store.set_scan(items_set)? {
+        let geti = |name: &str| -> Result<i64> {
+            Ok(store.get(store.field(item, name)?)?.as_int().unwrap_or(0))
+        };
+        let mut orders = Vec::new();
+        for (_ok, order) in store.set_scan(store.field(item, "Orders")?)? {
+            let geto = |name: &str| -> Result<i64> {
+                Ok(store.get(store.field(order, name)?)?.as_int().unwrap_or(0))
+            };
+            orders.push((geto("OrderNo")?, geto("CustomerNo")?, geto("Quantity")?, geto("Status")?));
+        }
+        orders.sort();
+        out.push((geti("ItemNo")?, geti("Price")?, geti("QOH")?, orders));
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Replay `order` serially on a copy of `initial`; return the canonical
+/// final state and per-transaction values, or `None` if a replayed
+/// transaction fails.
+fn replay(
+    initial: &MemoryStore,
+    catalog: &Arc<Catalog>,
+    items_set: ObjectId,
+    committed: &[CommittedTxn],
+    order: &[usize],
+) -> Option<(CanonicalDb, Vec<Value>)> {
+    let store = Arc::new(initial.snapshot());
+    let engine = Engine::builder(Arc::clone(&store) as Arc<dyn Storage>, Arc::clone(catalog)).build();
+    let mut values = vec![Value::Unit; committed.len()];
+    for &i in order {
+        match engine.execute(&committed[i].spec) {
+            Ok(out) => values[i] = out.value,
+            Err(_) => return None,
+        }
+    }
+    let state = canonical_state(store.as_ref(), items_set).ok()?;
+    Some((state, values))
+}
+
+/// Search for a serial order of `committed` that reproduces the observed
+/// final state and return values. `initial` must be a snapshot taken
+/// *before* the concurrent run. Tries the engine-id order first, then all
+/// permutations (only if `committed.len() <= max_full_perm`).
+///
+/// Returns the witnessing order, or `None` if no tested order matches.
+pub fn check_state_equivalence(
+    initial: &MemoryStore,
+    catalog: &Arc<Catalog>,
+    items_set: ObjectId,
+    committed: &[CommittedTxn],
+    final_store: &MemoryStore,
+    max_full_perm: usize,
+) -> Option<Vec<usize>> {
+    let observed_state = canonical_state(final_store, items_set).ok()?;
+    let observed_values: Vec<Value> = committed.iter().map(|c| c.value.clone()).collect();
+
+    let matches = |order: &[usize]| -> bool {
+        replay(initial, catalog, items_set, committed, order)
+            .map(|(state, values)| state == observed_state && values == observed_values)
+            .unwrap_or(false)
+    };
+
+    // Engine-id order (very likely the serialization order under locking).
+    let mut base: Vec<usize> = (0..committed.len()).collect();
+    base.sort_by_key(|&i| committed[i].top);
+    if matches(&base) {
+        return Some(base);
+    }
+
+    if committed.len() > max_full_perm {
+        return None;
+    }
+    // Exhaustive permutation search (Heap's algorithm).
+    let mut perm = base.clone();
+    let n = perm.len();
+    let mut c = vec![0usize; n];
+    if matches(&perm) {
+        return Some(perm);
+    }
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            if matches(&perm) {
+                return Some(perm);
+            }
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Semantic serialization graph
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct ActionRec {
+    node: NodeRef,
+    inv: Arc<Invocation>,
+    parent: NodeRef,
+    /// Serialization point: lock grant (or start) sequence number.
+    seq: u64,
+}
+
+/// Result of the graph check.
+#[derive(Debug)]
+pub struct GraphReport {
+    /// Whether the conflict graph over committed transactions is acyclic.
+    pub serializable: bool,
+    /// A witness cycle, if any.
+    pub cycle: Option<Vec<TopId>>,
+    /// Committed transactions examined.
+    pub committed: usize,
+    /// Unabsorbed conflict edges found.
+    pub edges: usize,
+    /// Same-object action pairs tested.
+    pub pairs_tested: usize,
+}
+
+/// Build the semantic serialization graph from a recorded history and test
+/// it for cycles. Only actions of **committed** transactions participate
+/// (aborted transactions are compensated and drop out of the equivalent
+/// serial execution).
+pub fn check_semantic_graph(events: &[Stamped], router: &SemanticsRouter) -> GraphReport {
+    let mut committed: HashSet<TopId> = HashSet::new();
+    let mut actions: HashMap<NodeRef, ActionRec> = HashMap::new();
+    let mut compensating: HashSet<TopId> = HashSet::new();
+
+    for e in events {
+        match &e.ev {
+            Event::TopCommit { top } => {
+                committed.insert(*top);
+            }
+            Event::Compensate { top, .. } => {
+                compensating.insert(*top);
+            }
+            Event::ActionStart { node, parent, inv } => {
+                actions.insert(
+                    *node,
+                    ActionRec { node: *node, inv: Arc::clone(inv), parent: *parent, seq: e.seq },
+                );
+            }
+            Event::Granted { node, .. } => {
+                if let Some(a) = actions.get_mut(node) {
+                    a.seq = e.seq;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Ancestor chains (object+invocation only) per node.
+    let chain_of = |node: NodeRef| -> Vec<Arc<Invocation>> {
+        let mut out = Vec::new();
+        let mut cur = node;
+        loop {
+            let Some(rec) = actions.get(&cur) else { break };
+            out.push(Arc::clone(&rec.inv));
+            if rec.parent.idx == cur.idx {
+                break;
+            }
+            if rec.parent.is_root() {
+                break;
+            }
+            cur = rec.parent;
+        }
+        out
+    };
+
+    // Bucket committed LEAF actions by object. Leaves carry every
+    // state-level dependency (a method's behaviour is realized entirely
+    // through its leaf reads and writes), and their lock-grant order is the
+    // true serialization order under every protocol — method-level action
+    // start order is not (the 2PL baselines do not lock methods at all).
+    // Semantic absorption then removes the leaf conflicts that commutative
+    // ancestors declare insignificant.
+    let mut by_object: BTreeMap<ObjectId, Vec<&ActionRec>> = BTreeMap::new();
+    for rec in actions.values() {
+        if rec.inv.method.is_generic() && committed.contains(&rec.node.top) {
+            by_object.entry(rec.inv.object).or_default().push(rec);
+        }
+    }
+
+    let mut edges: HashMap<TopId, HashSet<TopId>> = HashMap::new();
+    let mut edge_count = 0usize;
+    let mut pairs_tested = 0usize;
+
+    for recs in by_object.values() {
+        for (i, a) in recs.iter().enumerate() {
+            for b in recs.iter().skip(i + 1) {
+                if a.node.top == b.node.top {
+                    continue;
+                }
+                pairs_tested += 1;
+                if router.commute(&a.inv, &b.inv) {
+                    continue;
+                }
+                // Absorption by a commutative ancestor pair (proper
+                // ancestors on a common object).
+                let ca = chain_of(a.node);
+                let cb = chain_of(b.node);
+                let absorbed = ca
+                    .iter()
+                    .skip(1)
+                    .any(|ai| cb.iter().skip(1).any(|bi| router.commute(ai, bi)));
+                if absorbed {
+                    continue;
+                }
+                let (from, to) = if a.seq < b.seq {
+                    (a.node.top, b.node.top)
+                } else {
+                    (b.node.top, a.node.top)
+                };
+                if edges.entry(from).or_default().insert(to) {
+                    edge_count += 1;
+                }
+            }
+        }
+    }
+
+    // Cycle detection (iterative DFS with colors).
+    let mut color: HashMap<TopId, u8> = HashMap::new(); // 0 white, 1 grey, 2 black
+    let mut cycle = None;
+    'outer: for &start in committed.iter() {
+        if color.get(&start).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        let mut path = vec![start];
+        color.insert(start, 1);
+        while let Some((node, child_idx)) = stack.pop() {
+            let nexts: Vec<TopId> = edges.get(&node).map(|s| s.iter().copied().collect()).unwrap_or_default();
+            if child_idx < nexts.len() {
+                stack.push((node, child_idx + 1));
+                let n = nexts[child_idx];
+                match color.get(&n).copied().unwrap_or(0) {
+                    0 => {
+                        color.insert(n, 1);
+                        path.push(n);
+                        stack.push((n, 0));
+                    }
+                    1 => {
+                        // Found a cycle: slice the current path from n.
+                        let pos = path.iter().position(|t| *t == n).unwrap_or(0);
+                        cycle = Some(path[pos..].to_vec());
+                        break 'outer;
+                    }
+                    _ => {}
+                }
+            } else {
+                color.insert(node, 2);
+                if path.last() == Some(&node) {
+                    path.pop();
+                }
+            }
+        }
+    }
+
+    GraphReport {
+        serializable: cycle.is_none(),
+        cycle,
+        committed: committed.len(),
+        edges: edge_count,
+        pairs_tested,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{run_workload, RunParams};
+    use crate::protocols::{build_engine, ProtocolKind};
+    use semcc_core::MemorySink;
+    use semcc_orderentry::{Database, DbParams, Workload, WorkloadConfig};
+
+    fn small_db() -> Database {
+        Database::build(&DbParams { n_items: 2, orders_per_item: 2, ..Default::default() }).unwrap()
+    }
+
+    #[test]
+    fn canonical_state_projects_schema() {
+        let db = small_db();
+        let c = canonical_state(db.store.as_ref(), db.items_set).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0].0, 1, "ItemNo");
+        assert_eq!(c[0].3.len(), 2, "orders");
+        assert_eq!(c[0].3[0].3, 0, "status new");
+    }
+
+    #[test]
+    fn state_equivalence_accepts_serial_run() {
+        let db = small_db();
+        let initial = db.store.snapshot();
+        let engine = build_engine(ProtocolKind::Semantic, &db, None);
+        let mut w = Workload::new(&db, WorkloadConfig::default());
+        let batch = w.batch(&db, 5);
+        let out = run_workload(&engine, batch, &RunParams { workers: 1, record_outcomes: true, ..Default::default() });
+        let witness = check_state_equivalence(&initial, &db.catalog, db.items_set, &out.committed, &db.store, 6);
+        assert!(witness.is_some(), "serial run must be trivially equivalent");
+    }
+
+    #[test]
+    fn state_equivalence_accepts_concurrent_semantic_run() {
+        let db = small_db();
+        let initial = db.store.snapshot();
+        let engine = build_engine(ProtocolKind::Semantic, &db, None);
+        let mut w = Workload::new(&db, WorkloadConfig { zipf_theta: 1.2, ..Default::default() });
+        let batch = w.batch(&db, 6);
+        let out = run_workload(&engine, batch, &RunParams { workers: 4, record_outcomes: true, ..Default::default() });
+        assert_eq!(out.committed.len(), 6);
+        let witness = check_state_equivalence(&initial, &db.catalog, db.items_set, &out.committed, &db.store, 6);
+        assert!(witness.is_some(), "semantic protocol run must be serializable");
+    }
+
+    #[test]
+    fn state_equivalence_rejects_corrupted_state() {
+        let db = small_db();
+        let initial = db.store.snapshot();
+        let engine = build_engine(ProtocolKind::Semantic, &db, None);
+        let mut w = Workload::new(&db, WorkloadConfig::default());
+        let batch = w.batch(&db, 4);
+        let out = run_workload(&engine, batch, &RunParams { workers: 2, record_outcomes: true, ..Default::default() });
+        // Corrupt the final state.
+        db.store.put(db.items[0].qoh, Value::Int(-999)).unwrap();
+        let witness = check_state_equivalence(&initial, &db.catalog, db.items_set, &out.committed, &db.store, 6);
+        assert!(witness.is_none());
+    }
+
+    #[test]
+    fn graph_check_passes_semantic_run() {
+        let db = small_db();
+        let sink = MemorySink::new();
+        let engine = build_engine(ProtocolKind::Semantic, &db, Some(sink.clone()));
+        let mut w = Workload::new(&db, WorkloadConfig { zipf_theta: 1.5, ..Default::default() });
+        let batch = w.batch(&db, 20);
+        let _ = run_workload(&engine, batch, &RunParams { workers: 4, ..Default::default() });
+        let report = check_semantic_graph(&sink.events(), engine.router());
+        assert!(report.serializable, "cycle: {:?}", report.cycle);
+        assert_eq!(report.committed, 20);
+    }
+
+    #[test]
+    fn graph_check_detects_handmade_cycle() {
+        // Synthesize a history with a 2-cycle: T1 and T2 each Put two
+        // objects in opposite orders, no commutative ancestors.
+        use semcc_semantics::{Invocation, TYPE_ATOMIC};
+        let sink = MemorySink::new();
+        let o1 = ObjectId(100);
+        let o2 = ObjectId(200);
+        let mk = |top: u64, idx: u32, obj: ObjectId| Event::ActionStart {
+            node: NodeRef { top: TopId(top), idx },
+            parent: NodeRef::root(TopId(top)),
+            inv: Arc::new(Invocation::put(obj, TYPE_ATOMIC, Value::Int(0))),
+        };
+        use semcc_core::HistorySink;
+        sink.record(mk(1, 1, o1)); // T1 writes o1 first
+        sink.record(mk(2, 1, o2)); // T2 writes o2
+        sink.record(mk(2, 2, o1)); // T2 writes o1 (after T1)
+        sink.record(mk(1, 2, o2)); // T1 writes o2 (after T2) → cycle
+        sink.record(Event::TopCommit { top: TopId(1) });
+        sink.record(Event::TopCommit { top: TopId(2) });
+        let catalog = Catalog::new();
+        let report = check_semantic_graph(&sink.events(), &catalog.router());
+        assert!(!report.serializable);
+        let cycle = report.cycle.unwrap();
+        assert!(cycle.contains(&TopId(1)) && cycle.contains(&TopId(2)), "{cycle:?}");
+    }
+
+    #[test]
+    fn graph_check_absorbs_commutative_ancestors() {
+        // T1 Ship(i,o) and T2 Pay(i,o) concurrently: leaf status writes
+        // conflict but the ShipOrder/PayOrder ancestor pair absorbs them.
+        let db = small_db();
+        let sink = MemorySink::new();
+        let engine = build_engine(ProtocolKind::Semantic, &db, Some(sink.clone()));
+        let t = semcc_orderentry::Target { item: db.items[0].item, order: db.items[0].orders[0].order };
+        let batch = vec![
+            semcc_orderentry::TxnSpec::Ship(vec![t]),
+            semcc_orderentry::TxnSpec::Pay(vec![t]),
+        ];
+        let _ = run_workload(&engine, batch, &RunParams { workers: 2, ..Default::default() });
+        let report = check_semantic_graph(&sink.events(), engine.router());
+        assert!(report.serializable);
+    }
+}

@@ -1,0 +1,249 @@
+//! Narrated reproductions of the paper's figures: the compatibility
+//! matrices (Figures 2 and 3) and the four execution scenarios
+//! (Figures 4–7), printed with the protocol's actual decisions.
+//!
+//! ```text
+//! cargo run --example paper_figures
+//! ```
+
+use semcc::core::{FnProgram, MemorySink};
+use semcc::orderentry::matrices::{item_matrix, order_matrix, render};
+use semcc::orderentry::types::{
+    ITEM_NEW_ORDER, ITEM_PAY_ORDER, ITEM_SHIP_ORDER, ITEM_TOTAL_PAYMENT, ORDER_CHANGE_STATUS,
+    ORDER_TEST_STATUS,
+};
+use semcc::orderentry::{Database, DbParams, StatusEvent, Target, TxnSpec};
+use semcc::semantics::{CommutativitySpec, Invocation, MethodContext, MethodId, ObjectId, TypeId, Value};
+use semcc::sim::scenario::{await_action_complete, await_blocked, ever_blocked, top_of_label, Gate};
+use semcc::sim::{build_engine, ProtocolKind};
+use std::sync::Arc;
+
+fn print_figure2() {
+    println!("── Figure 2: compatibility matrix for object type Item ──\n");
+    let m = item_matrix(false);
+    let methods = [ITEM_NEW_ORDER, ITEM_SHIP_ORDER, ITEM_PAY_ORDER, ITEM_TOTAL_PAYMENT];
+    let inv = |mid: MethodId| Invocation::user(ObjectId(1), TypeId(17), mid, vec![Value::Id(ObjectId(9))]);
+    let table = render(
+        "",
+        &["NewOrder", "ShipOrder", "PayOrder", "TotalPayment"],
+        |i, j| m.commute(&inv(methods[i]), &inv(methods[j])),
+    );
+    println!("{table}");
+}
+
+fn print_figure3() {
+    println!("── Figure 3: compatibility matrix for object type Order ──\n");
+    let m = order_matrix();
+    let insts = [
+        (ORDER_CHANGE_STATUS, StatusEvent::Shipped),
+        (ORDER_CHANGE_STATUS, StatusEvent::Paid),
+        (ORDER_TEST_STATUS, StatusEvent::Shipped),
+        (ORDER_TEST_STATUS, StatusEvent::Paid),
+    ];
+    let inv = |(mid, ev): (MethodId, StatusEvent)| {
+        Invocation::user(ObjectId(2), TypeId(16), mid, vec![ev.value()])
+    };
+    let table = render(
+        "",
+        &["ChangeStatus(shipped)", "ChangeStatus(paid)", "TestStatus(shipped)", "TestStatus(paid)"],
+        |i, j| m.commute(&inv(insts[i]), &inv(insts[j])),
+    );
+    println!("{table}");
+}
+
+fn db2() -> Database {
+    Database::build(&DbParams { n_items: 2, orders_per_item: 2, ..Default::default() }).unwrap()
+}
+
+fn wait_label(sink: &MemorySink, label: &str) -> semcc::core::TopId {
+    loop {
+        if let Some(t) = top_of_label(sink, label, 0) {
+            return t;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+
+/// Figure 4: fully commutative interleaving of T1 (ship) and T2 (pay).
+fn figure4() {
+    println!("── Figure 4: concurrent execution of two open nested transactions ──\n");
+    let db = db2();
+    let sink = MemorySink::new();
+    let engine = build_engine(ProtocolKind::Semantic, &db, Some(sink.clone()));
+    let (a, b) = (
+        Target { item: db.items[0].item, order: db.items[0].orders[0].order },
+        Target { item: db.items[1].item, order: db.items[1].orders[0].order },
+    );
+    let gate1 = Gate::new();
+    let gate2 = Gate::new();
+    std::thread::scope(|s| {
+        let (e1, g1) = (Arc::clone(&engine), Arc::clone(&gate1));
+        let h1 = s.spawn(move || {
+            let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
+                ctx.call(a.item, "ShipOrder", vec![Value::Id(a.order)])?;
+                g1.wait();
+                ctx.call(b.item, "ShipOrder", vec![Value::Id(b.order)])?;
+                Ok(Value::Unit)
+            });
+            e1.execute(&p).unwrap()
+        });
+        let t1 = wait_label(&sink, "T1");
+        await_action_complete(&sink, t1, 1);
+        println!("T1: ShipOrder(i1,o1) committed (subtransaction), T1 still open");
+
+        let (e2, g2) = (Arc::clone(&engine), Arc::clone(&gate2));
+        let h2 = s.spawn(move || {
+            let p = FnProgram::new("T2", move |ctx: &mut dyn MethodContext| {
+                ctx.call(a.item, "PayOrder", vec![Value::Id(a.order)])?;
+                g2.wait();
+                ctx.call(b.item, "PayOrder", vec![Value::Id(b.order)])?;
+                Ok(Value::Unit)
+            });
+            e2.execute(&p).unwrap()
+        });
+        let t2 = wait_label(&sink, "T2");
+        await_action_complete(&sink, t2, 1);
+        println!("T2: PayOrder(i1,o1) executed concurrently — no blocking (ShipOrder/PayOrder commute)");
+
+        gate1.open();
+        gate2.open();
+        h1.join().unwrap();
+        h2.join().unwrap();
+        println!("T1 blocked at any point? {}", ever_blocked(&sink, t1));
+        println!("T2 blocked at any point? {}", ever_blocked(&sink, t2));
+    });
+    let s = engine.stats();
+    println!("commute skips: {}, blocked requests: {}\n", s.commute_skips, s.blocked_requests);
+}
+
+/// Figure 5: the bypassing T3 is blocked by retained locks.
+fn figure5() {
+    println!("── Figure 5: bypassing + retained locks ──\n");
+    let db = db2();
+    let sink = MemorySink::new();
+    let engine = build_engine(ProtocolKind::Semantic, &db, Some(sink.clone()));
+    let (a, b) = (
+        Target { item: db.items[0].item, order: db.items[0].orders[0].order },
+        Target { item: db.items[1].item, order: db.items[1].orders[0].order },
+    );
+    let gate = Gate::new();
+    std::thread::scope(|s| {
+        let (e1, g1) = (Arc::clone(&engine), Arc::clone(&gate));
+        let h1 = s.spawn(move || {
+            let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
+                ctx.call(a.item, "ShipOrder", vec![Value::Id(a.order)])?;
+                g1.wait();
+                ctx.call(b.item, "ShipOrder", vec![Value::Id(b.order)])?;
+                Ok(Value::Unit)
+            });
+            e1.execute(&p).unwrap()
+        });
+        let t1 = wait_label(&sink, "T1");
+        await_action_complete(&sink, t1, 1);
+        println!("T1: ShipOrder(i1,o1) committed; ChangeStatus(o1,shipped) lock now RETAINED");
+
+        let e3 = Arc::clone(&engine);
+        let h3 = s.spawn(move || {
+            e3.execute(&TxnSpec::CheckShipped { targets: vec![a, b], bypass: true }).unwrap()
+        });
+        let t3 = wait_label(&sink, "T3");
+        let on = await_blocked(&sink, t3);
+        println!("T3: TestStatus(o1,shipped) BYPASSES item i1 → conflict with the retained lock");
+        println!("T3 waits for: {on:?} (T1's top-level commit — Figure 9 worst case)");
+        gate.open();
+        h1.join().unwrap();
+        let out = h3.join().unwrap();
+        println!("after T1's commit, T3 reads: {:?} — serialized after T1\n", out.value);
+    });
+}
+
+/// Figure 6 (Case 1) and Figure 7 (Case 2) in one narration.
+fn figures6_and_7() {
+    println!("── Figure 6: commutative + committed ancestor (Case 1) ──\n");
+    let db = db2();
+    let sink = MemorySink::new();
+    let engine = build_engine(ProtocolKind::Semantic, &db, Some(sink.clone()));
+    let a = Target { item: db.items[0].item, order: db.items[0].orders[0].order };
+    let b = Target { item: db.items[1].item, order: db.items[1].orders[0].order };
+    let gate = Gate::new();
+    std::thread::scope(|s| {
+        let (e1, g1) = (Arc::clone(&engine), Arc::clone(&gate));
+        let h1 = s.spawn(move || {
+            let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
+                ctx.call(a.item, "ShipOrder", vec![Value::Id(a.order)])?;
+                g1.wait();
+                ctx.call(b.item, "ShipOrder", vec![Value::Id(b.order)])?;
+                Ok(Value::Unit)
+            });
+            e1.execute(&p).unwrap()
+        });
+        let t1 = wait_label(&sink, "T1");
+        await_action_complete(&sink, t1, 1);
+
+        let before = engine.stats();
+        let out = engine.execute(&TxnSpec::CheckPaid { targets: vec![a], bypass: true }).unwrap();
+        let t4 = top_of_label(&sink, "T4", 0).unwrap();
+        let delta = engine.stats().delta(&before);
+        println!("T4: TestStatus(o1,paid) vs retained Put(o1.Status): formal conflict,");
+        println!("    but ChangeStatus(o1,shipped) [committed] commutes with TestStatus(o1,paid)");
+        println!("    → granted without blocking (blocked = {}, case-1 grants = {})", ever_blocked(&sink, t4), delta.case1_grants);
+        println!("    T4 result: {:?} — committed while T1 still open\n", out.value);
+        gate.open();
+        h1.join().unwrap();
+    });
+
+    println!("── Figure 7: commutative but uncommitted ancestor (Case 2) ──\n");
+    let body_gate = Gate::new();
+    let armed = Arc::new(std::sync::atomic::AtomicBool::new(true));
+    let (bg, arm) = (Arc::clone(&body_gate), Arc::clone(&armed));
+    let hook: semcc::orderentry::ScenarioHook = Arc::new(move |point: &str| {
+        if point == semcc::orderentry::HOOK_SHIP_AFTER_CHANGE_STATUS && arm.load(std::sync::atomic::Ordering::SeqCst) {
+            bg.wait();
+        }
+    });
+    let db = Database::build_with_hook(&DbParams { n_items: 2, orders_per_item: 2, ..Default::default() }, Some(hook)).unwrap();
+    let sink = MemorySink::new();
+    let engine = build_engine(ProtocolKind::Semantic, &db, Some(sink.clone()));
+    let a = Target { item: db.items[0].item, order: db.items[0].orders[0].order };
+    let txn_gate = Gate::new();
+    std::thread::scope(|s| {
+        let (e1, tg) = (Arc::clone(&engine), Arc::clone(&txn_gate));
+        let h1 = s.spawn(move || {
+            let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
+                ctx.call(a.item, "ShipOrder", vec![Value::Id(a.order)])?;
+                tg.wait();
+                Ok(Value::Unit)
+            });
+            e1.execute(&p).unwrap()
+        });
+        let t1 = wait_label(&sink, "T1");
+        await_action_complete(&sink, t1, 2); // ChangeStatus done, ShipOrder open
+        armed.store(false, std::sync::atomic::Ordering::SeqCst);
+        println!("T1: ChangeStatus(o1,shipped) committed, ShipOrder(i1,o1) STILL RUNNING");
+
+        let e5 = Arc::clone(&engine);
+        let h5 = s.spawn(move || e5.execute(&TxnSpec::Total(a.item)).unwrap());
+        let t5 = wait_label(&sink, "T5");
+        let on = await_blocked(&sink, t5);
+        println!("T5: TotalPayment(i1) conflicts on o1.Status; commutative ancestor pair");
+        println!("    (ShipOrder(i1,o1), TotalPayment(i1)) found but UNCOMMITTED");
+        println!("    → T5 waits for {on:?} (the ShipOrder subtransaction, NOT T1's commit)");
+
+        body_gate.open();
+        let out = h5.join().unwrap();
+        println!("ShipOrder completed → T5 resumed and committed while T1 is still open");
+        println!("T5 result: {:?} (case-2 waits: {})\n", out.value, engine.stats().case2_waits);
+        txn_gate.open();
+        h1.join().unwrap();
+    });
+}
+
+fn main() {
+    println!("Reproductions of the figures of Muth et al., ICDE 1993\n");
+    print_figure2();
+    print_figure3();
+    figure4();
+    figure5();
+    figures6_and_7();
+    println!("All figure scenarios behaved exactly as the paper derives.");
+}

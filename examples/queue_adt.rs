@@ -1,0 +1,161 @@
+//! The paper's introductory motivating example, built on the public API:
+//! *"on an object of type Queue, enqueueing the same item by two concurrent
+//! transactions is not a conflict because the order of these updates is
+//! insignificant in the sense that it cannot be observed"*.
+//!
+//! The queue is an encapsulated type implemented on top of lower-level
+//! objects (a tail counter and a slot set) — exactly the "ADTs implemented
+//! in terms of other ADTs" situation the paper's protocol handles and
+//! earlier ADT locking work did not: the Enqueue/Enqueue *method* pair
+//! commutes even though the implementations conflict on the tail counter;
+//! the conflict is confined to the subtransactions (Case 2).
+//!
+//! ```text
+//! cargo run --example queue_adt
+//! ```
+
+use semcc::core::{Engine, FnProgram, ProtocolConfig};
+use semcc::objstore::MemoryStore;
+use semcc::semantics::{
+    Catalog, CompatibilityMatrix, Invocation, MethodBody, MethodContext, MethodDef, MethodId,
+    Storage, TypeDef, TypeKind, Value,
+};
+use std::sync::Arc;
+
+const ENQUEUE: MethodId = MethodId(0);
+const DEQUEUE: MethodId = MethodId(1);
+const LEN: MethodId = MethodId(2);
+
+fn queue_type() -> TypeDef {
+    let mut m = CompatibilityMatrix::new();
+    // The paper's motivating entry: Enqueue ∘ Enqueue = ok.
+    m.ok(ENQUEUE, ENQUEUE);
+    // Dequeue observes FIFO order → conflicts with everything, itself
+    // included; Len conflicts with both updates.
+    m.conflict(DEQUEUE, DEQUEUE);
+    m.conflict(DEQUEUE, ENQUEUE);
+    m.conflict(LEN, ENQUEUE);
+    m.conflict(LEN, DEQUEUE);
+    m.ok(LEN, LEN);
+
+    // Queue = ⟨head, tail, slots⟩; slots is a set keyed by slot number.
+    let enqueue: Arc<dyn MethodBody> = Arc::new(|ctx: &mut dyn MethodContext, inv: &Invocation| {
+        let item = inv.arg(0)?.clone();
+        let tail = ctx.field(inv.object, "tail")?;
+        let slot = ctx.get(tail)?.as_int().unwrap_or(0);
+        ctx.put(tail, Value::Int(slot + 1))?;
+        let cell = ctx.create_atomic(item)?;
+        let slots = ctx.field(inv.object, "slots")?;
+        ctx.insert(slots, slot as u64, cell)?;
+        Ok(Value::Unit)
+    });
+    let dequeue: Arc<dyn MethodBody> = Arc::new(|ctx: &mut dyn MethodContext, inv: &Invocation| {
+        let head = ctx.field(inv.object, "head")?;
+        let tail = ctx.field(inv.object, "tail")?;
+        let h = ctx.get(head)?.as_int().unwrap_or(0);
+        let t = ctx.get(tail)?.as_int().unwrap_or(0);
+        if h >= t {
+            return Ok(Value::Unit); // empty
+        }
+        ctx.put(head, Value::Int(h + 1))?;
+        let slots = ctx.field(inv.object, "slots")?;
+        match ctx.remove(slots, h as u64)? {
+            Some(cell) => ctx.get(cell),
+            None => Ok(Value::Unit),
+        }
+    });
+    let len: Arc<dyn MethodBody> = Arc::new(|ctx: &mut dyn MethodContext, inv: &Invocation| {
+        let h = ctx.get_field(inv.object, "head")?.as_int().unwrap_or(0);
+        let t = ctx.get_field(inv.object, "tail")?.as_int().unwrap_or(0);
+        Ok(Value::Int(t - h))
+    });
+
+    TypeDef {
+        name: "Queue".into(),
+        kind: TypeKind::Encapsulated,
+        methods: vec![
+            MethodDef { name: "Enqueue".into(), body: Some(enqueue), compensation: None, updates: true },
+            MethodDef { name: "Dequeue".into(), body: Some(dequeue), compensation: None, updates: true },
+            MethodDef { name: "Len".into(), body: Some(len), compensation: None, updates: false },
+        ],
+        spec: Arc::new(m),
+    }
+}
+
+fn main() {
+    let mut catalog = Catalog::new();
+    let queue_ty = catalog.register_type(queue_type());
+    let store = Arc::new(MemoryStore::new());
+
+    // Build the queue object by hand: two counters plus the slot set.
+    let head = store.create_atomic(semcc::semantics::TYPE_ATOMIC, Value::Int(0)).unwrap();
+    let tail = store.create_atomic(semcc::semantics::TYPE_ATOMIC, Value::Int(0)).unwrap();
+    let slots = store.create_set(semcc::semantics::TYPE_SET).unwrap();
+    let queue = store
+        .create_tuple(
+            queue_ty,
+            vec![("head".into(), head), ("tail".into(), tail), ("slots".into(), slots)],
+        )
+        .unwrap();
+
+    let engine = Engine::builder(Arc::clone(&store) as Arc<dyn Storage>, Arc::new(catalog))
+        .protocol(ProtocolConfig::semantic())
+        .build();
+
+    // Concurrent producers: Enqueue/Enqueue commutes at the method level;
+    // the tail-counter conflicts inside are resolved by the Case-2 rule
+    // (wait for the other Enqueue SUBTRANSACTION, not its transaction).
+    let producers = 6;
+    let per_producer = 50i64;
+    std::thread::scope(|s| {
+        for p in 0..producers {
+            let engine = Arc::clone(&engine);
+            s.spawn(move || {
+                for i in 0..per_producer {
+                    let v = (p as i64) * 1000 + i;
+                    let prog = FnProgram::new("enqueue", move |ctx: &mut dyn MethodContext| {
+                        ctx.invoke(Invocation::user(queue, queue_ty, ENQUEUE, vec![Value::Int(v)]))
+                    });
+                    engine.execute_with_retry(&prog, 100_000).0.unwrap();
+                }
+            });
+        }
+    });
+
+    let len = engine
+        .execute(&FnProgram::new("len", move |ctx: &mut dyn MethodContext| {
+            ctx.invoke(Invocation::user(queue, queue_ty, LEN, vec![]))
+        }))
+        .unwrap()
+        .value;
+    println!("queue length after {} concurrent producers × {}: {:?}", producers, per_producer, len);
+    assert_eq!(len, Value::Int(producers as i64 * per_producer), "no enqueue lost or duplicated");
+
+    // Drain and verify every element arrives exactly once.
+    let mut seen = std::collections::BTreeSet::new();
+    loop {
+        let out = engine
+            .execute(&FnProgram::new("dequeue", move |ctx: &mut dyn MethodContext| {
+                ctx.invoke(Invocation::user(queue, queue_ty, DEQUEUE, vec![]))
+            }))
+            .unwrap()
+            .value;
+        match out {
+            Value::Unit => break,
+            Value::Int(v) => {
+                assert!(seen.insert(v), "duplicate element {v}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(seen.len() as i64, producers as i64 * per_producer);
+
+    let stats = engine.stats();
+    println!("drained {} distinct elements — FIFO slots intact", seen.len());
+    println!(
+        "method-level commutes: {}, case-2 subtransaction waits: {}, case-1 grants: {}",
+        stats.commute_skips, stats.case2_waits, stats.case1_grants
+    );
+    println!("deadlocks resolved by retry: {}", stats.deadlocks);
+    println!("\nEnqueue/Enqueue never conflicted at the Queue level — the paper's intro example.");
+}

@@ -1,0 +1,40 @@
+//! # semcc — Semantic Concurrency Control for Object-Oriented Databases
+//!
+//! A Rust implementation of the locking protocol of Muth, Rakow, Weikum,
+//! Brössler and Hasse, *"Semantic Concurrency Control in Object-Oriented
+//! Database Systems"*, ICDE 1993: **open nested transactions with retained
+//! semantic locks** that exploit method commutativity while tolerating
+//! transactions that bypass object encapsulation.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`semantics`] | `semcc-semantics` | values, invocations, commutativity specs, catalog |
+//! | [`objstore`] | `semcc-objstore` | in-memory object store with page mapping |
+//! | [`core`] | `semcc-core` | transaction trees, semantic lock manager (Figures 8+9), engine, compensation, deadlock detection |
+//! | [`baselines`] | `semcc-baselines` | object/page 2PL, closed nested locking |
+//! | [`orderentry`] | `semcc-orderentry` | the paper's order-entry example (Figures 1–3, T1–T5) |
+//! | [`sim`] | `semcc-sim` | workload executor, scenario driver, serializability validators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use semcc::orderentry::{Database, DbParams, TxnSpec, Target};
+//! use semcc::sim::{build_engine, ProtocolKind};
+//!
+//! let db = Database::build(&DbParams::default()).unwrap();
+//! let engine = build_engine(ProtocolKind::Semantic, &db, None);
+//! let target = Target { item: db.items[0].item, order: db.items[0].orders[0].order };
+//! engine.execute(&TxnSpec::Ship(vec![target])).unwrap();
+//! engine.execute(&TxnSpec::Pay(vec![target])).unwrap();
+//! let out = engine.execute(&TxnSpec::Total(db.items[0].item)).unwrap();
+//! println!("total payment: {:?}", out.value);
+//! ```
+
+pub use semcc_baselines as baselines;
+pub use semcc_core as core;
+pub use semcc_objstore as objstore;
+pub use semcc_orderentry as orderentry;
+pub use semcc_semantics as semantics;
+pub use semcc_sim as sim;

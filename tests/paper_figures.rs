@@ -1,0 +1,443 @@
+//! Executable reproductions of the paper's Figures 4–7 — the execution
+//! scenarios that constitute its evaluation. Each test orchestrates the
+//! exact interleaving the figure depicts and asserts the protocol decision
+//! the paper derives.
+
+use semcc::core::{FnProgram, MemorySink};
+use semcc::orderentry::{Database, DbParams, StatusEvent, Target, TxnSpec};
+use semcc::semantics::{MethodContext, Storage, Value};
+use semcc::sim::scenario::{
+    await_action_complete, await_blocked, await_commit, ever_blocked, top_of_label, Gate,
+};
+use semcc::sim::{build_engine, check_semantic_graph, check_state_equivalence, ProtocolKind};
+use std::sync::Arc;
+
+fn db2() -> Database {
+    Database::build(&DbParams { n_items: 2, orders_per_item: 2, ..Default::default() }).unwrap()
+}
+
+fn targets(db: &Database) -> (Target, Target) {
+    (
+        Target { item: db.items[0].item, order: db.items[0].orders[0].order },
+        Target { item: db.items[1].item, order: db.items[1].orders[0].order },
+    )
+}
+
+/// **Figure 4** — "Concurrent Execution of Two Open Nested Transactions":
+/// T1 ships (i1,o1) and (i2,o2), T2 pays the same two orders. Their
+/// subtrees interleave action by action, and because ShipOrder/PayOrder
+/// commute (Figure 2) and ChangeStatus/ChangeStatus commute (Figure 3),
+/// neither transaction ever blocks.
+#[test]
+fn figure4_commutative_interleaving_without_blocking() {
+    let db = db2();
+    let sink = MemorySink::new();
+    let engine = build_engine(ProtocolKind::Semantic, &db, Some(sink.clone()));
+    let (t_a, t_b) = targets(&db);
+
+    // Step gates forcing the figure's left-to-right order:
+    // T1.Ship(i1,o1) → T2.Pay(i1,o1) → T1.Ship(i2,o2) → T2.Pay(i2,o2).
+    let g_t1_second = Gate::new();
+    let g_t2_second = Gate::new();
+
+    let (e1, e2) = (Arc::clone(&engine), Arc::clone(&engine));
+    let g1 = Arc::clone(&g_t1_second);
+    let g2 = Arc::clone(&g_t2_second);
+
+    std::thread::scope(|s| {
+        let h1 = s.spawn(move || {
+            let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
+                ctx.call(t_a.item, "ShipOrder", vec![Value::Id(t_a.order)])?;
+                g1.wait();
+                ctx.call(t_b.item, "ShipOrder", vec![Value::Id(t_b.order)])?;
+                Ok(Value::Unit)
+            });
+            e1.execute(&p).unwrap()
+        });
+
+        let t1 = loop {
+            if let Some(t) = top_of_label(&sink, "T1", 0) {
+                break t;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        };
+        // Wait for T1's first ShipOrder subtree (node 1) to complete.
+        await_action_complete(&sink, t1, 1);
+
+        let h2 = s.spawn(move || {
+            let p = FnProgram::new("T2", move |ctx: &mut dyn MethodContext| {
+                ctx.call(t_a.item, "PayOrder", vec![Value::Id(t_a.order)])?;
+                g2.wait();
+                ctx.call(t_b.item, "PayOrder", vec![Value::Id(t_b.order)])?;
+                Ok(Value::Unit)
+            });
+            e2.execute(&p).unwrap()
+        });
+
+        let t2 = loop {
+            if let Some(t) = top_of_label(&sink, "T2", 0) {
+                break t;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        };
+        // T2's PayOrder(i1,o1) runs to completion concurrently with open T1.
+        await_action_complete(&sink, t2, 1);
+
+        // Proceed with the second halves, still interleaved.
+        g_t1_second.open();
+        await_commit(&sink, t1);
+        g_t2_second.open();
+        await_commit(&sink, t2);
+
+        h1.join().unwrap();
+        h2.join().unwrap();
+
+        // The defining property of the figure: no action of either
+        // transaction ever blocked.
+        assert!(!ever_blocked(&sink, t1), "T1 never blocks");
+        assert!(!ever_blocked(&sink, t2), "T2 never blocks");
+    });
+
+    // Both updates are in place: shipped & paid, QOH decremented.
+    for (i, t) in [(0usize, t_a), (1usize, t_b)] {
+        let status = db.store.get(db.items[i].orders[0].status).unwrap().as_int().unwrap();
+        assert_eq!(status, StatusEvent::Shipped.bit() | StatusEvent::Paid.bit(), "{t:?}");
+        let qoh = db.store.get(db.items[i].qoh).unwrap().as_int().unwrap();
+        assert_eq!(qoh, 1_000_000 - db.items[i].orders[0].qty);
+    }
+
+    // And the execution is semantically serializable.
+    let report = check_semantic_graph(&sink.events(), engine.router());
+    assert!(report.serializable, "{:?}", report.cycle);
+}
+
+/// **Figure 5** — bypassing breaks the Section-3 protocol: T3 reads the
+/// shipment status of o1 and o2 directly while T1 is between its two
+/// ShipOrders. Under the paper's protocol the retained `ChangeStatus`
+/// lock blocks T3 until T1 commits.
+#[test]
+fn figure5_retained_locks_block_the_bypassing_reader() {
+    let db = db2();
+    let sink = MemorySink::new();
+    let engine = build_engine(ProtocolKind::Semantic, &db, Some(sink.clone()));
+    let (t_a, t_b) = targets(&db);
+
+    let gate = Gate::new();
+    let g1 = Arc::clone(&gate);
+    let e1 = Arc::clone(&engine);
+
+    std::thread::scope(|s| {
+        let h1 = s.spawn(move || {
+            let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
+                ctx.call(t_a.item, "ShipOrder", vec![Value::Id(t_a.order)])?;
+                g1.wait();
+                ctx.call(t_b.item, "ShipOrder", vec![Value::Id(t_b.order)])?;
+                Ok(Value::Unit)
+            });
+            e1.execute(&p).unwrap()
+        });
+        let t1 = loop {
+            if let Some(t) = top_of_label(&sink, "T1", 0) {
+                break t;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        };
+        await_action_complete(&sink, t1, 1);
+
+        // T3 bypasses the items: TestStatus directly on the orders.
+        let e3 = Arc::clone(&engine);
+        let h3 = s.spawn(move || {
+            e3.execute(&TxnSpec::CheckShipped { targets: vec![t_a, t_b], bypass: true }).unwrap()
+        });
+        let t3 = loop {
+            if let Some(t) = top_of_label(&sink, "T3", 0) {
+                break t;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        };
+        // T3 blocks on T1 (worst case of Figure 9: wait for T1's root).
+        let waits_for = await_blocked(&sink, t3);
+        assert!(waits_for.iter().all(|n| n.top == t1 && n.is_root()), "{waits_for:?}");
+
+        gate.open();
+        await_commit(&sink, t1);
+        let out3 = h3.join().unwrap();
+        h1.join().unwrap();
+
+        // T3 serialized AFTER T1: both orders observed shipped.
+        assert_eq!(out3.value, Value::List(vec![Value::Bool(true), Value::Bool(true)]));
+    });
+
+    let report = check_semantic_graph(&sink.events(), engine.router());
+    assert!(report.serializable);
+    let stats = engine.stats();
+    assert!(stats.root_waits >= 1, "worst case of the conflict test fired");
+}
+
+/// **Figure 5, unsafe variant** — the same interleaving under the plain
+/// Section-3 protocol (no retained locks) admits the non-serializable
+/// execution the paper warns about: T3 sees o1 shipped but o2 not shipped,
+/// an observation no serial order can produce. Both validators flag it.
+#[test]
+fn figure5_no_retention_admits_the_anomaly() {
+    let db = db2();
+    let initial = db.store.snapshot();
+    let sink = MemorySink::new();
+    let engine = build_engine(ProtocolKind::OpenNoRetention, &db, Some(sink.clone()));
+    let (t_a, t_b) = targets(&db);
+
+    let gate = Gate::new();
+    let g1 = Arc::clone(&gate);
+    let e1 = Arc::clone(&engine);
+
+    let (t1_outcome, t3_outcome) = std::thread::scope(|s| {
+        let h1 = s.spawn(move || {
+            let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
+                ctx.call(t_a.item, "ShipOrder", vec![Value::Id(t_a.order)])?;
+                g1.wait();
+                ctx.call(t_b.item, "ShipOrder", vec![Value::Id(t_b.order)])?;
+                Ok(Value::Unit)
+            });
+            e1.execute(&p).unwrap()
+        });
+        let t1 = loop {
+            if let Some(t) = top_of_label(&sink, "T1", 0) {
+                break t;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        };
+        await_action_complete(&sink, t1, 1);
+
+        // Without retained locks T3 runs straight through.
+        let out3 = engine
+            .execute(&TxnSpec::CheckShipped { targets: vec![t_a, t_b], bypass: true })
+            .unwrap();
+        gate.open();
+        let out1 = h1.join().unwrap();
+        (out1, out3)
+    });
+
+    // The anomalous observation: shipped(o1) ∧ ¬shipped(o2).
+    assert_eq!(
+        t3_outcome.value,
+        Value::List(vec![Value::Bool(true), Value::Bool(false)]),
+        "T3 observed T1 half-done"
+    );
+    let _ = t1_outcome;
+
+    // Oracle 1: no serial order reproduces state + return values.
+    let committed = vec![
+        semcc::sim::CommittedTxn {
+            input_idx: 0,
+            spec: TxnSpec::Ship(vec![t_a, t_b]),
+            top: semcc::core::TopId(1),
+            value: t1_outcome.value.clone(),
+        },
+        semcc::sim::CommittedTxn {
+            input_idx: 1,
+            spec: TxnSpec::CheckShipped { targets: vec![t_a, t_b], bypass: true },
+            top: semcc::core::TopId(2),
+            value: t3_outcome.value.clone(),
+        },
+    ];
+    let witness =
+        check_state_equivalence(&initial, &db.catalog, db.items_set, &committed, &db.store, 4);
+    assert!(witness.is_none(), "no serial order explains the execution");
+
+    // Oracle 2: the semantic serialization graph has a cycle T1 ⇄ T3.
+    let report = check_semantic_graph(&sink.events(), engine.router());
+    assert!(!report.serializable, "graph checker must flag the Figure-5 anomaly");
+}
+
+/// **Figure 6** — Case 1 (commutative and committed ancestor): T1 finished
+/// ShipOrder(i1,o1) and is working on (i2,o2); T4 checks the *payment* of
+/// o1. The formal conflict of T4's `Get(o1.Status)` with T1's retained
+/// `Put(o1.Status)` is a pseudo-conflict because
+/// `ChangeStatus(o1, shipped)` (committed) commutes with
+/// `TestStatus(o1, paid)` — T4 proceeds without blocking.
+#[test]
+fn figure6_case1_committed_commutative_ancestor() {
+    let db = db2();
+    let sink = MemorySink::new();
+    let engine = build_engine(ProtocolKind::Semantic, &db, Some(sink.clone()));
+    let (t_a, t_b) = targets(&db);
+
+    let gate = Gate::new();
+    let g1 = Arc::clone(&gate);
+    let e1 = Arc::clone(&engine);
+
+    std::thread::scope(|s| {
+        let h1 = s.spawn(move || {
+            let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
+                ctx.call(t_a.item, "ShipOrder", vec![Value::Id(t_a.order)])?;
+                g1.wait(); // "currently executing ShipOrder(i2,o2)"
+                ctx.call(t_b.item, "ShipOrder", vec![Value::Id(t_b.order)])?;
+                Ok(Value::Unit)
+            });
+            e1.execute(&p).unwrap()
+        });
+        let t1 = loop {
+            if let Some(t) = top_of_label(&sink, "T1", 0) {
+                break t;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        };
+        await_action_complete(&sink, t1, 1);
+
+        // T4: check payment of o1 (bypassing, like the paper's T4).
+        let before = engine.stats();
+        let out4 = engine
+            .execute(&TxnSpec::CheckPaid { targets: vec![t_a], bypass: true })
+            .unwrap();
+        let t4 = top_of_label(&sink, "T4", 0).unwrap();
+
+        assert!(!ever_blocked(&sink, t4), "Case 1 grants without blocking");
+        assert_eq!(out4.value, Value::List(vec![Value::Bool(false)]));
+        let delta = engine.stats().delta(&before);
+        assert!(delta.case1_grants >= 1, "Case-1 counter fired: {delta:?}");
+
+        gate.open();
+        h1.join().unwrap();
+    });
+
+    let report = check_semantic_graph(&sink.events(), engine.router());
+    assert!(report.serializable);
+}
+
+/// **Figure 6 ablation** — with the commutative-ancestor rules disabled,
+/// the very same T4 blocks on the retained lock until T1 commits (the
+/// "unnecessary blocking" the paper's Case 1 eliminates).
+#[test]
+fn figure6_without_ancestor_check_t4_blocks() {
+    let db = db2();
+    let sink = MemorySink::new();
+    let engine = build_engine(ProtocolKind::SemanticNoAncestor, &db, Some(sink.clone()));
+    let (t_a, t_b) = targets(&db);
+
+    let gate = Gate::new();
+    let g1 = Arc::clone(&gate);
+    let e1 = Arc::clone(&engine);
+
+    std::thread::scope(|s| {
+        let h1 = s.spawn(move || {
+            let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
+                ctx.call(t_a.item, "ShipOrder", vec![Value::Id(t_a.order)])?;
+                g1.wait();
+                ctx.call(t_b.item, "ShipOrder", vec![Value::Id(t_b.order)])?;
+                Ok(Value::Unit)
+            });
+            e1.execute(&p).unwrap()
+        });
+        let t1 = loop {
+            if let Some(t) = top_of_label(&sink, "T1", 0) {
+                break t;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        };
+        await_action_complete(&sink, t1, 1);
+
+        let e4 = Arc::clone(&engine);
+        let h4 = s.spawn(move || {
+            e4.execute(&TxnSpec::CheckPaid { targets: vec![t_a], bypass: true }).unwrap()
+        });
+        let t4 = loop {
+            if let Some(t) = top_of_label(&sink, "T4", 0) {
+                break t;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        };
+        let waits_for = await_blocked(&sink, t4);
+        assert!(waits_for.iter().all(|n| n.top == t1 && n.is_root()), "blocks until T1's commit");
+
+        gate.open();
+        h1.join().unwrap();
+        h4.join().unwrap();
+    });
+}
+
+/// **Figure 7** — Case 2 (commutative but uncommitted ancestor): T1 is
+/// inside ShipOrder(i1,o1) — ChangeStatus(o1,shipped) committed, QOH update
+/// pending. T5 (TotalPayment(i1)) conflicts on `o1.Status` with the
+/// retained `Put`; the commutative ancestor pair
+/// (ShipOrder(i1,o1), TotalPayment(i1)) is found, but ShipOrder is not yet
+/// committed: T5 waits **exactly until the ShipOrder subtransaction
+/// commits**, not until T1's top-level commit.
+#[test]
+fn figure7_case2_waits_for_the_subtransaction_only() {
+    let body_gate = Gate::new();
+    let hook_armed = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let (bg, arm) = (Arc::clone(&body_gate), Arc::clone(&hook_armed));
+    let hook: semcc::orderentry::ScenarioHook = Arc::new(move |point: &str| {
+        if point == semcc::orderentry::HOOK_SHIP_AFTER_CHANGE_STATUS
+            && arm.load(std::sync::atomic::Ordering::SeqCst)
+        {
+            bg.wait();
+        }
+    });
+    let db = Database::build_with_hook(
+        &DbParams { n_items: 2, orders_per_item: 2, ..Default::default() },
+        Some(hook),
+    )
+    .unwrap();
+    let sink = MemorySink::new();
+    let engine = build_engine(ProtocolKind::Semantic, &db, Some(sink.clone()));
+    let (t_a, _) = targets(&db);
+
+    let txn_gate = Gate::new();
+    let tg = Arc::clone(&txn_gate);
+    let e1 = Arc::clone(&engine);
+
+    hook_armed.store(true, std::sync::atomic::Ordering::SeqCst);
+    std::thread::scope(|s| {
+        let h1 = s.spawn(move || {
+            let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
+                ctx.call(t_a.item, "ShipOrder", vec![Value::Id(t_a.order)])?;
+                tg.wait(); // transaction stays open after ShipOrder commits
+                Ok(Value::Unit)
+            });
+            e1.execute(&p).unwrap()
+        });
+        let t1 = loop {
+            if let Some(t) = top_of_label(&sink, "T1", 0) {
+                break t;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        };
+        // Wait until ChangeStatus(o1,shipped) — node 2 under ShipOrder —
+        // completed (T1 now sits in the hook inside ShipOrder).
+        await_action_complete(&sink, t1, 2);
+        hook_armed.store(false, std::sync::atomic::Ordering::SeqCst);
+
+        // T5: TotalPayment(i1).
+        let e5 = Arc::clone(&engine);
+        let h5 = s.spawn(move || e5.execute(&TxnSpec::Total(t_a.item)).unwrap());
+        let t5 = loop {
+            if let Some(t) = top_of_label(&sink, "T5", 0) {
+                break t;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        };
+
+        // Case 2: T5 waits for the ShipOrder *subtransaction* (node 1 of
+        // T1), not for T1's root.
+        let waits_for = await_blocked(&sink, t5);
+        assert!(
+            waits_for.iter().all(|n| n.top == t1 && n.idx == 1),
+            "waits for ShipOrder(i1,o1), got {waits_for:?}"
+        );
+        assert!(engine.stats().case2_waits >= 1);
+
+        // Let ShipOrder finish; T5 must now complete although T1 is still
+        // open.
+        body_gate.open();
+        let out5 = h5.join().unwrap();
+        assert_eq!(out5.value, Value::Money(0), "nothing paid yet");
+        await_commit(&sink, t5);
+
+        txn_gate.open();
+        h1.join().unwrap();
+    });
+
+    let report = check_semantic_graph(&sink.events(), engine.router());
+    assert!(report.serializable);
+}
