@@ -13,35 +13,30 @@
 //! object 2PL — which is exactly the point the paper makes about closed
 //! nesting: it "is restricted to read/write locking and does not support
 //! semantically rich operations". The implementation nevertheless performs
-//! genuine per-node ownership and inheritance so the mechanism itself is
-//! faithful (and testable).
+//! genuine per-node ownership and inheritance — locks are owned by the
+//! acquiring node and migrated upward via [`Outcome::Inherit`] — so the
+//! mechanism itself is faithful (and testable).
+//!
+//! Sequencing runs through the shared [`ConcurrencyKernel`] under the
+//! [`RwLockPolicy`], whose same-transaction transparency implements Moss's
+//! rule for our sequential-children engine: the only same-transaction,
+//! non-ancestor holders a request can encounter are the inherited locks of
+//! earlier siblings and the locks a compensation branch revisits — both
+//! must be transparent, exactly like in a single-threaded closed nested
+//! transaction.
 
-use crate::rwtable::Mode;
-use parking_lot::Mutex;
-use semcc_core::deadlock::BlockDecision;
-use semcc_core::notify::{WaitCell, WaitOutcome};
-use semcc_core::stats::{Stats, StatsSnapshot};
+use semcc_core::kernel::{
+    ConcurrencyKernel, EntryMode, KernelRequest, LockKey, Outcome, RwLockPolicy, RwMode,
+};
+use semcc_core::stats::StatsSnapshot;
 use semcc_core::tree::TxnTree;
 use semcc_core::{AcquireRequest, Discipline, DisciplineDeps, GrantInfo, NodeRef, TopId};
-use semcc_semantics::{ObjectId, Result, SemccError};
-use std::collections::{HashMap, HashSet};
+use semcc_semantics::Result;
 use std::sync::Arc;
-
-const SHARD_COUNT: usize = 64;
-
-#[derive(Default)]
-struct KeyState {
-    /// Current owners: node → mode. Ownership migrates to the parent when a
-    /// subtransaction commits.
-    holders: HashMap<NodeRef, Mode>,
-    waiters: Vec<Arc<WaitCell>>,
-}
 
 /// The closed nested locking discipline.
 pub struct ClosedNested {
-    shards: Vec<Mutex<HashMap<ObjectId, KeyState>>>,
-    /// Objects each transaction touches (release / inheritance index).
-    touched: Mutex<HashMap<TopId, HashSet<ObjectId>>>,
+    kernel: ConcurrencyKernel<RwLockPolicy>,
     deps: DisciplineDeps,
 }
 
@@ -49,40 +44,14 @@ impl ClosedNested {
     /// Build from shared engine infrastructure.
     pub fn new(deps: &DisciplineDeps) -> Arc<Self> {
         Arc::new(ClosedNested {
-            shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect(),
-            touched: Mutex::new(HashMap::new()),
+            kernel: ConcurrencyKernel::new(RwLockPolicy, deps.clone()),
             deps: deps.clone(),
         })
     }
 
-    fn shard(&self, o: ObjectId) -> &Mutex<HashMap<ObjectId, KeyState>> {
-        &self.shards[(o.0 as usize) % SHARD_COUNT]
-    }
-
     /// Number of objects currently locked.
     pub fn locked_objects(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
-    }
-
-    /// Moss's rule: a requestor may hold the lock if every incompatible
-    /// holder is a node of its own transaction. (Moss restricts this to
-    /// *ancestors* to isolate concurrent siblings; our engine executes the
-    /// children of a node sequentially, so the only same-transaction,
-    /// non-ancestor holders a request can encounter are the inherited locks
-    /// of earlier siblings and the locks a compensation branch revisits —
-    /// both must be transparent, exactly like in a single-threaded closed
-    /// nested transaction.)
-    fn blockers_of(
-        holders: &HashMap<NodeRef, Mode>,
-        req_node: NodeRef,
-        _ancestors: &HashSet<u32>,
-        mode: Mode,
-    ) -> Vec<TopId> {
-        holders
-            .iter()
-            .filter(|(h, m)| !mode.compatible(**m) && h.top != req_node.top)
-            .map(|(h, _)| h.top)
-            .collect()
+        self.kernel.locked_keys()
     }
 }
 
@@ -95,62 +64,15 @@ impl Discipline for ClosedNested {
         if !req.is_leaf {
             return Ok(GrantInfo { waited: false });
         }
-        let top = req.node.top;
-        let stats = &self.deps.stats;
-        Stats::bump(&stats.lock_requests);
-        if !req.compensating && self.deps.wfg.is_doomed(top) {
-            Stats::bump(&stats.deadlocks);
-            return Err(SemccError::Deadlock);
-        }
-        let obj = req.inv.object;
-        let mode = if req.writes { Mode::Write } else { Mode::Read };
-        let ancestors: HashSet<u32> = req.chain.iter().map(|l| l.node.idx).collect();
-        let mut waited = false;
-        loop {
-            let blocked = {
-                let mut shard = self.shard(obj).lock();
-                let state = shard.entry(obj).or_default();
-                let blockers = Self::blockers_of(&state.holders, req.node, &ancestors, mode);
-                if blockers.is_empty() {
-                    let slot = state.holders.entry(req.node).or_insert(mode);
-                    *slot = slot.max(mode);
-                    self.touched.lock().entry(top).or_default().insert(obj);
-                    None
-                } else {
-                    let cell = WaitCell::new();
-                    cell.add_pending();
-                    state.waiters.push(Arc::clone(&cell));
-                    Some((cell, blockers))
-                }
-            };
-            let Some((cell, blockers)) = blocked else {
-                if waited {
-                    Stats::bump(&stats.blocked_requests);
-                } else {
-                    Stats::bump(&stats.immediate_grants);
-                }
-                self.deps.sink.record(semcc_core::Event::Granted { node: req.node, waited });
-                return Ok(GrantInfo { waited });
-            };
-            waited = true;
-            Stats::bump(&stats.wait_episodes);
-            self.deps
-                .sink
-                .record(semcc_core::Event::Blocked { node: req.node, on: blockers.iter().map(|t| NodeRef::root(*t)).collect() });
-            match self.deps.wfg.block(top, &blockers, &cell) {
-                BlockDecision::VictimSelf => {
-                    Stats::bump(&stats.deadlocks);
-                    return Err(SemccError::Deadlock);
-                }
-                BlockDecision::Wait => {}
-            }
-            let outcome = cell.wait();
-            self.deps.wfg.unblock(top);
-            if outcome == WaitOutcome::Killed {
-                Stats::bump(&stats.deadlocks);
-                return Err(SemccError::Deadlock);
-            }
-        }
+        let mode = if req.writes { RwMode::Write } else { RwMode::Read };
+        let guard = self.kernel.sequence(KernelRequest {
+            key: LockKey::Object(req.inv.object),
+            node: req.node,
+            owner: req.node,
+            mode: EntryMode::Rw(mode),
+            compensating: req.compensating,
+        })?;
+        Ok(GrantInfo { waited: guard.waited })
     }
 
     fn node_completed(&self, tree: &TxnTree, idx: u32) {
@@ -160,42 +82,13 @@ impl Discipline for ClosedNested {
         let top = tree.top();
         let from = NodeRef { top, idx };
         let to = NodeRef { top, idx: parent };
-        let objs: Vec<ObjectId> = self
-            .touched
-            .lock()
-            .get(&top)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default();
-        for obj in objs {
-            let mut shard = self.shard(obj).lock();
-            if let Some(state) = shard.get_mut(&obj) {
-                if let Some(mode) = state.holders.remove(&from) {
-                    let slot = state.holders.entry(to).or_insert(mode);
-                    *slot = slot.max(mode);
-                }
-            }
+        for key in self.kernel.keys_of(top) {
+            self.kernel.finish(key, from, Outcome::Inherit { parent: to });
         }
     }
 
     fn top_finished(&self, top: TopId) {
-        let objs = self.touched.lock().remove(&top).unwrap_or_default();
-        let stats = &self.deps.stats;
-        for obj in objs {
-            let mut shard = self.shard(obj).lock();
-            if let Some(state) = shard.get_mut(&obj) {
-                let before = state.holders.len();
-                state.holders.retain(|h, _| h.top != top);
-                for _ in state.holders.len()..before {
-                    Stats::bump(&stats.locks_released);
-                }
-                for w in state.waiters.drain(..) {
-                    w.poke();
-                }
-                if state.holders.is_empty() {
-                    shard.remove(&obj);
-                }
-            }
-        }
+        self.kernel.finish_top(top);
     }
 
     fn stats(&self) -> StatsSnapshot {
@@ -206,34 +99,93 @@ impl Discipline for ClosedNested {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use semcc_core::history::NullSink;
+    use semcc_core::notify::CompletionHub;
+    use semcc_core::stats::Stats;
+    use semcc_core::tree::Registry;
+    use semcc_core::WaitsForGraph;
+    use semcc_objstore::MemoryStore;
+    use semcc_semantics::{Catalog, Invocation, Value, TYPE_ATOMIC};
 
-    #[test]
-    fn same_transaction_holders_are_transparent() {
-        let mut holders = HashMap::new();
-        let top = TopId(1);
-        holders.insert(NodeRef { top, idx: 1 }, Mode::Write);
-        // An ancestor holder is transparent…
-        let ancestors: HashSet<u32> = [3, 1, 0].into_iter().collect();
-        let b = ClosedNested::blockers_of(&holders, NodeRef { top, idx: 3 }, &ancestors, Mode::Write);
-        assert!(b.is_empty());
-        // …and so is any other node of the same (sequential) transaction,
-        // e.g. a compensation branch revisiting an inherited lock.
-        let ancestors: HashSet<u32> = [4, 2, 0].into_iter().collect();
-        let b = ClosedNested::blockers_of(&holders, NodeRef { top, idx: 4 }, &ancestors, Mode::Write);
-        assert!(b.is_empty());
+    fn deps() -> DisciplineDeps {
+        let catalog = Catalog::new();
+        DisciplineDeps {
+            registry: Arc::new(Registry::new()),
+            hub: Arc::new(CompletionHub::new()),
+            wfg: Arc::new(WaitsForGraph::new()),
+            stats: Arc::new(Stats::default()),
+            sink: Arc::new(NullSink::new()),
+            router: Arc::new(catalog.router()),
+            storage: Arc::new(MemoryStore::new()),
+        }
+    }
+
+    fn leaf_acquire(
+        d: &ClosedNested,
+        tree: &Arc<semcc_core::TxnTree>,
+        idx: u32,
+        writes: bool,
+    ) -> GrantInfo {
+        let (inv, chain) = (tree.invocation(idx), tree.chain(idx));
+        d.acquire(AcquireRequest {
+            node: NodeRef { top: tree.top(), idx },
+            inv: &inv,
+            chain: &chain,
+            is_leaf: true,
+            writes,
+            page: None,
+            compensating: false,
+        })
+        .unwrap()
     }
 
     #[test]
-    fn foreign_writers_block_readers() {
-        let mut holders = HashMap::new();
-        holders.insert(NodeRef { top: TopId(1), idx: 1 }, Mode::Write);
-        let ancestors: HashSet<u32> = [1, 0].into_iter().collect();
-        let b = ClosedNested::blockers_of(&holders, NodeRef { top: TopId(2), idx: 1 }, &ancestors, Mode::Read);
-        assert_eq!(b, vec![TopId(1)]);
-        // Read/read share across transactions.
-        let mut holders = HashMap::new();
-        holders.insert(NodeRef { top: TopId(1), idx: 1 }, Mode::Read);
-        let b = ClosedNested::blockers_of(&holders, NodeRef { top: TopId(2), idx: 1 }, &ancestors, Mode::Read);
-        assert!(b.is_empty());
+    fn same_transaction_holders_are_transparent() {
+        let d = deps();
+        let cn = ClosedNested::new(&d);
+        let store = &d.storage;
+        let obj = store.create_atomic(TYPE_ATOMIC, Value::Int(0)).unwrap();
+
+        let t1 = d.registry.begin();
+        let a = t1.add_child(0, Arc::new(Invocation::put(obj, TYPE_ATOMIC, Value::Int(1))));
+        let b = t1.add_child(0, Arc::new(Invocation::put(obj, TYPE_ATOMIC, Value::Int(2))));
+        assert!(!leaf_acquire(&cn, &t1, a, true).waited);
+        // A sibling writer of the same transaction passes straight through
+        // (a second node of a sequential transaction is transparent).
+        assert!(!leaf_acquire(&cn, &t1, b, true).waited);
+        assert_eq!(cn.locked_objects(), 1);
+    }
+
+    #[test]
+    fn locks_are_inherited_not_released() {
+        let d = deps();
+        let cn = ClosedNested::new(&d);
+        let obj = d.storage.create_atomic(TYPE_ATOMIC, Value::Int(0)).unwrap();
+
+        let t1 = d.registry.begin();
+        let leaf = t1.add_child(0, Arc::new(Invocation::put(obj, TYPE_ATOMIC, Value::Int(1))));
+        leaf_acquire(&cn, &t1, leaf, true);
+
+        // Subtransaction commit migrates the lock to the parent instead of
+        // releasing it…
+        t1.complete(leaf);
+        cn.node_completed(&t1, leaf);
+        assert_eq!(cn.locked_objects(), 1, "lock survives subtransaction commit");
+        assert_eq!(d.stats.snapshot().locks_released, 0);
+
+        // …so a foreign writer still waits until top-level commit.
+        let t2 = d.registry.begin();
+        let l2 = t2.add_child(0, Arc::new(Invocation::put(obj, TYPE_ATOMIC, Value::Int(9))));
+        let cn2 = Arc::clone(&cn);
+        let t2c = Arc::clone(&t2);
+        let h = std::thread::spawn(move || leaf_acquire(&cn2, &t2c, l2, true));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!h.is_finished(), "foreign writer blocks on the inherited lock");
+
+        t1.complete(0);
+        cn.top_finished(t1.top());
+        d.hub.node_finished(NodeRef::root(t1.top()));
+        assert!(h.join().unwrap().waited);
+        assert_eq!(cn.locked_objects(), 1);
     }
 }

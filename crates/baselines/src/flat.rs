@@ -5,17 +5,24 @@
 //! `Select` / `Scan`, write locks for `Put` / `Insert` / `Remove` — held
 //! until top-level commit. The only difference is the lockable unit:
 //! individual objects ("records") or whole pages.
+//!
+//! Both sequence through the shared [`ConcurrencyKernel`] under the
+//! [`RwLockPolicy`], passing the transaction *root* as lock owner so that a
+//! transaction's repeated access to the same unit is a same-owner mode
+//! upgrade, never a self-conflict.
 
-use crate::rwtable::{Mode, RwTable};
+use semcc_core::kernel::{
+    ConcurrencyKernel, EntryMode, KernelRequest, LockKey, RwLockPolicy, RwMode,
+};
 use semcc_core::stats::StatsSnapshot;
-use semcc_core::{AcquireRequest, Discipline, DisciplineDeps, GrantInfo, TopId};
 use semcc_core::tree::TxnTree;
-use semcc_semantics::{ObjectId, PageId, Result};
+use semcc_core::{AcquireRequest, Discipline, DisciplineDeps, GrantInfo, NodeRef, TopId};
+use semcc_semantics::{PageId, Result};
 use std::sync::Arc;
 
 /// Object-granularity strict 2PL ("record-oriented" locking).
 pub struct FlatObject2pl {
-    table: RwTable<ObjectId>,
+    kernel: ConcurrencyKernel<RwLockPolicy>,
     deps: DisciplineDeps,
 }
 
@@ -23,7 +30,7 @@ impl FlatObject2pl {
     /// Build from shared engine infrastructure.
     pub fn new(deps: &DisciplineDeps) -> Arc<Self> {
         Arc::new(FlatObject2pl {
-            table: RwTable::new(Arc::clone(&deps.wfg), Arc::clone(&deps.stats)),
+            kernel: ConcurrencyKernel::new(RwLockPolicy, deps.clone()),
             deps: deps.clone(),
         })
     }
@@ -39,10 +46,15 @@ impl Discipline for FlatObject2pl {
             // Method invocations carry no locks of their own.
             return Ok(GrantInfo { waited: false });
         }
-        let mode = if req.writes { Mode::Write } else { Mode::Read };
-        let waited = self.table.acquire(req.node.top, req.inv.object, mode, req.compensating)?;
-        self.deps.sink.record(semcc_core::Event::Granted { node: req.node, waited });
-        Ok(GrantInfo { waited })
+        let mode = if req.writes { RwMode::Write } else { RwMode::Read };
+        let guard = self.kernel.sequence(KernelRequest {
+            key: LockKey::Object(req.inv.object),
+            node: req.node,
+            owner: NodeRef::root(req.node.top),
+            mode: EntryMode::Rw(mode),
+            compensating: req.compensating,
+        })?;
+        Ok(GrantInfo { waited: guard.waited })
     }
 
     fn node_completed(&self, _tree: &TxnTree, _idx: u32) {
@@ -50,7 +62,7 @@ impl Discipline for FlatObject2pl {
     }
 
     fn top_finished(&self, top: TopId) {
-        self.table.release_top(top);
+        self.kernel.finish_top(top);
     }
 
     fn stats(&self) -> StatsSnapshot {
@@ -61,7 +73,7 @@ impl Discipline for FlatObject2pl {
 /// Page-granularity strict 2PL (the conventional OODBS implementation the
 /// paper contrasts with: "lock all pages that are accessed").
 pub struct Page2pl {
-    table: RwTable<PageId>,
+    kernel: ConcurrencyKernel<RwLockPolicy>,
     deps: DisciplineDeps,
 }
 
@@ -69,7 +81,7 @@ impl Page2pl {
     /// Build from shared engine infrastructure.
     pub fn new(deps: &DisciplineDeps) -> Arc<Self> {
         Arc::new(Page2pl {
-            table: RwTable::new(Arc::clone(&deps.wfg), Arc::clone(&deps.stats)),
+            kernel: ConcurrencyKernel::new(RwLockPolicy, deps.clone()),
             deps: deps.clone(),
         })
     }
@@ -94,16 +106,21 @@ impl Discipline for Page2pl {
                 .page_of(req.inv.object)
                 .unwrap_or(PageId(u64::MAX ^ req.inv.object.0)),
         };
-        let mode = if req.writes { Mode::Write } else { Mode::Read };
-        let waited = self.table.acquire(req.node.top, page, mode, req.compensating)?;
-        self.deps.sink.record(semcc_core::Event::Granted { node: req.node, waited });
-        Ok(GrantInfo { waited })
+        let mode = if req.writes { RwMode::Write } else { RwMode::Read };
+        let guard = self.kernel.sequence(KernelRequest {
+            key: LockKey::Page(page),
+            node: req.node,
+            owner: NodeRef::root(req.node.top),
+            mode: EntryMode::Rw(mode),
+            compensating: req.compensating,
+        })?;
+        Ok(GrantInfo { waited: guard.waited })
     }
 
     fn node_completed(&self, _tree: &TxnTree, _idx: u32) {}
 
     fn top_finished(&self, top: TopId) {
-        self.table.release_top(top);
+        self.kernel.finish_top(top);
     }
 
     fn stats(&self) -> StatsSnapshot {

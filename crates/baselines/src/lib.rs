@@ -15,13 +15,16 @@
 //!   subtransaction commits (instead of being released early), so nothing
 //!   is exposed before top-level commit.
 //!
-//! All three use the shared waits-for graph of `semcc-core` for deadlock
-//! detection, making abort/retry behaviour comparable across protocols.
+//! All three sequence their lock requests through the shared
+//! [`ConcurrencyKernel`](semcc_core::ConcurrencyKernel) of `semcc-core`
+//! (sharded lock table, targeted waiter wake-ups, waits-for deadlock
+//! detection), making blocking and abort/retry behaviour directly
+//! comparable across protocols — including the paper's semantic one.
 
 pub mod closed;
 pub mod flat;
-pub mod rwtable;
 
 pub use closed::ClosedNested;
 pub use flat::{FlatObject2pl, Page2pl};
-pub use rwtable::{Mode, RwTable};
+/// Read/write lock mode (re-exported from the shared kernel).
+pub use semcc_core::kernel::RwMode as Mode;

@@ -22,9 +22,13 @@ fn fixture(which: &str) -> Fx {
     let builder = Engine::builder(Arc::clone(&store) as Arc<dyn Storage>, catalog);
     let which = which.to_owned();
     let engine = match which.as_str() {
-        "object" => builder.discipline(|deps| FlatObject2pl::new(deps) as Arc<dyn Discipline>).build(),
+        "object" => {
+            builder.discipline(|deps| FlatObject2pl::new(deps) as Arc<dyn Discipline>).build()
+        }
         "page" => builder.discipline(|deps| Page2pl::new(deps) as Arc<dyn Discipline>).build(),
-        "closed" => builder.discipline(|deps| ClosedNested::new(deps) as Arc<dyn Discipline>).build(),
+        "closed" => {
+            builder.discipline(|deps| ClosedNested::new(deps) as Arc<dyn Discipline>).build()
+        }
         "semantic" => builder.protocol(ProtocolConfig::semantic()).build(),
         _ => unreachable!(),
     };
@@ -61,12 +65,7 @@ fn all_protocols_preserve_invariants_under_contention() {
                 });
             }
         });
-        let total: i64 = fx
-            .store
-            .atomic_state()
-            .values()
-            .map(|v| v.as_int().unwrap())
-            .sum();
+        let total: i64 = fx.store.atomic_state().values().map(|v| v.as_int().unwrap()).sum();
         assert_eq!(total, initial, "conservation violated under {which}");
         assert_eq!(fx.engine.stats().commits, 120, "all transfers commit under {which}");
     }
@@ -110,7 +109,8 @@ fn page_locking_exhibits_false_sharing() {
             fx.engine.execute(&p).unwrap();
             let waited = t0.elapsed() >= std::time::Duration::from_millis(50);
             assert_eq!(
-                waited, expect_block,
+                waited,
+                expect_block,
                 "{which}: expected blocked={expect_block}, elapsed {:?}",
                 t0.elapsed()
             );

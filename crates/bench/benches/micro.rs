@@ -11,7 +11,9 @@ use semcc_core::stats::Stats;
 use semcc_core::tree::Registry;
 use semcc_core::ProtocolConfig;
 use semcc_orderentry::matrices::{item_matrix, order_matrix};
-use semcc_orderentry::types::{ITEM_PAY_ORDER, ITEM_SHIP_ORDER, ORDER_CHANGE_STATUS, ORDER_TEST_STATUS};
+use semcc_orderentry::types::{
+    ITEM_PAY_ORDER, ITEM_SHIP_ORDER, ORDER_CHANGE_STATUS, ORDER_TEST_STATUS,
+};
 use semcc_orderentry::{Database, DbParams, StatusEvent, Target, TxnSpec};
 use semcc_semantics::{CommutativitySpec, Invocation, ObjectId, TypeId, Value, TYPE_ATOMIC};
 use semcc_sim::{build_engine, ProtocolKind};
@@ -21,10 +23,22 @@ use std::sync::Arc;
 fn bench_commutativity(c: &mut Criterion) {
     let item = item_matrix(false);
     let order = order_matrix();
-    let ship = Invocation::user(ObjectId(1), TypeId(17), ITEM_SHIP_ORDER, vec![Value::Id(ObjectId(9))]);
-    let pay = Invocation::user(ObjectId(1), TypeId(17), ITEM_PAY_ORDER, vec![Value::Id(ObjectId(9))]);
-    let cs = Invocation::user(ObjectId(2), TypeId(16), ORDER_CHANGE_STATUS, vec![StatusEvent::Shipped.value()]);
-    let ts = Invocation::user(ObjectId(2), TypeId(16), ORDER_TEST_STATUS, vec![StatusEvent::Paid.value()]);
+    let ship =
+        Invocation::user(ObjectId(1), TypeId(17), ITEM_SHIP_ORDER, vec![Value::Id(ObjectId(9))]);
+    let pay =
+        Invocation::user(ObjectId(1), TypeId(17), ITEM_PAY_ORDER, vec![Value::Id(ObjectId(9))]);
+    let cs = Invocation::user(
+        ObjectId(2),
+        TypeId(16),
+        ORDER_CHANGE_STATUS,
+        vec![StatusEvent::Shipped.value()],
+    );
+    let ts = Invocation::user(
+        ObjectId(2),
+        TypeId(16),
+        ORDER_TEST_STATUS,
+        vec![StatusEvent::Paid.value()],
+    );
 
     let mut g = c.benchmark_group("commutativity");
     g.bench_function("matrix_static_entry", |b| {
@@ -38,22 +52,32 @@ fn bench_commutativity(c: &mut Criterion) {
 
 /// Build holder/requestor lock entries whose ancestor chains have the
 /// given depth (no commutative pair → full scan = worst case).
-fn deep_entry(registry: &Registry, depth: u32, base: u64) -> (LockEntry, Arc<Invocation>, Arc<[semcc_core::tree::ChainLink]>, semcc_core::NodeRef) {
+fn deep_entry(
+    registry: &Registry,
+    depth: u32,
+    base: u64,
+) -> (LockEntry, Arc<Invocation>, Arc<[semcc_core::tree::ChainLink]>, semcc_core::NodeRef) {
     let tree = registry.begin();
     let mut parent = 0;
     for d in 0..depth {
         // Distinct objects per tree: no ancestor pair ever commutes, so the
         // conflict test performs the full O(depth²) scan (worst case).
-        parent = tree.add_child(parent, Arc::new(Invocation::get(ObjectId(base + u64::from(d)), TYPE_ATOMIC)));
+        parent = tree.add_child(
+            parent,
+            Arc::new(Invocation::get(ObjectId(base + u64::from(d)), TYPE_ATOMIC)),
+        );
     }
-    let leaf = tree.add_child(
-        parent,
-        Arc::new(Invocation::put(ObjectId(7), TYPE_ATOMIC, Value::Int(0))),
-    );
+    let leaf =
+        tree.add_child(parent, Arc::new(Invocation::put(ObjectId(7), TYPE_ATOMIC, Value::Int(0))));
     let node = semcc_core::NodeRef { top: tree.top(), idx: leaf };
     let inv = tree.invocation(leaf);
     let chain = tree.chain(leaf);
-    (LockEntry { node, inv: Arc::clone(&inv), chain: Arc::clone(&chain), retained: true }, inv, chain, node)
+    (
+        LockEntry { node, inv: Arc::clone(&inv), chain: Arc::clone(&chain), retained: true },
+        inv,
+        chain,
+        node,
+    )
 }
 
 fn bench_conflict_test_depth(c: &mut Criterion) {
@@ -85,7 +109,9 @@ fn bench_acquire_release_path(c: &mut Criterion) {
         ProtocolKind::Object2pl,
         ProtocolKind::Page2pl,
     ] {
-        let db = Database::build(&DbParams { n_items: 4, orders_per_item: 4, ..Default::default() }).unwrap();
+        let db =
+            Database::build(&DbParams { n_items: 4, orders_per_item: 4, ..Default::default() })
+                .unwrap();
         let engine = build_engine(kind, &db, None);
         let t = Target { item: db.items[0].item, order: db.items[0].orders[0].order };
         g.bench_function(kind.name().replace('/', "_"), |b| {
@@ -100,7 +126,8 @@ fn bench_acquire_release_path(c: &mut Criterion) {
 fn bench_txn_types(c: &mut Criterion) {
     let mut g = c.benchmark_group("order_entry_txn_latency");
     g.sample_size(20);
-    let db = Database::build(&DbParams { n_items: 4, orders_per_item: 8, ..Default::default() }).unwrap();
+    let db = Database::build(&DbParams { n_items: 4, orders_per_item: 8, ..Default::default() })
+        .unwrap();
     let engine = build_engine(ProtocolKind::Semantic, &db, None);
     let t = Target { item: db.items[0].item, order: db.items[0].orders[0].order };
     let u = Target { item: db.items[1].item, order: db.items[1].orders[0].order };
@@ -126,7 +153,11 @@ fn bench_txn_types(c: &mut Criterion) {
         b.iter(|| {
             no += 1;
             engine
-                .execute(black_box(&TxnSpec::NewOrders { entries: vec![(t.item, no)], customer: 1, quantity: 1 }))
+                .execute(black_box(&TxnSpec::NewOrders {
+                    entries: vec![(t.item, no)],
+                    customer: 1,
+                    quantity: 1,
+                }))
                 .unwrap()
         })
     });

@@ -15,29 +15,41 @@ fn bench_protocol_batch(c: &mut Criterion) {
         ProtocolKind::Object2pl,
         ProtocolKind::Page2pl,
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name().replace('/', "_")), &kind, |b, &kind| {
-            b.iter_with_setup(
-                || {
-                    let db = Database::build(&DbParams { n_items: 4, orders_per_item: 8, ..Default::default() })
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name().replace('/', "_")),
+            &kind,
+            |b, &kind| {
+                b.iter_with_setup(
+                    || {
+                        let db = Database::build(&DbParams {
+                            n_items: 4,
+                            orders_per_item: 8,
+                            ..Default::default()
+                        })
                         .unwrap();
-                    let engine = build_engine(kind, &db, None);
-                    let mut w = Workload::new(
-                        &db,
-                        WorkloadConfig { mix: MixWeights::update_heavy(), zipf_theta: 0.9, ..Default::default() },
-                    );
-                    let batch = w.batch(&db, 200);
-                    (engine, batch)
-                },
-                |(engine, batch)| {
-                    let out = run_workload(
-                        &engine,
-                        batch,
-                        &RunParams { workers: 4, max_retries: 100_000, record_outcomes: false },
-                    );
-                    assert_eq!(out.metrics.failed, 0);
-                },
-            )
-        });
+                        let engine = build_engine(kind, &db, None);
+                        let mut w = Workload::new(
+                            &db,
+                            WorkloadConfig {
+                                mix: MixWeights::update_heavy(),
+                                zipf_theta: 0.9,
+                                ..Default::default()
+                            },
+                        );
+                        let batch = w.batch(&db, 200);
+                        (engine, batch)
+                    },
+                    |(engine, batch)| {
+                        let out = run_workload(
+                            &engine,
+                            batch,
+                            &RunParams { workers: 4, max_retries: 100_000, record_outcomes: false },
+                        );
+                        assert_eq!(out.metrics.failed, 0);
+                    },
+                )
+            },
+        );
     }
     g.finish();
 }

@@ -13,8 +13,12 @@ use semcc_orderentry::{Database, DbParams, StatusEvent, Target, TxnSpec};
 use semcc_semantics::{
     CommutativitySpec, Invocation, MethodContext, MethodId, ObjectId, Storage, TypeId, Value,
 };
-use semcc_sim::scenario::{await_action_complete, await_blocked, ever_blocked, top_of_label, Gate};
-use semcc_sim::{build_engine, check_semantic_graph, check_state_equivalence, CommittedTxn, ProtocolKind};
+use semcc_sim::scenario::{
+    await_action_complete, await_blocked, ever_blocked, top_of_label, Gate, OpenOnDrop,
+};
+use semcc_sim::{
+    build_engine, check_semantic_graph, check_state_equivalence, CommittedTxn, ProtocolKind,
+};
 use std::sync::Arc;
 
 fn db2() -> Database {
@@ -40,17 +44,24 @@ fn wait_label(sink: &MemorySink, label: &str) -> TopId {
 /// Figure 1: the object schema, rebuilt and structurally verified.
 pub fn fig1() {
     println!("=== Figure 1: object schema of the order-entry example ===\n");
-    let db = Database::build(&DbParams { n_items: 3, orders_per_item: 2, ..Default::default() }).unwrap();
+    let db = Database::build(&DbParams { n_items: 3, orders_per_item: 2, ..Default::default() })
+        .unwrap();
     println!("DB");
     println!("└── Items : Set<Item>               ({} members)", db.items.len());
     let item = &db.items[0];
     println!("    └── Item {} = ⟨ItemNo, Price, QOH, Orders⟩", item.item);
-    println!("        ├── ItemNo   = {:?}", db.store.get(db.store.field(item.item, "ItemNo").unwrap()).unwrap());
+    println!(
+        "        ├── ItemNo   = {:?}",
+        db.store.get(db.store.field(item.item, "ItemNo").unwrap()).unwrap()
+    );
     println!("        ├── Price    = {:?}", db.store.get(item.price).unwrap());
     println!("        ├── QOH      = {:?}", db.store.get(item.qoh).unwrap());
     println!("        └── Orders : Set<Order>      ({} members)", item.orders.len());
     let o = &item.orders[0];
-    println!("            └── Order {} = ⟨OrderNo={}, CustomerNo, Quantity={}, Status=new⟩", o.order, o.order_no, o.qty);
+    println!(
+        "            └── Order {} = ⟨OrderNo={}, CustomerNo, Quantity={}, Status=new⟩",
+        o.order, o.order_no, o.qty
+    );
     assert_eq!(db.store.set_scan(db.items_set).unwrap().len(), 3);
     assert_eq!(db.store.type_of(item.item).unwrap(), db.item_type);
     assert_eq!(db.store.type_of(o.order).unwrap(), db.order_type);
@@ -62,7 +73,9 @@ pub fn fig2() {
     println!("=== Figure 2: compatibility matrix for the methods of object type Item ===\n");
     let m = item_matrix(false);
     let methods = [ITEM_NEW_ORDER, ITEM_SHIP_ORDER, ITEM_PAY_ORDER, ITEM_TOTAL_PAYMENT];
-    let inv = |mid: MethodId| Invocation::user(ObjectId(1), TypeId(17), mid, vec![Value::Id(ObjectId(9))]);
+    let inv = |mid: MethodId| {
+        Invocation::user(ObjectId(1), TypeId(17), mid, vec![Value::Id(ObjectId(9))])
+    };
     println!(
         "{}",
         render("", &["NewOrder", "ShipOrder", "PayOrder", "TotalPayment"], |i, j| {
@@ -87,13 +100,19 @@ pub fn fig3() {
         (ORDER_TEST_STATUS, StatusEvent::Shipped),
         (ORDER_TEST_STATUS, StatusEvent::Paid),
     ];
-    let inv =
-        |(mid, ev): (MethodId, StatusEvent)| Invocation::user(ObjectId(2), TypeId(16), mid, vec![ev.value()]);
+    let inv = |(mid, ev): (MethodId, StatusEvent)| {
+        Invocation::user(ObjectId(2), TypeId(16), mid, vec![ev.value()])
+    };
     println!(
         "{}",
         render(
             "",
-            &["ChangeStatus(shipped)", "ChangeStatus(paid)", "TestStatus(shipped)", "TestStatus(paid)"],
+            &[
+                "ChangeStatus(shipped)",
+                "ChangeStatus(paid)",
+                "TestStatus(shipped)",
+                "TestStatus(paid)"
+            ],
             |i, j| m.commute(&inv(insts[i]), &inv(insts[j]))
         )
     );
@@ -113,6 +132,7 @@ pub fn fig4() {
     let (g1, g2) = (Gate::new(), Gate::new());
 
     std::thread::scope(|s| {
+        let _unstick = OpenOnDrop::new([Arc::clone(&g1), Arc::clone(&g2)]);
         let (e1, gg1) = (Arc::clone(&engine), Arc::clone(&g1));
         let h1 = s.spawn(move || {
             let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
@@ -147,7 +167,10 @@ pub fn fig4() {
     });
     let report = check_semantic_graph(&sink.events(), engine.router());
     assert!(report.serializable);
-    println!("execution is semantically serializable ({} leaf pairs tested).\n", report.pairs_tested);
+    println!(
+        "execution is semantically serializable ({} leaf pairs tested).\n",
+        report.pairs_tested
+    );
     println!("reconstructed transaction trees (grant order shows the interleaving):\n");
     for tree in semcc_sim::TreeView::from_events(&sink.events(), &db.catalog) {
         println!("{}", tree.render());
@@ -165,6 +188,7 @@ pub fn fig5_run(kind: ProtocolKind) -> bool {
     let gate = Gate::new();
 
     let (v1, v3) = std::thread::scope(|s| {
+        let _unstick = OpenOnDrop::new([Arc::clone(&gate)]);
         let (e1, g1) = (Arc::clone(&engine), Arc::clone(&gate));
         let h1 = s.spawn(move || {
             let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
@@ -182,7 +206,8 @@ pub fn fig5_run(kind: ProtocolKind) -> bool {
             std::thread::sleep(std::time::Duration::from_millis(50));
             g3.open();
         });
-        let out3 = e3.execute(&TxnSpec::CheckShipped { targets: vec![a, b], bypass: true }).unwrap();
+        let out3 =
+            e3.execute(&TxnSpec::CheckShipped { targets: vec![a, b], bypass: true }).unwrap();
         gate.open();
         opener.join().unwrap();
         (h1.join().unwrap().value, out3.value)
@@ -198,7 +223,8 @@ pub fn fig5_run(kind: ProtocolKind) -> bool {
         },
     ];
     let graph = check_semantic_graph(&sink.events(), engine.router());
-    let state = check_state_equivalence(&initial, &db.catalog, db.items_set, &committed, &db.store, 4);
+    let state =
+        check_state_equivalence(&initial, &db.catalog, db.items_set, &committed, &db.store, 4);
     !graph.serializable || state.is_none()
 }
 
@@ -218,13 +244,16 @@ pub fn fig5() {
 /// (no ancestor check) blocks instead.
 pub fn fig6() {
     println!("=== Figure 6: conflicting actions with commutative and committed ancestors ===\n");
-    for (kind, expect_block) in [(ProtocolKind::Semantic, false), (ProtocolKind::SemanticNoAncestor, true)] {
+    for (kind, expect_block) in
+        [(ProtocolKind::Semantic, false), (ProtocolKind::SemanticNoAncestor, true)]
+    {
         let db = db2();
         let sink = MemorySink::new();
         let engine = build_engine(kind, &db, Some(sink.clone()));
         let (a, b) = two_targets(&db);
         let gate = Gate::new();
         std::thread::scope(|s| {
+            let _unstick = OpenOnDrop::new([Arc::clone(&gate)]);
             let (e1, g1) = (Arc::clone(&engine), Arc::clone(&gate));
             let h1 = s.spawn(move || {
                 let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
@@ -250,7 +279,8 @@ pub fn fig6() {
                 h1.join().unwrap();
                 h4.join().unwrap();
             } else {
-                let out = engine.execute(&TxnSpec::CheckPaid { targets: vec![a], bypass: true }).unwrap();
+                let out =
+                    engine.execute(&TxnSpec::CheckPaid { targets: vec![a], bypass: true }).unwrap();
                 let t4 = top_of_label(&sink, "T4", 0).unwrap();
                 assert!(!ever_blocked(&sink, t4));
                 assert!(engine.stats().case1_grants >= 1);
@@ -292,6 +322,7 @@ pub fn fig7() {
     let txn_gate = Gate::new();
 
     std::thread::scope(|s| {
+        let _unstick = OpenOnDrop::new([Arc::clone(&body_gate), Arc::clone(&txn_gate)]);
         let (e1, tg) = (Arc::clone(&engine), Arc::clone(&txn_gate));
         let h1 = s.spawn(move || {
             let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
@@ -310,8 +341,13 @@ pub fn fig7() {
         let h5 = s.spawn(move || e5.execute(&TxnSpec::Total(a.item)).unwrap());
         let t5 = wait_label(&sink, "T5");
         let on = await_blocked(&sink, t5);
-        assert!(on.iter().all(|n| n.top == t1 && n.idx == 1), "waits for the ShipOrder node: {on:?}");
-        println!("T5 (TotalPayment) blocked on {on:?} — the SUBTRANSACTION, not T1's commit (Case 2).");
+        assert!(
+            on.iter().all(|n| n.top == t1 && n.idx == 1),
+            "waits for the ShipOrder node: {on:?}"
+        );
+        println!(
+            "T5 (TotalPayment) blocked on {on:?} — the SUBTRANSACTION, not T1's commit (Case 2)."
+        );
 
         body_gate.open();
         let out = h5.join().unwrap();

@@ -64,8 +64,12 @@ fn measure(
     let batch = w.batch(&db, txns);
     eprintln!("[measure] {} workers={workers} txns={txns} ...", kind.name());
     let t0 = std::time::Instant::now();
-    let m = run_workload(&engine, batch, &RunParams { workers, max_retries: 100_000, record_outcomes: false })
-        .metrics;
+    let m = run_workload(
+        &engine,
+        batch,
+        &RunParams { workers, max_retries: 100_000, record_outcomes: false },
+    )
+    .metrics;
     eprintln!("[measure] {} workers={workers} done in {:?}", kind.name(), t0.elapsed());
     m
 }
@@ -80,9 +84,12 @@ fn fmt_pct(x: f64) -> String {
 
 /// B1: throughput and blocking vs multiprogramming level.
 pub fn b1_mpl_sweep(scale: Scale) -> Table {
-    let mut t = Table::new(&["protocol", "workers", "txn/s", "block%", "aborts", "case1", "case2", "rootw"]);
+    let mut t = Table::new(&[
+        "protocol", "workers", "txn/s", "block%", "aborts", "case1", "case2", "rootw",
+    ]);
     let db_params = DbParams { n_items: 8, orders_per_item: 8, ..Default::default() };
-    let wl = WorkloadConfig { mix: MixWeights::update_heavy(), zipf_theta: 0.8, ..Default::default() };
+    let wl =
+        WorkloadConfig { mix: MixWeights::update_heavy(), zipf_theta: 0.8, ..Default::default() };
     for &workers in &[1usize, 2, 4, 8, 16] {
         for kind in PERF_PROTOCOLS {
             let m = measure(kind, &db_params, &wl, scale.txns, workers);
@@ -102,9 +109,15 @@ pub fn b1_mpl_sweep(scale: Scale) -> Table {
 }
 
 /// B2: throughput vs data contention (number of items; fewer = hotter).
+/// Also reports the kernel's wake-up economy: targeted pokes delivered,
+/// re-tests after a wait, and how many wake-ups were spurious (the targeted
+/// scheme is the win iff `spurious` stays well below `retests`).
 pub fn b2_contention_sweep(scale: Scale) -> Table {
-    let mut t = Table::new(&["protocol", "items", "txn/s", "block%", "aborts"]);
-    let wl = WorkloadConfig { mix: MixWeights::update_heavy(), zipf_theta: 0.6, ..Default::default() };
+    let mut t = Table::new(&[
+        "protocol", "items", "txn/s", "block%", "aborts", "targeted", "retests", "spurious",
+    ]);
+    let wl =
+        WorkloadConfig { mix: MixWeights::update_heavy(), zipf_theta: 0.6, ..Default::default() };
     for &items in &[2usize, 4, 8, 16, 32, 64] {
         let db_params = DbParams { n_items: items, orders_per_item: 8, ..Default::default() };
         for kind in PERF_PROTOCOLS {
@@ -115,6 +128,9 @@ pub fn b2_contention_sweep(scale: Scale) -> Table {
                 fmt_f(m.throughput),
                 fmt_pct(m.block_ratio),
                 m.aborted_attempts.to_string(),
+                m.stats.targeted_wakeups.to_string(),
+                m.stats.retests.to_string(),
+                m.stats.spurious_wakeups.to_string(),
             ]);
         }
     }
@@ -124,11 +140,17 @@ pub fn b2_contention_sweep(scale: Scale) -> Table {
 /// B3: ablation of the Figure-9 machinery on a bypass-heavy mix, including
 /// the parameter-aware matrix extension.
 pub fn b3_ablation(scale: Scale) -> Table {
-    let mut t = Table::new(&[
-        "variant", "txn/s", "block%", "case1", "case2", "rootw", "commute-skips",
-    ]);
+    let mut t =
+        Table::new(&["variant", "txn/s", "block%", "case1", "case2", "rootw", "commute-skips"]);
     let wl = WorkloadConfig {
-        mix: MixWeights { t0_new: 0, t1_ship: 3, t2_pay: 3, t3_check_shipped: 3, t4_check_paid: 3, t5_total: 1 },
+        mix: MixWeights {
+            t0_new: 0,
+            t1_ship: 3,
+            t2_pay: 3,
+            t3_check_shipped: 3,
+            t4_check_paid: 3,
+            t5_total: 1,
+        },
         zipf_theta: 0.9,
         bypass_checks: true,
         ..Default::default()
@@ -171,10 +193,19 @@ pub fn b4_bypassing(scale: Scale, trials: usize) -> (Table, Table) {
     }
 
     let mut cost = Table::new(&["check style", "check share", "txn/s", "block%", "rootw"]);
-    for &(label, bypass) in &[("bypassing (TestStatus on orders)", true), ("encapsulated (Item::CheckOrder)", false)] {
+    for &(label, bypass) in
+        &[("bypassing (TestStatus on orders)", true), ("encapsulated (Item::CheckOrder)", false)]
+    {
         for &(share_label, checks) in &[("light", 2u32), ("heavy", 8u32)] {
             let wl = WorkloadConfig {
-                mix: MixWeights { t0_new: 0, t1_ship: 3, t2_pay: 3, t3_check_shipped: checks, t4_check_paid: checks, t5_total: 1 },
+                mix: MixWeights {
+                    t0_new: 0,
+                    t1_ship: 3,
+                    t2_pay: 3,
+                    t3_check_shipped: checks,
+                    t4_check_paid: checks,
+                    t5_total: 1,
+                },
                 bypass_checks: bypass,
                 zipf_theta: 0.9,
                 ..Default::default()

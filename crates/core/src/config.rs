@@ -42,7 +42,11 @@ impl ProtocolConfig {
     /// The plain open nested protocol of Section 3 (no retained locks).
     /// Unsafe when encapsulation is bypassed.
     pub fn open_nested_plain() -> Self {
-        ProtocolConfig { name: "open-nested/no-retention", retain_locks: false, ancestor_check: true }
+        ProtocolConfig {
+            name: "open-nested/no-retention",
+            retain_locks: false,
+            ancestor_check: true,
+        }
     }
 }
 

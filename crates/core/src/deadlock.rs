@@ -90,11 +90,7 @@ impl WaitsForGraph {
 
         while let Some(cycle) = Self::find_cycle(&inner, waiter) {
             // Youngest (largest id) non-aborting member is the victim.
-            let victim = cycle
-                .iter()
-                .copied()
-                .filter(|t| !inner.aborting.contains(t))
-                .max();
+            let victim = cycle.iter().copied().filter(|t| !inner.aborting.contains(t)).max();
             let Some(victim) = victim else {
                 // Every member is aborting — compensation transactions are
                 // retried by the engine, so just wait.

@@ -29,8 +29,8 @@ use crate::stats::{Stats, StatsSnapshot};
 use crate::tree::{Registry, TxnTree};
 use parking_lot::Mutex;
 use semcc_semantics::{
-    Catalog, GenericMethod, Invocation, MethodContext, MethodSel, ObjectId, Result, SemccError,
-    SemanticsRouter, Storage, TypeId, Value,
+    Catalog, GenericMethod, Invocation, MethodContext, MethodSel, ObjectId, Result,
+    SemanticsRouter, SemccError, Storage, TypeId, Value,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -241,7 +241,8 @@ impl Engine {
         let tree = self.deps.registry.begin();
         let top = tree.top();
         self.deps.sink.record(Event::TopBegin { top, label: prog.label() });
-        let shared = Arc::new(TxnShared { tree: Arc::clone(&tree), created: Mutex::new(Vec::new()) });
+        let shared =
+            Arc::new(TxnShared { tree: Arc::clone(&tree), created: Mutex::new(Vec::new()) });
         let mut ctx = ExecCtx {
             engine: self,
             shared: Arc::clone(&shared),
@@ -265,7 +266,11 @@ impl Engine {
 
     /// Execute with automatic retry on deadlock aborts. Returns the outcome
     /// and the number of aborted attempts.
-    pub fn execute_with_retry(&self, prog: &dyn TransactionProgram, max_retries: u32) -> (Result<TxnOutcome>, u32) {
+    pub fn execute_with_retry(
+        &self,
+        prog: &dyn TransactionProgram,
+        max_retries: u32,
+    ) -> (Result<TxnOutcome>, u32) {
         let mut retries = 0;
         loop {
             match self.execute(prog) {
@@ -291,7 +296,13 @@ impl Engine {
         self.deps.sink.record(Event::TopCommit { top });
     }
 
-    fn abort(&self, top: TopId, shared: &Arc<TxnShared>, comp: Vec<Invocation>, reason: &SemccError) {
+    fn abort(
+        &self,
+        top: TopId,
+        shared: &Arc<TxnShared>,
+        comp: Vec<Invocation>,
+        reason: &SemccError,
+    ) {
         self.deps.wfg.begin_abort(top);
         Stats::bump(&self.deps.stats.aborts);
 
@@ -300,7 +311,9 @@ impl Engine {
         // schema without proper inverses; they are surfaced in the event
         // stream but cannot stop the abort.
         if let Err(e) = self.compensate_list(shared, comp) {
-            self.deps.sink.record(Event::TopAbort { top, reason: format!("compensation failed: {e}") });
+            self.deps
+                .sink
+                .record(Event::TopAbort { top, reason: format!("compensation failed: {e}") });
         }
 
         // Garbage-collect objects created by this transaction.
@@ -458,9 +471,7 @@ impl Engine {
                 }
                 if !compensating {
                     let partial = std::mem::take(&mut ctx.comp);
-                    if let Err(ce) = self.compensate_list(shared, partial) {
-                        return Err(ce);
-                    }
+                    self.compensate_list(shared, partial)?
                 }
                 Err(e)
             }
@@ -469,7 +480,11 @@ impl Engine {
 
     /// Apply a generic (leaf) operation to the store, producing its
     /// built-in compensation.
-    fn apply_generic(&self, inv: &Invocation, g: GenericMethod) -> Result<(Value, Vec<Invocation>)> {
+    fn apply_generic(
+        &self,
+        inv: &Invocation,
+        g: GenericMethod,
+    ) -> Result<(Value, Vec<Invocation>)> {
         if !self.op_delay.is_zero() {
             // Simulated page access, while the leaf's lock is held.
             std::thread::sleep(self.op_delay);
@@ -534,9 +549,8 @@ struct ExecCtx<'e> {
 
 impl MethodContext for ExecCtx<'_> {
     fn invoke(&mut self, inv: Invocation) -> Result<Value> {
-        let (value, comp) = self
-            .engine
-            .run_action(&self.shared, self.node_idx, inv, self.compensating)?;
+        let (value, comp) =
+            self.engine.run_action(&self.shared, self.node_idx, inv, self.compensating)?;
         self.comp.extend(comp);
         Ok(value)
     }
@@ -565,7 +579,11 @@ impl MethodContext for ExecCtx<'_> {
         Ok(id)
     }
 
-    fn create_tuple(&mut self, type_id: TypeId, fields: Vec<(String, ObjectId)>) -> Result<ObjectId> {
+    fn create_tuple(
+        &mut self,
+        type_id: TypeId,
+        fields: Vec<(String, ObjectId)>,
+    ) -> Result<ObjectId> {
         let id = self.engine.storage.create_tuple(type_id, fields)?;
         if !self.compensating {
             self.shared.created.lock().push(id);

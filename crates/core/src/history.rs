@@ -230,10 +230,7 @@ mod tests {
             std::thread::sleep(Duration::from_millis(20));
             s2.record(Event::TopAbort { top: TopId(9), reason: "x".into() });
         });
-        let hit = s.wait_for(
-            |e| matches!(e.ev, Event::TopAbort { .. }),
-            Duration::from_secs(2),
-        );
+        let hit = s.wait_for(|e| matches!(e.ev, Event::TopAbort { .. }), Duration::from_secs(2));
         h.join().unwrap();
         assert!(hit.is_some());
     }

@@ -28,7 +28,10 @@
 //! Baseline protocols (flat/page two-phase locking, closed nested
 //! transactions — crate `semcc-baselines`) plug into the same engine via
 //! the [`discipline::Discipline`] trait, so every protocol executes the
-//! identical workload code.
+//! identical workload code. All disciplines sequence their lock requests
+//! through the shared [`kernel::ConcurrencyKernel`], which owns the
+//! sharded lock table, the wait queues and targeted waiter wake-ups; a
+//! discipline contributes only its pairwise conflict test.
 
 pub mod config;
 pub mod deadlock;
@@ -36,6 +39,7 @@ pub mod discipline;
 pub mod engine;
 pub mod history;
 pub mod ids;
+pub mod kernel;
 pub mod lock;
 pub mod notify;
 pub mod stats;
@@ -43,11 +47,15 @@ pub mod tree;
 
 pub use config::ProtocolConfig;
 pub use deadlock::WaitsForGraph;
-pub use discipline::{AcquireRequest, Discipline, GrantInfo};
 pub use discipline::DisciplineDeps;
+pub use discipline::{AcquireRequest, Discipline, GrantInfo};
 pub use engine::{Engine, EngineBuilder, FnProgram, TransactionProgram, TxnOutcome};
 pub use history::{Event, HistorySink, MemorySink, NullSink, Stamped};
 pub use ids::{NodeRef, TopId};
+pub use kernel::{
+    ConcurrencyKernel, EntryMode, KernelGuard, KernelPolicy, KernelRequest, LockKey, Outcome,
+    RwLockPolicy, RwMode,
+};
 pub use lock::SemanticLockManager;
 pub use stats::{Stats, StatsSnapshot};
 pub use tree::{ChainLink, NodeState, Registry, TxnTree};

@@ -171,7 +171,7 @@ mod tests {
         (tree, entry, m_idx)
     }
 
-    fn requestor_under_method<'a>(
+    fn requestor_under_method(
         fx: &Fixture,
         t: semcc_semantics::TypeId,
         method: u32,
@@ -204,7 +204,8 @@ mod tests {
         let leaf2 = tree.add_child(0, Arc::new(put(10)));
         let chain = tree.chain(leaf2);
         let inv = tree.invocation(leaf2);
-        let r = Requestor { node: NodeRef { top: tree.top(), idx: leaf2 }, inv: &inv, chain: &chain };
+        let r =
+            Requestor { node: NodeRef { top: tree.top(), idx: leaf2 }, inv: &inv, chain: &chain };
         assert_eq!(fx.test(&h, &r), None);
         assert_eq!(fx.stats.snapshot().same_txn_skips, 1);
     }
@@ -215,7 +216,7 @@ mod tests {
         // Holder: leaf Put(o10) under method A on object 5.
         let (h_tree, h, m_idx) = entry_under_method(&fx, t, 0, 5, put(10));
         h_tree.complete(m_idx); // the commutative ancestor is committed
-        // Requestor: conflicting Get(o10) under method B on the SAME object 5.
+                                // Requestor: conflicting Get(o10) under method B on the SAME object 5.
         let (_r_tree, inv, chain, node) = requestor_under_method(&fx, t, 1, 5, get(10));
         let r = Requestor { node, inv: &inv, chain: &chain };
         assert_eq!(fx.test(&h, &r), None, "Case 1: pseudo-conflict is ignored");
@@ -285,7 +286,8 @@ mod tests {
         let leaf = r_tree.add_child(0, Arc::new(get(10)));
         let inv = r_tree.invocation(leaf);
         let chain = r_tree.chain(leaf);
-        let r = Requestor { node: NodeRef { top: r_tree.top(), idx: leaf }, inv: &inv, chain: &chain };
+        let r =
+            Requestor { node: NodeRef { top: r_tree.top(), idx: leaf }, inv: &inv, chain: &chain };
         assert_eq!(
             fx.test(&h, &r),
             Some(NodeRef::root(h_tree.top())),

@@ -1,7 +1,6 @@
 //! Lock control blocks.
 
 use crate::ids::NodeRef;
-use crate::notify::WaitCell;
 use crate::tree::ChainLink;
 use semcc_semantics::Invocation;
 use std::sync::Arc;
@@ -36,24 +35,5 @@ impl std::fmt::Debug for LockEntry {
             self.inv,
             if self.retained { ", retained" } else { "" }
         )
-    }
-}
-
-/// A queued (not yet granted) lock request. The paper requires requested
-/// locks to be considered by the conflict test of later requests ("all
-/// locks h that are held **or have been requested** on t.object") and FCFS
-/// granting among conflicting requests.
-pub struct WaitingRequest {
-    /// Queue position (monotonic per object).
-    pub ticket: u64,
-    /// The request's lock control block.
-    pub entry: LockEntry,
-    /// The current wait episode's cell (re-set on each retry).
-    pub cell: Arc<WaitCell>,
-}
-
-impl std::fmt::Debug for WaitingRequest {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "WaitingRequest(#{} {:?})", self.ticket, self.entry)
     }
 }

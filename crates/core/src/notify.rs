@@ -3,9 +3,10 @@
 //! A blocked lock requestor "waits for the completion of all transactions /
 //! subtransactions in its waits-for set" (paper Figure 8). The
 //! [`CompletionHub`] delivers exactly those notifications; in addition, a
-//! waiter is *poked* whenever its object's lock queue changes (a lock was
-//! released or granted), after which it re-runs the conflict test. A waiter
-//! can also be *killed* by the deadlock detector.
+//! waiter is *poked* by the [`kernel`](crate::kernel) when an entry it
+//! found itself in conflict with leaves its lock queue, after which it
+//! re-runs the conflict test. A waiter can also be *killed* by the deadlock
+//! detector.
 
 use crate::ids::NodeRef;
 use crate::tree::Registry;
@@ -21,6 +22,9 @@ struct CellState {
     poked: bool,
     /// Set when the deadlock detector chose this waiter as victim.
     killed: bool,
+    /// Whether at least one awaited completion arrived (never reset: a
+    /// completion changes the registry state, so a re-test is mandatory).
+    completed: bool,
 }
 
 /// One wait episode of a blocked lock request.
@@ -53,6 +57,7 @@ impl WaitCell {
     pub fn complete_one(&self) {
         let mut s = self.state.lock();
         s.pending = s.pending.saturating_sub(1);
+        s.completed = true;
         if s.pending == 0 {
             self.cv.notify_all();
         }
@@ -90,6 +95,24 @@ impl WaitCell {
     pub fn would_wait(&self) -> bool {
         let s = self.state.lock();
         !s.killed && s.pending > 0 && !s.poked
+    }
+
+    /// Whether an awaited completion has ever arrived on this cell.
+    pub fn had_completion(&self) -> bool {
+        self.state.lock().completed
+    }
+
+    /// Whether the cell carries an unconsumed poke.
+    pub fn was_poked(&self) -> bool {
+        self.state.lock().poked
+    }
+
+    /// Consume a poke so the waiter can go back to sleep. Only sound while
+    /// the caller holds the lock-queue shard latch that pokes are issued
+    /// under and has verified (via the queue's generation counter) that the
+    /// poke carried no new information.
+    pub fn clear_poke(&self) {
+        self.state.lock().poked = false;
     }
 }
 
@@ -182,6 +205,21 @@ mod tests {
         cell.kill();
         assert_eq!(h.join().unwrap(), WaitOutcome::Killed);
         assert!(!cell.would_wait());
+    }
+
+    #[test]
+    fn poke_can_be_cleared_but_completion_sticks() {
+        let cell = WaitCell::new();
+        cell.add_pending();
+        cell.poke();
+        assert!(cell.was_poked());
+        assert!(!cell.had_completion());
+        cell.clear_poke();
+        assert!(!cell.was_poked());
+        assert!(cell.would_wait(), "cleared poke re-arms the wait");
+        cell.complete_one();
+        assert!(cell.had_completion(), "completions are never reset");
+        assert_eq!(cell.wait(), WaitOutcome::Retest);
     }
 
     #[test]

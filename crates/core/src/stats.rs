@@ -79,6 +79,16 @@ counters! {
     aborts,
     /// Compensating invocations executed.
     compensations,
+    /// Conflict re-scans after a wait episode (each pass of the Figure-8
+    /// loop beyond the first).
+    retests,
+    /// Wake-ups that produced no progress: either the re-scan blocked
+    /// again, or the generation check proved the queue unchanged and the
+    /// re-scan was suppressed entirely.
+    spurious_wakeups,
+    /// Targeted pokes delivered to waiters subscribed to a removed lock
+    /// entry (the kernel's replacement for broadcast re-tests).
+    targeted_wakeups,
 }
 
 impl Stats {

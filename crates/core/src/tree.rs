@@ -60,12 +60,8 @@ impl TxnTree {
     /// Create a tree whose root carries the synthetic "transaction on the
     /// database object" invocation.
     pub fn new(top: TopId) -> Arc<Self> {
-        let root_inv = Arc::new(Invocation::user(
-            DB_OBJECT,
-            TYPE_DB,
-            semcc_semantics::MethodId(0),
-            vec![],
-        ));
+        let root_inv =
+            Arc::new(Invocation::user(DB_OBJECT, TYPE_DB, semcc_semantics::MethodId(0), vec![]));
         Arc::new(TxnTree {
             top,
             nodes: RwLock::new(vec![Node {
@@ -86,7 +82,12 @@ impl TxnTree {
     pub fn add_child(&self, parent: u32, inv: Arc<Invocation>) -> u32 {
         let mut nodes = self.nodes.write();
         let idx = nodes.len() as u32;
-        nodes.push(Node { parent: Some(parent), inv, state: NodeState::Active, children: Vec::new() });
+        nodes.push(Node {
+            parent: Some(parent),
+            inv,
+            state: NodeState::Active,
+            children: Vec::new(),
+        });
         nodes[parent as usize].children.push(idx);
         idx
     }

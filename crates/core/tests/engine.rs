@@ -6,13 +6,11 @@
 //! every protocol case deterministically.
 
 use parking_lot::{Condvar, Mutex};
-use semcc_core::{
-    Engine, Event, FnProgram, MemorySink, ProtocolConfig, TransactionProgram,
-};
+use semcc_core::{Engine, Event, FnProgram, MemorySink, ProtocolConfig, TransactionProgram};
 use semcc_objstore::MemoryStore;
 use semcc_semantics::{
     Catalog, CompatibilityMatrix, Invocation, MethodContext, MethodId, ObjectId, SemccError,
-    Storage, TypeDef, TypeKind, TypeId, Value,
+    Storage, TypeDef, TypeId, TypeKind, Value,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -41,6 +39,19 @@ impl Gate {
         let mut open = self.state.lock();
         while !*open {
             self.cv.wait(&mut open);
+        }
+    }
+}
+
+/// Opens the gates on drop: a panicking assertion inside a `thread::scope`
+/// must release the gated threads, or the scope's implicit join would turn
+/// the failure into a hang.
+struct OpenOnDrop(Vec<Arc<Gate>>);
+
+impl Drop for OpenOnDrop {
+    fn drop(&mut self) {
+        for g in &self.0 {
+            g.open();
         }
     }
 }
@@ -175,12 +186,8 @@ fn nested_invocations_build_a_tree() {
     let fx = fixture(ProtocolConfig::semantic(), None);
     fx.engine.execute(&incr_prog(&fx, 1)).unwrap();
     // Expect ActionStart for: Incr, Get(val), Put(val) = 3 actions.
-    let starts = fx
-        .sink
-        .events()
-        .iter()
-        .filter(|e| matches!(e.ev, Event::ActionStart { .. }))
-        .count();
+    let starts =
+        fx.sink.events().iter().filter(|e| matches!(e.ev, Event::ActionStart { .. })).count();
     assert_eq!(starts, 3);
 }
 
@@ -298,12 +305,16 @@ fn retained_lock_blocks_bypassing_transaction_until_commit() {
     let t2 = FnProgram::new("T2-bypass", move |ctx: &mut dyn MethodContext| ctx.get(val));
 
     std::thread::scope(|s| {
+        let _unstick = OpenOnDrop(vec![Arc::clone(&gate)]);
         let e1 = Arc::clone(&fx.engine);
         let h1 = s.spawn(move || e1.execute(&t1).unwrap());
 
         // Wait until T1's Incr completed.
         fx.sink
-            .wait_for(|e| matches!(e.ev, Event::ActionComplete { node } if node.idx == 1), Duration::from_secs(5))
+            .wait_for(
+                |e| matches!(e.ev, Event::ActionComplete { node } if node.idx == 1),
+                Duration::from_secs(5),
+            )
             .expect("T1's Incr completes");
 
         let e2 = Arc::clone(&fx.engine);
@@ -340,10 +351,14 @@ fn no_retention_lets_bypassing_transaction_through() {
     let t2 = FnProgram::new("T2-bypass", move |ctx: &mut dyn MethodContext| ctx.get(val));
 
     std::thread::scope(|s| {
+        let _unstick = OpenOnDrop(vec![Arc::clone(&gate)]);
         let e1 = Arc::clone(&fx.engine);
         let h1 = s.spawn(move || e1.execute(&t1).unwrap());
         fx.sink
-            .wait_for(|e| matches!(e.ev, Event::ActionComplete { node } if node.idx == 1), Duration::from_secs(5))
+            .wait_for(
+                |e| matches!(e.ev, Event::ActionComplete { node } if node.idx == 1),
+                Duration::from_secs(5),
+            )
             .expect("T1's Incr completes");
 
         // T2 runs to completion while T1 is still open.
@@ -375,10 +390,14 @@ fn case1_committed_commutative_ancestor_admits_concurrent_update() {
     });
 
     std::thread::scope(|s| {
+        let _unstick = OpenOnDrop(vec![Arc::clone(&gate)]);
         let e1 = Arc::clone(&fx.engine);
         let h1 = s.spawn(move || e1.execute(&t1).unwrap());
         fx.sink
-            .wait_for(|e| matches!(e.ev, Event::ActionComplete { node } if node.idx == 1), Duration::from_secs(5))
+            .wait_for(
+                |e| matches!(e.ev, Event::ActionComplete { node } if node.idx == 1),
+                Duration::from_secs(5),
+            )
             .expect("T1's Incr completes");
 
         // T2 commits while T1 is still open.
@@ -413,11 +432,15 @@ fn case2_waits_only_for_the_commutative_subtransaction() {
     });
 
     std::thread::scope(|s| {
+        let _unstick = OpenOnDrop(vec![Arc::clone(&body_gate), Arc::clone(&txn_gate)]);
         let e1 = Arc::clone(&fx.engine);
         let h1 = s.spawn(move || e1.execute(&t1).unwrap());
         // Wait until T1's Put(val) completed (inside the gated body).
         fx.sink
-            .wait_for(|e| matches!(e.ev, Event::ActionComplete { node } if node.idx == 3), Duration::from_secs(5))
+            .wait_for(
+                |e| matches!(e.ev, Event::ActionComplete { node } if node.idx == 3),
+                Duration::from_secs(5),
+            )
             .expect("T1's Put completes");
 
         let e2 = Arc::clone(&fx.engine);
@@ -472,7 +495,7 @@ fn deadlock_is_detected_and_victim_compensated() {
         "exactly one of the two commits: {outcomes:?} / r1={r1:?} r2={r2:?}"
     );
     let stats = fx.engine.stats();
-    assert_eq!(stats.deadlocks >= 1, true);
+    assert!(stats.deadlocks >= 1);
     assert_eq!(stats.aborts, 1);
 
     // The survivor's writes are in place; the victim's first write was

@@ -17,7 +17,9 @@ use std::sync::Arc;
 const ADD: MethodId = MethodId(0);
 
 /// Counter type: Add(n) commutes with itself; compensation = Add(-n).
-fn counter_engine(cfg: ProtocolConfig) -> (Arc<Engine>, Arc<MemoryStore>, semcc_semantics::ObjectId, semcc_semantics::TypeId) {
+fn counter_engine(
+    cfg: ProtocolConfig,
+) -> (Arc<Engine>, Arc<MemoryStore>, semcc_semantics::ObjectId, semcc_semantics::TypeId) {
     let mut m = CompatibilityMatrix::new();
     m.ok(ADD, ADD);
     let body = Arc::new(|ctx: &mut dyn MethodContext, inv: &Invocation| {
@@ -35,7 +37,12 @@ fn counter_engine(cfg: ProtocolConfig) -> (Arc<Engine>, Arc<MemoryStore>, semcc_
     let ty = catalog.register_type(TypeDef {
         name: "Counter".into(),
         kind: TypeKind::Encapsulated,
-        methods: vec![MethodDef { name: "Add".into(), body: Some(body), compensation: Some(comp), updates: true }],
+        methods: vec![MethodDef {
+            name: "Add".into(),
+            body: Some(body),
+            compensation: Some(comp),
+            updates: true,
+        }],
         spec: Arc::new(m),
     });
     let store = Arc::new(MemoryStore::new());

@@ -38,6 +38,19 @@ impl Gate {
     }
 }
 
+/// Opens the gates on drop: a panicking assertion inside a `thread::scope`
+/// must release the gated threads, or the scope's implicit join would turn
+/// the failure into a hang.
+struct OpenOnDrop(Vec<Arc<Gate>>);
+
+impl Drop for OpenOnDrop {
+    fn drop(&mut self) {
+        for g in &self.0 {
+            g.open();
+        }
+    }
+}
+
 /// A type whose `Outer` method re-invokes `Inner` **on the same object**
 /// (footnote 3: "since the transaction tree is built up by method calls, a
 /// method is allowed to operate on the same object as one of its
@@ -74,8 +87,18 @@ fn recursive_catalog() -> (Arc<Catalog>, TypeId) {
         name: "Recursive".into(),
         kind: TypeKind::Encapsulated,
         methods: vec![
-            MethodDef { name: "Outer".into(), body: Some(outer), compensation: None, updates: true },
-            MethodDef { name: "Inner".into(), body: Some(inner), compensation: None, updates: true },
+            MethodDef {
+                name: "Outer".into(),
+                body: Some(outer),
+                compensation: None,
+                updates: true,
+            },
+            MethodDef {
+                name: "Inner".into(),
+                body: Some(inner),
+                compensation: None,
+                updates: true,
+            },
             MethodDef { name: "Deep".into(), body: Some(deep), compensation: None, updates: true },
         ],
         spec: Arc::new(m),
@@ -85,7 +108,9 @@ fn recursive_catalog() -> (Arc<Catalog>, TypeId) {
     (Arc::new(c), t)
 }
 
-fn engine_with(cfg: ProtocolConfig) -> (Arc<Engine>, Arc<MemoryStore>, Arc<MemorySink>, ObjectId, ObjectId, TypeId) {
+fn engine_with(
+    cfg: ProtocolConfig,
+) -> (Arc<Engine>, Arc<MemoryStore>, Arc<MemorySink>, ObjectId, ObjectId, TypeId) {
     let (catalog, ty) = recursive_catalog();
     let store = Arc::new(MemoryStore::new());
     let (obj, fields) = store.create_tuple_with_atoms(ty, &[("v", Value::Int(0))]).unwrap();
@@ -119,11 +144,7 @@ fn four_level_nesting_executes_and_retains() {
     // Tree: root → Deep → Outer ×2 → Inner → Get/Put (depth 4 + leaves).
     engine.execute(&p).unwrap();
     assert_eq!(store.get(v).unwrap(), Value::Int(2));
-    let starts = sink
-        .events()
-        .iter()
-        .filter(|e| matches!(e.ev, Event::ActionStart { .. }))
-        .count();
+    let starts = sink.events().iter().filter(|e| matches!(e.ev, Event::ActionStart { .. })).count();
     // Deep + 2×(Outer + Inner + Get + Put) = 9 actions.
     assert_eq!(starts, 9);
     let stats = engine.stats();
@@ -162,6 +183,7 @@ fn abort_of_the_blocker_wakes_waiters() {
     let gate = Gate::new();
     let g1 = Arc::clone(&gate);
     std::thread::scope(|s| {
+        let _unstick = OpenOnDrop(vec![Arc::clone(&gate)]);
         let e1 = Arc::clone(&engine);
         let h1 = s.spawn(move || {
             let p = FnProgram::new("holder", move |ctx: &mut dyn MethodContext| {
@@ -222,7 +244,7 @@ fn no_retention_still_blocks_while_subtransaction_is_active() {
         }
     });
     assert_eq!(store.get(v).unwrap(), Value::Int(100), "all 100 increments applied");
-    assert!(sink.len() > 0);
+    assert!(!sink.is_empty());
 }
 
 #[test]
@@ -255,6 +277,7 @@ fn later_compatible_requests_may_overtake_incompatible_waiters() {
     let gate = Gate::new();
     let g1 = Arc::clone(&gate);
     std::thread::scope(|s| {
+        let _unstick = OpenOnDrop(vec![Arc::clone(&gate)]);
         let e1 = Arc::clone(&engine);
         let h1 = s.spawn(move || {
             let p = FnProgram::new("holder", move |ctx: &mut dyn MethodContext| {
@@ -285,7 +308,8 @@ fn later_compatible_requests_may_overtake_incompatible_waiters() {
         // on v is retained and conflicts; so use a DIFFERENT object: create
         // one and access it — must be granted instantly despite the queue
         // on `obj`.
-        let fresh = engine.storage().create_atomic(semcc_semantics::TYPE_ATOMIC, Value::Int(7)).unwrap();
+        let fresh =
+            engine.storage().create_atomic(semcc_semantics::TYPE_ATOMIC, Value::Int(7)).unwrap();
         let out = engine
             .execute(&FnProgram::new("reader", move |ctx: &mut dyn MethodContext| ctx.get(fresh)))
             .unwrap();

@@ -133,11 +133,7 @@ impl MemoryStore {
     /// from the initial state.
     pub fn snapshot(&self) -> MemoryStore {
         let store = MemoryStore {
-            shards: self
-                .shards
-                .iter()
-                .map(|s| RwLock::new(s.read().clone()))
-                .collect(),
+            shards: self.shards.iter().map(|s| RwLock::new(s.read().clone())).collect(),
             next_id: AtomicU64::new(self.next_id.load(Ordering::Relaxed)),
             allocator: Mutex::new(self.allocator.lock().clone()),
         };
@@ -224,11 +220,7 @@ impl Storage for MemoryStore {
     }
 
     fn delete(&self, o: ObjectId) -> Result<()> {
-        self.shard(o)
-            .write()
-            .remove(&o)
-            .map(|_| ())
-            .ok_or(SemccError::NoSuchObject(o))
+        self.shard(o).write().remove(&o).map(|_| ()).ok_or(SemccError::NoSuchObject(o))
     }
 }
 
@@ -298,9 +290,7 @@ mod tests {
     #[test]
     fn tuple_rejects_dangling_components() {
         let s = MemoryStore::new();
-        let err = s
-            .create_tuple(TYPE_TUPLE, vec![("X".into(), ObjectId(999))])
-            .unwrap_err();
+        let err = s.create_tuple(TYPE_TUPLE, vec![("X".into(), ObjectId(999))]).unwrap_err();
         assert_eq!(err, SemccError::NoSuchObject(ObjectId(999)));
     }
 

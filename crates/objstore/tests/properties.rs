@@ -97,11 +97,11 @@ proptest! {
                             continue;
                         }
                         let r = store.set_insert(set, k, id);
-                        if model_set.contains_key(&k) {
-                            prop_assert_eq!(r.unwrap_err(), SemccError::DuplicateKey(set, k));
-                        } else {
+                        if let std::collections::btree_map::Entry::Vacant(e) = model_set.entry(k) {
                             r.unwrap();
-                            model_set.insert(k, id);
+                            e.insert(id);
+                        } else {
+                            prop_assert_eq!(r.unwrap_err(), SemccError::DuplicateKey(set, k));
                         }
                     }
                 }

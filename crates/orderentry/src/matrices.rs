@@ -84,8 +84,8 @@ pub fn item_matrix(param_aware: bool) -> CompatibilityMatrix {
         m.conflict(ITEM_PAY_ORDER, ITEM_PAY_ORDER);
     }
     m.ok(ITEM_SHIP_ORDER, ITEM_PAY_ORDER); // "ordering of shipment and payment is irrelevant"
-    // TotalPayment only observes the `paid` event and Quantity of paid
-    // orders — shipping is invisible to it (the Figure-7 pair).
+                                           // TotalPayment only observes the `paid` event and Quantity of paid
+                                           // orders — shipping is invisible to it (the Figure-7 pair).
     m.ok(ITEM_SHIP_ORDER, ITEM_TOTAL_PAYMENT);
     m.conflict(ITEM_PAY_ORDER, ITEM_TOTAL_PAYMENT);
     m.ok(ITEM_TOTAL_PAYMENT, ITEM_TOTAL_PAYMENT);
@@ -251,9 +251,8 @@ mod tests {
     fn check_order_event_sensitivity() {
         let m = item_matrix(false);
         use crate::types::*;
-        let check = |e: StatusEvent| {
-            item_inv(ITEM_CHECK_ORDER, vec![Value::Id(ObjectId(9)), e.value()])
-        };
+        let check =
+            |e: StatusEvent| item_inv(ITEM_CHECK_ORDER, vec![Value::Id(ObjectId(9)), e.value()]);
         let ship = item_inv(ITEM_SHIP_ORDER, vec![Value::Id(ObjectId(9))]);
         let pay = item_inv(ITEM_PAY_ORDER, vec![Value::Id(ObjectId(9))]);
         assert!(!m.commute(&check(StatusEvent::Shipped), &ship));
@@ -267,12 +266,13 @@ mod tests {
         let m = item_matrix(false);
         use crate::types::*;
         let methods = [ITEM_NEW_ORDER, ITEM_SHIP_ORDER, ITEM_PAY_ORDER, ITEM_TOTAL_PAYMENT];
-        let s = render("Figure 2", &["NewOrder", "ShipOrder", "PayOrder", "TotalPayment"], |i, j| {
-            m.commute(
-                &item_inv(methods[i], vec![Value::Id(ObjectId(9))]),
-                &item_inv(methods[j], vec![Value::Id(ObjectId(9))]),
-            )
-        });
+        let s =
+            render("Figure 2", &["NewOrder", "ShipOrder", "PayOrder", "TotalPayment"], |i, j| {
+                m.commute(
+                    &item_inv(methods[i], vec![Value::Id(ObjectId(9))]),
+                    &item_inv(methods[j], vec![Value::Id(ObjectId(9))]),
+                )
+            });
         assert!(s.contains("Figure 2"));
         assert!(s.contains("conflict"));
         assert!(s.contains("ok"));

@@ -116,9 +116,10 @@ impl Database {
             let orders_set = store.create_set(TYPE_SET)?;
             let item_no_atom =
                 store.create_atomic(semcc_semantics::TYPE_ATOMIC, Value::Int(item_no as i64))?;
-            let price_atom = store.create_atomic(semcc_semantics::TYPE_ATOMIC, Value::Int(price_cents))?;
-            let qoh_atom =
-                store.create_atomic(semcc_semantics::TYPE_ATOMIC, Value::Int(params.initial_qoh))?;
+            let price_atom =
+                store.create_atomic(semcc_semantics::TYPE_ATOMIC, Value::Int(price_cents))?;
+            let qoh_atom = store
+                .create_atomic(semcc_semantics::TYPE_ATOMIC, Value::Int(params.initial_qoh))?;
             let item = store.create_tuple(
                 item_type,
                 vec![
@@ -212,7 +213,9 @@ mod tests {
 
     #[test]
     fn build_populates_schema() {
-        let db = Database::build(&DbParams { n_items: 3, orders_per_item: 2, ..Default::default() }).unwrap();
+        let db =
+            Database::build(&DbParams { n_items: 3, orders_per_item: 2, ..Default::default() })
+                .unwrap();
         assert_eq!(db.items.len(), 3);
         assert_eq!(db.store.set_scan(db.items_set).unwrap().len(), 3);
         for item in &db.items {
@@ -226,7 +229,8 @@ mod tests {
             }
         }
         // Order numbers are globally unique.
-        let mut nos: Vec<u64> = db.items.iter().flat_map(|i| i.orders.iter().map(|o| o.order_no)).collect();
+        let mut nos: Vec<u64> =
+            db.items.iter().flat_map(|i| i.orders.iter().map(|o| o.order_no)).collect();
         nos.sort();
         nos.dedup();
         assert_eq!(nos.len(), 6);
@@ -252,16 +256,15 @@ mod tests {
 
     #[test]
     fn oracle_total_payment_counts_only_paid() {
-        let db = Database::build(&DbParams { n_items: 1, orders_per_item: 3, ..Default::default() }).unwrap();
+        let db =
+            Database::build(&DbParams { n_items: 1, orders_per_item: 3, ..Default::default() })
+                .unwrap();
         assert_eq!(db.oracle_total_payment(0).unwrap(), 0);
         let item = &db.items[0];
         // Mark order 0 paid directly.
         db.store
             .put(item.orders[0].status, Value::Int(crate::types::StatusEvent::Paid.bit()))
             .unwrap();
-        assert_eq!(
-            db.oracle_total_payment(0).unwrap(),
-            item.price_cents * item.orders[0].qty
-        );
+        assert_eq!(db.oracle_total_payment(0).unwrap(), item.price_cents * item.orders[0].qty);
     }
 }

@@ -8,7 +8,10 @@
 //! executed serially on the same state produces the same result — is what
 //! the state-equivalence serializability oracle relies on.
 
-use crate::types::{StatusEvent, ITEM_CHECK_ORDER, ITEM_NEW_ORDER, ITEM_PAY_ORDER, ITEM_SHIP_ORDER, ITEM_TOTAL_PAYMENT};
+use crate::types::{
+    StatusEvent, ITEM_CHECK_ORDER, ITEM_NEW_ORDER, ITEM_PAY_ORDER, ITEM_SHIP_ORDER,
+    ITEM_TOTAL_PAYMENT,
+};
 use semcc_core::TransactionProgram;
 use semcc_semantics::{Invocation, MethodContext, ObjectId, Result, TypeId, Value};
 
@@ -85,7 +88,12 @@ impl TxnSpec {
         ctx.invoke(Invocation::user(item, t, method, args))
     }
 
-    fn check(ctx: &mut dyn MethodContext, target: &Target, event: StatusEvent, bypass: bool) -> Result<Value> {
+    fn check(
+        ctx: &mut dyn MethodContext,
+        target: &Target,
+        event: StatusEvent,
+        bypass: bool,
+    ) -> Result<Value> {
         if bypass {
             // Directly on the Order object: TestStatus(o, event).
             ctx.call(target.order, "TestStatus", vec![event.value()])
@@ -115,7 +123,11 @@ impl TransactionProgram for TxnSpec {
                         ctx,
                         *item,
                         ITEM_NEW_ORDER,
-                        vec![Value::Int(*customer), Value::Int(*quantity), Value::Int(*order_no as i64)],
+                        vec![
+                            Value::Int(*customer),
+                            Value::Int(*quantity),
+                            Value::Int(*order_no as i64),
+                        ],
                     )?);
                 }
                 Ok(Value::List(out))
@@ -160,8 +172,12 @@ mod tests {
     use std::sync::Arc;
 
     fn setup() -> (Database, Arc<Engine>) {
-        let db = Database::build(&DbParams { n_items: 2, orders_per_item: 2, ..Default::default() }).unwrap();
-        let engine = Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog)).build();
+        let db =
+            Database::build(&DbParams { n_items: 2, orders_per_item: 2, ..Default::default() })
+                .unwrap();
+        let engine =
+            Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog))
+                .build();
         (db, engine)
     }
 
@@ -185,11 +201,10 @@ mod tests {
     #[test]
     fn t2_pay_then_t5_total() {
         let (db, engine) = setup();
-        engine
-            .execute(&TxnSpec::Pay(vec![target(&db, 0, 0), target(&db, 0, 1)]))
-            .unwrap();
+        engine.execute(&TxnSpec::Pay(vec![target(&db, 0, 0), target(&db, 0, 1)])).unwrap();
         let out = engine.execute(&TxnSpec::Total(db.items[0].item)).unwrap();
-        let expected = db.items[0].price_cents * (db.items[0].orders[0].qty + db.items[0].orders[1].qty);
+        let expected =
+            db.items[0].price_cents * (db.items[0].orders[0].qty + db.items[0].orders[1].qty);
         assert_eq!(out.value, Value::Money(expected));
         assert_eq!(db.oracle_total_payment(0).unwrap(), expected);
     }
@@ -200,7 +215,10 @@ mod tests {
         engine.execute(&TxnSpec::Ship(vec![target(&db, 0, 0)])).unwrap();
         for bypass in [true, false] {
             let out = engine
-                .execute(&TxnSpec::CheckShipped { targets: vec![target(&db, 0, 0), target(&db, 0, 1)], bypass })
+                .execute(&TxnSpec::CheckShipped {
+                    targets: vec![target(&db, 0, 0), target(&db, 0, 1)],
+                    bypass,
+                })
                 .unwrap();
             assert_eq!(out.value, Value::List(vec![Value::Bool(true), Value::Bool(false)]));
             let out = engine
@@ -223,7 +241,8 @@ mod tests {
         assert_eq!(db.store.set_scan(db.items[0].orders_set).unwrap().len(), 3);
 
         // Pay the new order through its id, then Total sees it.
-        let new_order = db.store.set_select(db.items[0].orders_set, db.next_order_no).unwrap().unwrap();
+        let new_order =
+            db.store.set_select(db.items[0].orders_set, db.next_order_no).unwrap().unwrap();
         engine
             .execute(&TxnSpec::Pay(vec![Target { item: db.items[0].item, order: new_order }]))
             .unwrap();

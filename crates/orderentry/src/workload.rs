@@ -33,21 +33,49 @@ pub struct MixWeights {
 impl MixWeights {
     /// The paper's five types, uniformly.
     pub fn paper_uniform() -> Self {
-        MixWeights { t0_new: 0, t1_ship: 1, t2_pay: 1, t3_check_shipped: 1, t4_check_paid: 1, t5_total: 1 }
+        MixWeights {
+            t0_new: 0,
+            t1_ship: 1,
+            t2_pay: 1,
+            t3_check_shipped: 1,
+            t4_check_paid: 1,
+            t5_total: 1,
+        }
     }
 
     /// An order-entry-like mix: mostly updates, some checks, few scans.
     pub fn update_heavy() -> Self {
-        MixWeights { t0_new: 0, t1_ship: 4, t2_pay: 4, t3_check_shipped: 2, t4_check_paid: 2, t5_total: 1 }
+        MixWeights {
+            t0_new: 0,
+            t1_ship: 4,
+            t2_pay: 4,
+            t3_check_shipped: 2,
+            t4_check_paid: 2,
+            t5_total: 1,
+        }
     }
 
     /// Read-mostly mix.
     pub fn read_heavy() -> Self {
-        MixWeights { t0_new: 0, t1_ship: 1, t2_pay: 1, t3_check_shipped: 4, t4_check_paid: 4, t5_total: 2 }
+        MixWeights {
+            t0_new: 0,
+            t1_ship: 1,
+            t2_pay: 1,
+            t3_check_shipped: 4,
+            t4_check_paid: 4,
+            t5_total: 2,
+        }
     }
 
     fn weights(&self) -> [u32; 6] {
-        [self.t0_new, self.t1_ship, self.t2_pay, self.t3_check_shipped, self.t4_check_paid, self.t5_total]
+        [
+            self.t0_new,
+            self.t1_ship,
+            self.t2_pay,
+            self.t3_check_shipped,
+            self.t4_check_paid,
+            self.t5_total,
+        ]
     }
 }
 
@@ -188,8 +216,14 @@ impl Workload {
             }
             1 => TxnSpec::Ship(self.pick_targets(db)),
             2 => TxnSpec::Pay(self.pick_targets(db)),
-            3 => TxnSpec::CheckShipped { targets: self.pick_targets(db), bypass: self.cfg.bypass_checks },
-            4 => TxnSpec::CheckPaid { targets: self.pick_targets(db), bypass: self.cfg.bypass_checks },
+            3 => TxnSpec::CheckShipped {
+                targets: self.pick_targets(db),
+                bypass: self.cfg.bypass_checks,
+            },
+            4 => TxnSpec::CheckPaid {
+                targets: self.pick_targets(db),
+                bypass: self.cfg.bypass_checks,
+            },
             _ => {
                 let i = self.pick_item();
                 TxnSpec::Total(db.items[i].item)
@@ -244,7 +278,14 @@ mod tests {
     fn mix_weights_are_respected() {
         let database = db();
         let cfg = WorkloadConfig {
-            mix: MixWeights { t0_new: 0, t1_ship: 1, t2_pay: 0, t3_check_shipped: 0, t4_check_paid: 0, t5_total: 0 },
+            mix: MixWeights {
+                t0_new: 0,
+                t1_ship: 1,
+                t2_pay: 0,
+                t3_check_shipped: 0,
+                t4_check_paid: 0,
+                t5_total: 0,
+            },
             ..Default::default()
         };
         let batch = Workload::new(&database, cfg).batch(&database, 20);
@@ -254,7 +295,8 @@ mod tests {
     #[test]
     fn targets_are_distinct_items() {
         let database = db();
-        let mut w = Workload::new(&database, WorkloadConfig { targets_per_txn: 3, ..Default::default() });
+        let mut w =
+            Workload::new(&database, WorkloadConfig { targets_per_txn: 3, ..Default::default() });
         for _ in 0..30 {
             if let TxnSpec::Ship(ts) = w.next_txn(&database) {
                 let mut items: Vec<_> = ts.iter().map(|t| t.item).collect();
@@ -269,7 +311,14 @@ mod tests {
     fn new_order_numbers_are_fresh_and_unique() {
         let database = db();
         let cfg = WorkloadConfig {
-            mix: MixWeights { t0_new: 1, t1_ship: 0, t2_pay: 0, t3_check_shipped: 0, t4_check_paid: 0, t5_total: 0 },
+            mix: MixWeights {
+                t0_new: 1,
+                t1_ship: 0,
+                t2_pay: 0,
+                t3_check_shipped: 0,
+                t4_check_paid: 0,
+                t5_total: 0,
+            },
             ..Default::default()
         };
         let batch = Workload::new(&database, cfg).batch(&database, 10);

@@ -5,7 +5,10 @@
 use proptest::prelude::*;
 use semcc_core::{Engine, FnProgram, MemorySink, ProtocolConfig};
 use semcc_orderentry::matrices::{item_matrix, order_matrix};
-use semcc_orderentry::types::{ITEM_CHECK_ORDER, ITEM_NEW_ORDER, ITEM_PAY_ORDER, ITEM_REMOVE_ORDER, ITEM_SHIP_ORDER, ITEM_TOTAL_PAYMENT, ORDER_CHANGE_STATUS, ORDER_CLEAR_STATUS, ORDER_TEST_STATUS};
+use semcc_orderentry::types::{
+    ITEM_CHECK_ORDER, ITEM_NEW_ORDER, ITEM_PAY_ORDER, ITEM_REMOVE_ORDER, ITEM_SHIP_ORDER,
+    ITEM_TOTAL_PAYMENT, ORDER_CHANGE_STATUS, ORDER_CLEAR_STATUS, ORDER_TEST_STATUS,
+};
 use semcc_orderentry::{Database, DbParams, StatusEvent, Target, TxnSpec};
 use semcc_semantics::{CommutativitySpec, Invocation, MethodContext, ObjectId, Storage, Value};
 use std::sync::Arc;
@@ -80,7 +83,7 @@ proptest! {
     ) {
         let db = Database::build(&DbParams { n_items: 4, orders_per_item: 3, ..Default::default() }).unwrap();
         let engine = Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog)).build();
-        let mut deficits = vec![0i64; 4];
+        let mut deficits = [0i64; 4];
         for (ship, item, order) in choices {
             let t = Target { item: db.items[item].item, order: db.items[item].orders[order].order };
             if ship {
@@ -106,12 +109,14 @@ proptest! {
 /// a physical restore of the status atom would erase it.
 #[test]
 fn ship_abort_preserves_concurrent_payment() {
-    let db = Database::build(&DbParams { n_items: 1, orders_per_item: 1, ..Default::default() }).unwrap();
+    let db = Database::build(&DbParams { n_items: 1, orders_per_item: 1, ..Default::default() })
+        .unwrap();
     let sink = MemorySink::new();
-    let engine = Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog))
-        .protocol(ProtocolConfig::semantic())
-        .sink(Arc::clone(&sink) as Arc<dyn semcc_core::HistorySink>)
-        .build();
+    let engine =
+        Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog))
+            .protocol(ProtocolConfig::semantic())
+            .sink(Arc::clone(&sink) as Arc<dyn semcc_core::HistorySink>)
+            .build();
     let t = Target { item: db.items[0].item, order: db.items[0].orders[0].order };
     let status_atom = db.items[0].orders[0].status;
 

@@ -40,8 +40,7 @@ where
 /// body stashed via [`MethodContext::stash`] while executing (e.g. the
 /// status bits observed before an update). Returning `None` means the
 /// method needs no compensation (read-only methods).
-pub type CompensationFn =
-    dyn Fn(&Invocation, &Value, &[Value]) -> Option<Invocation> + Send + Sync;
+pub type CompensationFn = dyn Fn(&Invocation, &Value, &[Value]) -> Option<Invocation> + Send + Sync;
 
 /// Definition of one user method.
 pub struct MethodDef {
@@ -147,9 +146,7 @@ impl Catalog {
         if t.is_builtin() {
             return Err(SemccError::NoSuchType(t));
         }
-        self.user_types
-            .get((t.0 - FIRST_USER_TYPE) as usize)
-            .ok_or(SemccError::NoSuchType(t))
+        self.user_types.get((t.0 - FIRST_USER_TYPE) as usize).ok_or(SemccError::NoSuchType(t))
     }
 
     /// Find a type by name.
@@ -159,19 +156,13 @@ impl Catalog {
 
     /// Look up a method definition.
     pub fn method_def(&self, t: TypeId, m: MethodId) -> Result<&MethodDef> {
-        self.type_def(t)?
-            .methods
-            .get(m.0 as usize)
-            .ok_or(SemccError::NoSuchMethod(t, m))
+        self.type_def(t)?.methods.get(m.0 as usize).ok_or(SemccError::NoSuchMethod(t, m))
     }
 
     /// Find a method by name on a type.
     pub fn method_by_name(&self, t: TypeId, name: &str) -> Option<MethodId> {
         let def = self.type_def(t).ok()?;
-        def.methods
-            .iter()
-            .position(|m| m.name == name)
-            .map(|i| MethodId(i as u32))
+        def.methods.iter().position(|m| m.name == name).map(|i| MethodId(i as u32))
     }
 
     /// Human-readable rendering of an invocation using catalog names.
@@ -202,10 +193,7 @@ impl Catalog {
 
     /// All user types, in registration order, with their identifiers.
     pub fn user_types(&self) -> impl Iterator<Item = (TypeId, &TypeDef)> {
-        self.user_types
-            .iter()
-            .enumerate()
-            .map(|(i, d)| (TypeId(FIRST_USER_TYPE + i as u32), d))
+        self.user_types.iter().enumerate().map(|(i, d)| (TypeId(FIRST_USER_TYPE + i as u32), d))
     }
 
     /// Build the [`SemanticsRouter`] covering all registered types plus the
@@ -241,7 +229,12 @@ pub struct TypeDefBuilder {
 impl TypeDefBuilder {
     /// Start building an encapsulated type.
     pub fn encapsulated(name: &str) -> Self {
-        TypeDefBuilder { name: name.to_owned(), kind: TypeKind::Encapsulated, methods: Vec::new(), spec: None }
+        TypeDefBuilder {
+            name: name.to_owned(),
+            kind: TypeKind::Encapsulated,
+            methods: Vec::new(),
+            spec: None,
+        }
     }
 
     /// Add a method; returns its [`MethodId`].
@@ -253,7 +246,12 @@ impl TypeDefBuilder {
         compensation: Option<Arc<CompensationFn>>,
     ) -> MethodId {
         let id = MethodId(self.methods.len() as u32);
-        self.methods.push(MethodDef { name: name.to_owned(), body: Some(body), compensation, updates });
+        self.methods.push(MethodDef {
+            name: name.to_owned(),
+            body: Some(body),
+            compensation,
+            updates,
+        });
         id
     }
 

@@ -144,7 +144,12 @@ impl GenericSpec {
     }
 
     /// Commutativity of two generic invocations on the same object.
-    pub fn commute_generic(a: &Invocation, b: &Invocation, ga: GenericMethod, gb: GenericMethod) -> bool {
+    pub fn commute_generic(
+        a: &Invocation,
+        b: &Invocation,
+        ga: GenericMethod,
+        gb: GenericMethod,
+    ) -> bool {
         use GenericMethod::*;
         match (ga, gb) {
             (Get, Get) => true,
@@ -317,7 +322,9 @@ mod tests {
         m.ok(MethodId(0), MethodId(1));
         m.when(MethodId(2), MethodId(3), |a, b| a.args[0] != b.args[0]);
 
-        let mk = |mid, arg: i64| Invocation::user(ObjectId(1), TypeId(20), MethodId(mid), vec![Value::Int(arg)]);
+        let mk = |mid, arg: i64| {
+            Invocation::user(ObjectId(1), TypeId(20), MethodId(mid), vec![Value::Int(arg)])
+        };
         assert!(m.commute(&mk(0, 0), &mk(1, 0)));
         assert!(m.commute(&mk(1, 0), &mk(0, 0)), "symmetric ok");
         assert!(m.commute(&mk(2, 1), &mk(3, 2)));

@@ -46,7 +46,11 @@ pub trait MethodContext {
     fn create_atomic(&mut self, v: Value) -> Result<ObjectId>;
 
     /// Create a fresh tuple object of the given type with named components.
-    fn create_tuple(&mut self, type_id: TypeId, fields: Vec<(String, ObjectId)>) -> Result<ObjectId>;
+    fn create_tuple(
+        &mut self,
+        type_id: TypeId,
+        fields: Vec<(String, ObjectId)>,
+    ) -> Result<ObjectId>;
 
     /// Create a fresh set object.
     fn create_set(&mut self) -> Result<ObjectId>;
@@ -89,7 +93,9 @@ pub trait MethodContext {
         match self.invoke(Invocation::select(set, t, key))? {
             Value::Unit => Ok(None),
             Value::Id(o) => Ok(Some(o)),
-            other => Err(SemccError::TypeMismatch { expected: "Id or Unit", got: format!("{other:?}") }),
+            other => {
+                Err(SemccError::TypeMismatch { expected: "Id or Unit", got: format!("{other:?}") })
+            }
         }
     }
 
@@ -106,7 +112,9 @@ pub trait MethodContext {
         match self.invoke(Invocation::remove(set, t, key))? {
             Value::Unit => Ok(None),
             Value::Id(o) => Ok(Some(o)),
-            other => Err(SemccError::TypeMismatch { expected: "Id or Unit", got: format!("{other:?}") }),
+            other => {
+                Err(SemccError::TypeMismatch { expected: "Id or Unit", got: format!("{other:?}") })
+            }
         }
     }
 
@@ -119,17 +127,16 @@ pub trait MethodContext {
             .ok_or_else(|| SemccError::TypeMismatch { expected: "List", got: format!("{v:?}") })?;
         let mut out = Vec::with_capacity(list.len());
         for pair in list {
-            let p = pair
-                .as_list()
-                .ok_or_else(|| SemccError::TypeMismatch { expected: "List pair", got: format!("{pair:?}") })?;
-            let key = p
-                .first()
-                .and_then(|k| k.as_int())
-                .ok_or_else(|| SemccError::TypeMismatch { expected: "Int key", got: format!("{p:?}") })?;
-            let member = p
-                .get(1)
-                .and_then(|m| m.as_id())
-                .ok_or_else(|| SemccError::TypeMismatch { expected: "Id member", got: format!("{p:?}") })?;
+            let p = pair.as_list().ok_or_else(|| SemccError::TypeMismatch {
+                expected: "List pair",
+                got: format!("{pair:?}"),
+            })?;
+            let key = p.first().and_then(|k| k.as_int()).ok_or_else(|| {
+                SemccError::TypeMismatch { expected: "Int key", got: format!("{p:?}") }
+            })?;
+            let member = p.get(1).and_then(|m| m.as_id()).ok_or_else(|| {
+                SemccError::TypeMismatch { expected: "Id member", got: format!("{p:?}") }
+            })?;
             out.push((key as u64, member));
         }
         Ok(out)

@@ -71,10 +71,7 @@ impl SemccError {
     /// Whether the error means the whole top-level transaction must abort
     /// (and may be retried by the application).
     pub fn is_abort(&self) -> bool {
-        matches!(
-            self,
-            SemccError::Deadlock | SemccError::Aborted(_) | SemccError::Cancelled
-        )
+        matches!(self, SemccError::Deadlock | SemccError::Aborted(_) | SemccError::Cancelled)
     }
 }
 

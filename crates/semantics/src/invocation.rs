@@ -45,10 +45,7 @@ impl GenericMethod {
 
     /// Whether the operation may modify the object.
     pub fn is_update(self) -> bool {
-        matches!(
-            self,
-            GenericMethod::Put | GenericMethod::Insert | GenericMethod::Remove
-        )
+        matches!(self, GenericMethod::Put | GenericMethod::Insert | GenericMethod::Remove)
     }
 
     /// All generic methods, for exhaustive tests.
@@ -113,7 +110,12 @@ pub struct Invocation {
 
 impl Invocation {
     /// Invocation of a generic method.
-    pub fn generic(object: ObjectId, type_id: TypeId, method: GenericMethod, args: Vec<Value>) -> Self {
+    pub fn generic(
+        object: ObjectId,
+        type_id: TypeId,
+        method: GenericMethod,
+        args: Vec<Value>,
+    ) -> Self {
         Invocation { object, type_id, method: MethodSel::Generic(method), args }
     }
 
@@ -160,9 +162,7 @@ impl Invocation {
     /// The n-th argument, or an error naming the method.
     pub fn arg(&self, n: usize) -> crate::error::Result<&Value> {
         self.args.get(n).ok_or_else(|| {
-            crate::error::SemccError::BadArguments(format!(
-                "missing argument #{n} of {self}"
-            ))
+            crate::error::SemccError::BadArguments(format!("missing argument #{n} of {self}"))
         })
     }
 

@@ -33,13 +33,17 @@ pub mod invocation;
 pub mod storage;
 pub mod value;
 
-pub use catalog::{Catalog, CompensationFn, MethodBody, MethodDef, TypeDef, TypeDefBuilder, TypeKind};
+pub use catalog::{
+    Catalog, CompensationFn, MethodBody, MethodDef, TypeDef, TypeDefBuilder, TypeKind,
+};
 pub use commutativity::{
-    Compat, CompatibilityMatrix, CommutativitySpec, GenericSpec, NeverCommute, SemanticsRouter,
+    CommutativitySpec, Compat, CompatibilityMatrix, GenericSpec, NeverCommute, SemanticsRouter,
 };
 pub use context::MethodContext;
 pub use error::{Result, SemccError};
-pub use ids::{MethodId, ObjectId, PageId, TypeId, DB_OBJECT, TYPE_ATOMIC, TYPE_DB, TYPE_SET, TYPE_TUPLE};
+pub use ids::{
+    MethodId, ObjectId, PageId, TypeId, DB_OBJECT, TYPE_ATOMIC, TYPE_DB, TYPE_SET, TYPE_TUPLE,
+};
 pub use invocation::{GenericMethod, Invocation, MethodSel};
 pub use storage::Storage;
 pub use value::Value;

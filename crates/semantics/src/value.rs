@@ -10,9 +10,10 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A database value.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub enum Value {
     /// Absence of a value (method without a result, empty component).
+    #[default]
     Unit,
     /// Boolean, e.g. the result of `TestStatus`.
     Bool(bool),
@@ -80,12 +81,6 @@ impl Value {
     /// `true` for [`Value::Unit`].
     pub fn is_unit(&self) -> bool {
         matches!(self, Value::Unit)
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Unit
     }
 }
 

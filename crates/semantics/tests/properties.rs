@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use semcc_semantics::{
-    Catalog, CompatibilityMatrix, CommutativitySpec, GenericMethod, Invocation, MethodId, ObjectId,
+    Catalog, CommutativitySpec, CompatibilityMatrix, GenericMethod, Invocation, MethodId, ObjectId,
     TypeDef, TypeId, TypeKind, Value, TYPE_ATOMIC, TYPE_SET,
 };
 use std::sync::Arc;
@@ -35,7 +35,9 @@ fn arb_generic_invocation() -> impl Strategy<Value = Invocation> {
             GenericMethod::Get => Invocation::get(object, TYPE_ATOMIC),
             GenericMethod::Put => Invocation::put(object, TYPE_ATOMIC, Value::Int(key)),
             GenericMethod::Select => Invocation::select(object, TYPE_SET, key as u64),
-            GenericMethod::Insert => Invocation::insert(object, TYPE_SET, key as u64, ObjectId(900)),
+            GenericMethod::Insert => {
+                Invocation::insert(object, TYPE_SET, key as u64, ObjectId(900))
+            }
             GenericMethod::Remove => Invocation::remove(object, TYPE_SET, key as u64),
             GenericMethod::Scan => Invocation::scan(object, TYPE_SET),
         }

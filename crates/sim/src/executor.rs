@@ -119,7 +119,8 @@ pub fn run_workload(engine: &Arc<Engine>, batch: Vec<TxnSpec>, params: &RunParam
             failed: failed_count.load(Ordering::Relaxed),
             elapsed,
             throughput: committed_n as f64 / elapsed.as_secs_f64().max(1e-9),
-            mean_latency_us: latency_us.load(Ordering::Relaxed) as f64 / (committed_n.max(1) as f64),
+            mean_latency_us: latency_us.load(Ordering::Relaxed) as f64
+                / (committed_n.max(1) as f64),
             block_ratio,
             stats,
         },
@@ -135,7 +136,9 @@ mod tests {
 
     #[test]
     fn runs_a_batch_and_counts_commits() {
-        let db = Database::build(&DbParams { n_items: 4, orders_per_item: 3, ..Default::default() }).unwrap();
+        let db =
+            Database::build(&DbParams { n_items: 4, orders_per_item: 3, ..Default::default() })
+                .unwrap();
         let engine = build_engine(ProtocolKind::Semantic, &db, None);
         let mut w = Workload::new(&db, WorkloadConfig::default());
         let batch = w.batch(&db, 40);
@@ -148,7 +151,9 @@ mod tests {
 
     #[test]
     fn records_outcomes_when_asked() {
-        let db = Database::build(&DbParams { n_items: 4, orders_per_item: 3, ..Default::default() }).unwrap();
+        let db =
+            Database::build(&DbParams { n_items: 4, orders_per_item: 3, ..Default::default() })
+                .unwrap();
         let engine = build_engine(ProtocolKind::Object2pl, &db, None);
         let mut w = Workload::new(&db, WorkloadConfig::default());
         let batch = w.batch(&db, 10);

@@ -30,6 +30,9 @@ pub struct RunMetrics {
     pub stats: StatsSnapshot,
 }
 
+// The vendored serde derive ignores `#[serde(with = ...)]`, leaving these
+// helpers unreferenced; they stay for compatibility with the real serde.
+#[allow(dead_code)]
 mod duration_micros {
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
     use std::time::Duration;

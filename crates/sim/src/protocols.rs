@@ -61,7 +61,11 @@ impl ProtocolKind {
 }
 
 /// Build an engine over the database for the given protocol.
-pub fn build_engine(kind: ProtocolKind, db: &Database, sink: Option<Arc<dyn HistorySink>>) -> Arc<Engine> {
+pub fn build_engine(
+    kind: ProtocolKind,
+    db: &Database,
+    sink: Option<Arc<dyn HistorySink>>,
+) -> Arc<Engine> {
     build_engine_cfg(kind, db, sink, std::time::Duration::ZERO)
 }
 
@@ -73,27 +77,29 @@ pub fn build_engine_cfg(
     sink: Option<Arc<dyn HistorySink>>,
     op_delay: std::time::Duration,
 ) -> Arc<Engine> {
-    let mut builder = Engine::builder(
-        Arc::clone(&db.store) as Arc<dyn Storage>,
-        Arc::clone(&db.catalog),
-    )
-    .op_delay(op_delay);
+    let mut builder =
+        Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog))
+            .op_delay(op_delay);
     if let Some(sink) = sink {
         builder = builder.sink(sink);
     }
     match kind {
         ProtocolKind::Semantic => builder.protocol(ProtocolConfig::semantic()).build(),
-        ProtocolKind::SemanticNoAncestor => builder.protocol(ProtocolConfig::no_ancestor_check()).build(),
-        ProtocolKind::OpenNoRetention => builder.protocol(ProtocolConfig::open_nested_plain()).build(),
-        ProtocolKind::Object2pl => builder
-            .discipline(|deps| FlatObject2pl::new(deps) as Arc<dyn Discipline>)
-            .build(),
-        ProtocolKind::Page2pl => builder
-            .discipline(|deps| Page2pl::new(deps) as Arc<dyn Discipline>)
-            .build(),
-        ProtocolKind::ClosedNested => builder
-            .discipline(|deps| ClosedNested::new(deps) as Arc<dyn Discipline>)
-            .build(),
+        ProtocolKind::SemanticNoAncestor => {
+            builder.protocol(ProtocolConfig::no_ancestor_check()).build()
+        }
+        ProtocolKind::OpenNoRetention => {
+            builder.protocol(ProtocolConfig::open_nested_plain()).build()
+        }
+        ProtocolKind::Object2pl => {
+            builder.discipline(|deps| FlatObject2pl::new(deps) as Arc<dyn Discipline>).build()
+        }
+        ProtocolKind::Page2pl => {
+            builder.discipline(|deps| Page2pl::new(deps) as Arc<dyn Discipline>).build()
+        }
+        ProtocolKind::ClosedNested => {
+            builder.discipline(|deps| ClosedNested::new(deps) as Arc<dyn Discipline>).build()
+        }
     }
 }
 
@@ -104,7 +110,9 @@ mod tests {
 
     #[test]
     fn every_protocol_builds_and_names_match() {
-        let db = Database::build(&DbParams { n_items: 2, orders_per_item: 1, ..Default::default() }).unwrap();
+        let db =
+            Database::build(&DbParams { n_items: 2, orders_per_item: 1, ..Default::default() })
+                .unwrap();
         for kind in ProtocolKind::ALL {
             let engine = build_engine(kind, &db, None);
             assert_eq!(engine.protocol_name(), kind.name(), "{kind:?}");

@@ -42,6 +42,32 @@ impl Gate {
     }
 }
 
+/// Opens every registered gate when dropped. Scenario tests park threads on
+/// gates *inside* a `thread::scope`; if an assertion (or scenario timeout)
+/// panics before the gates are opened, the scope's implicit join would wait
+/// forever on the parked threads and turn the failure into a hang. Holding
+/// one of these in the scope makes the unwind release the threads first, so
+/// the panic surfaces as an ordinary test failure.
+#[derive(Default)]
+pub struct OpenOnDrop {
+    gates: Vec<Arc<Gate>>,
+}
+
+impl OpenOnDrop {
+    /// A guard over the given gates.
+    pub fn new(gates: impl IntoIterator<Item = Arc<Gate>>) -> Self {
+        OpenOnDrop { gates: gates.into_iter().collect() }
+    }
+}
+
+impl Drop for OpenOnDrop {
+    fn drop(&mut self) {
+        for g in &self.gates {
+            g.open();
+        }
+    }
+}
+
 /// Default timeout for scenario event waits.
 pub const SCENARIO_TIMEOUT: Duration = Duration::from_secs(10);
 
@@ -54,17 +80,21 @@ pub fn await_event(sink: &MemorySink, what: &str, pred: impl FnMut(&Stamped) -> 
 
 /// Wait for the `n`-th action of transaction `top` to complete.
 pub fn await_action_complete(sink: &MemorySink, top: TopId, idx: u32) -> Stamped {
-    await_event(sink, &format!("{top} action #{idx} complete"), |e| {
-        matches!(e.ev, Event::ActionComplete { node } if node == NodeRef { top, idx })
-    })
+    await_event(
+        sink,
+        &format!("{top} action #{idx} complete"),
+        |e| matches!(e.ev, Event::ActionComplete { node } if node == NodeRef { top, idx }),
+    )
 }
 
 /// Wait until some action of `top` reports itself blocked; returns the
 /// waits-for set.
 pub fn await_blocked(sink: &MemorySink, top: TopId) -> Vec<NodeRef> {
-    let hit = await_event(sink, &format!("{top} blocked"), |e| {
-        matches!(&e.ev, Event::Blocked { node, .. } if node.top == top)
-    });
+    let hit = await_event(
+        sink,
+        &format!("{top} blocked"),
+        |e| matches!(&e.ev, Event::Blocked { node, .. } if node.top == top),
+    );
     match hit.ev {
         Event::Blocked { on, .. } => on,
         _ => unreachable!(),
@@ -73,9 +103,11 @@ pub fn await_blocked(sink: &MemorySink, top: TopId) -> Vec<NodeRef> {
 
 /// Wait for a transaction's commit.
 pub fn await_commit(sink: &MemorySink, top: TopId) -> Stamped {
-    await_event(sink, &format!("{top} commit"), |e| {
-        matches!(e.ev, Event::TopCommit { top: t } if t == top)
-    })
+    await_event(
+        sink,
+        &format!("{top} commit"),
+        |e| matches!(e.ev, Event::TopCommit { top: t } if t == top),
+    )
 }
 
 /// The `TopId` of the `n`-th transaction begun with the given label.
@@ -91,9 +123,7 @@ pub fn top_of_label(sink: &MemorySink, label: &str, n: usize) -> Option<TopId> {
 
 /// Whether `top` ever blocked.
 pub fn ever_blocked(sink: &MemorySink, top: TopId) -> bool {
-    sink.events()
-        .iter()
-        .any(|e| matches!(&e.ev, Event::Blocked { node, .. } if node.top == top))
+    sink.events().iter().any(|e| matches!(&e.ev, Event::Blocked { node, .. } if node.top == top))
 }
 
 #[cfg(test)]

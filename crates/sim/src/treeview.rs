@@ -48,7 +48,13 @@ impl TreeView {
                     );
                     trees.insert(
                         *top,
-                        TreeView { top: *top, label: label.clone(), nodes, committed: false, aborted: false },
+                        TreeView {
+                            top: *top,
+                            label: label.clone(),
+                            nodes,
+                            committed: false,
+                            aborted: false,
+                        },
                     );
                 }
                 Event::ActionStart { node, parent, inv } => {
@@ -134,7 +140,8 @@ impl TreeView {
         if let Some(c) = n.completed_seq {
             annot.push(format!("done@{c}"));
         }
-        let annots = if annot.is_empty() { String::new() } else { format!("   [{}]", annot.join(", ")) };
+        let annots =
+            if annot.is_empty() { String::new() } else { format!("   [{}]", annot.join(", ")) };
         let _ = writeln!(out, "{prefix}{connector}{}{annots}", n.label);
         let child_prefix = if idx == 0 {
             String::new()
@@ -175,7 +182,9 @@ mod tests {
 
     #[test]
     fn renders_a_ship_transaction_tree() {
-        let db = Database::build(&DbParams { n_items: 1, orders_per_item: 1, ..Default::default() }).unwrap();
+        let db =
+            Database::build(&DbParams { n_items: 1, orders_per_item: 1, ..Default::default() })
+                .unwrap();
         let sink = MemorySink::new();
         let engine = build_engine(ProtocolKind::Semantic, &db, Some(sink.clone()));
         let t = Target { item: db.items[0].item, order: db.items[0].orders[0].order };
@@ -200,7 +209,9 @@ mod tests {
     fn renders_aborted_transactions() {
         use semcc_core::FnProgram;
         use semcc_semantics::{MethodContext, SemccError, Value};
-        let db = Database::build(&DbParams { n_items: 1, orders_per_item: 1, ..Default::default() }).unwrap();
+        let db =
+            Database::build(&DbParams { n_items: 1, orders_per_item: 1, ..Default::default() })
+                .unwrap();
         let sink = MemorySink::new();
         let engine = build_engine(ProtocolKind::Semantic, &db, Some(sink.clone()));
         let t = Target { item: db.items[0].item, order: db.items[0].orders[0].order };

@@ -44,7 +44,12 @@ pub fn canonical_state(store: &dyn Storage, items_set: ObjectId) -> Result<Canon
             let geto = |name: &str| -> Result<i64> {
                 Ok(store.get(store.field(order, name)?)?.as_int().unwrap_or(0))
             };
-            orders.push((geto("OrderNo")?, geto("CustomerNo")?, geto("Quantity")?, geto("Status")?));
+            orders.push((
+                geto("OrderNo")?,
+                geto("CustomerNo")?,
+                geto("Quantity")?,
+                geto("Status")?,
+            ));
         }
         orders.sort();
         out.push((geti("ItemNo")?, geti("Price")?, geti("QOH")?, orders));
@@ -64,7 +69,8 @@ fn replay(
     order: &[usize],
 ) -> Option<(CanonicalDb, Vec<Value>)> {
     let store = Arc::new(initial.snapshot());
-    let engine = Engine::builder(Arc::clone(&store) as Arc<dyn Storage>, Arc::clone(catalog)).build();
+    let engine =
+        Engine::builder(Arc::clone(&store) as Arc<dyn Storage>, Arc::clone(catalog)).build();
     let mut values = vec![Value::Unit; committed.len()];
     for &i in order {
         match engine.execute(&committed[i].spec) {
@@ -201,13 +207,9 @@ pub fn check_semantic_graph(events: &[Stamped], router: &SemanticsRouter) -> Gra
     let chain_of = |node: NodeRef| -> Vec<Arc<Invocation>> {
         let mut out = Vec::new();
         let mut cur = node;
-        loop {
-            let Some(rec) = actions.get(&cur) else { break };
+        while let Some(rec) = actions.get(&cur) {
             out.push(Arc::clone(&rec.inv));
-            if rec.parent.idx == cur.idx {
-                break;
-            }
-            if rec.parent.is_root() {
+            if rec.parent.idx == cur.idx || rec.parent.is_root() {
                 break;
             }
             cur = rec.parent;
@@ -247,18 +249,13 @@ pub fn check_semantic_graph(events: &[Stamped], router: &SemanticsRouter) -> Gra
                 // ancestors on a common object).
                 let ca = chain_of(a.node);
                 let cb = chain_of(b.node);
-                let absorbed = ca
-                    .iter()
-                    .skip(1)
-                    .any(|ai| cb.iter().skip(1).any(|bi| router.commute(ai, bi)));
+                let absorbed =
+                    ca.iter().skip(1).any(|ai| cb.iter().skip(1).any(|bi| router.commute(ai, bi)));
                 if absorbed {
                     continue;
                 }
-                let (from, to) = if a.seq < b.seq {
-                    (a.node.top, b.node.top)
-                } else {
-                    (b.node.top, a.node.top)
-                };
+                let (from, to) =
+                    if a.seq < b.seq { (a.node.top, b.node.top) } else { (b.node.top, a.node.top) };
                 if edges.entry(from).or_default().insert(to) {
                     edge_count += 1;
                 }
@@ -277,7 +274,8 @@ pub fn check_semantic_graph(events: &[Stamped], router: &SemanticsRouter) -> Gra
         let mut path = vec![start];
         color.insert(start, 1);
         while let Some((node, child_idx)) = stack.pop() {
-            let nexts: Vec<TopId> = edges.get(&node).map(|s| s.iter().copied().collect()).unwrap_or_default();
+            let nexts: Vec<TopId> =
+                edges.get(&node).map(|s| s.iter().copied().collect()).unwrap_or_default();
             if child_idx < nexts.len() {
                 stack.push((node, child_idx + 1));
                 let n = nexts[child_idx];
@@ -342,8 +340,19 @@ mod tests {
         let engine = build_engine(ProtocolKind::Semantic, &db, None);
         let mut w = Workload::new(&db, WorkloadConfig::default());
         let batch = w.batch(&db, 5);
-        let out = run_workload(&engine, batch, &RunParams { workers: 1, record_outcomes: true, ..Default::default() });
-        let witness = check_state_equivalence(&initial, &db.catalog, db.items_set, &out.committed, &db.store, 6);
+        let out = run_workload(
+            &engine,
+            batch,
+            &RunParams { workers: 1, record_outcomes: true, ..Default::default() },
+        );
+        let witness = check_state_equivalence(
+            &initial,
+            &db.catalog,
+            db.items_set,
+            &out.committed,
+            &db.store,
+            6,
+        );
         assert!(witness.is_some(), "serial run must be trivially equivalent");
     }
 
@@ -354,9 +363,20 @@ mod tests {
         let engine = build_engine(ProtocolKind::Semantic, &db, None);
         let mut w = Workload::new(&db, WorkloadConfig { zipf_theta: 1.2, ..Default::default() });
         let batch = w.batch(&db, 6);
-        let out = run_workload(&engine, batch, &RunParams { workers: 4, record_outcomes: true, ..Default::default() });
+        let out = run_workload(
+            &engine,
+            batch,
+            &RunParams { workers: 4, record_outcomes: true, ..Default::default() },
+        );
         assert_eq!(out.committed.len(), 6);
-        let witness = check_state_equivalence(&initial, &db.catalog, db.items_set, &out.committed, &db.store, 6);
+        let witness = check_state_equivalence(
+            &initial,
+            &db.catalog,
+            db.items_set,
+            &out.committed,
+            &db.store,
+            6,
+        );
         assert!(witness.is_some(), "semantic protocol run must be serializable");
     }
 
@@ -367,10 +387,21 @@ mod tests {
         let engine = build_engine(ProtocolKind::Semantic, &db, None);
         let mut w = Workload::new(&db, WorkloadConfig::default());
         let batch = w.batch(&db, 4);
-        let out = run_workload(&engine, batch, &RunParams { workers: 2, record_outcomes: true, ..Default::default() });
+        let out = run_workload(
+            &engine,
+            batch,
+            &RunParams { workers: 2, record_outcomes: true, ..Default::default() },
+        );
         // Corrupt the final state.
         db.store.put(db.items[0].qoh, Value::Int(-999)).unwrap();
-        let witness = check_state_equivalence(&initial, &db.catalog, db.items_set, &out.committed, &db.store, 6);
+        let witness = check_state_equivalence(
+            &initial,
+            &db.catalog,
+            db.items_set,
+            &out.committed,
+            &db.store,
+            6,
+        );
         assert!(witness.is_none());
     }
 
@@ -421,11 +452,10 @@ mod tests {
         let db = small_db();
         let sink = MemorySink::new();
         let engine = build_engine(ProtocolKind::Semantic, &db, Some(sink.clone()));
-        let t = semcc_orderentry::Target { item: db.items[0].item, order: db.items[0].orders[0].order };
-        let batch = vec![
-            semcc_orderentry::TxnSpec::Ship(vec![t]),
-            semcc_orderentry::TxnSpec::Pay(vec![t]),
-        ];
+        let t =
+            semcc_orderentry::Target { item: db.items[0].item, order: db.items[0].orders[0].order };
+        let batch =
+            vec![semcc_orderentry::TxnSpec::Ship(vec![t]), semcc_orderentry::TxnSpec::Pay(vec![t])];
         let _ = run_workload(&engine, batch, &RunParams { workers: 2, ..Default::default() });
         let report = check_semantic_graph(&sink.events(), engine.router());
         assert!(report.serializable);

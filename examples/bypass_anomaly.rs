@@ -11,7 +11,7 @@
 use semcc::core::{FnProgram, MemorySink, TopId};
 use semcc::orderentry::{Database, DbParams, Target, TxnSpec};
 use semcc::semantics::{MethodContext, Value};
-use semcc::sim::scenario::{await_action_complete, top_of_label, Gate};
+use semcc::sim::scenario::{await_action_complete, top_of_label, Gate, OpenOnDrop};
 use semcc::sim::{
     build_engine, check_semantic_graph, check_state_equivalence, CommittedTxn, ProtocolKind,
 };
@@ -24,7 +24,8 @@ struct Run {
 }
 
 fn run_under(kind: ProtocolKind) -> Run {
-    let db = Database::build(&DbParams { n_items: 2, orders_per_item: 2, ..Default::default() }).unwrap();
+    let db = Database::build(&DbParams { n_items: 2, orders_per_item: 2, ..Default::default() })
+        .unwrap();
     let initial = db.store.snapshot();
     let sink = MemorySink::new();
     let engine = build_engine(kind, &db, Some(sink.clone()));
@@ -33,6 +34,7 @@ fn run_under(kind: ProtocolKind) -> Run {
 
     let gate = Gate::new();
     let (t1_val, t3_val) = std::thread::scope(|s| {
+        let _unstick = OpenOnDrop::new([Arc::clone(&gate)]);
         let (e1, g1) = (Arc::clone(&engine), Arc::clone(&gate));
         let h1 = s.spawn(move || {
             let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
@@ -59,9 +61,8 @@ fn run_under(kind: ProtocolKind) -> Run {
             std::thread::sleep(std::time::Duration::from_millis(100));
             g3.open();
         });
-        let out3 = e3
-            .execute(&TxnSpec::CheckShipped { targets: vec![a, b], bypass: true })
-            .unwrap();
+        let out3 =
+            e3.execute(&TxnSpec::CheckShipped { targets: vec![a, b], bypass: true }).unwrap();
         gate.open();
         opener.join().unwrap();
         let out1 = h1.join().unwrap();
@@ -69,7 +70,12 @@ fn run_under(kind: ProtocolKind) -> Run {
     });
 
     let committed = vec![
-        CommittedTxn { input_idx: 0, spec: TxnSpec::Ship(vec![a, b]), top: TopId(1), value: t1_val },
+        CommittedTxn {
+            input_idx: 0,
+            spec: TxnSpec::Ship(vec![a, b]),
+            top: TopId(1),
+            value: t1_val,
+        },
         CommittedTxn {
             input_idx: 1,
             spec: TxnSpec::CheckShipped { targets: vec![a, b], bypass: true },
@@ -77,7 +83,8 @@ fn run_under(kind: ProtocolKind) -> Run {
             value: t3_val.clone(),
         },
     ];
-    let witness = check_state_equivalence(&initial, &db.catalog, db.items_set, &committed, &db.store, 4);
+    let witness =
+        check_state_equivalence(&initial, &db.catalog, db.items_set, &committed, &db.store, 4);
     let report = check_semantic_graph(&sink.events(), engine.router());
     Run { t3_saw: t3_val, graph_serializable: report.serializable, state_witness: witness }
 }
@@ -89,7 +96,9 @@ fn main() {
     println!("between its two ShipOrders.\n");
 
     let unsafe_run = run_under(ProtocolKind::OpenNoRetention);
-    println!("[open-nested/no-retention]  (paper Section 3, locks released at subtransaction commit)");
+    println!(
+        "[open-nested/no-retention]  (paper Section 3, locks released at subtransaction commit)"
+    );
     println!("  T3 observed: {:?}", unsafe_run.t3_saw);
     println!("  semantic serialization graph acyclic? {}", unsafe_run.graph_serializable);
     println!(

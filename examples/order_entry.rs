@@ -26,7 +26,14 @@ fn main() {
     let mut workload = Workload::new(
         &db,
         WorkloadConfig {
-            mix: MixWeights { t0_new: 1, t1_ship: 3, t2_pay: 3, t3_check_shipped: 2, t4_check_paid: 2, t5_total: 1 },
+            mix: MixWeights {
+                t0_new: 1,
+                t1_ship: 3,
+                t2_pay: 3,
+                t3_check_shipped: 2,
+                t4_check_paid: 2,
+                t5_total: 1,
+            },
             zipf_theta: 0.8,
             ..Default::default()
         },
@@ -75,11 +82,13 @@ fn main() {
     println!();
     println!("per-item total payment (transactional vs oracle):");
     for (idx, item) in db.items.iter().enumerate().take(4) {
-        let reported = engine
-            .execute(&semcc::orderentry::TxnSpec::Total(item.item))
-            .unwrap()
-            .value;
+        let reported = engine.execute(&semcc::orderentry::TxnSpec::Total(item.item)).unwrap().value;
         let oracle = db.oracle_total_payment(idx).unwrap();
-        println!("  item {:>3}: {:?} (oracle {:?})", item.item_no, reported, semcc::semantics::Value::Money(oracle));
+        println!(
+            "  item {:>3}: {:?} (oracle {:?})",
+            item.item_no,
+            reported,
+            semcc::semantics::Value::Money(oracle)
+        );
     }
 }

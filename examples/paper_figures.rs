@@ -13,8 +13,12 @@ use semcc::orderentry::types::{
     ORDER_TEST_STATUS,
 };
 use semcc::orderentry::{Database, DbParams, StatusEvent, Target, TxnSpec};
-use semcc::semantics::{CommutativitySpec, Invocation, MethodContext, MethodId, ObjectId, TypeId, Value};
-use semcc::sim::scenario::{await_action_complete, await_blocked, ever_blocked, top_of_label, Gate};
+use semcc::semantics::{
+    CommutativitySpec, Invocation, MethodContext, MethodId, ObjectId, TypeId, Value,
+};
+use semcc::sim::scenario::{
+    await_action_complete, await_blocked, ever_blocked, top_of_label, Gate, OpenOnDrop,
+};
 use semcc::sim::{build_engine, ProtocolKind};
 use std::sync::Arc;
 
@@ -22,12 +26,12 @@ fn print_figure2() {
     println!("── Figure 2: compatibility matrix for object type Item ──\n");
     let m = item_matrix(false);
     let methods = [ITEM_NEW_ORDER, ITEM_SHIP_ORDER, ITEM_PAY_ORDER, ITEM_TOTAL_PAYMENT];
-    let inv = |mid: MethodId| Invocation::user(ObjectId(1), TypeId(17), mid, vec![Value::Id(ObjectId(9))]);
-    let table = render(
-        "",
-        &["NewOrder", "ShipOrder", "PayOrder", "TotalPayment"],
-        |i, j| m.commute(&inv(methods[i]), &inv(methods[j])),
-    );
+    let inv = |mid: MethodId| {
+        Invocation::user(ObjectId(1), TypeId(17), mid, vec![Value::Id(ObjectId(9))])
+    };
+    let table = render("", &["NewOrder", "ShipOrder", "PayOrder", "TotalPayment"], |i, j| {
+        m.commute(&inv(methods[i]), &inv(methods[j]))
+    });
     println!("{table}");
 }
 
@@ -77,6 +81,7 @@ fn figure4() {
     let gate1 = Gate::new();
     let gate2 = Gate::new();
     std::thread::scope(|s| {
+        let _unstick = OpenOnDrop::new([Arc::clone(&gate1), Arc::clone(&gate2)]);
         let (e1, g1) = (Arc::clone(&engine), Arc::clone(&gate1));
         let h1 = s.spawn(move || {
             let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
@@ -103,7 +108,9 @@ fn figure4() {
         });
         let t2 = wait_label(&sink, "T2");
         await_action_complete(&sink, t2, 1);
-        println!("T2: PayOrder(i1,o1) executed concurrently — no blocking (ShipOrder/PayOrder commute)");
+        println!(
+            "T2: PayOrder(i1,o1) executed concurrently — no blocking (ShipOrder/PayOrder commute)"
+        );
 
         gate1.open();
         gate2.open();
@@ -128,6 +135,7 @@ fn figure5() {
     );
     let gate = Gate::new();
     std::thread::scope(|s| {
+        let _unstick = OpenOnDrop::new([Arc::clone(&gate)]);
         let (e1, g1) = (Arc::clone(&engine), Arc::clone(&gate));
         let h1 = s.spawn(move || {
             let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
@@ -167,6 +175,7 @@ fn figures6_and_7() {
     let b = Target { item: db.items[1].item, order: db.items[1].orders[0].order };
     let gate = Gate::new();
     std::thread::scope(|s| {
+        let _unstick = OpenOnDrop::new([Arc::clone(&gate)]);
         let (e1, g1) = (Arc::clone(&engine), Arc::clone(&gate));
         let h1 = s.spawn(move || {
             let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
@@ -186,7 +195,11 @@ fn figures6_and_7() {
         let delta = engine.stats().delta(&before);
         println!("T4: TestStatus(o1,paid) vs retained Put(o1.Status): formal conflict,");
         println!("    but ChangeStatus(o1,shipped) [committed] commutes with TestStatus(o1,paid)");
-        println!("    → granted without blocking (blocked = {}, case-1 grants = {})", ever_blocked(&sink, t4), delta.case1_grants);
+        println!(
+            "    → granted without blocking (blocked = {}, case-1 grants = {})",
+            ever_blocked(&sink, t4),
+            delta.case1_grants
+        );
         println!("    T4 result: {:?} — committed while T1 still open\n", out.value);
         gate.open();
         h1.join().unwrap();
@@ -197,16 +210,23 @@ fn figures6_and_7() {
     let armed = Arc::new(std::sync::atomic::AtomicBool::new(true));
     let (bg, arm) = (Arc::clone(&body_gate), Arc::clone(&armed));
     let hook: semcc::orderentry::ScenarioHook = Arc::new(move |point: &str| {
-        if point == semcc::orderentry::HOOK_SHIP_AFTER_CHANGE_STATUS && arm.load(std::sync::atomic::Ordering::SeqCst) {
+        if point == semcc::orderentry::HOOK_SHIP_AFTER_CHANGE_STATUS
+            && arm.load(std::sync::atomic::Ordering::SeqCst)
+        {
             bg.wait();
         }
     });
-    let db = Database::build_with_hook(&DbParams { n_items: 2, orders_per_item: 2, ..Default::default() }, Some(hook)).unwrap();
+    let db = Database::build_with_hook(
+        &DbParams { n_items: 2, orders_per_item: 2, ..Default::default() },
+        Some(hook),
+    )
+    .unwrap();
     let sink = MemorySink::new();
     let engine = build_engine(ProtocolKind::Semantic, &db, Some(sink.clone()));
     let a = Target { item: db.items[0].item, order: db.items[0].orders[0].order };
     let txn_gate = Gate::new();
     std::thread::scope(|s| {
+        let _unstick = OpenOnDrop::new([Arc::clone(&body_gate), Arc::clone(&txn_gate)]);
         let (e1, tg) = (Arc::clone(&engine), Arc::clone(&txn_gate));
         let h1 = s.spawn(move || {
             let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {

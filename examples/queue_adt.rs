@@ -74,8 +74,18 @@ fn queue_type() -> TypeDef {
         name: "Queue".into(),
         kind: TypeKind::Encapsulated,
         methods: vec![
-            MethodDef { name: "Enqueue".into(), body: Some(enqueue), compensation: None, updates: true },
-            MethodDef { name: "Dequeue".into(), body: Some(dequeue), compensation: None, updates: true },
+            MethodDef {
+                name: "Enqueue".into(),
+                body: Some(enqueue),
+                compensation: None,
+                updates: true,
+            },
+            MethodDef {
+                name: "Dequeue".into(),
+                body: Some(dequeue),
+                compensation: None,
+                updates: true,
+            },
             MethodDef { name: "Len".into(), body: Some(len), compensation: None, updates: false },
         ],
         spec: Arc::new(m),

@@ -57,9 +57,24 @@ fn account_type() -> TypeDef {
         name: "Account".into(),
         kind: TypeKind::Encapsulated,
         methods: vec![
-            MethodDef { name: "Deposit".into(), body: Some(update(1)), compensation: Some(dep_comp), updates: true },
-            MethodDef { name: "Withdraw".into(), body: Some(update(-1)), compensation: Some(wit_comp), updates: true },
-            MethodDef { name: "Balance".into(), body: Some(read), compensation: None, updates: false },
+            MethodDef {
+                name: "Deposit".into(),
+                body: Some(update(1)),
+                compensation: Some(dep_comp),
+                updates: true,
+            },
+            MethodDef {
+                name: "Withdraw".into(),
+                body: Some(update(-1)),
+                compensation: Some(wit_comp),
+                updates: true,
+            },
+            MethodDef {
+                name: "Balance".into(),
+                body: Some(read),
+                compensation: None,
+                updates: false,
+            },
         ],
         spec: Arc::new(matrix),
     }
@@ -70,7 +85,8 @@ fn main() {
     let mut catalog = Catalog::new();
     let account_ty = catalog.register_type(account_type());
     let store = Arc::new(MemoryStore::new());
-    let (account, _) = store.create_tuple_with_atoms(account_ty, &[("balance", Value::Int(0))]).unwrap();
+    let (account, _) =
+        store.create_tuple_with_atoms(account_ty, &[("balance", Value::Int(0))]).unwrap();
 
     // 2. Engine with the paper's protocol.
     let engine = Engine::builder(Arc::clone(&store) as Arc<dyn Storage>, Arc::new(catalog))
@@ -91,7 +107,12 @@ fn main() {
                     let method = if (t + i) % 3 == 0 { WITHDRAW } else { DEPOSIT };
                     let amount = 10;
                     let p = FnProgram::new("txn", move |ctx: &mut dyn MethodContext| {
-                        ctx.invoke(Invocation::user(account, account_ty, method, vec![Value::Int(amount)]))
+                        ctx.invoke(Invocation::user(
+                            account,
+                            account_ty,
+                            method,
+                            vec![Value::Int(amount)],
+                        ))
                     });
                     engine.execute_with_retry(&p, 1000).0.unwrap();
                 }

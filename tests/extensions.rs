@@ -4,7 +4,9 @@
 //! churn.
 
 use semcc::core::MemorySink;
-use semcc::orderentry::{Database, DbParams, MixWeights, Target, TxnSpec, Workload, WorkloadConfig};
+use semcc::orderentry::{
+    Database, DbParams, MixWeights, Target, TxnSpec, Workload, WorkloadConfig,
+};
 use semcc::semantics::Storage;
 use semcc::sim::{
     build_engine, check_semantic_graph, run_workload, ProtocolKind, RunParams, TreeView,
@@ -18,7 +20,9 @@ use semcc::sim::{
 fn param_aware_matrix_admits_disjoint_ships() {
     use semcc::core::FnProgram;
     use semcc::semantics::{MethodContext, Value};
-    use semcc::sim::scenario::{await_action_complete, ever_blocked, top_of_label, Gate};
+    use semcc::sim::scenario::{
+        await_action_complete, ever_blocked, top_of_label, Gate, OpenOnDrop,
+    };
     use std::sync::Arc;
 
     for (param_aware, expect_block) in [(true, false), (false, true)] {
@@ -36,6 +40,7 @@ fn param_aware_matrix_admits_disjoint_ships() {
 
         let gate = Gate::new();
         std::thread::scope(|s| {
+            let _unstick = OpenOnDrop::new([Arc::clone(&gate)]);
             let (e1, g1) = (Arc::clone(&engine), Arc::clone(&gate));
             let h1 = s.spawn(move || {
                 let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
@@ -95,12 +100,21 @@ fn param_aware_matrix_admits_disjoint_ships() {
 #[test]
 fn mixed_churn_preserves_schema_invariants() {
     for kind in [ProtocolKind::Semantic, ProtocolKind::ClosedNested, ProtocolKind::Object2pl] {
-        let db = Database::build(&DbParams { n_items: 4, orders_per_item: 2, ..Default::default() }).unwrap();
+        let db =
+            Database::build(&DbParams { n_items: 4, orders_per_item: 2, ..Default::default() })
+                .unwrap();
         let engine = build_engine(kind, &db, None);
         let mut w = Workload::new(
             &db,
             WorkloadConfig {
-                mix: MixWeights { t0_new: 3, t1_ship: 2, t2_pay: 2, t3_check_shipped: 1, t4_check_paid: 1, t5_total: 1 },
+                mix: MixWeights {
+                    t0_new: 3,
+                    t1_ship: 2,
+                    t2_pay: 2,
+                    t3_check_shipped: 1,
+                    t4_check_paid: 1,
+                    t5_total: 1,
+                },
                 seed: 99,
                 ..Default::default()
             },
@@ -113,7 +127,11 @@ fn mixed_churn_preserves_schema_invariants() {
                 _ => None,
             })
             .sum();
-        let out = run_workload(&engine, batch, &RunParams { workers: 6, max_retries: 100_000, ..Default::default() });
+        let out = run_workload(
+            &engine,
+            batch,
+            &RunParams { workers: 6, max_retries: 100_000, ..Default::default() },
+        );
         assert_eq!(out.metrics.failed, 0, "{kind:?}");
 
         let mut all_orders = 0usize;
@@ -141,7 +159,8 @@ fn mixed_churn_preserves_schema_invariants() {
 /// workload history (every started action appears exactly once).
 #[test]
 fn treeview_covers_every_action() {
-    let db = Database::build(&DbParams { n_items: 2, orders_per_item: 2, ..Default::default() }).unwrap();
+    let db = Database::build(&DbParams { n_items: 2, orders_per_item: 2, ..Default::default() })
+        .unwrap();
     let sink = MemorySink::new();
     let engine = build_engine(ProtocolKind::Semantic, &db, Some(sink.clone()));
     let mut w = Workload::new(&db, WorkloadConfig::default());
@@ -150,9 +169,12 @@ fn treeview_covers_every_action() {
     assert_eq!(out.metrics.failed, 0);
 
     let trees = TreeView::from_events(&sink.events(), &db.catalog);
-    assert_eq!(trees.len(), 15);
-    assert!(trees.iter().all(|t| t.committed()));
-    for tree in &trees {
+    // Deadlock victims retry under a fresh top-level id, so the history may
+    // contain extra (aborted) trees; exactly the 15 workload transactions
+    // commit.
+    let committed: Vec<_> = trees.iter().filter(|t| t.committed()).collect();
+    assert_eq!(committed.len(), 15);
+    for tree in &committed {
         let text = tree.render();
         assert!(text.contains("committed"));
         // Every grant annotation pairs with a completion.
@@ -169,7 +191,8 @@ fn treeview_covers_every_action() {
 /// semantically the same query), protocol-independently.
 #[test]
 fn bypass_and_encapsulated_checks_agree() {
-    let db = Database::build(&DbParams { n_items: 2, orders_per_item: 3, ..Default::default() }).unwrap();
+    let db = Database::build(&DbParams { n_items: 2, orders_per_item: 3, ..Default::default() })
+        .unwrap();
     let engine = build_engine(ProtocolKind::Semantic, &db, None);
     let t0 = Target { item: db.items[0].item, order: db.items[0].orders[0].order };
     let t1 = Target { item: db.items[1].item, order: db.items[1].orders[1].order };
@@ -190,10 +213,7 @@ fn bypass_and_encapsulated_checks_agree() {
             .execute(&TxnSpec::CheckPaid { targets: targets.clone(), bypass: true })
             .unwrap()
             .value;
-        let b = engine
-            .execute(&TxnSpec::CheckPaid { targets, bypass: false })
-            .unwrap()
-            .value;
+        let b = engine.execute(&TxnSpec::CheckPaid { targets, bypass: false }).unwrap().value;
         assert_eq!(a, b);
     }
 }

@@ -8,6 +8,7 @@ use semcc::orderentry::{Database, DbParams, StatusEvent, Target, TxnSpec};
 use semcc::semantics::{MethodContext, Storage, Value};
 use semcc::sim::scenario::{
     await_action_complete, await_blocked, await_commit, ever_blocked, top_of_label, Gate,
+    OpenOnDrop,
 };
 use semcc::sim::{build_engine, check_semantic_graph, check_state_equivalence, ProtocolKind};
 use std::sync::Arc;
@@ -45,6 +46,7 @@ fn figure4_commutative_interleaving_without_blocking() {
     let g2 = Arc::clone(&g_t2_second);
 
     std::thread::scope(|s| {
+        let _unstick = OpenOnDrop::new([Arc::clone(&g_t1_second), Arc::clone(&g_t2_second)]);
         let h1 = s.spawn(move || {
             let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
                 ctx.call(t_a.item, "ShipOrder", vec![Value::Id(t_a.order)])?;
@@ -127,6 +129,7 @@ fn figure5_retained_locks_block_the_bypassing_reader() {
     let e1 = Arc::clone(&engine);
 
     std::thread::scope(|s| {
+        let _unstick = OpenOnDrop::new([Arc::clone(&gate)]);
         let h1 = s.spawn(move || {
             let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
                 ctx.call(t_a.item, "ShipOrder", vec![Value::Id(t_a.order)])?;
@@ -191,6 +194,7 @@ fn figure5_no_retention_admits_the_anomaly() {
     let e1 = Arc::clone(&engine);
 
     let (t1_outcome, t3_outcome) = std::thread::scope(|s| {
+        let _unstick = OpenOnDrop::new([Arc::clone(&gate)]);
         let h1 = s.spawn(move || {
             let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
                 ctx.call(t_a.item, "ShipOrder", vec![Value::Id(t_a.order)])?;
@@ -267,6 +271,7 @@ fn figure6_case1_committed_commutative_ancestor() {
     let e1 = Arc::clone(&engine);
 
     std::thread::scope(|s| {
+        let _unstick = OpenOnDrop::new([Arc::clone(&gate)]);
         let h1 = s.spawn(move || {
             let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
                 ctx.call(t_a.item, "ShipOrder", vec![Value::Id(t_a.order)])?;
@@ -286,9 +291,8 @@ fn figure6_case1_committed_commutative_ancestor() {
 
         // T4: check payment of o1 (bypassing, like the paper's T4).
         let before = engine.stats();
-        let out4 = engine
-            .execute(&TxnSpec::CheckPaid { targets: vec![t_a], bypass: true })
-            .unwrap();
+        let out4 =
+            engine.execute(&TxnSpec::CheckPaid { targets: vec![t_a], bypass: true }).unwrap();
         let t4 = top_of_label(&sink, "T4", 0).unwrap();
 
         assert!(!ever_blocked(&sink, t4), "Case 1 grants without blocking");
@@ -319,6 +323,7 @@ fn figure6_without_ancestor_check_t4_blocks() {
     let e1 = Arc::clone(&engine);
 
     std::thread::scope(|s| {
+        let _unstick = OpenOnDrop::new([Arc::clone(&gate)]);
         let h1 = s.spawn(move || {
             let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
                 ctx.call(t_a.item, "ShipOrder", vec![Value::Id(t_a.order)])?;
@@ -389,6 +394,7 @@ fn figure7_case2_waits_for_the_subtransaction_only() {
 
     hook_armed.store(true, std::sync::atomic::Ordering::SeqCst);
     std::thread::scope(|s| {
+        let _unstick = OpenOnDrop::new([Arc::clone(&body_gate), Arc::clone(&txn_gate)]);
         let h1 = s.spawn(move || {
             let p = FnProgram::new("T1", move |ctx: &mut dyn MethodContext| {
                 ctx.call(t_a.item, "ShipOrder", vec![Value::Id(t_a.order)])?;

@@ -2,13 +2,13 @@
 //! protocol must produce executions that pass both validators; invariants
 //! (QOH accounting, status monotonicity) must hold under contention.
 
+use semcc::core::MemorySink;
 use semcc::orderentry::{Database, DbParams, MixWeights, StatusEvent, Workload, WorkloadConfig};
 use semcc::semantics::Storage;
 use semcc::sim::{
     build_engine, check_semantic_graph, check_state_equivalence, run_workload, ProtocolKind,
     RunParams,
 };
-use semcc::core::MemorySink;
 
 fn hot_db() -> Database {
     Database::build(&DbParams { n_items: 3, orders_per_item: 3, ..Default::default() }).unwrap()
@@ -23,10 +23,8 @@ fn safe_protocols_pass_the_state_equivalence_oracle() {
             let db = hot_db();
             let initial = db.store.snapshot();
             let engine = build_engine(kind, &db, None);
-            let mut w = Workload::new(
-                &db,
-                WorkloadConfig { seed, zipf_theta: 1.5, ..Default::default() },
-            );
+            let mut w =
+                Workload::new(&db, WorkloadConfig { seed, zipf_theta: 1.5, ..Default::default() });
             let batch = w.batch(&db, 6);
             let out = run_workload(
                 &engine,
@@ -60,7 +58,14 @@ fn safe_protocols_produce_acyclic_semantic_graphs() {
             WorkloadConfig {
                 seed: 7,
                 zipf_theta: 1.2,
-                mix: MixWeights { t0_new: 1, t1_ship: 2, t2_pay: 2, t3_check_shipped: 2, t4_check_paid: 2, t5_total: 1 },
+                mix: MixWeights {
+                    t0_new: 1,
+                    t1_ship: 2,
+                    t2_pay: 2,
+                    t3_check_shipped: 2,
+                    t4_check_paid: 2,
+                    t5_total: 1,
+                },
                 ..Default::default()
             },
         );
@@ -88,7 +93,14 @@ fn qoh_accounting_is_exact_under_contention() {
         WorkloadConfig {
             seed: 3,
             zipf_theta: 1.0,
-            mix: MixWeights { t0_new: 0, t1_ship: 1, t2_pay: 1, t3_check_shipped: 0, t4_check_paid: 0, t5_total: 1 },
+            mix: MixWeights {
+                t0_new: 0,
+                t1_ship: 1,
+                t2_pay: 1,
+                t3_check_shipped: 0,
+                t4_check_paid: 0,
+                t5_total: 1,
+            },
             ..Default::default()
         },
     );
@@ -114,7 +126,7 @@ fn qoh_accounting_is_exact_under_contention() {
             if shipped_times > 0 {
                 assert_ne!(status & StatusEvent::Shipped.bit(), 0);
             }
-            assert!(status >= 0 && status <= 3, "status stays a valid event set");
+            assert!((0..=3).contains(&status), "status stays a valid event set");
         }
         let qoh = db.store.get(item.qoh).unwrap().as_int().unwrap();
         assert_eq!(1_000_000 - qoh, expected_deficit, "item {}", item.item_no);
@@ -132,7 +144,14 @@ fn total_payment_matches_oracle_after_quiescence() {
         &db,
         WorkloadConfig {
             seed: 11,
-            mix: MixWeights { t0_new: 0, t1_ship: 0, t2_pay: 3, t3_check_shipped: 0, t4_check_paid: 0, t5_total: 0 },
+            mix: MixWeights {
+                t0_new: 0,
+                t1_ship: 0,
+                t2_pay: 3,
+                t3_check_shipped: 0,
+                t4_check_paid: 0,
+                t5_total: 0,
+            },
             ..Default::default()
         },
     );
@@ -155,7 +174,8 @@ fn total_payment_matches_oracle_after_quiescence() {
 /// the graph check.
 #[test]
 fn liveness_under_deadlock_prone_contention() {
-    let db = Database::build(&DbParams { n_items: 2, orders_per_item: 2, ..Default::default() }).unwrap();
+    let db = Database::build(&DbParams { n_items: 2, orders_per_item: 2, ..Default::default() })
+        .unwrap();
     let sink = MemorySink::new();
     let engine = build_engine(ProtocolKind::Object2pl, &db, Some(sink.clone()));
     let mut w = Workload::new(
@@ -168,7 +188,11 @@ fn liveness_under_deadlock_prone_contention() {
         },
     );
     let batch = w.batch(&db, 100);
-    let out = run_workload(&engine, batch, &RunParams { workers: 8, max_retries: 10_000, ..Default::default() });
+    let out = run_workload(
+        &engine,
+        batch,
+        &RunParams { workers: 8, max_retries: 10_000, ..Default::default() },
+    );
     assert_eq!(out.metrics.committed, 100);
     assert_eq!(out.metrics.failed, 0);
     let report = check_semantic_graph(&sink.events(), engine.router());

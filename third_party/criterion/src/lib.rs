@@ -1,0 +1,182 @@
+//! Offline subset of the `criterion` API used by this workspace's
+//! `harness = false` bench targets.
+//!
+//! Runs each benchmark routine `sample_size` times, reports the mean
+//! wall-clock time per iteration on stdout, and honours the `--test` flag
+//! cargo passes when compiling benches under `cargo test` (one iteration,
+//! no timing) so test runs stay fast. No statistics, plots or comparisons —
+//! just enough to keep the bench targets building and runnable without
+//! crates.io access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10, test_mode: std::env::args().any(|a| a == "--test") }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.0, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let iters = if self.test_mode { 1 } else { self.sample_size as u64 };
+        let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        if !self.test_mode {
+            let per_iter = bencher.elapsed.as_nanos() / u128::from(iters.max(1));
+            println!("{}/{}: {} ns/iter (n={})", self.name, id, per_iter, iters);
+        }
+    }
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self(format!("{}/{}", name.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    pub fn iter_with_setup<S, O, Fs, Fr>(&mut self, mut setup: Fs, mut routine: Fr)
+    where
+        Fs: FnMut() -> S,
+        Fr: FnMut(S) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_routines() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut count = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("f", |b| b.iter(|| count += 1));
+            g.bench_with_input(BenchmarkId::new("with", 7), &7u32, |b, &x| {
+                b.iter_with_setup(|| x, |v| v + 1)
+            });
+            g.finish();
+        }
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Offline subset of the `rand` 0.9 API used by this workspace: the [`Rng`]
+//! and [`SeedableRng`] traits, a deterministic [`rngs::StdRng`] (SplitMix64),
+//! integer/float sampling, and `distr::weighted::WeightedIndex`.
+//!
+//! Built for a container without crates.io access. The generator is not
+//! cryptographic; it only has to be fast, seedable and statistically decent
+//! enough for Zipf-skewed workload generation.
+
+use std::ops::Range;
+
+/// Core random source plus the sampling helpers the workspace calls.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value from the "standard" distribution of `T`
+    /// (for `f64`: uniform in `[0, 1)`).
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from a half-open range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators (only `seed_from_u64` is needed here).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable by [`Rng::random`].
+pub trait StandardSample: Sized {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> uniform double in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::random_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = self.end.abs_diff(self.start) as u64;
+                // Modulo bias is negligible for the spans this workspace uses.
+                let offset = rng.next_u64() % span;
+                self.start.wrapping_add(offset as $t)
+            }
+        }
+    )+};
+}
+
+int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod distr {
+    use super::Rng;
+
+    /// Distributions samplable with an [`Rng`].
+    pub trait Distribution<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    pub mod weighted {
+        use super::Distribution;
+        use crate::Rng;
+        use std::marker::PhantomData;
+
+        /// Weight types accepted by [`WeightedIndex`].
+        pub trait Weight: Copy {
+            fn to_u64(self) -> u64;
+        }
+
+        macro_rules! weights {
+            ($($t:ty),+) => {$(
+                impl Weight for $t {
+                    fn to_u64(self) -> u64 { self as u64 }
+                }
+            )+};
+        }
+
+        weights!(u8, u16, u32, u64, usize);
+
+        #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+        pub enum WeightedError {
+            NoItem,
+            AllWeightsZero,
+        }
+
+        /// Samples indices proportionally to a fixed weight list.
+        #[derive(Clone, Debug)]
+        pub struct WeightedIndex<X> {
+            cumulative: Vec<u64>,
+            total: u64,
+            _weight: PhantomData<X>,
+        }
+
+        impl<X: Weight> WeightedIndex<X> {
+            pub fn new<I: IntoIterator<Item = X>>(weights: I) -> Result<Self, WeightedError> {
+                let mut cumulative = Vec::new();
+                let mut total = 0u64;
+                for w in weights {
+                    total += w.to_u64();
+                    cumulative.push(total);
+                }
+                if cumulative.is_empty() {
+                    return Err(WeightedError::NoItem);
+                }
+                if total == 0 {
+                    return Err(WeightedError::AllWeightsZero);
+                }
+                Ok(Self { cumulative, total, _weight: PhantomData })
+            }
+        }
+
+        impl<X> Distribution<usize> for WeightedIndex<X> {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+                let roll = rng.next_u64() % self.total;
+                self.cumulative.partition_point(|&c| c <= roll)
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::distr::Distribution;
+    pub use crate::rngs::StdRng;
+    pub use crate::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::distr::weighted::{WeightedError, WeightedIndex};
+    use crate::prelude::*;
+
+    #[test]
+    fn std_rng_is_deterministic_and_varied() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn f64_samples_stay_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn ranges_cover_and_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.random_range(0usize..5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..200 {
+            let v = rng.random_range(-3i64..3);
+            assert!((-3..3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn weighted_index_follows_weights() {
+        let dist = WeightedIndex::new([0u32, 10, 0, 1]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0u32; 4];
+        for _ in 0..1100 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[2], 0);
+        assert!(counts[1] > counts[3] * 5, "counts {counts:?}");
+        assert_eq!(WeightedIndex::<u32>::new([]).unwrap_err(), WeightedError::NoItem);
+    }
+}

@@ -1,0 +1,75 @@
+//! Offline facade over the `serde` trait surface this workspace uses.
+//!
+//! The build container has no crates.io access, so this crate provides just
+//! enough of serde for the workspace to compile: the four core traits, the
+//! primitive impls the manual `#[serde(with = ...)]` helpers call, and stub
+//! derive macros (re-exported from the companion `serde_derive` crate). The
+//! derives satisfy trait bounds but do not perform real serialization —
+//! nothing in the workspace serializes at runtime (tables are hand-rendered
+//! CSV); the derives exist so types can declare the capability.
+
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Error type produced by a [`Serializer`].
+    pub trait Error: Sized + std::fmt::Debug + Display {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A data format that can serialize values.
+    pub trait Serializer: Sized {
+        type Ok;
+        type Error: Error;
+
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// A value serializable by any [`Serializer`].
+    pub trait Serialize {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    impl Serialize for u64 {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_u64(*self)
+        }
+    }
+
+    impl Serialize for () {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_unit()
+        }
+    }
+}
+
+pub mod de {
+    use std::fmt::Display;
+
+    /// Error type produced by a [`Deserializer`].
+    pub trait Error: Sized + std::fmt::Debug + Display {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A data format that can deserialize values.
+    pub trait Deserializer<'de>: Sized {
+        type Error: Error;
+
+        fn deserialize_u64(self) -> Result<u64, Self::Error>;
+    }
+
+    /// A value deserializable from any [`Deserializer`].
+    pub trait Deserialize<'de>: Sized {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    impl<'de> Deserialize<'de> for u64 {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            deserializer.deserialize_u64()
+        }
+    }
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,70 @@
+//! Stub `#[derive(Serialize, Deserialize)]` macros for the offline serde
+//! facade. They emit trivial trait impls (unit serialization, always-err
+//! deserialization) so types can carry the bounds without any runtime
+//! serialization machinery. Field-level `#[serde(...)]` attributes are
+//! accepted and ignored. Generic types are rejected with a clear error —
+//! nothing in this workspace derives serde on a generic type.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name following `struct` or `enum`, rejecting generics.
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(word) = &tt {
+            let word = word.to_string();
+            if word == "struct" || word == "enum" {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => return Err(format!("expected type name, found {other:?}")),
+                };
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == '<' {
+                        return Err(format!(
+                            "offline serde stub cannot derive for generic type `{name}`"
+                        ));
+                    }
+                }
+                return Ok(name);
+            }
+        }
+    }
+    Err("derive input has no struct/enum keyword".to_string())
+}
+
+fn emit(input: TokenStream, render: impl Fn(&str) -> String) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => render(&name).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error parses"),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                     -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                     serializer.serialize_unit()\n\
+                 }}\n\
+             }}"
+        )
+    })
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!(
+            "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<D: ::serde::Deserializer<'de>>(_deserializer: D)\n\
+                     -> ::core::result::Result<Self, D::Error> {{\n\
+                     ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\n\
+                         \"offline serde stub cannot deserialize\",\n\
+                     ))\n\
+                 }}\n\
+             }}"
+        )
+    })
+}
