@@ -94,6 +94,10 @@ impl Discipline for ClosedNested {
     fn stats(&self) -> StatsSnapshot {
         self.deps.stats.snapshot()
     }
+
+    fn live_entries(&self) -> usize {
+        self.kernel.granted_count() + self.kernel.waiting_count()
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +121,7 @@ mod tests {
             sink: Arc::new(NullSink::new()),
             router: Arc::new(catalog.router()),
             storage: Arc::new(MemoryStore::new()),
+            lock_wait_timeout: None,
         }
     }
 

@@ -68,6 +68,10 @@ impl Discipline for FlatObject2pl {
     fn stats(&self) -> StatsSnapshot {
         self.deps.stats.snapshot()
     }
+
+    fn live_entries(&self) -> usize {
+        self.kernel.granted_count() + self.kernel.waiting_count()
+    }
 }
 
 /// Page-granularity strict 2PL (the conventional OODBS implementation the
@@ -125,5 +129,9 @@ impl Discipline for Page2pl {
 
     fn stats(&self) -> StatsSnapshot {
         self.deps.stats.snapshot()
+    }
+
+    fn live_entries(&self) -> usize {
+        self.kernel.granted_count() + self.kernel.waiting_count()
     }
 }

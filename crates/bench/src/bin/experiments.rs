@@ -1,7 +1,7 @@
 //! The experiment driver: regenerates every evaluation artifact.
 //!
 //! ```text
-//! experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5] [--quick]
+//! experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|chaos] [--quick]
 //! ```
 
 use semcc_bench::figures;
@@ -23,6 +23,7 @@ fn main() {
     let what = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".into());
     let trials = if quick { 5 } else { 25 };
 
+    let chaos_seeds: u64 = if quick { 2 } else { 8 };
     let run_figures = |which: &str| match which {
         "fig1" => figures::fig1(),
         "fig2" => figures::fig2(),
@@ -31,12 +32,13 @@ fn main() {
         "fig5" => figures::fig5(),
         "fig6" => figures::fig6(),
         "fig7" => figures::fig7(),
+        "containment" => figures::containment(),
         _ => unreachable!(),
     };
 
     match what.as_str() {
         "figures" => {
-            for f in ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"] {
+            for f in ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "containment"] {
                 run_figures(f);
             }
             println!("{}", figures::summary().render());
@@ -75,8 +77,16 @@ fn main() {
             "b5_txn_length",
             sweeps::b5_txn_length(scale),
         ),
+        "chaos" => {
+            figures::containment();
+            print_and_save(
+                "B6: chaos sweep (fault mixes × seeds; containment audit)",
+                "b6_chaos",
+                sweeps::b6_chaos(scale, chaos_seeds),
+            );
+        }
         "all" => {
-            for f in ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"] {
+            for f in ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "containment"] {
                 run_figures(f);
             }
             println!("{}", figures::summary().render());
@@ -111,10 +121,15 @@ fn main() {
                 "b5_txn_length",
                 sweeps::b5_txn_length(scale),
             );
+            print_and_save(
+                "B6: chaos sweep (fault mixes × seeds; containment audit)",
+                "b6_chaos",
+                sweeps::b6_chaos(scale, chaos_seeds),
+            );
         }
         other => {
             eprintln!("unknown experiment {other:?}");
-            eprintln!("usage: experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5] [--quick]");
+            eprintln!("usage: experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|chaos] [--quick]");
             std::process::exit(2);
         }
     }

@@ -111,10 +111,14 @@ pub fn b1_mpl_sweep(scale: Scale) -> Table {
 /// B2: throughput vs data contention (number of items; fewer = hotter).
 /// Also reports the kernel's wake-up economy: targeted pokes delivered,
 /// re-tests after a wait, and how many wake-ups were spurious (the targeted
-/// scheme is the win iff `spurious` stays well below `retests`).
+/// scheme is the win iff `spurious` stays well below `retests`). The last
+/// columns are the robustness counters — deadlock victims, lock-wait
+/// timeouts and caught panics must all stay at zero in a healthy
+/// (fault-free) sweep; a non-zero cell flags a containment event.
 pub fn b2_contention_sweep(scale: Scale) -> Table {
     let mut t = Table::new(&[
         "protocol", "items", "txn/s", "block%", "aborts", "targeted", "retests", "spurious",
+        "victims", "timeouts", "panics",
     ]);
     let wl =
         WorkloadConfig { mix: MixWeights::update_heavy(), zipf_theta: 0.6, ..Default::default() };
@@ -131,6 +135,9 @@ pub fn b2_contention_sweep(scale: Scale) -> Table {
                 m.stats.targeted_wakeups.to_string(),
                 m.stats.retests.to_string(),
                 m.stats.spurious_wakeups.to_string(),
+                m.stats.victims.to_string(),
+                m.stats.lock_timeouts.to_string(),
+                m.stats.caught_panics.to_string(),
             ]);
         }
     }
@@ -254,6 +261,52 @@ pub fn b5_txn_length(scale: Scale) -> Table {
     t
 }
 
+/// B6: chaos sweep — the three canonical fault mixes × a seed matrix
+/// through the order-entry workload. Reports what each run injected, what
+/// survived, and the containment audit (live transactions, leaked lock
+/// entries, serializability of the committed history). Every row must end
+/// `0  0  yes`; anything else is a containment bug.
+pub fn b6_chaos(scale: Scale, seeds: u64) -> Table {
+    let mut t = Table::new(&[
+        "mix",
+        "seed",
+        "committed",
+        "failed",
+        "injected",
+        "panics",
+        "timeouts",
+        "victims",
+        "live",
+        "leaked",
+        "serializable",
+    ]);
+    for (mix, spec) in semcc_sim::fault_mixes() {
+        for seed in 1..=seeds.max(1) {
+            let r = semcc_sim::run_chaos(&semcc_sim::ChaosParams {
+                seed,
+                txns: scale.txns.min(80),
+                faults: spec,
+                ..Default::default()
+            });
+            t.row(vec![
+                mix.into(),
+                seed.to_string(),
+                r.committed.to_string(),
+                r.failed.to_string(),
+                r.injected.to_string(),
+                r.caught_panics.to_string(),
+                r.lock_timeouts.to_string(),
+                r.victims.to_string(),
+                r.live_after.to_string(),
+                r.leaked_entries.to_string(),
+                if r.serializable { "yes".into() } else { "NO".into() },
+            ]);
+            assert!(r.contained(), "chaos run {mix}/seed{seed} escaped containment: {r:?}");
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +319,16 @@ mod tests {
         assert!(text.contains("2pl/page"));
         // 5 protocols × 5 MPLs + header + rule.
         assert_eq!(text.lines().count(), 2 + 25);
+    }
+
+    #[test]
+    fn b6_smoke() {
+        let t = b6_chaos(Scale { txns: 20 }, 2);
+        let text = t.render();
+        // 3 mixes × 2 seeds + header + rule.
+        assert_eq!(text.lines().count(), 2 + 6, "{text}");
+        assert!(text.contains("storage-fault"), "{text}");
+        assert!(!text.contains("NO"), "non-serializable chaos row:\n{text}");
     }
 
     #[test]

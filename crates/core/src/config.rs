@@ -25,18 +25,39 @@ pub struct ProtocolConfig {
     pub retain_locks: bool,
     /// Search ancestor chains for commutative pairs (Figure 9, Cases 1/2).
     pub ancestor_check: bool,
+    /// Lock-wait timeout in milliseconds (0 disables it). A backstop
+    /// against missed wake-ups: a request that waits longer than this
+    /// aborts with [`SemccError::LockTimeout`](semcc_semantics::SemccError)
+    /// instead of hanging forever. Generous by default so it never fires
+    /// under healthy operation.
+    pub lock_wait_timeout_ms: u64,
 }
+
+/// Default lock-wait timeout: long enough that it never fires under
+/// healthy operation (deadlocks are detected, wake-ups are targeted), short
+/// enough that a lost wake-up surfaces as an abort instead of a hang.
+pub const DEFAULT_LOCK_WAIT_TIMEOUT_MS: u64 = 30_000;
 
 impl ProtocolConfig {
     /// The full protocol of the paper (Section 4).
     pub fn semantic() -> Self {
-        ProtocolConfig { name: "semantic", retain_locks: true, ancestor_check: true }
+        ProtocolConfig {
+            name: "semantic",
+            retain_locks: true,
+            ancestor_check: true,
+            lock_wait_timeout_ms: DEFAULT_LOCK_WAIT_TIMEOUT_MS,
+        }
     }
 
     /// Retained locks without the commutative-ancestor rules: every formal
     /// conflict with a retained lock blocks until top-level commit.
     pub fn no_ancestor_check() -> Self {
-        ProtocolConfig { name: "semantic/no-ancestor", retain_locks: true, ancestor_check: false }
+        ProtocolConfig {
+            name: "semantic/no-ancestor",
+            retain_locks: true,
+            ancestor_check: false,
+            lock_wait_timeout_ms: DEFAULT_LOCK_WAIT_TIMEOUT_MS,
+        }
     }
 
     /// The plain open nested protocol of Section 3 (no retained locks).
@@ -46,7 +67,20 @@ impl ProtocolConfig {
             name: "open-nested/no-retention",
             retain_locks: false,
             ancestor_check: true,
+            lock_wait_timeout_ms: DEFAULT_LOCK_WAIT_TIMEOUT_MS,
         }
+    }
+
+    /// Override the lock-wait timeout (0 disables it).
+    pub fn with_lock_timeout_ms(mut self, ms: u64) -> Self {
+        self.lock_wait_timeout_ms = ms;
+        self
+    }
+
+    /// The timeout as a `Duration`, `None` when disabled.
+    pub fn lock_wait_timeout(&self) -> Option<std::time::Duration> {
+        (self.lock_wait_timeout_ms > 0)
+            .then(|| std::time::Duration::from_millis(self.lock_wait_timeout_ms))
     }
 }
 
@@ -71,5 +105,16 @@ mod tests {
         assert_eq!(ProtocolConfig::default(), s);
         assert_ne!(s.name, n.name);
         assert_ne!(s.name, o.name);
+    }
+
+    #[test]
+    fn lock_timeout_knob() {
+        let s = ProtocolConfig::semantic();
+        assert_eq!(s.lock_wait_timeout_ms, DEFAULT_LOCK_WAIT_TIMEOUT_MS);
+        assert!(s.lock_wait_timeout().is_some());
+        let off = s.with_lock_timeout_ms(0);
+        assert_eq!(off.lock_wait_timeout(), None);
+        let tight = s.with_lock_timeout_ms(50);
+        assert_eq!(tight.lock_wait_timeout(), Some(std::time::Duration::from_millis(50)));
     }
 }

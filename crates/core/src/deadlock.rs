@@ -11,6 +11,7 @@
 
 use crate::ids::TopId;
 use crate::notify::WaitCell;
+use crate::stats::Stats;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -34,6 +35,8 @@ struct WfgInner {
 #[derive(Default)]
 pub struct WaitsForGraph {
     inner: Mutex<WfgInner>,
+    /// Optional engine counters mirrored on victim selection.
+    stats: Option<Arc<Stats>>,
 }
 
 /// Result of announcing a block.
@@ -49,6 +52,11 @@ impl WaitsForGraph {
     /// Empty graph.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty graph whose victim selections also bump `stats.victims`.
+    pub fn with_stats(stats: Arc<Stats>) -> Self {
+        WaitsForGraph { inner: Mutex::default(), stats: Some(stats) }
     }
 
     /// Find a cycle through `start`; returns the members of one cycle.
@@ -97,6 +105,9 @@ impl WaitsForGraph {
                 break;
             };
             inner.victims += 1;
+            if let Some(stats) = &self.stats {
+                Stats::bump(&stats.victims);
+            }
             inner.doomed.insert(victim);
             inner.edges.remove(&victim);
             if victim == waiter {
@@ -252,6 +263,18 @@ mod tests {
         assert_eq!(g.block(TopId(3), &[TopId(1)], &c3), BlockDecision::VictimSelf);
         assert!(c1.would_wait());
         assert!(c2.would_wait());
+    }
+
+    #[test]
+    fn victim_selection_bumps_stats() {
+        let stats = Arc::new(Stats::default());
+        let g = WaitsForGraph::with_stats(Arc::clone(&stats));
+        let c2 = cell();
+        c2.add_pending();
+        assert_eq!(g.block(TopId(2), &[TopId(1)], &c2), BlockDecision::Wait);
+        assert_eq!(g.block(TopId(1), &[TopId(2)], &cell()), BlockDecision::Wait);
+        assert_eq!(g.victim_count(), 1);
+        assert_eq!(stats.snapshot().victims, 1);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::stats::{Stats, StatsSnapshot};
 use crate::tree::{ChainLink, Registry, TxnTree};
 use semcc_semantics::{Invocation, PageId, Result, SemanticsRouter, Storage};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Shared infrastructure a discipline needs: built once by the
 /// [`EngineBuilder`](crate::engine::EngineBuilder) and handed to the
@@ -35,6 +36,10 @@ pub struct DisciplineDeps {
     pub router: Arc<SemanticsRouter>,
     /// The object store (for page lookups).
     pub storage: Arc<dyn Storage>,
+    /// Lock-wait timeout backstop applied by the kernel's block path
+    /// (`None` disables it). Populated from
+    /// [`ProtocolConfig::lock_wait_timeout`](crate::config::ProtocolConfig).
+    pub lock_wait_timeout: Option<Duration>,
 }
 
 /// A lock acquisition request for one action of a transaction tree.
@@ -86,4 +91,9 @@ pub trait Discipline: Send + Sync {
 
     /// Counter snapshot.
     fn stats(&self) -> StatsSnapshot;
+
+    /// Number of live lock-table entries (granted + waiting) across the
+    /// discipline's kernel. Must be zero once every transaction has
+    /// finished — the chaos harness asserts this to detect leaked locks.
+    fn live_entries(&self) -> usize;
 }

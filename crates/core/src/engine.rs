@@ -21,6 +21,7 @@
 use crate::config::ProtocolConfig;
 use crate::deadlock::WaitsForGraph;
 use crate::discipline::{AcquireRequest, Discipline, DisciplineDeps, GrantInfo};
+use crate::fault::{injected_panic, FaultPlan, FaultSite, InjectedPanic};
 use crate::history::{Event, HistorySink, NullSink};
 use crate::ids::{NodeRef, TopId};
 use crate::lock::SemanticLockManager;
@@ -28,12 +29,27 @@ use crate::notify::CompletionHub;
 use crate::stats::{Stats, StatsSnapshot};
 use crate::tree::{Registry, TxnTree};
 use parking_lot::Mutex;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use semcc_semantics::{
     Catalog, GenericMethod, Invocation, MethodContext, MethodSel, ObjectId, Result,
     SemanticsRouter, SemccError, Storage, TypeId, Value,
 };
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Render a caught panic payload as an abort reason.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(ip) = payload.downcast_ref::<InjectedPanic>() {
+        format!("injected panic at {}", ip.0)
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
 
 /// A top-level transaction program.
 pub trait TransactionProgram: Send + Sync {
@@ -104,6 +120,7 @@ pub struct EngineBuilder {
     comp_retry_limit: u32,
     comp_retry_backoff: Duration,
     op_delay: Duration,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl EngineBuilder {
@@ -118,6 +135,7 @@ impl EngineBuilder {
             comp_retry_limit: 1000,
             comp_retry_backoff: Duration::from_micros(200),
             op_delay: Duration::ZERO,
+            faults: None,
         }
     }
 
@@ -161,16 +179,34 @@ impl EngineBuilder {
         self
     }
 
+    /// Override the lock-wait timeout (applies to any discipline; 0
+    /// disables the backstop).
+    pub fn lock_wait_timeout(mut self, timeout: Duration) -> Self {
+        self.config.lock_wait_timeout_ms = timeout.as_millis() as u64;
+        self
+    }
+
+    /// Install a fault-injection plan (chaos testing). Method-body and
+    /// compensation faults fire through the engine; pair this with a
+    /// [`FaultyStorage`](crate::fault::FaultyStorage) wrapper for storage
+    /// faults.
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Build the engine.
     pub fn build(self) -> Arc<Engine> {
+        let stats = Arc::new(Stats::default());
         let deps = DisciplineDeps {
             registry: Arc::new(Registry::new()),
             hub: Arc::new(CompletionHub::new()),
-            wfg: Arc::new(WaitsForGraph::new()),
-            stats: Arc::new(Stats::default()),
+            wfg: Arc::new(WaitsForGraph::with_stats(Arc::clone(&stats))),
+            stats,
             sink: Arc::clone(&self.sink),
             router: Arc::new(self.catalog.router()),
             storage: Arc::clone(&self.storage),
+            lock_wait_timeout: self.config.lock_wait_timeout(),
         };
         let discipline: Arc<dyn Discipline> = match self.discipline_factory {
             Some(f) => f(&deps),
@@ -184,6 +220,7 @@ impl EngineBuilder {
             comp_retry_limit: self.comp_retry_limit,
             comp_retry_backoff: self.comp_retry_backoff,
             op_delay: self.op_delay,
+            faults: self.faults,
         })
     }
 }
@@ -197,6 +234,7 @@ pub struct Engine {
     comp_retry_limit: u32,
     comp_retry_backoff: Duration,
     op_delay: Duration,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Engine {
@@ -235,14 +273,34 @@ impl Engine {
         self.deps.registry.live_count()
     }
 
+    /// Live lock-table entries (granted + waiting) of the active
+    /// discipline. Zero once every transaction has finished; the chaos
+    /// harness asserts this to detect leaked locks.
+    pub fn lock_entries(&self) -> usize {
+        self.discipline.live_entries()
+    }
+
     /// Execute a top-level transaction: commit on `Ok`, abort with
-    /// compensation on `Err` (the error is passed through).
+    /// compensation on `Err` (the error is passed through). A panicking
+    /// program is contained: it aborts with
+    /// [`SemccError::MethodPanicked`] like any other failure.
     pub fn execute(&self, prog: &dyn TransactionProgram) -> Result<TxnOutcome> {
+        self.execute_traced(prog).1
+    }
+
+    /// Like [`Engine::execute`], but also returns the attempt's `TopId`
+    /// even when it aborted (retry loops key their backoff on it).
+    pub fn execute_traced(&self, prog: &dyn TransactionProgram) -> (TopId, Result<TxnOutcome>) {
         let tree = self.deps.registry.begin();
         let top = tree.top();
         self.deps.sink.record(Event::TopBegin { top, label: prog.label() });
         let shared =
             Arc::new(TxnShared { tree: Arc::clone(&tree), created: Mutex::new(Vec::new()) });
+        // Backstop containment: if anything below unwinds past the
+        // commit/abort calls (e.g. a panic inside the abort path itself),
+        // the guard still releases locks, finishes the registry entry and
+        // wakes waiters before the panic propagates.
+        let mut guard = AbortGuard { engine: self, shared: Arc::clone(&shared), armed: true };
         let mut ctx = ExecCtx {
             engine: self,
             shared: Arc::clone(&shared),
@@ -251,7 +309,12 @@ impl Engine {
             comp: Vec::new(),
             compensating: false,
         };
-        match prog.run(&mut ctx) {
+        let run = catch_unwind(AssertUnwindSafe(|| prog.run(&mut ctx)));
+        let run = run.unwrap_or_else(|payload| {
+            Stats::bump(&self.deps.stats.caught_panics);
+            Err(SemccError::MethodPanicked(panic_message(payload)))
+        });
+        let result = match run {
             Ok(value) => {
                 self.commit(top, &tree);
                 Ok(TxnOutcome { top, value })
@@ -261,11 +324,14 @@ impl Engine {
                 self.abort(top, &shared, comp, &e);
                 Err(e)
             }
-        }
+        };
+        guard.armed = false;
+        (top, result)
     }
 
-    /// Execute with automatic retry on deadlock aborts. Returns the outcome
-    /// and the number of aborted attempts.
+    /// Execute with automatic retry on contention aborts (deadlock victim
+    /// or lock-wait timeout). Returns the outcome and the number of
+    /// aborted attempts.
     pub fn execute_with_retry(
         &self,
         prog: &dyn TransactionProgram,
@@ -273,15 +339,27 @@ impl Engine {
     ) -> (Result<TxnOutcome>, u32) {
         let mut retries = 0;
         loop {
-            match self.execute(prog) {
-                Err(SemccError::Deadlock) if retries < max_retries => {
+            let (top, result) = self.execute_traced(prog);
+            match result {
+                Err(ref e) if e.is_retryable() && retries < max_retries => {
                     retries += 1;
-                    // Brief randomless backoff proportional to attempts.
-                    std::thread::sleep(self.comp_retry_backoff * retries.min(16));
+                    Stats::bump(&self.deps.stats.txn_retries);
+                    self.retry_backoff(top, retries);
                 }
                 other => return (other, retries),
             }
         }
+    }
+
+    /// Jittered exponential backoff, seeded by the aborted attempt's
+    /// `TopId`: deterministic for a given id sequence (reproducible tests),
+    /// yet decorrelated across competing transactions.
+    fn retry_backoff(&self, top: TopId, attempt: u32) {
+        let mut rng = StdRng::seed_from_u64(top.0);
+        let exp = 1u64 << attempt.min(6);
+        let jitter = 0.5 + rng.random::<f64>(); // uniform in [0.5, 1.5)
+        let sleep = self.comp_retry_backoff.as_secs_f64() * exp as f64 * jitter;
+        std::thread::sleep(Duration::from_secs_f64(sleep));
     }
 
     fn commit(&self, top: TopId, tree: &TxnTree) {
@@ -308,12 +386,14 @@ impl Engine {
 
         // Compensate committed top-level children (and, transitively,
         // whatever they inherited), newest first. Failures here indicate a
-        // schema without proper inverses; they are surfaced in the event
-        // stream but cannot stop the abort.
+        // schema without proper inverses (or an injected chaos fault); they
+        // are surfaced in the event stream but cannot stop the abort.
         if let Err(e) = self.compensate_list(shared, comp) {
-            self.deps
-                .sink
-                .record(Event::TopAbort { top, reason: format!("compensation failed: {e}") });
+            self.deps.sink.record(Event::CompensationFailure {
+                top,
+                error: e.to_string(),
+                original: reason.to_string(),
+            });
         }
 
         // Garbage-collect objects created by this transaction.
@@ -334,7 +414,7 @@ impl Engine {
     }
 
     /// Execute compensations in reverse chronological order, retrying on
-    /// deadlock.
+    /// contention aborts (deadlock victim or lock-wait timeout).
     fn compensate_list(&self, shared: &Arc<TxnShared>, comp: Vec<Invocation>) -> Result<()> {
         for inv in comp.into_iter().rev() {
             let mut attempts = 0;
@@ -344,10 +424,19 @@ impl Engine {
                     inv: Arc::new(inv.clone()),
                 });
                 Stats::bump(&self.deps.stats.compensations);
+                if let Some(plan) = &self.faults {
+                    if plan.should_fire(FaultSite::Compensation) {
+                        return Err(SemccError::CompensationFailed(format!(
+                            "{inv}: {}",
+                            SemccError::FaultInjected("compensation".into())
+                        )));
+                    }
+                }
                 match self.run_action(shared, 0, inv.clone(), true) {
                     Ok(_) => break,
-                    Err(SemccError::Deadlock) if attempts < self.comp_retry_limit => {
+                    Err(e) if e.is_retryable() && attempts < self.comp_retry_limit => {
                         attempts += 1;
+                        Stats::bump(&self.deps.stats.compensation_retries);
                         std::thread::sleep(self.comp_retry_backoff);
                     }
                     Err(e) => {
@@ -447,7 +536,23 @@ impl Engine {
             comp: Vec::new(),
             compensating,
         };
-        match body.run(&mut ctx, inv) {
+        // Contain panics at the method boundary: a panicking body (the
+        // fault plan's injected panics included) becomes an ordinary
+        // `MethodPanicked` abort whose committed children are compensated
+        // below, exactly like any other failing method.
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(plan) = &self.faults {
+                if plan.should_fire(FaultSite::MethodBody) {
+                    injected_panic("method-body");
+                }
+            }
+            body.run(&mut ctx, inv)
+        }));
+        let run = run.unwrap_or_else(|payload| {
+            Stats::bump(&self.deps.stats.caught_panics);
+            Err(SemccError::MethodPanicked(panic_message(payload)))
+        });
+        match run {
             Ok(ret) => {
                 let comp = if compensating {
                     Vec::new()
@@ -471,7 +576,23 @@ impl Engine {
                 }
                 if !compensating {
                     let partial = std::mem::take(&mut ctx.comp);
-                    self.compensate_list(shared, partial)?
+                    if let Err(ce) = self.compensate_list(shared, partial) {
+                        // Surface *both* failures: the compensation error
+                        // is chained onto the original abort cause instead
+                        // of shadowing it.
+                        self.deps.sink.record(Event::CompensationFailure {
+                            top: shared.tree.top(),
+                            error: ce.to_string(),
+                            original: e.to_string(),
+                        });
+                        let detail = match ce {
+                            SemccError::CompensationFailed(m) => m,
+                            other => other.to_string(),
+                        };
+                        return Err(SemccError::CompensationFailed(format!(
+                            "{detail}; original abort cause: {e}"
+                        )));
+                    }
                 }
                 Err(e)
             }
@@ -526,6 +647,41 @@ impl Engine {
                 Ok((Value::List(list), Vec::new()))
             }
         }
+    }
+}
+
+/// RAII backstop for [`Engine::execute_traced`]. Normal execution disarms
+/// it after `commit`/`abort` ran; it only fires when the transaction
+/// unwinds past both — a panic inside the abort/compensation path itself,
+/// or an engine bug. It performs *hard containment*: no compensation (that
+/// is what just failed), but locks are released, active nodes aborted,
+/// waiters woken and the registry/WFG entries removed, so no other
+/// transaction ever hangs on the wreck.
+struct AbortGuard<'e> {
+    engine: &'e Engine,
+    shared: Arc<TxnShared>,
+    armed: bool,
+}
+
+impl Drop for AbortGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let engine = self.engine;
+        let top = self.shared.tree.top();
+        Stats::bump(&engine.deps.stats.aborts);
+        engine.discipline.top_finished(top);
+        for idx in self.shared.tree.active_nodes() {
+            self.shared.tree.abort(idx);
+            engine.deps.hub.node_finished(NodeRef { top, idx });
+        }
+        engine.deps.registry.remove(top);
+        engine.deps.wfg.finished(top);
+        engine
+            .deps
+            .sink
+            .record(Event::TopAbort { top, reason: "unwound past abort: hard containment".into() });
     }
 }
 

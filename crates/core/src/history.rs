@@ -69,6 +69,16 @@ pub enum Event {
         /// Why.
         reason: String,
     },
+    /// A compensation attempt of an aborting transaction failed
+    /// irrecoverably; the abort proceeds without it.
+    CompensationFailure {
+        /// The aborting transaction.
+        top: TopId,
+        /// The compensation failure.
+        error: String,
+        /// The abort cause that triggered the compensation.
+        original: String,
+    },
 }
 
 impl Event {
@@ -78,7 +88,8 @@ impl Event {
             Event::TopBegin { top, .. }
             | Event::Compensate { top, .. }
             | Event::TopCommit { top }
-            | Event::TopAbort { top, .. } => *top,
+            | Event::TopAbort { top, .. }
+            | Event::CompensationFailure { top, .. } => *top,
             Event::ActionStart { node, .. }
             | Event::Blocked { node, .. }
             | Event::Granted { node, .. }

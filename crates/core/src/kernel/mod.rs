@@ -223,6 +223,11 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
 
         let mut ticket: Option<u64> = None;
         let mut waited = false;
+        // The timeout backstop spans the whole request, not one episode:
+        // a request that keeps re-testing without ever being granted still
+        // hits the deadline.
+        let deadline =
+            self.deps.lock_wait_timeout.map(|timeout| std::time::Instant::now() + timeout);
 
         loop {
             if waited {
@@ -267,12 +272,22 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
                     }
 
                     loop {
-                        let outcome = cell.wait();
+                        let outcome = cell.wait_deadline(deadline);
                         if outcome == WaitOutcome::Killed {
                             self.deps.wfg.unblock(top);
                             self.cancel(&req, ticket);
                             Stats::bump(&stats.deadlocks);
                             return Err(SemccError::Deadlock);
+                        }
+                        if outcome == WaitOutcome::TimedOut {
+                            // Backstop against missed wake-ups: give up the
+                            // wait and abort the transaction. The queued
+                            // request is withdrawn exactly like a deadlock
+                            // victim's, so waiters blocked on it re-test.
+                            self.deps.wfg.unblock(top);
+                            self.cancel(&req, ticket);
+                            Stats::bump(&stats.lock_timeouts);
+                            return Err(SemccError::LockTimeout);
                         }
                         // A poke with an unchanged queue generation (and no
                         // blocker completion, which would change the
@@ -555,6 +570,7 @@ mod tests {
             sink: Arc::new(NullSink::new()),
             router: Arc::new(catalog.router()),
             storage: Arc::new(MemoryStore::new()),
+            lock_wait_timeout: None,
         }
     }
 
@@ -720,6 +736,41 @@ mod tests {
             kref.finish_top(t2);
             h.join().unwrap().unwrap();
         });
+    }
+
+    #[test]
+    fn lock_wait_times_out_and_withdraws_the_request() {
+        let mut d = deps();
+        d.lock_wait_timeout = Some(std::time::Duration::from_millis(40));
+        let k = rw_kernel(&d);
+        let t1 = d.registry.begin().top();
+        let t2 = d.registry.begin().top();
+        k.sequence(rw_req(t1, 7, RwMode::Write, false)).unwrap();
+        let err = k.sequence(rw_req(t2, 7, RwMode::Write, false)).unwrap_err();
+        assert_eq!(err, SemccError::LockTimeout);
+        assert_eq!(k.waiting_count(), 0, "the timed-out request left the queue");
+        assert_eq!(d.stats.snapshot().lock_timeouts, 1);
+        k.finish_top(t1);
+        assert_eq!(k.locked_keys(), 0);
+    }
+
+    #[test]
+    fn grant_beats_generous_timeout() {
+        let mut d = deps();
+        d.lock_wait_timeout = Some(std::time::Duration::from_secs(30));
+        let k = rw_kernel(&d);
+        let t1 = d.registry.begin().top();
+        let t2 = d.registry.begin().top();
+        k.sequence(rw_req(t1, 7, RwMode::Write, false)).unwrap();
+        let k2 = Arc::clone(&k);
+        let h =
+            std::thread::spawn(move || k2.sequence(rw_req(t2, 7, RwMode::Write, false)).unwrap());
+        while k.waiting_count() < 1 {
+            std::thread::yield_now();
+        }
+        k.finish_top(t1);
+        assert!(h.join().unwrap().waited);
+        assert_eq!(d.stats.snapshot().lock_timeouts, 0);
     }
 
     #[test]

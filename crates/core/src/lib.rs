@@ -37,6 +37,7 @@ pub mod config;
 pub mod deadlock;
 pub mod discipline;
 pub mod engine;
+pub mod fault;
 pub mod history;
 pub mod ids;
 pub mod kernel;
@@ -50,6 +51,10 @@ pub use deadlock::WaitsForGraph;
 pub use discipline::DisciplineDeps;
 pub use discipline::{AcquireRequest, Discipline, GrantInfo};
 pub use engine::{Engine, EngineBuilder, FnProgram, TransactionProgram, TxnOutcome};
+pub use fault::{
+    injected_panic, silence_injected_panics, FaultPlan, FaultSite, FaultSpec, FaultyStorage,
+    InjectedPanic,
+};
 pub use history::{Event, HistorySink, MemorySink, NullSink, Stamped};
 pub use ids::{NodeRef, TopId};
 pub use kernel::{

@@ -13,6 +13,7 @@ use crate::tree::Registry;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 #[derive(Debug, Default)]
 struct CellState {
@@ -40,6 +41,8 @@ pub enum WaitOutcome {
     Retest,
     /// This transaction was chosen as deadlock victim.
     Killed,
+    /// The wait exceeded its deadline (lock-wait timeout backstop).
+    TimedOut,
 }
 
 impl WaitCell {
@@ -79,6 +82,13 @@ impl WaitCell {
 
     /// Block until all pending completions arrived, a poke, or a kill.
     pub fn wait(&self) -> WaitOutcome {
+        self.wait_deadline(None)
+    }
+
+    /// Like [`WaitCell::wait`], but gives up once `deadline` passes.
+    /// Kills and re-test triggers that race with the deadline win: the
+    /// timeout only fires when there is genuinely nothing else to report.
+    pub fn wait_deadline(&self, deadline: Option<Instant>) -> WaitOutcome {
         let mut s = self.state.lock();
         loop {
             if s.killed {
@@ -87,7 +97,17 @@ impl WaitCell {
             if s.pending == 0 || s.poked {
                 return WaitOutcome::Retest;
             }
-            self.cv.wait(&mut s);
+            match deadline {
+                None => {
+                    self.cv.wait(&mut s);
+                }
+                Some(d) => {
+                    if Instant::now() >= d {
+                        return WaitOutcome::TimedOut;
+                    }
+                    let _ = self.cv.wait_until(&mut s, d);
+                }
+            }
         }
     }
 
@@ -220,6 +240,39 @@ mod tests {
         cell.complete_one();
         assert!(cell.had_completion(), "completions are never reset");
         assert_eq!(cell.wait(), WaitOutcome::Retest);
+    }
+
+    #[test]
+    fn deadline_fires_when_nothing_arrives() {
+        let cell = WaitCell::new();
+        cell.add_pending();
+        let deadline = Instant::now() + Duration::from_millis(30);
+        assert_eq!(cell.wait_deadline(Some(deadline)), WaitOutcome::TimedOut);
+        // State is untouched: a completion afterwards still resolves it.
+        cell.complete_one();
+        assert_eq!(cell.wait_deadline(Some(Instant::now())), WaitOutcome::Retest);
+    }
+
+    #[test]
+    fn completion_beats_deadline() {
+        let cell = WaitCell::new();
+        cell.add_pending();
+        let c2 = Arc::clone(&cell);
+        let h = std::thread::spawn(move || {
+            c2.wait_deadline(Some(Instant::now() + Duration::from_secs(30)))
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        cell.complete_one();
+        assert_eq!(h.join().unwrap(), WaitOutcome::Retest);
+    }
+
+    #[test]
+    fn kill_beats_expired_deadline() {
+        let cell = WaitCell::new();
+        cell.add_pending();
+        cell.kill();
+        // Even with a deadline already in the past, the kill is reported.
+        assert_eq!(cell.wait_deadline(Some(Instant::now())), WaitOutcome::Killed);
     }
 
     #[test]

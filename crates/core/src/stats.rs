@@ -89,6 +89,19 @@ counters! {
     /// Targeted pokes delivered to waiters subscribed to a removed lock
     /// entry (the kernel's replacement for broadcast re-tests).
     targeted_wakeups,
+    /// Transactions killed as deadlock victims by the waits-for graph
+    /// (mirrors `WaitsForGraph::victim_count`).
+    victims,
+    /// Lock waits aborted by the timeout backstop.
+    lock_timeouts,
+    /// Panics caught at a method-body or program boundary and converted
+    /// into ordinary aborts.
+    caught_panics,
+    /// Compensating invocations re-run after a retryable failure.
+    compensation_retries,
+    /// Top-level transactions transparently re-executed by
+    /// `execute_with_retry` after a deadlock or lock timeout.
+    txn_retries,
 }
 
 impl Stats {

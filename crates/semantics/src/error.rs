@@ -36,6 +36,14 @@ pub enum SemccError {
     Cancelled,
     /// Compensation of a committed subtransaction failed irrecoverably.
     CompensationFailed(String),
+    /// A method body (or transaction program) panicked; the panic was
+    /// contained and converted into an ordinary abort.
+    MethodPanicked(String),
+    /// A lock wait exceeded the configured deadline (the backstop against
+    /// missed wake-ups); the transaction aborts and may be retried.
+    LockTimeout,
+    /// A fault injected by the chaos harness (never raised in production).
+    FaultInjected(String),
     /// Any other internal invariant violation.
     Internal(String),
 }
@@ -60,6 +68,11 @@ impl fmt::Display for SemccError {
             SemccError::Aborted(msg) => write!(f, "transaction aborted: {msg}"),
             SemccError::Cancelled => write!(f, "operation cancelled"),
             SemccError::CompensationFailed(msg) => write!(f, "compensation failed: {msg}"),
+            SemccError::MethodPanicked(msg) => {
+                write!(f, "transaction aborted: method panicked: {msg}")
+            }
+            SemccError::LockTimeout => write!(f, "transaction aborted: lock wait timed out"),
+            SemccError::FaultInjected(site) => write!(f, "injected fault at {site}"),
             SemccError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -71,7 +84,21 @@ impl SemccError {
     /// Whether the error means the whole top-level transaction must abort
     /// (and may be retried by the application).
     pub fn is_abort(&self) -> bool {
-        matches!(self, SemccError::Deadlock | SemccError::Aborted(_) | SemccError::Cancelled)
+        matches!(
+            self,
+            SemccError::Deadlock
+                | SemccError::Aborted(_)
+                | SemccError::Cancelled
+                | SemccError::MethodPanicked(_)
+                | SemccError::LockTimeout
+        )
+    }
+
+    /// Whether the application may transparently re-run the transaction:
+    /// the abort was caused by contention (deadlock victim or lock-wait
+    /// timeout), not by the program's own logic.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SemccError::Deadlock | SemccError::LockTimeout)
     }
 }
 
@@ -94,7 +121,19 @@ mod tests {
         assert!(SemccError::Deadlock.is_abort());
         assert!(SemccError::Aborted("x".into()).is_abort());
         assert!(SemccError::Cancelled.is_abort());
+        assert!(SemccError::MethodPanicked("boom".into()).is_abort());
+        assert!(SemccError::LockTimeout.is_abort());
         assert!(!SemccError::NoSuchObject(ObjectId(1)).is_abort());
         assert!(!SemccError::Internal("x".into()).is_abort());
+        assert!(!SemccError::FaultInjected("storage".into()).is_abort());
+    }
+
+    #[test]
+    fn retry_classification() {
+        assert!(SemccError::Deadlock.is_retryable());
+        assert!(SemccError::LockTimeout.is_retryable());
+        assert!(!SemccError::Aborted("x".into()).is_retryable());
+        assert!(!SemccError::MethodPanicked("boom".into()).is_retryable());
+        assert!(!SemccError::FaultInjected("storage".into()).is_retryable());
     }
 }

@@ -19,6 +19,7 @@
 //!   execution. This is the detector that flags the Figure-5 anomaly of the
 //!   unsafe no-retention protocol.
 
+pub mod chaos;
 pub mod executor;
 pub mod metrics;
 pub mod protocols;
@@ -26,6 +27,7 @@ pub mod scenario;
 pub mod treeview;
 pub mod validate;
 
+pub use chaos::{fault_mixes, run_chaos, ChaosParams, ChaosReport};
 pub use executor::{run_workload, CommittedTxn, RunOutcome, RunParams};
 pub use metrics::RunMetrics;
 pub use protocols::{build_engine, build_engine_cfg, ProtocolKind};

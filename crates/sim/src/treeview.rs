@@ -105,7 +105,7 @@ impl TreeView {
                         t.aborted = true;
                     }
                 }
-                Event::Compensate { .. } => {}
+                Event::Compensate { .. } | Event::CompensationFailure { .. } => {}
             }
         }
         order.into_iter().filter_map(|t| trees.remove(&t)).collect()

@@ -27,6 +27,7 @@ fn deps_with_catalog(catalog: Catalog) -> DisciplineDeps {
         sink: Arc::new(NullSink::new()),
         router: Arc::new(catalog.router()),
         storage: Arc::new(MemoryStore::new()),
+        lock_wait_timeout: None,
     }
 }
 
