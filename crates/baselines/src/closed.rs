@@ -26,7 +26,8 @@
 //! transaction.
 
 use semcc_core::kernel::{
-    ConcurrencyKernel, EntryMode, KernelRequest, LockKey, Outcome, RwLockPolicy, RwMode,
+    ConcurrencyKernel, EntryMode, KernelRequest, LockKey, LockTableDump, Outcome, RwLockPolicy,
+    RwMode,
 };
 use semcc_core::stats::StatsSnapshot;
 use semcc_core::tree::TxnTree;
@@ -98,6 +99,10 @@ impl Discipline for ClosedNested {
     fn live_entries(&self) -> usize {
         self.kernel.granted_count() + self.kernel.waiting_count()
     }
+
+    fn lock_table(&self) -> LockTableDump {
+        self.kernel.dump()
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +127,7 @@ mod tests {
             router: Arc::new(catalog.router()),
             storage: Arc::new(MemoryStore::new()),
             lock_wait_timeout: None,
+            journal: None,
         }
     }
 

@@ -12,7 +12,7 @@
 //! upgrade, never a self-conflict.
 
 use semcc_core::kernel::{
-    ConcurrencyKernel, EntryMode, KernelRequest, LockKey, RwLockPolicy, RwMode,
+    ConcurrencyKernel, EntryMode, KernelRequest, LockKey, LockTableDump, RwLockPolicy, RwMode,
 };
 use semcc_core::stats::StatsSnapshot;
 use semcc_core::tree::TxnTree;
@@ -71,6 +71,10 @@ impl Discipline for FlatObject2pl {
 
     fn live_entries(&self) -> usize {
         self.kernel.granted_count() + self.kernel.waiting_count()
+    }
+
+    fn lock_table(&self) -> LockTableDump {
+        self.kernel.dump()
     }
 }
 
@@ -133,5 +137,9 @@ impl Discipline for Page2pl {
 
     fn live_entries(&self) -> usize {
         self.kernel.granted_count() + self.kernel.waiting_count()
+    }
+
+    fn lock_table(&self) -> LockTableDump {
+        self.kernel.dump()
     }
 }

@@ -43,7 +43,7 @@ fn bench_protocol_batch(c: &mut Criterion) {
                         let out = run_workload(
                             &engine,
                             batch,
-                            &RunParams { workers: 4, max_retries: 100_000, record_outcomes: false },
+                            &RunParams { workers: 4, max_retries: 100_000, ..Default::default() },
                         );
                         assert_eq!(out.metrics.failed, 0);
                     },

@@ -1,11 +1,11 @@
 //! The experiment driver: regenerates every evaluation artifact.
 //!
 //! ```text
-//! experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|chaos] [--quick]
+//! experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|chaos|observe] [--quick]
 //! ```
 
-use semcc_bench::figures;
 use semcc_bench::sweeps::{self, Scale};
+use semcc_bench::{figures, observe};
 
 fn print_and_save(title: &str, name: &str, table: semcc_bench::tables::Table) {
     println!("=== {title} ===\n");
@@ -85,6 +85,11 @@ fn main() {
                 sweeps::b6_chaos(scale, chaos_seeds),
             );
         }
+        "observe" => print_and_save(
+            "Observe: instrumented runs (journal + latency percentiles + lock-table sampler)",
+            "observe",
+            observe::observe_all(scale.txns, 8),
+        ),
         "all" => {
             for f in ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "containment"] {
                 run_figures(f);
@@ -129,7 +134,9 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment {other:?}");
-            eprintln!("usage: experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|chaos] [--quick]");
+            eprintln!(
+                "usage: experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|chaos|observe] [--quick]"
+            );
             std::process::exit(2);
         }
     }

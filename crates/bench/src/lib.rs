@@ -15,5 +15,6 @@
 //! Results are printed as text tables and written as CSV into `results/`.
 
 pub mod figures;
+pub mod observe;
 pub mod sweeps;
 pub mod tables;

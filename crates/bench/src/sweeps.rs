@@ -67,7 +67,7 @@ fn measure(
     let m = run_workload(
         &engine,
         batch,
-        &RunParams { workers, max_retries: 100_000, record_outcomes: false },
+        &RunParams { workers, max_retries: 100_000, ..Default::default() },
     )
     .metrics;
     eprintln!("[measure] {} workers={workers} done in {:?}", kind.name(), t0.elapsed());
@@ -117,8 +117,8 @@ pub fn b1_mpl_sweep(scale: Scale) -> Table {
 /// (fault-free) sweep; a non-zero cell flags a containment event.
 pub fn b2_contention_sweep(scale: Scale) -> Table {
     let mut t = Table::new(&[
-        "protocol", "items", "txn/s", "block%", "aborts", "targeted", "retests", "spurious",
-        "victims", "timeouts", "panics",
+        "protocol", "items", "txn/s", "p50us", "p95us", "p99us", "block%", "aborts", "targeted",
+        "retests", "spurious", "victims", "timeouts", "panics",
     ]);
     let wl =
         WorkloadConfig { mix: MixWeights::update_heavy(), zipf_theta: 0.6, ..Default::default() };
@@ -130,6 +130,9 @@ pub fn b2_contention_sweep(scale: Scale) -> Table {
                 kind.name().into(),
                 items.to_string(),
                 fmt_f(m.throughput),
+                m.commit_latency.p50_us.to_string(),
+                m.commit_latency.p95_us.to_string(),
+                m.commit_latency.p99_us.to_string(),
                 fmt_pct(m.block_ratio),
                 m.aborted_attempts.to_string(),
                 m.stats.targeted_wakeups.to_string(),

@@ -31,6 +31,10 @@ pub struct ProtocolConfig {
     /// instead of hanging forever. Generous by default so it never fires
     /// under healthy operation.
     pub lock_wait_timeout_ms: u64,
+    /// Capacity of the per-engine [event journal](crate::journal) ring
+    /// buffer (records). 0 — the default — disables journaling entirely:
+    /// the hot path then pays a single branch per would-be record.
+    pub journal_capacity: usize,
 }
 
 /// Default lock-wait timeout: long enough that it never fires under
@@ -46,6 +50,7 @@ impl ProtocolConfig {
             retain_locks: true,
             ancestor_check: true,
             lock_wait_timeout_ms: DEFAULT_LOCK_WAIT_TIMEOUT_MS,
+            journal_capacity: 0,
         }
     }
 
@@ -57,6 +62,7 @@ impl ProtocolConfig {
             retain_locks: true,
             ancestor_check: false,
             lock_wait_timeout_ms: DEFAULT_LOCK_WAIT_TIMEOUT_MS,
+            journal_capacity: 0,
         }
     }
 
@@ -68,12 +74,19 @@ impl ProtocolConfig {
             retain_locks: false,
             ancestor_check: true,
             lock_wait_timeout_ms: DEFAULT_LOCK_WAIT_TIMEOUT_MS,
+            journal_capacity: 0,
         }
     }
 
     /// Override the lock-wait timeout (0 disables it).
     pub fn with_lock_timeout_ms(mut self, ms: u64) -> Self {
         self.lock_wait_timeout_ms = ms;
+        self
+    }
+
+    /// Enable the event journal with the given ring capacity (0 disables).
+    pub fn with_journal_capacity(mut self, records: usize) -> Self {
+        self.journal_capacity = records;
         self
     }
 
@@ -116,5 +129,12 @@ mod tests {
         assert_eq!(off.lock_wait_timeout(), None);
         let tight = s.with_lock_timeout_ms(50);
         assert_eq!(tight.lock_wait_timeout(), Some(std::time::Duration::from_millis(50)));
+    }
+
+    #[test]
+    fn journal_knob() {
+        assert_eq!(ProtocolConfig::semantic().journal_capacity, 0, "off by default");
+        let on = ProtocolConfig::semantic().with_journal_capacity(4096);
+        assert_eq!(on.journal_capacity, 4096);
     }
 }

@@ -9,6 +9,8 @@
 use crate::deadlock::WaitsForGraph;
 use crate::history::HistorySink;
 use crate::ids::{NodeRef, TopId};
+use crate::journal::EventJournal;
+use crate::kernel::LockTableDump;
 use crate::notify::CompletionHub;
 use crate::stats::{Stats, StatsSnapshot};
 use crate::tree::{ChainLink, Registry, TxnTree};
@@ -40,6 +42,11 @@ pub struct DisciplineDeps {
     /// (`None` disables it). Populated from
     /// [`ProtocolConfig::lock_wait_timeout`](crate::config::ProtocolConfig).
     pub lock_wait_timeout: Option<Duration>,
+    /// The structured event journal (`None` when disabled). Populated from
+    /// [`ProtocolConfig::journal_capacity`](crate::config::ProtocolConfig);
+    /// the kernel, the conflict test and the engine all write through this
+    /// handle, so every discipline emits the same event vocabulary.
+    pub journal: Option<Arc<EventJournal>>,
 }
 
 /// A lock acquisition request for one action of a transaction tree.
@@ -96,4 +103,9 @@ pub trait Discipline: Send + Sync {
     /// discipline's kernel. Must be zero once every transaction has
     /// finished — the chaos harness asserts this to detect leaked locks.
     fn live_entries(&self) -> usize;
+
+    /// Point-in-time snapshot of the discipline's lock table (per-shard
+    /// entry counts, queue depths, retained vs. held locks, oldest waiter
+    /// age) for the observability sampler and the `observe` report.
+    fn lock_table(&self) -> LockTableDump;
 }

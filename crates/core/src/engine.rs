@@ -24,6 +24,8 @@ use crate::discipline::{AcquireRequest, Discipline, DisciplineDeps, GrantInfo};
 use crate::fault::{injected_panic, FaultPlan, FaultSite, InjectedPanic};
 use crate::history::{Event, HistorySink, NullSink};
 use crate::ids::{NodeRef, TopId};
+use crate::journal::{EventJournal, JournalKind};
+use crate::kernel::LockTableDump;
 use crate::lock::SemanticLockManager;
 use crate::notify::CompletionHub;
 use crate::stats::{Stats, StatsSnapshot};
@@ -195,9 +197,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Enable the event journal with the given ring capacity (0 disables;
+    /// applies to any discipline).
+    pub fn journal_capacity(mut self, records: usize) -> Self {
+        self.config.journal_capacity = records;
+        self
+    }
+
     /// Build the engine.
     pub fn build(self) -> Arc<Engine> {
         let stats = Arc::new(Stats::default());
+        let journal = (self.config.journal_capacity > 0)
+            .then(|| Arc::new(EventJournal::new(self.config.journal_capacity)));
         let deps = DisciplineDeps {
             registry: Arc::new(Registry::new()),
             hub: Arc::new(CompletionHub::new()),
@@ -207,6 +218,7 @@ impl EngineBuilder {
             router: Arc::new(self.catalog.router()),
             storage: Arc::clone(&self.storage),
             lock_wait_timeout: self.config.lock_wait_timeout(),
+            journal,
         };
         let discipline: Arc<dyn Discipline> = match self.discipline_factory {
             Some(f) => f(&deps),
@@ -278,6 +290,25 @@ impl Engine {
     /// harness asserts this to detect leaked locks.
     pub fn lock_entries(&self) -> usize {
         self.discipline.live_entries()
+    }
+
+    /// The event journal, if enabled via
+    /// [`ProtocolConfig::journal_capacity`] /
+    /// [`EngineBuilder::journal_capacity`].
+    pub fn journal(&self) -> Option<&Arc<EventJournal>> {
+        self.deps.journal.as_ref()
+    }
+
+    /// Snapshot of the active discipline's lock table.
+    pub fn lock_table(&self) -> LockTableDump {
+        self.discipline.lock_table()
+    }
+
+    /// Append one record to the event journal, if one is attached.
+    fn journal_record(&self, kind: JournalKind, node: NodeRef, aux: u64) {
+        if let Some(j) = &self.deps.journal {
+            j.record(kind, node.top.0, node.idx, 0, 0, 0, aux);
+        }
     }
 
     /// Execute a top-level transaction: commit on `Ok`, abort with
@@ -372,6 +403,7 @@ impl Engine {
         self.deps.wfg.finished(top);
         Stats::bump(&self.deps.stats.commits);
         self.deps.sink.record(Event::TopCommit { top });
+        self.journal_record(JournalKind::TopCommit, NodeRef::root(top), 0);
     }
 
     fn abort(
@@ -411,6 +443,7 @@ impl Engine {
         self.deps.registry.remove(top);
         self.deps.wfg.finished(top);
         self.deps.sink.record(Event::TopAbort { top, reason: reason.to_string() });
+        self.journal_record(JournalKind::TopAbort, NodeRef::root(top), 0);
     }
 
     /// Execute compensations in reverse chronological order, retrying on
@@ -424,6 +457,17 @@ impl Engine {
                     inv: Arc::new(inv.clone()),
                 });
                 Stats::bump(&self.deps.stats.compensations);
+                if let Some(j) = &self.deps.journal {
+                    j.record(
+                        JournalKind::Compensation,
+                        shared.tree.top().0,
+                        0,
+                        0,
+                        0,
+                        inv.object.0,
+                        u64::from(attempts),
+                    );
+                }
                 if let Some(plan) = &self.faults {
                     if plan.should_fire(FaultSite::Compensation) {
                         return Err(SemccError::CompensationFailed(format!(
@@ -502,6 +546,7 @@ impl Engine {
                 self.discipline.node_completed(tree, child);
                 self.deps.hub.node_finished(node);
                 self.deps.sink.record(Event::ActionComplete { node });
+                self.journal_record(JournalKind::SubCommit, node, 0);
                 Ok((value, comp))
             }
             Err(e) => {
@@ -682,6 +727,7 @@ impl Drop for AbortGuard<'_> {
             .deps
             .sink
             .record(Event::TopAbort { top, reason: "unwound past abort: hard containment".into() });
+        engine.journal_record(JournalKind::TopAbort, NodeRef::root(top), 1);
     }
 }
 

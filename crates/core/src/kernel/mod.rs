@@ -35,6 +35,7 @@ use crate::deadlock::BlockDecision;
 use crate::discipline::DisciplineDeps;
 use crate::history::Event;
 use crate::ids::{NodeRef, TopId};
+use crate::journal::JournalKind;
 use crate::notify::{WaitCell, WaitOutcome};
 use crate::stats::Stats;
 use parking_lot::Mutex;
@@ -167,6 +168,67 @@ enum Scan {
     Blocked { cell: Arc<WaitCell>, blockers: Vec<NodeRef>, generation: u64 },
 }
 
+/// Point-in-time snapshot of a kernel's lock table, taken shard by shard
+/// (each shard is latched briefly; the table as a whole is not frozen).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LockTableDump {
+    /// Keys with a live queue.
+    pub keys: usize,
+    /// Granted entries currently held (not retained).
+    pub held: usize,
+    /// Granted entries converted into retained locks.
+    pub retained: usize,
+    /// Queued (waiting) requests.
+    pub waiting: usize,
+    /// Deepest wait queue across all keys.
+    pub max_queue_depth: usize,
+    /// Age of the oldest queued request, microseconds (0 when idle).
+    pub oldest_waiter_us: u64,
+    /// Live keys per shard, for skew diagnosis. Empty queues are
+    /// garbage-collected eagerly, so these count contended-or-held keys.
+    pub per_shard_keys: Vec<usize>,
+}
+
+impl LockTableDump {
+    /// Shards with at least one live key.
+    pub fn occupied_shards(&self) -> usize {
+        self.per_shard_keys.iter().filter(|&&n| n > 0).count()
+    }
+
+    /// Render as a JSON object (hand-rolled; per-shard counts included).
+    pub fn to_json(&self) -> String {
+        let shards: Vec<String> = self.per_shard_keys.iter().map(|n| n.to_string()).collect();
+        format!(
+            "{{\"keys\":{},\"held\":{},\"retained\":{},\"waiting\":{},\
+             \"max_queue_depth\":{},\"oldest_waiter_us\":{},\"per_shard_keys\":[{}]}}",
+            self.keys,
+            self.held,
+            self.retained,
+            self.waiting,
+            self.max_queue_depth,
+            self.oldest_waiter_us,
+            shards.join(",")
+        )
+    }
+}
+
+impl std::fmt::Display for LockTableDump {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "keys={} held={} retained={} waiting={} max_queue={} oldest_wait={}us shards={}/{}",
+            self.keys,
+            self.held,
+            self.retained,
+            self.waiting,
+            self.max_queue_depth,
+            self.oldest_waiter_us,
+            self.occupied_shards(),
+            self.per_shard_keys.len()
+        )
+    }
+}
+
 /// The shared sequencing core. Owns the 64-way sharded lock table and the
 /// equally sharded held-locks release index.
 pub struct ConcurrencyKernel<P> {
@@ -207,17 +269,26 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
         self.held_shard(top).lock().entry(top).or_default().insert(key);
     }
 
+    /// Append one record to the event journal, if one is attached.
+    fn journal(&self, kind: JournalKind, node: NodeRef, other: NodeRef, key: LockKey, aux: u64) {
+        if let Some(j) = &self.deps.journal {
+            j.record(kind, node.top.0, node.idx, other.top.0, other.idx, key.raw(), aux);
+        }
+    }
+
     /// Phase one: test, enqueue, wait — until the lock is granted or the
     /// transaction is chosen as deadlock victim.
     pub fn sequence(&self, req: KernelRequest) -> Result<KernelGuard> {
         let top = req.node.top;
         let stats = &self.deps.stats;
         Stats::bump(&stats.lock_requests);
+        self.journal(JournalKind::LockRequest, req.node, req.node, req.key, 0);
 
         // A doomed deadlock victim discovers its fate at the next lock
         // request (unless it is already compensating its way out).
         if !req.compensating && self.deps.wfg.is_doomed(top) {
             Stats::bump(&stats.deadlocks);
+            self.journal(JournalKind::VictimSelected, req.node, req.node, req.key, 0);
             return Err(SemccError::Deadlock);
         }
 
@@ -241,6 +312,13 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
                         Stats::bump(&stats.immediate_grants);
                     }
                     self.deps.sink.record(Event::Granted { node: req.node, waited });
+                    self.journal(
+                        JournalKind::LockGrant,
+                        req.node,
+                        req.node,
+                        req.key,
+                        u64::from(waited),
+                    );
                     return Ok(KernelGuard { key: req.key, owner: req.owner, waited });
                 }
                 Scan::Blocked { cell, blockers, generation } => {
@@ -252,6 +330,13 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
                     waited = true;
                     Stats::bump(&stats.wait_episodes);
                     self.deps.sink.record(Event::Blocked { node: req.node, on: blockers.clone() });
+                    self.journal(
+                        JournalKind::LockWait,
+                        req.node,
+                        blockers[0],
+                        req.key,
+                        blockers.len() as u64,
+                    );
 
                     // Deadlock detection on the transaction-level
                     // waits-for graph.
@@ -260,6 +345,13 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
                         BlockDecision::VictimSelf => {
                             self.cancel(&req, ticket);
                             Stats::bump(&stats.deadlocks);
+                            self.journal(
+                                JournalKind::VictimSelected,
+                                req.node,
+                                blockers[0],
+                                req.key,
+                                0,
+                            );
                             return Err(SemccError::Deadlock);
                         }
                         BlockDecision::Wait => {}
@@ -277,6 +369,13 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
                             self.deps.wfg.unblock(top);
                             self.cancel(&req, ticket);
                             Stats::bump(&stats.deadlocks);
+                            self.journal(
+                                JournalKind::VictimSelected,
+                                req.node,
+                                req.node,
+                                req.key,
+                                0,
+                            );
                             return Err(SemccError::Deadlock);
                         }
                         if outcome == WaitOutcome::TimedOut {
@@ -287,6 +386,7 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
                             self.deps.wfg.unblock(top);
                             self.cancel(&req, ticket);
                             Stats::bump(&stats.lock_timeouts);
+                            self.journal(JournalKind::LockTimeout, req.node, req.node, req.key, 0);
                             return Err(SemccError::LockTimeout);
                         }
                         // A poke with an unchanged queue generation (and no
@@ -405,6 +505,7 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
                         },
                         cell: Arc::clone(&cell),
                         conflict_srcs: srcs,
+                        enqueued_at: std::time::Instant::now(),
                     });
                 }
                 Some(t) => {
@@ -544,6 +645,36 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
         self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
+    /// Snapshot the lock table for introspection. Shards are latched one
+    /// at a time, so the dump is internally consistent per shard but not
+    /// across shards — fine for monitoring, useless for invariants.
+    pub fn dump(&self) -> LockTableDump {
+        let now = std::time::Instant::now();
+        let mut d =
+            LockTableDump { per_shard_keys: Vec::with_capacity(SHARD_COUNT), ..Default::default() };
+        for shard in &self.shards {
+            let shard = shard.lock();
+            d.per_shard_keys.push(shard.len());
+            d.keys += shard.len();
+            for q in shard.values() {
+                for e in &q.granted {
+                    if e.retained {
+                        d.retained += 1;
+                    } else {
+                        d.held += 1;
+                    }
+                }
+                d.waiting += q.waiting.len();
+                d.max_queue_depth = d.max_queue_depth.max(q.waiting.len());
+                for w in &q.waiting {
+                    let age = now.saturating_duration_since(w.enqueued_at).as_micros() as u64;
+                    d.oldest_waiter_us = d.oldest_waiter_us.max(age);
+                }
+            }
+        }
+        d
+    }
+
     #[cfg(test)]
     fn first_waiting_cell(&self, key: LockKey) -> Option<Arc<WaitCell>> {
         self.with_queue(key, |q| q.waiting.first().map(|w| Arc::clone(&w.cell)))
@@ -571,6 +702,7 @@ mod tests {
             router: Arc::new(catalog.router()),
             storage: Arc::new(MemoryStore::new()),
             lock_wait_timeout: None,
+            journal: None,
         }
     }
 
@@ -771,6 +903,43 @@ mod tests {
         k.finish_top(t1);
         assert!(h.join().unwrap().waited);
         assert_eq!(d.stats.snapshot().lock_timeouts, 0);
+    }
+
+    #[test]
+    fn dump_and_journal_observe_a_blocked_request() {
+        let mut d = deps();
+        let journal = Arc::new(crate::journal::EventJournal::new(64));
+        d.journal = Some(Arc::clone(&journal));
+        let k = rw_kernel(&d);
+        let t1 = d.registry.begin().top();
+        let t2 = d.registry.begin().top();
+        k.sequence(rw_req(t1, 7, RwMode::Write, false)).unwrap();
+        let k2 = Arc::clone(&k);
+        let h =
+            std::thread::spawn(move || k2.sequence(rw_req(t2, 7, RwMode::Read, false)).unwrap());
+        while k.waiting_count() < 1 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+
+        let dump = k.dump();
+        assert_eq!((dump.keys, dump.held, dump.retained, dump.waiting), (1, 1, 0, 1));
+        assert_eq!(dump.max_queue_depth, 1);
+        assert_eq!(dump.per_shard_keys.len(), SHARD_COUNT);
+        assert_eq!(dump.occupied_shards(), 1);
+        assert!(dump.oldest_waiter_us > 0, "waiter age is measured: {dump}");
+        assert!(dump.to_json().contains("\"waiting\":1"));
+
+        k.finish_top(t1);
+        h.join().unwrap();
+        k.finish_top(t2);
+        let after = k.dump();
+        assert_eq!((after.keys, after.held, after.waiting, after.oldest_waiter_us), (0, 0, 0, 0));
+
+        let kinds: Vec<JournalKind> = journal.snapshot().iter().map(|r| r.kind).collect();
+        for expected in [JournalKind::LockRequest, JournalKind::LockGrant, JournalKind::LockWait] {
+            assert!(kinds.contains(&expected), "missing {expected:?} in {kinds:?}");
+        }
     }
 
     #[test]

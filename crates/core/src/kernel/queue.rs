@@ -34,6 +34,15 @@ impl LockKey {
             LockKey::Page(p) => p.0 as usize,
         }
     }
+
+    /// Journal wire encoding: object ids verbatim, page ids tagged with
+    /// the top bit (ids never get near 2^63 in practice).
+    pub fn raw(self) -> u64 {
+        match self {
+            LockKey::Object(o) => o.0,
+            LockKey::Page(p) => (1 << 63) | p.0,
+        }
+    }
 }
 
 impl std::fmt::Display for LockKey {
@@ -122,6 +131,9 @@ pub(crate) struct Waiter {
     /// The eids of the queue entries the last conflict scan failed
     /// against: this waiter is poked exactly when one of them is removed.
     pub conflict_srcs: Vec<u64>,
+    /// When the request first entered the queue (introspection: oldest
+    /// waiter age; survives re-test episodes).
+    pub enqueued_at: std::time::Instant,
 }
 
 /// Whether ticket `a` was issued before ticket `b`, correct across u64
@@ -223,7 +235,13 @@ mod tests {
         let entry = entry(q, top);
         let cell = WaitCell::new();
         cell.add_pending();
-        q.waiting.push(Waiter { ticket, entry, cell: Arc::clone(&cell), conflict_srcs: srcs });
+        q.waiting.push(Waiter {
+            ticket,
+            entry,
+            cell: Arc::clone(&cell),
+            conflict_srcs: srcs,
+            enqueued_at: std::time::Instant::now(),
+        });
         (ticket, cell)
     }
 

@@ -38,8 +38,10 @@ pub mod deadlock;
 pub mod discipline;
 pub mod engine;
 pub mod fault;
+pub mod hist;
 pub mod history;
 pub mod ids;
+pub mod journal;
 pub mod kernel;
 pub mod lock;
 pub mod notify;
@@ -55,11 +57,13 @@ pub use fault::{
     injected_panic, silence_injected_panics, FaultPlan, FaultSite, FaultSpec, FaultyStorage,
     InjectedPanic,
 };
+pub use hist::{HistogramSummary, LatencyHistogram};
 pub use history::{Event, HistorySink, MemorySink, NullSink, Stamped};
 pub use ids::{NodeRef, TopId};
+pub use journal::{validate_json_line, EventJournal, JournalKind, JournalRecord, JOURNAL_FIELDS};
 pub use kernel::{
-    ConcurrencyKernel, EntryMode, KernelGuard, KernelPolicy, KernelRequest, LockKey, Outcome,
-    RwLockPolicy, RwMode,
+    ConcurrencyKernel, EntryMode, KernelGuard, KernelPolicy, KernelRequest, LockKey, LockTableDump,
+    Outcome, RwLockPolicy, RwMode,
 };
 pub use lock::SemanticLockManager;
 pub use stats::{Stats, StatsSnapshot};

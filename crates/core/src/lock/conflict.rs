@@ -20,6 +20,7 @@
 
 use crate::config::ProtocolConfig;
 use crate::ids::NodeRef;
+use crate::journal::{EventJournal, JournalKind};
 use crate::lock::entry::LockEntry;
 use crate::stats::Stats;
 use crate::tree::{ChainLink, Registry};
@@ -40,15 +41,26 @@ pub struct Requestor<'a> {
 /// Returns `None` if no conflict exists (the lock may be granted as far as
 /// `h` is concerned) or `Some(node)` — the (sub)transaction whose
 /// completion `r` has to wait for.
+///
+/// When an event `journal` is attached, the three Figure-9 decisions are
+/// recorded with requestor and holder-side ids (`other` = the committed or
+/// awaited ancestor in Cases 1/2, the holder's root in the worst case), so
+/// a drained journal shows *which* conflict rule fired on which object.
 pub fn test_conflict(
     router: &SemanticsRouter,
     registry: &Registry,
     cfg: &ProtocolConfig,
     stats: &Stats,
+    journal: Option<&EventJournal>,
     h: &LockEntry,
     r: &Requestor<'_>,
 ) -> Option<NodeRef> {
     Stats::bump(&stats.conflict_tests);
+    let decide = |kind: JournalKind, other: NodeRef| {
+        if let Some(j) = journal {
+            j.record(kind, r.node.top.0, r.node.idx, other.top.0, other.idx, r.inv.object.0, 0);
+        }
+    };
 
     // "h and r belong to the same top-level transaction": retained and held
     // locks of a transaction never block its own later subtransactions.
@@ -74,11 +86,13 @@ pub fn test_conflict(
                         // formal conflict is an implementation-level
                         // pseudo-conflict; grant.
                         Stats::bump(&stats.case1_grants);
+                        decide(JournalKind::Case1Grant, hl.node);
                         return None;
                     }
                     // Case 2: commutative but not yet committed ancestor —
                     // r may be resumed upon completion of h'.
                     Stats::bump(&stats.case2_waits);
+                    decide(JournalKind::Case2Wait, hl.node);
                     return Some(hl.node);
                 }
             }
@@ -87,7 +101,9 @@ pub fn test_conflict(
 
     // Worst case: waiting for the top-level commit of h's transaction.
     Stats::bump(&stats.root_waits);
-    Some(NodeRef::root(h.node.top))
+    let root = NodeRef::root(h.node.top);
+    decide(JournalKind::RootWait, root);
+    Some(root)
 }
 
 #[cfg(test)]
@@ -137,7 +153,16 @@ mod tests {
         }
 
         fn test(&self, h: &LockEntry, r: &Requestor<'_>) -> Option<NodeRef> {
-            test_conflict(&self.router, &self.registry, &self.cfg, &self.stats, h, r)
+            test_conflict(&self.router, &self.registry, &self.cfg, &self.stats, None, h, r)
+        }
+
+        fn test_journaled(
+            &self,
+            j: &EventJournal,
+            h: &LockEntry,
+            r: &Requestor<'_>,
+        ) -> Option<NodeRef> {
+            test_conflict(&self.router, &self.registry, &self.cfg, &self.stats, Some(j), h, r)
         }
     }
 
@@ -272,6 +297,31 @@ mod tests {
         assert_eq!(fx.test(&h, &r), Some(NodeRef::root(h_tree.top())));
         assert_eq!(fx.stats.snapshot().case1_grants, 0);
         assert_eq!(fx.stats.snapshot().root_waits, 1);
+    }
+
+    #[test]
+    fn decisions_reach_the_journal_with_both_parties() {
+        let (fx, t) = Fixture::new(ProtocolConfig::semantic());
+        let j = EventJournal::new(16);
+
+        // Case 2 first (ancestor still running), then complete it → Case 1.
+        let (h_tree, h, m_idx) = entry_under_method(&fx, t, 0, 5, put(10));
+        let (_r_tree, inv, chain, node) = requestor_under_method(&fx, t, 1, 5, get(10));
+        let r = Requestor { node, inv: &inv, chain: &chain };
+        fx.test_journaled(&j, &h, &r);
+        h_tree.complete(m_idx);
+        fx.test_journaled(&j, &h, &r);
+
+        let recs = j.snapshot();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].kind, JournalKind::Case2Wait);
+        assert_eq!(recs[1].kind, JournalKind::Case1Grant);
+        for rec in &recs {
+            assert_eq!(rec.top, node.top.0, "requestor side");
+            assert_eq!(rec.other_top, h_tree.top().0, "holder side");
+            assert_eq!(rec.other_node, m_idx, "the commutative ancestor");
+            assert_eq!(rec.key, 10, "the contested object");
+        }
     }
 
     #[test]

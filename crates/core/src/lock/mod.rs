@@ -28,7 +28,10 @@ pub mod entry;
 use crate::config::ProtocolConfig;
 use crate::discipline::{AcquireRequest, Discipline, DisciplineDeps, GrantInfo};
 use crate::ids::{NodeRef, TopId};
-use crate::kernel::{ConcurrencyKernel, EntryMode, KernelPolicy, KernelRequest, LockKey, Outcome};
+use crate::journal::EventJournal;
+use crate::kernel::{
+    ConcurrencyKernel, EntryMode, KernelPolicy, KernelRequest, LockKey, LockTableDump, Outcome,
+};
 use crate::lock::conflict::{test_conflict, Requestor};
 use crate::lock::entry::LockEntry;
 use crate::stats::{Stats, StatsSnapshot};
@@ -43,6 +46,7 @@ pub struct SemanticPolicy {
     router: Arc<SemanticsRouter>,
     registry: Arc<Registry>,
     stats: Arc<Stats>,
+    journal: Option<Arc<EventJournal>>,
 }
 
 impl KernelPolicy for SemanticPolicy {
@@ -50,7 +54,15 @@ impl KernelPolicy for SemanticPolicy {
         let h = held.mode.semantic().expect("semantic kernel holds semantic entries");
         let r = req.mode.semantic().expect("semantic kernel receives semantic requests");
         let requestor = Requestor { node: req.node, inv: &r.inv, chain: &r.chain };
-        test_conflict(&self.router, &self.registry, &self.cfg, &self.stats, h, &requestor)
+        test_conflict(
+            &self.router,
+            &self.registry,
+            &self.cfg,
+            &self.stats,
+            self.journal.as_deref(),
+            h,
+            &requestor,
+        )
     }
 
     /// The paper requires FCFS granting among conflicting requests
@@ -81,6 +93,7 @@ impl SemanticLockManager {
             router: Arc::clone(&deps.router),
             registry: Arc::clone(&deps.registry),
             stats: Arc::clone(&deps.stats),
+            journal: deps.journal.clone(),
         };
         let kernel = ConcurrencyKernel::new(policy, deps.clone());
         Arc::new(SemanticLockManager { cfg, deps, kernel })
@@ -148,6 +161,10 @@ impl Discipline for SemanticLockManager {
     fn live_entries(&self) -> usize {
         self.kernel.granted_count() + self.kernel.waiting_count()
     }
+
+    fn lock_table(&self) -> LockTableDump {
+        self.kernel.dump()
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +189,7 @@ mod tests {
             router: Arc::new(catalog.router()),
             storage: Arc::new(MemoryStore::new()),
             lock_wait_timeout: None,
+            journal: None,
         }
     }
 

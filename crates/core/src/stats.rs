@@ -37,6 +37,24 @@ macro_rules! counters {
                     $($name: self.$name.saturating_sub(earlier.$name),)+
                 }
             }
+
+            /// `(name, value)` pairs in declaration order — the single
+            /// source of truth for JSON and metrics-exposition rendering
+            /// (a counter added to the macro shows up everywhere).
+            pub fn field_pairs(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($name), self.$name),)+]
+            }
+
+            /// Rebuild a snapshot from `(name, value)` pairs; unknown names
+            /// are ignored, missing ones default to 0.
+            pub fn from_field_pairs(pairs: &[(&str, u64)]) -> StatsSnapshot {
+                let get = |name: &str| {
+                    pairs.iter().find(|(n, _)| *n == name).map(|(_, v)| *v).unwrap_or(0)
+                };
+                StatsSnapshot {
+                    $($name: get(stringify!($name)),)+
+                }
+            }
         }
     };
 }
@@ -138,6 +156,21 @@ mod tests {
         let d = b.delta(&a);
         assert_eq!(d.commits, 2);
         assert_eq!(d.aborts, 0);
+    }
+
+    #[test]
+    fn field_pairs_roundtrip_and_cover_every_counter() {
+        let s = Stats::default();
+        Stats::bump(&s.case2_waits);
+        Stats::bump(&s.case2_waits);
+        Stats::bump(&s.victims);
+        let snap = s.snapshot();
+        let pairs = snap.field_pairs();
+        assert!(pairs.iter().any(|&(n, v)| n == "case2_waits" && v == 2));
+        assert!(pairs.iter().any(|&(n, v)| n == "victims" && v == 1));
+        assert!(pairs.len() >= 20, "every declared counter is listed");
+        let rebuilt = StatsSnapshot::from_field_pairs(&pairs);
+        assert_eq!(rebuilt, snap);
     }
 
     #[test]

@@ -163,7 +163,7 @@ pub fn run_chaos(params: &ChaosParams) -> ChaosReport {
         &RunParams {
             workers: params.workers,
             max_retries: params.max_retries,
-            record_outcomes: false,
+            ..Default::default()
         },
     );
 

@@ -28,9 +28,9 @@ pub mod treeview;
 pub mod validate;
 
 pub use chaos::{fault_mixes, run_chaos, ChaosParams, ChaosReport};
-pub use executor::{run_workload, CommittedTxn, RunOutcome, RunParams};
+pub use executor::{run_workload, CommittedTxn, LockTableSample, RunOutcome, RunParams};
 pub use metrics::RunMetrics;
-pub use protocols::{build_engine, build_engine_cfg, ProtocolKind};
+pub use protocols::{build_engine, build_engine_cfg, build_engine_observed, ProtocolKind};
 pub use scenario::Gate;
 pub use treeview::TreeView;
 pub use validate::{check_semantic_graph, check_state_equivalence, GraphReport};

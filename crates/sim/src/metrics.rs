@@ -1,11 +1,16 @@
 //! Run metrics.
+//!
+//! Serialization is hand-rolled: the vendored serde facade accepts derives
+//! but emits unit values and refuses to deserialize, so the old
+//! `#[serde(with = "duration_micros")] elapsed: Duration` field silently
+//! produced nothing. The schema is now explicit — `elapsed_us: u64` plus
+//! [`RunMetrics::to_json`]/[`RunMetrics::from_json`] that really roundtrip.
 
-use semcc_core::StatsSnapshot;
-use serde::{Deserialize, Serialize};
+use semcc_core::{HistogramSummary, StatsSnapshot};
 use std::time::Duration;
 
 /// Aggregated results of one workload run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunMetrics {
     /// Protocol display name.
     pub protocol: String,
@@ -13,50 +18,175 @@ pub struct RunMetrics {
     pub workers: usize,
     /// Committed transactions.
     pub committed: u64,
-    /// Aborted attempts (deadlock victims that were retried).
+    /// Aborted attempts of transactions that eventually *committed*
+    /// (deadlock / lock-timeout victims that retried successfully).
     pub aborted_attempts: u64,
-    /// Transactions that exhausted their retries.
+    /// Aborted attempts of transactions that eventually *failed* (retries
+    /// burned before the final give-up; the give-up itself is `failed`).
+    pub failed_attempts: u64,
+    /// Transactions that exhausted their retries or hit a
+    /// non-retryable error.
     pub failed: u64,
-    /// Wall-clock duration of the run.
-    #[serde(with = "duration_micros")]
-    pub elapsed: Duration,
+    /// Wall-clock duration of the run, microseconds (see
+    /// [`RunMetrics::elapsed`]).
+    pub elapsed_us: u64,
     /// Committed transactions per second.
     pub throughput: f64,
-    /// Mean latency per committed transaction (µs).
+    /// Mean latency per **committed** transaction (µs); failed
+    /// transactions are accounted in `failed_latency` instead.
     pub mean_latency_us: f64,
     /// Fraction of lock requests that had to wait.
     pub block_ratio: f64,
+    /// Latency distribution of committed transactions.
+    pub commit_latency: HistogramSummary,
+    /// Latency distribution of failed (given-up) transactions.
+    pub failed_latency: HistogramSummary,
     /// Protocol counter snapshot (deltas for this run).
     pub stats: StatsSnapshot,
 }
 
-// The vendored serde derive ignores `#[serde(with = ...)]`, leaving these
-// helpers unreferenced; they stay for compatibility with the real serde.
-#[allow(dead_code)]
-mod duration_micros {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-    use std::time::Duration;
-
-    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
-        (d.as_micros() as u64).serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
-        Ok(Duration::from_micros(u64::deserialize(d)?))
+/// Extract the value span of `"name":` in a JSON object string: the bare
+/// token for scalars, the balanced `{…}` span for objects.
+fn json_value<'a>(s: &'a str, name: &str) -> Result<&'a str, String> {
+    let pat = format!("\"{name}\":");
+    let at = s.find(&pat).ok_or_else(|| format!("missing field {name:?}"))?;
+    let rest = &s[at + pat.len()..];
+    if let Some(inner) = rest.strip_prefix('{') {
+        let mut depth = 1usize;
+        for (i, b) in inner.bytes().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(&rest[..i + 2]);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Err(format!("unbalanced object for {name:?}"))
+    } else if let Some(inner) = rest.strip_prefix('"') {
+        let end = inner.find('"').ok_or_else(|| format!("unterminated string for {name:?}"))?;
+        Ok(&inner[..end])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Ok(rest[..end].trim())
     }
 }
 
+fn parse_num<T: std::str::FromStr>(s: &str, name: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse::<T>().map_err(|e| format!("bad {name:?} ({s:?}): {e}"))
+}
+
 impl RunMetrics {
+    /// The run's wall-clock duration.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_micros(self.elapsed_us)
+    }
+
+    /// Render as a JSON object. Floats use Rust's shortest-roundtrip
+    /// formatting, so `from_json` reproduces them exactly.
+    pub fn to_json(&self) -> String {
+        let stats: Vec<String> =
+            self.stats.field_pairs().into_iter().map(|(n, v)| format!("\"{n}\":{v}")).collect();
+        format!(
+            "{{\"protocol\":\"{}\",\"workers\":{},\"committed\":{},\
+             \"aborted_attempts\":{},\"failed_attempts\":{},\"failed\":{},\
+             \"elapsed_us\":{},\"throughput\":{},\"mean_latency_us\":{},\
+             \"block_ratio\":{},\"commit_latency\":{},\"failed_latency\":{},\
+             \"stats\":{{{}}}}}",
+            self.protocol,
+            self.workers,
+            self.committed,
+            self.aborted_attempts,
+            self.failed_attempts,
+            self.failed,
+            self.elapsed_us,
+            self.throughput,
+            self.mean_latency_us,
+            self.block_ratio,
+            self.commit_latency.to_json(),
+            self.failed_latency.to_json(),
+            stats.join(",")
+        )
+    }
+
+    /// Parse the output of [`RunMetrics::to_json`].
+    pub fn from_json(s: &str) -> Result<RunMetrics, String> {
+        let stats_span = json_value(s, "stats")?;
+        let pairs: Vec<(&str, u64)> = stats_span
+            .trim_start_matches('{')
+            .trim_end_matches('}')
+            .split(',')
+            .filter(|kv| !kv.is_empty())
+            .map(|kv| -> Result<(&str, u64), String> {
+                let (k, v) = kv.split_once(':').ok_or_else(|| format!("bad stats pair {kv:?}"))?;
+                Ok((k.trim_matches('"'), parse_num::<u64>(v, k)?))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(RunMetrics {
+            protocol: json_value(s, "protocol")?.to_owned(),
+            workers: parse_num(json_value(s, "workers")?, "workers")?,
+            committed: parse_num(json_value(s, "committed")?, "committed")?,
+            aborted_attempts: parse_num(json_value(s, "aborted_attempts")?, "aborted_attempts")?,
+            failed_attempts: parse_num(json_value(s, "failed_attempts")?, "failed_attempts")?,
+            failed: parse_num(json_value(s, "failed")?, "failed")?,
+            elapsed_us: parse_num(json_value(s, "elapsed_us")?, "elapsed_us")?,
+            throughput: parse_num(json_value(s, "throughput")?, "throughput")?,
+            mean_latency_us: parse_num(json_value(s, "mean_latency_us")?, "mean_latency_us")?,
+            block_ratio: parse_num(json_value(s, "block_ratio")?, "block_ratio")?,
+            commit_latency: HistogramSummary::from_json(json_value(s, "commit_latency")?)?,
+            failed_latency: HistogramSummary::from_json(json_value(s, "failed_latency")?)?,
+            stats: StatsSnapshot::from_field_pairs(&pairs),
+        })
+    }
+
+    /// Prometheus-style text exposition (one scrapeable block per run).
+    pub fn prometheus_text(&self) -> String {
+        let label = format!("{{protocol=\"{}\",workers=\"{}\"}}", self.protocol, self.workers);
+        let mut out = String::new();
+        let mut gauge = |name: &str, value: String| {
+            out.push_str(&format!("# TYPE semcc_{name} gauge\nsemcc_{name}{label} {value}\n"));
+        };
+        gauge("committed_total", self.committed.to_string());
+        gauge("aborted_attempts_total", self.aborted_attempts.to_string());
+        gauge("failed_attempts_total", self.failed_attempts.to_string());
+        gauge("failed_total", self.failed.to_string());
+        gauge("elapsed_us", self.elapsed_us.to_string());
+        gauge("throughput_tps", format!("{:.3}", self.throughput));
+        gauge("block_ratio", format!("{:.6}", self.block_ratio));
+        for (prefix, h) in
+            [("commit_latency", &self.commit_latency), ("failed_latency", &self.failed_latency)]
+        {
+            gauge(&format!("{prefix}_count"), h.count.to_string());
+            gauge(&format!("{prefix}_p50_us"), h.p50_us.to_string());
+            gauge(&format!("{prefix}_p95_us"), h.p95_us.to_string());
+            gauge(&format!("{prefix}_p99_us"), h.p99_us.to_string());
+            gauge(&format!("{prefix}_max_us"), h.max_us.to_string());
+        }
+        for (name, value) in self.stats.field_pairs() {
+            gauge(&format!("stats_{name}_total"), value.to_string());
+        }
+        out
+    }
+
     /// Compact single-line rendering for tables.
     pub fn row(&self) -> String {
         format!(
-            "{:<22} {:>3}w  {:>8.0} txn/s  commits {:>6}  aborts {:>5}  block {:>5.1}%  case1 {:>5}  case2 {:>5}  rootw {:>6}",
+            "{:<22} {:>3}w  {:>8.0} txn/s  commits {:>6}  aborts {:>5}+{:<4}  block {:>5.1}%  p50 {:>6}us  p99 {:>7}us  case1 {:>5}  case2 {:>5}  rootw {:>6}",
             self.protocol,
             self.workers,
             self.throughput,
             self.committed,
             self.aborted_attempts,
+            self.failed_attempts,
             self.block_ratio * 100.0,
+            self.commit_latency.p50_us,
+            self.commit_latency.p99_us,
             self.stats.case1_grants,
             self.stats.case2_waits,
             self.stats.root_waits,
@@ -67,24 +197,87 @@ impl RunMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use semcc_core::LatencyHistogram;
+
+    fn sample_metrics() -> RunMetrics {
+        let commit = LatencyHistogram::new();
+        for v in [100, 150, 220, 5000] {
+            commit.record(v);
+        }
+        let failed = LatencyHistogram::new();
+        failed.record(90_000);
+        let stats_src = semcc_core::Stats::default();
+        semcc_core::Stats::bump(&stats_src.case1_grants);
+        semcc_core::Stats::bump(&stats_src.root_waits);
+        RunMetrics {
+            protocol: "semantic".into(),
+            workers: 8,
+            committed: 4,
+            aborted_attempts: 3,
+            failed_attempts: 7,
+            failed: 1,
+            elapsed_us: 500_123,
+            throughput: 200.5,
+            mean_latency_us: 1367.5,
+            block_ratio: 0.25,
+            commit_latency: commit.summary(),
+            failed_latency: failed.summary(),
+            stats: stats_src.snapshot(),
+        }
+    }
 
     #[test]
     fn row_renders_key_figures() {
-        let m = RunMetrics {
-            protocol: "semantic".into(),
-            workers: 8,
-            committed: 100,
-            aborted_attempts: 3,
-            failed: 0,
-            elapsed: Duration::from_millis(500),
-            throughput: 200.0,
-            mean_latency_us: 123.0,
-            block_ratio: 0.25,
-            stats: StatsSnapshot::default(),
-        };
-        let row = m.row();
+        let row = sample_metrics().row();
         assert!(row.contains("semantic"));
-        assert!(row.contains("200"));
+        assert!(row.contains("200"), "throughput: {row}");
         assert!(row.contains("25.0%"));
+        assert!(row.contains("3+7"), "both abort counters rendered: {row}");
+        assert!(row.contains("p99"), "percentiles rendered: {row}");
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_elapsed_us_exactly() {
+        let m = sample_metrics();
+        let json = m.to_json();
+        assert!(json.contains("\"elapsed_us\":500123"), "{json}");
+        assert!(!json.contains("secs"), "no serde-default Duration form leaks: {json}");
+        let parsed = RunMetrics::from_json(&json).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.elapsed(), Duration::from_micros(500_123));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_histograms_and_stats() {
+        let m = sample_metrics();
+        let parsed = RunMetrics::from_json(&m.to_json()).unwrap();
+        assert_eq!(parsed.commit_latency, m.commit_latency);
+        assert_eq!(parsed.failed_latency.max_us, 90_000);
+        assert_eq!(parsed.stats.case1_grants, 1);
+        assert_eq!(parsed.stats.root_waits, 1);
+        assert_eq!(parsed.stats.case2_waits, 0);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(RunMetrics::from_json("{}").is_err());
+        assert!(RunMetrics::from_json("not json at all").is_err());
+        let truncated = &sample_metrics().to_json()[..40];
+        assert!(RunMetrics::from_json(truncated).is_err());
+    }
+
+    #[test]
+    fn prometheus_text_exposes_counters_and_percentiles() {
+        let text = sample_metrics().prometheus_text();
+        assert!(text.contains("semcc_committed_total{protocol=\"semantic\",workers=\"8\"} 4"));
+        assert!(text.contains("semcc_commit_latency_p99_us"));
+        assert!(text.contains("semcc_stats_case1_grants_total"));
+        assert!(text.contains("# TYPE semcc_throughput_tps gauge"));
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# TYPE semcc_") || line.starts_with("semcc_"),
+                "malformed exposition line: {line}"
+            );
+        }
     }
 }

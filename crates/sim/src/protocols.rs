@@ -77,30 +77,43 @@ pub fn build_engine_cfg(
     sink: Option<Arc<dyn HistorySink>>,
     op_delay: std::time::Duration,
 ) -> Arc<Engine> {
+    build_engine_observed(kind, db, sink, op_delay, 0)
+}
+
+/// [`build_engine_cfg`] with an event journal of `journal_capacity`
+/// records attached (0 = disabled); the journal is reachable afterwards
+/// via [`Engine::journal`](semcc_core::Engine::journal).
+pub fn build_engine_observed(
+    kind: ProtocolKind,
+    db: &Database,
+    sink: Option<Arc<dyn HistorySink>>,
+    op_delay: std::time::Duration,
+    journal_capacity: usize,
+) -> Arc<Engine> {
     let mut builder =
         Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog))
             .op_delay(op_delay);
     if let Some(sink) = sink {
         builder = builder.sink(sink);
     }
+    // `.protocol(...)` replaces the whole config, so the journal knob is
+    // applied afterwards in every arm.
     match kind {
-        ProtocolKind::Semantic => builder.protocol(ProtocolConfig::semantic()).build(),
-        ProtocolKind::SemanticNoAncestor => {
-            builder.protocol(ProtocolConfig::no_ancestor_check()).build()
-        }
-        ProtocolKind::OpenNoRetention => {
-            builder.protocol(ProtocolConfig::open_nested_plain()).build()
-        }
+        ProtocolKind::Semantic => builder.protocol(ProtocolConfig::semantic()),
+        ProtocolKind::SemanticNoAncestor => builder.protocol(ProtocolConfig::no_ancestor_check()),
+        ProtocolKind::OpenNoRetention => builder.protocol(ProtocolConfig::open_nested_plain()),
         ProtocolKind::Object2pl => {
-            builder.discipline(|deps| FlatObject2pl::new(deps) as Arc<dyn Discipline>).build()
+            builder.discipline(|deps| FlatObject2pl::new(deps) as Arc<dyn Discipline>)
         }
         ProtocolKind::Page2pl => {
-            builder.discipline(|deps| Page2pl::new(deps) as Arc<dyn Discipline>).build()
+            builder.discipline(|deps| Page2pl::new(deps) as Arc<dyn Discipline>)
         }
         ProtocolKind::ClosedNested => {
-            builder.discipline(|deps| ClosedNested::new(deps) as Arc<dyn Discipline>).build()
+            builder.discipline(|deps| ClosedNested::new(deps) as Arc<dyn Discipline>)
         }
     }
+    .journal_capacity(journal_capacity)
+    .build()
 }
 
 #[cfg(test)]

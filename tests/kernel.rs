@@ -28,6 +28,7 @@ fn deps_with_catalog(catalog: Catalog) -> DisciplineDeps {
         router: Arc::new(catalog.router()),
         storage: Arc::new(MemoryStore::new()),
         lock_wait_timeout: None,
+        journal: None,
     }
 }
 

@@ -1,0 +1,98 @@
+//! End-to-end observability: run a real workload with the event journal
+//! and the lock-table sampler enabled, drain the journal as JSONL, check
+//! every line against the wire schema, and verify the latency accounting
+//! keeps committed and failed transactions in separate populations.
+
+use semcc::core::{validate_json_line, JournalKind};
+use semcc::orderentry::{Database, DbParams, MixWeights, Workload, WorkloadConfig};
+use semcc::sim::{build_engine_observed, run_workload, ProtocolKind, RunParams};
+use std::collections::HashSet;
+use std::time::Duration;
+
+fn small_db() -> Database {
+    Database::build(&DbParams { n_items: 4, orders_per_item: 4, ..Default::default() }).unwrap()
+}
+
+#[test]
+fn journal_drains_as_schema_valid_jsonl() {
+    let db = small_db();
+    let engine = build_engine_observed(ProtocolKind::Semantic, &db, None, Duration::ZERO, 1 << 14);
+    let wl =
+        WorkloadConfig { mix: MixWeights::update_heavy(), zipf_theta: 0.9, ..Default::default() };
+    let mut w = Workload::new(&db, wl);
+    let batch = w.batch(&db, 60);
+    let out = run_workload(&engine, batch, &RunParams { workers: 4, ..Default::default() });
+    assert_eq!(out.metrics.committed, 60);
+
+    let journal = engine.journal().expect("journal enabled");
+    let jsonl = journal.to_jsonl();
+    assert!(!jsonl.is_empty());
+    let mut kinds = HashSet::new();
+    for line in jsonl.lines() {
+        validate_json_line(line).unwrap_or_else(|e| panic!("bad journal line {line:?}: {e}"));
+        let kind_field = line.split("\"kind\":\"").nth(1).unwrap();
+        kinds.insert(kind_field.split('"').next().unwrap().to_string());
+    }
+    // The lock path and the commit path must both be visible.
+    assert!(kinds.contains(JournalKind::LockRequest.name()), "kinds seen: {kinds:?}");
+    assert!(kinds.contains(JournalKind::LockGrant.name()), "kinds seen: {kinds:?}");
+    assert!(kinds.contains(JournalKind::SubCommit.name()), "kinds seen: {kinds:?}");
+    assert!(kinds.contains(JournalKind::TopCommit.name()), "kinds seen: {kinds:?}");
+    // One top_commit per committed transaction.
+    let commits = jsonl.lines().filter(|l| l.contains("\"top_commit\"")).count();
+    assert_eq!(commits as u64, out.metrics.committed);
+}
+
+#[test]
+fn sampler_and_percentiles_cover_a_contended_run() {
+    let db = small_db();
+    let engine = build_engine_observed(
+        ProtocolKind::Semantic,
+        &db,
+        None,
+        Duration::from_nanos(100),
+        1 << 14,
+    );
+    let wl =
+        WorkloadConfig { mix: MixWeights::update_heavy(), zipf_theta: 0.9, ..Default::default() };
+    let mut w = Workload::new(&db, wl);
+    let batch = w.batch(&db, 200);
+    let out = run_workload(
+        &engine,
+        batch,
+        &RunParams {
+            workers: 8,
+            sample_every: Some(Duration::from_micros(500)),
+            ..Default::default()
+        },
+    );
+    assert_eq!(out.metrics.committed + out.metrics.failed, 200);
+
+    // Percentiles are populated, ordered, and the mean sits inside the
+    // distribution's range.
+    let h = &out.metrics.commit_latency;
+    assert_eq!(h.count, out.metrics.committed);
+    assert!(h.p50_us <= h.p95_us && h.p95_us <= h.p99_us && h.p99_us <= h.max_us);
+    assert!(out.metrics.mean_latency_us <= h.max_us as f64);
+    assert!(out.metrics.mean_latency_us > 0.0);
+
+    // The sampler observed the run and the table drained afterwards.
+    assert!(!out.samples.is_empty());
+    let after = engine.lock_table();
+    assert_eq!((after.keys, after.held, after.retained, after.waiting), (0, 0, 0, 0));
+
+    // The JSON roundtrip carries the full report.
+    let m2 = semcc::sim::RunMetrics::from_json(&out.metrics.to_json()).unwrap();
+    assert_eq!(m2, out.metrics);
+}
+
+#[test]
+fn disabled_journal_records_nothing() {
+    let db = small_db();
+    let engine = semcc::sim::build_engine(ProtocolKind::Semantic, &db, None);
+    let mut w = Workload::new(&db, WorkloadConfig::default());
+    let batch = w.batch(&db, 10);
+    let out = run_workload(&engine, batch, &RunParams { workers: 2, ..Default::default() });
+    assert_eq!(out.metrics.committed, 10);
+    assert!(engine.journal().is_none(), "journal off by default");
+}
