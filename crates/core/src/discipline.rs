@@ -13,7 +13,7 @@ use crate::journal::EventJournal;
 use crate::kernel::LockTableDump;
 use crate::notify::CompletionHub;
 use crate::stats::{Stats, StatsSnapshot};
-use crate::tree::{ChainLink, Registry, TxnTree};
+use crate::tree::{Chain, Registry, TxnTree};
 use semcc_semantics::{Invocation, PageId, Result, SemanticsRouter, Storage};
 use std::sync::Arc;
 use std::time::Duration;
@@ -55,8 +55,8 @@ pub struct AcquireRequest<'a> {
     pub node: NodeRef,
     /// Its invocation.
     pub inv: &'a Arc<Invocation>,
-    /// Ancestor chain, `[self, parent, …, root]`.
-    pub chain: &'a Arc<[ChainLink]>,
+    /// Ancestor chain, `[self, parent, …, root]`, with its object index.
+    pub chain: &'a Chain,
     /// Whether the action is a leaf storage operation (a generic method).
     pub is_leaf: bool,
     /// Whether the action may update its object.

@@ -6,7 +6,7 @@ use std::fmt;
 /// Identifier of a top-level transaction. Monotonically increasing, so a
 /// larger id means a *younger* transaction (used by deadlock victim
 /// selection).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TopId(pub u64);
 
 impl fmt::Debug for TopId {
@@ -24,7 +24,7 @@ impl fmt::Display for TopId {
 /// Reference to a node (action / subtransaction) of a transaction tree:
 /// the top-level transaction plus the node's index in that tree's arena.
 /// Index 0 is always the transaction root.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeRef {
     /// Owning top-level transaction.
     pub top: TopId,

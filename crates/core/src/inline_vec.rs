@@ -1,0 +1,145 @@
+//! A fixed-inline-capacity vector that spills to the heap only when it
+//! overflows.
+//!
+//! The hot paths of the kernel (`scan`'s blocker collection) and of the
+//! conflict test (candidate ancestor pairs) need small scratch lists whose
+//! typical length is zero or a handful of elements. A plain `Vec` allocates
+//! on first push; `InlineVec` keeps the first `N` elements in place on the
+//! stack and only touches the allocator beyond that, so the uncontended
+//! path performs no heap allocation at all.
+//!
+//! The implementation is deliberately safe Rust: elements must be
+//! `Copy + Default` so the inline buffer can be pre-initialised without
+//! `MaybeUninit`.
+
+/// A vector with `N` elements of inline capacity and heap spill-over.
+#[derive(Clone, Debug)]
+pub struct InlineVec<T: Copy + Default, const N: usize> {
+    inline: [T; N],
+    len: usize,
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        InlineVec { inline: [T::default(); N], len: 0, spill: Vec::new() }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty vector (no allocation).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append an element, spilling to the heap past `N` elements.
+    pub fn push(&mut self, value: T) {
+        if self.len < N {
+            self.inline[self.len] = value;
+        } else {
+            if self.len == N {
+                // First overflow: migrate the inline prefix.
+                self.spill.reserve(N + 1);
+                self.spill.extend_from_slice(&self.inline);
+            }
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        if self.len <= N {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// The elements as a mutable slice (for in-place sorting).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.len <= N {
+            &mut self.inline[..self.len]
+        } else {
+            &mut self.spill
+        }
+    }
+
+    /// Drop all elements, keeping the spill allocation for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for InlineVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn spills_past_capacity_preserving_order() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..7 {
+            v.push(i);
+        }
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(v.len(), 7);
+    }
+
+    #[test]
+    fn sorting_works_across_the_spill_boundary() {
+        let mut v: InlineVec<(u32, u32), 2> = InlineVec::new();
+        for pair in [(3, 0), (1, 2), (2, 1), (1, 0)] {
+            v.push(pair);
+        }
+        v.as_mut_slice().sort_unstable();
+        assert_eq!(v.as_slice(), &[(1, 0), (1, 2), (2, 1), (3, 0)]);
+    }
+
+    #[test]
+    fn clear_resets_and_allows_reuse() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        v.clear();
+        assert!(v.is_empty());
+        v.push(9);
+        assert_eq!(v.as_slice(), &[9]);
+    }
+}

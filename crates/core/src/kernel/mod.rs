@@ -35,6 +35,7 @@ use crate::deadlock::BlockDecision;
 use crate::discipline::DisciplineDeps;
 use crate::history::Event;
 use crate::ids::{NodeRef, TopId};
+use crate::inline_vec::InlineVec;
 use crate::journal::JournalKind;
 use crate::notify::{WaitCell, WaitOutcome};
 use crate::stats::Stats;
@@ -251,14 +252,53 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
     }
 
     /// Run `f` with the (possibly fresh) queue of a key, under the shard
-    /// latch; empty queues are garbage-collected eagerly.
+    /// latch; empty queues are garbage-collected eagerly. A single map
+    /// access: an existing queue is visited in place (and removed on the
+    /// way out if emptied); a missing one is materialised on the stack and
+    /// inserted only if `f` actually put something into it, so read-only
+    /// visits of an absent key never touch the map.
     fn with_queue<R>(&self, key: LockKey, f: impl FnOnce(&mut KernelQueue) -> R) -> R {
+        use std::collections::hash_map::Entry;
         let mut shard = self.shards[key.shard_hint() % SHARD_COUNT].lock();
-        let r = f(shard.entry(key).or_default());
-        if shard.get(&key).is_some_and(|q| q.is_empty()) {
-            shard.remove(&key);
+        match shard.entry(key) {
+            Entry::Occupied(mut occ) => {
+                let r = f(occ.get_mut());
+                if occ.get().is_empty() {
+                    occ.remove();
+                }
+                r
+            }
+            Entry::Vacant(vac) => {
+                let mut q = KernelQueue::default();
+                let r = f(&mut q);
+                if !q.is_empty() {
+                    vac.insert(q);
+                }
+                r
+            }
         }
-        r
+    }
+
+    /// Run `f` with the queue of a key only if one exists (release paths,
+    /// generation checks): an absent queue means there is nothing to do, so
+    /// no queue is ever created and the map is not written at all.
+    fn with_existing_queue<R>(
+        &self,
+        key: LockKey,
+        f: impl FnOnce(&mut KernelQueue) -> R,
+    ) -> Option<R> {
+        use std::collections::hash_map::Entry;
+        let mut shard = self.shards[key.shard_hint() % SHARD_COUNT].lock();
+        match shard.entry(key) {
+            Entry::Occupied(mut occ) => {
+                let r = f(occ.get_mut());
+                if occ.get().is_empty() {
+                    occ.remove();
+                }
+                Some(r)
+            }
+            Entry::Vacant(_) => None,
+        }
     }
 
     fn held_shard(&self, top: TopId) -> &Mutex<HashMap<TopId, HashSet<LockKey>>> {
@@ -395,16 +435,20 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
                         // re-scan would reproduce the last one: swallow the
                         // poke and sleep on. The waits-for edges and hub
                         // subscriptions stay armed.
+                        // (A vanished queue means every entry left — real
+                        // progress, so the re-scan proceeds.)
                         let suppress = cell.was_poked()
                             && !cell.had_completion()
-                            && self.with_queue(req.key, |q| {
-                                if q.generation == generation {
-                                    cell.clear_poke();
-                                    true
-                                } else {
-                                    false
-                                }
-                            });
+                            && self
+                                .with_existing_queue(req.key, |q| {
+                                    if q.generation == generation {
+                                        cell.clear_poke();
+                                        true
+                                    } else {
+                                        false
+                                    }
+                                })
+                                .unwrap_or(false);
                         if !suppress {
                             break;
                         }
@@ -420,11 +464,13 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
     /// One pass of the Figure-8 conflict loop, under the shard latch.
     fn scan(&self, req: &KernelRequest, ticket: &mut Option<u64>) -> Scan {
         self.with_queue(req.key, |q| {
-            let mut blockers: Vec<NodeRef> = Vec::new();
-            let mut srcs: Vec<u64> = Vec::new();
+            // Inline scratch: the uncontended scan (no blockers) finishes
+            // without a single heap allocation.
+            let mut blockers: InlineVec<NodeRef, 4> = InlineVec::new();
+            let mut srcs: InlineVec<u64, 8> = InlineVec::new();
             for g in &q.granted {
                 if let Some(b) = self.policy.test(g, req) {
-                    if !blockers.contains(&b) {
+                    if !blockers.as_slice().contains(&b) {
                         blockers.push(b);
                     }
                     srcs.push(g.eid);
@@ -446,7 +492,7 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
                         continue;
                     }
                     if let Some(b) = self.policy.test(&w.entry, req) {
-                        if !blockers.contains(&b) {
+                        if !blockers.as_slice().contains(&b) {
                             blockers.push(b);
                         }
                         srcs.push(w.entry.eid);
@@ -455,6 +501,7 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
             }
 
             if blockers.is_empty() {
+                // Grant path: the scratch above never spilled to the heap.
                 // Grant. A queued request keeps its entry — and crucially
                 // its eid, so waiters subscribed to it stay subscribed to
                 // the now-granted lock.
@@ -488,7 +535,9 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
 
             // Blocked: record the request (keeping its FCFS position) with
             // a fresh cell for this episode, subscribed to exactly the
-            // entries the scan failed against.
+            // entries the scan failed against. Only this contended path
+            // materialises the scratch on the heap.
+            let srcs = srcs.as_slice().to_vec();
             let cell = WaitCell::new();
             match *ticket {
                 None => {
@@ -518,7 +567,7 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
                     w.conflict_srcs = srcs;
                 }
             }
-            Scan::Blocked { cell, blockers, generation: q.generation }
+            Scan::Blocked { cell, blockers: blockers.as_slice().to_vec(), generation: q.generation }
         })
     }
 
@@ -526,20 +575,21 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
     /// blocked on it must be re-tested.
     fn cancel(&self, req: &KernelRequest, ticket: Option<u64>) {
         let Some(t) = ticket else { return };
-        self.with_queue(req.key, |q| {
+        let found = self.with_existing_queue(req.key, |q| {
             let w = q.remove_waiting(t);
             debug_assert!(w.is_some(), "cancelled ticket {t} missing from queue {}", req.key);
             if let Some(w) = w {
                 q.entries_removed(&[w.entry.eid], &self.deps.stats);
             }
         });
+        debug_assert!(found.is_some(), "cancelled ticket {t} has no queue on {}", req.key);
     }
 
     /// Phase two: dispose of one granted entry. Returns whether an entry of
     /// that owner existed on the key.
     pub fn finish(&self, key: LockKey, owner: NodeRef, outcome: Outcome) -> bool {
         let stats = &self.deps.stats;
-        self.with_queue(key, |q| match outcome {
+        let found = self.with_existing_queue(key, |q| match outcome {
             Outcome::Retain => {
                 if let Some(e) = q.granted.iter_mut().find(|e| e.owner == owner) {
                     if !e.retained {
@@ -555,7 +605,7 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
                 }
             }
             Outcome::Release => {
-                let mut removed: Vec<u64> = Vec::new();
+                let mut removed: InlineVec<u64, 8> = InlineVec::new();
                 q.granted.retain(|e| {
                     if e.owner == owner {
                         removed.push(e.eid);
@@ -567,8 +617,10 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
                 if removed.is_empty() {
                     false
                 } else {
-                    Stats::bump(&stats.locks_released);
-                    q.entries_removed(&removed, stats);
+                    // One entry released = one count (a single fetch_add
+                    // even when several entries of the owner go at once).
+                    Stats::add(&stats.locks_released, removed.len() as u64);
+                    q.entries_removed(removed.as_slice(), stats);
                     true
                 }
             }
@@ -588,7 +640,8 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
                 }
                 true
             }
-        })
+        });
+        found.unwrap_or(false)
     }
 
     /// Release every entry a top-level transaction still holds (top-level
@@ -602,8 +655,8 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
             .unwrap_or_default();
         let stats = &self.deps.stats;
         for key in keys {
-            self.with_queue(key, |q| {
-                let mut removed: Vec<u64> = Vec::new();
+            self.with_existing_queue(key, |q| {
+                let mut removed: InlineVec<u64, 8> = InlineVec::new();
                 q.granted.retain(|e| {
                     if e.owner.top == top {
                         removed.push(e.eid);
@@ -612,10 +665,9 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
                         true
                     }
                 });
-                for _ in &removed {
-                    Stats::bump(&stats.locks_released);
-                }
-                q.entries_removed(&removed, stats);
+                // One fetch_add for the whole sweep, one count per entry.
+                Stats::add(&stats.locks_released, removed.len() as u64);
+                q.entries_removed(removed.as_slice(), stats);
             });
         }
     }
@@ -677,7 +729,7 @@ impl<P: KernelPolicy> ConcurrencyKernel<P> {
 
     #[cfg(test)]
     fn first_waiting_cell(&self, key: LockKey) -> Option<Arc<WaitCell>> {
-        self.with_queue(key, |q| q.waiting.first().map(|w| Arc::clone(&w.cell)))
+        self.with_existing_queue(key, |q| q.waiting.first().map(|w| Arc::clone(&w.cell))).flatten()
     }
 }
 
@@ -747,6 +799,11 @@ mod tests {
         assert_eq!(k.granted_count(), 1, "same-owner grants absorb into one entry");
         k.finish_top(t1);
         assert_eq!(k.locked_keys(), 0);
+        assert_eq!(
+            d.stats.snapshot().locks_released,
+            1,
+            "one absorbed entry = one release, counted exactly once"
+        );
     }
 
     #[test]
@@ -791,7 +848,9 @@ mod tests {
         assert!(!hb.is_finished());
         k.finish_top(t2);
         assert!(hb.join().unwrap().waited);
-        assert_eq!(d.stats.snapshot().targeted_wakeups, 2);
+        let snap = d.stats.snapshot();
+        assert_eq!(snap.targeted_wakeups, 2);
+        assert_eq!(snap.locks_released, 2, "each finish_top released exactly one entry");
     }
 
     #[test]

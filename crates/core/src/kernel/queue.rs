@@ -27,12 +27,17 @@ pub enum LockKey {
 }
 
 impl LockKey {
-    /// Shard selector.
+    /// Shard selector: a Fibonacci multiply spreads sequentially allocated
+    /// ids over the shard space (`id % SHARD_COUNT` would send the strided
+    /// keys of a scan to a handful of shards). Page keys are tagged with
+    /// the top bit so an object and a page with the same numeric id do not
+    /// collide systematically.
     pub(crate) fn shard_hint(self) -> usize {
-        match self {
-            LockKey::Object(o) => o.0 as usize,
-            LockKey::Page(p) => p.0 as usize,
-        }
+        let x = match self {
+            LockKey::Object(o) => o.0,
+            LockKey::Page(p) => p.0 ^ (1 << 63),
+        };
+        (x.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize
     }
 
     /// Journal wire encoding: object ids verbatim, page ids tagged with

@@ -41,6 +41,7 @@ pub mod fault;
 pub mod hist;
 pub mod history;
 pub mod ids;
+pub mod inline_vec;
 pub mod journal;
 pub mod kernel;
 pub mod lock;
@@ -60,6 +61,7 @@ pub use fault::{
 pub use hist::{HistogramSummary, LatencyHistogram};
 pub use history::{Event, HistorySink, MemorySink, NullSink, Stamped};
 pub use ids::{NodeRef, TopId};
+pub use inline_vec::InlineVec;
 pub use journal::{validate_json_line, EventJournal, JournalKind, JournalRecord, JOURNAL_FIELDS};
 pub use kernel::{
     ConcurrencyKernel, EntryMode, KernelGuard, KernelPolicy, KernelRequest, LockKey, LockTableDump,
@@ -67,4 +69,4 @@ pub use kernel::{
 };
 pub use lock::SemanticLockManager;
 pub use stats::{Stats, StatsSnapshot};
-pub use tree::{ChainLink, NodeState, Registry, TxnTree};
+pub use tree::{Chain, ChainLink, NodeState, Registry, TxnTree};

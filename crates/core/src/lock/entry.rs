@@ -1,7 +1,7 @@
 //! Lock control blocks.
 
 use crate::ids::NodeRef;
-use crate::tree::ChainLink;
+use crate::tree::Chain;
 use semcc_semantics::Invocation;
 use std::sync::Arc;
 
@@ -17,10 +17,11 @@ pub struct LockEntry {
     pub node: NodeRef,
     /// Method + object + actual parameters (the lock mode).
     pub inv: Arc<Invocation>,
-    /// Ancestor chain `[self, parent, …, root]` of the owner. Invocations
-    /// are immutable once issued, so the chain can be cached at request
-    /// time; completion states are looked up live in the registry.
-    pub chain: Arc<[ChainLink]>,
+    /// Ancestor chain `[self, parent, …, root]` of the owner, with its
+    /// per-object index. Invocations are immutable once issued, so the
+    /// chain can be cached at request time; completion states are looked up
+    /// live in the registry.
+    pub chain: Chain,
     /// Whether the lock was converted into a *retained* lock (the owning
     /// subtransaction's parent has completed).
     pub retained: bool,

@@ -124,7 +124,7 @@ impl Discipline for SemanticLockManager {
         let entry = LockEntry {
             node: req.node,
             inv: Arc::clone(req.inv),
-            chain: Arc::clone(req.chain),
+            chain: req.chain.clone(),
             retained: false,
         };
         let guard = self.kernel.sequence(KernelRequest {
@@ -197,7 +197,7 @@ mod tests {
         tree: &Arc<crate::tree::TxnTree>,
         idx: u32,
         inv: &'a Arc<Invocation>,
-        chain: &'a Arc<[crate::tree::ChainLink]>,
+        chain: &'a crate::tree::Chain,
     ) -> AcquireRequest<'a> {
         AcquireRequest {
             node: NodeRef { top: tree.top(), idx },

@@ -127,6 +127,14 @@ impl Stats {
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Relaxed bulk-increment helper: one `fetch_add` for `n` events
+    /// (e.g. all entries released by one `finish_top` sweep).
+    pub fn add(counter: &AtomicU64, n: u64) {
+        if n > 0 {
+            counter.fetch_add(n, Ordering::Relaxed);
+        }
+    }
 }
 
 #[cfg(test)]

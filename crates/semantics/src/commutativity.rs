@@ -53,6 +53,21 @@ impl fmt::Debug for Compat {
 pub trait CommutativitySpec: Send + Sync {
     /// Do `a` and `b` commute? Both invocations target the same object.
     fn commute(&self, a: &Invocation, b: &Invocation) -> bool;
+
+    /// Static-lowering hook: the [`CompatibilityMatrix`] backing this spec,
+    /// if any, so [`CompiledSpec::lower`] can compile its entries into a
+    /// dense bitmatrix. Specs whose decisions are not table-driven keep the
+    /// default `None` and stay on the dynamic-dispatch path.
+    fn as_matrix(&self) -> Option<&CompatibilityMatrix> {
+        None
+    }
+
+    /// Static-lowering hook: `true` when no pair of invocations ever
+    /// commutes (the database pseudo type), which compiles to an empty
+    /// bitmatrix with no fallback at all.
+    fn never_commutes(&self) -> bool {
+        false
+    }
 }
 
 /// A compatibility matrix over the user-defined methods of one type
@@ -113,6 +128,11 @@ impl CompatibilityMatrix {
     pub fn entry(&self, a: MethodId, b: MethodId) -> Compat {
         self.entries.get(&(a, b)).cloned().unwrap_or(Compat::Conflict)
     }
+
+    /// Iterate over all registered (ordered) entries.
+    pub fn entries(&self) -> impl Iterator<Item = (MethodId, MethodId, &Compat)> {
+        self.entries.iter().map(|(&(a, b), c)| (a, b, c))
+    }
 }
 
 impl CommutativitySpec for CompatibilityMatrix {
@@ -127,6 +147,10 @@ impl CommutativitySpec for CompatibilityMatrix {
             Compat::Conflict => false,
             Compat::When(pred) => pred(a, b),
         }
+    }
+
+    fn as_matrix(&self) -> Option<&CompatibilityMatrix> {
+        Some(self)
     }
 }
 
@@ -189,6 +213,126 @@ impl CommutativitySpec for NeverCommute {
     fn commute(&self, _a: &Invocation, _b: &Invocation) -> bool {
         false
     }
+
+    fn never_commutes(&self) -> bool {
+        true
+    }
+}
+
+/// Matrices whose method-id range would exceed this are not lowered into a
+/// bitmatrix (2 bits per pair: 1024² pairs ≈ 256 KiB) and stay on the
+/// dynamic path instead. In practice types have a handful of methods.
+const MAX_COMPILED_METHODS: u32 = 1024;
+
+/// A [`CompatibilityMatrix`] lowered into a dense bitmatrix at router-build
+/// time: `commute(a, b)` on the hit path is one multiply, one shift and one
+/// mask — no hashing, no `dyn` dispatch, no `Arc` clone of the entry.
+///
+/// Two parallel bitsets over the `dim × dim` method-pair square:
+/// * `ok` — the pair always commutes ([`Compat::Ok`]);
+/// * `when` — the pair is parameter-dependent ([`Compat::When`]); the
+///   original spec is consulted through the retained `fallback`.
+///
+/// Both bits clear means *conflict*, which also covers method ids outside
+/// the compiled square (the matrix default). Specs that are not
+/// table-driven (generic methods, custom predicate specs) set `dynamic` and
+/// route every pair through the fallback — exactly the seed behaviour.
+pub struct CompiledSpec {
+    dim: u32,
+    ok: Box<[u64]>,
+    when: Box<[u64]>,
+    /// The original spec: consulted for `when` bits and, under `dynamic`,
+    /// for every pair. `None` for fully static tables.
+    fallback: Option<Arc<dyn CommutativitySpec>>,
+    /// The spec could not be lowered; every pair goes through `fallback`.
+    dynamic: bool,
+}
+
+impl fmt::Debug for CompiledSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.dynamic {
+            write!(f, "CompiledSpec(dynamic)")
+        } else {
+            write!(f, "CompiledSpec({}x{} bitmatrix)", self.dim, self.dim)
+        }
+    }
+}
+
+impl CompiledSpec {
+    /// Lower a spec. Matrices become bitmatrices (retaining the matrix only
+    /// when parameter-dependent entries need it); never-commute specs
+    /// become an empty bitmatrix; everything else stays dynamic.
+    pub fn lower(spec: &Arc<dyn CommutativitySpec>) -> CompiledSpec {
+        if spec.never_commutes() {
+            return CompiledSpec {
+                dim: 0,
+                ok: Box::new([]),
+                when: Box::new([]),
+                fallback: None,
+                dynamic: false,
+            };
+        }
+        if let Some(m) = spec.as_matrix() {
+            let dim = m.entries().map(|(a, b, _)| a.0.max(b.0) + 1).max().unwrap_or(0);
+            if dim <= MAX_COMPILED_METHODS {
+                let words = (dim as usize * dim as usize).div_ceil(64);
+                let mut ok = vec![0u64; words].into_boxed_slice();
+                let mut when = vec![0u64; words].into_boxed_slice();
+                let mut needs_fallback = false;
+                for (a, b, c) in m.entries() {
+                    let bit = a.0 as usize * dim as usize + b.0 as usize;
+                    let (w, mask) = (bit >> 6, 1u64 << (bit & 63));
+                    match c {
+                        Compat::Ok => ok[w] |= mask,
+                        Compat::Conflict => {}
+                        Compat::When(_) => {
+                            when[w] |= mask;
+                            needs_fallback = true;
+                        }
+                    }
+                }
+                let fallback = needs_fallback.then(|| Arc::clone(spec));
+                return CompiledSpec { dim, ok, when, fallback, dynamic: false };
+            }
+        }
+        CompiledSpec {
+            dim: 0,
+            ok: Box::new([]),
+            when: Box::new([]),
+            fallback: Some(Arc::clone(spec)),
+            dynamic: true,
+        }
+    }
+
+    /// Whether the hit path is the bitmatrix (vs. pure dyn dispatch).
+    pub fn is_static(&self) -> bool {
+        !self.dynamic
+    }
+
+    /// Do two user-method invocations on the same object commute?
+    /// `ma`/`mb` are the (already extracted) method ids of `a`/`b`.
+    #[inline]
+    pub fn commute_user(&self, a: &Invocation, b: &Invocation, ma: MethodId, mb: MethodId) -> bool {
+        if !self.dynamic {
+            let (i, j) = (ma.0 as u64, mb.0 as u64);
+            let dim = u64::from(self.dim);
+            if i >= dim || j >= dim {
+                return false;
+            }
+            let bit = i * dim + j;
+            let (w, mask) = ((bit >> 6) as usize, 1u64 << (bit & 63));
+            if self.ok[w] & mask != 0 {
+                return true;
+            }
+            if self.when[w] & mask == 0 {
+                return false;
+            }
+        }
+        match &self.fallback {
+            Some(f) => f.commute(a, b),
+            None => false,
+        }
+    }
 }
 
 /// Routes a commutativity question to the right specification:
@@ -203,22 +347,66 @@ impl CommutativitySpec for NeverCommute {
 /// Figure 5 discussion: a transaction root must not be considered a
 /// commutative partner of an arbitrary method.)
 pub struct SemanticsRouter {
+    /// The seed dispatch structure — kept as the source the compiled table
+    /// is lowered from and as the reference path for differential testing
+    /// ([`SemanticsRouter::commute_reference`]).
     specs: HashMap<TypeId, Arc<dyn CommutativitySpec>>,
+    /// `TypeId`-indexed compiled table: the hit path of
+    /// [`SemanticsRouter::commute`] performs no hashing and, for static
+    /// matrix entries, no `dyn` dispatch. `None` for unregistered types
+    /// (conservative conflict).
+    compiled: Vec<Option<CompiledSpec>>,
     generic: GenericSpec,
 }
 
 impl SemanticsRouter {
-    /// Build a router from `(type, spec)` pairs (usually from the catalog).
+    /// Build a router from `(type, spec)` pairs (usually from the catalog);
+    /// every table-driven spec is lowered into a [`CompiledSpec`] here,
+    /// once, so the per-request conflict test never touches a `HashMap`.
     pub fn new<I>(specs: I) -> Self
     where
         I: IntoIterator<Item = (TypeId, Arc<dyn CommutativitySpec>)>,
     {
-        SemanticsRouter { specs: specs.into_iter().collect(), generic: GenericSpec }
+        let specs: HashMap<TypeId, Arc<dyn CommutativitySpec>> = specs.into_iter().collect();
+        let slots = specs.keys().map(|t| t.0 as usize + 1).max().unwrap_or(0);
+        let mut compiled: Vec<Option<CompiledSpec>> = Vec::new();
+        compiled.resize_with(slots, || None);
+        for (t, spec) in &specs {
+            compiled[t.0 as usize] = Some(CompiledSpec::lower(spec));
+        }
+        SemanticsRouter { specs, compiled, generic: GenericSpec }
     }
 
     /// Do `a` and `b` form a commutative pair in the sense of the protocol?
     /// Returns `false` whenever the objects differ.
     pub fn commute(&self, a: &Invocation, b: &Invocation) -> bool {
+        if a.object != b.object {
+            return false;
+        }
+        match (a.method, b.method) {
+            (MethodSel::Generic(ga), MethodSel::Generic(gb)) => {
+                GenericSpec::commute_generic(a, b, ga, gb)
+            }
+            (MethodSel::User(ma), MethodSel::User(mb)) => {
+                if a.type_id != b.type_id {
+                    return false;
+                }
+                match self.compiled.get(a.type_id.0 as usize) {
+                    Some(Some(spec)) => spec.commute_user(a, b, ma, mb),
+                    _ => false,
+                }
+            }
+            // Encapsulated method vs. bypassing generic operation on the
+            // very same object: semantics unknown, conservative conflict.
+            _ => false,
+        }
+    }
+
+    /// The seed dispatch path — `HashMap<TypeId, Arc<dyn …>>` probe plus
+    /// `dyn` call — answering exactly the same question as
+    /// [`SemanticsRouter::commute`]. Kept for differential tests and as the
+    /// baseline side of the `conflict_path` microbenchmark.
+    pub fn commute_reference(&self, a: &Invocation, b: &Invocation) -> bool {
         if a.object != b.object {
             return false;
         }
@@ -233,10 +421,13 @@ impl SemanticsRouter {
                     None => false,
                 }
             }
-            // Encapsulated method vs. bypassing generic operation on the
-            // very same object: semantics unknown, conservative conflict.
             _ => false,
         }
+    }
+
+    /// The compiled slot for a type (introspection / tests).
+    pub fn compiled_spec(&self, t: TypeId) -> Option<&CompiledSpec> {
+        self.compiled.get(t.0 as usize).and_then(Option::as_ref)
     }
 }
 
@@ -375,5 +566,81 @@ mod tests {
     fn never_commute_never_commutes() {
         let s = NeverCommute;
         assert!(!s.commute(&get(1), &get(1)));
+    }
+
+    #[test]
+    fn compiled_matrix_agrees_with_matrix() {
+        let mut m = CompatibilityMatrix::new();
+        m.ok(MethodId(0), MethodId(1));
+        m.conflict(MethodId(1), MethodId(2));
+        m.when(MethodId(2), MethodId(3), |a, b| a.args[0] != b.args[0]);
+        let spec: Arc<dyn CommutativitySpec> = Arc::new(m);
+        let c = CompiledSpec::lower(&spec);
+        assert!(c.is_static());
+        let mk = |mid, arg: i64| {
+            Invocation::user(ObjectId(1), TypeId(20), MethodId(mid), vec![Value::Int(arg)])
+        };
+        for i in 0..6u32 {
+            for j in 0..6u32 {
+                for (x, y) in [(0, 0), (0, 1), (1, 0)] {
+                    let (a, b) = (mk(i, x), mk(j, y));
+                    assert_eq!(
+                        c.commute_user(&a, &b, MethodId(i), MethodId(j)),
+                        spec.commute(&a, &b),
+                        "pair ({i},{j}) args ({x},{y})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_never_commute_is_static_and_conflicts() {
+        let spec: Arc<dyn CommutativitySpec> = Arc::new(NeverCommute);
+        let c = CompiledSpec::lower(&spec);
+        assert!(c.is_static());
+        let a = Invocation::user(ObjectId(1), TYPE_ATOMIC, MethodId(0), vec![]);
+        assert!(!c.commute_user(&a, &a.clone(), MethodId(0), MethodId(0)));
+    }
+
+    #[test]
+    fn compiled_custom_spec_stays_dynamic() {
+        struct AlwaysOk;
+        impl CommutativitySpec for AlwaysOk {
+            fn commute(&self, _: &Invocation, _: &Invocation) -> bool {
+                true
+            }
+        }
+        let spec: Arc<dyn CommutativitySpec> = Arc::new(AlwaysOk);
+        let c = CompiledSpec::lower(&spec);
+        assert!(!c.is_static());
+        let a = Invocation::user(ObjectId(1), TYPE_ATOMIC, MethodId(7), vec![]);
+        assert!(c.commute_user(&a, &a.clone(), MethodId(7), MethodId(7)), "fallback consulted");
+    }
+
+    #[test]
+    fn router_fast_and_reference_paths_agree() {
+        let t = TypeId(20);
+        let mut m = CompatibilityMatrix::new();
+        m.ok(MethodId(0), MethodId(1));
+        m.when(MethodId(0), MethodId(0), |a, b| a.args == b.args);
+        let router = SemanticsRouter::new(vec![(t, Arc::new(m) as Arc<dyn CommutativitySpec>)]);
+        assert!(router.compiled_spec(t).is_some_and(CompiledSpec::is_static));
+        let mk = |o, mid, arg: i64| {
+            Invocation::user(ObjectId(o), t, MethodId(mid), vec![Value::Int(arg)])
+        };
+        let cases = [
+            (mk(1, 0, 0), mk(1, 1, 0)),
+            (mk(1, 0, 0), mk(1, 0, 0)),
+            (mk(1, 0, 0), mk(1, 0, 1)),
+            (mk(1, 0, 0), mk(2, 1, 0)),
+            (mk(1, 2, 0), mk(1, 2, 0)),
+            (get(3), get(3)),
+            (get(3), put(3)),
+            (get(3), mk(3, 0, 0)),
+        ];
+        for (a, b) in &cases {
+            assert_eq!(router.commute(a, b), router.commute_reference(a, b), "{a} vs {b}");
+        }
     }
 }

@@ -37,7 +37,8 @@ pub use catalog::{
     Catalog, CompensationFn, MethodBody, MethodDef, TypeDef, TypeDefBuilder, TypeKind,
 };
 pub use commutativity::{
-    CommutativitySpec, Compat, CompatibilityMatrix, GenericSpec, NeverCommute, SemanticsRouter,
+    CommutativitySpec, Compat, CompatibilityMatrix, CompiledSpec, GenericSpec, NeverCommute,
+    SemanticsRouter,
 };
 pub use context::MethodContext;
 pub use error::{Result, SemccError};

@@ -151,4 +151,85 @@ proptest! {
         let ok = s.contains(&expected);
         prop_assert!(ok, "display {} lacks {}", s, expected);
     }
+
+    /// Differential: the compiled-bitmatrix fast path of the router agrees
+    /// with the seed HashMap + dyn-dispatch path on every invocation pair —
+    /// over random matrices (Ok/Conflict/When entries, including the
+    /// reflexive and symmetric closure the matrix applies internally),
+    /// user/user, user/generic and generic/generic pairs alike.
+    #[test]
+    fn compiled_router_agrees_with_reference(
+        m in arb_matrix(),
+        seed_a in (0u64..4, 0u32..6, 0i64..4),
+        seed_b in (0u64..4, 0u32..6, 0i64..4),
+        generic_a in arb_generic_invocation(),
+        generic_b in arb_generic_invocation(),
+    ) {
+        let mut catalog = Catalog::new();
+        let ty = catalog.register_type(TypeDef {
+            name: "X".into(),
+            kind: TypeKind::Encapsulated,
+            methods: vec![],
+            spec: Arc::new(m),
+        });
+        let router = catalog.router();
+        // Method ids 4..6 fall outside the 4-method matrix: the compiled
+        // out-of-range path must agree with the matrix default (conflict).
+        let inv = |(o, mm, arg): (u64, u32, i64)| {
+            Invocation::user(ObjectId(o), ty, MethodId(mm), vec![Value::Int(arg)])
+        };
+        let (ua, ub) = (inv(seed_a), inv(seed_b));
+        for (a, b) in [
+            (&ua, &ub),
+            (&ua, &generic_b),
+            (&generic_a, &ub),
+            (&generic_a, &generic_b),
+        ] {
+            prop_assert_eq!(
+                router.commute(a, b),
+                router.commute_reference(a, b),
+                "fast/reference drift on {} vs {}",
+                a,
+                b
+            );
+        }
+    }
+
+    /// Differential: a spec with no backing matrix stays on the dynamic
+    /// fallback, and the fast path still agrees with the reference on every
+    /// pair (the fallback is consulted, not bypassed).
+    #[test]
+    fn dynamic_spec_fallback_agrees_with_reference(
+        seed_a in (0u64..4, 0u32..8, 0i64..4),
+        seed_b in (0u64..4, 0u32..8, 0i64..4),
+    ) {
+        /// Commutes iff the method-id sum is even — deliberately not
+        /// expressible as a [`CompatibilityMatrix`] registration.
+        struct ParitySpec;
+        impl CommutativitySpec for ParitySpec {
+            fn commute(&self, a: &Invocation, b: &Invocation) -> bool {
+                match (a.method.as_user(), b.method.as_user()) {
+                    (Some(x), Some(y)) => (x.0 + y.0) % 2 == 0,
+                    _ => false,
+                }
+            }
+        }
+        let mut catalog = Catalog::new();
+        let ty = catalog.register_type(TypeDef {
+            name: "P".into(),
+            kind: TypeKind::Encapsulated,
+            methods: vec![],
+            spec: Arc::new(ParitySpec),
+        });
+        let router = catalog.router();
+        prop_assert!(
+            !router.compiled_spec(ty).expect("slot exists").is_static(),
+            "a predicate spec must stay dynamic"
+        );
+        let inv = |(o, mm, arg): (u64, u32, i64)| {
+            Invocation::user(ObjectId(o), ty, MethodId(mm), vec![Value::Int(arg)])
+        };
+        let (a, b) = (inv(seed_a), inv(seed_b));
+        prop_assert_eq!(router.commute(&a, &b), router.commute_reference(&a, &b));
+    }
 }
