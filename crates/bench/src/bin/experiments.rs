@@ -1,7 +1,7 @@
 //! The experiment driver: regenerates every evaluation artifact.
 //!
 //! ```text
-//! experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|chaos|observe] [--quick]
+//! experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|chaos|recover|observe] [--quick]
 //! ```
 
 use semcc_bench::sweeps::{self, Scale};
@@ -85,6 +85,18 @@ fn main() {
                 sweeps::b6_chaos(scale, chaos_seeds),
             );
         }
+        "recover" => {
+            print_and_save(
+                "B7a: crash–recover–audit matrix (crash classes × mixes × seeds)",
+                "b7a_recover",
+                sweeps::b7_recover(scale, chaos_seeds),
+            );
+            print_and_save(
+                "B7b: logical-logging overhead (WAL off vs fsync=never, B2 contention cell)",
+                "b7b_wal_overhead",
+                sweeps::b7_wal_overhead(scale, !quick),
+            );
+        }
         "observe" => print_and_save(
             "Observe: instrumented runs (journal + latency percentiles + lock-table sampler)",
             "observe",
@@ -131,11 +143,21 @@ fn main() {
                 "b6_chaos",
                 sweeps::b6_chaos(scale, chaos_seeds),
             );
+            print_and_save(
+                "B7a: crash–recover–audit matrix (crash classes × mixes × seeds)",
+                "b7a_recover",
+                sweeps::b7_recover(scale, chaos_seeds),
+            );
+            print_and_save(
+                "B7b: logical-logging overhead (WAL off vs fsync=never, B2 contention cell)",
+                "b7b_wal_overhead",
+                sweeps::b7_wal_overhead(scale, !quick),
+            );
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|chaos|observe] [--quick]"
+                "usage: experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|chaos|recover|observe] [--quick]"
             );
             std::process::exit(2);
         }

@@ -1,11 +1,15 @@
-//! The quantitative experiments B1–B5: parameter sweeps comparing the
+//! The quantitative experiments B1–B7: parameter sweeps comparing the
 //! semantic protocol against its ablations and the conventional baselines
-//! on the paper's order-entry workload.
+//! on the paper's order-entry workload, plus the chaos (B6) and
+//! crash-recovery (B7) audits.
 
 use crate::figures::bypass_violation_trials;
 use crate::tables::Table;
+use semcc_core::{Engine, FsyncPolicy, ProtocolConfig, WalWriter};
 use semcc_orderentry::{Database, DbParams, MixWeights, Workload, WorkloadConfig};
+use semcc_semantics::Storage;
 use semcc_sim::{build_engine_cfg, run_workload, ProtocolKind, RunParams};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Simulated latency of one leaf (storage) operation, applied while its
@@ -310,6 +314,121 @@ pub fn b6_chaos(scale: Scale, seeds: u64) -> Table {
     t
 }
 
+/// B7 part 1: the crash–recover–audit matrix — every canonical crash
+/// class × workload mix × seed, each run crashing the log device
+/// mid-workload, recovering onto a fresh store, and auditing the result
+/// against a serial replay of the log's committed prefix. Every row must
+/// end `yes  0  0`; anything else is a durability bug (asserted).
+pub fn b7_recover(scale: Scale, seeds: u64) -> Table {
+    let mut t = Table::new(&[
+        "class",
+        "mix",
+        "seed",
+        "committed",
+        "crashed",
+        "records",
+        "torn-bytes",
+        "winners",
+        "losers",
+        "replayed",
+        "comps",
+        "state==serial",
+        "live",
+        "leaked",
+    ]);
+    for (class, faults, fsync) in semcc_sim::crash_points() {
+        for (mix_name, mix) in semcc_sim::crash_mixes() {
+            for seed in 1..=seeds.max(1) {
+                let r = semcc_sim::run_crash_recover(&semcc_sim::CrashParams {
+                    seed,
+                    txns: scale.txns.min(80),
+                    faults,
+                    fsync,
+                    mix,
+                    ..Default::default()
+                });
+                t.row(vec![
+                    class.into(),
+                    mix_name.into(),
+                    seed.to_string(),
+                    r.committed.to_string(),
+                    if r.crashed { "yes".into() } else { "no".into() },
+                    r.surviving_records.to_string(),
+                    r.truncated_bytes.to_string(),
+                    r.winners.to_string(),
+                    r.losers.to_string(),
+                    r.replayed_actions.to_string(),
+                    r.recovery_compensations.to_string(),
+                    if r.state_matches { "yes".into() } else { "NO".into() },
+                    r.live_after.to_string(),
+                    r.leaked_entries.to_string(),
+                ]);
+                assert!(r.sound(), "crash run {class}/{mix_name}/seed{seed} unsound: {r:?}");
+            }
+        }
+    }
+    t
+}
+
+/// B7 part 2: the logging-overhead gate. The same B2-style contention
+/// cell is measured with the WAL off (the default) and with the WAL on at
+/// `fsync=never`; the on/off throughput ratio is the cost of logical
+/// logging itself. `strict` (full runs) asserts the ratio stays within
+/// 5%; quick runs use a lenient bound since tiny batches are noisy.
+pub fn b7_wal_overhead(scale: Scale, strict: bool) -> Table {
+    let db_params = DbParams { n_items: 8, orders_per_item: 8, ..Default::default() };
+    let wl =
+        WorkloadConfig { mix: MixWeights::update_heavy(), zipf_theta: 0.6, ..Default::default() };
+    let measure_wal = |with_wal: bool| {
+        let db = Database::build(&db_params).expect("schema builds");
+        let mut builder =
+            Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog))
+                .protocol(ProtocolConfig::semantic())
+                .op_delay(OP_DELAY);
+        if with_wal {
+            builder = builder.wal(WalWriter::new(FsyncPolicy::Never));
+        }
+        let engine = builder.build();
+        let mut w = Workload::new(&db, wl.clone());
+        let batch = w.batch(&db, scale.txns);
+        run_workload(
+            &engine,
+            batch,
+            &RunParams { workers: 8, max_retries: 100_000, ..Default::default() },
+        )
+        .metrics
+    };
+    let off = measure_wal(false);
+    let on = measure_wal(true);
+    let ratio = on.throughput / off.throughput.max(f64::MIN_POSITIVE);
+
+    let mut t = Table::new(&["config", "txn/s", "wal appends", "wal fsyncs", "on/off ratio"]);
+    t.row(vec![
+        "wal off (default)".into(),
+        fmt_f(off.throughput),
+        off.stats.wal_appends.to_string(),
+        off.stats.wal_fsyncs.to_string(),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "wal on, fsync=never".into(),
+        fmt_f(on.throughput),
+        on.stats.wal_appends.to_string(),
+        on.stats.wal_fsyncs.to_string(),
+        format!("{ratio:.3}"),
+    ]);
+    assert!(off.stats.wal_appends == 0, "logging must be off by default");
+    assert!(on.stats.wal_appends > 0, "the WAL run must actually log");
+    assert_eq!(on.stats.wal_fsyncs, 0, "fsync=never must never flush");
+    let floor = if strict { 0.95 } else { 0.60 };
+    assert!(
+        ratio >= floor,
+        "WAL fsync=never costs more than {:.0}% throughput (ratio {ratio:.3})",
+        (1.0 - floor) * 100.0
+    );
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,6 +451,24 @@ mod tests {
         assert_eq!(text.lines().count(), 2 + 6, "{text}");
         assert!(text.contains("storage-fault"), "{text}");
         assert!(!text.contains("NO"), "non-serializable chaos row:\n{text}");
+    }
+
+    #[test]
+    fn b7_smoke() {
+        let t = b7_recover(Scale { txns: 30 }, 1);
+        let text = t.render();
+        // 4 crash classes × 3 mixes × 1 seed + header + rule.
+        assert_eq!(text.lines().count(), 2 + 12, "{text}");
+        assert!(text.contains("torn-tail"), "{text}");
+        assert!(!text.contains("NO"), "unsound crash row:\n{text}");
+    }
+
+    #[test]
+    fn b7_wal_overhead_smoke() {
+        let t = b7_wal_overhead(Scale { txns: 30 }, false);
+        let text = t.render();
+        assert!(text.contains("wal off (default)"), "{text}");
+        assert!(text.contains("fsync=never"), "{text}");
     }
 
     #[test]

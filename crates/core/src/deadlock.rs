@@ -145,12 +145,36 @@ impl WaitsForGraph {
     }
 
     /// The transaction finished (commit or abort): clear every trace.
+    /// Equivalent to [`WaitsForGraph::forget`].
     pub fn finished(&self, top: TopId) {
+        self.forget(top);
+    }
+
+    /// Purge `top` from the graph entirely — as a waiter *and* as a
+    /// target inside other waiters' edge sets. Without the target-side
+    /// purge, a transaction that finished while others were (transiently)
+    /// recorded as waiting for it could linger in those edge sets, making
+    /// phantom cycles — and thus spurious victims — possible and leaking
+    /// memory across long runs. Called on every top-level exit.
+    pub fn forget(&self, top: TopId) {
         let mut inner = self.inner.lock();
         inner.doomed.remove(&top);
         inner.aborting.remove(&top);
         inner.edges.remove(&top);
         inner.cells.remove(&top);
+        inner.edges.retain(|_, targets| {
+            targets.remove(&top);
+            !targets.is_empty()
+        });
+    }
+
+    /// Residual state counts `(edges, cells, doomed, aborting)` — all zero
+    /// once every transaction has finished. The chaos harness asserts this
+    /// to detect stale waits-for state, mirroring the lock-table
+    /// `live_entries` leak audit.
+    pub fn residue(&self) -> (usize, usize, usize, usize) {
+        let inner = self.inner.lock();
+        (inner.edges.len(), inner.cells.len(), inner.doomed.len(), inner.aborting.len())
     }
 
     /// Number of victims selected so far.
@@ -275,6 +299,39 @@ mod tests {
         assert_eq!(g.block(TopId(1), &[TopId(2)], &cell()), BlockDecision::Wait);
         assert_eq!(g.victim_count(), 1);
         assert_eq!(stats.snapshot().victims, 1);
+    }
+
+    #[test]
+    fn forget_purges_the_top_as_waiter_and_as_target() {
+        let g = WaitsForGraph::new();
+        assert_eq!(g.block(TopId(1), &[TopId(3)], &cell()), BlockDecision::Wait);
+        assert_eq!(g.block(TopId(2), &[TopId(3), TopId(4)], &cell()), BlockDecision::Wait);
+        assert_eq!(g.block(TopId(3), &[TopId(4)], &cell()), BlockDecision::Wait);
+        // T3 exits. Its own edges go, and it disappears from T1/T2's
+        // waits-for sets; T1's now-empty set is dropped entirely.
+        g.forget(TopId(3));
+        let (edges, cells, doomed, aborting) = g.residue();
+        assert_eq!(edges, 1, "only T2 (still waiting for T4) remains");
+        assert_eq!(cells, 2, "unblock, not forget, clears resumed waiters' cells");
+        assert_eq!((doomed, aborting), (0, 0));
+        // A stale T3 target can no longer fabricate a cycle.
+        assert_eq!(g.block(TopId(3), &[TopId(1)], &cell()), BlockDecision::Wait);
+        assert_eq!(g.victim_count(), 0);
+    }
+
+    #[test]
+    fn residue_is_empty_after_all_tops_finish() {
+        let g = WaitsForGraph::new();
+        let c2 = cell();
+        c2.add_pending();
+        assert_eq!(g.block(TopId(2), &[TopId(1)], &c2), BlockDecision::Wait);
+        assert_eq!(g.block(TopId(1), &[TopId(2)], &cell()), BlockDecision::Wait);
+        g.begin_abort(TopId(2));
+        for t in [TopId(1), TopId(2)] {
+            g.unblock(t);
+            g.finished(t);
+        }
+        assert_eq!(g.residue(), (0, 0, 0, 0));
     }
 
     #[test]

@@ -30,6 +30,7 @@ use crate::lock::SemanticLockManager;
 use crate::notify::CompletionHub;
 use crate::stats::{Stats, StatsSnapshot};
 use crate::tree::{Registry, TxnTree};
+use crate::wal::{RedoOp, WalRecord, WalWriter};
 use parking_lot::Mutex;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use semcc_semantics::{
@@ -123,6 +124,7 @@ pub struct EngineBuilder {
     comp_retry_backoff: Duration,
     op_delay: Duration,
     faults: Option<Arc<FaultPlan>>,
+    wal: Option<Arc<WalWriter>>,
 }
 
 impl EngineBuilder {
@@ -138,6 +140,7 @@ impl EngineBuilder {
             comp_retry_backoff: Duration::from_micros(200),
             op_delay: Duration::ZERO,
             faults: None,
+            wal: None,
         }
     }
 
@@ -204,6 +207,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Attach a write-ahead log: the engine appends leaf redo records,
+    /// subtransaction-commit records (carrying compensation intent) and
+    /// top-level resolution records, making
+    /// [`recover`](crate::wal::recovery::recover) possible after a crash.
+    /// Logging is off by default.
+    pub fn wal(mut self, wal: Arc<WalWriter>) -> Self {
+        self.wal = Some(wal);
+        self
+    }
+
     /// Build the engine.
     pub fn build(self) -> Arc<Engine> {
         let stats = Arc::new(Stats::default());
@@ -233,6 +246,7 @@ impl EngineBuilder {
             comp_retry_backoff: self.comp_retry_backoff,
             op_delay: self.op_delay,
             faults: self.faults,
+            wal: self.wal,
         })
     }
 }
@@ -247,6 +261,7 @@ pub struct Engine {
     comp_retry_backoff: Duration,
     op_delay: Duration,
     faults: Option<Arc<FaultPlan>>,
+    wal: Option<Arc<WalWriter>>,
 }
 
 impl Engine {
@@ -304,10 +319,36 @@ impl Engine {
         self.discipline.lock_table()
     }
 
+    /// Residual waits-for-graph state `(edges, cells, doomed, aborting)` —
+    /// all zero once every transaction has exited (the chaos harness's
+    /// stale-state audit).
+    pub fn wfg_residue(&self) -> (usize, usize, usize, usize) {
+        self.deps.wfg.residue()
+    }
+
     /// Append one record to the event journal, if one is attached.
     fn journal_record(&self, kind: JournalKind, node: NodeRef, aux: u64) {
         if let Some(j) = &self.deps.journal {
             j.record(kind, node.top.0, node.idx, 0, 0, 0, aux);
+        }
+    }
+
+    /// The live counters (shared with the lock manager; recovery adds its
+    /// replay/compensation tallies here).
+    pub(crate) fn stats_ref(&self) -> &Arc<Stats> {
+        &self.deps.stats
+    }
+
+    /// Append one record to the write-ahead log, if one is attached.
+    fn wal_append(&self, rec: WalRecord) {
+        if let Some(w) = &self.wal {
+            let info = w.append(&rec);
+            if info.appended {
+                Stats::bump(&self.deps.stats.wal_appends);
+            }
+            if info.synced {
+                Stats::bump(&self.deps.stats.wal_fsyncs);
+            }
         }
     }
 
@@ -336,6 +377,7 @@ impl Engine {
             engine: self,
             shared: Arc::clone(&shared),
             node_idx: 0,
+            subtree: 0,
             stash: Vec::new(),
             comp: Vec::new(),
             compensating: false,
@@ -382,6 +424,30 @@ impl Engine {
         }
     }
 
+    /// Run a batch of compensating invocations as one top-level
+    /// transaction — the recovery module's way of aborting a loser "via
+    /// compensation, driven from the log". `intents` is the loser's
+    /// logged compensation intent in chronological order; execution
+    /// reverses it and acquires every lock through the normal Figure-9
+    /// path (`compensating = true`), exactly like an in-process abort.
+    /// Returns the number of compensating invocations executed.
+    pub fn compensate_transaction(&self, intents: Vec<Invocation>) -> Result<usize> {
+        let n = intents.len();
+        let tree = self.deps.registry.begin();
+        let top = tree.top();
+        self.deps.sink.record(Event::TopBegin { top, label: "recovery-compensation".into() });
+        let shared =
+            Arc::new(TxnShared { tree: Arc::clone(&tree), created: Mutex::new(Vec::new()) });
+        let mut guard = AbortGuard { engine: self, shared: Arc::clone(&shared), armed: true };
+        let result = self.compensate_list(&shared, intents, true);
+        match &result {
+            Ok(()) => self.commit(top, &tree),
+            Err(e) => self.abort(top, &shared, Vec::new(), e),
+        }
+        guard.armed = false;
+        result.map(|()| n)
+    }
+
     /// Jittered exponential backoff, seeded by the aborted attempt's
     /// `TopId`: deterministic for a given id sequence (reproducible tests),
     /// yet decorrelated across competing transactions.
@@ -394,6 +460,12 @@ impl Engine {
     }
 
     fn commit(&self, top: TopId, tree: &TxnTree) {
+        // Durability point: the commit record must reach the log *before*
+        // any lock is released (a crash after release but before the
+        // record would let dependents of an officially-uncommitted
+        // transaction commit). With `FsyncPolicy::OnCommit` this append
+        // is also the group fsync.
+        self.wal_append(WalRecord::TopCommit { top: top.0 });
         // Release every lock first (wakes waiters into a world without our
         // entries), then mark the root committed and notify.
         self.discipline.top_finished(top);
@@ -420,7 +492,7 @@ impl Engine {
         // whatever they inherited), newest first. Failures here indicate a
         // schema without proper inverses (or an injected chaos fault); they
         // are surfaced in the event stream but cannot stop the abort.
-        if let Err(e) = self.compensate_list(shared, comp) {
+        if let Err(e) = self.compensate_list(shared, comp, true) {
             self.deps.sink.record(Event::CompensationFailure {
                 top,
                 error: e.to_string(),
@@ -433,6 +505,15 @@ impl Engine {
         for obj in created.into_iter().rev() {
             let _ = self.storage.delete(obj);
         }
+
+        // The abort is fully compensated. Recovery still replays this
+        // transaction's forward *and* compensating effects (repeating
+        // history keeps concurrently logged absolute values consistent)
+        // but, seeing this record, runs no further compensation. A crash
+        // before this record instead treats the transaction as a loser and
+        // finishes the abort from the logged intents, minus the ones the
+        // `CompApplied` markers show were already applied.
+        self.wal_append(WalRecord::TopAbort { top: top.0 });
 
         // Release locks, then mark every still-active node aborted.
         self.discipline.top_finished(top);
@@ -448,7 +529,16 @@ impl Engine {
 
     /// Execute compensations in reverse chronological order, retrying on
     /// contention aborts (deadlock victim or lock-wait timeout).
-    fn compensate_list(&self, shared: &Arc<TxnShared>, comp: Vec<Invocation>) -> Result<()> {
+    /// `log_progress` appends a `CompApplied` marker per applied inverse —
+    /// set only by *top-level* aborts, whose intent list is what recovery
+    /// reconstructs from `SubCommit` records; intra-subtransaction
+    /// rollbacks must not inflate the marker count.
+    fn compensate_list(
+        &self,
+        shared: &Arc<TxnShared>,
+        comp: Vec<Invocation>,
+        log_progress: bool,
+    ) -> Result<()> {
         for inv in comp.into_iter().rev() {
             let mut attempts = 0;
             loop {
@@ -470,14 +560,35 @@ impl Engine {
                 }
                 if let Some(plan) = &self.faults {
                     if plan.should_fire(FaultSite::Compensation) {
+                        // An injected compensation fault is transient (a
+                        // crashed page write, say): retry it under the same
+                        // bounded budget as contention aborts, so the
+                        // recovery path exercises `CompensationFailure`
+                        // without being structurally excluded from faults.
+                        // Only a fault on every retry becomes terminal.
+                        if attempts < self.comp_retry_limit {
+                            attempts += 1;
+                            Stats::bump(&self.deps.stats.compensation_retries);
+                            std::thread::sleep(self.comp_retry_backoff);
+                            continue;
+                        }
                         return Err(SemccError::CompensationFailed(format!(
                             "{inv}: {}",
                             SemccError::FaultInjected("compensation".into())
                         )));
                     }
                 }
-                match self.run_action(shared, 0, inv.clone(), true) {
-                    Ok(_) => break,
+                match self.run_action(shared, 0, 0, inv.clone(), true) {
+                    Ok(_) => {
+                        // Abort-progress marker: tells recovery how many of
+                        // the loser's logged intents were already applied
+                        // (the *last* k, since compensation runs newest
+                        // first), so it only compensates the remainder.
+                        if log_progress {
+                            self.wal_append(WalRecord::CompApplied { top: shared.tree.top().0 });
+                        }
+                        break;
+                    }
                     Err(e) if e.is_retryable() && attempts < self.comp_retry_limit => {
                         attempts += 1;
                         Stats::bump(&self.deps.stats.compensation_retries);
@@ -494,11 +605,15 @@ impl Engine {
 
     /// Execute one action (create node → acquire lock → run → complete).
     /// Returns the result value and the compensation entries the parent
-    /// must record for this (now committed) child.
+    /// must record for this (now committed) child. `caller_subtree` is the
+    /// depth-1 ancestor's node index (0 at the root), threaded down so WAL
+    /// records can tag every leaf with the subtree whose `SubCommit`
+    /// governs its redo.
     fn run_action(
         &self,
         shared: &Arc<TxnShared>,
         parent: u32,
+        caller_subtree: u32,
         inv: Invocation,
         compensating: bool,
     ) -> Result<(Value, Vec<Invocation>)> {
@@ -506,6 +621,8 @@ impl Engine {
         let top = tree.top();
         let inv = Arc::new(inv);
         let child = tree.add_child(parent, Arc::clone(&inv));
+        // A direct child of the root *is* a depth-1 subtree root.
+        let subtree = if parent == 0 { child } else { caller_subtree };
         let node = NodeRef { top, idx: child };
         self.deps.sink.record(Event::ActionStart {
             node,
@@ -537,11 +654,41 @@ impl Engine {
 
         let result = match inv.method {
             MethodSel::Generic(g) => self.apply_generic(&inv, g),
-            MethodSel::User(m) => self.run_user_method(shared, child, &inv, m, compensating),
+            MethodSel::User(m) => {
+                self.run_user_method(shared, child, subtree, &inv, m, compensating)
+            }
         };
 
         match result {
             Ok((value, comp)) => {
+                // Log *before* releasing the leaf's lock / completing the
+                // node, so the log's record order respects the store's
+                // conflict order. Compensating leaf effects are logged as
+                // `CompRedo` (the logical CLR): recovery repeats history —
+                // forward effects and compensations alike — because
+                // absolute leaf values embed the effects of concurrently
+                // exposed work that a later compensation undid.
+                if self.wal.is_some() {
+                    if is_leaf && writes {
+                        if let Some(op) = Self::redo_of(&inv) {
+                            self.wal_append(if compensating {
+                                WalRecord::CompRedo { top: top.0, op }
+                            } else {
+                                WalRecord::LeafRedo { top: top.0, subtree, op }
+                            });
+                        }
+                    }
+                    if parent == 0 && !compensating {
+                        // The depth-1 subtransaction committed: persist its
+                        // compensation intent (the paper's inverse
+                        // invocations) as the logical undo record.
+                        self.wal_append(WalRecord::SubCommit {
+                            top: top.0,
+                            subtree: child,
+                            comp: comp.clone(),
+                        });
+                    }
+                }
                 tree.complete(child);
                 self.discipline.node_completed(tree, child);
                 self.deps.hub.node_finished(node);
@@ -557,10 +704,32 @@ impl Engine {
         }
     }
 
+    /// The redo record of a committed generic update, derived from the
+    /// invocation itself (the store applies exactly these arguments).
+    /// `Remove` is logged even when the key was absent — replaying it is a
+    /// no-op, matching the original execution.
+    fn redo_of(inv: &Invocation) -> Option<RedoOp> {
+        match inv.method.as_generic()? {
+            GenericMethod::Put => {
+                Some(RedoOp::Put { obj: inv.object, value: inv.arg(0).ok()?.clone() })
+            }
+            GenericMethod::Insert => Some(RedoOp::Insert {
+                set: inv.object,
+                key: inv.arg_key(0).ok()?,
+                member: inv.arg_id(1).ok()?,
+            }),
+            GenericMethod::Remove => {
+                Some(RedoOp::Remove { set: inv.object, key: inv.arg_key(0).ok()? })
+            }
+            GenericMethod::Get | GenericMethod::Select | GenericMethod::Scan => None,
+        }
+    }
+
     fn run_user_method(
         &self,
         shared: &Arc<TxnShared>,
         child: u32,
+        subtree: u32,
         inv: &Arc<Invocation>,
         m: semcc_semantics::MethodId,
         compensating: bool,
@@ -577,6 +746,7 @@ impl Engine {
             engine: self,
             shared: Arc::clone(shared),
             node_idx: child,
+            subtree,
             stash: Vec::new(),
             comp: Vec::new(),
             compensating,
@@ -586,9 +756,17 @@ impl Engine {
         // `MethodPanicked` abort whose committed children are compensated
         // below, exactly like any other failing method.
         let run = catch_unwind(AssertUnwindSafe(|| {
-            if let Some(plan) = &self.faults {
-                if plan.should_fire(FaultSite::MethodBody) {
-                    injected_panic("method-body");
+            // Body panics model buggy *application* logic, so they fire
+            // only on forward execution. Compensating bodies run the
+            // system's own inverses — their fault knob is the dedicated
+            // (and retried) `compensation_error`, injected in
+            // `compensate_list`; a non-retryable panic there would wedge
+            // the abort in a state no audit can reconcile.
+            if !compensating {
+                if let Some(plan) = &self.faults {
+                    if plan.should_fire(FaultSite::MethodBody) {
+                        injected_panic("method-body");
+                    }
                 }
             }
             body.run(&mut ctx, inv)
@@ -621,7 +799,7 @@ impl Engine {
                 }
                 if !compensating {
                     let partial = std::mem::take(&mut ctx.comp);
-                    if let Err(ce) = self.compensate_list(shared, partial) {
+                    if let Err(ce) = self.compensate_list(shared, partial, false) {
                         // Surface *both* failures: the compensation error
                         // is chained onto the original abort cause instead
                         // of shadowing it.
@@ -743,6 +921,9 @@ struct ExecCtx<'e> {
     engine: &'e Engine,
     shared: Arc<TxnShared>,
     node_idx: u32,
+    /// Depth-1 ancestor of this node (0 for the root context): the
+    /// subtree tag of WAL records emitted below here.
+    subtree: u32,
     stash: Vec<Value>,
     /// Compensations of committed children, chronological order.
     comp: Vec<Invocation>,
@@ -751,8 +932,13 @@ struct ExecCtx<'e> {
 
 impl MethodContext for ExecCtx<'_> {
     fn invoke(&mut self, inv: Invocation) -> Result<Value> {
-        let (value, comp) =
-            self.engine.run_action(&self.shared, self.node_idx, inv, self.compensating)?;
+        let (value, comp) = self.engine.run_action(
+            &self.shared,
+            self.node_idx,
+            self.subtree,
+            inv,
+            self.compensating,
+        )?;
         self.comp.extend(comp);
         Ok(value)
     }
@@ -774,9 +960,18 @@ impl MethodContext for ExecCtx<'_> {
     }
 
     fn create_atomic(&mut self, v: Value) -> Result<ObjectId> {
+        let log = self.engine.wal.is_some() && !self.compensating;
+        let redo_value = log.then(|| v.clone());
         let id = self.engine.storage.create_atomic(semcc_semantics::TYPE_ATOMIC, v)?;
         if !self.compensating {
             self.shared.created.lock().push(id);
+        }
+        if let Some(value) = redo_value {
+            self.engine.wal_append(WalRecord::LeafRedo {
+                top: self.shared.tree.top().0,
+                subtree: self.subtree,
+                op: RedoOp::CreateAtomic { id, type_id: semcc_semantics::TYPE_ATOMIC, value },
+            });
         }
         Ok(id)
     }
@@ -786,9 +981,18 @@ impl MethodContext for ExecCtx<'_> {
         type_id: TypeId,
         fields: Vec<(String, ObjectId)>,
     ) -> Result<ObjectId> {
+        let log = self.engine.wal.is_some() && !self.compensating;
+        let redo_fields = log.then(|| fields.clone());
         let id = self.engine.storage.create_tuple(type_id, fields)?;
         if !self.compensating {
             self.shared.created.lock().push(id);
+        }
+        if let Some(fields) = redo_fields {
+            self.engine.wal_append(WalRecord::LeafRedo {
+                top: self.shared.tree.top().0,
+                subtree: self.subtree,
+                op: RedoOp::CreateTuple { id, type_id, fields },
+            });
         }
         Ok(id)
     }
@@ -797,6 +1001,13 @@ impl MethodContext for ExecCtx<'_> {
         let id = self.engine.storage.create_set(semcc_semantics::TYPE_SET)?;
         if !self.compensating {
             self.shared.created.lock().push(id);
+            // No payload to clone here, so the `wal_append` no-op check
+            // suffices.
+            self.engine.wal_append(WalRecord::LeafRedo {
+                top: self.shared.tree.top().0,
+                subtree: self.subtree,
+                op: RedoOp::CreateSet { id, type_id: semcc_semantics::TYPE_SET },
+            });
         }
         Ok(id)
     }

@@ -16,8 +16,15 @@
 //!   raises a real [`InjectedPanic`] panic, exercising the `catch_unwind`
 //!   containment exactly like a buggy method would;
 //! * **compensation faults** — the engine fails a compensating invocation
-//!   before it runs, exercising the compensation-retry and
-//!   `CompensationFailed` surfacing paths.
+//!   before it runs. The fault is treated as transient: the invocation is
+//!   retried under the same bounded, seeded budget as contention aborts, so
+//!   both in-process aborts *and* log-driven recovery exercise the retry
+//!   and `CompensationFailed` surfacing paths (the original abort cause is
+//!   preserved either way);
+//! * **WAL crash points** — a [`CrashPoint`] in the spec kills the
+//!   [`WalWriter`](crate::wal::WalWriter) device at a deterministic append
+//!   or fsync, optionally leaving a torn partial frame for the
+//!   torn-tail-truncation path to clean up on recovery.
 //!
 //! None of this is compiled out in release builds — an engine without a
 //! plan pays one `Option` check per site.
@@ -41,6 +48,42 @@ pub enum FaultSite {
     Compensation,
 }
 
+/// A deterministic crash of the write-ahead-log device — the *n*-th visit
+/// to the named site kills it (counted per record class, so a crash point
+/// is meaningful independent of interleaving). After death the log accepts
+/// nothing; the surviving bytes are exactly what a machine crash would
+/// leave for [`recovery`](crate::wal::recovery) to open.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Die as the `nth` (1-based) leaf-redo record is appended: that leaf's
+    /// effect is in the store but not in the log.
+    AtLeafAppend {
+        /// 1-based leaf-append ordinal.
+        nth: u64,
+    },
+    /// Die just before the `nth` fsync completes: everything buffered since
+    /// the previous sync is lost (the classic power-cut window).
+    BeforeFsync {
+        /// 1-based fsync ordinal.
+        nth: u64,
+    },
+    /// Die as the `nth` compensation-progress record is appended: an abort
+    /// was interrupted halfway through its inverse invocations.
+    MidCompensation {
+        /// 1-based compensation-applied ordinal.
+        nth: u64,
+    },
+    /// Die midway through writing the `nth` record of any kind, leaving
+    /// `keep` bytes of a torn frame on the device (exercises CRC/length
+    /// truncation on open).
+    TornTail {
+        /// 1-based append ordinal (any record class).
+        nth: u64,
+        /// Bytes of the torn frame that reach the device.
+        keep: usize,
+    },
+}
+
 /// Per-site fault probabilities plus an optional total trigger budget.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultSpec {
@@ -52,6 +95,8 @@ pub struct FaultSpec {
     pub compensation_error: f64,
     /// Cap on the total number of injected faults (`None` = unlimited).
     pub max_triggers: Option<u64>,
+    /// Deterministic WAL crash point (`None` = the log device never dies).
+    pub crash: Option<CrashPoint>,
 }
 
 impl Default for FaultSpec {
@@ -61,6 +106,7 @@ impl Default for FaultSpec {
             body_panic: 0.0,
             compensation_error: 0.0,
             max_triggers: None,
+            crash: None,
         }
     }
 }
@@ -84,6 +130,12 @@ impl FaultSpec {
     /// Limit the total number of injected faults.
     pub fn with_max_triggers(mut self, n: u64) -> Self {
         self.max_triggers = Some(n);
+        self
+    }
+
+    /// Kill the WAL device at a deterministic crash point.
+    pub fn with_crash(mut self, point: CrashPoint) -> Self {
+        self.crash = Some(point);
         self
     }
 }
@@ -137,6 +189,12 @@ impl FaultPlan {
     /// The plan's spec.
     pub fn spec(&self) -> &FaultSpec {
         &self.spec
+    }
+
+    /// The plan's WAL crash point, if any (read by
+    /// [`WalWriter`](crate::wal::WalWriter) on every append/sync).
+    pub fn crash(&self) -> Option<CrashPoint> {
+        self.spec.crash
     }
 }
 

@@ -62,6 +62,16 @@ pub enum JournalKind {
     TopCommit = 10,
     /// Top-level abort.
     TopAbort = 11,
+    /// A crash-recovery pass started (`aux` = surviving WAL records).
+    RecoveryStart = 12,
+    /// A leaf redo record was replayed into the store during recovery
+    /// (`key` = object id).
+    RecoveryReplay = 13,
+    /// A compensating invocation ran during recovery on behalf of a losing
+    /// top-level transaction (`key` = object id, `aux` = attempt count).
+    RecoveryCompensation = 14,
+    /// A crash-recovery pass finished (`aux` = losers compensated).
+    RecoveryDone = 15,
 }
 
 impl JournalKind {
@@ -80,11 +90,15 @@ impl JournalKind {
             JournalKind::LockTimeout => "lock_timeout",
             JournalKind::TopCommit => "top_commit",
             JournalKind::TopAbort => "top_abort",
+            JournalKind::RecoveryStart => "recovery_start",
+            JournalKind::RecoveryReplay => "recovery_replay",
+            JournalKind::RecoveryCompensation => "recovery_compensation",
+            JournalKind::RecoveryDone => "recovery_done",
         }
     }
 
     /// Every kind, in wire order.
-    pub const ALL: [JournalKind; 12] = [
+    pub const ALL: [JournalKind; 16] = [
         JournalKind::LockRequest,
         JournalKind::LockGrant,
         JournalKind::LockWait,
@@ -97,6 +111,10 @@ impl JournalKind {
         JournalKind::LockTimeout,
         JournalKind::TopCommit,
         JournalKind::TopAbort,
+        JournalKind::RecoveryStart,
+        JournalKind::RecoveryReplay,
+        JournalKind::RecoveryCompensation,
+        JournalKind::RecoveryDone,
     ];
 
     fn from_u64(v: u64) -> Option<JournalKind> {

@@ -48,6 +48,7 @@ pub mod lock;
 pub mod notify;
 pub mod stats;
 pub mod tree;
+pub mod wal;
 
 pub use config::ProtocolConfig;
 pub use deadlock::WaitsForGraph;
@@ -55,8 +56,8 @@ pub use discipline::DisciplineDeps;
 pub use discipline::{AcquireRequest, Discipline, GrantInfo};
 pub use engine::{Engine, EngineBuilder, FnProgram, TransactionProgram, TxnOutcome};
 pub use fault::{
-    injected_panic, silence_injected_panics, FaultPlan, FaultSite, FaultSpec, FaultyStorage,
-    InjectedPanic,
+    injected_panic, silence_injected_panics, CrashPoint, FaultPlan, FaultSite, FaultSpec,
+    FaultyStorage, InjectedPanic,
 };
 pub use hist::{HistogramSummary, LatencyHistogram};
 pub use history::{Event, HistorySink, MemorySink, NullSink, Stamped};
@@ -70,3 +71,5 @@ pub use kernel::{
 pub use lock::SemanticLockManager;
 pub use stats::{Stats, StatsSnapshot};
 pub use tree::{Chain, ChainLink, NodeState, Registry, TxnTree};
+pub use wal::recovery::{recover, RecoveryReport};
+pub use wal::{read_log, AppendInfo, FsyncPolicy, RedoOp, WalReadOutcome, WalRecord, WalWriter};

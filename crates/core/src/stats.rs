@@ -120,6 +120,17 @@ counters! {
     /// Top-level transactions transparently re-executed by
     /// `execute_with_retry` after a deadlock or lock timeout.
     txn_retries,
+    /// Records appended to the write-ahead log.
+    wal_appends,
+    /// fsync (flush) calls issued by the write-ahead log.
+    wal_fsyncs,
+    /// Crash-recovery passes completed.
+    recoveries,
+    /// Leaf redo records replayed into the store during recovery.
+    replayed_actions,
+    /// Compensating invocations executed during recovery on behalf of
+    /// losing (uncommitted-at-crash) top-level transactions.
+    recovery_compensations,
 }
 
 impl Stats {

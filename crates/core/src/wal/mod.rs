@@ -1,0 +1,951 @@
+//! Logical write-ahead logging for the open nested transaction engine.
+//!
+//! The paper defers durability, but its abort mechanism — compensating
+//! committed subtransactions under the same semantic locking protocol — is
+//! exactly the primitive an open-nested recovery scheme needs (Malta &
+//! Martinez pair commutativity-based concurrency control with logical,
+//! compensation-based recovery). The log therefore records *logical*
+//! entries, not page images:
+//!
+//! * [`WalRecord::LeafRedo`] — one generic leaf update (`Put`, `Insert`,
+//!   `Remove`, or an object creation), tagged with the depth-1 subtree it
+//!   belongs to. Redo replay of these records rebuilds the store.
+//! * [`WalRecord::SubCommit`] — a depth-1 subtransaction committed; the
+//!   record carries its **compensation intent** (the inverse invocations
+//!   the engine would run to abort it). This is the logical undo
+//!   information: recovery aborts losers by *executing* these inverses
+//!   through the ordinary engine, under the ordinary locks.
+//! * [`WalRecord::CompRedo`] — a leaf update performed *by* a compensation
+//!   (the logical analogue of an ARIES CLR). Redo replays these
+//!   unconditionally: recovery **repeats history**, forward effects and
+//!   compensations alike, because absolute leaf values embed the effects
+//!   of concurrently exposed work that a later compensation undid.
+//! * [`WalRecord::CompApplied`] — progress marker of a top-level abort in
+//!   flight (one compensating invocation finished); tells recovery how
+//!   many of a loser's intents were already applied before the crash.
+//! * [`WalRecord::TopCommit`] / [`WalRecord::TopAbort`] — transaction
+//!   resolution. A top with neither in the surviving log is a *loser* and
+//!   is compensated by [`recovery`].
+//!
+//! Records are framed as `[len: u32][crc32: u32][payload]` with the
+//! record's LSN embedded in the payload; [`read_log`] stops at the first
+//! torn or corrupt frame (torn-tail truncation on open) and verifies that
+//! LSNs are gapless. Appends are buffered and made durable by an fsync
+//! whose cadence is the [`FsyncPolicy`] knob; logging is **off by default**
+//! (an engine without a writer pays one `Option` check per site).
+//!
+//! Crash-point injection rides on the [`FaultPlan`](crate::fault): a
+//! [`CrashPoint`](crate::fault::CrashPoint) kills the log device at a
+//! chosen append or fsync, optionally leaving a torn partial frame, after
+//! which the surviving bytes are exactly what a real crash would leave.
+
+pub mod recovery;
+
+use crate::fault::{CrashPoint, FaultPlan};
+use parking_lot::Mutex;
+use semcc_semantics::{GenericMethod, Invocation, MethodId, MethodSel, ObjectId, TypeId, Value};
+use std::io::Write as _;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), table-driven, built at compile time.
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------
+// Record vocabulary
+// ---------------------------------------------------------------------
+
+/// One logical redo operation (a generic leaf update or object creation).
+/// Creations log the store-assigned id so replay restores identical ids.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RedoOp {
+    /// `Put(obj, value)` — the *new* value.
+    Put { obj: ObjectId, value: Value },
+    /// `Insert(set, key, member)`.
+    Insert { set: ObjectId, key: u64, member: ObjectId },
+    /// `Remove(set, key)`.
+    Remove { set: ObjectId, key: u64 },
+    /// An atomic object was created under `id`.
+    CreateAtomic { id: ObjectId, type_id: TypeId, value: Value },
+    /// A tuple object was created under `id`.
+    CreateTuple { id: ObjectId, type_id: TypeId, fields: Vec<(String, ObjectId)> },
+    /// A set object was created under `id`.
+    CreateSet { id: ObjectId, type_id: TypeId },
+}
+
+impl RedoOp {
+    /// The id a creation op restores, if this is a creation.
+    pub fn created_id(&self) -> Option<ObjectId> {
+        match self {
+            RedoOp::CreateAtomic { id, .. }
+            | RedoOp::CreateTuple { id, .. }
+            | RedoOp::CreateSet { id, .. } => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// The object the op touches (for journaling).
+    pub fn object(&self) -> ObjectId {
+        match self {
+            RedoOp::Put { obj, .. } => *obj,
+            RedoOp::Insert { set, .. } | RedoOp::Remove { set, .. } => *set,
+            RedoOp::CreateAtomic { id, .. }
+            | RedoOp::CreateTuple { id, .. }
+            | RedoOp::CreateSet { id, .. } => *id,
+        }
+    }
+}
+
+/// One log record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalRecord {
+    /// A generic leaf update of transaction `top`, executed inside the
+    /// depth-1 subtree rooted at node `subtree` (0 = issued directly by the
+    /// transaction program outside any subtransaction).
+    LeafRedo { top: u64, subtree: u32, op: RedoOp },
+    /// Depth-1 subtransaction `subtree` of `top` committed; `comp` is its
+    /// accumulated compensation intent in chronological order (recovery
+    /// executes it reversed, like the engine's own abort path).
+    SubCommit { top: u64, subtree: u32, comp: Vec<Invocation> },
+    /// A leaf update executed *by a compensation* of `top` (the logical
+    /// analogue of an ARIES CLR). Replayed unconditionally: repeating the
+    /// physical history is what keeps absolute leaf values — which embed
+    /// the effects of concurrently exposed, later-compensated work —
+    /// consistent across the redo pass.
+    CompRedo { top: u64, op: RedoOp },
+    /// One compensating invocation of the *top-level* abort of `top`
+    /// finished. Intra-subtransaction rollbacks do not log this marker, so
+    /// its count per transaction tells recovery how many of a loser's
+    /// logged intents (from the end, newest first) were already applied
+    /// before the crash.
+    CompApplied { top: u64 },
+    /// `top` committed.
+    TopCommit { top: u64 },
+    /// `top` aborted, with all compensation complete (net effect zero).
+    TopAbort { top: u64 },
+}
+
+impl WalRecord {
+    /// The owning top-level transaction.
+    pub fn top(&self) -> u64 {
+        match self {
+            WalRecord::LeafRedo { top, .. }
+            | WalRecord::SubCommit { top, .. }
+            | WalRecord::CompRedo { top, .. }
+            | WalRecord::CompApplied { top }
+            | WalRecord::TopCommit { top }
+            | WalRecord::TopAbort { top } => *top,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary encoding (hand-rolled: the vendored serde cannot serialize)
+// ---------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Unit => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(2);
+            put_u64(out, *i as u64);
+        }
+        Value::Money(m) => {
+            out.push(3);
+            put_u64(out, *m as u64);
+        }
+        Value::Str(s) => {
+            out.push(4);
+            put_str(out, s);
+        }
+        Value::Id(o) => {
+            out.push(5);
+            put_u64(out, o.0);
+        }
+        Value::List(items) => {
+            out.push(6);
+            put_u32(out, items.len() as u32);
+            for item in items {
+                put_value(out, item);
+            }
+        }
+    }
+}
+
+fn put_invocation(out: &mut Vec<u8>, inv: &Invocation) {
+    put_u64(out, inv.object.0);
+    put_u32(out, inv.type_id.0);
+    match inv.method {
+        MethodSel::Generic(g) => {
+            out.push(0);
+            out.push(match g {
+                GenericMethod::Get => 0,
+                GenericMethod::Put => 1,
+                GenericMethod::Select => 2,
+                GenericMethod::Insert => 3,
+                GenericMethod::Remove => 4,
+                GenericMethod::Scan => 5,
+            });
+        }
+        MethodSel::User(m) => {
+            out.push(1);
+            put_u32(out, m.0);
+        }
+    }
+    put_u32(out, inv.args.len() as u32);
+    for arg in &inv.args {
+        put_value(out, arg);
+    }
+}
+
+fn put_redo(out: &mut Vec<u8>, op: &RedoOp) {
+    match op {
+        RedoOp::Put { obj, value } => {
+            out.push(0);
+            put_u64(out, obj.0);
+            put_value(out, value);
+        }
+        RedoOp::Insert { set, key, member } => {
+            out.push(1);
+            put_u64(out, set.0);
+            put_u64(out, *key);
+            put_u64(out, member.0);
+        }
+        RedoOp::Remove { set, key } => {
+            out.push(2);
+            put_u64(out, set.0);
+            put_u64(out, *key);
+        }
+        RedoOp::CreateAtomic { id, type_id, value } => {
+            out.push(3);
+            put_u64(out, id.0);
+            put_u32(out, type_id.0);
+            put_value(out, value);
+        }
+        RedoOp::CreateTuple { id, type_id, fields } => {
+            out.push(4);
+            put_u64(out, id.0);
+            put_u32(out, type_id.0);
+            put_u32(out, fields.len() as u32);
+            for (name, f) in fields {
+                put_str(out, name);
+                put_u64(out, f.0);
+            }
+        }
+        RedoOp::CreateSet { id, type_id } => {
+            out.push(5);
+            put_u64(out, id.0);
+            put_u32(out, type_id.0);
+        }
+    }
+}
+
+fn encode_record(out: &mut Vec<u8>, rec: &WalRecord) {
+    match rec {
+        WalRecord::LeafRedo { top, subtree, op } => {
+            out.push(0);
+            put_u64(out, *top);
+            put_u32(out, *subtree);
+            put_redo(out, op);
+        }
+        WalRecord::SubCommit { top, subtree, comp } => {
+            out.push(1);
+            put_u64(out, *top);
+            put_u32(out, *subtree);
+            put_u32(out, comp.len() as u32);
+            for inv in comp {
+                put_invocation(out, inv);
+            }
+        }
+        WalRecord::CompApplied { top } => {
+            out.push(2);
+            put_u64(out, *top);
+        }
+        WalRecord::TopCommit { top } => {
+            out.push(3);
+            put_u64(out, *top);
+        }
+        WalRecord::TopAbort { top } => {
+            out.push(4);
+            put_u64(out, *top);
+        }
+        WalRecord::CompRedo { top, op } => {
+            out.push(5);
+            put_u64(out, *top);
+            put_redo(out, op);
+        }
+    }
+}
+
+/// Build one framed record: `[len][crc][lsn + body]`.
+fn encode_frame(lsn: u64, rec: &WalRecord) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(32);
+    put_u64(&mut payload, lsn);
+    encode_record(&mut payload, rec);
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    put_u32(&mut frame, payload.len() as u32);
+    put_u32(&mut frame, crc32(&payload));
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+// -- decoding ---------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn value(&mut self) -> Option<Value> {
+        Some(match self.u8()? {
+            0 => Value::Unit,
+            1 => Value::Bool(self.u8()? != 0),
+            2 => Value::Int(self.u64()? as i64),
+            3 => Value::Money(self.u64()? as i64),
+            4 => Value::Str(self.str()?),
+            5 => Value::Id(ObjectId(self.u64()?)),
+            6 => {
+                let n = self.u32()? as usize;
+                let mut items = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    items.push(self.value()?);
+                }
+                Value::List(items)
+            }
+            _ => return None,
+        })
+    }
+
+    fn invocation(&mut self) -> Option<Invocation> {
+        let object = ObjectId(self.u64()?);
+        let type_id = TypeId(self.u32()?);
+        let method = match self.u8()? {
+            0 => MethodSel::Generic(match self.u8()? {
+                0 => GenericMethod::Get,
+                1 => GenericMethod::Put,
+                2 => GenericMethod::Select,
+                3 => GenericMethod::Insert,
+                4 => GenericMethod::Remove,
+                5 => GenericMethod::Scan,
+                _ => return None,
+            }),
+            1 => MethodSel::User(MethodId(self.u32()?)),
+            _ => return None,
+        };
+        let n = self.u32()? as usize;
+        let mut args = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            args.push(self.value()?);
+        }
+        Some(Invocation { object, type_id, method, args })
+    }
+
+    fn redo(&mut self) -> Option<RedoOp> {
+        Some(match self.u8()? {
+            0 => RedoOp::Put { obj: ObjectId(self.u64()?), value: self.value()? },
+            1 => RedoOp::Insert {
+                set: ObjectId(self.u64()?),
+                key: self.u64()?,
+                member: ObjectId(self.u64()?),
+            },
+            2 => RedoOp::Remove { set: ObjectId(self.u64()?), key: self.u64()? },
+            3 => RedoOp::CreateAtomic {
+                id: ObjectId(self.u64()?),
+                type_id: TypeId(self.u32()?),
+                value: self.value()?,
+            },
+            4 => {
+                let id = ObjectId(self.u64()?);
+                let type_id = TypeId(self.u32()?);
+                let n = self.u32()? as usize;
+                let mut fields = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let name = self.str()?;
+                    fields.push((name, ObjectId(self.u64()?)));
+                }
+                RedoOp::CreateTuple { id, type_id, fields }
+            }
+            5 => RedoOp::CreateSet { id: ObjectId(self.u64()?), type_id: TypeId(self.u32()?) },
+            _ => return None,
+        })
+    }
+
+    fn record(&mut self) -> Option<WalRecord> {
+        Some(match self.u8()? {
+            0 => {
+                let top = self.u64()?;
+                let subtree = self.u32()?;
+                WalRecord::LeafRedo { top, subtree, op: self.redo()? }
+            }
+            1 => {
+                let top = self.u64()?;
+                let subtree = self.u32()?;
+                let n = self.u32()? as usize;
+                let mut comp = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    comp.push(self.invocation()?);
+                }
+                WalRecord::SubCommit { top, subtree, comp }
+            }
+            2 => WalRecord::CompApplied { top: self.u64()? },
+            3 => WalRecord::TopCommit { top: self.u64()? },
+            4 => WalRecord::TopAbort { top: self.u64()? },
+            5 => {
+                let top = self.u64()?;
+                WalRecord::CompRedo { top, op: self.redo()? }
+            }
+            _ => return None,
+        })
+    }
+}
+
+/// Sanity bound on a single frame (a SubCommit carries at most a
+/// transaction's compensation list — far below this).
+const MAX_FRAME: usize = 1 << 20;
+
+/// Result of opening a log image.
+#[derive(Debug)]
+pub struct WalReadOutcome {
+    /// The surviving records, in LSN order (LSN = index).
+    pub records: Vec<WalRecord>,
+    /// Bytes discarded at the tail (torn frame, bad CRC, or garbage).
+    pub truncated_bytes: usize,
+}
+
+/// Parse a log image, applying torn-tail truncation: parsing stops at the
+/// first incomplete frame, CRC mismatch, undecodable payload, or LSN gap,
+/// and everything from that point on is reported as truncated. Every prefix
+/// that survives is internally consistent.
+pub fn read_log(bytes: &[u8]) -> WalReadOutcome {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while bytes.len() - pos >= 8 {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if !(9..=MAX_FRAME).contains(&len) || pos + 8 + len > bytes.len() {
+            break; // torn or garbage tail
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            break; // corrupt tail
+        }
+        let mut cur = Cursor { buf: payload, pos: 0 };
+        let Some(lsn) = cur.u64() else { break };
+        if lsn != records.len() as u64 {
+            break; // spliced or reordered tail
+        }
+        let Some(rec) = cur.record() else { break };
+        if cur.pos != payload.len() {
+            break; // trailing junk inside the frame
+        }
+        records.push(rec);
+        pos += 8 + len;
+    }
+    WalReadOutcome { records, truncated_bytes: bytes.len() - pos }
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+/// When the log forces its buffered appends to durable storage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Never sync (fastest; a crash loses everything since the last
+    /// explicit [`WalWriter::flush`]). The B2-overhead configuration.
+    #[default]
+    Never,
+    /// Sync on every top-level commit or abort record (group durability).
+    OnCommit,
+    /// Sync after every append (slowest, smallest loss window).
+    EveryAppend,
+}
+
+/// What one append did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppendInfo {
+    /// The record was accepted into the log (false once the injected crash
+    /// killed the device).
+    pub appended: bool,
+    /// An fsync made the buffer durable as part of this append.
+    pub synced: bool,
+    /// The record's LSN (meaningless when not appended).
+    pub lsn: u64,
+}
+
+struct WriterState {
+    /// Bytes that survived an fsync ("on disk").
+    durable: Vec<u8>,
+    /// Appended but not yet synced bytes (lost on crash).
+    buffer: Vec<u8>,
+    next_lsn: u64,
+    dead: bool,
+    leaf_appends: u64,
+    comp_appends: u64,
+    total_appends: u64,
+    fsyncs: u64,
+}
+
+/// The log writer: frames records, buffers them, and makes them durable
+/// according to the [`FsyncPolicy`]. An optional [`FaultPlan`] crash point
+/// kills the device mid-stream — after which appends are silently dropped,
+/// exactly as a crashed machine would drop them — so chaos harnesses can
+/// recover from the surviving prefix.
+///
+/// The backing device is an in-memory byte image by default; pass a path to
+/// [`WalWriter::with_file`] to additionally persist every synced byte to a
+/// real file (`fsync` → `File::sync_data`).
+pub struct WalWriter {
+    policy: FsyncPolicy,
+    faults: Option<Arc<FaultPlan>>,
+    file: Option<Mutex<std::fs::File>>,
+    state: Mutex<WriterState>,
+}
+
+impl WalWriter {
+    /// A fresh in-memory log.
+    pub fn new(policy: FsyncPolicy) -> Arc<Self> {
+        Arc::new(WalWriter {
+            policy,
+            faults: None,
+            file: None,
+            state: Mutex::new(WriterState {
+                durable: Vec::new(),
+                buffer: Vec::new(),
+                next_lsn: 0,
+                dead: false,
+                leaf_appends: 0,
+                comp_appends: 0,
+                total_appends: 0,
+                fsyncs: 0,
+            }),
+        })
+    }
+
+    /// A fresh in-memory log whose device dies at the plan's
+    /// [`CrashPoint`](crate::fault::CrashPoint), if it has one.
+    pub fn with_faults(policy: FsyncPolicy, faults: Arc<FaultPlan>) -> Arc<Self> {
+        let w = Self::new(policy);
+        Arc::new(WalWriter { faults: Some(faults), ..Arc::try_unwrap(w).ok().unwrap() })
+    }
+
+    /// A log that also persists synced bytes to `path` (truncating any
+    /// previous contents).
+    pub fn with_file(policy: FsyncPolicy, path: &std::path::Path) -> std::io::Result<Arc<Self>> {
+        let file = std::fs::File::create(path)?;
+        let w = Self::new(policy);
+        Ok(Arc::new(WalWriter { file: Some(Mutex::new(file)), ..Arc::try_unwrap(w).ok().unwrap() }))
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// Append one record, syncing per policy. See [`AppendInfo`].
+    pub fn append(&self, rec: &WalRecord) -> AppendInfo {
+        let mut st = self.state.lock();
+        if st.dead {
+            return AppendInfo { appended: false, synced: false, lsn: st.next_lsn };
+        }
+        let is_leaf = matches!(rec, WalRecord::LeafRedo { .. });
+        let is_comp = matches!(rec, WalRecord::CompApplied { .. });
+        if is_leaf {
+            st.leaf_appends += 1;
+        }
+        if is_comp {
+            st.comp_appends += 1;
+        }
+        st.total_appends += 1;
+        if let Some(cp) = self.faults.as_ref().and_then(|p| p.crash()) {
+            let die = match cp {
+                CrashPoint::AtLeafAppend { nth } => is_leaf && st.leaf_appends == nth,
+                CrashPoint::MidCompensation { nth } => is_comp && st.comp_appends == nth,
+                CrashPoint::TornTail { nth, .. } => st.total_appends == nth,
+                CrashPoint::BeforeFsync { .. } => false, // handled at sync time
+            };
+            if die {
+                if let CrashPoint::TornTail { keep, .. } = cp {
+                    // The machine died mid-write: whatever was already
+                    // buffered reaches the device, plus a partial frame.
+                    let frame = encode_frame(st.next_lsn, rec);
+                    let keep = keep.clamp(1, frame.len().saturating_sub(1));
+                    let buffered = std::mem::take(&mut st.buffer);
+                    st.durable.extend_from_slice(&buffered);
+                    st.durable.extend_from_slice(&frame[..keep]);
+                    self.sync_file(&st.durable);
+                }
+                st.dead = true;
+                st.buffer.clear();
+                return AppendInfo { appended: false, synced: false, lsn: st.next_lsn };
+            }
+        }
+        let lsn = st.next_lsn;
+        let frame = encode_frame(lsn, rec);
+        st.buffer.extend_from_slice(&frame);
+        st.next_lsn += 1;
+        let want_sync = match self.policy {
+            FsyncPolicy::EveryAppend => true,
+            FsyncPolicy::OnCommit => {
+                matches!(rec, WalRecord::TopCommit { .. } | WalRecord::TopAbort { .. })
+            }
+            FsyncPolicy::Never => false,
+        };
+        let synced = want_sync && self.sync_locked(&mut st);
+        AppendInfo { appended: true, synced, lsn }
+    }
+
+    /// Force buffered appends to durable storage. Returns `false` once the
+    /// device is dead (including when this very call hits the injected
+    /// pre-fsync crash).
+    pub fn flush(&self) -> bool {
+        let mut st = self.state.lock();
+        !st.dead && self.sync_locked(&mut st)
+    }
+
+    fn sync_locked(&self, st: &mut WriterState) -> bool {
+        st.fsyncs += 1;
+        if let Some(CrashPoint::BeforeFsync { nth }) = self.faults.as_ref().and_then(|p| p.crash())
+        {
+            if st.fsyncs == nth {
+                // Crash before the sync completes: the buffer never
+                // reaches the device.
+                st.dead = true;
+                st.buffer.clear();
+                return false;
+            }
+        }
+        let buffered = std::mem::take(&mut st.buffer);
+        st.durable.extend_from_slice(&buffered);
+        self.sync_file(&st.durable);
+        true
+    }
+
+    fn sync_file(&self, durable: &[u8]) {
+        if let Some(f) = &self.file {
+            let mut f = f.lock();
+            // Rewrite-from-zero keeps the file an exact image of the
+            // durable bytes; logs are append-mostly and small in tests.
+            let _ = f.set_len(0);
+            let _ = std::io::Seek::seek(&mut *f, std::io::SeekFrom::Start(0));
+            let _ = f.write_all(durable);
+            let _ = f.sync_data();
+        }
+    }
+
+    /// Did the injected crash point fire?
+    pub fn crashed(&self) -> bool {
+        self.state.lock().dead
+    }
+
+    /// LSN of the next append (= records accepted so far).
+    pub fn appended(&self) -> u64 {
+        self.state.lock().next_lsn
+    }
+
+    /// fsyncs issued so far (including the one the crash interrupted).
+    pub fn fsyncs(&self) -> u64 {
+        self.state.lock().fsyncs
+    }
+
+    /// The bytes a post-crash open would see: only durable bytes after a
+    /// crash, everything (a clean shutdown flushes implicitly) otherwise.
+    pub fn surviving(&self) -> Vec<u8> {
+        let st = self.state.lock();
+        let mut out = st.durable.clone();
+        if !st.dead {
+            out.extend_from_slice(&st.buffer);
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for WalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        write!(
+            f,
+            "WalWriter(policy = {:?}, lsn = {}, fsyncs = {}, dead = {})",
+            self.policy, st.next_lsn, st.fsyncs, st.dead
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultSpec;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::LeafRedo {
+                top: 1,
+                subtree: 2,
+                op: RedoOp::Put { obj: ObjectId(7), value: Value::Int(-3) },
+            },
+            WalRecord::LeafRedo {
+                top: 1,
+                subtree: 2,
+                op: RedoOp::CreateTuple {
+                    id: ObjectId(40),
+                    type_id: TypeId(17),
+                    fields: vec![("OrderNo".into(), ObjectId(41)), ("Status".into(), ObjectId(42))],
+                },
+            },
+            WalRecord::SubCommit {
+                top: 1,
+                subtree: 2,
+                comp: vec![
+                    Invocation::remove(ObjectId(9), TypeId(18), 5),
+                    Invocation {
+                        object: ObjectId(3),
+                        type_id: TypeId(16),
+                        method: MethodSel::User(MethodId(4)),
+                        args: vec![Value::Str("undo".into()), Value::List(vec![Value::Bool(true)])],
+                    },
+                ],
+            },
+            WalRecord::LeafRedo {
+                top: 2,
+                subtree: 1,
+                op: RedoOp::Insert { set: ObjectId(9), key: 5, member: ObjectId(40) },
+            },
+            WalRecord::CompRedo { top: 2, op: RedoOp::Remove { set: ObjectId(9), key: 5 } },
+            WalRecord::CompApplied { top: 2 },
+            WalRecord::TopAbort { top: 2 },
+            WalRecord::TopCommit { top: 1 },
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"hello"), 0x3610_A686);
+    }
+
+    #[test]
+    fn records_roundtrip_through_frames() {
+        let w = WalWriter::new(FsyncPolicy::EveryAppend);
+        for rec in &sample_records() {
+            let info = w.append(rec);
+            assert!(info.appended && info.synced);
+        }
+        let out = read_log(&w.surviving());
+        assert_eq!(out.records, sample_records());
+        assert_eq!(out.truncated_bytes, 0);
+        assert_eq!(w.fsyncs(), sample_records().len() as u64);
+    }
+
+    #[test]
+    fn every_tail_cut_yields_a_record_prefix() {
+        let w = WalWriter::new(FsyncPolicy::Never);
+        for rec in &sample_records() {
+            w.append(rec);
+        }
+        w.flush();
+        let full = w.surviving();
+        let all = read_log(&full).records;
+        assert_eq!(all.len(), sample_records().len());
+        for cut in 0..full.len() {
+            let out = read_log(&full[..cut]);
+            assert!(out.records.len() <= all.len());
+            assert_eq!(out.records[..], all[..out.records.len()], "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_truncates_the_tail() {
+        let w = WalWriter::new(FsyncPolicy::Never);
+        for rec in &sample_records() {
+            w.append(rec);
+        }
+        w.flush();
+        let mut bytes = w.surviving();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0xFF; // corrupt the last frame's payload
+        let out = read_log(&bytes);
+        assert_eq!(out.records.len(), sample_records().len() - 1);
+        assert!(out.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn on_commit_policy_syncs_only_at_resolution_records() {
+        let w = WalWriter::new(FsyncPolicy::OnCommit);
+        let leaf = &sample_records()[0];
+        assert!(!w.append(leaf).synced);
+        assert!(!w.append(leaf).synced);
+        assert!(w.append(&WalRecord::TopCommit { top: 1 }).synced);
+        assert_eq!(w.fsyncs(), 1);
+        // Unsynced bytes still show up on a clean (non-crash) read.
+        assert!(!w.append(leaf).synced);
+        assert_eq!(read_log(&w.surviving()).records.len(), 4);
+    }
+
+    #[test]
+    fn crash_at_leaf_append_drops_that_append_and_the_rest() {
+        let plan =
+            FaultPlan::new(1, FaultSpec::default().with_crash(CrashPoint::AtLeafAppend { nth: 2 }));
+        let w = WalWriter::with_faults(FsyncPolicy::EveryAppend, plan);
+        let recs = sample_records();
+        let mut accepted = 0;
+        for rec in &recs {
+            if w.append(rec).appended {
+                accepted += 1;
+            }
+        }
+        assert!(w.crashed());
+        // Records 0 (leaf #1) survives; record 1 is leaf #2 → device dies.
+        assert_eq!(accepted, 1);
+        let out = read_log(&w.surviving());
+        assert_eq!(out.records, recs[..1]);
+    }
+
+    #[test]
+    fn crash_before_fsync_loses_the_buffered_tail() {
+        let plan =
+            FaultPlan::new(1, FaultSpec::default().with_crash(CrashPoint::BeforeFsync { nth: 2 }));
+        let w = WalWriter::with_faults(FsyncPolicy::OnCommit, plan);
+        let leaf = &sample_records()[0];
+        w.append(leaf);
+        assert!(w.append(&WalRecord::TopCommit { top: 1 }).synced, "first fsync survives");
+        w.append(leaf);
+        w.append(leaf);
+        let info = w.append(&WalRecord::TopCommit { top: 2 });
+        assert!(info.appended && !info.synced, "second fsync is the crash point");
+        assert!(w.crashed());
+        let out = read_log(&w.surviving());
+        assert_eq!(out.records.len(), 2, "only the first synced group survives");
+        assert!(matches!(out.records[1], WalRecord::TopCommit { top: 1 }));
+    }
+
+    #[test]
+    fn torn_tail_crash_leaves_a_partial_frame_that_truncates() {
+        let plan = FaultPlan::new(
+            1,
+            FaultSpec::default().with_crash(CrashPoint::TornTail { nth: 3, keep: 5 }),
+        );
+        let w = WalWriter::with_faults(FsyncPolicy::Never, plan);
+        let recs = sample_records();
+        for rec in &recs {
+            w.append(rec);
+        }
+        assert!(w.crashed());
+        let bytes = w.surviving();
+        let out = read_log(&bytes);
+        assert_eq!(out.records, recs[..2], "two whole records plus a torn third");
+        assert_eq!(out.truncated_bytes, 5);
+    }
+
+    #[test]
+    fn dead_writer_rejects_everything() {
+        let plan = FaultPlan::new(
+            1,
+            FaultSpec::default().with_crash(CrashPoint::TornTail { nth: 1, keep: 1 }),
+        );
+        let w = WalWriter::with_faults(FsyncPolicy::EveryAppend, plan);
+        assert!(!w.append(&WalRecord::TopCommit { top: 1 }).appended);
+        assert!(!w.append(&WalRecord::TopCommit { top: 2 }).appended);
+        assert!(!w.flush());
+        assert_eq!(w.appended(), 0);
+    }
+
+    #[test]
+    fn file_backed_log_persists_synced_bytes() {
+        let path = std::env::temp_dir().join(format!("semcc-wal-test-{}.log", std::process::id()));
+        {
+            let w = WalWriter::with_file(FsyncPolicy::EveryAppend, &path).unwrap();
+            for rec in &sample_records() {
+                w.append(rec);
+            }
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        let out = read_log(&bytes);
+        assert_eq!(out.records, sample_records());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn lsn_gap_truncates() {
+        let w = WalWriter::new(FsyncPolicy::Never);
+        w.append(&WalRecord::TopCommit { top: 1 });
+        w.append(&WalRecord::TopCommit { top: 2 });
+        w.flush();
+        let bytes = w.surviving();
+        // Drop the FIRST frame: the second frame's LSN (1) no longer
+        // matches its position (0) → everything is discarded.
+        let first_len = 8 + u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let out = read_log(&bytes[first_len..]);
+        assert!(out.records.is_empty());
+    }
+}

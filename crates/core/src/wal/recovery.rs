@@ -1,0 +1,262 @@
+//! Crash recovery: repeating-history redo plus log-driven
+//! abort-by-compensation.
+//!
+//! Recovery is deliberately a thin composition of machinery that already
+//! exists. The surviving log prefix is parsed (torn tail truncated),
+//! analyzed into winners (a `TopCommit` survived), the fully-aborted
+//! (a `TopAbort` survived), and **losers** (neither record survived).
+//! Then:
+//!
+//! 1. **Redo (repeating history)** — redo records are replayed, in LSN
+//!    order, into a store rebuilt from the deterministic initial state.
+//!    Every transaction's effects replay, winners and aborted alike,
+//!    because leaf values are logged as *absolute* states: a winner's
+//!    read-modify-write may embed the exposed effect of a concurrently
+//!    running transaction that later aborted, so skipping the aborted
+//!    transaction would diverge from the values other records carry (the
+//!    ARIES "repeating history" argument). Forward effects (`LeafRedo`)
+//!    replay only if their depth-1 subtree logged a `SubCommit` — an
+//!    unfinished subtransaction died with its effects unexposed — while
+//!    compensating effects (`CompRedo`, the logical CLR) replay
+//!    unconditionally: a fully-aborted transaction thus nets to zero with
+//!    the correct intermediate values, and a mid-abort crash resumes from
+//!    exactly the compensation progress the log shows.
+//! 2. **Undo by compensation** — each loser's `SubCommit` records carry
+//!    its compensation intent (the paper's inverse invocations). The
+//!    `CompApplied` markers a top-level abort logs say how many of those
+//!    intents (the newest, since compensation runs in reverse) were
+//!    already applied — and step 1 already replayed them — so only the
+//!    remainder is handed to [`Engine::compensate_transaction`], which
+//!    executes it reversed, under the full semantic locking discipline —
+//!    recovery *is* the paper's abort path, driven from the log instead
+//!    of from an in-memory transaction tree. Objects a loser or aborted
+//!    transaction created are deleted afterwards, mirroring the engine's
+//!    (unlogged) abort-time GC.
+//!
+//! The result is a store equal to the serial replay of the committed
+//! prefix of the pre-crash history — the property the chaos harness's
+//! crash–recover–audit sweep asserts.
+
+use super::{read_log, RedoOp, WalRecord};
+use crate::config::ProtocolConfig;
+use crate::engine::Engine;
+use crate::fault::FaultPlan;
+use crate::journal::JournalKind;
+use crate::stats::Stats;
+use semcc_objstore::MemoryStore;
+use semcc_semantics::{Catalog, Invocation, Result, SemccError, Storage};
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+/// What a recovery pass did (one per crash).
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Records that survived in the log prefix.
+    pub surviving_records: usize,
+    /// Bytes discarded by torn-tail truncation.
+    pub truncated_bytes: usize,
+    /// Transactions whose `TopCommit` survived.
+    pub winners: usize,
+    /// Transactions whose `TopAbort` survived (replayed forward *and*
+    /// compensating: net effect zero, no further undo needed).
+    pub aborted: usize,
+    /// Uncommitted-at-crash transactions compensated by this pass.
+    pub losers: usize,
+    /// Redo records (forward and compensating) replayed into the store.
+    pub replayed_actions: u64,
+    /// Compensating invocations executed on behalf of losers.
+    pub compensations: u64,
+    /// Objects created by losers or aborted transactions, re-created by
+    /// redo, deleted again here.
+    pub deleted_creations: u64,
+    /// Compensation failures (loser id, error). Recovery continues past
+    /// them — like the in-process abort path, a failed compensation is
+    /// surfaced, never allowed to wedge everything else.
+    pub failures: Vec<(u64, String)>,
+}
+
+/// Per-transaction analysis of the surviving log.
+#[derive(Default)]
+struct TopInfo {
+    committed: bool,
+    aborted: bool,
+    /// Depth-1 subtrees whose `SubCommit` survived.
+    committed_subtrees: HashSet<u32>,
+    /// Compensation intents of those subtrees, in LSN order.
+    intents: Vec<Invocation>,
+    /// Intents already applied (and `CompRedo`-logged) by a pre-crash
+    /// top-level abort — always the newest `comp_applied` of `intents`.
+    comp_applied: u64,
+    /// LSN of the transaction's last surviving record (undo ordering).
+    last_lsn: u64,
+    /// Objects created by this transaction that redo re-created.
+    redone_creations: Vec<semcc_semantics::ObjectId>,
+}
+
+/// Rebuild a crashed engine's state from the surviving log image.
+///
+/// `store` must hold the same deterministic initial state the crashed
+/// engine started from (`Database::build` with identical parameters);
+/// `catalog` likewise, since losers' compensations may invoke user
+/// methods. The returned engine ran every recovery compensation under
+/// `config`'s locking discipline and is ready for new transactions; pass
+/// `faults` to inject compensation faults *into recovery itself* (they
+/// are retried under the engine's bounded budget).
+pub fn recover(
+    log: &[u8],
+    store: Arc<MemoryStore>,
+    catalog: Arc<Catalog>,
+    config: ProtocolConfig,
+    faults: Option<Arc<FaultPlan>>,
+) -> Result<(Arc<Engine>, RecoveryReport)> {
+    let outcome = read_log(log);
+    let mut report = RecoveryReport {
+        surviving_records: outcome.records.len(),
+        truncated_bytes: outcome.truncated_bytes,
+        ..Default::default()
+    };
+
+    // ---- analysis ----------------------------------------------------
+    let mut tops: BTreeMap<u64, TopInfo> = BTreeMap::new();
+    for (lsn, rec) in outcome.records.iter().enumerate() {
+        let info = tops.entry(rec.top()).or_default();
+        info.last_lsn = lsn as u64;
+        match rec {
+            WalRecord::SubCommit { subtree, comp, .. } => {
+                info.committed_subtrees.insert(*subtree);
+                info.intents.extend(comp.iter().cloned());
+            }
+            WalRecord::CompApplied { .. } => info.comp_applied += 1,
+            WalRecord::TopCommit { .. } => info.committed = true,
+            WalRecord::TopAbort { .. } => info.aborted = true,
+            // Redo records are handled positionally below.
+            WalRecord::LeafRedo { .. } | WalRecord::CompRedo { .. } => {}
+        }
+    }
+    report.winners = tops.values().filter(|t| t.committed).count();
+    report.aborted = tops.values().filter(|t| t.aborted && !t.committed).count();
+
+    let mut builder =
+        Engine::builder(Arc::clone(&store) as Arc<dyn Storage>, catalog).protocol(config);
+    if let Some(plan) = faults {
+        builder = builder.fault_plan(plan);
+    }
+    let engine = builder.build();
+    let journal = |kind: JournalKind, top: u64, key: u64, aux: u64| {
+        if let Some(j) = engine.journal() {
+            j.record(kind, top, 0, 0, 0, key, aux);
+        }
+    };
+    journal(JournalKind::RecoveryStart, 0, 0, report.surviving_records as u64);
+
+    // ---- redo (repeating history) ------------------------------------
+    for rec in &outcome.records {
+        let (top, op) = match rec {
+            WalRecord::LeafRedo { top, subtree, op } => {
+                // A forward effect is real only if its depth-1 subtree
+                // committed — anything else died with its subtransaction,
+                // unexposed. No skip for aborted transactions: their
+                // `CompRedo` records below cancel these exactly.
+                if !tops[top].committed_subtrees.contains(subtree) {
+                    continue;
+                }
+                (top, op)
+            }
+            // Compensating effects always replay: they repaired state
+            // other transactions went on to observe (and log absolutely).
+            WalRecord::CompRedo { top, op } => (top, op),
+            _ => continue,
+        };
+        match op {
+            RedoOp::Put { obj, value } => {
+                store.put(*obj, value.clone())?;
+            }
+            RedoOp::Insert { set, key, member } => {
+                store.set_insert(*set, *key, *member)?;
+            }
+            RedoOp::Remove { set, key } => {
+                store.set_remove(*set, *key)?;
+            }
+            RedoOp::CreateAtomic { id, type_id, value } => {
+                store.restore_atomic(*id, *type_id, value.clone())?;
+            }
+            RedoOp::CreateTuple { id, type_id, fields } => {
+                store.restore_tuple(*id, *type_id, fields.clone())?;
+            }
+            RedoOp::CreateSet { id, type_id } => {
+                store.restore_set(*id, *type_id)?;
+            }
+        }
+        if let Some(created) = op.created_id() {
+            tops.get_mut(top).expect("analyzed above").redone_creations.push(created);
+        }
+        report.replayed_actions += 1;
+        Stats::bump(&engine.stats_ref().replayed_actions);
+        journal(JournalKind::RecoveryReplay, *top, op.object().0, 0);
+    }
+
+    // Aborted transactions' creations were GC'd in-process (the engine
+    // deletes them unlogged after compensation); redo re-created them, so
+    // delete them again before anything else can observe them.
+    let aborted_tops: Vec<u64> =
+        tops.iter().filter(|(_, t)| t.aborted && !t.committed).map(|(top, _)| *top).collect();
+    for top in aborted_tops {
+        let created =
+            std::mem::take(&mut tops.get_mut(&top).expect("analyzed above").redone_creations);
+        for obj in created.into_iter().rev() {
+            if store.delete(obj).is_ok() {
+                report.deleted_creations += 1;
+            }
+        }
+    }
+
+    // ---- undo by compensation ---------------------------------------
+    // Newest-first, exactly like nested in-process aborts: a younger
+    // loser may have built on an older one's exposed effects.
+    let mut losers: Vec<u64> =
+        tops.iter().filter(|(_, t)| !t.committed && !t.aborted).map(|(top, _)| *top).collect();
+    losers.sort_by_key(|top| std::cmp::Reverse(tops[top].last_lsn));
+    report.losers = losers.len();
+    for top in losers {
+        let info = tops.get_mut(&top).expect("analyzed above");
+        let mut intents = std::mem::take(&mut info.intents);
+        // A crash mid-abort leaves `CompApplied` markers for the inverses
+        // already executed (the newest ones — compensation runs in
+        // reverse) and redo already replayed their `CompRedo` effects;
+        // only the remainder still needs running.
+        let remaining = intents.len().saturating_sub(info.comp_applied as usize);
+        intents.truncate(remaining);
+        for inv in &intents {
+            journal(JournalKind::RecoveryCompensation, top, inv.object.0, 0);
+        }
+        match engine.compensate_transaction(intents) {
+            Ok(executed) => {
+                report.compensations += executed as u64;
+                Stats::add(&engine.stats_ref().recovery_compensations, executed as u64);
+            }
+            Err(e) => {
+                // Preserve the real cause; the audit decides what a
+                // partially-compensated loser means for the run.
+                let msg = match &e {
+                    SemccError::CompensationFailed(m) => m.clone(),
+                    other => other.to_string(),
+                };
+                report.failures.push((top, msg));
+            }
+        }
+        // Mirror the abort path's GC: objects the loser created (and redo
+        // re-created because a committed subtree logged them) disappear.
+        for obj in std::mem::take(&mut tops.get_mut(&top).expect("analyzed above").redone_creations)
+            .into_iter()
+            .rev()
+        {
+            if store.delete(obj).is_ok() {
+                report.deleted_creations += 1;
+            }
+        }
+    }
+
+    Stats::bump(&engine.stats_ref().recoveries);
+    journal(JournalKind::RecoveryDone, 0, 0, report.losers as u64);
+    Ok((engine, report))
+}

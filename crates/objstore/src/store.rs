@@ -128,6 +128,46 @@ impl MemoryStore {
         out
     }
 
+    /// Restore an object under a *specific* id (redo replay of a logged
+    /// creation). Fails if the id is already live; advances the id counter
+    /// past `id` so later creations never collide with restored objects.
+    fn restore(&self, id: ObjectId, obj: StoredObject) -> Result<()> {
+        self.next_id.fetch_max(id.0 + 1, Ordering::Relaxed);
+        let mut shard = self.shard(id).write();
+        if shard.contains_key(&id) {
+            return Err(SemccError::Internal(format!("restore of live object {id:?}")));
+        }
+        shard.insert(id, obj);
+        Ok(())
+    }
+
+    /// Restore an atomic object under its logged id (crash recovery).
+    pub fn restore_atomic(&self, id: ObjectId, type_id: TypeId, v: Value) -> Result<()> {
+        let page = self.allocator.lock().assign();
+        self.restore(id, StoredObject { type_id, page, kind: ObjKind::Atomic(v) })
+    }
+
+    /// Restore a tuple object under its logged id (crash recovery). The
+    /// component ids are taken as logged; dangling components are accepted
+    /// because the components' own redo records may follow later in the log.
+    pub fn restore_tuple(
+        &self,
+        id: ObjectId,
+        type_id: TypeId,
+        fields: Vec<(String, ObjectId)>,
+    ) -> Result<()> {
+        let page = self.allocator.lock().assign();
+        let map: BTreeMap<String, ObjectId> = fields.into_iter().collect();
+        self.restore(id, StoredObject { type_id, page, kind: ObjKind::Tuple(map) })
+    }
+
+    /// Restore an (empty) set object under its logged id (crash recovery);
+    /// logged `Insert` redo records refill it.
+    pub fn restore_set(&self, id: ObjectId, type_id: TypeId) -> Result<()> {
+        let page = self.allocator.lock().assign();
+        self.restore(id, StoredObject { type_id, page, kind: ObjKind::Set(BTreeMap::new()) })
+    }
+
     /// Deep copy of the whole store (same object ids, same pages, same id
     /// counter). Used by validators to re-execute transactions serially
     /// from the initial state.
@@ -342,6 +382,22 @@ mod tests {
         assert_eq!(s.object_count(), 2);
         s.delete(o).unwrap();
         assert_eq!(s.object_count(), 1);
+    }
+
+    #[test]
+    fn restore_recreates_ids_and_advances_the_counter() {
+        let s = MemoryStore::new();
+        s.restore_atomic(ObjectId(10), TYPE_ATOMIC, Value::Int(7)).unwrap();
+        s.restore_set(ObjectId(11), TYPE_SET).unwrap();
+        s.restore_tuple(ObjectId(12), TYPE_TUPLE, vec![("A".into(), ObjectId(10))]).unwrap();
+        assert_eq!(s.get(ObjectId(10)).unwrap(), Value::Int(7));
+        s.set_insert(ObjectId(11), 1, ObjectId(12)).unwrap();
+        assert_eq!(s.field(ObjectId(12), "A").unwrap(), ObjectId(10));
+        // Fresh creations never collide with restored ids.
+        let fresh = s.create_atomic(TYPE_ATOMIC, Value::Unit).unwrap();
+        assert!(fresh.0 > 12);
+        // Restoring over a live object is a recovery bug, not a merge.
+        assert!(s.restore_atomic(ObjectId(10), TYPE_ATOMIC, Value::Unit).is_err());
     }
 
     #[test]

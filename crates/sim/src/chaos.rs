@@ -12,14 +12,15 @@
 
 use crate::executor::{run_workload, RunParams};
 use crate::protocols::ProtocolKind;
-use crate::validate::check_semantic_graph;
+use crate::validate::{canonical_state, check_semantic_graph};
 use semcc_baselines::{ClosedNested, FlatObject2pl, Page2pl};
 use semcc_core::{
-    silence_injected_panics, Discipline, Engine, FaultPlan, FaultSpec, FaultyStorage, MemorySink,
-    ProtocolConfig,
+    read_log, recover, silence_injected_panics, CrashPoint, Discipline, Engine, FaultPlan,
+    FaultSpec, FaultyStorage, FsyncPolicy, MemorySink, ProtocolConfig, WalRecord, WalWriter,
 };
-use semcc_orderentry::{Database, DbParams, Workload, WorkloadConfig};
+use semcc_orderentry::{Database, DbParams, MixWeights, Workload, WorkloadConfig};
 use semcc_semantics::Storage;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -84,6 +85,9 @@ pub struct ChaosReport {
     pub live_after: usize,
     /// Lock-table entries still held after the run (must be 0).
     pub leaked_entries: usize,
+    /// Residual waits-for-graph state `(edges, cells, doomed, aborting)`
+    /// after the run (must be all zero — the stale-state audit).
+    pub wfg_residue: (usize, usize, usize, usize),
     /// Whether the committed history passed the semantic graph check.
     pub serializable: bool,
     /// Unabsorbed conflict edges in that graph.
@@ -94,7 +98,10 @@ impl ChaosReport {
     /// The containment invariant: everything cleaned up and the surviving
     /// history still tree-reducible.
     pub fn contained(&self) -> bool {
-        self.live_after == 0 && self.leaked_entries == 0 && self.serializable
+        self.live_after == 0
+            && self.leaked_entries == 0
+            && self.wfg_residue == (0, 0, 0, 0)
+            && self.serializable
     }
 }
 
@@ -179,8 +186,267 @@ pub fn run_chaos(params: &ChaosParams) -> ChaosReport {
         compensation_retries: stats.compensation_retries,
         live_after: engine.live_transactions(),
         leaked_entries: engine.lock_entries(),
+        wfg_residue: engine.wfg_residue(),
         serializable: graph.serializable,
         graph_edges: graph.edges,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Crash–recover–audit sweeps (write-ahead log + compensation recovery)
+// ---------------------------------------------------------------------
+
+/// One crash-recovery run's configuration.
+#[derive(Clone, Debug)]
+pub struct CrashParams {
+    /// Seed for the fault schedule and the workload generator.
+    pub seed: u64,
+    /// Transactions in the batch.
+    pub txns: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Fault spec — its [`CrashPoint`] decides where the log device dies;
+    /// the probabilistic sites may be armed too (e.g. body panics to force
+    /// aborts so `MidCompensation` has something to interrupt).
+    pub faults: FaultSpec,
+    /// The log's fsync cadence during the pre-crash run.
+    pub fsync: FsyncPolicy,
+    /// Transaction mix.
+    pub mix: MixWeights,
+    /// Lock-wait timeout backstop.
+    pub lock_wait_timeout: Duration,
+    /// Retries per transaction.
+    pub max_retries: u32,
+    /// Database size.
+    pub n_items: usize,
+    /// Orders per item.
+    pub orders_per_item: usize,
+}
+
+impl Default for CrashParams {
+    fn default() -> Self {
+        CrashParams {
+            seed: 42,
+            txns: 60,
+            workers: 4,
+            faults: FaultSpec::default(),
+            fsync: FsyncPolicy::EveryAppend,
+            mix: MixWeights::paper_uniform(),
+            lock_wait_timeout: Duration::from_secs(2),
+            max_retries: 50,
+            n_items: 4,
+            orders_per_item: 4,
+        }
+    }
+}
+
+/// Outcome of one crash–recover–audit run.
+#[derive(Debug)]
+pub struct CrashReport {
+    /// Transactions the pre-crash process committed (including after the
+    /// log device died — those are exactly the ones a crash erases).
+    pub committed: u64,
+    /// Whether the injected crash point actually fired.
+    pub crashed: bool,
+    /// Records surviving in the log prefix.
+    pub surviving_records: usize,
+    /// Bytes discarded by torn-tail truncation on recovery open.
+    pub truncated_bytes: usize,
+    /// Transactions whose commit record survived (the committed prefix).
+    pub winners: usize,
+    /// Uncommitted-at-crash transactions compensated by recovery.
+    pub losers: usize,
+    /// Leaf redo records replayed.
+    pub replayed_actions: u64,
+    /// Compensating invocations recovery executed.
+    pub recovery_compensations: u64,
+    /// Recovery-time compensation failures (must be 0 unless injected).
+    pub compensation_failures: usize,
+    /// Recovered store equals the serial replay of the committed-prefix
+    /// history, in log commit order.
+    pub state_matches: bool,
+    /// Why the audit failed, when it did (for triage of CI sweeps).
+    pub audit_failure: Option<String>,
+    /// Live transactions on the recovery engine afterwards (must be 0).
+    pub live_after: usize,
+    /// Lock-table entries on the recovery engine afterwards (must be 0).
+    pub leaked_entries: usize,
+    /// Waits-for residue on the recovery engine (must be all zero).
+    pub wfg_residue: (usize, usize, usize, usize),
+}
+
+impl CrashReport {
+    /// The recovery invariant: the crash consumed, nothing leaked, and the
+    /// store equal to a committed-prefix serial history.
+    pub fn sound(&self) -> bool {
+        self.state_matches
+            && self.compensation_failures == 0
+            && self.live_after == 0
+            && self.leaked_entries == 0
+            && self.wfg_residue == (0, 0, 0, 0)
+    }
+}
+
+/// The canonical crash classes of the acceptance sweep. Each pairs a
+/// fault spec (crash point + any driver faults it needs) with the fsync
+/// policy under which the class is meaningful.
+pub fn crash_points() -> Vec<(&'static str, FaultSpec, FsyncPolicy)> {
+    vec![
+        // The nth leaf redo never reaches the log: its transaction can
+        // only be a loser (or an invisible tail of a winner's subtree —
+        // impossible, since SubCommit follows its leaves).
+        (
+            "leaf-append",
+            FaultSpec::default().with_crash(CrashPoint::AtLeafAppend { nth: 25 }),
+            FsyncPolicy::EveryAppend,
+        ),
+        // Group-commit window: everything since the previous sync is lost,
+        // including records of transactions the process saw commit.
+        (
+            "pre-fsync",
+            FaultSpec::default().with_crash(CrashPoint::BeforeFsync { nth: 8 }),
+            FsyncPolicy::OnCommit,
+        ),
+        // Die while an abort's compensations are half-applied; body panics
+        // drive the aborts that make this class reachable.
+        (
+            "mid-compensation",
+            FaultSpec::body_panic(0.15).with_crash(CrashPoint::MidCompensation { nth: 2 }),
+            FsyncPolicy::EveryAppend,
+        ),
+        // A partial frame on the device: exercises CRC/length truncation.
+        (
+            "torn-tail",
+            FaultSpec::default().with_crash(CrashPoint::TornTail { nth: 60, keep: 7 }),
+            FsyncPolicy::EveryAppend,
+        ),
+    ]
+}
+
+/// The workload mixes of the acceptance sweep. The uniform mix is extended
+/// with order-entry (T0) so creation redo/undo is exercised too.
+pub fn crash_mixes() -> Vec<(&'static str, MixWeights)> {
+    vec![
+        ("uniform+create", MixWeights { t0_new: 2, ..MixWeights::paper_uniform() }),
+        ("update-heavy", MixWeights::update_heavy()),
+        ("read-heavy", MixWeights::read_heavy()),
+    ]
+}
+
+/// Run a workload against a WAL whose device dies at the configured crash
+/// point, recover from the surviving prefix onto a fresh copy of the
+/// initial state, and audit: the recovered store must equal replaying the
+/// log's committed transactions serially, in log commit order, and the
+/// recovery engine must end clean (no live transactions, no lock entries,
+/// no waits-for residue).
+pub fn run_crash_recover(params: &CrashParams) -> CrashReport {
+    silence_injected_panics();
+    let db_params = DbParams {
+        n_items: params.n_items,
+        orders_per_item: params.orders_per_item,
+        ..Default::default()
+    };
+    let db = Database::build(&db_params).expect("database build");
+    let plan = FaultPlan::new(params.seed, params.faults);
+    let wal = WalWriter::with_faults(params.fsync, Arc::clone(&plan));
+    let store = FaultyStorage::new(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&plan));
+    let engine = Engine::builder(store as Arc<dyn Storage>, Arc::clone(&db.catalog))
+        .protocol(ProtocolConfig::semantic())
+        .lock_wait_timeout(params.lock_wait_timeout)
+        .fault_plan(Arc::clone(&plan))
+        .wal(Arc::clone(&wal))
+        .build();
+
+    let mut w = Workload::new(
+        &db,
+        WorkloadConfig { seed: params.seed, mix: params.mix, ..Default::default() },
+    );
+    let batch = w.batch(&db, params.txns);
+    let out = run_workload(
+        &engine,
+        batch,
+        &RunParams {
+            workers: params.workers,
+            max_retries: params.max_retries,
+            record_outcomes: true,
+            ..Default::default()
+        },
+    );
+
+    // ---- the crash: only the surviving log image carries over ---------
+    let crashed = wal.crashed();
+    let log = wal.surviving();
+    let spec_of: HashMap<u64, &semcc_orderentry::TxnSpec> =
+        out.committed.iter().map(|c| (c.top.0, &c.spec)).collect();
+
+    // ---- recover onto a fresh copy of the deterministic initial state -
+    let base = Database::build(&db_params).expect("recovery base build");
+    let (recovered, report) = recover(
+        &log,
+        Arc::clone(&base.store),
+        Arc::clone(&base.catalog),
+        ProtocolConfig::semantic(),
+        None,
+    )
+    .expect("recovery");
+
+    // ---- audit: committed-prefix serial replay ------------------------
+    // Winners in log commit order; their specs replayed serially on
+    // another fresh initial state must reach the recovered state (order
+    // numbers are baked into the specs, so the replay is deterministic).
+    let serial = Database::build(&db_params).expect("serial replay build");
+    let serial_engine =
+        Engine::builder(Arc::clone(&serial.store) as Arc<dyn Storage>, Arc::clone(&serial.catalog))
+            .protocol(ProtocolConfig::semantic())
+            .build();
+    let mut audit_failure: Option<String> = None;
+    for rec in &read_log(&log).records {
+        let WalRecord::TopCommit { top } = rec else { continue };
+        match spec_of.get(top) {
+            Some(spec) => {
+                if let Err(e) = serial_engine.execute(*spec) {
+                    audit_failure =
+                        Some(format!("serial replay of winner {top} ({spec:?}) failed: {e}"));
+                    break;
+                }
+            }
+            // A logged winner the process never saw commit cannot happen:
+            // the commit record is appended before the outcome returns.
+            None => {
+                audit_failure = Some(format!("logged winner {top} has no recorded outcome"));
+                break;
+            }
+        }
+    }
+    if audit_failure.is_none() {
+        let got = canonical_state(recovered.storage().as_ref(), base.items_set);
+        let want = canonical_state(serial.store.as_ref() as &dyn Storage, serial.items_set);
+        match (got, want) {
+            (Ok(g), Ok(w)) if g == w => {}
+            (Ok(g), Ok(w)) => {
+                audit_failure =
+                    Some(format!("recovered state != serial replay:\n got: {g:?}\nwant: {w:?}"))
+            }
+            (g, w) => audit_failure = Some(format!("canonical projection failed: {g:?} / {w:?}")),
+        }
+    }
+    let state_matches = audit_failure.is_none();
+
+    CrashReport {
+        committed: out.metrics.committed,
+        crashed,
+        surviving_records: report.surviving_records,
+        truncated_bytes: report.truncated_bytes,
+        winners: report.winners,
+        losers: report.losers,
+        replayed_actions: report.replayed_actions,
+        recovery_compensations: report.compensations,
+        compensation_failures: report.failures.len(),
+        state_matches,
+        audit_failure,
+        live_after: recovered.live_transactions(),
+        leaked_entries: recovered.lock_entries(),
+        wfg_residue: recovered.wfg_residue(),
     }
 }
 
@@ -229,5 +495,48 @@ mod tests {
         });
         assert!(report.caught_panics > 0, "{report:?}");
         assert!(report.contained(), "{report:?}");
+    }
+
+    #[test]
+    fn crash_free_run_recovers_every_committed_transaction() {
+        let report = run_crash_recover(&CrashParams { txns: 20, ..Default::default() });
+        assert!(!report.crashed, "{report:?}");
+        assert_eq!(report.winners as u64, report.committed, "{report:?}");
+        assert_eq!(report.losers, 0, "{report:?}");
+        assert!(report.replayed_actions > 0, "{report:?}");
+        assert!(report.sound(), "{report:?}");
+    }
+
+    #[test]
+    fn leaf_append_crash_recovers_to_the_committed_prefix() {
+        let (_, faults, fsync) = crash_points().remove(0);
+        let report =
+            run_crash_recover(&CrashParams { seed: 3, faults, fsync, ..Default::default() });
+        assert!(report.crashed, "the crash point must fire: {report:?}");
+        assert!(
+            (report.winners as u64) < report.committed,
+            "the crash must erase some committed work: {report:?}"
+        );
+        assert!(report.sound(), "{report:?}");
+    }
+
+    #[test]
+    fn torn_tail_crash_truncates_and_still_recovers() {
+        let (_, faults, fsync) = crash_points().remove(3);
+        let report =
+            run_crash_recover(&CrashParams { seed: 5, faults, fsync, ..Default::default() });
+        assert!(report.crashed, "{report:?}");
+        assert!(report.truncated_bytes > 0, "the torn frame must be dropped: {report:?}");
+        assert!(report.sound(), "{report:?}");
+    }
+
+    #[test]
+    fn creation_heavy_mix_exercises_creation_redo() {
+        let report = run_crash_recover(&CrashParams {
+            seed: 9,
+            mix: crash_mixes().remove(0).1,
+            ..Default::default()
+        });
+        assert!(report.sound(), "{report:?}");
     }
 }

@@ -27,7 +27,10 @@ pub mod scenario;
 pub mod treeview;
 pub mod validate;
 
-pub use chaos::{fault_mixes, run_chaos, ChaosParams, ChaosReport};
+pub use chaos::{
+    crash_mixes, crash_points, fault_mixes, run_chaos, run_crash_recover, ChaosParams, ChaosReport,
+    CrashParams, CrashReport,
+};
 pub use executor::{run_workload, CommittedTxn, LockTableSample, RunOutcome, RunParams};
 pub use metrics::RunMetrics;
 pub use protocols::{build_engine, build_engine_cfg, build_engine_observed, ProtocolKind};

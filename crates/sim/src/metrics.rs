@@ -209,6 +209,11 @@ mod tests {
         let stats_src = semcc_core::Stats::default();
         semcc_core::Stats::bump(&stats_src.case1_grants);
         semcc_core::Stats::bump(&stats_src.root_waits);
+        semcc_core::Stats::add(&stats_src.wal_appends, 17);
+        semcc_core::Stats::add(&stats_src.wal_fsyncs, 5);
+        semcc_core::Stats::bump(&stats_src.recoveries);
+        semcc_core::Stats::add(&stats_src.replayed_actions, 11);
+        semcc_core::Stats::add(&stats_src.recovery_compensations, 3);
         RunMetrics {
             protocol: "semantic".into(),
             workers: 8,
@@ -259,6 +264,29 @@ mod tests {
     }
 
     #[test]
+    fn json_roundtrip_preserves_recovery_counters() {
+        let m = sample_metrics();
+        let json = m.to_json();
+        assert!(json.contains("\"wal_appends\":17"), "{json}");
+        assert!(json.contains("\"recoveries\":1"), "{json}");
+        let parsed = RunMetrics::from_json(&json).unwrap();
+        assert_eq!(parsed.stats.wal_appends, 17);
+        assert_eq!(parsed.stats.wal_fsyncs, 5);
+        assert_eq!(parsed.stats.recoveries, 1);
+        assert_eq!(parsed.stats.replayed_actions, 11);
+        assert_eq!(parsed.stats.recovery_compensations, 3);
+    }
+
+    #[test]
+    fn json_stats_object_lists_every_declared_counter() {
+        let m = sample_metrics();
+        let json = m.to_json();
+        for (name, _) in m.stats.field_pairs() {
+            assert!(json.contains(&format!("\"{name}\":")), "counter {name} missing from {json}");
+        }
+    }
+
+    #[test]
     fn from_json_rejects_garbage() {
         assert!(RunMetrics::from_json("{}").is_err());
         assert!(RunMetrics::from_json("not json at all").is_err());
@@ -273,6 +301,13 @@ mod tests {
         assert!(text.contains("semcc_commit_latency_p99_us"));
         assert!(text.contains("semcc_stats_case1_grants_total"));
         assert!(text.contains("# TYPE semcc_throughput_tps gauge"));
+        assert!(
+            text.contains("semcc_stats_wal_appends_total{protocol=\"semantic\",workers=\"8\"} 17")
+        );
+        assert!(text.contains("semcc_stats_wal_fsyncs_total"));
+        assert!(text.contains("semcc_stats_recoveries_total"));
+        assert!(text.contains("semcc_stats_replayed_actions_total"));
+        assert!(text.contains("semcc_stats_recovery_compensations_total"));
         for line in text.lines() {
             assert!(
                 line.starts_with("# TYPE semcc_") || line.starts_with("semcc_"),

@@ -55,6 +55,11 @@ fn chaos_sweep_is_contained_across_seeds_and_mixes() {
             );
             assert_eq!(report.live_after, 0, "{label}: live transactions leaked: {report:?}");
             assert_eq!(report.leaked_entries, 0, "{label}: lock entries leaked: {report:?}");
+            assert_eq!(
+                report.wfg_residue,
+                (0, 0, 0, 0),
+                "{label}: waits-for graph retained state: {report:?}"
+            );
             assert!(report.serializable, "{label}: surviving history not serializable: {report:?}");
             injected_total += report.injected;
         }

@@ -1,0 +1,275 @@
+//! Durability regression suite.
+//!
+//! Crash–recover–audit sweeps (seeded crash points injected into the
+//! write-ahead log under the order-entry workload) plus targeted scenarios
+//! for the recovery path itself: losers compensated from logged intents,
+//! recovery-time compensation faults retried under the bounded budget, and
+//! the original abort cause surviving a failing compensation (the
+//! error-shadowing regression). Every workload run is watchdog-guarded —
+//! a hang is a recovery failure and must surface as a test failure, not a
+//! stuck CI job.
+
+use semcc::core::{
+    recover, CrashPoint, Engine, Event, FaultPlan, FaultSpec, FnProgram, FsyncPolicy, MemorySink,
+    ProtocolConfig, TransactionProgram, WalWriter,
+};
+use semcc::orderentry::{Database, DbParams, Target};
+use semcc::semantics::{MethodContext, SemccError, Storage, Value};
+use semcc::sim::{crash_mixes, crash_points, run_crash_recover, CrashParams, CrashReport};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Hard per-run watchdog: recovery bugs tend to manifest as hangs.
+const RUN_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn run_guarded(label: String, params: CrashParams) -> CrashReport {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(run_crash_recover(&params));
+    });
+    match rx.recv_timeout(RUN_TIMEOUT) {
+        Ok(report) => report,
+        Err(_) => panic!("crash-recovery run {label} hung (> {RUN_TIMEOUT:?})"),
+    }
+}
+
+/// The acceptance sweep: 8 seeds × three workload mixes × the four
+/// canonical crash classes. Every run must recover to exactly the serial
+/// replay of the log's committed prefix, with no live transactions, no
+/// lock entries, and no waits-for residue on the recovery engine. CI
+/// shifts the seed window via `SEMCC_CHAOS_SEED_OFFSET`.
+#[test]
+fn crash_recover_audit_sweep_across_seeds_mixes_and_crash_points() {
+    let offset: u64 =
+        std::env::var("SEMCC_CHAOS_SEED_OFFSET").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
+    for (class, faults, fsync) in crash_points() {
+        let mut crashes = 0u32;
+        let mut erased = 0u32;
+        for (mix_name, mix) in crash_mixes() {
+            for seed in (offset + 1)..=(offset + 8) {
+                let label = format!("{mix_name}/{class}/seed{seed}");
+                let report = run_guarded(
+                    label.clone(),
+                    CrashParams { seed, faults, fsync, mix, ..Default::default() },
+                );
+                assert!(report.sound(), "{label}: recovery unsound: {report:?}");
+                if report.crashed {
+                    crashes += 1;
+                }
+                if (report.winners as u64) < report.committed {
+                    erased += 1;
+                }
+            }
+        }
+        // Each class must actually fire somewhere in its sweep, and the
+        // audit must not be vacuous: some crashes erase committed work.
+        assert!(crashes > 0, "{class}: the crash point never fired across the sweep");
+        assert!(erased > 0, "{class}: no run ever lost committed work — audit is vacuous");
+    }
+}
+
+fn db2() -> Database {
+    Database::build(&DbParams { n_items: 1, orders_per_item: 2, ..Default::default() }).unwrap()
+}
+
+fn ship_two(db: &Database) -> impl TransactionProgram {
+    let a = Target { item: db.items[0].item, order: db.items[0].orders[0].order };
+    let b = Target { item: db.items[0].item, order: db.items[0].orders[1].order };
+    FnProgram::new("ship-two", move |ctx: &mut dyn MethodContext| {
+        ctx.call(a.item, "ShipOrder", vec![Value::Id(a.order)])?;
+        ctx.call(b.item, "ShipOrder", vec![Value::Id(b.order)])
+    })
+}
+
+/// Build the log image of a transaction that completed two subtransactions
+/// but whose `TopCommit` record was torn off by the crash: a loser with
+/// surviving compensation intents. Uses a dry run to count the appends, so
+/// the torn frame is exactly the commit record.
+fn losing_log() -> Vec<u8> {
+    let dry = db2();
+    let wal = WalWriter::new(FsyncPolicy::EveryAppend);
+    let engine =
+        Engine::builder(Arc::clone(&dry.store) as Arc<dyn Storage>, Arc::clone(&dry.catalog))
+            .protocol(ProtocolConfig::semantic())
+            .wal(Arc::clone(&wal))
+            .build();
+    let prog = ship_two(&dry);
+    engine.execute(&prog).expect("dry run commits");
+    let total = wal.appended();
+
+    let db = db2();
+    let plan = FaultPlan::new(
+        1,
+        FaultSpec::default().with_crash(CrashPoint::TornTail { nth: total, keep: 1 }),
+    );
+    let wal = WalWriter::with_faults(FsyncPolicy::EveryAppend, plan);
+    let engine =
+        Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog))
+            .protocol(ProtocolConfig::semantic())
+            .wal(Arc::clone(&wal))
+            .build();
+    let prog = ship_two(&db);
+    // The process itself still commits — only the log record is torn.
+    engine.execute(&prog).expect("crashed run still commits in-process");
+    assert!(wal.crashed(), "the torn-tail crash must fire on the commit append");
+    wal.surviving()
+}
+
+/// Recovery compensates a loser from its logged intents and leaves the
+/// store at the initial state (both ShipOrders undone).
+#[test]
+fn recovery_compensates_a_loser_back_to_the_initial_state() {
+    let log = losing_log();
+    let base = db2();
+    let (engine, report) = recover(
+        &log,
+        Arc::clone(&base.store),
+        Arc::clone(&base.catalog),
+        ProtocolConfig::semantic(),
+        None,
+    )
+    .expect("recovery");
+    assert_eq!(report.winners, 0, "{report:?}");
+    assert_eq!(report.losers, 1, "{report:?}");
+    assert!(report.truncated_bytes > 0, "the torn commit frame must be dropped: {report:?}");
+    assert!(report.replayed_actions > 0, "{report:?}");
+    assert_eq!(report.compensations, 4, "two inverses per shipped order: {report:?}");
+    assert!(report.failures.is_empty(), "{report:?}");
+    // Both orders back to no shipped event.
+    let fresh = db2();
+    for i in [0, 1] {
+        let order = base.items[0].orders[i].order;
+        let want =
+            fresh.store.get(fresh.store.field(fresh.items[0].orders[i].order, "Status").unwrap());
+        let got = base.store.get(base.store.field(order, "Status").unwrap());
+        assert_eq!(got.unwrap(), want.unwrap(), "order {i} not fully compensated");
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.recoveries, 1, "{stats:?}");
+    assert!(stats.replayed_actions > 0, "{stats:?}");
+    assert_eq!(stats.recovery_compensations, 4, "{stats:?}");
+    assert_eq!(engine.live_transactions(), 0);
+    assert_eq!(engine.lock_entries(), 0);
+}
+
+/// A compensation fault injected *into recovery itself* is retried under
+/// the engine's bounded budget: the pass still succeeds, and the retries
+/// are visible in the stats.
+#[test]
+fn recovery_retries_injected_compensation_faults_to_success() {
+    let log = losing_log();
+    let base = db2();
+    let plan = FaultPlan::new(
+        9,
+        FaultSpec { compensation_error: 1.0, ..FaultSpec::default() }.with_max_triggers(2),
+    );
+    let (engine, report) = recover(
+        &log,
+        Arc::clone(&base.store),
+        Arc::clone(&base.catalog),
+        ProtocolConfig::semantic(),
+        Some(Arc::clone(&plan)),
+    )
+    .expect("recovery");
+    assert_eq!(plan.triggered(), 2, "both budgeted faults must fire");
+    assert!(report.failures.is_empty(), "retries must absorb the faults: {report:?}");
+    assert_eq!(report.compensations, 4, "{report:?}");
+    let stats = engine.stats();
+    assert!(stats.compensation_retries >= 2, "{stats:?}");
+    assert_eq!(stats.recovery_compensations, 4, "{stats:?}");
+    assert_eq!(engine.live_transactions(), 0);
+    assert_eq!(engine.lock_entries(), 0);
+}
+
+/// When the retry budget cannot absorb the faults (they fire on every
+/// attempt), recovery surfaces a `CompensationFailure` for that loser and
+/// continues — the engine still ends clean.
+#[test]
+fn recovery_surfaces_unabsorbable_compensation_faults() {
+    let log = losing_log();
+    let base = db2();
+    let plan = FaultPlan::new(9, FaultSpec { compensation_error: 1.0, ..FaultSpec::default() });
+    let (engine, report) = recover(
+        &log,
+        Arc::clone(&base.store),
+        Arc::clone(&base.catalog),
+        ProtocolConfig::semantic(),
+        Some(plan),
+    )
+    .expect("recovery itself must not error");
+    assert_eq!(report.failures.len(), 1, "{report:?}");
+    let (_, msg) = &report.failures[0];
+    assert!(msg.contains("compensation"), "failure must name the injected cause: {msg}");
+    // A partially-compensated loser is reported, never allowed to wedge
+    // the engine: no live transaction, no lock entry survives.
+    assert_eq!(engine.live_transactions(), 0);
+    assert_eq!(engine.lock_entries(), 0);
+}
+
+/// The error-shadowing regression, compensation-fault edition: an abort
+/// whose compensations fault (and are retried to success) still reports
+/// the *original* abort cause to the caller.
+#[test]
+fn abort_cause_survives_retried_compensation_faults() {
+    let db = db2();
+    let plan = FaultPlan::new(
+        7,
+        FaultSpec { compensation_error: 1.0, ..FaultSpec::default() }.with_max_triggers(2),
+    );
+    let engine =
+        Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog))
+            .protocol(ProtocolConfig::semantic())
+            .fault_plan(Arc::clone(&plan))
+            .build();
+    let t = Target { item: db.items[0].item, order: db.items[0].orders[0].order };
+    let prog = FnProgram::new("T", move |ctx: &mut dyn MethodContext| {
+        ctx.call(t.item, "ShipOrder", vec![Value::Id(t.order)])?;
+        panic!("boom-original");
+    });
+    match engine.execute(&prog) {
+        Err(SemccError::MethodPanicked(msg)) => assert!(msg.contains("boom-original"), "{msg}"),
+        other => panic!("original cause must survive the faulted compensation: {other:?}"),
+    }
+    assert_eq!(plan.triggered(), 2);
+    let stats = engine.stats();
+    assert!(stats.compensation_retries >= 2, "{stats:?}");
+    assert_eq!(engine.live_transactions(), 0);
+    assert_eq!(engine.lock_entries(), 0);
+}
+
+/// Same regression with the budget exhausted: the compensation failure is
+/// chained into the event stream alongside the original cause — it never
+/// shadows it.
+#[test]
+fn exhausted_compensation_budget_chains_instead_of_shadowing() {
+    let db = db2();
+    let sink = MemorySink::new();
+    let plan = FaultPlan::new(7, FaultSpec { compensation_error: 1.0, ..FaultSpec::default() });
+    let engine =
+        Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog))
+            .protocol(ProtocolConfig::semantic())
+            .fault_plan(plan)
+            .compensation_retries(3, Duration::from_micros(50))
+            .sink(sink.clone())
+            .build();
+    let t = Target { item: db.items[0].item, order: db.items[0].orders[0].order };
+    let prog = FnProgram::new("T", move |ctx: &mut dyn MethodContext| {
+        ctx.call(t.item, "ShipOrder", vec![Value::Id(t.order)])?;
+        panic!("boom-original");
+    });
+    match engine.execute(&prog) {
+        Err(SemccError::MethodPanicked(msg)) => assert!(msg.contains("boom-original"), "{msg}"),
+        other => panic!("original cause must not be shadowed: {other:?}"),
+    }
+    let chained = sink.events().iter().any(|e| {
+        matches!(
+            &e.ev,
+            Event::CompensationFailure { error, original, .. }
+                if error.contains("compensation") && original.contains("boom-original")
+        )
+    });
+    assert!(chained, "CompensationFailure event must carry both causes");
+    assert_eq!(engine.live_transactions(), 0);
+    assert_eq!(engine.lock_entries(), 0);
+}
