@@ -1,7 +1,7 @@
 //! The experiment driver: regenerates every evaluation artifact.
 //!
 //! ```text
-//! experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|chaos|recover|observe] [--quick]
+//! experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|b8|chaos|recover|observe] [--quick]
 //! ```
 
 use semcc_bench::sweeps::{self, Scale};
@@ -77,6 +77,11 @@ fn main() {
             "b5_txn_length",
             sweeps::b5_txn_length(scale),
         ),
+        "b8" => print_and_save(
+            "B8: snapshot read path on/off across read ratios (4 hot items, MPL 8)",
+            "b8_read_path",
+            sweeps::b8_read_path(scale, !quick),
+        ),
         "chaos" => {
             figures::containment();
             print_and_save(
@@ -139,6 +144,11 @@ fn main() {
                 sweeps::b5_txn_length(scale),
             );
             print_and_save(
+                "B8: snapshot read path on/off across read ratios (4 hot items, MPL 8)",
+                "b8_read_path",
+                sweeps::b8_read_path(scale, !quick),
+            );
+            print_and_save(
                 "B6: chaos sweep (fault mixes × seeds; containment audit)",
                 "b6_chaos",
                 sweeps::b6_chaos(scale, chaos_seeds),
@@ -157,7 +167,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|chaos|recover|observe] [--quick]"
+                "usage: experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|b8|chaos|recover|observe] [--quick]"
             );
             std::process::exit(2);
         }

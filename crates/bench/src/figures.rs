@@ -214,12 +214,21 @@ pub fn fig5_run(kind: ProtocolKind) -> bool {
     });
 
     let committed = vec![
-        CommittedTxn { input_idx: 0, spec: TxnSpec::Ship(vec![a, b]), top: TopId(1), value: v1 },
+        CommittedTxn {
+            input_idx: 0,
+            spec: TxnSpec::Ship(vec![a, b]),
+            top: TopId(1),
+            value: v1,
+            snapshot: false,
+            commit_seq: 1,
+        },
         CommittedTxn {
             input_idx: 1,
             spec: TxnSpec::CheckShipped { targets: vec![a, b], bypass: true },
             top: TopId(2),
             value: v3,
+            snapshot: false,
+            commit_seq: 2,
         },
     ];
     let graph = check_semantic_graph(&sink.events(), engine.router());

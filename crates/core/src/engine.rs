@@ -37,7 +37,9 @@ use semcc_semantics::{
     Catalog, GenericMethod, Invocation, MethodContext, MethodSel, ObjectId, Result,
     SemanticsRouter, SemccError, Storage, TypeId, Value,
 };
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -65,12 +67,23 @@ pub trait TransactionProgram: Send + Sync {
     /// transaction's result. Returning `Err` aborts the transaction (with
     /// compensation).
     fn run(&self, ctx: &mut dyn MethodContext) -> Result<Value>;
+
+    /// Declare that this program only reads (every invocation is a pure
+    /// reader). A `true` answer routes the transaction through the
+    /// lock-free snapshot read path when the engine and storage support
+    /// it; the engine still verifies the claim dynamically and falls back
+    /// to ordinary locking on any write attempt, so a wrong `true` costs
+    /// one wasted execution, never correctness. Default: `false`.
+    fn read_only_hint(&self) -> bool {
+        false
+    }
 }
 
 /// A program built from a closure plus a label.
 pub struct FnProgram<F> {
     label: String,
     f: F,
+    read_only: bool,
 }
 
 impl<F> FnProgram<F>
@@ -79,7 +92,13 @@ where
 {
     /// Wrap a closure as a program.
     pub fn new(label: impl Into<String>, f: F) -> Self {
-        FnProgram { label: label.into(), f }
+        FnProgram { label: label.into(), f, read_only: false }
+    }
+
+    /// Wrap a closure as a program declared read-only (eligible for the
+    /// snapshot read path).
+    pub fn read_only(label: impl Into<String>, f: F) -> Self {
+        FnProgram { label: label.into(), f, read_only: true }
     }
 }
 
@@ -94,6 +113,10 @@ where
     fn run(&self, ctx: &mut dyn MethodContext) -> Result<Value> {
         (self.f)(ctx)
     }
+
+    fn read_only_hint(&self) -> bool {
+        self.read_only
+    }
 }
 
 /// Result of a committed transaction.
@@ -103,6 +126,14 @@ pub struct TxnOutcome {
     pub top: TopId,
     /// The program's return value.
     pub value: Value,
+    /// Whether the transaction committed on the lock-free snapshot read
+    /// path (no lock-table entries, no waits-for edges, no WAL records).
+    pub snapshot: bool,
+    /// Position in the engine-wide commit order (1-based). Writers take
+    /// their number before releasing write intents; snapshot readers take
+    /// theirs right after validating, so a reader's observed state equals
+    /// the effects of exactly the writers numbered below it.
+    pub commit_seq: u64,
 }
 
 /// Per-transaction shared state.
@@ -110,6 +141,9 @@ struct TxnShared {
     tree: Arc<TxnTree>,
     /// Objects created by this transaction (deleted again on abort).
     created: Mutex<Vec<ObjectId>>,
+    /// Objects this transaction declared write intent on (first mutating
+    /// leaf per object); intents are released when the top finishes.
+    written: Mutex<Vec<ObjectId>>,
 }
 
 /// Builds an [`Engine`].
@@ -125,6 +159,7 @@ pub struct EngineBuilder {
     op_delay: Duration,
     faults: Option<Arc<FaultPlan>>,
     wal: Option<Arc<WalWriter>>,
+    snapshot_reads: bool,
 }
 
 impl EngineBuilder {
@@ -141,7 +176,17 @@ impl EngineBuilder {
             op_delay: Duration::ZERO,
             faults: None,
             wal: None,
+            snapshot_reads: true,
         }
+    }
+
+    /// Enable or disable the snapshot read path for programs declaring
+    /// [`TransactionProgram::read_only_hint`]. On by default; it only
+    /// engages when the storage also reports
+    /// [`supports_versioning`](Storage::supports_versioning).
+    pub fn snapshot_reads(mut self, on: bool) -> Self {
+        self.snapshot_reads = on;
+        self
     }
 
     /// Simulated latency of every leaf (storage) operation, applied while
@@ -237,6 +282,7 @@ impl EngineBuilder {
             Some(f) => f(&deps),
             None => SemanticLockManager::new(self.config, deps.clone()),
         };
+        let snapshot_enabled = self.snapshot_reads && self.storage.supports_versioning();
         Arc::new(Engine {
             storage: self.storage,
             catalog: self.catalog,
@@ -247,6 +293,8 @@ impl EngineBuilder {
             op_delay: self.op_delay,
             faults: self.faults,
             wal: self.wal,
+            snapshot_enabled,
+            commit_seq: AtomicU64::new(0),
         })
     }
 }
@@ -262,6 +310,14 @@ pub struct Engine {
     op_delay: Duration,
     faults: Option<Arc<FaultPlan>>,
     wal: Option<Arc<WalWriter>>,
+    /// Snapshot read path available: the builder knob is on *and* the
+    /// storage maintains version stamps.
+    snapshot_enabled: bool,
+    /// Engine-wide commit order. Writers draw their number before
+    /// releasing write intents; snapshot readers draw theirs after
+    /// validation, so validation success orders a reader after exactly
+    /// the writers it observed.
+    commit_seq: AtomicU64,
 }
 
 impl Engine {
@@ -363,11 +419,22 @@ impl Engine {
     /// Like [`Engine::execute`], but also returns the attempt's `TopId`
     /// even when it aborted (retry loops key their backoff on it).
     pub fn execute_traced(&self, prog: &dyn TransactionProgram) -> (TopId, Result<TxnOutcome>) {
+        if self.snapshot_enabled && prog.read_only_hint() {
+            if let Some(done) = self.execute_snapshot(prog) {
+                return done;
+            }
+            // Ineligible or validation failed: promote to the ordinary
+            // locking path below (a fresh top-level transaction).
+            Stats::bump(&self.deps.stats.snapshot_retries);
+        }
         let tree = self.deps.registry.begin();
         let top = tree.top();
         self.deps.sink.record(Event::TopBegin { top, label: prog.label() });
-        let shared =
-            Arc::new(TxnShared { tree: Arc::clone(&tree), created: Mutex::new(Vec::new()) });
+        let shared = Arc::new(TxnShared {
+            tree: Arc::clone(&tree),
+            created: Mutex::new(Vec::new()),
+            written: Mutex::new(Vec::new()),
+        });
         // Backstop containment: if anything below unwinds past the
         // commit/abort calls (e.g. a panic inside the abort path itself),
         // the guard still releases locks, finishes the registry entry and
@@ -389,8 +456,8 @@ impl Engine {
         });
         let result = match run {
             Ok(value) => {
-                self.commit(top, &tree);
-                Ok(TxnOutcome { top, value })
+                let seq = self.commit(top, &shared);
+                Ok(TxnOutcome { top, value, snapshot: false, commit_seq: seq })
             }
             Err(e) => {
                 let comp = std::mem::take(&mut ctx.comp);
@@ -424,6 +491,99 @@ impl Engine {
         }
     }
 
+    /// Attempt a read-only program on the lock-free snapshot read path:
+    /// no lock-table entries, no waits-for edges, no WAL records. Every
+    /// leaf read records the object's version stamp; at commit the read
+    /// set is validated (stamps unchanged, no write intent), which proves
+    /// the observed state equals the current committed state — i.e. the
+    /// effects of exactly the writers with a smaller commit-order number.
+    ///
+    /// Returns `None` to *promote*: the program attempted a write or an
+    /// object creation, an invoked method is not a declared pure reader,
+    /// an object moved between reads, the program failed or panicked, or
+    /// commit-time validation failed. A promoted attempt leaves no
+    /// observable trace (no sink events, no WAL records) — the locking
+    /// re-run is the transaction.
+    fn execute_snapshot(
+        &self,
+        prog: &dyn TransactionProgram,
+    ) -> Option<(TopId, Result<TxnOutcome>)> {
+        // No tree, no registry entry: a snapshot transaction holds no
+        // locks, so nothing ever queries its status or waits on its nodes
+        // (see `Registry::allocate_top`).
+        let top = self.deps.registry.allocate_top();
+        self.journal_record(JournalKind::SnapshotBegin, NodeRef::root(top), 0);
+        // Quiescence token *before* the first read: if it is unchanged at
+        // validation, the store proves the whole window mutation-free and
+        // the per-object re-checks (one latch round trip each) are skipped.
+        let quiesce = self.storage.quiesce_token();
+        let mut ctx = SnapshotCtx {
+            engine: self,
+            selves: Vec::new(),
+            reads: BTreeMap::new(),
+            stash: Vec::new(),
+            reads_done: 0,
+            ineligible: false,
+        };
+        let run = catch_unwind(AssertUnwindSafe(|| prog.run(&mut ctx)));
+        // One batched add per attempt: a per-read bump on the shared
+        // counter line measurably serializes concurrent readers.
+        Stats::add(&self.deps.stats.snapshot_reads, ctx.reads_done);
+        let value = match run {
+            // The sticky flag catches programs that swallowed an
+            // ineligibility error: committing would drop the attempted
+            // write silently.
+            Ok(Ok(v)) if !ctx.ineligible => v,
+            // Program error, write attempt, torn read or panic: promote.
+            // (A panicking program panics again on the locking path,
+            // where the panic is contained and counted as usual.)
+            _ => {
+                self.journal_record(JournalKind::SnapshotPromote, NodeRef::root(top), 0);
+                return None;
+            }
+        };
+        Stats::bump(&self.deps.stats.read_validations);
+        let quiescent = quiesce.is_some() && self.storage.quiesce_token() == quiesce;
+        let valid = quiescent
+            || ctx.reads.iter().all(|(o, ver)| {
+                matches!(
+                    self.storage.object_version(*o),
+                    Ok((cur, writers)) if cur == *ver && writers == 0
+                )
+            });
+        if let Some(j) = &self.deps.journal {
+            j.record(
+                JournalKind::SnapshotValidate,
+                top.0,
+                0,
+                0,
+                0,
+                ctx.reads.len() as u64,
+                u64::from(valid),
+            );
+        }
+        if !valid {
+            Stats::bump(&self.deps.stats.read_validation_failures);
+            self.journal_record(JournalKind::SnapshotPromote, NodeRef::root(top), 1);
+            return None;
+        }
+        // Serialization point: validation just proved the read set equals
+        // the committed state, so the reader orders after exactly the
+        // writers numbered below `seq` (writers draw their number before
+        // releasing write intents).
+        let seq = self.commit_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        // The event trace is emitted only now, and without per-read leaf
+        // actions: the reader serializes at its validation point, which
+        // the interleaved event order cannot express. The sim crate's
+        // `check_snapshot_reads` validates snapshot transactions against
+        // the commit order instead of the event graph.
+        self.deps.sink.record(Event::TopBegin { top, label: prog.label() });
+        Stats::bump(&self.deps.stats.commits);
+        self.deps.sink.record(Event::TopCommit { top });
+        self.journal_record(JournalKind::TopCommit, NodeRef::root(top), 0);
+        Some((top, Ok(TxnOutcome { top, value, snapshot: true, commit_seq: seq })))
+    }
+
     /// Run a batch of compensating invocations as one top-level
     /// transaction — the recovery module's way of aborting a loser "via
     /// compensation, driven from the log". `intents` is the loser's
@@ -436,12 +596,17 @@ impl Engine {
         let tree = self.deps.registry.begin();
         let top = tree.top();
         self.deps.sink.record(Event::TopBegin { top, label: "recovery-compensation".into() });
-        let shared =
-            Arc::new(TxnShared { tree: Arc::clone(&tree), created: Mutex::new(Vec::new()) });
+        let shared = Arc::new(TxnShared {
+            tree: Arc::clone(&tree),
+            created: Mutex::new(Vec::new()),
+            written: Mutex::new(Vec::new()),
+        });
         let mut guard = AbortGuard { engine: self, shared: Arc::clone(&shared), armed: true };
         let result = self.compensate_list(&shared, intents, true);
         match &result {
-            Ok(()) => self.commit(top, &tree),
+            Ok(()) => {
+                self.commit(top, &shared);
+            }
             Err(e) => self.abort(top, &shared, Vec::new(), e),
         }
         guard.armed = false;
@@ -459,13 +624,19 @@ impl Engine {
         std::thread::sleep(Duration::from_secs_f64(sleep));
     }
 
-    fn commit(&self, top: TopId, tree: &TxnTree) {
+    fn commit(&self, top: TopId, shared: &Arc<TxnShared>) -> u64 {
+        let tree = &shared.tree;
         // Durability point: the commit record must reach the log *before*
         // any lock is released (a crash after release but before the
         // record would let dependents of an officially-uncommitted
         // transaction commit). With `FsyncPolicy::OnCommit` this append
         // is also the group fsync.
         self.wal_append(WalRecord::TopCommit { top: top.0 });
+        // Draw the commit-order number *before* releasing write intents: a
+        // snapshot reader that later validates against our effects
+        // (observing `writers == 0`) is then guaranteed a larger number.
+        let seq = self.commit_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        self.release_write_intents(shared);
         // Release every lock first (wakes waiters into a world without our
         // entries), then mark the root committed and notify.
         self.discipline.top_finished(top);
@@ -476,6 +647,16 @@ impl Engine {
         Stats::bump(&self.deps.stats.commits);
         self.deps.sink.record(Event::TopCommit { top });
         self.journal_record(JournalKind::TopCommit, NodeRef::root(top), 0);
+        seq
+    }
+
+    /// Release every write intent this transaction declared (best-effort;
+    /// objects may have been garbage-collected by an abort).
+    fn release_write_intents(&self, shared: &Arc<TxnShared>) {
+        let written = std::mem::take(&mut *shared.written.lock());
+        for o in written {
+            self.storage.end_object_write(o);
+        }
     }
 
     fn abort(
@@ -514,6 +695,12 @@ impl Engine {
         // finishes the abort from the logged intents, minus the ones the
         // `CompApplied` markers show were already applied.
         self.wal_append(WalRecord::TopAbort { top: top.0 });
+
+        // Write intents cover the compensations just executed, so they are
+        // only released now — a snapshot reader that observed any of this
+        // transaction's effects (forward or compensating) must have failed
+        // validation while the abort was in flight.
+        self.release_write_intents(shared);
 
         // Release locks, then mark every still-active node aborted.
         self.discipline.top_finished(top);
@@ -652,6 +839,17 @@ impl Engine {
             }
         };
 
+        // First mutating leaf on this object: declare write intent so
+        // concurrent snapshot readers fail validation until the top-level
+        // transaction finishes. Skipped when the storage keeps no stamps.
+        if is_leaf && writes && self.snapshot_enabled {
+            let mut written = shared.written.lock();
+            if !written.contains(&inv.object) && self.storage.begin_object_write(inv.object).is_ok()
+            {
+                written.push(inv.object);
+            }
+        }
+
         let result = match inv.method {
             MethodSel::Generic(g) => self.apply_generic(&inv, g),
             MethodSel::User(m) => {
@@ -685,6 +883,30 @@ impl Engine {
                         self.wal_append(WalRecord::SubCommit {
                             top: top.0,
                             subtree: child,
+                            comp: comp.clone(),
+                        });
+                    } else if !compensating
+                        && !comp.is_empty()
+                        && matches!(inv.method, MethodSel::User(_))
+                    {
+                        // A deeper user-method subtransaction committed:
+                        // completing it below retains its locks, which is
+                        // the moment commuting requestors may observe its
+                        // effects (and embed them in absolute leaf values
+                        // they log). The undo intent must therefore be
+                        // durable *now* — the enclosing subtree's
+                        // `SubCommit`, which aggregates it, may never reach
+                        // the log if we crash mid-subtree. Generic leaves
+                        // get no early record: one record per exposed
+                        // method, not per leaf. That is sound as long as
+                        // leaf writes whose method ancestors commute (the
+                        // only grants that expose a leaf early) happen
+                        // inside user submethods — true of the order-entry
+                        // matrices, where every absorbable write path runs
+                        // through `ChangeStatus`.
+                        self.wal_append(WalRecord::SubIntent {
+                            top: top.0,
+                            subtree,
                             comp: comp.clone(),
                         });
                     }
@@ -894,6 +1116,7 @@ impl Drop for AbortGuard<'_> {
         let engine = self.engine;
         let top = self.shared.tree.top();
         Stats::bump(&engine.deps.stats.aborts);
+        engine.release_write_intents(&self.shared);
         engine.discipline.top_finished(top);
         for idx in self.shared.tree.active_nodes() {
             self.shared.tree.abort(idx);
@@ -1010,6 +1233,155 @@ impl MethodContext for ExecCtx<'_> {
             });
         }
         Ok(id)
+    }
+
+    fn catalog(&self) -> &Catalog {
+        &self.engine.catalog
+    }
+}
+
+/// The execution context of the snapshot read path. Implements
+/// [`MethodContext`] over versioned, lock-free storage reads: every leaf
+/// read records the object's version stamp (first observation wins; a
+/// re-read that sees a different stamp poisons the attempt), every write
+/// or object creation poisons the attempt, and user methods are admitted
+/// only when the router classifies them as pure readers. The engine
+/// promotes a poisoned attempt to the ordinary locking path.
+struct SnapshotCtx<'e> {
+    engine: &'e Engine,
+    /// Stack of `self` objects (innermost last; the DB object at depth 0).
+    selves: Vec<ObjectId>,
+    /// Read set: object → first-observed version stamp.
+    reads: BTreeMap<ObjectId, u64>,
+    stash: Vec<Value>,
+    /// Leaf reads served, flushed to `Stats::snapshot_reads` in one add.
+    reads_done: u64,
+    /// Sticky: the program attempted something the snapshot path cannot
+    /// do. Checked by the engine even when the program swallowed the
+    /// error, because committing then would drop the attempted effect.
+    ineligible: bool,
+}
+
+impl SnapshotCtx<'_> {
+    fn poison(&mut self, msg: String) -> SemccError {
+        self.ineligible = true;
+        SemccError::SnapshotIneligible(msg)
+    }
+
+    /// Record `o`'s observed stamp, failing fast when a re-read proves the
+    /// object moved mid-transaction (commit-time validation would fail
+    /// against whichever stamp was kept, so don't run on).
+    fn record(&mut self, o: ObjectId, ver: u64) -> Result<()> {
+        use std::collections::btree_map::Entry;
+        match self.reads.entry(o) {
+            Entry::Vacant(e) => {
+                e.insert(ver);
+                Ok(())
+            }
+            Entry::Occupied(e) if *e.get() == ver => Ok(()),
+            Entry::Occupied(_) => {
+                Err(self.poison(format!("object {o:?} moved between snapshot reads")))
+            }
+        }
+    }
+
+    fn read_leaf(&mut self, inv: &Invocation, g: GenericMethod) -> Result<Value> {
+        if !self.engine.op_delay.is_zero() {
+            // Simulated page access, same as on the locking path — the
+            // snapshot path skips the kernel, not the I/O.
+            std::thread::sleep(self.engine.op_delay);
+        }
+        self.reads_done += 1;
+        let storage = &self.engine.storage;
+        match g {
+            GenericMethod::Get => {
+                let (v, ver) = storage.get_versioned(inv.object)?;
+                self.record(inv.object, ver)?;
+                Ok(v)
+            }
+            GenericMethod::Select => {
+                let key = inv.arg_key(0)?;
+                let (found, ver) = storage.set_select_versioned(inv.object, key)?;
+                self.record(inv.object, ver)?;
+                Ok(found.map(Value::Id).unwrap_or(Value::Unit))
+            }
+            GenericMethod::Scan => {
+                let (pairs, ver) = storage.set_scan_versioned(inv.object)?;
+                self.record(inv.object, ver)?;
+                let list = pairs
+                    .into_iter()
+                    .map(|(k, m)| Value::List(vec![Value::Int(k as i64), Value::Id(m)]))
+                    .collect();
+                Ok(Value::List(list))
+            }
+            GenericMethod::Put | GenericMethod::Insert | GenericMethod::Remove => {
+                unreachable!("write leaves are rejected before dispatch")
+            }
+        }
+    }
+}
+
+impl MethodContext for SnapshotCtx<'_> {
+    fn invoke(&mut self, inv: Invocation) -> Result<Value> {
+        match inv.method {
+            MethodSel::Generic(g) => {
+                if g.is_update() {
+                    return Err(self.poison(format!("{} is an update", g.name())));
+                }
+                self.read_leaf(&inv, g)
+            }
+            MethodSel::User(m) => {
+                if !self.engine.deps.router.is_pure_reader(&inv) {
+                    let name = self
+                        .engine
+                        .catalog
+                        .method_def(inv.type_id, m)
+                        .map(|d| d.name.clone())
+                        .unwrap_or_else(|_| format!("{m:?}"));
+                    return Err(self.poison(format!("method {name} may update")));
+                }
+                let body = {
+                    let def = self.engine.catalog.method_def(inv.type_id, m)?;
+                    def.body.clone().ok_or_else(|| {
+                        SemccError::Internal(format!("method {} has no body", def.name))
+                    })?
+                };
+                self.selves.push(inv.object);
+                let out = body.run(self, &inv);
+                self.selves.pop();
+                out
+            }
+        }
+    }
+
+    fn self_object(&self) -> ObjectId {
+        self.selves.last().copied().unwrap_or(semcc_semantics::DB_OBJECT)
+    }
+
+    fn stash(&mut self, v: Value) {
+        // Stashes feed compensation builders, which pure readers never
+        // invoke; accept and ignore.
+        self.stash.push(v);
+    }
+
+    fn field(&self, obj: ObjectId, name: &str) -> Result<ObjectId> {
+        self.engine.storage.field(obj, name)
+    }
+
+    fn type_of(&self, obj: ObjectId) -> Result<TypeId> {
+        self.engine.storage.type_of(obj)
+    }
+
+    fn create_atomic(&mut self, _v: Value) -> Result<ObjectId> {
+        Err(self.poison("creates an object".into()))
+    }
+
+    fn create_tuple(&mut self, _t: TypeId, _f: Vec<(String, ObjectId)>) -> Result<ObjectId> {
+        Err(self.poison("creates an object".into()))
+    }
+
+    fn create_set(&mut self) -> Result<ObjectId> {
+        Err(self.poison("creates an object".into()))
     }
 
     fn catalog(&self) -> &Catalog {

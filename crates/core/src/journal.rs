@@ -72,6 +72,14 @@ pub enum JournalKind {
     RecoveryCompensation = 14,
     /// A crash-recovery pass finished (`aux` = losers compensated).
     RecoveryDone = 15,
+    /// A read-only transaction entered the lock-free snapshot read path.
+    SnapshotBegin = 16,
+    /// A snapshot transaction validated its read set at top-commit
+    /// (`key` = read-set size, `aux` = 1 on success, 0 on failure).
+    SnapshotValidate = 17,
+    /// A read-only transaction was promoted to the ordinary locking path
+    /// (snapshot ineligibility or validation failure).
+    SnapshotPromote = 18,
 }
 
 impl JournalKind {
@@ -94,11 +102,14 @@ impl JournalKind {
             JournalKind::RecoveryReplay => "recovery_replay",
             JournalKind::RecoveryCompensation => "recovery_compensation",
             JournalKind::RecoveryDone => "recovery_done",
+            JournalKind::SnapshotBegin => "snapshot_begin",
+            JournalKind::SnapshotValidate => "snapshot_validate",
+            JournalKind::SnapshotPromote => "snapshot_promote",
         }
     }
 
     /// Every kind, in wire order.
-    pub const ALL: [JournalKind; 16] = [
+    pub const ALL: [JournalKind; 19] = [
         JournalKind::LockRequest,
         JournalKind::LockGrant,
         JournalKind::LockWait,
@@ -115,6 +126,9 @@ impl JournalKind {
         JournalKind::RecoveryReplay,
         JournalKind::RecoveryCompensation,
         JournalKind::RecoveryDone,
+        JournalKind::SnapshotBegin,
+        JournalKind::SnapshotValidate,
+        JournalKind::SnapshotPromote,
     ];
 
     fn from_u64(v: u64) -> Option<JournalKind> {

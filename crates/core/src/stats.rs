@@ -131,6 +131,17 @@ counters! {
     /// Compensating invocations executed during recovery on behalf of
     /// losing (uncommitted-at-crash) top-level transactions.
     recovery_compensations,
+    /// Leaf reads served by the lock-free snapshot read path (no lock
+    /// table entry, no WAL record).
+    snapshot_reads,
+    /// Commit-time validations of snapshot transactions' read sets.
+    read_validations,
+    /// Validations that failed (an observed object moved or carried write
+    /// intent); the transaction re-ran on the locking path.
+    read_validation_failures,
+    /// Read-only transactions promoted to the ordinary locking path after
+    /// snapshot ineligibility or validation failure.
+    snapshot_retries,
 }
 
 impl Stats {

@@ -253,6 +253,15 @@ impl Registry {
         tree
     }
 
+    /// Allocate a top-level id *without* registering a tree — for snapshot
+    /// read transactions, which never hold locks, so nothing ever needs to
+    /// query their status (unregistered ids answer "finished", the right
+    /// answer for a committed-or-promoted snapshot attempt). Skipping the
+    /// registry keeps the lock-free read path off this global write lock.
+    pub fn allocate_top(&self) -> TopId {
+        TopId(self.next.fetch_add(1, Ordering::Relaxed))
+    }
+
     /// Look up a live tree.
     pub fn tree(&self, top: TopId) -> Option<Arc<TxnTree>> {
         self.trees.read().get(&top).cloned()

@@ -134,6 +134,17 @@ pub enum WalRecord {
     /// accumulated compensation intent in chronological order (recovery
     /// executes it reversed, like the engine's own abort path).
     SubCommit { top: u64, subtree: u32, comp: Vec<Invocation> },
+    /// A *deeper* (depth ≥ 2) user-method subtransaction of `top`
+    /// committed inside the still-running depth-1 subtree `subtree`;
+    /// `comp` is its compensation intent. Appended before the
+    /// subtransaction's locks are retained, because that is the moment its
+    /// effects become observable to commuting requestors: a crash that
+    /// kills the enclosing subtree before its `SubCommit` would otherwise
+    /// lose the only undo intent for an effect a surviving winner may have
+    /// embedded in an absolute leaf value. Superseded by the subtree's
+    /// `SubCommit` when that record survives (its aggregate already
+    /// contains this intent).
+    SubIntent { top: u64, subtree: u32, comp: Vec<Invocation> },
     /// A leaf update executed *by a compensation* of `top` (the logical
     /// analogue of an ARIES CLR). Replayed unconditionally: repeating the
     /// physical history is what keeps absolute leaf values — which embed
@@ -158,6 +169,7 @@ impl WalRecord {
         match self {
             WalRecord::LeafRedo { top, .. }
             | WalRecord::SubCommit { top, .. }
+            | WalRecord::SubIntent { top, .. }
             | WalRecord::CompRedo { top, .. }
             | WalRecord::CompApplied { top }
             | WalRecord::TopCommit { top }
@@ -318,6 +330,15 @@ fn encode_record(out: &mut Vec<u8>, rec: &WalRecord) {
             put_u64(out, *top);
             put_redo(out, op);
         }
+        WalRecord::SubIntent { top, subtree, comp } => {
+            out.push(6);
+            put_u64(out, *top);
+            put_u32(out, *subtree);
+            put_u32(out, comp.len() as u32);
+            for inv in comp {
+                put_invocation(out, inv);
+            }
+        }
     }
 }
 
@@ -463,6 +484,16 @@ impl<'a> Cursor<'a> {
             5 => {
                 let top = self.u64()?;
                 WalRecord::CompRedo { top, op: self.redo()? }
+            }
+            6 => {
+                let top = self.u64()?;
+                let subtree = self.u32()?;
+                let n = self.u32()? as usize;
+                let mut comp = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    comp.push(self.invocation()?);
+                }
+                WalRecord::SubIntent { top, subtree, comp }
             }
             _ => return None,
         })

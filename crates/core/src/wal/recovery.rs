@@ -84,6 +84,14 @@ struct TopInfo {
     committed_subtrees: HashSet<u32>,
     /// Compensation intents of those subtrees, in LSN order.
     intents: Vec<Invocation>,
+    /// Intents of deeper user methods (`SubIntent`) whose enclosing
+    /// depth-1 subtree has *not* (yet) logged a `SubCommit`, tagged with
+    /// that subtree. A surviving `SubCommit` supersedes them — its
+    /// aggregate already contains them — so they are dropped on sight of
+    /// one; what is left at analysis end is undo work only this record
+    /// kind knows about (the effect was exposed to commuting requestors
+    /// before the crash killed the enclosing subtree).
+    orphan_intents: Vec<(u32, Invocation)>,
     /// Intents already applied (and `CompRedo`-logged) by a pre-crash
     /// top-level abort — always the newest `comp_applied` of `intents`.
     comp_applied: u64,
@@ -125,6 +133,12 @@ pub fn recover(
             WalRecord::SubCommit { subtree, comp, .. } => {
                 info.committed_subtrees.insert(*subtree);
                 info.intents.extend(comp.iter().cloned());
+                // The aggregate comp above already carries any deeper
+                // intents logged early for this subtree.
+                info.orphan_intents.retain(|(s, _)| s != subtree);
+            }
+            WalRecord::SubIntent { subtree, comp, .. } => {
+                info.orphan_intents.extend(comp.iter().cloned().map(|inv| (*subtree, inv)));
             }
             WalRecord::CompApplied { .. } => info.comp_applied += 1,
             WalRecord::TopCommit { .. } => info.committed = true,
@@ -220,10 +234,19 @@ pub fn recover(
     for top in losers {
         let info = tops.get_mut(&top).expect("analyzed above");
         let mut intents = std::mem::take(&mut info.intents);
+        // Intents of a still-open depth-1 subtree's committed deep
+        // methods (`SubIntent` records its `SubCommit` never superseded)
+        // are the loser's newest undo work — the crash killed the
+        // subtree after the effect was exposed but before its aggregate
+        // comp reached the log. Appended last so the reversed execution
+        // below runs them first, exactly as the in-process abort walks
+        // the transaction tree.
+        intents.extend(std::mem::take(&mut info.orphan_intents).into_iter().map(|(_, inv)| inv));
         // A crash mid-abort leaves `CompApplied` markers for the inverses
         // already executed (the newest ones — compensation runs in
-        // reverse) and redo already replayed their `CompRedo` effects;
-        // only the remainder still needs running.
+        // reverse, so orphan intents are counted first) and redo already
+        // replayed their `CompRedo` effects; only the remainder still
+        // needs running.
         let remaining = intents.len().saturating_sub(info.comp_applied as usize);
         intents.truncate(remaining);
         for inv in &intents {

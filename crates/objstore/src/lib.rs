@@ -21,7 +21,11 @@
 //!
 //! The store performs **no concurrency control** beyond short internal
 //! latches making each operation individually atomic; isolation is the lock
-//! manager's job (crate `semcc-core`).
+//! manager's job (crate `semcc-core`) — with one read-side exception: every
+//! object carries a **version stamp** (bumped on each physical mutation)
+//! and a **write-intent count**, which let pure readers run entirely
+//! outside the lock manager on a [`StoreSnapshot`] and validate their read
+//! set at commit instead of locking it.
 
 pub mod object;
 pub mod pages;
@@ -29,4 +33,4 @@ pub mod store;
 
 pub use object::{ObjKind, StoredObject};
 pub use pages::PagePolicy;
-pub use store::MemoryStore;
+pub use store::{MemoryStore, StoreSnapshot};

@@ -2,6 +2,7 @@
 
 use semcc_semantics::{ObjectId, PageId, Result, SemccError, TypeId, Value};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// The structural payload of a stored object.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -26,8 +27,8 @@ impl ObjKind {
     }
 }
 
-/// A stored object: type, page assignment and payload.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// A stored object: type, page assignment, payload and version stamp.
+#[derive(Debug)]
 pub struct StoredObject {
     /// The object's type (built-in or user-defined encapsulated type).
     pub type_id: TypeId,
@@ -35,9 +36,76 @@ pub struct StoredObject {
     pub page: PageId,
     /// Structural payload.
     pub kind: ObjKind,
+    /// Version stamp, bumped (wrapping) on every physical mutation of the
+    /// payload. Snapshot readers record the stamp at read time and
+    /// re-check it at commit; equality plus zero `writers` means the
+    /// object was stable over the read window.
+    pub version: u64,
+    /// Number of transactions currently holding write intent on the
+    /// object (incremented before their first mutation, decremented when
+    /// the top-level transaction finishes). Non-zero marks the payload as
+    /// possibly uncommitted, so snapshot validation must fail. Atomic so
+    /// intent declaration/release ride the shard *read* latch — taking
+    /// the write latch for pure bookkeeping measurably slows hot-object
+    /// writers down.
+    pub writers: AtomicU32,
 }
 
+/// `writers` is transient runtime state (which transactions currently hold
+/// intent on *this* store), so a clone starts with no writers and equality
+/// ignores the field.
+impl Clone for StoredObject {
+    fn clone(&self) -> Self {
+        StoredObject {
+            type_id: self.type_id,
+            page: self.page,
+            kind: self.kind.clone(),
+            version: self.version,
+            writers: AtomicU32::new(0),
+        }
+    }
+}
+
+impl PartialEq for StoredObject {
+    fn eq(&self, other: &Self) -> bool {
+        self.type_id == other.type_id
+            && self.page == other.page
+            && self.kind == other.kind
+            && self.version == other.version
+    }
+}
+
+impl Eq for StoredObject {}
+
 impl StoredObject {
+    /// A fresh object at version 0 with no writers.
+    pub fn new(type_id: TypeId, page: PageId, kind: ObjKind) -> Self {
+        StoredObject { type_id, page, kind, version: 0, writers: AtomicU32::new(0) }
+    }
+
+    /// Declare write intent (sequentially consistent, see
+    /// [`StoredObject::writers`]).
+    pub fn begin_write(&self) {
+        self.writers.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Release one write intent; saturates at zero (a release may race a
+    /// garbage-collected re-creation of the object).
+    pub fn end_write(&self) {
+        let _ = self.writers.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |w| w.checked_sub(1));
+    }
+
+    /// Current write-intent count.
+    pub fn writer_count(&self) -> u32 {
+        self.writers.load(Ordering::SeqCst)
+    }
+
+    /// Advance the version stamp. Wraps on overflow: validation compares
+    /// stamps for equality only, so ordering across the wrap is irrelevant.
+    pub fn bump_version(&mut self) {
+        self.version = self.version.wrapping_add(1);
+    }
+
     /// Borrow the atomic value or fail with [`SemccError::WrongKind`].
     pub fn atomic(&self, id: ObjectId) -> Result<&Value> {
         match &self.kind {
@@ -84,11 +152,7 @@ mod tests {
     use super::*;
 
     fn atomic(v: i64) -> StoredObject {
-        StoredObject {
-            type_id: semcc_semantics::TYPE_ATOMIC,
-            page: PageId(0),
-            kind: ObjKind::Atomic(Value::Int(v)),
-        }
+        StoredObject::new(semcc_semantics::TYPE_ATOMIC, PageId(0), ObjKind::Atomic(Value::Int(v)))
     }
 
     #[test]
@@ -101,6 +165,40 @@ mod tests {
         assert!(a.tuple(id).is_err());
         assert!(a.set(id).is_err());
         assert!(a.set_mut(id).is_err());
+    }
+
+    #[test]
+    fn fresh_objects_start_unversioned_and_bumps_wrap() {
+        let mut a = atomic(1);
+        assert_eq!((a.version, a.writer_count()), (0, 0));
+        a.bump_version();
+        assert_eq!(a.version, 1);
+        a.version = u64::MAX;
+        a.bump_version();
+        assert_eq!(a.version, 0, "stamps wrap; validation compares for equality only");
+        a.bump_version();
+        assert_eq!(a.version, 1);
+    }
+
+    #[test]
+    fn write_intents_count_and_saturate() {
+        let a = atomic(1);
+        a.begin_write();
+        a.begin_write();
+        assert_eq!(a.writer_count(), 2);
+        a.end_write();
+        a.end_write();
+        a.end_write(); // over-release saturates at zero
+        assert_eq!(a.writer_count(), 0);
+    }
+
+    #[test]
+    fn clones_and_equality_ignore_write_intents() {
+        let a = atomic(1);
+        a.begin_write();
+        let b = a.clone();
+        assert_eq!(b.writer_count(), 0, "intents are runtime state, not data");
+        assert_eq!(a, b, "equality ignores intents");
     }
 
     #[test]

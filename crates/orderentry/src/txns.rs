@@ -114,6 +114,13 @@ impl TransactionProgram for TxnSpec {
         self.kind().to_owned()
     }
 
+    /// T3/T4/T5 are pure readers (their methods are declared
+    /// `updates: false` in the catalog), so they are eligible for the
+    /// engine's lock-free snapshot read path.
+    fn read_only_hint(&self) -> bool {
+        !self.is_update()
+    }
+
     fn run(&self, ctx: &mut dyn MethodContext) -> Result<Value> {
         match self {
             TxnSpec::NewOrders { entries, customer, quantity } => {

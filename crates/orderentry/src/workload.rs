@@ -67,6 +67,21 @@ impl MixWeights {
         }
     }
 
+    /// A mix with an exact read-only percentage: `pct` (0–100) of the
+    /// weight goes to the readers T3/T4/T5 (2:2:2), the rest to the
+    /// writers T1/T2 (3:3). The read-ratio knob of the B2/B8 sweeps.
+    pub fn with_read_ratio(pct: u32) -> Self {
+        let pct = pct.min(100);
+        MixWeights {
+            t0_new: 0,
+            t1_ship: 3 * (100 - pct),
+            t2_pay: 3 * (100 - pct),
+            t3_check_shipped: 2 * pct,
+            t4_check_paid: 2 * pct,
+            t5_total: 2 * pct,
+        }
+    }
+
     fn weights(&self) -> [u32; 6] {
         [
             self.t0_new,
@@ -305,6 +320,24 @@ mod tests {
                 assert_eq!(items.len(), ts.len(), "different items per paper");
             }
         }
+    }
+
+    #[test]
+    fn read_ratio_mixes_hit_their_extremes() {
+        let database = db();
+        let all_reads =
+            WorkloadConfig { mix: MixWeights::with_read_ratio(100), ..Default::default() };
+        let batch = Workload::new(&database, all_reads).batch(&database, 40);
+        assert!(batch.iter().all(|t| !t.is_update()), "ratio 100 generates only readers");
+        let no_reads = WorkloadConfig { mix: MixWeights::with_read_ratio(0), ..Default::default() };
+        let batch = Workload::new(&database, no_reads).batch(&database, 40);
+        assert!(batch.iter().all(|t| t.is_update()), "ratio 0 generates only writers");
+        // Mid-ratio: both classes present, and the clamp holds.
+        let half = WorkloadConfig { mix: MixWeights::with_read_ratio(50), ..Default::default() };
+        let batch = Workload::new(&database, half).batch(&database, 200);
+        let reads = batch.iter().filter(|t| !t.is_update()).count();
+        assert!(reads > 50 && reads < 150, "roughly balanced: {reads}/200");
+        assert_eq!(MixWeights::with_read_ratio(250).t1_ship, 0, "percentages clamp at 100");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::error::{Result, SemccError};
 use crate::ids::{MethodId, TypeId, FIRST_USER_TYPE, TYPE_ATOMIC, TYPE_DB, TYPE_SET, TYPE_TUPLE};
 use crate::invocation::Invocation;
 use crate::value::Value;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -52,7 +52,14 @@ pub struct MethodDef {
     /// How to compensate a committed execution of this method on abort of
     /// an ancestor. `None` means no compensation necessary.
     pub compensation: Option<Arc<CompensationFn>>,
-    /// Whether the method may update the object (documentation/metrics).
+    /// Whether the method may update the object — directly or through any
+    /// nested invocation. Load-bearing: methods declared `updates: false`
+    /// are classified as *pure readers* and become eligible for the
+    /// engine's lock-free snapshot read path
+    /// ([`SemanticsRouter::is_pure_reader`]). A wrong `false` here is
+    /// caught dynamically (the snapshot context rejects writes and the
+    /// transaction falls back to locking), so it costs performance, not
+    /// correctness.
     pub updates: bool,
 }
 
@@ -197,7 +204,10 @@ impl Catalog {
     }
 
     /// Build the [`SemanticsRouter`] covering all registered types plus the
-    /// built-in generic and database specs.
+    /// built-in generic and database specs. Per-type *pure reader* sets are
+    /// derived from each method's `updates` flag, so routers built from a
+    /// catalog can answer
+    /// [`is_pure_reader`](SemanticsRouter::is_pure_reader).
     pub fn router(&self) -> SemanticsRouter {
         let mut specs: Vec<(TypeId, Arc<dyn CommutativitySpec>)> = vec![
             (TYPE_DB, Arc::new(NeverCommute)),
@@ -205,10 +215,21 @@ impl Catalog {
             (TYPE_TUPLE, Arc::new(GenericSpec)),
             (TYPE_SET, Arc::new(GenericSpec)),
         ];
+        let mut readers: HashMap<TypeId, HashSet<MethodId>> = HashMap::new();
         for (id, def) in self.user_types() {
             specs.push((id, Arc::clone(&def.spec)));
+            let set: HashSet<MethodId> = def
+                .methods
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| !m.updates)
+                .map(|(i, _)| MethodId(i as u32))
+                .collect();
+            if !set.is_empty() {
+                readers.insert(id, set);
+            }
         }
-        SemanticsRouter::new(specs)
+        SemanticsRouter::with_readers(specs, readers)
     }
 }
 
@@ -336,6 +357,17 @@ mod tests {
         let router = c.router();
         let g = Invocation::get(ObjectId(4), TYPE_ATOMIC);
         assert!(router.commute(&g, &g.clone()), "Get/Get via builtin spec");
+    }
+
+    #[test]
+    fn router_derives_reader_sets_from_updates_flags() {
+        let mut c = Catalog::new();
+        let t = c.register_type(sample_type("Item"));
+        let router = c.router();
+        let foo = Invocation::user(ObjectId(3), t, MethodId(0), vec![]);
+        let bar = Invocation::user(ObjectId(3), t, MethodId(1), vec![]);
+        assert!(router.is_pure_reader(&foo), "Foo is declared updates: false");
+        assert!(!router.is_pure_reader(&bar), "Bar is declared updates: true");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use crate::ids::{MethodId, TypeId};
 use crate::invocation::{GenericMethod, Invocation, MethodSel};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -356,6 +356,11 @@ pub struct SemanticsRouter {
     /// matrix entries, no `dyn` dispatch. `None` for unregistered types
     /// (conservative conflict).
     compiled: Vec<Option<CompiledSpec>>,
+    /// Per-type sets of user methods declared *pure readers* (never update
+    /// any object). Feeds [`SemanticsRouter::is_pure_reader`] — the static
+    /// eligibility test of the engine's snapshot read path. Methods absent
+    /// from the set are conservatively treated as writers.
+    readers: HashMap<TypeId, HashSet<MethodId>>,
     generic: GenericSpec,
 }
 
@@ -367,6 +372,18 @@ impl SemanticsRouter {
     where
         I: IntoIterator<Item = (TypeId, Arc<dyn CommutativitySpec>)>,
     {
+        Self::with_readers(specs, HashMap::new())
+    }
+
+    /// [`SemanticsRouter::new`] plus per-type *pure reader* method sets
+    /// (usually derived by the catalog from each method's `updates` flag).
+    /// Routers built without reader sets answer `false` for every user
+    /// method in [`SemanticsRouter::is_pure_reader`] — the conservative
+    /// choice, which merely keeps such transactions on the locking path.
+    pub fn with_readers<I>(specs: I, readers: HashMap<TypeId, HashSet<MethodId>>) -> Self
+    where
+        I: IntoIterator<Item = (TypeId, Arc<dyn CommutativitySpec>)>,
+    {
         let specs: HashMap<TypeId, Arc<dyn CommutativitySpec>> = specs.into_iter().collect();
         let slots = specs.keys().map(|t| t.0 as usize + 1).max().unwrap_or(0);
         let mut compiled: Vec<Option<CompiledSpec>> = Vec::new();
@@ -374,7 +391,24 @@ impl SemanticsRouter {
         for (t, spec) in &specs {
             compiled[t.0 as usize] = Some(CompiledSpec::lower(spec));
         }
-        SemanticsRouter { specs, compiled, generic: GenericSpec }
+        SemanticsRouter { specs, compiled, readers, generic: GenericSpec }
+    }
+
+    /// Is this invocation a *pure reader* — guaranteed not to update any
+    /// object, directly or through nested invocations? Generic methods are
+    /// classified structurally (`Get`/`Select`/`Scan`); user methods are
+    /// looked up in the per-type reader sets, defaulting to *writer* when
+    /// unknown. A `true` answer makes the invocation eligible for the
+    /// engine's lock-free snapshot read path; the engine still enforces the
+    /// no-write guarantee dynamically, so a mistaken declaration degrades
+    /// to a fallback onto the locking path, never to an isolation bug.
+    pub fn is_pure_reader(&self, inv: &Invocation) -> bool {
+        match inv.method {
+            MethodSel::Generic(g) => !g.is_update(),
+            MethodSel::User(m) => {
+                self.readers.get(&inv.type_id).is_some_and(|set| set.contains(&m))
+            }
+        }
     }
 
     /// Do `a` and `b` form a commutative pair in the sense of the protocol?
@@ -616,6 +650,40 @@ mod tests {
         assert!(!c.is_static());
         let a = Invocation::user(ObjectId(1), TYPE_ATOMIC, MethodId(7), vec![]);
         assert!(c.commute_user(&a, &a.clone(), MethodId(7), MethodId(7)), "fallback consulted");
+    }
+
+    #[test]
+    fn pure_reader_classification() {
+        let t = TypeId(20);
+        let mut m = CompatibilityMatrix::new();
+        m.ok(MethodId(0), MethodId(0));
+        let specs = vec![(t, Arc::new(m) as Arc<dyn CommutativitySpec>)];
+        let mut readers = HashMap::new();
+        readers.insert(t, HashSet::from([MethodId(0)]));
+        let router = SemanticsRouter::with_readers(specs, readers);
+
+        let reader = Invocation::user(ObjectId(1), t, MethodId(0), vec![]);
+        let writer = Invocation::user(ObjectId(1), t, MethodId(1), vec![]);
+        assert!(router.is_pure_reader(&reader));
+        assert!(!router.is_pure_reader(&writer), "undeclared methods default to writer");
+        let other_type = Invocation::user(ObjectId(1), TypeId(21), MethodId(0), vec![]);
+        assert!(!router.is_pure_reader(&other_type), "reader sets are per type");
+
+        assert!(router.is_pure_reader(&get(1)));
+        assert!(!router.is_pure_reader(&put(1)));
+        let set = ObjectId(9);
+        assert!(router.is_pure_reader(&Invocation::select(set, TYPE_SET, 1)));
+        assert!(router.is_pure_reader(&Invocation::scan(set, TYPE_SET)));
+        assert!(!router.is_pure_reader(&Invocation::insert(set, TYPE_SET, 1, ObjectId(101))));
+        assert!(!router.is_pure_reader(&Invocation::remove(set, TYPE_SET, 1)));
+    }
+
+    #[test]
+    fn plain_routers_treat_every_user_method_as_writer() {
+        let router = SemanticsRouter::new(std::iter::empty());
+        let user = Invocation::user(ObjectId(1), TypeId(20), MethodId(0), vec![]);
+        assert!(!router.is_pure_reader(&user));
+        assert!(router.is_pure_reader(&get(1)), "generic reads classify structurally");
     }
 
     #[test]

@@ -42,6 +42,12 @@ pub enum SemccError {
     /// A lock wait exceeded the configured deadline (the backstop against
     /// missed wake-ups); the transaction aborts and may be retried.
     LockTimeout,
+    /// The transaction cannot run (or continue) on the kernel-bypassing
+    /// snapshot read path — it attempted a write, its storage lacks
+    /// versioned reads, or an object moved between its reads. The engine
+    /// transparently re-runs it as a normal locking transaction; neither an
+    /// abort nor a contention retry.
+    SnapshotIneligible(String),
     /// A fault injected by the chaos harness (never raised in production).
     FaultInjected(String),
     /// Any other internal invariant violation.
@@ -72,6 +78,9 @@ impl fmt::Display for SemccError {
                 write!(f, "transaction aborted: method panicked: {msg}")
             }
             SemccError::LockTimeout => write!(f, "transaction aborted: lock wait timed out"),
+            SemccError::SnapshotIneligible(msg) => {
+                write!(f, "snapshot read path ineligible: {msg}")
+            }
             SemccError::FaultInjected(site) => write!(f, "injected fault at {site}"),
             SemccError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
@@ -126,6 +135,7 @@ mod tests {
         assert!(!SemccError::NoSuchObject(ObjectId(1)).is_abort());
         assert!(!SemccError::Internal("x".into()).is_abort());
         assert!(!SemccError::FaultInjected("storage".into()).is_abort());
+        assert!(!SemccError::SnapshotIneligible("write leaf".into()).is_abort());
     }
 
     #[test]
@@ -135,5 +145,6 @@ mod tests {
         assert!(!SemccError::Aborted("x".into()).is_retryable());
         assert!(!SemccError::MethodPanicked("boom".into()).is_retryable());
         assert!(!SemccError::FaultInjected("storage".into()).is_retryable());
+        assert!(!SemccError::SnapshotIneligible("write leaf".into()).is_retryable());
     }
 }

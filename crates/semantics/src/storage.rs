@@ -6,9 +6,13 @@
 //! physical operations only need to be individually atomic (which the store
 //! guarantees internally with short latches).
 
-use crate::error::Result;
+use crate::error::{Result, SemccError};
 use crate::ids::{ObjectId, PageId, TypeId};
 use crate::value::Value;
+
+fn unversioned<T>() -> Result<T> {
+    Err(SemccError::SnapshotIneligible("storage does not support versioned reads".into()))
+}
 
 /// Physical object store interface.
 pub trait Storage: Send + Sync {
@@ -54,4 +58,69 @@ pub trait Storage: Send + Sync {
     /// Delete an object (used to garbage-collect objects created by an
     /// aborted transaction).
     fn delete(&self, o: ObjectId) -> Result<()>;
+
+    // ---- versioned snapshot-read support (optional) -----------------
+    //
+    // Stores that maintain per-object version stamps implement the block
+    // below; the defaults declare the capability absent, which makes the
+    // engine run every transaction through the ordinary locking kernel.
+    // Wrappers that cannot guarantee stamp consistency (e.g. the chaos
+    // harness's fault-injecting storage) simply inherit the defaults.
+
+    /// Whether the versioned read methods below are supported. `false`
+    /// (the default) disables the engine's snapshot read path entirely.
+    fn supports_versioning(&self) -> bool {
+        false
+    }
+
+    /// [`Storage::get`] plus the object's version stamp, read atomically.
+    fn get_versioned(&self, o: ObjectId) -> Result<(Value, u64)> {
+        let _ = o;
+        unversioned()
+    }
+
+    /// [`Storage::set_select`] plus the set's version stamp.
+    fn set_select_versioned(&self, s: ObjectId, key: u64) -> Result<(Option<ObjectId>, u64)> {
+        let _ = (s, key);
+        unversioned()
+    }
+
+    /// [`Storage::set_scan`] plus the set's version stamp.
+    fn set_scan_versioned(&self, s: ObjectId) -> Result<(Vec<(u64, ObjectId)>, u64)> {
+        let _ = s;
+        unversioned()
+    }
+
+    /// Current `(version, writers)` of an object — the snapshot validation
+    /// primitive: a recorded read is valid iff the version still matches
+    /// and `writers == 0`.
+    fn object_version(&self, o: ObjectId) -> Result<(u64, u32)> {
+        let _ = o;
+        unversioned()
+    }
+
+    /// Declare write intent on an object (called by the engine before a
+    /// transaction's first mutating leaf on it). Default: no-op.
+    fn begin_object_write(&self, o: ObjectId) -> Result<()> {
+        let _ = o;
+        Ok(())
+    }
+
+    /// Release one write intent (called when the top-level transaction
+    /// finishes). Must be best-effort: the object may already be deleted.
+    fn end_object_write(&self, o: ObjectId) {
+        let _ = o;
+    }
+
+    /// Optional whole-store quiescence token for O(1) snapshot
+    /// validation. A store that can prove "no write intent outstanding"
+    /// returns its current mutation epoch; the engine takes a token
+    /// before a snapshot transaction's first read and again at
+    /// validation, and equal `Some` tokens mean no mutation landed
+    /// anywhere during the read window — the whole read set is valid
+    /// without per-object re-checks. `None` (the default) always forces
+    /// the per-object path, which is correct for any store.
+    fn quiesce_token(&self) -> Option<u64> {
+        None
+    }
 }

@@ -50,6 +50,12 @@ pub struct CommittedTxn {
     pub top: TopId,
     /// Return value.
     pub value: Value,
+    /// Committed on the lock-free snapshot read path (see
+    /// [`check_snapshot_reads`](crate::validate::check_snapshot_reads)).
+    pub snapshot: bool,
+    /// Engine-wide commit sequence number: a snapshot transaction observed
+    /// exactly the effects of the transactions with smaller `commit_seq`.
+    pub commit_seq: u64,
 }
 
 /// One periodic lock-table observation taken during a run.
@@ -140,6 +146,8 @@ pub fn run_workload(engine: &Arc<Engine>, batch: Vec<TxnSpec>, params: &RunParam
                                     spec: spec.clone(),
                                     top: out.top,
                                     value: out.value,
+                                    snapshot: out.snapshot,
+                                    commit_seq: out.commit_seq,
                                 });
                             }
                         }
@@ -235,6 +243,16 @@ mod tests {
         tops.dedup();
         assert_eq!(tops.len(), 10);
         assert_eq!(tops, sorted);
+        // Commit sequence numbers are assigned and unique.
+        let mut seqs: Vec<_> = out.committed.iter().map(|c| c.commit_seq).collect();
+        seqs.sort();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 10, "every commit draws a distinct sequence number");
+        assert!(seqs[0] >= 1);
+        // Snapshot-flag consistency: only read-only specs may carry it.
+        for c in &out.committed {
+            assert!(!c.snapshot || !c.spec.is_update(), "update txn flagged snapshot");
+        }
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //!   protocol enforces); a cycle indicates a non-(semantically-)serializable
 //!   execution. This is the detector that flags the Figure-5 anomaly of the
 //!   unsafe no-retention protocol.
+//!
+//! A third, specialized oracle — [`check_snapshot_reads`] — covers the
+//! lock-free snapshot read path: every committed snapshot transaction must
+//! observe exactly the state produced by the transactions with smaller
+//! engine commit-sequence numbers (a *prefix* of the committed serial
+//! order), verified by serial replay and return-value comparison.
 
 pub mod chaos;
 pub mod executor;
@@ -33,7 +39,12 @@ pub use chaos::{
 };
 pub use executor::{run_workload, CommittedTxn, LockTableSample, RunOutcome, RunParams};
 pub use metrics::RunMetrics;
-pub use protocols::{build_engine, build_engine_cfg, build_engine_observed, ProtocolKind};
+pub use protocols::{
+    build_engine, build_engine_cfg, build_engine_full, build_engine_observed, ProtocolKind,
+};
 pub use scenario::Gate;
 pub use treeview::TreeView;
-pub use validate::{check_semantic_graph, check_state_equivalence, GraphReport};
+pub use validate::{
+    check_semantic_graph, check_snapshot_reads, check_state_equivalence, GraphReport,
+    SnapshotReport,
+};

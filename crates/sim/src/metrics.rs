@@ -214,6 +214,10 @@ mod tests {
         semcc_core::Stats::bump(&stats_src.recoveries);
         semcc_core::Stats::add(&stats_src.replayed_actions, 11);
         semcc_core::Stats::add(&stats_src.recovery_compensations, 3);
+        semcc_core::Stats::add(&stats_src.snapshot_reads, 42);
+        semcc_core::Stats::add(&stats_src.read_validations, 9);
+        semcc_core::Stats::add(&stats_src.read_validation_failures, 2);
+        semcc_core::Stats::add(&stats_src.snapshot_retries, 4);
         RunMetrics {
             protocol: "semantic".into(),
             workers: 8,
@@ -278,6 +282,19 @@ mod tests {
     }
 
     #[test]
+    fn json_roundtrip_preserves_snapshot_read_counters() {
+        let m = sample_metrics();
+        let json = m.to_json();
+        assert!(json.contains("\"snapshot_reads\":42"), "{json}");
+        assert!(json.contains("\"read_validations\":9"), "{json}");
+        let parsed = RunMetrics::from_json(&json).unwrap();
+        assert_eq!(parsed.stats.snapshot_reads, 42);
+        assert_eq!(parsed.stats.read_validations, 9);
+        assert_eq!(parsed.stats.read_validation_failures, 2);
+        assert_eq!(parsed.stats.snapshot_retries, 4);
+    }
+
+    #[test]
     fn json_stats_object_lists_every_declared_counter() {
         let m = sample_metrics();
         let json = m.to_json();
@@ -308,6 +325,11 @@ mod tests {
         assert!(text.contains("semcc_stats_recoveries_total"));
         assert!(text.contains("semcc_stats_replayed_actions_total"));
         assert!(text.contains("semcc_stats_recovery_compensations_total"));
+        assert!(text
+            .contains("semcc_stats_snapshot_reads_total{protocol=\"semantic\",workers=\"8\"} 42"));
+        assert!(text.contains("semcc_stats_read_validations_total"));
+        assert!(text.contains("semcc_stats_read_validation_failures_total"));
+        assert!(text.contains("semcc_stats_snapshot_retries_total"));
         for line in text.lines() {
             assert!(
                 line.starts_with("# TYPE semcc_") || line.starts_with("semcc_"),

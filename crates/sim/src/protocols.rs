@@ -90,9 +90,24 @@ pub fn build_engine_observed(
     op_delay: std::time::Duration,
     journal_capacity: usize,
 ) -> Arc<Engine> {
+    build_engine_full(kind, db, sink, op_delay, journal_capacity, true)
+}
+
+/// [`build_engine_observed`] with the lock-free snapshot read path
+/// switchable (see [`semcc_core::EngineBuilder::snapshot_reads`]); the
+/// read-path benchmark uses `false` as its locked baseline.
+pub fn build_engine_full(
+    kind: ProtocolKind,
+    db: &Database,
+    sink: Option<Arc<dyn HistorySink>>,
+    op_delay: std::time::Duration,
+    journal_capacity: usize,
+    snapshot_reads: bool,
+) -> Arc<Engine> {
     let mut builder =
         Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog))
-            .op_delay(op_delay);
+            .op_delay(op_delay)
+            .snapshot_reads(snapshot_reads);
     if let Some(sink) = sink {
         builder = builder.sink(sink);
     }

@@ -144,6 +144,69 @@ pub fn check_state_equivalence(
 }
 
 // ---------------------------------------------------------------------
+// Snapshot-read commit-order check
+// ---------------------------------------------------------------------
+
+/// Result of [`check_snapshot_reads`].
+#[derive(Debug)]
+pub struct SnapshotReport {
+    /// Snapshot transactions examined.
+    pub checked: usize,
+    /// Transactions replayed on the locking path to build the prefixes.
+    pub replayed: usize,
+    /// `input_idx` of every snapshot transaction whose observed values do
+    /// not match its commit-order prefix.
+    pub mismatches: Vec<usize>,
+}
+
+impl SnapshotReport {
+    /// All snapshot transactions observed a committed prefix.
+    pub fn ok(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Check every committed *snapshot* transaction against the engine's commit
+/// order: replaying the non-snapshot transactions serially in `commit_seq`
+/// order on a copy of `initial`, a snapshot transaction with sequence
+/// number `s` must return exactly the values it would return when executed
+/// on the state produced by the transactions with sequence numbers below
+/// `s` — i.e. its reads are consistent with a *prefix* of the committed
+/// serial order, which is what OCC backward validation promises.
+///
+/// Exact for the deterministic [`TxnSpec`] programs because the
+/// order-entry writers commute at the state level whenever the protocol
+/// lets them interleave, so the `commit_seq` replay reconstructs each
+/// prefix state faithfully. Returns `Err` if a replayed transaction fails.
+pub fn check_snapshot_reads(
+    initial: &MemoryStore,
+    catalog: &Arc<Catalog>,
+    committed: &[CommittedTxn],
+) -> std::result::Result<SnapshotReport, String> {
+    let store = Arc::new(initial.snapshot());
+    let engine =
+        Engine::builder(Arc::clone(&store) as Arc<dyn Storage>, Arc::clone(catalog)).build();
+    let mut order: Vec<&CommittedTxn> = committed.iter().collect();
+    order.sort_by_key(|c| c.commit_seq);
+
+    let mut report = SnapshotReport { checked: 0, replayed: 0, mismatches: Vec::new() };
+    for c in order {
+        let out = engine.execute(&c.spec).map_err(|e| {
+            format!("replay of input {} ({}) failed: {e}", c.input_idx, c.spec.kind())
+        })?;
+        if c.snapshot {
+            report.checked += 1;
+            if out.value != c.value {
+                report.mismatches.push(c.input_idx);
+            }
+        } else {
+            report.replayed += 1;
+        }
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------
 // Semantic serialization graph
 // ---------------------------------------------------------------------
 
@@ -443,6 +506,55 @@ mod tests {
         assert!(!report.serializable);
         let cycle = report.cycle.unwrap();
         assert!(cycle.contains(&TopId(1)) && cycle.contains(&TopId(2)), "{cycle:?}");
+    }
+
+    #[test]
+    fn snapshot_reads_check_passes_mixed_semantic_run() {
+        use semcc_orderentry::MixWeights;
+        let db = small_db();
+        let initial = db.store.snapshot();
+        let engine = build_engine(ProtocolKind::Semantic, &db, None);
+        let cfg = WorkloadConfig { mix: MixWeights::with_read_ratio(50), ..Default::default() };
+        let mut w = Workload::new(&db, cfg);
+        let batch = w.batch(&db, 30);
+        let out = run_workload(
+            &engine,
+            batch,
+            &RunParams { workers: 4, record_outcomes: true, ..Default::default() },
+        );
+        assert_eq!(out.committed.len(), 30);
+        let snap_count = out.committed.iter().filter(|c| c.snapshot).count();
+        assert!(snap_count > 0, "a 50%-read mix produces snapshot commits");
+        let report = check_snapshot_reads(&initial, &db.catalog, &out.committed).unwrap();
+        assert_eq!(report.checked, snap_count);
+        assert_eq!(report.replayed, 30 - snap_count);
+        assert!(report.ok(), "mismatched readers: {:?}", report.mismatches);
+    }
+
+    #[test]
+    fn snapshot_reads_check_flags_forged_value() {
+        use semcc_orderentry::MixWeights;
+        let db = small_db();
+        let initial = db.store.snapshot();
+        let engine = build_engine(ProtocolKind::Semantic, &db, None);
+        let cfg = WorkloadConfig { mix: MixWeights::with_read_ratio(60), ..Default::default() };
+        let mut w = Workload::new(&db, cfg);
+        let batch = w.batch(&db, 20);
+        let mut out = run_workload(
+            &engine,
+            batch,
+            &RunParams { workers: 2, record_outcomes: true, ..Default::default() },
+        );
+        let victim = out
+            .committed
+            .iter_mut()
+            .find(|c| c.snapshot)
+            .expect("a 60%-read mix produces snapshot commits");
+        let forged_idx = victim.input_idx;
+        victim.value = Value::Int(-12345);
+        let report = check_snapshot_reads(&initial, &db.catalog, &out.committed).unwrap();
+        assert!(!report.ok());
+        assert_eq!(report.mismatches, vec![forged_idx]);
     }
 
     #[test]

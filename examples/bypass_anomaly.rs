@@ -75,12 +75,16 @@ fn run_under(kind: ProtocolKind) -> Run {
             spec: TxnSpec::Ship(vec![a, b]),
             top: TopId(1),
             value: t1_val,
+            snapshot: false,
+            commit_seq: 1,
         },
         CommittedTxn {
             input_idx: 1,
             spec: TxnSpec::CheckShipped { targets: vec![a, b], bypass: true },
             top: TopId(2),
             value: t3_val.clone(),
+            snapshot: false,
+            commit_seq: 2,
         },
     ];
     let witness =

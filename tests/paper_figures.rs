@@ -236,12 +236,16 @@ fn figure5_no_retention_admits_the_anomaly() {
             spec: TxnSpec::Ship(vec![t_a, t_b]),
             top: semcc::core::TopId(1),
             value: t1_outcome.value.clone(),
+            snapshot: false,
+            commit_seq: 1,
         },
         semcc::sim::CommittedTxn {
             input_idx: 1,
             spec: TxnSpec::CheckShipped { targets: vec![t_a, t_b], bypass: true },
             top: semcc::core::TopId(2),
             value: t3_outcome.value.clone(),
+            snapshot: false,
+            commit_seq: 2,
         },
     ];
     let witness =

@@ -10,11 +10,12 @@
 //! stuck CI job.
 
 use semcc::core::{
-    recover, CrashPoint, Engine, Event, FaultPlan, FaultSpec, FnProgram, FsyncPolicy, MemorySink,
-    ProtocolConfig, TransactionProgram, WalWriter,
+    read_log, recover, CrashPoint, Engine, Event, FaultPlan, FaultSpec, FnProgram, FsyncPolicy,
+    MemorySink, ProtocolConfig, TransactionProgram, WalRecord, WalWriter,
 };
-use semcc::orderentry::{Database, DbParams, Target};
+use semcc::orderentry::{Database, DbParams, Target, HOOK_SHIP_AFTER_CHANGE_STATUS};
 use semcc::semantics::{MethodContext, SemccError, Storage, Value};
+use semcc::sim::scenario::Gate;
 use semcc::sim::{crash_mixes, crash_points, run_crash_recover, CrashParams, CrashReport};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -153,6 +154,52 @@ fn recovery_compensates_a_loser_back_to_the_initial_state() {
     assert_eq!(engine.lock_entries(), 0);
 }
 
+/// Recovery replay must bump version stamps exactly as the live path did:
+/// the snapshot read path validates against those stamps, so a recovered
+/// store that diverged would silently invalidate (or worse, falsely
+/// validate) post-recovery snapshot readers. Covers both winner redo and
+/// compensation replay — an aborted transaction's forward effects and
+/// their inverses each bump the stamp, and the replayed history must walk
+/// the identical sequence.
+#[test]
+fn recovery_replay_bumps_versions_identically_to_the_live_path() {
+    let live = db2();
+    let wal = WalWriter::new(FsyncPolicy::EveryAppend);
+    let engine =
+        Engine::builder(Arc::clone(&live.store) as Arc<dyn Storage>, Arc::clone(&live.catalog))
+            .protocol(ProtocolConfig::semantic())
+            .wal(Arc::clone(&wal))
+            .build();
+    engine.execute(&ship_two(&live)).expect("winner commits");
+    // An aborted top: its subtransaction commits (logged with the
+    // compensation intent), then the program fails, so the compensation
+    // runs — and is logged — on the live path.
+    let t = Target { item: live.items[0].item, order: live.items[0].orders[0].order };
+    let prog = FnProgram::new("abort-after-pay", move |ctx: &mut dyn MethodContext| {
+        ctx.call(t.item, "PayOrder", vec![Value::Id(t.order), Value::Money(7)])?;
+        Err(SemccError::Aborted("intentional".into()))
+    });
+    assert!(engine.execute(&prog).is_err(), "the loser must abort");
+
+    let log = wal.surviving();
+    let base = db2();
+    let (_, report) = recover(
+        &log,
+        Arc::clone(&base.store),
+        Arc::clone(&base.catalog),
+        ProtocolConfig::semantic(),
+        None,
+    )
+    .expect("recovery");
+    assert!(report.failures.is_empty(), "{report:?}");
+    assert!(report.replayed_actions > 0, "{report:?}");
+    assert_eq!(
+        base.store.version_state(),
+        live.store.version_state(),
+        "replayed history must leave every object at the live path's version stamp"
+    );
+}
+
 /// A compensation fault injected *into recovery itself* is retried under
 /// the engine's bounded budget: the pass still succeeds, and the retries
 /// are visible in the stats.
@@ -236,6 +283,115 @@ fn abort_cause_survives_retried_compensation_faults() {
     assert!(stats.compensation_retries >= 2, "{stats:?}");
     assert_eq!(engine.live_transactions(), 0);
     assert_eq!(engine.lock_entries(), 0);
+}
+
+/// The lost-intent crash: a deep subtransaction's effect is exposed to a
+/// commuting winner *before* its enclosing depth-1 subtree logs the
+/// `SubCommit` that carries its compensation intent. A ShipOrder parks
+/// right after its nested `ChangeStatus(shipped)` committed (locks
+/// retained — the paper's Figure-7 moment); a PayOrder on the same order
+/// commutes past it, embeds the shipped bit in the absolute status value
+/// it logs, and commits. If the process dies there, the only durable undo
+/// for the shipped bit is the `SubIntent` record appended at the deep
+/// subcommit — without it, recovery replays the winner (shipped bit and
+/// all) and has nothing to compensate the loser with, leaving a status no
+/// serial history can produce.
+#[test]
+fn recovery_compensates_deep_intents_exposed_before_their_subcommit() {
+    let params = DbParams { n_items: 1, orders_per_item: 1, ..Default::default() };
+    let body_gate = Gate::new();
+    let parked = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let armed = Arc::new(std::sync::atomic::AtomicBool::new(true));
+    let (bg, pk, arm) = (Arc::clone(&body_gate), Arc::clone(&parked), Arc::clone(&armed));
+    let hook: semcc::orderentry::ScenarioHook = Arc::new(move |point: &str| {
+        if point == HOOK_SHIP_AFTER_CHANGE_STATUS && arm.load(std::sync::atomic::Ordering::SeqCst) {
+            pk.store(true, std::sync::atomic::Ordering::SeqCst);
+            bg.wait();
+        }
+    });
+    let db = Database::build_with_hook(&params, Some(hook)).unwrap();
+    let wal = WalWriter::new(FsyncPolicy::EveryAppend);
+    let engine =
+        Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog))
+            .protocol(ProtocolConfig::semantic())
+            .wal(Arc::clone(&wal))
+            .build();
+    let t = Target { item: db.items[0].item, order: db.items[0].orders[0].order };
+
+    let log = std::thread::scope(|s| {
+        let e = Arc::clone(&engine);
+        s.spawn(move || {
+            let p = FnProgram::new("loser-ship", move |ctx: &mut dyn MethodContext| {
+                ctx.call(t.item, "ShipOrder", vec![Value::Id(t.order)])
+            });
+            // Commits in-process once the gate opens; the log snapshot
+            // below was already taken by then.
+            e.execute(&p).unwrap();
+        });
+        while !parked.load(std::sync::atomic::Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        // ChangeStatus(shipped) is subcommitted and exposed; ShipOrder's
+        // own SubCommit is not logged. PayOrder commutes with it at both
+        // levels and commits, logging status = shipped|paid absolutely.
+        let p = FnProgram::new("winner-pay", move |ctx: &mut dyn MethodContext| {
+            ctx.call(t.item, "PayOrder", vec![Value::Id(t.order), Value::Money(7)])
+        });
+        engine.execute(&p).expect("the commuting payment must commit");
+        let log = wal.surviving();
+        armed.store(false, std::sync::atomic::Ordering::SeqCst);
+        body_gate.open();
+        log
+    });
+
+    // The crash image must show the exposure gap this record closes:
+    // a SubIntent for the shipped bit, no SubCommit from the loser.
+    let records = read_log(&log).records;
+    let loser = records
+        .iter()
+        .find_map(|r| match r {
+            WalRecord::SubIntent { top, .. } => Some(*top),
+            _ => None,
+        })
+        .expect("the deep ChangeStatus subcommit must log a SubIntent");
+    assert!(
+        !records.iter().any(|r| matches!(r, WalRecord::SubCommit { top, .. } if *top == loser)),
+        "the loser's depth-1 SubCommit must not have reached the log"
+    );
+
+    let base = Database::build(&params).unwrap();
+    let (_, report) = recover(
+        &log,
+        Arc::clone(&base.store),
+        Arc::clone(&base.catalog),
+        ProtocolConfig::semantic(),
+        None,
+    )
+    .expect("recovery");
+    assert_eq!(report.winners, 1, "{report:?}");
+    assert_eq!(report.losers, 1, "{report:?}");
+    assert!(report.compensations >= 1, "the orphan intent must run: {report:?}");
+    assert!(report.failures.is_empty(), "{report:?}");
+
+    // Recovered state must equal the serial replay of the committed
+    // prefix — the payment alone.
+    let serial = Database::build(&params).unwrap();
+    let se =
+        Engine::builder(Arc::clone(&serial.store) as Arc<dyn Storage>, Arc::clone(&serial.catalog))
+            .protocol(ProtocolConfig::semantic())
+            .build();
+    let p = FnProgram::new("serial-pay", move |ctx: &mut dyn MethodContext| {
+        ctx.call(t.item, "PayOrder", vec![Value::Id(t.order), Value::Money(7)])
+    });
+    se.execute(&p).unwrap();
+    let status = |db: &Database| {
+        db.store.get(db.store.field(db.items[0].orders[0].order, "Status").unwrap()).unwrap()
+    };
+    assert_eq!(
+        status(&base),
+        status(&serial),
+        "the exposed-then-crashed shipped bit must be compensated away"
+    );
 }
 
 /// Same regression with the budget exhausted: the compensation failure is
