@@ -1,7 +1,7 @@
 //! The experiment driver: regenerates every evaluation artifact.
 //!
 //! ```text
-//! experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|b8|chaos|recover|observe] [--quick]
+//! experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|b8|chaos|recover|torture|observe] [--quick]
 //! ```
 
 use semcc_bench::sweeps::{self, Scale};
@@ -102,6 +102,18 @@ fn main() {
                 sweeps::b7_wal_overhead(scale, !quick),
             );
         }
+        "torture" => {
+            print_and_save(
+                "B7c: torture matrix (crash → recover → crash-mid-recovery → recover chains)",
+                "b7c_torture",
+                sweeps::b7c_torture(scale, chaos_seeds),
+            );
+            print_and_save(
+                "B7d: disk-bound gate (log footprint with vs without checkpointing)",
+                "b7d_disk_bound",
+                sweeps::b7_disk_bound(scale),
+            );
+        }
         "observe" => print_and_save(
             "Observe: instrumented runs (journal + latency percentiles + lock-table sampler)",
             "observe",
@@ -163,11 +175,21 @@ fn main() {
                 "b7b_wal_overhead",
                 sweeps::b7_wal_overhead(scale, !quick),
             );
+            print_and_save(
+                "B7c: torture matrix (crash → recover → crash-mid-recovery → recover chains)",
+                "b7c_torture",
+                sweeps::b7c_torture(scale, chaos_seeds),
+            );
+            print_and_save(
+                "B7d: disk-bound gate (log footprint with vs without checkpointing)",
+                "b7d_disk_bound",
+                sweeps::b7_disk_bound(scale),
+            );
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|b8|chaos|recover|observe] [--quick]"
+                "usage: experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|b8|chaos|recover|torture|observe] [--quick]"
             );
             std::process::exit(2);
         }

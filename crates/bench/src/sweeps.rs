@@ -5,7 +5,9 @@
 
 use crate::figures::bypass_violation_trials;
 use crate::tables::Table;
-use semcc_core::{Engine, FsyncPolicy, ProtocolConfig, WalWriter};
+use semcc_core::{
+    CrashPoint, Engine, FaultSpec, FsyncPolicy, ProtocolConfig, WalConfig, WalWriter,
+};
 use semcc_orderentry::{Database, DbParams, MixWeights, Workload, WorkloadConfig};
 use semcc_semantics::Storage;
 use semcc_sim::{build_engine_cfg, build_engine_full, run_workload, ProtocolKind, RunParams};
@@ -371,10 +373,12 @@ pub fn b7_recover(scale: Scale, seeds: u64) -> Table {
 }
 
 /// B7 part 2: the logging-overhead gate. The same B2-style contention
-/// cell is measured with the WAL off (the default) and with the WAL on at
-/// `fsync=never`; the on/off throughput ratio is the cost of logical
-/// logging itself. `strict` (full runs) asserts the ratio stays within
-/// 5%; quick runs use a lenient bound since tiny batches are noisy.
+/// cell is measured with the WAL off (the default) and with a *segmented,
+/// checkpointing* WAL on at `fsync=never` — segment rotation and the
+/// checkpoint machinery ride inside the measured cell, so the gate prices
+/// the full production logging path, not just the append. `strict` (full
+/// runs) asserts the on/off ratio stays within 5%; quick runs use a
+/// lenient bound since tiny batches are noisy.
 pub fn b7_wal_overhead(scale: Scale, strict: bool) -> Table {
     let db_params = DbParams { n_items: 8, orders_per_item: 8, ..Default::default() };
     let wl =
@@ -386,7 +390,18 @@ pub fn b7_wal_overhead(scale: Scale, strict: bool) -> Table {
                 .protocol(ProtocolConfig::semantic())
                 .op_delay(OP_DELAY);
         if with_wal {
-            builder = builder.wal(WalWriter::new(FsyncPolicy::Never));
+            // Small segments so rotation is exercised many times inside
+            // the measured cell; a checkpoint cadence sized to fire about
+            // once per run — checkpoints briefly quiesce mutators for the
+            // stamp-consistent cut, so their cost is a *rate* (dump cost
+            // per cadence byte), and the gate prices it at a cadence that
+            // is still ~50× denser than a production setting.
+            let config = WalConfig {
+                segment_bytes: 4 << 10,
+                checkpoint_bytes: Some(32 << 10),
+                ..WalConfig::default()
+            };
+            builder = builder.wal(WalWriter::with_config(FsyncPolicy::Never, config));
         }
         let engine = builder.build();
         let mut w = Workload::new(&db, wl.clone());
@@ -402,29 +417,161 @@ pub fn b7_wal_overhead(scale: Scale, strict: bool) -> Table {
     let on = measure_wal(true);
     let ratio = on.throughput / off.throughput.max(f64::MIN_POSITIVE);
 
-    let mut t = Table::new(&["config", "txn/s", "wal appends", "wal fsyncs", "on/off ratio"]);
+    let mut t = Table::new(&[
+        "config",
+        "txn/s",
+        "wal appends",
+        "wal fsyncs",
+        "segs rotated",
+        "ckpts",
+        "on/off ratio",
+    ]);
     t.row(vec![
         "wal off (default)".into(),
         fmt_f(off.throughput),
         off.stats.wal_appends.to_string(),
         off.stats.wal_fsyncs.to_string(),
+        off.stats.wal_segments_rotated.to_string(),
+        off.stats.checkpoints.to_string(),
         "-".into(),
     ]);
     t.row(vec![
-        "wal on, fsync=never".into(),
+        "wal on, segmented+ckpt, fsync=never".into(),
         fmt_f(on.throughput),
         on.stats.wal_appends.to_string(),
         on.stats.wal_fsyncs.to_string(),
+        on.stats.wal_segments_rotated.to_string(),
+        on.stats.checkpoints.to_string(),
         format!("{ratio:.3}"),
     ]);
     assert!(off.stats.wal_appends == 0, "logging must be off by default");
     assert!(on.stats.wal_appends > 0, "the WAL run must actually log");
     assert_eq!(on.stats.wal_fsyncs, 0, "fsync=never must never flush");
+    assert!(on.stats.wal_segments_rotated > 0, "the cell must rotate segments");
     let floor = if strict { 0.95 } else { 0.60 };
     assert!(
         ratio >= floor,
         "WAL fsync=never costs more than {:.0}% throughput (ratio {ratio:.3})",
         (1.0 - floor) * 100.0
+    );
+    t
+}
+
+/// B7 part 3 (B7c): the torture matrix — crash → recover →
+/// crash-mid-recovery → recover chains across workload mixes and seeds.
+/// Odd seeds crash the log device early (no checkpoint); even seeds run a
+/// checkpointing workload with a late crash, so both recovery entry
+/// points (empty store and checkpoint dump) are tortured. Every chain
+/// must converge to the committed-prefix serial replay and to the state a
+/// single clean recovery reaches (asserted).
+pub fn b7c_torture(scale: Scale, seeds: u64) -> Table {
+    let mut t = Table::new(&[
+        "mix",
+        "seed",
+        "ckpt",
+        "committed",
+        "crashed",
+        "passes",
+        "mid-crashes",
+        "re-rec",
+        "ckpts",
+        "winners",
+        "state==serial",
+        "==clean",
+        "live",
+        "leaked",
+    ]);
+    for (mix_name, mix) in semcc_sim::crash_mixes() {
+        for seed in 1..=seeds.max(1) {
+            let checkpoint = seed % 2 == 0;
+            let (txns, faults) = if checkpoint {
+                // Checkpoints need runway before the crash.
+                (120, FaultSpec::default().with_crash(CrashPoint::AtLeafAppend { nth: 160 }))
+            } else {
+                (scale.txns.min(80), semcc_sim::TortureParams::default().faults)
+            };
+            let r = semcc_sim::run_torture(&semcc_sim::TortureParams {
+                seed,
+                txns,
+                mix,
+                faults,
+                checkpoint,
+                ..Default::default()
+            });
+            t.row(vec![
+                mix_name.into(),
+                seed.to_string(),
+                if checkpoint { "yes".into() } else { "no".into() },
+                r.committed.to_string(),
+                if r.crashed { "yes".into() } else { "no".into() },
+                r.passes.to_string(),
+                r.mid_crashes.to_string(),
+                if r.rerecovery_detected { "yes".into() } else { "no".into() },
+                r.checkpoints_taken.to_string(),
+                r.winners.to_string(),
+                if r.state_matches { "yes".into() } else { "NO".into() },
+                if r.matches_clean_recovery { "yes".into() } else { "NO".into() },
+                r.live_after.to_string(),
+                r.leaked_entries.to_string(),
+            ]);
+            assert!(r.sound(), "torture chain {mix_name}/seed{seed} unsound: {r:?}");
+        }
+    }
+    t
+}
+
+/// B7 part 4: the disk-bound gate. The same long workload is logged twice
+/// — once with checkpointing (which retires sealed segments) and once
+/// without — and the live log footprint must stay bounded under
+/// checkpointing while the uncheckpointed log grows with the run
+/// (asserted: bounded < unbounded / 3).
+pub fn b7_disk_bound(scale: Scale) -> Table {
+    let db_params = DbParams { n_items: 8, orders_per_item: 8, ..Default::default() };
+    let run = |checkpoint: bool| {
+        let db = Database::build(&db_params).expect("schema builds");
+        let config = WalConfig {
+            segment_bytes: 2 << 10,
+            checkpoint_bytes: checkpoint.then_some(8 << 10),
+            ..WalConfig::default()
+        };
+        let wal = WalWriter::with_config(FsyncPolicy::Never, config);
+        let engine =
+            Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog))
+                .protocol(ProtocolConfig::semantic())
+                .wal(Arc::clone(&wal))
+                .build();
+        let wl = WorkloadConfig {
+            mix: MixWeights::update_heavy(),
+            zipf_theta: 0.6,
+            ..Default::default()
+        };
+        let mut w = Workload::new(&db, wl);
+        // Long enough that the uncheckpointed log dwarfs the bounded
+        // footprint's floor (the checkpoint image + the live cadence).
+        let batch = w.batch(&db, scale.txns * 12);
+        let m = run_workload(
+            &engine,
+            batch,
+            &RunParams { workers: 8, max_retries: 100_000, ..Default::default() },
+        )
+        .metrics;
+        (wal.retained_bytes(), wal.checkpoints_taken(), m.stats.wal_bytes)
+    };
+    let (bounded, ckpts, logged_ck) = run(true);
+    let (unbounded, _, logged_no) = run(false);
+
+    let mut t = Table::new(&["config", "bytes logged", "ckpts", "live footprint"]);
+    t.row(vec![
+        "checkpointing (8 KiB cadence)".into(),
+        logged_ck.to_string(),
+        ckpts.to_string(),
+        bounded.to_string(),
+    ]);
+    t.row(vec!["no checkpoints".into(), logged_no.to_string(), "0".into(), unbounded.to_string()]);
+    assert!(ckpts > 0, "the checkpointing run must actually checkpoint");
+    assert!(
+        bounded * 3 < unbounded,
+        "checkpointing must bound the log footprint: {bounded} vs {unbounded} bytes"
     );
     t
 }
@@ -575,6 +722,23 @@ mod tests {
         let text = t.render();
         assert!(text.contains("wal off (default)"), "{text}");
         assert!(text.contains("fsync=never"), "{text}");
+    }
+
+    #[test]
+    fn b7c_torture_smoke() {
+        let t = b7c_torture(Scale { txns: 40 }, 2);
+        let text = t.render();
+        // 3 mixes × 2 seeds + header + rule.
+        assert_eq!(text.lines().count(), 2 + 6, "{text}");
+        assert!(!text.contains("NO"), "unsound torture row:\n{text}");
+    }
+
+    #[test]
+    fn b7_disk_bound_smoke() {
+        let t = b7_disk_bound(Scale { txns: 40 });
+        let text = t.render();
+        assert!(text.contains("checkpointing"), "{text}");
+        assert!(text.contains("no checkpoints"), "{text}");
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::lock::SemanticLockManager;
 use crate::notify::CompletionHub;
 use crate::stats::{Stats, StatsSnapshot};
 use crate::tree::{Registry, TxnTree};
-use crate::wal::{RedoOp, WalRecord, WalWriter};
+use crate::wal::{RedoOp, WalFailMode, WalRecord, WalWriter};
 use parking_lot::Mutex;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use semcc_semantics::{
@@ -144,6 +144,21 @@ struct TxnShared {
     /// Objects this transaction declared write intent on (first mutating
     /// leaf per object); intents are released when the top finishes.
     written: Mutex<Vec<ObjectId>>,
+    /// Log this transaction's records under a different transaction id.
+    /// Set only by recovery's loser compensations: the wrapper executes
+    /// under its own fresh `TopId`, but its `CompRedo`/`CompApplied`
+    /// records must carry the *loser's* id so a crash mid-recovery leaves
+    /// a log a second pass analyzes correctly. An aliased transaction
+    /// also logs no `TopCommit`/`TopAbort` of its own — recovery resolves
+    /// the loser explicitly.
+    wal_alias: Option<u64>,
+}
+
+impl TxnShared {
+    /// The transaction id this transaction's WAL records carry.
+    fn wal_top(&self) -> u64 {
+        self.wal_alias.unwrap_or(self.tree.top().0)
+    }
 }
 
 /// Builds an [`Engine`].
@@ -396,14 +411,90 @@ impl Engine {
     }
 
     /// Append one record to the write-ahead log, if one is attached.
-    fn wal_append(&self, rec: WalRecord) {
-        if let Some(w) = &self.wal {
-            let info = w.append(&rec);
-            if info.appended {
-                Stats::bump(&self.deps.stats.wal_appends);
+    ///
+    /// `Err` means the record did **not** reach the log and never will
+    /// (the writer is poisoned, or an I/O fault just poisoned it): the
+    /// caller must not acknowledge the work the record describes.
+    /// `Ok` covers the simulated-crash case too — a dead (crashed)
+    /// writer silently drops appends, modeling work the machine lost in
+    /// flight, which is precisely what recovery is tested against.
+    fn wal_append(&self, rec: WalRecord) -> Result<()> {
+        let Some(w) = &self.wal else { return Ok(()) };
+        match w.append(&rec) {
+            Ok(info) => {
+                if info.appended {
+                    Stats::bump(&self.deps.stats.wal_appends);
+                    Stats::add(&self.deps.stats.wal_bytes, info.bytes as u64);
+                }
+                if info.synced {
+                    Stats::bump(&self.deps.stats.wal_fsyncs);
+                }
+                if info.rotated {
+                    Stats::bump(&self.deps.stats.wal_segments_rotated);
+                    if let Some(j) = &self.deps.journal {
+                        j.record(JournalKind::WalRotate, 0, 0, 0, 0, info.lsn, info.bytes as u64);
+                    }
+                }
+                Ok(())
             }
-            if info.synced {
-                Stats::bump(&self.deps.stats.wal_fsyncs);
+            Err(e) => {
+                Stats::bump(&self.deps.stats.wal_io_errors);
+                Err(SemccError::Durability(e.to_string()))
+            }
+        }
+    }
+
+    /// Abort-path append: a failure is counted but swallowed. The abort
+    /// must run to completion regardless — a poisoned log already refuses
+    /// every subsequent commit, so losing an abort-side record costs
+    /// nothing recovery cannot reconstruct (an unresolved transaction is
+    /// compensated from its logged intents).
+    fn wal_append_quiet(&self, rec: WalRecord) {
+        let _ = self.wal_append(rec);
+    }
+
+    /// Take a fuzzy checkpoint now: persist a stamp-consistent store
+    /// snapshot plus the live-transaction intent table, then retire every
+    /// sealed log segment. Returns `Ok(true)` if a checkpoint was
+    /// written, `Ok(false)` if there is no WAL, the storage cannot dump
+    /// itself, or the writer is crashed; `Err` if the log is poisoned or
+    /// checkpoint I/O failed (which poisons it).
+    pub fn checkpoint(&self) -> Result<bool> {
+        let Some(w) = &self.wal else { return Ok(false) };
+        if let Some(j) = &self.deps.journal {
+            j.record(JournalKind::CheckpointBegin, 0, 0, 0, 0, 0, 0);
+        }
+        match w.checkpoint(|| self.storage.checkpoint_dump()) {
+            Ok(Some(outcome)) => {
+                Stats::bump(&self.deps.stats.checkpoints);
+                if let Some(j) = &self.deps.journal {
+                    j.record(
+                        JournalKind::CheckpointEnd,
+                        0,
+                        0,
+                        0,
+                        0,
+                        outcome.cp_lsn,
+                        outcome.bytes_dropped as u64,
+                    );
+                }
+                Ok(true)
+            }
+            Ok(None) => Ok(false),
+            Err(e) => {
+                Stats::bump(&self.deps.stats.wal_io_errors);
+                Err(SemccError::Durability(e.to_string()))
+            }
+        }
+    }
+
+    /// Automatic checkpoint trigger, run after a transaction resolves
+    /// (no locks held). Errors are swallowed: a poisoned log surfaces
+    /// through the next commit's typed durability error, not here.
+    fn maybe_checkpoint(&self) {
+        if let Some(w) = &self.wal {
+            if w.wants_checkpoint() {
+                let _ = self.checkpoint();
             }
         }
     }
@@ -419,6 +510,31 @@ impl Engine {
     /// Like [`Engine::execute`], but also returns the attempt's `TopId`
     /// even when it aborted (retry loops key their backoff on it).
     pub fn execute_traced(&self, prog: &dyn TransactionProgram) -> (TopId, Result<TxnOutcome>) {
+        // Degraded mode: once the log is poisoned (an I/O fault made
+        // durability unprovable), no transaction that would need a log
+        // record may run. Under `WalFailMode::ReadOnly`, programs declared
+        // read-only still execute on the lock-free snapshot path — it
+        // writes nothing to the log — but a promotion (the program tried
+        // to write after all) fails with the same typed error instead of
+        // falling through to the locking path. `FailStop` refuses
+        // everything.
+        if let Some(w) = &self.wal {
+            if let Some(err) = w.poisoned() {
+                if w.fail_mode() == WalFailMode::ReadOnly
+                    && self.snapshot_enabled
+                    && prog.read_only_hint()
+                {
+                    if let Some(done) = self.execute_snapshot(prog) {
+                        return done;
+                    }
+                }
+                let top = self.deps.registry.allocate_top();
+                let reason = SemccError::Durability(format!("write-ahead log poisoned: {err}"));
+                self.deps.sink.record(Event::TopBegin { top, label: prog.label() });
+                self.deps.sink.record(Event::TopAbort { top, reason: reason.to_string() });
+                return (top, Err(reason));
+            }
+        }
         if self.snapshot_enabled && prog.read_only_hint() {
             if let Some(done) = self.execute_snapshot(prog) {
                 return done;
@@ -434,6 +550,7 @@ impl Engine {
             tree: Arc::clone(&tree),
             created: Mutex::new(Vec::new()),
             written: Mutex::new(Vec::new()),
+            wal_alias: None,
         });
         // Backstop containment: if anything below unwinds past the
         // commit/abort calls (e.g. a panic inside the abort path itself),
@@ -455,10 +572,19 @@ impl Engine {
             Err(SemccError::MethodPanicked(panic_message(payload)))
         });
         let result = match run {
-            Ok(value) => {
-                let seq = self.commit(top, &shared);
-                Ok(TxnOutcome { top, value, snapshot: false, commit_seq: seq })
-            }
+            // Commit can fail at its durability point (the `TopCommit`
+            // append hit a poisoned log): the transaction then aborts
+            // through the ordinary compensation path — its effects are
+            // undone under the locking discipline and it is *not*
+            // acknowledged, upholding acked ⇒ durable.
+            Ok(value) => match self.commit(top, &shared) {
+                Ok(seq) => Ok(TxnOutcome { top, value, snapshot: false, commit_seq: seq }),
+                Err(e) => {
+                    let comp = std::mem::take(&mut ctx.comp);
+                    self.abort(top, &shared, comp, &e);
+                    Err(e)
+                }
+            },
             Err(e) => {
                 let comp = std::mem::take(&mut ctx.comp);
                 self.abort(top, &shared, comp, &e);
@@ -466,6 +592,7 @@ impl Engine {
             }
         };
         guard.armed = false;
+        self.maybe_checkpoint();
         (top, result)
     }
 
@@ -592,6 +719,21 @@ impl Engine {
     /// path (`compensating = true`), exactly like an in-process abort.
     /// Returns the number of compensating invocations executed.
     pub fn compensate_transaction(&self, intents: Vec<Invocation>) -> Result<usize> {
+        self.compensate_transaction_as(intents, None)
+    }
+
+    /// [`Engine::compensate_transaction`] with a WAL alias: every record
+    /// the wrapper logs (`CompRedo`, `CompApplied`) carries `alias`'s
+    /// transaction id instead of the wrapper's own, and the wrapper logs
+    /// no resolution record of its own. Recovery uses this so that a
+    /// crash *during* recovery leaves a log in which the loser's abort
+    /// progress is attributed to the loser — the next pass resumes it
+    /// exactly like a crash during an in-process abort.
+    pub fn compensate_transaction_as(
+        &self,
+        intents: Vec<Invocation>,
+        alias: Option<u64>,
+    ) -> Result<usize> {
         let n = intents.len();
         let tree = self.deps.registry.begin();
         let top = tree.top();
@@ -600,17 +742,20 @@ impl Engine {
             tree: Arc::clone(&tree),
             created: Mutex::new(Vec::new()),
             written: Mutex::new(Vec::new()),
+            wal_alias: alias,
         });
         let mut guard = AbortGuard { engine: self, shared: Arc::clone(&shared), armed: true };
-        let result = self.compensate_list(&shared, intents, true);
-        match &result {
-            Ok(()) => {
-                self.commit(top, &shared);
+        let result = match self.compensate_list(&shared, intents, true) {
+            // An aliased commit appends nothing, so it cannot fail; an
+            // unaliased one can (poisoned log) and falls to the abort arm.
+            Ok(()) => self.commit(top, &shared).map(|_| n),
+            Err(e) => {
+                self.abort(top, &shared, Vec::new(), &e);
+                Err(e)
             }
-            Err(e) => self.abort(top, &shared, Vec::new(), e),
-        }
+        };
         guard.armed = false;
-        result.map(|()| n)
+        result
     }
 
     /// Jittered exponential backoff, seeded by the aborted attempt's
@@ -624,14 +769,20 @@ impl Engine {
         std::thread::sleep(Duration::from_secs_f64(sleep));
     }
 
-    fn commit(&self, top: TopId, shared: &Arc<TxnShared>) -> u64 {
+    fn commit(&self, top: TopId, shared: &Arc<TxnShared>) -> Result<u64> {
         let tree = &shared.tree;
         // Durability point: the commit record must reach the log *before*
         // any lock is released (a crash after release but before the
         // record would let dependents of an officially-uncommitted
         // transaction commit). With `FsyncPolicy::OnCommit` this append
-        // is also the group fsync.
-        self.wal_append(WalRecord::TopCommit { top: top.0 });
+        // is also the group fsync. A failure here (poisoned log) fails
+        // the commit itself — the caller aborts with compensation, so no
+        // transaction is ever acknowledged without a durable record.
+        // Recovery's aliased wrappers skip this: the loser's resolution
+        // is recovery's to log.
+        if shared.wal_alias.is_none() {
+            self.wal_append(WalRecord::TopCommit { top: top.0 })?;
+        }
         // Draw the commit-order number *before* releasing write intents: a
         // snapshot reader that later validates against our effects
         // (observing `writers == 0`) is then guaranteed a larger number.
@@ -647,7 +798,7 @@ impl Engine {
         Stats::bump(&self.deps.stats.commits);
         self.deps.sink.record(Event::TopCommit { top });
         self.journal_record(JournalKind::TopCommit, NodeRef::root(top), 0);
-        seq
+        Ok(seq)
     }
 
     /// Release every write intent this transaction declared (best-effort;
@@ -693,8 +844,12 @@ impl Engine {
         // but, seeing this record, runs no further compensation. A crash
         // before this record instead treats the transaction as a loser and
         // finishes the abort from the logged intents, minus the ones the
-        // `CompApplied` markers show were already applied.
-        self.wal_append(WalRecord::TopAbort { top: top.0 });
+        // `CompApplied` markers show were already applied. The append is
+        // quiet — losing it degrades a resolved abort into a loser, which
+        // recovery handles — and aliased wrappers skip it entirely.
+        if shared.wal_alias.is_none() {
+            self.wal_append_quiet(WalRecord::TopAbort { top: top.0 });
+        }
 
         // Write intents cover the compensations just executed, so they are
         // only released now — a snapshot reader that observed any of this
@@ -771,8 +926,11 @@ impl Engine {
                         // the loser's logged intents were already applied
                         // (the *last* k, since compensation runs newest
                         // first), so it only compensates the remainder.
+                        // Quiet: abort progress lost to a poisoned log just
+                        // means recovery re-runs an inverse it cannot know
+                        // was applied.
                         if log_progress {
-                            self.wal_append(WalRecord::CompApplied { top: shared.tree.top().0 });
+                            self.wal_append_quiet(WalRecord::CompApplied { top: shared.wal_top() });
                         }
                         break;
                     }
@@ -851,7 +1009,60 @@ impl Engine {
         }
 
         let result = match inv.method {
-            MethodSel::Generic(g) => self.apply_generic(&inv, g),
+            MethodSel::Generic(g) => {
+                // The leaf's store mutation and its redo record form one
+                // atomic unit with respect to the checkpointer: the
+                // barrier's read side is held across both, so a fuzzy
+                // checkpoint sees either (effect in dump, record below
+                // `cp_lsn`) or neither — never a dumped effect whose
+                // record survives to be replayed twice, nor a logged
+                // record whose effect the dump missed. The record is
+                // logged *before* the leaf's lock is released, so the
+                // log's order respects the store's conflict order.
+                // Compensating leaf effects are logged as `CompRedo` (the
+                // logical CLR): recovery repeats history — forward
+                // effects and compensations alike — because absolute leaf
+                // values embed the effects of concurrently exposed work
+                // that a later compensation undid.
+                let applied = {
+                    let _cp = self.wal.as_ref().map(|w| w.checkpoint_guard());
+                    match self.apply_generic(&inv, g) {
+                        Ok((value, comp)) => {
+                            let logged = match Self::redo_of(&inv) {
+                                Some(op) if writes && compensating => {
+                                    // Quiet: a lost CLR means recovery
+                                    // re-derives this inverse from the
+                                    // intent list instead of replaying it.
+                                    self.wal_append_quiet(WalRecord::CompRedo {
+                                        top: shared.wal_top(),
+                                        op,
+                                    });
+                                    Ok(())
+                                }
+                                Some(op) if writes => {
+                                    self.wal_append(WalRecord::LeafRedo { top: top.0, subtree, op })
+                                }
+                                _ => Ok(()),
+                            };
+                            match logged {
+                                Ok(()) => Ok((value, comp)),
+                                Err(e) => Err((e, comp)),
+                            }
+                        }
+                        Err(e) => Err((e, Vec::new())),
+                    }
+                };
+                // Guard dropped before any compensation below re-enters
+                // `run_action` (and the barrier).
+                applied.map_err(|(e, comp)| {
+                    // The mutation hit the store but its record will never
+                    // hit the log: undo it inline via the leaf's built-in
+                    // inverse (best-effort — the transaction is aborting
+                    // with a durability error regardless).
+                    let _ = self.compensate_list(shared, comp, false);
+                    e
+                })
+            }
             MethodSel::User(m) => {
                 self.run_user_method(shared, child, subtree, &inv, m, compensating)
             }
@@ -859,32 +1070,16 @@ impl Engine {
 
         match result {
             Ok((value, comp)) => {
-                // Log *before* releasing the leaf's lock / completing the
-                // node, so the log's record order respects the store's
-                // conflict order. Compensating leaf effects are logged as
-                // `CompRedo` (the logical CLR): recovery repeats history —
-                // forward effects and compensations alike — because
-                // absolute leaf values embed the effects of concurrently
-                // exposed work that a later compensation undid.
                 if self.wal.is_some() {
-                    if is_leaf && writes {
-                        if let Some(op) = Self::redo_of(&inv) {
-                            self.wal_append(if compensating {
-                                WalRecord::CompRedo { top: top.0, op }
-                            } else {
-                                WalRecord::LeafRedo { top: top.0, subtree, op }
-                            });
-                        }
-                    }
-                    if parent == 0 && !compensating {
+                    let rec = if parent == 0 && !compensating {
                         // The depth-1 subtransaction committed: persist its
                         // compensation intent (the paper's inverse
                         // invocations) as the logical undo record.
-                        self.wal_append(WalRecord::SubCommit {
+                        Some(WalRecord::SubCommit {
                             top: top.0,
                             subtree: child,
                             comp: comp.clone(),
-                        });
+                        })
                     } else if !compensating
                         && !comp.is_empty()
                         && matches!(inv.method, MethodSel::User(_))
@@ -904,11 +1099,21 @@ impl Engine {
                         // inside user submethods — true of the order-entry
                         // matrices, where every absorbable write path runs
                         // through `ChangeStatus`.
-                        self.wal_append(WalRecord::SubIntent {
-                            top: top.0,
-                            subtree,
-                            comp: comp.clone(),
-                        });
+                        Some(WalRecord::SubIntent { top: top.0, subtree, comp: comp.clone() })
+                    } else {
+                        None
+                    };
+                    if let Some(rec) = rec {
+                        if let Err(e) = self.wal_append(rec) {
+                            // The subtransaction's effects are in the store
+                            // but its undo intent will never be durable:
+                            // reverse them inline (best-effort) before
+                            // failing the node with the durability error.
+                            let _ = self.compensate_list(shared, comp, false);
+                            tree.abort(child);
+                            self.deps.hub.node_finished(node);
+                            return Err(e);
+                        }
                     }
                 }
                 tree.complete(child);
@@ -1185,6 +1390,10 @@ impl MethodContext for ExecCtx<'_> {
     fn create_atomic(&mut self, v: Value) -> Result<ObjectId> {
         let log = self.engine.wal.is_some() && !self.compensating;
         let redo_value = log.then(|| v.clone());
+        // Creation + redo record are one unit under the checkpoint
+        // barrier, like any leaf write. An append failure leaves the
+        // object in `created`, so the resulting abort deletes it.
+        let _cp = log.then(|| self.engine.wal.as_ref().expect("log is on").checkpoint_guard());
         let id = self.engine.storage.create_atomic(semcc_semantics::TYPE_ATOMIC, v)?;
         if !self.compensating {
             self.shared.created.lock().push(id);
@@ -1194,7 +1403,7 @@ impl MethodContext for ExecCtx<'_> {
                 top: self.shared.tree.top().0,
                 subtree: self.subtree,
                 op: RedoOp::CreateAtomic { id, type_id: semcc_semantics::TYPE_ATOMIC, value },
-            });
+            })?;
         }
         Ok(id)
     }
@@ -1206,6 +1415,7 @@ impl MethodContext for ExecCtx<'_> {
     ) -> Result<ObjectId> {
         let log = self.engine.wal.is_some() && !self.compensating;
         let redo_fields = log.then(|| fields.clone());
+        let _cp = log.then(|| self.engine.wal.as_ref().expect("log is on").checkpoint_guard());
         let id = self.engine.storage.create_tuple(type_id, fields)?;
         if !self.compensating {
             self.shared.created.lock().push(id);
@@ -1215,12 +1425,14 @@ impl MethodContext for ExecCtx<'_> {
                 top: self.shared.tree.top().0,
                 subtree: self.subtree,
                 op: RedoOp::CreateTuple { id, type_id, fields },
-            });
+            })?;
         }
         Ok(id)
     }
 
     fn create_set(&mut self) -> Result<ObjectId> {
+        let log = self.engine.wal.is_some() && !self.compensating;
+        let _cp = log.then(|| self.engine.wal.as_ref().expect("log is on").checkpoint_guard());
         let id = self.engine.storage.create_set(semcc_semantics::TYPE_SET)?;
         if !self.compensating {
             self.shared.created.lock().push(id);
@@ -1230,7 +1442,7 @@ impl MethodContext for ExecCtx<'_> {
                 top: self.shared.tree.top().0,
                 subtree: self.subtree,
                 op: RedoOp::CreateSet { id, type_id: semcc_semantics::TYPE_SET },
-            });
+            })?;
         }
         Ok(id)
     }

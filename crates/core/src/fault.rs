@@ -82,6 +82,61 @@ pub enum CrashPoint {
         /// Bytes of the torn frame that reach the device.
         keep: usize,
     },
+    /// Die as *recovery itself* appends its `nth` record (progress marks,
+    /// compensation records, loser resolutions). Fires only while the
+    /// writer is in recovery mode, so the same plan can drive a
+    /// crash-during-recovery chain without perturbing the workload phase.
+    AtRecoveryAppend {
+        /// 1-based ordinal among recovery-mode appends.
+        nth: u64,
+    },
+    /// Die while the `nth` checkpoint image is being made durable: the old
+    /// checkpoint (if any) and the un-truncated segments survive; the new
+    /// image does not.
+    AtCheckpoint {
+        /// 1-based checkpoint ordinal.
+        nth: u64,
+    },
+}
+
+/// A deterministic I/O failure of the write-ahead-log device — unlike a
+/// [`CrashPoint`] the *process survives*: the write fails, the writer
+/// reports a typed [`WalError`](crate::wal::WalError), and (for append and
+/// fsync failures) the log is **poisoned** — no blind retry, fsyncgate
+/// semantics: once a sync's outcome is unknowable the log never accepts
+/// another byte. Nth-based and independent of the probabilistic stream, so
+/// a spec reproduces exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoFaultPoint {
+    /// The `nth` append fails outright (EIO from `write`). Poisons.
+    AppendError {
+        /// 1-based append ordinal.
+        nth: u64,
+    },
+    /// The `nth` append writes only `keep` bytes of its frame to the
+    /// durable image before failing. Poisons (the tail is torn *and* the
+    /// device is untrustworthy).
+    ShortWrite {
+        /// 1-based append ordinal.
+        nth: u64,
+        /// Bytes of the frame that reach the durable image.
+        keep: usize,
+    },
+    /// The `nth` fsync fails: the buffer never reaches the durable image
+    /// and the log is poisoned (a failed fsync leaves the durable state
+    /// unknowable — retrying it would silently drop the lost window).
+    FsyncError {
+        /// 1-based fsync ordinal.
+        nth: u64,
+    },
+    /// The `nth` appended frame is silently corrupted (bit flips in the
+    /// payload) but the append *reports success* — latent corruption in
+    /// the middle of the log, caught only by a verified read or a
+    /// checkpoint's analysis pass. Does not poison.
+    CorruptFrame {
+        /// 1-based append ordinal.
+        nth: u64,
+    },
 }
 
 /// Per-site fault probabilities plus an optional total trigger budget.
@@ -97,6 +152,8 @@ pub struct FaultSpec {
     pub max_triggers: Option<u64>,
     /// Deterministic WAL crash point (`None` = the log device never dies).
     pub crash: Option<CrashPoint>,
+    /// Deterministic WAL I/O failure (`None` = the device never errors).
+    pub io: Option<IoFaultPoint>,
 }
 
 impl Default for FaultSpec {
@@ -107,6 +164,7 @@ impl Default for FaultSpec {
             compensation_error: 0.0,
             max_triggers: None,
             crash: None,
+            io: None,
         }
     }
 }
@@ -136,6 +194,12 @@ impl FaultSpec {
     /// Kill the WAL device at a deterministic crash point.
     pub fn with_crash(mut self, point: CrashPoint) -> Self {
         self.crash = Some(point);
+        self
+    }
+
+    /// Fail (without crashing) a deterministic WAL I/O operation.
+    pub fn with_io(mut self, point: IoFaultPoint) -> Self {
+        self.io = Some(point);
         self
     }
 }
@@ -195,6 +259,11 @@ impl FaultPlan {
     /// [`WalWriter`](crate::wal::WalWriter) on every append/sync).
     pub fn crash(&self) -> Option<CrashPoint> {
         self.spec.crash
+    }
+
+    /// The plan's WAL I/O-fault point, if any.
+    pub fn io(&self) -> Option<IoFaultPoint> {
+        self.spec.io
     }
 }
 
@@ -312,6 +381,13 @@ impl Storage for FaultyStorage {
 
     fn delete(&self, o: ObjectId) -> Result<()> {
         self.inner.delete(o)
+    }
+
+    fn checkpoint_dump(&self) -> Option<semcc_semantics::StoreDump> {
+        // Checkpoints capture ground truth — never faulted, like `delete`:
+        // the durability machinery itself is exercised by the dedicated
+        // WAL fault points, not by the data-op chaos knobs.
+        self.inner.checkpoint_dump()
     }
 }
 

@@ -80,6 +80,14 @@ pub enum JournalKind {
     /// A read-only transaction was promoted to the ordinary locking path
     /// (snapshot ineligibility or validation failure).
     SnapshotPromote = 18,
+    /// A fuzzy checkpoint started.
+    CheckpointBegin = 19,
+    /// A fuzzy checkpoint was installed (`key` = checkpoint LSN, `aux` =
+    /// log bytes retired).
+    CheckpointEnd = 20,
+    /// The WAL rotated to a fresh segment (`key` = first LSN of the new
+    /// segment).
+    WalRotate = 21,
 }
 
 impl JournalKind {
@@ -105,11 +113,14 @@ impl JournalKind {
             JournalKind::SnapshotBegin => "snapshot_begin",
             JournalKind::SnapshotValidate => "snapshot_validate",
             JournalKind::SnapshotPromote => "snapshot_promote",
+            JournalKind::CheckpointBegin => "checkpoint_begin",
+            JournalKind::CheckpointEnd => "checkpoint_end",
+            JournalKind::WalRotate => "wal_rotate",
         }
     }
 
     /// Every kind, in wire order.
-    pub const ALL: [JournalKind; 19] = [
+    pub const ALL: [JournalKind; 22] = [
         JournalKind::LockRequest,
         JournalKind::LockGrant,
         JournalKind::LockWait,
@@ -129,6 +140,9 @@ impl JournalKind {
         JournalKind::SnapshotBegin,
         JournalKind::SnapshotValidate,
         JournalKind::SnapshotPromote,
+        JournalKind::CheckpointBegin,
+        JournalKind::CheckpointEnd,
+        JournalKind::WalRotate,
     ];
 
     fn from_u64(v: u64) -> Option<JournalKind> {

@@ -57,7 +57,7 @@ pub use discipline::{AcquireRequest, Discipline, GrantInfo};
 pub use engine::{Engine, EngineBuilder, FnProgram, TransactionProgram, TxnOutcome};
 pub use fault::{
     injected_panic, silence_injected_panics, CrashPoint, FaultPlan, FaultSite, FaultSpec,
-    FaultyStorage, InjectedPanic,
+    FaultyStorage, InjectedPanic, IoFaultPoint,
 };
 pub use hist::{HistogramSummary, LatencyHistogram};
 pub use history::{Event, HistorySink, MemorySink, NullSink, Stamped};
@@ -71,5 +71,10 @@ pub use kernel::{
 pub use lock::SemanticLockManager;
 pub use stats::{Stats, StatsSnapshot};
 pub use tree::{Chain, ChainLink, NodeState, Registry, TxnTree};
-pub use wal::recovery::{recover, RecoveryReport};
-pub use wal::{read_log, AppendInfo, FsyncPolicy, RedoOp, WalReadOutcome, WalRecord, WalWriter};
+pub use wal::checkpoint::{CheckpointImage, TopInfo};
+pub use wal::recovery::{recover, recover_image, RecoveryReport};
+pub use wal::{
+    read_image, read_log, read_log_from, read_log_verified, AppendInfo, CheckpointOutcome,
+    FsyncPolicy, LogImage, ParsedLog, RedoOp, SegmentImage, WalConfig, WalError, WalFailMode,
+    WalReadOutcome, WalRecord, WalWriter,
+};

@@ -142,6 +142,18 @@ counters! {
     /// Read-only transactions promoted to the ordinary locking path after
     /// snapshot ineligibility or validation failure.
     snapshot_retries,
+    /// Fuzzy checkpoints written (store snapshot + live-intent table).
+    checkpoints,
+    /// WAL segment rotations (the active segment reached its size cap).
+    wal_segments_rotated,
+    /// Bytes appended to the write-ahead log (frame bytes, not payload).
+    wal_bytes,
+    /// WAL operations that failed with an I/O error (append, fsync or
+    /// checkpoint); each poisons the log.
+    wal_io_errors,
+    /// Recovery passes that found a prior pass's progress in the log
+    /// (crash mid-recovery, recovered again).
+    rerecoveries,
 }
 
 impl Stats {

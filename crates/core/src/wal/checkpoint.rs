@@ -1,0 +1,390 @@
+//! Fuzzy checkpoint images.
+//!
+//! A checkpoint bounds both recovery time and log growth: it durably
+//! persists (1) a stamp-consistent [`StoreDump`] of the live store and
+//! (2) the **compensation-intent table** of every transaction that is
+//! unresolved at the checkpoint LSN — exactly the analysis state a
+//! recovery starting from that LSN would otherwise have to rebuild from
+//! the truncated log. Segments that end at or before the checkpoint LSN
+//! carry no information the image does not, and are dropped.
+//!
+//! The intent table is *compositional*: checkpoint N's table is
+//! [`fold`] applied to checkpoint N−1's table over the records in
+//! `[cp_{N-1}, cp_N)`, and recovery continues the very same fold over the
+//! records that survive after `cp_N`. The fold is therefore shared —
+//! checkpoint writer and recovery analysis cannot drift apart.
+//!
+//! The image is framed `[magic "SCKP"][len: u32][crc32: u32][payload]`
+//! and validated on read; a damaged image is a typed
+//! [`WalError::Checkpoint`] error, never a silent fallback.
+
+use super::{crc32, put_invocation, put_str, put_u32, put_u64, put_value, Cursor};
+use super::{WalError, WalRecord};
+use semcc_semantics::{Invocation, ObjectDump, ObjectId, ObjectImage, StoreDump, TypeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Magic prefix of a checkpoint image frame.
+pub(crate) const CHECKPOINT_MAGIC: [u8; 4] = *b"SCKP";
+
+/// Per-transaction analysis state, as accumulated by [`fold`]. Mirrors the
+/// engine's in-memory knowledge of an open transaction: which depth-1
+/// subtrees committed, the compensation intents their `SubCommit` records
+/// exposed, not-yet-superseded deep intents, abort progress, and the
+/// objects the transaction created.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TopInfo {
+    /// A `TopCommit` was seen.
+    pub committed: bool,
+    /// A `TopAbort` was seen.
+    pub aborted: bool,
+    /// Depth-1 subtrees whose `SubCommit` was seen.
+    pub committed_subtrees: BTreeSet<u32>,
+    /// Compensation intents of those subtrees, in LSN order.
+    pub intents: Vec<Invocation>,
+    /// Intents of deeper user methods (`SubIntent`) whose enclosing
+    /// depth-1 subtree has not (yet) logged a `SubCommit`, tagged with
+    /// that subtree; a later `SubCommit` supersedes and drops them.
+    pub orphan_intents: Vec<(u32, Invocation)>,
+    /// `CompApplied` markers seen (a pre-crash top-level abort's
+    /// progress; always the newest intents, compensation runs reversed).
+    pub comp_applied: u64,
+    /// LSN of the transaction's last record (undo ordering).
+    pub last_lsn: u64,
+    /// Objects the transaction's redo records create, in LSN order (the
+    /// abort path GC-deletes creations unlogged, so recovery re-deletes
+    /// them for aborted transactions and losers, best-effort).
+    pub creations: Vec<ObjectId>,
+}
+
+impl TopInfo {
+    /// Neither resolution record was seen: a crash now would make this
+    /// transaction a loser.
+    pub fn unresolved(&self) -> bool {
+        !self.committed && !self.aborted
+    }
+}
+
+/// Advance the per-transaction analysis table by one record. Shared by
+/// checkpoint construction and recovery analysis (see module docs).
+pub(crate) fn fold(tops: &mut BTreeMap<u64, TopInfo>, lsn: u64, rec: &WalRecord) {
+    // A recovery pass's own progress marker belongs to no transaction.
+    if matches!(rec, WalRecord::RecoveryMark { .. }) {
+        return;
+    }
+    let info = tops.entry(rec.top()).or_default();
+    info.last_lsn = lsn;
+    match rec {
+        WalRecord::SubCommit { subtree, comp, .. } => {
+            info.committed_subtrees.insert(*subtree);
+            info.intents.extend(comp.iter().cloned());
+            // The aggregate comp above already carries any deeper
+            // intents logged early for this subtree.
+            info.orphan_intents.retain(|(s, _)| s != subtree);
+        }
+        WalRecord::SubIntent { subtree, comp, .. } => {
+            info.orphan_intents.extend(comp.iter().cloned().map(|inv| (*subtree, inv)));
+        }
+        WalRecord::CompApplied { .. } => info.comp_applied += 1,
+        WalRecord::TopCommit { .. } => info.committed = true,
+        WalRecord::TopAbort { .. } => info.aborted = true,
+        WalRecord::LeafRedo { op, .. } | WalRecord::CompRedo { op, .. } => {
+            if let Some(id) = op.created_id() {
+                info.creations.push(id);
+            }
+        }
+        WalRecord::RecoveryMark { .. } => unreachable!("filtered above"),
+    }
+}
+
+/// A decoded checkpoint.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CheckpointImage {
+    /// The checkpoint LSN: the store dump reflects *exactly* the records
+    /// with LSN `< cp_lsn` (the writer's apply/append barrier guarantees
+    /// the cut is exact, so recovery replays from here with no gap and no
+    /// double-apply).
+    pub cp_lsn: u64,
+    /// The store at `cp_lsn`.
+    pub dump: StoreDump,
+    /// Analysis state of every transaction unresolved at `cp_lsn`.
+    pub table: BTreeMap<u64, TopInfo>,
+}
+
+/// Encode a checkpoint image into its durable framed form.
+pub(crate) fn encode_checkpoint(image: &CheckpointImage) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(256);
+    put_u64(&mut payload, image.cp_lsn);
+    put_u64(&mut payload, image.dump.next_id);
+    put_u32(&mut payload, image.dump.objects.len() as u32);
+    for od in &image.dump.objects {
+        put_u64(&mut payload, od.id.0);
+        put_u32(&mut payload, od.type_id.0);
+        put_u64(&mut payload, od.version);
+        match &od.image {
+            ObjectImage::Atomic(v) => {
+                payload.push(0);
+                put_value(&mut payload, v);
+            }
+            ObjectImage::Tuple(fields) => {
+                payload.push(1);
+                put_u32(&mut payload, fields.len() as u32);
+                for (name, f) in fields {
+                    put_str(&mut payload, name);
+                    put_u64(&mut payload, f.0);
+                }
+            }
+            ObjectImage::Set(pairs) => {
+                payload.push(2);
+                put_u32(&mut payload, pairs.len() as u32);
+                for (key, member) in pairs {
+                    put_u64(&mut payload, *key);
+                    put_u64(&mut payload, member.0);
+                }
+            }
+        }
+    }
+    put_u32(&mut payload, image.table.len() as u32);
+    for (top, info) in &image.table {
+        put_u64(&mut payload, *top);
+        payload.push(u8::from(info.committed));
+        payload.push(u8::from(info.aborted));
+        put_u32(&mut payload, info.committed_subtrees.len() as u32);
+        for s in &info.committed_subtrees {
+            put_u32(&mut payload, *s);
+        }
+        put_u32(&mut payload, info.intents.len() as u32);
+        for inv in &info.intents {
+            put_invocation(&mut payload, inv);
+        }
+        put_u32(&mut payload, info.orphan_intents.len() as u32);
+        for (subtree, inv) in &info.orphan_intents {
+            put_u32(&mut payload, *subtree);
+            put_invocation(&mut payload, inv);
+        }
+        put_u64(&mut payload, info.comp_applied);
+        put_u64(&mut payload, info.last_lsn);
+        put_u32(&mut payload, info.creations.len() as u32);
+        for id in &info.creations {
+            put_u64(&mut payload, id.0);
+        }
+    }
+    let mut out = Vec::with_capacity(payload.len() + 12);
+    out.extend_from_slice(&CHECKPOINT_MAGIC);
+    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, crc32(&payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decode and fully validate a checkpoint image.
+pub(crate) fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointImage, WalError> {
+    fn fail(msg: &str) -> WalError {
+        WalError::Checkpoint(msg.into())
+    }
+    if bytes.len() < 12 {
+        return Err(fail("image shorter than its frame header"));
+    }
+    if bytes[..4] != CHECKPOINT_MAGIC {
+        return Err(fail("bad magic"));
+    }
+    let len = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if bytes.len() != 12 + len {
+        return Err(fail("payload length mismatch"));
+    }
+    let payload = &bytes[12..];
+    if crc32(payload) != crc {
+        return Err(fail("crc mismatch"));
+    }
+    let mut cur = Cursor { buf: payload, pos: 0 };
+    decode_payload(&mut cur).ok_or_else(|| fail("undecodable payload")).and_then(|image| {
+        if cur.pos == payload.len() {
+            Ok(image)
+        } else {
+            Err(fail("trailing junk after payload"))
+        }
+    })
+}
+
+fn decode_payload(cur: &mut Cursor<'_>) -> Option<CheckpointImage> {
+    let cp_lsn = cur.u64()?;
+    let next_id = cur.u64()?;
+    let n_objects = cur.u32()? as usize;
+    let mut objects = Vec::with_capacity(n_objects.min(4096));
+    for _ in 0..n_objects {
+        let id = ObjectId(cur.u64()?);
+        let type_id = TypeId(cur.u32()?);
+        let version = cur.u64()?;
+        let image = match cur.u8()? {
+            0 => ObjectImage::Atomic(cur.value()?),
+            1 => {
+                let n = cur.u32()? as usize;
+                let mut fields = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let name = cur.str()?;
+                    fields.push((name, ObjectId(cur.u64()?)));
+                }
+                ObjectImage::Tuple(fields)
+            }
+            2 => {
+                let n = cur.u32()? as usize;
+                let mut pairs = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let key = cur.u64()?;
+                    pairs.push((key, ObjectId(cur.u64()?)));
+                }
+                ObjectImage::Set(pairs)
+            }
+            _ => return None,
+        };
+        objects.push(ObjectDump { id, type_id, version, image });
+    }
+    let n_tops = cur.u32()? as usize;
+    let mut table = BTreeMap::new();
+    for _ in 0..n_tops {
+        let top = cur.u64()?;
+        let committed = cur.u8()? != 0;
+        let aborted = cur.u8()? != 0;
+        let n = cur.u32()? as usize;
+        let mut committed_subtrees = BTreeSet::new();
+        for _ in 0..n {
+            committed_subtrees.insert(cur.u32()?);
+        }
+        let n = cur.u32()? as usize;
+        let mut intents = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            intents.push(cur.invocation()?);
+        }
+        let n = cur.u32()? as usize;
+        let mut orphan_intents = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let subtree = cur.u32()?;
+            orphan_intents.push((subtree, cur.invocation()?));
+        }
+        let comp_applied = cur.u64()?;
+        let last_lsn = cur.u64()?;
+        let n = cur.u32()? as usize;
+        let mut creations = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            creations.push(ObjectId(cur.u64()?));
+        }
+        table.insert(
+            top,
+            TopInfo {
+                committed,
+                aborted,
+                committed_subtrees,
+                intents,
+                orphan_intents,
+                comp_applied,
+                last_lsn,
+                creations,
+            },
+        );
+    }
+    Some(CheckpointImage { cp_lsn, dump: StoreDump { objects, next_id }, table })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::sample_records;
+    use super::*;
+    use semcc_semantics::Value;
+
+    fn sample_image() -> CheckpointImage {
+        let dump = StoreDump {
+            objects: vec![
+                ObjectDump {
+                    id: ObjectId(1),
+                    type_id: TypeId(16),
+                    version: 3,
+                    image: ObjectImage::Atomic(Value::Money(-250)),
+                },
+                ObjectDump {
+                    id: ObjectId(2),
+                    type_id: TypeId(18),
+                    version: 0,
+                    image: ObjectImage::Set(vec![(5, ObjectId(9)), (7, ObjectId(12))]),
+                },
+                ObjectDump {
+                    id: ObjectId(3),
+                    type_id: TypeId(17),
+                    version: 1,
+                    image: ObjectImage::Tuple(vec![
+                        ("OrderNo".into(), ObjectId(1)),
+                        ("Items".into(), ObjectId(2)),
+                    ]),
+                },
+            ],
+            next_id: 44,
+        };
+        let mut table = BTreeMap::new();
+        for (lsn, rec) in sample_records().iter().enumerate() {
+            fold(&mut table, lsn as u64, rec);
+        }
+        table.retain(|_, info| info.unresolved());
+        CheckpointImage { cp_lsn: 17, dump, table }
+    }
+
+    #[test]
+    fn checkpoint_image_roundtrips() {
+        let image = sample_image();
+        let bytes = encode_checkpoint(&image);
+        assert_eq!(decode_checkpoint(&bytes).unwrap(), image);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_typed_error() {
+        let bytes = encode_checkpoint(&sample_image());
+        for (i, expect) in
+            [(0usize, "bad magic"), (20, "crc mismatch"), (bytes.len() - 1, "crc mismatch")]
+        {
+            let mut damaged = bytes.clone();
+            damaged[i] ^= 0xFF;
+            match decode_checkpoint(&damaged) {
+                Err(WalError::Checkpoint(msg)) => {
+                    assert!(msg.contains(expect), "byte {i}: {msg:?}")
+                }
+                other => panic!("byte {i}: expected checkpoint error, got {other:?}"),
+            }
+        }
+        assert!(matches!(decode_checkpoint(&bytes[..8]), Err(WalError::Checkpoint(_))));
+        let mut truncated = bytes.clone();
+        truncated.pop();
+        assert!(matches!(decode_checkpoint(&truncated), Err(WalError::Checkpoint(_))));
+    }
+
+    #[test]
+    fn fold_matches_recovery_analysis_semantics() {
+        let mut tops = BTreeMap::new();
+        for (lsn, rec) in sample_records().iter().enumerate() {
+            fold(&mut tops, lsn as u64, rec);
+        }
+        // sample_records: top 1 commits with one SubCommit (2 intents) and
+        // a created tuple; top 2 aborts after one compensated insert.
+        let t1 = &tops[&1];
+        assert!(t1.committed && !t1.aborted);
+        assert_eq!(t1.intents.len(), 2);
+        assert_eq!(t1.creations, vec![ObjectId(40)]);
+        assert!(t1.committed_subtrees.contains(&2));
+        let t2 = &tops[&2];
+        assert!(t2.aborted && !t2.committed);
+        assert_eq!(t2.comp_applied, 1);
+        // The recovery mark belongs to no transaction.
+        assert!(!tops.contains_key(&0));
+    }
+
+    #[test]
+    fn subcommit_supersedes_orphan_intents_and_unresolved_filter_works() {
+        let inv = Invocation::remove(ObjectId(9), TypeId(18), 5);
+        let mut tops = BTreeMap::new();
+        fold(&mut tops, 0, &WalRecord::SubIntent { top: 7, subtree: 3, comp: vec![inv.clone()] });
+        assert_eq!(tops[&7].orphan_intents.len(), 1);
+        fold(&mut tops, 1, &WalRecord::SubCommit { top: 7, subtree: 3, comp: vec![inv.clone()] });
+        assert!(tops[&7].orphan_intents.is_empty(), "aggregate comp supersedes");
+        assert_eq!(tops[&7].intents.len(), 1);
+        assert!(tops[&7].unresolved());
+        fold(&mut tops, 2, &WalRecord::TopCommit { top: 7 });
+        assert!(!tops[&7].unresolved());
+    }
+}

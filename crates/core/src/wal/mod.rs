@@ -39,13 +39,54 @@
 //! chosen append or fsync, optionally leaving a torn partial frame, after
 //! which the surviving bytes are exactly what a real crash would leave.
 
+pub mod checkpoint;
 pub mod recovery;
+pub mod segment;
 
-use crate::fault::{CrashPoint, FaultPlan};
-use parking_lot::Mutex;
+pub use segment::{
+    AppendInfo, CheckpointOutcome, FsyncPolicy, LogImage, SegmentImage, WalConfig, WalFailMode,
+    WalWriter,
+};
+
+use checkpoint::CheckpointImage;
 use semcc_semantics::{GenericMethod, Invocation, MethodId, MethodSel, ObjectId, TypeId, Value};
-use std::io::Write as _;
-use std::sync::Arc;
+
+/// A typed failure of the write-ahead log device.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalError {
+    /// An I/O operation failed (EIO on write, short write, failed fsync).
+    Io(String),
+    /// The log was poisoned by an earlier I/O failure and accepts nothing
+    /// further (fsyncgate semantics: a failed sync's durable state is
+    /// unknowable, so no blind retry is ever attempted).
+    Poisoned,
+    /// Mid-log corruption: a frame failed its CRC (or was undecodable)
+    /// *before later valid records* — committed history is damaged, which
+    /// is a quarantined hard error, never silent truncation.
+    Corrupt {
+        /// LSN of the first unreadable record.
+        lsn: u64,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// The checkpoint image is unreadable (bad magic or CRC).
+    Checkpoint(String),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(msg) => write!(f, "wal i/o error: {msg}"),
+            WalError::Poisoned => write!(f, "wal poisoned by an earlier i/o failure"),
+            WalError::Corrupt { lsn, detail } => {
+                write!(f, "wal corrupt at lsn {lsn}: {detail} (quarantined)")
+            }
+            WalError::Checkpoint(msg) => write!(f, "checkpoint image unreadable: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
 
 // ---------------------------------------------------------------------
 // CRC-32 (IEEE 802.3), table-driven, built at compile time.
@@ -161,10 +202,16 @@ pub enum WalRecord {
     TopCommit { top: u64 },
     /// `top` aborted, with all compensation complete (net effect zero).
     TopAbort { top: u64 },
+    /// Recovery pass `pass` started against this log. Appended by recovery
+    /// itself (when it is given a progress writer) before any other work,
+    /// so a *second* recovery can tell it is re-recovering after a crash
+    /// mid-recovery. Carries no transaction and is skipped by analysis.
+    RecoveryMark { pass: u64 },
 }
 
 impl WalRecord {
-    /// The owning top-level transaction.
+    /// The owning top-level transaction (0 for [`WalRecord::RecoveryMark`],
+    /// which belongs to no transaction).
     pub fn top(&self) -> u64 {
         match self {
             WalRecord::LeafRedo { top, .. }
@@ -174,6 +221,7 @@ impl WalRecord {
             | WalRecord::CompApplied { top }
             | WalRecord::TopCommit { top }
             | WalRecord::TopAbort { top } => *top,
+            WalRecord::RecoveryMark { .. } => 0,
         }
     }
 }
@@ -182,20 +230,20 @@ impl WalRecord {
 // Binary encoding (hand-rolled: the vendored serde cannot serialize)
 // ---------------------------------------------------------------------
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
 }
 
-fn put_value(out: &mut Vec<u8>, v: &Value) {
+pub(crate) fn put_value(out: &mut Vec<u8>, v: &Value) {
     match v {
         Value::Unit => out.push(0),
         Value::Bool(b) => {
@@ -228,7 +276,7 @@ fn put_value(out: &mut Vec<u8>, v: &Value) {
     }
 }
 
-fn put_invocation(out: &mut Vec<u8>, inv: &Invocation) {
+pub(crate) fn put_invocation(out: &mut Vec<u8>, inv: &Invocation) {
     put_u64(out, inv.object.0);
     put_u32(out, inv.type_id.0);
     match inv.method {
@@ -254,7 +302,7 @@ fn put_invocation(out: &mut Vec<u8>, inv: &Invocation) {
     }
 }
 
-fn put_redo(out: &mut Vec<u8>, op: &RedoOp) {
+pub(crate) fn put_redo(out: &mut Vec<u8>, op: &RedoOp) {
     match op {
         RedoOp::Put { obj, value } => {
             out.push(0);
@@ -339,11 +387,15 @@ fn encode_record(out: &mut Vec<u8>, rec: &WalRecord) {
                 put_invocation(out, inv);
             }
         }
+        WalRecord::RecoveryMark { pass } => {
+            out.push(7);
+            put_u64(out, *pass);
+        }
     }
 }
 
 /// Build one framed record: `[len][crc][lsn + body]`.
-fn encode_frame(lsn: u64, rec: &WalRecord) -> Vec<u8> {
+pub(crate) fn encode_frame(lsn: u64, rec: &WalRecord) -> Vec<u8> {
     let mut payload = Vec::with_capacity(32);
     put_u64(&mut payload, lsn);
     encode_record(&mut payload, rec);
@@ -356,38 +408,38 @@ fn encode_frame(lsn: u64, rec: &WalRecord) -> Vec<u8> {
 
 // -- decoding ---------------------------------------------------------
 
-struct Cursor<'a> {
-    buf: &'a [u8],
-    pos: usize,
+pub(crate) struct Cursor<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> Option<&'a [u8]> {
         let end = self.pos.checked_add(n)?;
         let slice = self.buf.get(self.pos..end)?;
         self.pos = end;
         Some(slice)
     }
 
-    fn u8(&mut self) -> Option<u8> {
+    pub(crate) fn u8(&mut self) -> Option<u8> {
         self.take(1).map(|b| b[0])
     }
 
-    fn u32(&mut self) -> Option<u32> {
+    pub(crate) fn u32(&mut self) -> Option<u32> {
         self.take(4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Option<u64> {
+    pub(crate) fn u64(&mut self) -> Option<u64> {
         self.take(8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
     }
 
-    fn str(&mut self) -> Option<String> {
+    pub(crate) fn str(&mut self) -> Option<String> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).ok()
     }
 
-    fn value(&mut self) -> Option<Value> {
+    pub(crate) fn value(&mut self) -> Option<Value> {
         Some(match self.u8()? {
             0 => Value::Unit,
             1 => Value::Bool(self.u8()? != 0),
@@ -407,7 +459,7 @@ impl<'a> Cursor<'a> {
         })
     }
 
-    fn invocation(&mut self) -> Option<Invocation> {
+    pub(crate) fn invocation(&mut self) -> Option<Invocation> {
         let object = ObjectId(self.u64()?);
         let type_id = TypeId(self.u32()?);
         let method = match self.u8()? {
@@ -431,7 +483,7 @@ impl<'a> Cursor<'a> {
         Some(Invocation { object, type_id, method, args })
     }
 
-    fn redo(&mut self) -> Option<RedoOp> {
+    pub(crate) fn redo(&mut self) -> Option<RedoOp> {
         Some(match self.u8()? {
             0 => RedoOp::Put { obj: ObjectId(self.u64()?), value: self.value()? },
             1 => RedoOp::Insert {
@@ -461,7 +513,7 @@ impl<'a> Cursor<'a> {
         })
     }
 
-    fn record(&mut self) -> Option<WalRecord> {
+    pub(crate) fn record(&mut self) -> Option<WalRecord> {
         Some(match self.u8()? {
             0 => {
                 let top = self.u64()?;
@@ -495,6 +547,7 @@ impl<'a> Cursor<'a> {
                 }
                 WalRecord::SubIntent { top, subtree, comp }
             }
+            7 => WalRecord::RecoveryMark { pass: self.u64()? },
             _ => return None,
         })
     }
@@ -513,271 +566,153 @@ pub struct WalReadOutcome {
     pub truncated_bytes: usize,
 }
 
-/// Parse a log image, applying torn-tail truncation: parsing stops at the
-/// first incomplete frame, CRC mismatch, undecodable payload, or LSN gap,
-/// and everything from that point on is reported as truncated. Every prefix
-/// that survives is internally consistent.
+/// Parse a log image whose first record carries LSN 0. See
+/// [`read_log_from`].
 pub fn read_log(bytes: &[u8]) -> WalReadOutcome {
+    read_log_from(bytes, 0)
+}
+
+/// Parse a log (segment) image whose first record carries LSN `base_lsn`,
+/// applying torn-tail truncation: parsing stops at the first incomplete
+/// frame, CRC mismatch, undecodable payload, or LSN gap, and everything
+/// from that point on is reported as truncated. Every prefix that survives
+/// is internally consistent.
+pub fn read_log_from(bytes: &[u8], base_lsn: u64) -> WalReadOutcome {
     let mut records = Vec::new();
     let mut pos = 0usize;
-    while bytes.len() - pos >= 8 {
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
-        if !(9..=MAX_FRAME).contains(&len) || pos + 8 + len > bytes.len() {
-            break; // torn or garbage tail
-        }
-        let payload = &bytes[pos + 8..pos + 8 + len];
-        if crc32(payload) != crc {
-            break; // corrupt tail
-        }
-        let mut cur = Cursor { buf: payload, pos: 0 };
-        let Some(lsn) = cur.u64() else { break };
-        if lsn != records.len() as u64 {
+    while let Some((rec, lsn, next)) = parse_frame_at(bytes, pos) {
+        if lsn != base_lsn + records.len() as u64 {
             break; // spliced or reordered tail
         }
-        let Some(rec) = cur.record() else { break };
-        if cur.pos != payload.len() {
-            break; // trailing junk inside the frame
-        }
         records.push(rec);
-        pos += 8 + len;
+        pos = next;
     }
     WalReadOutcome { records, truncated_bytes: bytes.len() - pos }
 }
 
-// ---------------------------------------------------------------------
-// Writer
-// ---------------------------------------------------------------------
-
-/// When the log forces its buffered appends to durable storage.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum FsyncPolicy {
-    /// Never sync (fastest; a crash loses everything since the last
-    /// explicit [`WalWriter::flush`]). The B2-overhead configuration.
-    #[default]
-    Never,
-    /// Sync on every top-level commit or abort record (group durability).
-    OnCommit,
-    /// Sync after every append (slowest, smallest loss window).
-    EveryAppend,
+/// Try to parse one complete, CRC-valid frame starting exactly at `pos`.
+/// Returns the record, its embedded LSN, and the offset past the frame.
+fn parse_frame_at(bytes: &[u8], pos: usize) -> Option<(WalRecord, u64, usize)> {
+    if bytes.len().saturating_sub(pos) < 8 {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+    if !(9..=MAX_FRAME).contains(&len) || pos + 8 + len > bytes.len() {
+        return None; // torn or garbage
+    }
+    let payload = &bytes[pos + 8..pos + 8 + len];
+    if crc32(payload) != crc {
+        return None; // corrupt
+    }
+    let mut cur = Cursor { buf: payload, pos: 0 };
+    let lsn = cur.u64()?;
+    let rec = cur.record()?;
+    if cur.pos != payload.len() {
+        return None; // trailing junk inside the frame
+    }
+    Some((rec, lsn, pos + 8 + len))
 }
 
-/// What one append did.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct AppendInfo {
-    /// The record was accepted into the log (false once the injected crash
-    /// killed the device).
-    pub appended: bool,
-    /// An fsync made the buffer durable as part of this append.
-    pub synced: bool,
-    /// The record's LSN (meaningless when not appended).
-    pub lsn: u64,
-}
-
-struct WriterState {
-    /// Bytes that survived an fsync ("on disk").
-    durable: Vec<u8>,
-    /// Appended but not yet synced bytes (lost on crash).
-    buffer: Vec<u8>,
-    next_lsn: u64,
-    dead: bool,
-    leaf_appends: u64,
-    comp_appends: u64,
-    total_appends: u64,
-    fsyncs: u64,
-}
-
-/// The log writer: frames records, buffers them, and makes them durable
-/// according to the [`FsyncPolicy`]. An optional [`FaultPlan`] crash point
-/// kills the device mid-stream — after which appends are silently dropped,
-/// exactly as a crashed machine would drop them — so chaos harnesses can
-/// recover from the surviving prefix.
-///
-/// The backing device is an in-memory byte image by default; pass a path to
-/// [`WalWriter::with_file`] to additionally persist every synced byte to a
-/// real file (`fsync` → `File::sync_data`).
-pub struct WalWriter {
-    policy: FsyncPolicy,
-    faults: Option<Arc<FaultPlan>>,
-    file: Option<Mutex<std::fs::File>>,
-    state: Mutex<WriterState>,
-}
-
-impl WalWriter {
-    /// A fresh in-memory log.
-    pub fn new(policy: FsyncPolicy) -> Arc<Self> {
-        Arc::new(WalWriter {
-            policy,
-            faults: None,
-            file: None,
-            state: Mutex::new(WriterState {
-                durable: Vec::new(),
-                buffer: Vec::new(),
-                next_lsn: 0,
-                dead: false,
-                leaf_appends: 0,
-                comp_appends: 0,
-                total_appends: 0,
-                fsyncs: 0,
-            }),
-        })
-    }
-
-    /// A fresh in-memory log whose device dies at the plan's
-    /// [`CrashPoint`](crate::fault::CrashPoint), if it has one.
-    pub fn with_faults(policy: FsyncPolicy, faults: Arc<FaultPlan>) -> Arc<Self> {
-        let w = Self::new(policy);
-        Arc::new(WalWriter { faults: Some(faults), ..Arc::try_unwrap(w).ok().unwrap() })
-    }
-
-    /// A log that also persists synced bytes to `path` (truncating any
-    /// previous contents).
-    pub fn with_file(policy: FsyncPolicy, path: &std::path::Path) -> std::io::Result<Arc<Self>> {
-        let file = std::fs::File::create(path)?;
-        let w = Self::new(policy);
-        Ok(Arc::new(WalWriter { file: Some(Mutex::new(file)), ..Arc::try_unwrap(w).ok().unwrap() }))
-    }
-
-    /// The configured fsync policy.
-    pub fn policy(&self) -> FsyncPolicy {
-        self.policy
-    }
-
-    /// Append one record, syncing per policy. See [`AppendInfo`].
-    pub fn append(&self, rec: &WalRecord) -> AppendInfo {
-        let mut st = self.state.lock();
-        if st.dead {
-            return AppendInfo { appended: false, synced: false, lsn: st.next_lsn };
-        }
-        let is_leaf = matches!(rec, WalRecord::LeafRedo { .. });
-        let is_comp = matches!(rec, WalRecord::CompApplied { .. });
-        if is_leaf {
-            st.leaf_appends += 1;
-        }
-        if is_comp {
-            st.comp_appends += 1;
-        }
-        st.total_appends += 1;
-        if let Some(cp) = self.faults.as_ref().and_then(|p| p.crash()) {
-            let die = match cp {
-                CrashPoint::AtLeafAppend { nth } => is_leaf && st.leaf_appends == nth,
-                CrashPoint::MidCompensation { nth } => is_comp && st.comp_appends == nth,
-                CrashPoint::TornTail { nth, .. } => st.total_appends == nth,
-                CrashPoint::BeforeFsync { .. } => false, // handled at sync time
-            };
-            if die {
-                if let CrashPoint::TornTail { keep, .. } = cp {
-                    // The machine died mid-write: whatever was already
-                    // buffered reaches the device, plus a partial frame.
-                    let frame = encode_frame(st.next_lsn, rec);
-                    let keep = keep.clamp(1, frame.len().saturating_sub(1));
-                    let buffered = std::mem::take(&mut st.buffer);
-                    st.durable.extend_from_slice(&buffered);
-                    st.durable.extend_from_slice(&frame[..keep]);
-                    self.sync_file(&st.durable);
+/// Like [`read_log_from`], but *quarantines* mid-log corruption instead of
+/// silently truncating it: if any fully valid frame with a *later* LSN can
+/// be found anywhere after the truncation point, the damage sits in the
+/// middle of committed history (bit rot, a mangled sector) rather than at a
+/// torn tail, and the log must not be trusted — the caller gets
+/// [`WalError::Corrupt`] rather than a shortened prefix.
+pub fn read_log_verified(bytes: &[u8], base_lsn: u64) -> Result<WalReadOutcome, WalError> {
+    let out = read_log_from(bytes, base_lsn);
+    if out.truncated_bytes > 0 {
+        let end_lsn = base_lsn + out.records.len() as u64;
+        let tail_start = bytes.len() - out.truncated_bytes;
+        // Scan forward byte-by-byte: a torn tail contains no decodable
+        // frame, while mid-log corruption leaves later frames intact.
+        for pos in tail_start..bytes.len() {
+            if let Some((_, lsn, _)) = parse_frame_at(bytes, pos) {
+                if lsn > end_lsn {
+                    return Err(WalError::Corrupt {
+                        lsn: end_lsn,
+                        detail: format!(
+                            "record {lsn} is intact after {} unreadable bytes",
+                            pos - tail_start
+                        ),
+                    });
                 }
-                st.dead = true;
-                st.buffer.clear();
-                return AppendInfo { appended: false, synced: false, lsn: st.next_lsn };
             }
         }
-        let lsn = st.next_lsn;
-        let frame = encode_frame(lsn, rec);
-        st.buffer.extend_from_slice(&frame);
-        st.next_lsn += 1;
-        let want_sync = match self.policy {
-            FsyncPolicy::EveryAppend => true,
-            FsyncPolicy::OnCommit => {
-                matches!(rec, WalRecord::TopCommit { .. } | WalRecord::TopAbort { .. })
-            }
-            FsyncPolicy::Never => false,
-        };
-        let synced = want_sync && self.sync_locked(&mut st);
-        AppendInfo { appended: true, synced, lsn }
     }
-
-    /// Force buffered appends to durable storage. Returns `false` once the
-    /// device is dead (including when this very call hits the injected
-    /// pre-fsync crash).
-    pub fn flush(&self) -> bool {
-        let mut st = self.state.lock();
-        !st.dead && self.sync_locked(&mut st)
-    }
-
-    fn sync_locked(&self, st: &mut WriterState) -> bool {
-        st.fsyncs += 1;
-        if let Some(CrashPoint::BeforeFsync { nth }) = self.faults.as_ref().and_then(|p| p.crash())
-        {
-            if st.fsyncs == nth {
-                // Crash before the sync completes: the buffer never
-                // reaches the device.
-                st.dead = true;
-                st.buffer.clear();
-                return false;
-            }
-        }
-        let buffered = std::mem::take(&mut st.buffer);
-        st.durable.extend_from_slice(&buffered);
-        self.sync_file(&st.durable);
-        true
-    }
-
-    fn sync_file(&self, durable: &[u8]) {
-        if let Some(f) = &self.file {
-            let mut f = f.lock();
-            // Rewrite-from-zero keeps the file an exact image of the
-            // durable bytes; logs are append-mostly and small in tests.
-            let _ = f.set_len(0);
-            let _ = std::io::Seek::seek(&mut *f, std::io::SeekFrom::Start(0));
-            let _ = f.write_all(durable);
-            let _ = f.sync_data();
-        }
-    }
-
-    /// Did the injected crash point fire?
-    pub fn crashed(&self) -> bool {
-        self.state.lock().dead
-    }
-
-    /// LSN of the next append (= records accepted so far).
-    pub fn appended(&self) -> u64 {
-        self.state.lock().next_lsn
-    }
-
-    /// fsyncs issued so far (including the one the crash interrupted).
-    pub fn fsyncs(&self) -> u64 {
-        self.state.lock().fsyncs
-    }
-
-    /// The bytes a post-crash open would see: only durable bytes after a
-    /// crash, everything (a clean shutdown flushes implicitly) otherwise.
-    pub fn surviving(&self) -> Vec<u8> {
-        let st = self.state.lock();
-        let mut out = st.durable.clone();
-        if !st.dead {
-            out.extend_from_slice(&st.buffer);
-        }
-        out
-    }
+    Ok(out)
 }
 
-impl std::fmt::Debug for WalWriter {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = self.state.lock();
-        write!(
-            f,
-            "WalWriter(policy = {:?}, lsn = {}, fsyncs = {}, dead = {})",
-            self.policy, st.next_lsn, st.fsyncs, st.dead
-        )
-    }
+// ---------------------------------------------------------------------
+// Multi-segment images
+// ---------------------------------------------------------------------
+
+/// A fully parsed multi-segment log image.
+#[derive(Debug)]
+pub struct ParsedLog {
+    /// The latest complete checkpoint, if the image carried one.
+    pub checkpoint: Option<CheckpointImage>,
+    /// All surviving records across the segments, LSN-ascending; the i-th
+    /// record's LSN is `base_lsn + i`.
+    pub records: Vec<WalRecord>,
+    /// LSN of the first surviving record.
+    pub base_lsn: u64,
+    /// Bytes discarded from the torn tail of the *last* segment.
+    pub truncated_bytes: usize,
 }
 
+/// Parse a [`LogImage`]: validate the checkpoint frame (if any), then every
+/// segment in sequence order. Sealed (non-final) segments must parse
+/// completely — a torn or corrupt frame there sits in the middle of
+/// committed history and is quarantined as [`WalError::Corrupt`]; only the
+/// final segment gets torn-tail tolerance (still with the scan-forward
+/// mid-log corruption check of [`read_log_verified`]).
+pub fn read_image(image: &LogImage) -> Result<ParsedLog, WalError> {
+    let checkpoint = match &image.checkpoint {
+        Some(bytes) => Some(checkpoint::decode_checkpoint(bytes)?),
+        None => None,
+    };
+    let mut segments: Vec<&SegmentImage> = image.segments.iter().collect();
+    segments.sort_by_key(|s| s.seq);
+    let base_lsn = segments.first().map_or(0, |s| s.base_lsn);
+    let mut records = Vec::new();
+    let mut truncated_bytes = 0usize;
+    let mut expect = base_lsn;
+    for (i, seg) in segments.iter().enumerate() {
+        if seg.base_lsn != expect {
+            return Err(WalError::Corrupt {
+                lsn: expect,
+                detail: format!(
+                    "segment {} starts at lsn {}, expected {expect} (missing segment?)",
+                    seg.seq, seg.base_lsn
+                ),
+            });
+        }
+        let out = read_log_verified(&seg.bytes, seg.base_lsn)?;
+        let last = i + 1 == segments.len();
+        if !last && out.truncated_bytes > 0 {
+            return Err(WalError::Corrupt {
+                lsn: seg.base_lsn + out.records.len() as u64,
+                detail: format!(
+                    "sealed segment {} has {} unreadable trailing bytes",
+                    seg.seq, out.truncated_bytes
+                ),
+            });
+        }
+        expect += out.records.len() as u64;
+        records.extend(out.records);
+        truncated_bytes = out.truncated_bytes;
+    }
+    Ok(ParsedLog { checkpoint, records, base_lsn, truncated_bytes })
+}
+
+/// Shared fixtures for the unit tests of this module tree.
 #[cfg(test)]
-mod tests {
+pub(crate) mod testutil {
     use super::*;
-    use crate::fault::FaultSpec;
 
-    fn sample_records() -> Vec<WalRecord> {
+    pub(crate) fn sample_records() -> Vec<WalRecord> {
         vec![
             WalRecord::LeafRedo {
                 top: 1,
@@ -815,8 +750,16 @@ mod tests {
             WalRecord::CompApplied { top: 2 },
             WalRecord::TopAbort { top: 2 },
             WalRecord::TopCommit { top: 1 },
+            WalRecord::RecoveryMark { pass: 1 },
         ]
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::sample_records;
+    use super::*;
+    use crate::fault::{CrashPoint, FaultPlan, FaultSpec};
 
     #[test]
     fn crc32_matches_known_vectors() {
@@ -829,7 +772,7 @@ mod tests {
     fn records_roundtrip_through_frames() {
         let w = WalWriter::new(FsyncPolicy::EveryAppend);
         for rec in &sample_records() {
-            let info = w.append(rec);
+            let info = w.append(rec).unwrap();
             assert!(info.appended && info.synced);
         }
         let out = read_log(&w.surviving());
@@ -842,7 +785,7 @@ mod tests {
     fn every_tail_cut_yields_a_record_prefix() {
         let w = WalWriter::new(FsyncPolicy::Never);
         for rec in &sample_records() {
-            w.append(rec);
+            w.append(rec).unwrap();
         }
         w.flush();
         let full = w.surviving();
@@ -859,7 +802,7 @@ mod tests {
     fn corrupt_byte_truncates_the_tail() {
         let w = WalWriter::new(FsyncPolicy::Never);
         for rec in &sample_records() {
-            w.append(rec);
+            w.append(rec).unwrap();
         }
         w.flush();
         let mut bytes = w.surviving();
@@ -868,18 +811,38 @@ mod tests {
         let out = read_log(&bytes);
         assert_eq!(out.records.len(), sample_records().len() - 1);
         assert!(out.truncated_bytes > 0);
+        // A corrupt *last* frame is a legitimate torn tail — the verified
+        // read accepts it (nothing valid follows the damage).
+        assert!(read_log_verified(&bytes, 0).is_ok());
+    }
+
+    #[test]
+    fn corrupt_frame_before_valid_records_is_quarantined() {
+        let w = WalWriter::new(FsyncPolicy::Never);
+        for rec in &sample_records() {
+            w.append(rec).unwrap();
+        }
+        w.flush();
+        let mut bytes = w.surviving();
+        // Corrupt one payload byte of the SECOND frame: later frames stay
+        // fully valid, so this is mid-log damage, not a torn tail.
+        let first_len = 8 + u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        bytes[first_len + 9] ^= 0xFF;
+        assert_eq!(read_log(&bytes).records.len(), 1, "plain read silently truncates");
+        let err = read_log_verified(&bytes, 0).unwrap_err();
+        assert!(matches!(err, WalError::Corrupt { lsn: 1, .. }), "got {err:?}");
     }
 
     #[test]
     fn on_commit_policy_syncs_only_at_resolution_records() {
         let w = WalWriter::new(FsyncPolicy::OnCommit);
         let leaf = &sample_records()[0];
-        assert!(!w.append(leaf).synced);
-        assert!(!w.append(leaf).synced);
-        assert!(w.append(&WalRecord::TopCommit { top: 1 }).synced);
+        assert!(!w.append(leaf).unwrap().synced);
+        assert!(!w.append(leaf).unwrap().synced);
+        assert!(w.append(&WalRecord::TopCommit { top: 1 }).unwrap().synced);
         assert_eq!(w.fsyncs(), 1);
         // Unsynced bytes still show up on a clean (non-crash) read.
-        assert!(!w.append(leaf).synced);
+        assert!(!w.append(leaf).unwrap().synced);
         assert_eq!(read_log(&w.surviving()).records.len(), 4);
     }
 
@@ -891,7 +854,7 @@ mod tests {
         let recs = sample_records();
         let mut accepted = 0;
         for rec in &recs {
-            if w.append(rec).appended {
+            if w.append(rec).unwrap().appended {
                 accepted += 1;
             }
         }
@@ -908,11 +871,11 @@ mod tests {
             FaultPlan::new(1, FaultSpec::default().with_crash(CrashPoint::BeforeFsync { nth: 2 }));
         let w = WalWriter::with_faults(FsyncPolicy::OnCommit, plan);
         let leaf = &sample_records()[0];
-        w.append(leaf);
-        assert!(w.append(&WalRecord::TopCommit { top: 1 }).synced, "first fsync survives");
-        w.append(leaf);
-        w.append(leaf);
-        let info = w.append(&WalRecord::TopCommit { top: 2 });
+        w.append(leaf).unwrap();
+        assert!(w.append(&WalRecord::TopCommit { top: 1 }).unwrap().synced, "first fsync survives");
+        w.append(leaf).unwrap();
+        w.append(leaf).unwrap();
+        let info = w.append(&WalRecord::TopCommit { top: 2 }).unwrap();
         assert!(info.appended && !info.synced, "second fsync is the crash point");
         assert!(w.crashed());
         let out = read_log(&w.surviving());
@@ -929,7 +892,7 @@ mod tests {
         let w = WalWriter::with_faults(FsyncPolicy::Never, plan);
         let recs = sample_records();
         for rec in &recs {
-            w.append(rec);
+            w.append(rec).unwrap();
         }
         assert!(w.crashed());
         let bytes = w.surviving();
@@ -945,32 +908,17 @@ mod tests {
             FaultSpec::default().with_crash(CrashPoint::TornTail { nth: 1, keep: 1 }),
         );
         let w = WalWriter::with_faults(FsyncPolicy::EveryAppend, plan);
-        assert!(!w.append(&WalRecord::TopCommit { top: 1 }).appended);
-        assert!(!w.append(&WalRecord::TopCommit { top: 2 }).appended);
+        assert!(!w.append(&WalRecord::TopCommit { top: 1 }).unwrap().appended);
+        assert!(!w.append(&WalRecord::TopCommit { top: 2 }).unwrap().appended);
         assert!(!w.flush());
         assert_eq!(w.appended(), 0);
     }
 
     #[test]
-    fn file_backed_log_persists_synced_bytes() {
-        let path = std::env::temp_dir().join(format!("semcc-wal-test-{}.log", std::process::id()));
-        {
-            let w = WalWriter::with_file(FsyncPolicy::EveryAppend, &path).unwrap();
-            for rec in &sample_records() {
-                w.append(rec);
-            }
-        }
-        let bytes = std::fs::read(&path).unwrap();
-        let out = read_log(&bytes);
-        assert_eq!(out.records, sample_records());
-        let _ = std::fs::remove_file(&path);
-    }
-
-    #[test]
     fn lsn_gap_truncates() {
         let w = WalWriter::new(FsyncPolicy::Never);
-        w.append(&WalRecord::TopCommit { top: 1 });
-        w.append(&WalRecord::TopCommit { top: 2 });
+        w.append(&WalRecord::TopCommit { top: 1 }).unwrap();
+        w.append(&WalRecord::TopCommit { top: 2 }).unwrap();
         w.flush();
         let bytes = w.surviving();
         // Drop the FIRST frame: the second frame's LSN (1) no longer

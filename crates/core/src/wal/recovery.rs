@@ -2,59 +2,72 @@
 //! abort-by-compensation.
 //!
 //! Recovery is deliberately a thin composition of machinery that already
-//! exists. The surviving log prefix is parsed (torn tail truncated),
-//! analyzed into winners (a `TopCommit` survived), the fully-aborted
-//! (a `TopAbort` survived), and **losers** (neither record survived).
-//! Then:
+//! exists. The surviving [`LogImage`] is parsed and validated (torn tail
+//! truncated, mid-log corruption quarantined), the latest complete
+//! checkpoint (if any) re-installs the store and seeds the analysis
+//! table, and the remaining records are analyzed into winners (a
+//! `TopCommit` survived), the fully-aborted (a `TopAbort` survived), and
+//! **losers** (neither record survived). Then:
 //!
 //! 1. **Redo (repeating history)** — redo records are replayed, in LSN
-//!    order, into a store rebuilt from the deterministic initial state.
-//!    Every transaction's effects replay, winners and aborted alike,
-//!    because leaf values are logged as *absolute* states: a winner's
-//!    read-modify-write may embed the exposed effect of a concurrently
-//!    running transaction that later aborted, so skipping the aborted
-//!    transaction would diverge from the values other records carry (the
-//!    ARIES "repeating history" argument). Forward effects (`LeafRedo`)
-//!    replay only if their depth-1 subtree logged a `SubCommit` — an
-//!    unfinished subtransaction died with its effects unexposed — while
-//!    compensating effects (`CompRedo`, the logical CLR) replay
-//!    unconditionally: a fully-aborted transaction thus nets to zero with
-//!    the correct intermediate values, and a mid-abort crash resumes from
-//!    exactly the compensation progress the log shows.
-//! 2. **Undo by compensation** — each loser's `SubCommit` records carry
-//!    its compensation intent (the paper's inverse invocations). The
-//!    `CompApplied` markers a top-level abort logs say how many of those
-//!    intents (the newest, since compensation runs in reverse) were
-//!    already applied — and step 1 already replayed them — so only the
-//!    remainder is handed to [`Engine::compensate_transaction`], which
-//!    executes it reversed, under the full semantic locking discipline —
-//!    recovery *is* the paper's abort path, driven from the log instead
-//!    of from an in-memory transaction tree. Objects a loser or aborted
-//!    transaction created are deleted afterwards, mirroring the engine's
-//!    (unlogged) abort-time GC.
+//!    order, into the checkpoint store (or the deterministic initial
+//!    state when no checkpoint exists). Every transaction's effects
+//!    replay, winners and aborted alike, because leaf values are logged
+//!    as *absolute* states: a winner's read-modify-write may embed the
+//!    exposed effect of a concurrently running transaction that later
+//!    aborted, so skipping the aborted transaction would diverge from the
+//!    values other records carry (the ARIES "repeating history"
+//!    argument). Forward effects (`LeafRedo`) replay only if their
+//!    depth-1 subtree logged a `SubCommit` — an unfinished
+//!    subtransaction died with its effects unexposed — while compensating
+//!    effects (`CompRedo`, the logical CLR) replay unconditionally.
+//! 2. **Undo by compensation** — each loser's logged compensation intent
+//!    (minus the `CompApplied` progress a pre-crash abort already made)
+//!    is executed reversed through [`Engine::compensate_transaction_as`],
+//!    under the full semantic locking discipline — recovery *is* the
+//!    paper's abort path, driven from the log instead of from an
+//!    in-memory transaction tree.
 //!
-//! The result is a store equal to the serial replay of the committed
-//! prefix of the pre-crash history — the property the chaos harness's
-//! crash–recover–audit sweep asserts.
+//! **Idempotent re-recovery.** When recovery is handed a *progress
+//! writer* ([`recover_image`]'s `progress`), it logs its own work into
+//! the very log it recovers: a [`WalRecord::RecoveryMark`] first, then —
+//! through the engine — the ordinary `CompRedo`/`CompApplied` records of
+//! each loser compensation (carrying the **loser's** transaction id via
+//! the engine's alias mechanism, never the recovery wrapper's), and a
+//! direct `TopAbort` once a loser is fully compensated. A crash at any
+//! point mid-recovery therefore leaves a log from which a *second*
+//! recovery converges to the identical state: completed compensations
+//! are replayed as history and subtracted from the remaining intents,
+//! resolved losers are ordinary aborted transactions, and the mark tells
+//! the pass it is re-recovering. The B7c torture harness drives
+//! crash→recover→crash-mid-recovery→recover chains against this.
 
-use super::{read_log, RedoOp, WalRecord};
+use super::checkpoint::{fold, TopInfo};
+use super::segment::{LogImage, SegmentImage, WalWriter};
+use super::{RedoOp, WalRecord};
 use crate::config::ProtocolConfig;
 use crate::engine::Engine;
 use crate::fault::FaultPlan;
 use crate::journal::JournalKind;
 use crate::stats::Stats;
 use semcc_objstore::MemoryStore;
-use semcc_semantics::{Catalog, Invocation, Result, SemccError, Storage};
-use std::collections::{BTreeMap, HashSet};
+use semcc_semantics::{Catalog, Result, SemccError, Storage};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// What a recovery pass did (one per crash).
 #[derive(Clone, Debug, Default)]
 pub struct RecoveryReport {
-    /// Records that survived in the log prefix.
+    /// Records that survived in the log image (after the checkpoint).
     pub surviving_records: usize,
     /// Bytes discarded by torn-tail truncation.
     pub truncated_bytes: usize,
+    /// Recovery started from this checkpoint LSN (log-start otherwise).
+    pub from_checkpoint: Option<u64>,
+    /// A previous recovery pass crashed against this same log: this pass
+    /// is a re-recovery and must converge to the same state the crashed
+    /// pass was building.
+    pub rerecovery: bool,
     /// Transactions whose `TopCommit` survived.
     pub winners: usize,
     /// Transactions whose `TopAbort` survived (replayed forward *and*
@@ -66,50 +79,32 @@ pub struct RecoveryReport {
     pub replayed_actions: u64,
     /// Compensating invocations executed on behalf of losers.
     pub compensations: u64,
-    /// Objects created by losers or aborted transactions, re-created by
-    /// redo, deleted again here.
+    /// Objects created by losers or aborted transactions, deleted (again)
+    /// by this pass, mirroring the engine's unlogged abort-time GC.
     pub deleted_creations: u64,
     /// Compensation failures (loser id, error). Recovery continues past
     /// them — like the in-process abort path, a failed compensation is
-    /// surfaced, never allowed to wedge everything else.
+    /// surfaced, never allowed to wedge everything else. A loser that
+    /// failed gets no `TopAbort` in the progress log, so a later pass
+    /// retries it.
     pub failures: Vec<(u64, String)>,
 }
 
-/// Per-transaction analysis of the surviving log.
-#[derive(Default)]
-struct TopInfo {
-    committed: bool,
-    aborted: bool,
-    /// Depth-1 subtrees whose `SubCommit` survived.
-    committed_subtrees: HashSet<u32>,
-    /// Compensation intents of those subtrees, in LSN order.
-    intents: Vec<Invocation>,
-    /// Intents of deeper user methods (`SubIntent`) whose enclosing
-    /// depth-1 subtree has *not* (yet) logged a `SubCommit`, tagged with
-    /// that subtree. A surviving `SubCommit` supersedes them — its
-    /// aggregate already contains them — so they are dropped on sight of
-    /// one; what is left at analysis end is undo work only this record
-    /// kind knows about (the effect was exposed to commuting requestors
-    /// before the crash killed the enclosing subtree).
-    orphan_intents: Vec<(u32, Invocation)>,
-    /// Intents already applied (and `CompRedo`-logged) by a pre-crash
-    /// top-level abort — always the newest `comp_applied` of `intents`.
-    comp_applied: u64,
-    /// LSN of the transaction's last surviving record (undo ordering).
-    last_lsn: u64,
-    /// Objects created by this transaction that redo re-created.
-    redone_creations: Vec<semcc_semantics::ObjectId>,
+/// Clears the writer's recovery mode on every exit path.
+struct RecoveryModeGuard(Option<Arc<WalWriter>>);
+
+impl Drop for RecoveryModeGuard {
+    fn drop(&mut self) {
+        if let Some(w) = &self.0 {
+            w.set_recovery_mode(false);
+        }
+    }
 }
 
-/// Rebuild a crashed engine's state from the surviving log image.
-///
-/// `store` must hold the same deterministic initial state the crashed
-/// engine started from (`Database::build` with identical parameters);
-/// `catalog` likewise, since losers' compensations may invoke user
-/// methods. The returned engine ran every recovery compensation under
-/// `config`'s locking discipline and is ready for new transactions; pass
-/// `faults` to inject compensation faults *into recovery itself* (they
-/// are retried under the engine's bounded budget).
+/// Rebuild a crashed engine's state from a flat single-segment log image
+/// starting at LSN 0 with no checkpoint and no progress writer — the
+/// pre-segmentation entry point, kept for its callers and tests. Mid-log
+/// corruption is quarantined exactly as in [`recover_image`].
 pub fn recover(
     log: &[u8],
     store: Arc<MemoryStore>,
@@ -117,35 +112,56 @@ pub fn recover(
     config: ProtocolConfig,
     faults: Option<Arc<FaultPlan>>,
 ) -> Result<(Arc<Engine>, RecoveryReport)> {
-    let outcome = read_log(log);
+    let image = LogImage {
+        checkpoint: None,
+        segments: vec![SegmentImage { seq: 0, base_lsn: 0, bytes: log.to_vec() }],
+    };
+    recover_image(&image, store, catalog, config, faults, None)
+}
+
+/// Rebuild a crashed engine's state from the surviving [`LogImage`].
+///
+/// `store` must hold the same deterministic initial state the crashed
+/// engine started from (`Database::build` with identical parameters) —
+/// when the image carries a checkpoint, the checkpointed dump replaces
+/// that state. `catalog` likewise, since losers' compensations may invoke
+/// user methods. The returned engine ran every recovery compensation
+/// under `config`'s locking discipline and is ready for new transactions;
+/// pass `faults` to inject compensation faults *into recovery itself*.
+///
+/// `progress`, when given, is the (resumed) log writer recovery logs its
+/// own progress into, and the returned engine is built *with* it — see
+/// the module docs on idempotent re-recovery.
+pub fn recover_image(
+    image: &LogImage,
+    store: Arc<MemoryStore>,
+    catalog: Arc<Catalog>,
+    config: ProtocolConfig,
+    faults: Option<Arc<FaultPlan>>,
+    progress: Option<Arc<WalWriter>>,
+) -> Result<(Arc<Engine>, RecoveryReport)> {
+    let parsed = super::read_image(image).map_err(|e| SemccError::Durability(e.to_string()))?;
     let mut report = RecoveryReport {
-        surviving_records: outcome.records.len(),
-        truncated_bytes: outcome.truncated_bytes,
+        surviving_records: parsed.records.len(),
+        truncated_bytes: parsed.truncated_bytes,
         ..Default::default()
     };
 
-    // ---- analysis ----------------------------------------------------
+    // ---- checkpoint install -----------------------------------------
     let mut tops: BTreeMap<u64, TopInfo> = BTreeMap::new();
-    for (lsn, rec) in outcome.records.iter().enumerate() {
-        let info = tops.entry(rec.top()).or_default();
-        info.last_lsn = lsn as u64;
-        match rec {
-            WalRecord::SubCommit { subtree, comp, .. } => {
-                info.committed_subtrees.insert(*subtree);
-                info.intents.extend(comp.iter().cloned());
-                // The aggregate comp above already carries any deeper
-                // intents logged early for this subtree.
-                info.orphan_intents.retain(|(s, _)| s != subtree);
-            }
-            WalRecord::SubIntent { subtree, comp, .. } => {
-                info.orphan_intents.extend(comp.iter().cloned().map(|inv| (*subtree, inv)));
-            }
-            WalRecord::CompApplied { .. } => info.comp_applied += 1,
-            WalRecord::TopCommit { .. } => info.committed = true,
-            WalRecord::TopAbort { .. } => info.aborted = true,
-            // Redo records are handled positionally below.
-            WalRecord::LeafRedo { .. } | WalRecord::CompRedo { .. } => {}
-        }
+    if let Some(cp) = &parsed.checkpoint {
+        store.load_dump(&cp.dump)?;
+        tops = cp.table.clone();
+        report.from_checkpoint = Some(cp.cp_lsn);
+    }
+
+    // ---- analysis ----------------------------------------------------
+    let prior_passes =
+        parsed.records.iter().filter(|r| matches!(r, WalRecord::RecoveryMark { .. })).count()
+            as u64;
+    report.rerecovery = prior_passes > 0;
+    for (i, rec) in parsed.records.iter().enumerate() {
+        fold(&mut tops, parsed.base_lsn + i as u64, rec);
     }
     report.winners = tops.values().filter(|t| t.committed).count();
     report.aborted = tops.values().filter(|t| t.aborted && !t.committed).count();
@@ -155,6 +171,9 @@ pub fn recover(
     if let Some(plan) = faults {
         builder = builder.fault_plan(plan);
     }
+    if let Some(w) = &progress {
+        builder = builder.wal(Arc::clone(w));
+    }
     let engine = builder.build();
     let journal = |kind: JournalKind, top: u64, key: u64, aux: u64| {
         if let Some(j) = engine.journal() {
@@ -162,9 +181,23 @@ pub fn recover(
         }
     };
     journal(JournalKind::RecoveryStart, 0, 0, report.surviving_records as u64);
+    if report.rerecovery {
+        Stats::bump(&engine.stats_ref().rerecoveries);
+    }
+
+    // Announce this pass in the progress log before doing anything, so a
+    // crash below is visible to the next pass. From here on the writer's
+    // recovery mode makes `CrashPoint::AtRecoveryAppend` live.
+    let _mode = RecoveryModeGuard(progress.clone());
+    if let Some(w) = &progress {
+        w.set_recovery_mode(true);
+        let _ = w
+            .append(&WalRecord::RecoveryMark { pass: prior_passes + 1 })
+            .map_err(|e| SemccError::Durability(e.to_string()))?;
+    }
 
     // ---- redo (repeating history) ------------------------------------
-    for rec in &outcome.records {
+    for rec in &parsed.records {
         let (top, op) = match rec {
             WalRecord::LeafRedo { top, subtree, op } => {
                 // A forward effect is real only if its depth-1 subtree
@@ -201,22 +234,19 @@ pub fn recover(
                 store.restore_set(*id, *type_id)?;
             }
         }
-        if let Some(created) = op.created_id() {
-            tops.get_mut(top).expect("analyzed above").redone_creations.push(created);
-        }
         report.replayed_actions += 1;
         Stats::bump(&engine.stats_ref().replayed_actions);
         journal(JournalKind::RecoveryReplay, *top, op.object().0, 0);
     }
 
     // Aborted transactions' creations were GC'd in-process (the engine
-    // deletes them unlogged after compensation); redo re-created them, so
-    // delete them again before anything else can observe them.
+    // deletes them unlogged after compensation) — possibly after the
+    // checkpoint captured them, and redo re-creates the post-checkpoint
+    // ones. Delete them best-effort before anything can observe them.
     let aborted_tops: Vec<u64> =
         tops.iter().filter(|(_, t)| t.aborted && !t.committed).map(|(top, _)| *top).collect();
     for top in aborted_tops {
-        let created =
-            std::mem::take(&mut tops.get_mut(&top).expect("analyzed above").redone_creations);
+        let created = std::mem::take(&mut tops.get_mut(&top).expect("analyzed above").creations);
         for obj in created.into_iter().rev() {
             if store.delete(obj).is_ok() {
                 report.deleted_creations += 1;
@@ -242,39 +272,50 @@ pub fn recover(
         // below runs them first, exactly as the in-process abort walks
         // the transaction tree.
         intents.extend(std::mem::take(&mut info.orphan_intents).into_iter().map(|(_, inv)| inv));
-        // A crash mid-abort leaves `CompApplied` markers for the inverses
-        // already executed (the newest ones — compensation runs in
-        // reverse, so orphan intents are counted first) and redo already
-        // replayed their `CompRedo` effects; only the remainder still
-        // needs running.
+        // A crash mid-abort (or a crashed earlier recovery pass) leaves
+        // `CompApplied` markers for the inverses already executed (the
+        // newest ones — compensation runs in reverse, so orphan intents
+        // are counted first) and redo already replayed their `CompRedo`
+        // effects; only the remainder still needs running.
         let remaining = intents.len().saturating_sub(info.comp_applied as usize);
         intents.truncate(remaining);
         for inv in &intents {
             journal(JournalKind::RecoveryCompensation, top, inv.object.0, 0);
         }
-        match engine.compensate_transaction(intents) {
+        // Under a progress writer, the engine logs this compensation's
+        // `CompRedo`/`CompApplied` under the *loser's* id (alias), and
+        // suppresses the wrapper transaction's own resolution records.
+        let alias = progress.as_ref().map(|_| top);
+        match engine.compensate_transaction_as(intents, alias) {
             Ok(executed) => {
                 report.compensations += executed as u64;
                 Stats::add(&engine.stats_ref().recovery_compensations, executed as u64);
+                // Mirror the abort path's GC: objects the loser created
+                // (checkpointed or re-created by redo) disappear.
+                for obj in
+                    std::mem::take(&mut tops.get_mut(&top).expect("analyzed above").creations)
+                        .into_iter()
+                        .rev()
+                {
+                    if store.delete(obj).is_ok() {
+                        report.deleted_creations += 1;
+                    }
+                }
+                // Durably resolve the loser: from here on it is an
+                // ordinary aborted transaction to any later pass.
+                if let Some(w) = &progress {
+                    let _ = w.append(&WalRecord::TopAbort { top });
+                }
             }
             Err(e) => {
                 // Preserve the real cause; the audit decides what a
-                // partially-compensated loser means for the run.
+                // partially-compensated loser means for the run. No
+                // `TopAbort` is logged — a later pass retries.
                 let msg = match &e {
                     SemccError::CompensationFailed(m) => m.clone(),
                     other => other.to_string(),
                 };
                 report.failures.push((top, msg));
-            }
-        }
-        // Mirror the abort path's GC: objects the loser created (and redo
-        // re-created because a committed subtree logged them) disappear.
-        for obj in std::mem::take(&mut tops.get_mut(&top).expect("analyzed above").redone_creations)
-            .into_iter()
-            .rev()
-        {
-            if store.delete(obj).is_ok() {
-                report.deleted_creations += 1;
             }
         }
     }

@@ -1,0 +1,1081 @@
+//! The segmented, checkpoint-aware log writer.
+//!
+//! The log is a sequence of fixed-target-size **segments** (rotated when
+//! the active segment reaches [`WalConfig::segment_bytes`]), each a
+//! contiguous run of framed records starting at a known base LSN. A
+//! [fuzzy checkpoint](super::checkpoint) durably captures the store plus
+//! the unresolved-transaction table, after which every sealed segment is
+//! retired — disk stays bounded by one segment plus one checkpoint image
+//! no matter how long the engine runs.
+//!
+//! **I/O-fault tolerance.** An injected [`IoFaultPoint`] makes an append
+//! or fsync fail the way real devices fail. Any write or sync failure
+//! *poisons* the log: after a failed fsync the durable state of the
+//! buffered bytes is unknowable, so re-trying the sync could silently drop
+//! acknowledged history (the "fsyncgate" class of bugs) — instead every
+//! subsequent append returns [`WalError::Poisoned`] and the engine
+//! degrades per [`WalFailMode`]. Poisoning is *observable* (typed errors),
+//! unlike the crash-simulation `dead` state, which silently swallows
+//! appends exactly as a dead machine would.
+//!
+//! **Checkpoint barrier.** The engine applies a store mutation first and
+//! appends its redo record second. The writer therefore exposes a
+//! reader-writer barrier: every apply+append pair holds a read guard, and
+//! [`WalWriter::checkpoint`] holds the write guard across reading the
+//! checkpoint LSN and dumping the store — making the cut exact (an effect
+//! is in the dump iff its record's LSN is below the checkpoint LSN).
+
+use super::checkpoint::{decode_checkpoint, encode_checkpoint, fold, CheckpointImage};
+use super::{encode_frame, read_log_from, read_log_verified, WalError, WalRecord};
+use crate::fault::{CrashPoint, FaultPlan, IoFaultPoint};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use semcc_semantics::StoreDump;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// When the log forces its buffered appends to durable storage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Never sync (fastest; a crash loses everything since the last
+    /// explicit [`WalWriter::flush`]). The B2-overhead configuration.
+    #[default]
+    Never,
+    /// Sync on every top-level commit or abort record (group durability).
+    OnCommit,
+    /// Sync after every append (slowest, smallest loss window).
+    EveryAppend,
+}
+
+/// How the engine behaves once the log is poisoned.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WalFailMode {
+    /// Every new transaction fails with a durability error until the
+    /// operator intervenes (the conservative default).
+    #[default]
+    FailStop,
+    /// Read-only transactions may still run on the lock-free snapshot
+    /// path (which never touches the log); anything that writes fails.
+    ReadOnly,
+}
+
+/// Writer configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Rotate the active segment once it reaches this many bytes.
+    pub segment_bytes: usize,
+    /// Take a checkpoint automatically after this many appended bytes
+    /// (`None`: only explicit [`Engine::checkpoint`](crate::Engine)
+    /// calls checkpoint).
+    pub checkpoint_bytes: Option<usize>,
+    /// Degradation mode once the log is poisoned.
+    pub fail_mode: WalFailMode,
+    /// Keep checkpoint-retired segments in memory so audit harnesses can
+    /// compare recover-from-checkpoint against recover-from-full-log.
+    /// Production configurations leave this off — retired segments are
+    /// dropped and their files deleted.
+    pub retain_for_audit: bool,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            segment_bytes: 64 << 10,
+            checkpoint_bytes: None,
+            fail_mode: WalFailMode::FailStop,
+            retain_for_audit: false,
+        }
+    }
+}
+
+/// What one append did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppendInfo {
+    /// The record was accepted into the log (false once the injected
+    /// crash killed the device — a dead machine drops writes silently).
+    pub appended: bool,
+    /// An fsync made the buffer durable as part of this append.
+    pub synced: bool,
+    /// The record's LSN (meaningless when not appended).
+    pub lsn: u64,
+    /// This append sealed the active segment and opened a new one.
+    pub rotated: bool,
+    /// Size of the appended frame in bytes (0 when not appended).
+    pub bytes: usize,
+}
+
+/// One log segment's surviving bytes, for transport to recovery.
+#[derive(Clone, Debug)]
+pub struct SegmentImage {
+    /// Rotation sequence number (ascending, gapless within an image).
+    pub seq: u64,
+    /// LSN of the segment's first record.
+    pub base_lsn: u64,
+    /// The raw framed bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Everything a post-crash open would find on disk: the latest complete
+/// checkpoint image (if any) and the retained segments.
+#[derive(Clone, Debug, Default)]
+pub struct LogImage {
+    /// Encoded checkpoint image ([`super::checkpoint`] framing).
+    pub checkpoint: Option<Vec<u8>>,
+    /// Retained segments, any order (readers sort by `seq`).
+    pub segments: Vec<SegmentImage>,
+}
+
+/// What one checkpoint accomplished.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointOutcome {
+    /// The checkpoint LSN (recovery replays records from here).
+    pub cp_lsn: u64,
+    /// Sealed segments retired by this checkpoint.
+    pub segments_dropped: usize,
+    /// Their total size in bytes.
+    pub bytes_dropped: usize,
+}
+
+struct Segment {
+    seq: u64,
+    base_lsn: u64,
+    /// Bytes that survived an fsync ("on disk").
+    durable: Vec<u8>,
+    /// Appended but not yet synced bytes (lost on crash).
+    buffer: Vec<u8>,
+}
+
+impl Segment {
+    fn fresh(seq: u64, base_lsn: u64) -> Self {
+        Segment { seq, base_lsn, durable: Vec::new(), buffer: Vec::new() }
+    }
+
+    fn len(&self) -> usize {
+        self.durable.len() + self.buffer.len()
+    }
+
+    fn image(&self, durable_only: bool) -> SegmentImage {
+        let mut bytes = self.durable.clone();
+        if !durable_only {
+            bytes.extend_from_slice(&self.buffer);
+        }
+        SegmentImage { seq: self.seq, base_lsn: self.base_lsn, bytes }
+    }
+}
+
+struct WriterState {
+    /// Live segments, seq-ascending; the last one is active.
+    segments: Vec<Segment>,
+    /// Checkpoint-retired segments (kept only under
+    /// [`WalConfig::retain_for_audit`]).
+    truncated: Vec<Segment>,
+    /// Latest durable checkpoint image.
+    checkpoint: Option<Vec<u8>>,
+    next_lsn: u64,
+    next_seq: u64,
+    /// Crash simulation killed the device (appends drop silently).
+    dead: bool,
+    /// An I/O failure poisoned the log (appends fail loudly).
+    poisoned: Option<WalError>,
+    leaf_appends: u64,
+    comp_appends: u64,
+    total_appends: u64,
+    recovery_appends: u64,
+    fsyncs: u64,
+    checkpoints: u64,
+    bytes_since_checkpoint: usize,
+}
+
+/// The segmented log writer. See the module docs for the design; the
+/// crash-simulation behavior (a [`CrashPoint`] kills the device, after
+/// which appends are *silently* dropped exactly as a crashed machine
+/// would drop them) is unchanged from the single-file writer it replaces.
+///
+/// The backing device is an in-memory byte image by default; a writer
+/// built with [`WalWriter::with_dir`] additionally persists every synced
+/// byte to sequence-numbered `wal-NNNNNN.seg` files plus a
+/// `checkpoint.img`, deleting retired segment files as checkpoints
+/// advance.
+pub struct WalWriter {
+    config: WalConfig,
+    policy: FsyncPolicy,
+    faults: Option<Arc<FaultPlan>>,
+    dir: Option<PathBuf>,
+    state: Mutex<WriterState>,
+    /// The apply/append-vs-checkpoint barrier (module docs).
+    barrier: RwLock<()>,
+    /// Set while a recovery pass drives this writer, so
+    /// [`CrashPoint::AtRecoveryAppend`] counts only recovery's appends.
+    recovery_mode: AtomicBool,
+}
+
+impl WalWriter {
+    fn build(
+        policy: FsyncPolicy,
+        config: WalConfig,
+        faults: Option<Arc<FaultPlan>>,
+        dir: Option<PathBuf>,
+    ) -> WalWriter {
+        WalWriter {
+            config,
+            policy,
+            faults,
+            dir,
+            state: Mutex::new(WriterState {
+                segments: vec![Segment::fresh(0, 0)],
+                truncated: Vec::new(),
+                checkpoint: None,
+                next_lsn: 0,
+                next_seq: 1,
+                dead: false,
+                poisoned: None,
+                leaf_appends: 0,
+                comp_appends: 0,
+                total_appends: 0,
+                recovery_appends: 0,
+                fsyncs: 0,
+                checkpoints: 0,
+                bytes_since_checkpoint: 0,
+            }),
+            barrier: RwLock::new(()),
+            recovery_mode: AtomicBool::new(false),
+        }
+    }
+
+    /// A fresh in-memory log with the default configuration.
+    pub fn new(policy: FsyncPolicy) -> Arc<Self> {
+        Arc::new(Self::build(policy, WalConfig::default(), None, None))
+    }
+
+    /// A fresh in-memory log with an explicit configuration.
+    pub fn with_config(policy: FsyncPolicy, config: WalConfig) -> Arc<Self> {
+        Arc::new(Self::build(policy, config, None, None))
+    }
+
+    /// A fresh in-memory log whose device dies at the plan's
+    /// [`CrashPoint`] and/or fails at its [`IoFaultPoint`], if set.
+    pub fn with_faults(policy: FsyncPolicy, faults: Arc<FaultPlan>) -> Arc<Self> {
+        Arc::new(Self::build(policy, WalConfig::default(), Some(faults), None))
+    }
+
+    /// [`WalWriter::with_config`] plus a fault plan.
+    pub fn with_config_and_faults(
+        policy: FsyncPolicy,
+        config: WalConfig,
+        faults: Arc<FaultPlan>,
+    ) -> Arc<Self> {
+        Arc::new(Self::build(policy, config, Some(faults), None))
+    }
+
+    /// A log that also persists synced bytes to segment files under
+    /// `dir` (created if missing; stale `wal-*.seg` / `checkpoint.img`
+    /// files from a previous run are removed first).
+    pub fn with_dir(
+        policy: FsyncPolicy,
+        config: WalConfig,
+        dir: &Path,
+    ) -> std::io::Result<Arc<Self>> {
+        std::fs::create_dir_all(dir)?;
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if (name.starts_with("wal-") && name.ends_with(".seg")) || name == "checkpoint.img" {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(Arc::new(Self::build(policy, config, None, Some(dir.to_path_buf()))))
+    }
+
+    /// Re-open a writer over a surviving [`LogImage`] — the torture
+    /// harness's "restart the machine" primitive. The image is validated
+    /// (quarantined corruption is refused), the last segment's torn tail
+    /// is cut (exactly what a real open does before appending), and the
+    /// writer continues appending after the last surviving record with
+    /// the carried-over checkpoint intact. Counters start from zero.
+    pub fn resume(
+        image: &LogImage,
+        policy: FsyncPolicy,
+        faults: Option<Arc<FaultPlan>>,
+        config: WalConfig,
+    ) -> Result<Arc<Self>, WalError> {
+        let parsed = super::read_image(image)?;
+        let mut sorted: Vec<&SegmentImage> = image.segments.iter().collect();
+        sorted.sort_by_key(|s| s.seq);
+        let mut segments: Vec<Segment> = sorted
+            .iter()
+            .map(|s| {
+                let out = read_log_from(&s.bytes, s.base_lsn);
+                let valid = s.bytes.len() - out.truncated_bytes;
+                Segment {
+                    seq: s.seq,
+                    base_lsn: s.base_lsn,
+                    durable: s.bytes[..valid].to_vec(),
+                    buffer: Vec::new(),
+                }
+            })
+            .collect();
+        if segments.is_empty() {
+            let base = parsed.checkpoint.as_ref().map_or(0, |cp| cp.cp_lsn);
+            segments.push(Segment::fresh(0, base));
+        }
+        let next_lsn = parsed.base_lsn + parsed.records.len() as u64;
+        let next_seq = segments.last().map_or(0, |s| s.seq) + 1;
+        let w = Self::build(policy, config, faults, None);
+        {
+            let mut st = w.state.lock();
+            st.segments = segments;
+            st.checkpoint = image.checkpoint.clone();
+            st.next_lsn = next_lsn;
+            st.next_seq = next_seq;
+        }
+        Ok(Arc::new(w))
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// The writer configuration.
+    pub fn config(&self) -> WalConfig {
+        self.config
+    }
+
+    /// Poisoned-log degradation mode.
+    pub fn fail_mode(&self) -> WalFailMode {
+        self.config.fail_mode
+    }
+
+    /// Enter/leave recovery mode (recovery-driven appends count toward
+    /// [`CrashPoint::AtRecoveryAppend`]).
+    pub fn set_recovery_mode(&self, on: bool) {
+        self.recovery_mode.store(on, Ordering::Relaxed);
+    }
+
+    /// Hold the apply+append side of the checkpoint barrier. The engine
+    /// takes this around every store-mutation/record-append pair so a
+    /// concurrent checkpoint's cut is exact.
+    pub fn checkpoint_guard(&self) -> RwLockReadGuard<'_, ()> {
+        self.barrier.read()
+    }
+
+    /// Whether the byte-cadence configuration says it is time for the
+    /// engine to take a checkpoint.
+    pub fn wants_checkpoint(&self) -> bool {
+        let Some(threshold) = self.config.checkpoint_bytes else { return false };
+        let st = self.state.lock();
+        !st.dead && st.poisoned.is_none() && st.bytes_since_checkpoint >= threshold
+    }
+
+    /// Append one record, syncing and rotating per configuration.
+    ///
+    /// Failure surface: a crash-simulation death yields
+    /// `Ok(appended: false)` (silent, like a dead machine); a poisoned or
+    /// injected-faulty device yields a typed [`WalError`].
+    pub fn append(&self, rec: &WalRecord) -> Result<AppendInfo, WalError> {
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        if st.dead {
+            return Ok(AppendInfo {
+                appended: false,
+                synced: false,
+                lsn: st.next_lsn,
+                rotated: false,
+                bytes: 0,
+            });
+        }
+        if st.poisoned.is_some() {
+            // The original cause is kept in `poisoned()`; later appends
+            // get the distinct marker error.
+            return Err(WalError::Poisoned);
+        }
+        let is_leaf = matches!(rec, WalRecord::LeafRedo { .. });
+        let is_comp = matches!(rec, WalRecord::CompApplied { .. });
+        if is_leaf {
+            st.leaf_appends += 1;
+        }
+        if is_comp {
+            st.comp_appends += 1;
+        }
+        st.total_appends += 1;
+        if self.recovery_mode.load(Ordering::Relaxed) {
+            st.recovery_appends += 1;
+        }
+        if let Some(cp) = self.faults.as_ref().and_then(|p| p.crash()) {
+            let die = match cp {
+                CrashPoint::AtLeafAppend { nth } => is_leaf && st.leaf_appends == nth,
+                CrashPoint::MidCompensation { nth } => is_comp && st.comp_appends == nth,
+                CrashPoint::TornTail { nth, .. } => st.total_appends == nth,
+                CrashPoint::AtRecoveryAppend { nth } => {
+                    self.recovery_mode.load(Ordering::Relaxed) && st.recovery_appends == nth
+                }
+                // Handled at sync / checkpoint time.
+                CrashPoint::BeforeFsync { .. } | CrashPoint::AtCheckpoint { .. } => false,
+            };
+            if die {
+                if let CrashPoint::TornTail { keep, .. } = cp {
+                    // The machine died mid-write: whatever was already
+                    // queued reaches the device, plus a partial frame.
+                    let frame = encode_frame(st.next_lsn, rec);
+                    let keep = keep.clamp(1, frame.len().saturating_sub(1));
+                    for seg in &mut st.segments {
+                        let buffered = std::mem::take(&mut seg.buffer);
+                        seg.durable.extend_from_slice(&buffered);
+                    }
+                    let active = st.segments.last_mut().expect("always one active segment");
+                    active.durable.extend_from_slice(&frame[..keep]);
+                    let _ = self.sync_dir(st); // best effort: we are dying
+                }
+                st.dead = true;
+                for seg in &mut st.segments {
+                    seg.buffer.clear();
+                }
+                return Ok(AppendInfo {
+                    appended: false,
+                    synced: false,
+                    lsn: st.next_lsn,
+                    rotated: false,
+                    bytes: 0,
+                });
+            }
+        }
+        let io = self.faults.as_ref().and_then(|p| p.io());
+        match io {
+            Some(IoFaultPoint::AppendError { nth }) if st.total_appends == nth => {
+                let err = WalError::Io(format!("EIO on append #{nth}"));
+                st.poisoned = Some(err.clone());
+                return Err(err);
+            }
+            Some(IoFaultPoint::ShortWrite { nth, keep }) if st.total_appends == nth => {
+                // A prefix of the frame reached the durable medium before
+                // the device errored; the log is poisoned — the partial
+                // frame becomes the torn tail a later open truncates.
+                let frame = encode_frame(st.next_lsn, rec);
+                let keep = keep.clamp(1, frame.len().saturating_sub(1));
+                for seg in &mut st.segments {
+                    let buffered = std::mem::take(&mut seg.buffer);
+                    seg.durable.extend_from_slice(&buffered);
+                }
+                let active = st.segments.last_mut().expect("always one active segment");
+                active.durable.extend_from_slice(&frame[..keep]);
+                let _ = self.sync_dir(st);
+                let err =
+                    WalError::Io(format!("short write on append #{nth}: {keep}/{}", frame.len()));
+                st.poisoned = Some(err.clone());
+                return Err(err);
+            }
+            _ => {}
+        }
+        let lsn = st.next_lsn;
+        let mut frame = encode_frame(lsn, rec);
+        if let Some(IoFaultPoint::CorruptFrame { nth }) = io {
+            if st.total_appends == nth {
+                // Latent corruption: the device accepts the write but
+                // flips a payload bit. Nothing fails here — the damage is
+                // caught by the verified read path or checkpoint analysis.
+                let n = frame.len();
+                frame[n - 1] ^= 0xFF;
+            }
+        }
+        let bytes = frame.len();
+        let active = st.segments.last_mut().expect("always one active segment");
+        active.buffer.extend_from_slice(&frame);
+        st.next_lsn += 1;
+        st.bytes_since_checkpoint += bytes;
+        let want_sync = match self.policy {
+            FsyncPolicy::EveryAppend => true,
+            FsyncPolicy::OnCommit => {
+                matches!(rec, WalRecord::TopCommit { .. } | WalRecord::TopAbort { .. })
+            }
+            FsyncPolicy::Never => false,
+        };
+        let synced = if want_sync { self.sync_locked(st)? } else { false };
+        let mut rotated = false;
+        if !st.dead && st.segments.last().expect("active").len() >= self.config.segment_bytes {
+            self.rotate_locked(st);
+            rotated = true;
+        }
+        Ok(AppendInfo { appended: true, synced, lsn, rotated, bytes })
+    }
+
+    /// Force buffered appends to durable storage. Returns `false` once
+    /// the device is dead or poisoned (including when this very call hits
+    /// the injected pre-fsync crash or fsync fault).
+    pub fn flush(&self) -> bool {
+        let mut st = self.state.lock();
+        if st.dead || st.poisoned.is_some() {
+            return false;
+        }
+        self.sync_locked(&mut st).unwrap_or(false)
+    }
+
+    /// Take a fuzzy checkpoint. `dump` is called under the write barrier
+    /// (no apply+append pair in flight) and returns the store capture, or
+    /// `None` if the store cannot dump — then nothing happens.
+    ///
+    /// Returns `Ok(None)` when skipped (dead device or no dump),
+    /// `Err` when the log is poisoned, the retained records fail
+    /// validation (latent corruption is *quarantined here*, before any
+    /// history is dropped), or the image write's fsync fails.
+    pub fn checkpoint(
+        &self,
+        dump: impl FnOnce() -> Option<StoreDump>,
+    ) -> Result<Option<CheckpointOutcome>, WalError> {
+        let _barrier = self.barrier.write();
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        if st.dead {
+            return Ok(None);
+        }
+        if st.poisoned.is_some() {
+            return Err(WalError::Poisoned);
+        }
+        // Reset the cadence even if the capture is declined or fails, so
+        // a broken store does not retrigger on every commit.
+        st.bytes_since_checkpoint = 0;
+        let Some(dump) = dump() else { return Ok(None) };
+        let cp_lsn = st.next_lsn;
+        // Fold the unresolved-transaction table forward from the previous
+        // checkpoint over every retained record. A frame that fails
+        // validation here is committed history we are about to drop —
+        // refuse the checkpoint and quarantine instead.
+        let mut table = match &st.checkpoint {
+            Some(bytes) => decode_checkpoint(bytes)?.table,
+            None => BTreeMap::new(),
+        };
+        for seg in &st.segments {
+            let mut all = seg.durable.clone();
+            all.extend_from_slice(&seg.buffer);
+            let out = read_log_verified(&all, seg.base_lsn)?;
+            if out.truncated_bytes > 0 {
+                return Err(WalError::Corrupt {
+                    lsn: seg.base_lsn + out.records.len() as u64,
+                    detail: format!(
+                        "segment {} has {} unreadable bytes at checkpoint time",
+                        seg.seq, out.truncated_bytes
+                    ),
+                });
+            }
+            for (i, rec) in out.records.iter().enumerate() {
+                fold(&mut table, seg.base_lsn + i as u64, rec);
+            }
+        }
+        table.retain(|_, info| info.unresolved());
+        let image = encode_checkpoint(&CheckpointImage { cp_lsn, dump, table });
+        // Writing the image durably is itself a sync of the device: the
+        // injected pre-fsync crash and fsync fault both apply.
+        st.fsyncs += 1;
+        st.checkpoints += 1;
+        if let Some(cp) = self.faults.as_ref().and_then(|p| p.crash()) {
+            let die = match cp {
+                CrashPoint::AtCheckpoint { nth } => st.checkpoints == nth,
+                CrashPoint::BeforeFsync { nth } => st.fsyncs == nth,
+                _ => false,
+            };
+            if die {
+                // The machine died before the new image hit the platter:
+                // the previous checkpoint and all segments survive.
+                st.dead = true;
+                for seg in &mut st.segments {
+                    seg.buffer.clear();
+                }
+                return Ok(None);
+            }
+        }
+        if let Some(IoFaultPoint::FsyncError { nth }) = self.faults.as_ref().and_then(|p| p.io()) {
+            if st.fsyncs == nth {
+                let err = WalError::Io(format!("fsync failed writing checkpoint (fsync #{nth})"));
+                st.poisoned = Some(err.clone());
+                return Err(err);
+            }
+        }
+        st.checkpoint = Some(image);
+        // The checkpoint declares the log durable up to cp_lsn: flush.
+        for seg in &mut st.segments {
+            let buffered = std::mem::take(&mut seg.buffer);
+            seg.durable.extend_from_slice(&buffered);
+        }
+        // Seal the active segment and retire everything sealed — every
+        // sealed segment now ends at or before cp_lsn.
+        self.rotate_locked(st);
+        let active = st.segments.pop().expect("rotate just pushed the new active");
+        let dropped = std::mem::replace(&mut st.segments, vec![active]);
+        let segments_dropped = dropped.len();
+        let bytes_dropped: usize = dropped.iter().map(Segment::len).sum();
+        if let Some(dir) = &self.dir {
+            for seg in &dropped {
+                let _ = std::fs::remove_file(dir.join(segment_file_name(seg.seq)));
+            }
+        }
+        if self.config.retain_for_audit {
+            st.truncated.extend(dropped);
+        }
+        if let Err(e) = self.sync_dir(st) {
+            st.poisoned = Some(e.clone());
+            return Err(e);
+        }
+        Ok(Some(CheckpointOutcome { cp_lsn, segments_dropped, bytes_dropped }))
+    }
+
+    fn rotate_locked(&self, st: &mut WriterState) {
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.segments.push(Segment::fresh(seq, st.next_lsn));
+        if let Some(dir) = &self.dir {
+            // Materialize the fresh segment eagerly so the directory
+            // always mirrors the live segment list (best-effort: the next
+            // sync retries, and a real failure there poisons the log).
+            let _ = write_file(&dir.join(segment_file_name(seq)), &[]);
+        }
+    }
+
+    fn sync_locked(&self, st: &mut WriterState) -> Result<bool, WalError> {
+        st.fsyncs += 1;
+        if let Some(CrashPoint::BeforeFsync { nth }) = self.faults.as_ref().and_then(|p| p.crash())
+        {
+            if st.fsyncs == nth {
+                // Crash before the sync completes: the buffer never
+                // reaches the device.
+                st.dead = true;
+                for seg in &mut st.segments {
+                    seg.buffer.clear();
+                }
+                return Ok(false);
+            }
+        }
+        if let Some(IoFaultPoint::FsyncError { nth }) = self.faults.as_ref().and_then(|p| p.io()) {
+            if st.fsyncs == nth {
+                // The sync failed: whether any buffered byte reached the
+                // platter is unknowable, so the buffer must be treated as
+                // lost and the log refuses further writes (fsyncgate).
+                let err = WalError::Io(format!("fsync failed (fsync #{nth})"));
+                st.poisoned = Some(err.clone());
+                return Err(err);
+            }
+        }
+        for seg in &mut st.segments {
+            let buffered = std::mem::take(&mut seg.buffer);
+            seg.durable.extend_from_slice(&buffered);
+        }
+        if let Err(e) = self.sync_dir(st) {
+            st.poisoned = Some(e.clone());
+            return Err(e);
+        }
+        Ok(true)
+    }
+
+    /// Persist durable bytes to the backing directory, if any. Real file
+    /// I/O errors are typed, surfaced, and poison the log at the caller.
+    fn sync_dir(&self, st: &WriterState) -> Result<(), WalError> {
+        let Some(dir) = &self.dir else { return Ok(()) };
+        for seg in &st.segments {
+            write_file(&dir.join(segment_file_name(seg.seq)), &seg.durable)?;
+        }
+        if let Some(cp) = &st.checkpoint {
+            write_file(&dir.join("checkpoint.img"), cp)?;
+        }
+        Ok(())
+    }
+
+    /// Did the injected crash point fire?
+    pub fn crashed(&self) -> bool {
+        self.state.lock().dead
+    }
+
+    /// The poisoning error, if an I/O failure poisoned the log.
+    pub fn poisoned(&self) -> Option<WalError> {
+        self.state.lock().poisoned.clone()
+    }
+
+    /// LSN of the next append (= records accepted so far, plus the resume
+    /// base).
+    pub fn appended(&self) -> u64 {
+        self.state.lock().next_lsn
+    }
+
+    /// fsyncs issued so far (including the one the crash interrupted).
+    pub fn fsyncs(&self) -> u64 {
+        self.state.lock().fsyncs
+    }
+
+    /// Checkpoints attempted so far.
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.state.lock().checkpoints
+    }
+
+    /// Current log footprint: live segment bytes plus the checkpoint
+    /// image. With checkpointing this stays bounded regardless of run
+    /// length; without it, it grows with the workload.
+    pub fn retained_bytes(&self) -> usize {
+        let st = self.state.lock();
+        st.segments.iter().map(Segment::len).sum::<usize>()
+            + st.checkpoint.as_ref().map_or(0, Vec::len)
+    }
+
+    /// The single-stream byte view a post-crash open would see: durable
+    /// bytes only after a crash or poisoning, everything otherwise (a
+    /// clean shutdown flushes implicitly). Only meaningful while no
+    /// checkpoint has retired a segment — concatenation assumes the
+    /// segments are contiguous from LSN 0. Kept for the pre-segmentation
+    /// callers; new code uses [`WalWriter::surviving_image`].
+    pub fn surviving(&self) -> Vec<u8> {
+        let st = self.state.lock();
+        let halted = st.dead || st.poisoned.is_some();
+        let mut out = Vec::new();
+        for seg in &st.segments {
+            out.extend_from_slice(&seg.durable);
+            if !halted {
+                out.extend_from_slice(&seg.buffer);
+            }
+        }
+        out
+    }
+
+    /// The [`LogImage`] a post-crash open would find: the latest complete
+    /// checkpoint plus the retained segments (durable bytes only after a
+    /// crash or poisoning).
+    pub fn surviving_image(&self) -> LogImage {
+        let st = self.state.lock();
+        let halted = st.dead || st.poisoned.is_some();
+        LogImage {
+            checkpoint: st.checkpoint.clone(),
+            segments: st.segments.iter().map(|s| s.image(halted)).collect(),
+        }
+    }
+
+    /// The full-history image: every segment ever written, including the
+    /// checkpoint-retired ones, with **no** checkpoint — what recovery
+    /// would see had no checkpoint ever been taken. Only available under
+    /// [`WalConfig::retain_for_audit`]; the checkpoint-parity differential
+    /// recovers from both images and demands identical states.
+    pub fn surviving_full_image(&self) -> LogImage {
+        let st = self.state.lock();
+        let halted = st.dead || st.poisoned.is_some();
+        LogImage {
+            checkpoint: None,
+            segments: st
+                .truncated
+                .iter()
+                .chain(st.segments.iter())
+                .map(|s| s.image(halted))
+                .collect(),
+        }
+    }
+}
+
+fn segment_file_name(seq: u64) -> String {
+    format!("wal-{seq:06}.seg")
+}
+
+fn write_file(path: &Path, bytes: &[u8]) -> Result<(), WalError> {
+    let io_err =
+        |what: &str, e: std::io::Error| WalError::Io(format!("{what} {}: {e}", path.display()));
+    let mut f = std::fs::File::create(path).map_err(|e| io_err("create", e))?;
+    f.write_all(bytes).map_err(|e| io_err("write", e))?;
+    f.sync_data().map_err(|e| io_err("fsync", e))?;
+    Ok(())
+}
+
+impl std::fmt::Debug for WalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        write!(
+            f,
+            "WalWriter(policy = {:?}, lsn = {}, segments = {}, checkpoints = {}, fsyncs = {}, \
+             dead = {}, poisoned = {})",
+            self.policy,
+            st.next_lsn,
+            st.segments.len(),
+            st.checkpoints,
+            st.fsyncs,
+            st.dead,
+            st.poisoned.is_some()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::sample_records;
+    use super::super::{read_image, read_log};
+    use super::*;
+    use crate::fault::FaultSpec;
+
+    fn small_config() -> WalConfig {
+        WalConfig { segment_bytes: 96, ..WalConfig::default() }
+    }
+
+    fn plan_io(point: IoFaultPoint) -> Arc<FaultPlan> {
+        FaultPlan::new(1, FaultSpec::default().with_io(point))
+    }
+
+    #[test]
+    fn rotation_seals_segments_and_reads_back_in_order() {
+        let w = WalWriter::with_config(FsyncPolicy::Never, small_config());
+        let recs = sample_records();
+        let mut rotations = 0;
+        for rec in &recs {
+            if w.append(rec).unwrap().rotated {
+                rotations += 1;
+            }
+        }
+        assert!(rotations >= 1, "96-byte segments must rotate on these records");
+        let image = w.surviving_image();
+        assert_eq!(image.segments.len(), rotations + 1);
+        for pair in image.segments.windows(2) {
+            assert_eq!(pair[0].seq + 1, pair[1].seq);
+            assert!(pair[0].base_lsn < pair[1].base_lsn);
+        }
+        let parsed = read_image(&image).unwrap();
+        assert_eq!(parsed.records, recs);
+        assert_eq!(parsed.base_lsn, 0);
+        // The flat byte view concatenates to the same records.
+        assert_eq!(read_log(&w.surviving()).records, recs);
+    }
+
+    #[test]
+    fn checkpoint_retires_sealed_segments_and_bounds_the_log() {
+        let w = WalWriter::with_config(FsyncPolicy::Never, small_config());
+        let recs = sample_records();
+        for rec in &recs {
+            w.append(rec).unwrap();
+        }
+        let before = w.retained_bytes();
+        let outcome =
+            w.checkpoint(|| Some(StoreDump::default())).unwrap().expect("store offered a dump");
+        assert_eq!(outcome.cp_lsn, recs.len() as u64);
+        assert!(outcome.segments_dropped >= 2, "sealed + just-sealed active");
+        assert!(outcome.bytes_dropped > 0);
+        let image = w.surviving_image();
+        assert!(image.checkpoint.is_some());
+        assert_eq!(image.segments.len(), 1, "only the fresh active segment remains");
+        assert_eq!(image.segments[0].base_lsn, outcome.cp_lsn);
+        let parsed = read_image(&image).unwrap();
+        assert_eq!(parsed.records.len(), 0);
+        assert_eq!(parsed.checkpoint.unwrap().cp_lsn, outcome.cp_lsn);
+        // Appends continue at the post-checkpoint LSN.
+        let info = w.append(&WalRecord::TopCommit { top: 9 }).unwrap();
+        assert_eq!(info.lsn, outcome.cp_lsn);
+        assert!(w.retained_bytes() < before + 200, "log stays bounded by cp image + tail");
+    }
+
+    #[test]
+    fn retain_for_audit_preserves_the_full_history() {
+        let config = WalConfig { retain_for_audit: true, ..small_config() };
+        let w = WalWriter::with_config(FsyncPolicy::Never, config);
+        let recs = sample_records();
+        for rec in &recs {
+            w.append(rec).unwrap();
+        }
+        w.checkpoint(|| Some(StoreDump::default())).unwrap().expect("checkpointed");
+        w.append(&WalRecord::TopCommit { top: 9 }).unwrap();
+        let full = w.surviving_full_image();
+        assert!(full.checkpoint.is_none());
+        let parsed = read_image(&full).unwrap();
+        assert_eq!(parsed.records.len(), recs.len() + 1);
+        assert_eq!(parsed.base_lsn, 0);
+    }
+
+    #[test]
+    fn append_error_poisons_the_log() {
+        let w = WalWriter::with_config_and_faults(
+            FsyncPolicy::EveryAppend,
+            WalConfig::default(),
+            plan_io(IoFaultPoint::AppendError { nth: 2 }),
+        );
+        let rec = WalRecord::TopCommit { top: 1 };
+        assert!(w.append(&rec).unwrap().appended);
+        let err = w.append(&rec).unwrap_err();
+        assert!(matches!(err, WalError::Io(_)), "got {err:?}");
+        // Poisoned, not dead: every further append fails loudly.
+        assert!(!w.crashed());
+        assert_eq!(w.append(&rec).unwrap_err(), WalError::Poisoned);
+        assert!(!w.flush());
+        assert_eq!(w.poisoned(), Some(err));
+        // The pre-fault prefix is still readable.
+        assert_eq!(read_image(&w.surviving_image()).unwrap().records.len(), 1);
+    }
+
+    #[test]
+    fn fsync_failure_poisons_and_loses_the_buffer() {
+        let w = WalWriter::with_config_and_faults(
+            FsyncPolicy::OnCommit,
+            WalConfig::default(),
+            plan_io(IoFaultPoint::FsyncError { nth: 2 }),
+        );
+        let leaf = &sample_records()[0];
+        w.append(leaf).unwrap();
+        assert!(w.append(&WalRecord::TopCommit { top: 1 }).unwrap().synced);
+        w.append(leaf).unwrap();
+        let err = w.append(&WalRecord::TopCommit { top: 2 }).unwrap_err();
+        assert!(matches!(err, WalError::Io(_)));
+        // Only the first synced group is trustworthy.
+        let parsed = read_image(&w.surviving_image()).unwrap();
+        assert_eq!(parsed.records.len(), 2);
+        assert!(matches!(parsed.records[1], WalRecord::TopCommit { top: 1 }));
+    }
+
+    #[test]
+    fn short_write_leaves_a_poisoned_torn_tail() {
+        let w = WalWriter::with_config_and_faults(
+            FsyncPolicy::EveryAppend,
+            WalConfig::default(),
+            plan_io(IoFaultPoint::ShortWrite { nth: 3, keep: 6 }),
+        );
+        let recs = sample_records();
+        let mut failed = 0;
+        for rec in &recs[..3] {
+            match w.append(rec) {
+                Ok(info) => assert!(info.appended),
+                Err(WalError::Io(_)) => failed += 1,
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(failed, 1);
+        let image = w.surviving_image();
+        let parsed = read_image(&image).unwrap();
+        assert_eq!(parsed.records.len(), 2, "torn third record truncates");
+        assert_eq!(parsed.truncated_bytes, 6);
+    }
+
+    #[test]
+    fn corrupt_frame_is_latent_and_caught_by_checkpoint_analysis() {
+        let w = WalWriter::with_config_and_faults(
+            FsyncPolicy::Never,
+            WalConfig::default(),
+            plan_io(IoFaultPoint::CorruptFrame { nth: 2 }),
+        );
+        let recs = sample_records();
+        for rec in &recs {
+            assert!(w.append(rec).unwrap().appended, "corruption is silent at append time");
+        }
+        assert!(w.poisoned().is_none());
+        // The verified read quarantines the mid-log damage...
+        let err = read_image(&w.surviving_image()).unwrap_err();
+        assert!(matches!(err, WalError::Corrupt { lsn: 1, .. }), "got {err:?}");
+        // ...and a checkpoint refuses to drop the damaged history.
+        let err = w.checkpoint(|| Some(StoreDump::default())).unwrap_err();
+        assert!(matches!(err, WalError::Corrupt { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn resume_continues_lsns_and_carries_the_checkpoint() {
+        let w = WalWriter::with_config(FsyncPolicy::EveryAppend, small_config());
+        let recs = sample_records();
+        for rec in &recs {
+            w.append(rec).unwrap();
+        }
+        w.checkpoint(|| Some(StoreDump::default())).unwrap().expect("checkpointed");
+        w.append(&WalRecord::TopCommit { top: 9 }).unwrap();
+        let image = w.surviving_image();
+
+        let r = WalWriter::resume(&image, FsyncPolicy::EveryAppend, None, small_config()).unwrap();
+        assert_eq!(r.appended(), recs.len() as u64 + 1);
+        let info = r.append(&WalRecord::TopAbort { top: 9 }).unwrap();
+        assert_eq!(info.lsn, recs.len() as u64 + 1);
+        let parsed = read_image(&r.surviving_image()).unwrap();
+        assert_eq!(parsed.base_lsn, recs.len() as u64);
+        assert_eq!(parsed.records.len(), 2);
+        assert!(parsed.checkpoint.is_some());
+    }
+
+    #[test]
+    fn resume_cuts_a_torn_tail_before_appending() {
+        let plan = FaultPlan::new(
+            1,
+            FaultSpec::default().with_crash(CrashPoint::TornTail { nth: 3, keep: 5 }),
+        );
+        let w = WalWriter::with_faults(FsyncPolicy::Never, plan);
+        for rec in &sample_records() {
+            let _ = w.append(rec).unwrap();
+        }
+        assert!(w.crashed());
+        let image = w.surviving_image();
+        let r = WalWriter::resume(&image, FsyncPolicy::Never, None, WalConfig::default()).unwrap();
+        assert_eq!(r.appended(), 2, "two whole records survive the torn third");
+        r.append(&WalRecord::TopCommit { top: 5 }).unwrap();
+        let parsed = read_image(&r.surviving_image()).unwrap();
+        assert_eq!(parsed.records.len(), 3);
+        assert_eq!(parsed.truncated_bytes, 0, "the torn bytes were cut at open");
+    }
+
+    #[test]
+    fn dir_backed_log_persists_and_deletes_segment_files() {
+        let dir = std::env::temp_dir().join(format!("semcc-wal-dir-{}", std::process::id()));
+        let config = WalConfig { segment_bytes: 96, ..WalConfig::default() };
+        {
+            let w = WalWriter::with_dir(FsyncPolicy::EveryAppend, config, &dir).unwrap();
+            for rec in &sample_records() {
+                w.append(rec).unwrap();
+            }
+            let n_files = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter(|e| e.as_ref().unwrap().file_name().to_string_lossy().ends_with(".seg"))
+                .count();
+            assert!(n_files >= 2, "rotation created multiple segment files");
+            // Reading the files back yields the same records.
+            let image = w.surviving_image();
+            let mut from_disk = Vec::new();
+            for seg in &image.segments {
+                let bytes = std::fs::read(dir.join(segment_file_name(seg.seq))).unwrap();
+                from_disk.extend(read_log_from(&bytes, seg.base_lsn).records);
+            }
+            assert_eq!(from_disk, sample_records());
+            w.checkpoint(|| Some(StoreDump::default())).unwrap().expect("checkpointed");
+            let names: Vec<String> = std::fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .collect();
+            assert!(names.contains(&"checkpoint.img".to_string()));
+            assert_eq!(
+                names.iter().filter(|n| n.ends_with(".seg")).count(),
+                1,
+                "retired segment files deleted, fresh active remains: {names:?}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_at_checkpoint_keeps_previous_checkpoint_and_segments() {
+        let plan =
+            FaultPlan::new(1, FaultSpec::default().with_crash(CrashPoint::AtCheckpoint { nth: 2 }));
+        let w = WalWriter::with_config_and_faults(FsyncPolicy::EveryAppend, small_config(), plan);
+        let recs = sample_records();
+        for rec in &recs[..4] {
+            w.append(rec).unwrap();
+        }
+        w.checkpoint(|| Some(StoreDump::default())).unwrap().expect("first checkpoint fine");
+        for rec in &recs[4..] {
+            w.append(rec).unwrap();
+        }
+        let before = w.surviving_image();
+        assert!(w.checkpoint(|| Some(StoreDump::default())).unwrap().is_none(), "died");
+        assert!(w.crashed());
+        let after = w.surviving_image();
+        assert_eq!(after.checkpoint, before.checkpoint, "old image retained");
+        let parsed = read_image(&after).unwrap();
+        assert_eq!(parsed.checkpoint.unwrap().cp_lsn, 4);
+        assert_eq!(parsed.records.len(), recs.len() - 4);
+    }
+
+    #[test]
+    fn recovery_append_crash_point_fires_only_in_recovery_mode() {
+        let plan = FaultPlan::new(
+            1,
+            FaultSpec::default().with_crash(CrashPoint::AtRecoveryAppend { nth: 2 }),
+        );
+        let w = WalWriter::with_faults(FsyncPolicy::EveryAppend, plan);
+        let rec = WalRecord::TopCommit { top: 1 };
+        for _ in 0..5 {
+            assert!(w.append(&rec).unwrap().appended, "inactive outside recovery mode");
+        }
+        w.set_recovery_mode(true);
+        assert!(w.append(&rec).unwrap().appended, "first recovery append survives");
+        assert!(!w.append(&rec).unwrap().appended, "second recovery append is the crash");
+        assert!(w.crashed());
+    }
+}

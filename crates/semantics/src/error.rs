@@ -48,6 +48,12 @@ pub enum SemccError {
     /// transparently re-runs it as a normal locking transaction; neither an
     /// abort nor a contention retry.
     SnapshotIneligible(String),
+    /// The write-ahead log could not make the transaction durable (I/O
+    /// error, failed fsync, or a previously poisoned log). The transaction
+    /// aborts through the normal compensation path; it is *not* retryable —
+    /// the log stays poisoned until the operator intervenes, so a retry
+    /// would fail identically (fsyncgate semantics: no blind retry).
+    Durability(String),
     /// A fault injected by the chaos harness (never raised in production).
     FaultInjected(String),
     /// Any other internal invariant violation.
@@ -81,6 +87,9 @@ impl fmt::Display for SemccError {
             SemccError::SnapshotIneligible(msg) => {
                 write!(f, "snapshot read path ineligible: {msg}")
             }
+            SemccError::Durability(msg) => {
+                write!(f, "transaction aborted: durability failure: {msg}")
+            }
             SemccError::FaultInjected(site) => write!(f, "injected fault at {site}"),
             SemccError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
@@ -100,6 +109,7 @@ impl SemccError {
                 | SemccError::Cancelled
                 | SemccError::MethodPanicked(_)
                 | SemccError::LockTimeout
+                | SemccError::Durability(_)
         )
     }
 
@@ -132,6 +142,7 @@ mod tests {
         assert!(SemccError::Cancelled.is_abort());
         assert!(SemccError::MethodPanicked("boom".into()).is_abort());
         assert!(SemccError::LockTimeout.is_abort());
+        assert!(SemccError::Durability("fsync failed".into()).is_abort());
         assert!(!SemccError::NoSuchObject(ObjectId(1)).is_abort());
         assert!(!SemccError::Internal("x".into()).is_abort());
         assert!(!SemccError::FaultInjected("storage".into()).is_abort());
@@ -144,6 +155,8 @@ mod tests {
         assert!(SemccError::LockTimeout.is_retryable());
         assert!(!SemccError::Aborted("x".into()).is_retryable());
         assert!(!SemccError::MethodPanicked("boom".into()).is_retryable());
+        // A poisoned log fails every retry identically — not retryable.
+        assert!(!SemccError::Durability("fsync failed".into()).is_retryable());
         assert!(!SemccError::FaultInjected("storage".into()).is_retryable());
         assert!(!SemccError::SnapshotIneligible("write leaf".into()).is_retryable());
     }

@@ -14,6 +14,43 @@ fn unversioned<T>() -> Result<T> {
     Err(SemccError::SnapshotIneligible("storage does not support versioned reads".into()))
 }
 
+/// Point-in-time image of one object's state, as captured by a checkpoint
+/// dump and re-installed by a recovery load.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ObjectImage {
+    /// An atomic object's value.
+    Atomic(Value),
+    /// A tuple's named components, in stored order.
+    Tuple(Vec<(String, ObjectId)>),
+    /// A set's `(key, member)` pairs, in key order.
+    Set(Vec<(u64, ObjectId)>),
+}
+
+/// One object of a [`StoreDump`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObjectDump {
+    /// The object's id.
+    pub id: ObjectId,
+    /// Its declared type.
+    pub type_id: TypeId,
+    /// Its version stamp at capture time (restored verbatim so snapshot
+    /// validation and recovery version-parity behave identically).
+    pub version: u64,
+    /// Its state.
+    pub image: ObjectImage,
+}
+
+/// A stamp-consistent point-in-time capture of a whole store — the payload
+/// of a fuzzy checkpoint. Objects are listed in id order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StoreDump {
+    /// Every live object, id-ascending.
+    pub objects: Vec<ObjectDump>,
+    /// The store's id allocator position (so post-recovery creations do
+    /// not collide with checkpointed ids).
+    pub next_id: u64,
+}
+
 /// Physical object store interface.
 pub trait Storage: Send + Sync {
     /// Read the value of an atomic object.
@@ -121,6 +158,14 @@ pub trait Storage: Send + Sync {
     /// without per-object re-checks. `None` (the default) always forces
     /// the per-object path, which is correct for any store.
     fn quiesce_token(&self) -> Option<u64> {
+        None
+    }
+
+    /// Stamp-consistent capture of the whole store for a fuzzy checkpoint.
+    /// `None` (the default) declares the capability absent — the engine
+    /// then skips checkpointing entirely, which is always correct (the
+    /// full log is retained).
+    fn checkpoint_dump(&self) -> Option<StoreDump> {
         None
     }
 }

@@ -15,8 +15,9 @@ use crate::protocols::ProtocolKind;
 use crate::validate::{canonical_state, check_semantic_graph};
 use semcc_baselines::{ClosedNested, FlatObject2pl, Page2pl};
 use semcc_core::{
-    read_log, recover, silence_injected_panics, CrashPoint, Discipline, Engine, FaultPlan,
-    FaultSpec, FaultyStorage, FsyncPolicy, MemorySink, ProtocolConfig, WalRecord, WalWriter,
+    read_image, read_log, recover, recover_image, silence_injected_panics, CrashPoint, Discipline,
+    Engine, FaultPlan, FaultSpec, FaultyStorage, FsyncPolicy, IoFaultPoint, LogImage, MemorySink,
+    ProtocolConfig, WalConfig, WalRecord, WalWriter,
 };
 use semcc_orderentry::{Database, DbParams, MixWeights, Workload, WorkloadConfig};
 use semcc_semantics::Storage;
@@ -450,6 +451,512 @@ pub fn run_crash_recover(params: &CrashParams) -> CrashReport {
     }
 }
 
+// ---------------------------------------------------------------------
+// B7c torture: crash → recover → crash-mid-recovery → recover chains
+// ---------------------------------------------------------------------
+
+/// One torture run's configuration: an initial crash, then a chain of
+/// recovery passes of which every non-final one is itself crashed.
+#[derive(Clone, Debug)]
+pub struct TortureParams {
+    /// Seed for the fault schedule and the workload generator.
+    pub seed: u64,
+    /// Transactions in the batch.
+    pub txns: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Fault spec of the *initial* crash (pre-crash process).
+    pub faults: FaultSpec,
+    /// Fsync cadence of the pre-crash run.
+    pub fsync: FsyncPolicy,
+    /// Transaction mix.
+    pub mix: MixWeights,
+    /// Recovery passes: every pass but the last crashes at an
+    /// [`CrashPoint::AtRecoveryAppend`] point; the last runs clean.
+    /// Must be ≥ 2 for the harness to prove anything about re-recovery.
+    pub chain: usize,
+    /// `nth` of the first mid-recovery crash (later passes shift it, so
+    /// each pass dies somewhere else in its own progress log).
+    pub recovery_crash_nth: u64,
+    /// Run the pre-crash workload with automatic checkpointing.
+    pub checkpoint: bool,
+    /// Lock-wait timeout backstop.
+    pub lock_wait_timeout: Duration,
+    /// Retries per transaction.
+    pub max_retries: u32,
+    /// Database size.
+    pub n_items: usize,
+    /// Orders per item.
+    pub orders_per_item: usize,
+}
+
+impl Default for TortureParams {
+    fn default() -> Self {
+        TortureParams {
+            seed: 42,
+            txns: 60,
+            workers: 4,
+            faults: FaultSpec::default().with_crash(CrashPoint::AtLeafAppend { nth: 25 }),
+            fsync: FsyncPolicy::EveryAppend,
+            mix: MixWeights { t0_new: 2, ..MixWeights::paper_uniform() },
+            chain: 2,
+            recovery_crash_nth: 2,
+            checkpoint: false,
+            lock_wait_timeout: Duration::from_secs(2),
+            max_retries: 50,
+            n_items: 4,
+            orders_per_item: 4,
+        }
+    }
+}
+
+/// The segmented-log configuration every torture run uses: segments small
+/// enough that any realistic batch rotates several times, and (when
+/// enabled) a checkpoint cadence that fires mid-run. History is retained
+/// so the checkpoint-parity audit can compare against the full log.
+fn torture_wal_config(checkpoint: bool) -> WalConfig {
+    WalConfig {
+        segment_bytes: 4096,
+        checkpoint_bytes: checkpoint.then_some(8 << 10),
+        retain_for_audit: true,
+        ..WalConfig::default()
+    }
+}
+
+/// Outcome of one torture chain.
+#[derive(Debug)]
+pub struct TortureReport {
+    /// Transactions the pre-crash process committed.
+    pub committed: u64,
+    /// Whether the initial crash point fired.
+    pub crashed: bool,
+    /// Recovery passes actually run (final, clean one included).
+    pub passes: usize,
+    /// Passes that died mid-recovery at their injected crash point.
+    pub mid_crashes: usize,
+    /// The final pass saw a prior pass's progress mark (it knew it was
+    /// re-recovering).
+    pub rerecovery_detected: bool,
+    /// Checkpoints the pre-crash process took.
+    pub checkpoints_taken: u64,
+    /// Winners of the original surviving image (stable across the chain:
+    /// recovery never appends a commit record).
+    pub winners: usize,
+    /// Compensation failures across every pass (must be 0).
+    pub compensation_failures: usize,
+    /// Final recovered store equals the committed-prefix serial replay.
+    pub state_matches: bool,
+    /// Final chained state equals a single *clean* recovery of the
+    /// original image — the idempotency proof.
+    pub matches_clean_recovery: bool,
+    /// Why the audit failed, when it did.
+    pub audit_failure: Option<String>,
+    /// Live transactions on the final engine (must be 0).
+    pub live_after: usize,
+    /// Lock-table entries on the final engine (must be 0).
+    pub leaked_entries: usize,
+    /// Waits-for residue on the final engine (must be all zero).
+    pub wfg_residue: (usize, usize, usize, usize),
+}
+
+impl TortureReport {
+    /// The torture invariant: every crash consumed, the chain converged to
+    /// the same state a single clean recovery reaches, that state is the
+    /// committed-prefix serial replay, and nothing leaked.
+    pub fn sound(&self) -> bool {
+        self.state_matches
+            && self.matches_clean_recovery
+            && self.compensation_failures == 0
+            && self.live_after == 0
+            && self.leaked_entries == 0
+            && self.wfg_residue == (0, 0, 0, 0)
+    }
+}
+
+/// Winners (`TopCommit` tops) of a log image, in commit order.
+fn image_winners(image: &LogImage) -> Vec<u64> {
+    match read_image(image) {
+        Ok(parsed) => parsed
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::TopCommit { top } => Some(*top),
+                _ => None,
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Run the B7c torture chain: workload + initial crash, then `chain`
+/// recovery passes where every non-final pass is crashed at a point in
+/// its *own* progress log (a different point each pass), resuming the
+/// next pass from the wreckage the crashed one left. Audits that the
+/// final state equals both (a) the serial replay of the committed prefix
+/// and (b) a single clean recovery of the original image — idempotent
+/// re-recovery.
+pub fn run_torture(params: &TortureParams) -> TortureReport {
+    silence_injected_panics();
+    assert!(params.chain >= 2, "a torture chain needs at least one crashed pass");
+    let db_params = DbParams {
+        n_items: params.n_items,
+        orders_per_item: params.orders_per_item,
+        ..Default::default()
+    };
+    let config = torture_wal_config(params.checkpoint);
+    let db = Database::build(&db_params).expect("database build");
+    let plan = FaultPlan::new(params.seed, params.faults);
+    let wal = WalWriter::with_config_and_faults(params.fsync, config, Arc::clone(&plan));
+    let store = FaultyStorage::new(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&plan));
+    let engine = Engine::builder(store as Arc<dyn Storage>, Arc::clone(&db.catalog))
+        .protocol(ProtocolConfig::semantic())
+        .lock_wait_timeout(params.lock_wait_timeout)
+        .fault_plan(Arc::clone(&plan))
+        .wal(Arc::clone(&wal))
+        .build();
+    let mut w = Workload::new(
+        &db,
+        WorkloadConfig { seed: params.seed, mix: params.mix, ..Default::default() },
+    );
+    let batch = w.batch(&db, params.txns);
+    let out = run_workload(
+        &engine,
+        batch,
+        &RunParams {
+            workers: params.workers,
+            max_retries: params.max_retries,
+            record_outcomes: true,
+            ..Default::default()
+        },
+    );
+    let crashed = wal.crashed();
+    let checkpoints_taken = wal.checkpoints_taken();
+    let original = wal.surviving_image();
+    // Winners come from the *full* retained history: checkpointing retires
+    // sealed segments, so pre-checkpoint commit records are absent from
+    // `original` (their effects ride in the checkpoint's store dump).
+    let winners = image_winners(&wal.surviving_full_image());
+    let spec_of: HashMap<u64, &semcc_orderentry::TxnSpec> =
+        out.committed.iter().map(|c| (c.top.0, &c.spec)).collect();
+
+    // ---- the chain ----------------------------------------------------
+    let mut image = original.clone();
+    let mut report = TortureReport {
+        committed: out.metrics.committed,
+        crashed,
+        passes: 0,
+        mid_crashes: 0,
+        rerecovery_detected: false,
+        checkpoints_taken,
+        winners: winners.len(),
+        compensation_failures: 0,
+        state_matches: false,
+        matches_clean_recovery: false,
+        audit_failure: None,
+        live_after: 0,
+        leaked_entries: 0,
+        wfg_residue: (0, 0, 0, 0),
+    };
+    let mut last: Option<(Arc<Engine>, Database)> = None;
+    for pass in 0..params.chain {
+        let final_pass = pass + 1 == params.chain;
+        let base = Database::build(&db_params).expect("recovery base build");
+        // Every non-final pass dies at a (shifting) point of its own
+        // progress log; the final pass runs clean.
+        let progress_faults = if final_pass {
+            None
+        } else {
+            Some(FaultPlan::new(
+                params.seed ^ pass as u64,
+                FaultSpec::default().with_crash(CrashPoint::AtRecoveryAppend {
+                    nth: params.recovery_crash_nth + pass as u64,
+                }),
+            ))
+        };
+        let progress =
+            match WalWriter::resume(&image, FsyncPolicy::EveryAppend, progress_faults, config) {
+                Ok(w) => w,
+                Err(e) => {
+                    report.audit_failure = Some(format!("resume for pass {pass} refused: {e}"));
+                    return report;
+                }
+            };
+        let (recovered, rr) = match recover_image(
+            &image,
+            Arc::clone(&base.store),
+            Arc::clone(&base.catalog),
+            ProtocolConfig::semantic(),
+            None,
+            Some(Arc::clone(&progress)),
+        ) {
+            Ok(done) => done,
+            Err(e) => {
+                report.audit_failure = Some(format!("recovery pass {pass} failed: {e}"));
+                return report;
+            }
+        };
+        report.passes += 1;
+        report.compensation_failures += rr.failures.len();
+        if progress.crashed() {
+            // The pass died mid-recovery: only its progress log survives;
+            // the store it was building is lost with the "machine".
+            report.mid_crashes += 1;
+            image = progress.surviving_image();
+            continue;
+        }
+        report.rerecovery_detected = rr.rerecovery;
+        report.live_after = recovered.live_transactions();
+        report.leaked_entries = recovered.lock_entries();
+        report.wfg_residue = recovered.wfg_residue();
+        last = Some((recovered, base));
+    }
+    let Some((recovered, base)) = last else {
+        report.audit_failure = Some("no clean final pass (every pass crashed)".into());
+        return report;
+    };
+
+    // ---- audit 1: committed-prefix serial replay ----------------------
+    // Winners were read from the full retained history before the chain
+    // started: recovery appends no commit records, so the set is invariant
+    // across the chain (checked implicitly by audit 2's clean recovery of
+    // the original image).
+    let serial = Database::build(&db_params).expect("serial replay build");
+    let serial_engine =
+        Engine::builder(Arc::clone(&serial.store) as Arc<dyn Storage>, Arc::clone(&serial.catalog))
+            .protocol(ProtocolConfig::semantic())
+            .build();
+    for top in &winners {
+        match spec_of.get(top) {
+            Some(spec) => {
+                if let Err(e) = serial_engine.execute(*spec) {
+                    report.audit_failure =
+                        Some(format!("serial replay of winner {top} failed: {e}"));
+                    return report;
+                }
+            }
+            None => {
+                report.audit_failure = Some(format!("logged winner {top} has no recorded outcome"));
+                return report;
+            }
+        }
+    }
+    let got = canonical_state(recovered.storage().as_ref(), base.items_set);
+    let want = canonical_state(serial.store.as_ref() as &dyn Storage, serial.items_set);
+    match (got, want) {
+        (Ok(g), Ok(w)) if g == w => report.state_matches = true,
+        (Ok(g), Ok(w)) => {
+            report.audit_failure =
+                Some(format!("chained state != serial replay:\n got: {g:?}\nwant: {w:?}"));
+            return report;
+        }
+        (g, w) => {
+            report.audit_failure = Some(format!("canonical projection failed: {g:?} / {w:?}"));
+            return report;
+        }
+    }
+
+    // ---- audit 2: idempotency against a single clean recovery ---------
+    let clean_base = Database::build(&db_params).expect("clean recovery base build");
+    match recover_image(
+        &original,
+        Arc::clone(&clean_base.store),
+        Arc::clone(&clean_base.catalog),
+        ProtocolConfig::semantic(),
+        None,
+        None,
+    ) {
+        Ok((clean_engine, _)) => {
+            let chained = canonical_state(recovered.storage().as_ref(), base.items_set);
+            let clean = canonical_state(clean_engine.storage().as_ref(), clean_base.items_set);
+            match (chained, clean) {
+                (Ok(a), Ok(b)) if a == b => report.matches_clean_recovery = true,
+                (Ok(a), Ok(b)) => {
+                    report.audit_failure = Some(format!(
+                        "chained recovery diverged from clean recovery:\n chained: {a:?}\n clean: {b:?}"
+                    ));
+                }
+                (a, b) => {
+                    report.audit_failure =
+                        Some(format!("canonical projection failed: {a:?} / {b:?}"));
+                }
+            }
+        }
+        Err(e) => report.audit_failure = Some(format!("clean recovery failed: {e}")),
+    }
+    report
+}
+
+/// Checkpoint parity: run a checkpointing workload to a crash, then
+/// recover twice — once from the checkpointed image (checkpoint + live
+/// segments) and once from the full retained log with no checkpoint —
+/// and require byte-identical store dumps (objects, versions, ids) and
+/// identical winner sets. Proves the fuzzy checkpoint's cut is exact.
+pub fn run_checkpoint_parity(params: &TortureParams) -> Result<(), String> {
+    silence_injected_panics();
+    let db_params = DbParams {
+        n_items: params.n_items,
+        orders_per_item: params.orders_per_item,
+        ..Default::default()
+    };
+    // Aggressive cadence so several checkpoints land mid-run.
+    let config = WalConfig {
+        segment_bytes: 2048,
+        checkpoint_bytes: Some(8 << 10),
+        retain_for_audit: true,
+        ..WalConfig::default()
+    };
+    let db = Database::build(&db_params).expect("database build");
+    let plan = FaultPlan::new(params.seed, params.faults);
+    let wal = WalWriter::with_config_and_faults(params.fsync, config, Arc::clone(&plan));
+    let store = FaultyStorage::new(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&plan));
+    let engine = Engine::builder(store as Arc<dyn Storage>, Arc::clone(&db.catalog))
+        .protocol(ProtocolConfig::semantic())
+        .lock_wait_timeout(params.lock_wait_timeout)
+        .fault_plan(Arc::clone(&plan))
+        .wal(Arc::clone(&wal))
+        .build();
+    let mut w = Workload::new(
+        &db,
+        WorkloadConfig { seed: params.seed, mix: params.mix, ..Default::default() },
+    );
+    let batch = w.batch(&db, params.txns);
+    run_workload(
+        &engine,
+        batch,
+        &RunParams {
+            workers: params.workers,
+            max_retries: params.max_retries,
+            ..Default::default()
+        },
+    );
+    if wal.checkpoints_taken() == 0 {
+        return Err("workload took no checkpoint — parity proves nothing".into());
+    }
+    let from_checkpoint = wal.surviving_image();
+    let from_full_log = wal.surviving_full_image();
+    // Winners that committed before the checkpoint live only in the
+    // checkpoint's dump, not as records — so the checkpointed image's
+    // winner set is a (usually strict) subset of the full log's.
+    let full_winners: std::collections::HashSet<u64> =
+        image_winners(&from_full_log).into_iter().collect();
+    for top in image_winners(&from_checkpoint) {
+        if !full_winners.contains(&top) {
+            return Err(format!("winner {top} in checkpointed image missing from full log"));
+        }
+    }
+    let run = |image: &LogImage| -> Result<(Arc<Engine>, Database), String> {
+        let base = Database::build(&db_params).expect("parity base build");
+        let (engine, rr) = recover_image(
+            image,
+            Arc::clone(&base.store),
+            Arc::clone(&base.catalog),
+            ProtocolConfig::semantic(),
+            None,
+            None,
+        )
+        .map_err(|e| format!("parity recovery failed: {e}"))?;
+        if !rr.failures.is_empty() {
+            return Err(format!("parity recovery had compensation failures: {:?}", rr.failures));
+        }
+        Ok((engine, base))
+    };
+    let (_a, base_a) = run(&from_checkpoint)?;
+    let (_b, base_b) = run(&from_full_log)?;
+    // Full store dumps compare objects, values *and version stamps*: the
+    // strongest equality the store can express.
+    if base_a.store.dump() != base_b.store.dump() {
+        let a = canonical_state(base_a.store.as_ref() as &dyn Storage, base_a.items_set);
+        let b = canonical_state(base_b.store.as_ref() as &dyn Storage, base_b.items_set);
+        return Err(format!(
+            "recover-from-checkpoint != recover-from-full-log\n checkpoint: {a:?}\n full log: {b:?}"
+        ));
+    }
+    Ok(())
+}
+
+/// Fsync-failure audit: run a group-commit workload whose log device
+/// fails an fsync mid-run (poisoning the log), then check the fsyncgate
+/// invariant — no transaction was acknowledged whose commit record is
+/// not durable, and the *live* store equals the serial replay of exactly
+/// the acknowledged transactions (failed commits were compensated).
+pub fn run_fsync_failure(seed: u64, txns: usize, nth: u64) -> Result<(), String> {
+    silence_injected_panics();
+    let db_params = DbParams { n_items: 4, orders_per_item: 4, ..Default::default() };
+    let db = Database::build(&db_params).expect("database build");
+    let plan = FaultPlan::new(seed, FaultSpec::default().with_io(IoFaultPoint::FsyncError { nth }));
+    let wal = WalWriter::with_config_and_faults(
+        FsyncPolicy::OnCommit,
+        torture_wal_config(false),
+        Arc::clone(&plan),
+    );
+    let engine =
+        Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog))
+            .protocol(ProtocolConfig::semantic())
+            .lock_wait_timeout(Duration::from_secs(2))
+            .wal(Arc::clone(&wal))
+            .build();
+    let mut w = Workload::new(&db, WorkloadConfig { seed, ..Default::default() });
+    let batch = w.batch(&db, txns);
+    let out = run_workload(
+        &engine,
+        batch,
+        &RunParams { workers: 4, max_retries: 50, record_outcomes: true, ..Default::default() },
+    );
+    if wal.poisoned().is_none() {
+        return Err("the fsync fault never fired — nothing audited".into());
+    }
+    let durable: std::collections::HashSet<u64> =
+        image_winners(&wal.surviving_image()).into_iter().collect();
+    // Pure readers commit through the lock-free snapshot path and write no
+    // log record — durability is only promised to updaters.
+    let acked: Vec<&crate::executor::CommittedTxn> =
+        out.committed.iter().filter(|c| c.spec.is_update()).collect();
+    for c in &acked {
+        if !durable.contains(&c.top.0) {
+            return Err(format!(
+                "update transaction {} was acknowledged but its commit record is not durable",
+                c.top.0
+            ));
+        }
+    }
+    if durable.len() != acked.len() {
+        return Err(format!(
+            "durable winners ({}) != acknowledged update transactions ({})",
+            durable.len(),
+            acked.len()
+        ));
+    }
+    // Live-store audit: serial replay of the acked set.
+    let serial = Database::build(&db_params).expect("serial replay build");
+    let serial_engine =
+        Engine::builder(Arc::clone(&serial.store) as Arc<dyn Storage>, Arc::clone(&serial.catalog))
+            .protocol(ProtocolConfig::semantic())
+            .build();
+    for rec in &read_image(&wal.surviving_image())
+        .map_err(|e| format!("surviving image unreadable: {e}"))?
+        .records
+    {
+        let WalRecord::TopCommit { top } = rec else { continue };
+        let spec = acked
+            .iter()
+            .find(|c| c.top.0 == *top)
+            .map(|c| &c.spec)
+            .ok_or_else(|| format!("durable winner {top} has no acknowledged outcome"))?;
+        serial_engine
+            .execute(spec)
+            .map_err(|e| format!("serial replay of winner {top} failed: {e}"))?;
+    }
+    let got = canonical_state(db.store.as_ref() as &dyn Storage, db.items_set);
+    let want = canonical_state(serial.store.as_ref() as &dyn Storage, serial.items_set);
+    match (got, want) {
+        (Ok(g), Ok(w)) if g == w => Ok(()),
+        (Ok(g), Ok(w)) => Err(format!(
+            "live state after poisoning != serial replay of acked set\n got: {g:?}\nwant: {w:?}"
+        )),
+        (g, w) => Err(format!("canonical projection failed: {g:?} / {w:?}")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -538,5 +1045,51 @@ mod tests {
             ..Default::default()
         });
         assert!(report.sound(), "{report:?}");
+    }
+
+    #[test]
+    fn torture_chain_converges_after_a_crashed_recovery() {
+        let report = run_torture(&TortureParams { seed: 3, ..Default::default() });
+        assert!(report.crashed, "the initial crash must fire: {report:?}");
+        assert_eq!(report.mid_crashes, 1, "one crashed pass in a depth-2 chain: {report:?}");
+        assert!(report.rerecovery_detected, "the final pass must see the mark: {report:?}");
+        assert!(report.sound(), "{report:?}");
+    }
+
+    #[test]
+    fn torture_chain_with_checkpointing_converges() {
+        let report = run_torture(&TortureParams {
+            seed: 5,
+            txns: 120,
+            checkpoint: true,
+            chain: 3,
+            // Late crash so the checkpoint cadence fires before the log
+            // device dies — otherwise the run never checkpoints and the
+            // test degenerates to the plain torture chain.
+            faults: FaultSpec::default().with_crash(CrashPoint::AtLeafAppend { nth: 160 }),
+            ..Default::default()
+        });
+        assert!(report.crashed, "{report:?}");
+        assert!(report.checkpoints_taken > 0, "the run must checkpoint: {report:?}");
+        assert_eq!(report.mid_crashes, 2, "{report:?}");
+        assert!(report.sound(), "{report:?}");
+    }
+
+    #[test]
+    fn checkpoint_parity_holds_under_a_crash() {
+        run_checkpoint_parity(&TortureParams {
+            seed: 7,
+            txns: 120,
+            // Late crash: several checkpoints must land before the log
+            // device dies, or the parity differential proves nothing.
+            faults: FaultSpec::default().with_crash(CrashPoint::AtLeafAppend { nth: 160 }),
+            ..Default::default()
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn fsync_failure_never_acknowledges_an_undurable_commit() {
+        run_fsync_failure(11, 40, 5).unwrap();
     }
 }

@@ -34,8 +34,9 @@ pub mod treeview;
 pub mod validate;
 
 pub use chaos::{
-    crash_mixes, crash_points, fault_mixes, run_chaos, run_crash_recover, ChaosParams, ChaosReport,
-    CrashParams, CrashReport,
+    crash_mixes, crash_points, fault_mixes, run_chaos, run_checkpoint_parity, run_crash_recover,
+    run_fsync_failure, run_torture, ChaosParams, ChaosReport, CrashParams, CrashReport,
+    TortureParams, TortureReport,
 };
 pub use executor::{run_workload, CommittedTxn, LockTableSample, RunOutcome, RunParams};
 pub use metrics::RunMetrics;

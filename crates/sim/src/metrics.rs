@@ -218,6 +218,11 @@ mod tests {
         semcc_core::Stats::add(&stats_src.read_validations, 9);
         semcc_core::Stats::add(&stats_src.read_validation_failures, 2);
         semcc_core::Stats::add(&stats_src.snapshot_retries, 4);
+        semcc_core::Stats::add(&stats_src.checkpoints, 6);
+        semcc_core::Stats::add(&stats_src.wal_segments_rotated, 13);
+        semcc_core::Stats::add(&stats_src.wal_bytes, 8192);
+        semcc_core::Stats::add(&stats_src.wal_io_errors, 2);
+        semcc_core::Stats::bump(&stats_src.rerecoveries);
         RunMetrics {
             protocol: "semantic".into(),
             workers: 8,
@@ -282,6 +287,21 @@ mod tests {
     }
 
     #[test]
+    fn json_roundtrip_preserves_checkpoint_and_wal_fault_counters() {
+        let m = sample_metrics();
+        let json = m.to_json();
+        assert!(json.contains("\"checkpoints\":6"), "{json}");
+        assert!(json.contains("\"wal_segments_rotated\":13"), "{json}");
+        assert!(json.contains("\"wal_bytes\":8192"), "{json}");
+        let parsed = RunMetrics::from_json(&json).unwrap();
+        assert_eq!(parsed.stats.checkpoints, 6);
+        assert_eq!(parsed.stats.wal_segments_rotated, 13);
+        assert_eq!(parsed.stats.wal_bytes, 8192);
+        assert_eq!(parsed.stats.wal_io_errors, 2);
+        assert_eq!(parsed.stats.rerecoveries, 1);
+    }
+
+    #[test]
     fn json_roundtrip_preserves_snapshot_read_counters() {
         let m = sample_metrics();
         let json = m.to_json();
@@ -325,6 +345,13 @@ mod tests {
         assert!(text.contains("semcc_stats_recoveries_total"));
         assert!(text.contains("semcc_stats_replayed_actions_total"));
         assert!(text.contains("semcc_stats_recovery_compensations_total"));
+        assert!(
+            text.contains("semcc_stats_checkpoints_total{protocol=\"semantic\",workers=\"8\"} 6")
+        );
+        assert!(text.contains("semcc_stats_wal_segments_rotated_total"));
+        assert!(text.contains("semcc_stats_wal_bytes_total"));
+        assert!(text.contains("semcc_stats_wal_io_errors_total"));
+        assert!(text.contains("semcc_stats_rerecoveries_total"));
         assert!(text
             .contains("semcc_stats_snapshot_reads_total{protocol=\"semantic\",workers=\"8\"} 42"));
         assert!(text.contains("semcc_stats_read_validations_total"));

@@ -10,13 +10,17 @@
 //! stuck CI job.
 
 use semcc::core::{
-    read_log, recover, CrashPoint, Engine, Event, FaultPlan, FaultSpec, FnProgram, FsyncPolicy,
-    MemorySink, ProtocolConfig, TransactionProgram, WalRecord, WalWriter,
+    read_log, recover, recover_image, CrashPoint, Engine, Event, FaultPlan, FaultSpec, FnProgram,
+    FsyncPolicy, IoFaultPoint, LogImage, MemorySink, ProtocolConfig, SegmentImage,
+    TransactionProgram, WalConfig, WalRecord, WalWriter,
 };
 use semcc::orderentry::{Database, DbParams, Target, HOOK_SHIP_AFTER_CHANGE_STATUS};
 use semcc::semantics::{MethodContext, SemccError, Storage, Value};
 use semcc::sim::scenario::Gate;
-use semcc::sim::{crash_mixes, crash_points, run_crash_recover, CrashParams, CrashReport};
+use semcc::sim::{
+    crash_mixes, crash_points, run_checkpoint_parity, run_crash_recover, run_fsync_failure,
+    run_torture, CrashParams, CrashReport, TortureParams, TortureReport,
+};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
@@ -67,6 +71,85 @@ fn crash_recover_audit_sweep_across_seeds_mixes_and_crash_points() {
         // audit must not be vacuous: some crashes erase committed work.
         assert!(crashes > 0, "{class}: the crash point never fired across the sweep");
         assert!(erased > 0, "{class}: no run ever lost committed work — audit is vacuous");
+    }
+}
+
+fn run_torture_guarded(label: String, params: TortureParams) -> TortureReport {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(run_torture(&params));
+    });
+    match rx.recv_timeout(RUN_TIMEOUT) {
+        Ok(report) => report,
+        Err(_) => panic!("torture run {label} hung (> {RUN_TIMEOUT:?})"),
+    }
+}
+
+/// The B7c acceptance sweep: 8 seeds × three workload mixes, each run a
+/// crash → recover → crash-mid-recovery → recover chain. Every chain must
+/// converge to the committed-prefix serial replay *and* to the state a
+/// single clean recovery reaches, with nothing leaked. Aggregate
+/// assertions keep the sweep honest: the initial crash, the mid-recovery
+/// crash and the re-recovery detection must each fire somewhere.
+#[test]
+fn torture_sweep_double_crash_chains_converge_across_seeds_and_mixes() {
+    let offset: u64 =
+        std::env::var("SEMCC_CHAOS_SEED_OFFSET").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
+    let (mut crashes, mut mid_crashes, mut rerecoveries, mut erased) = (0u32, 0u32, 0u32, 0u32);
+    for (mix_name, mix) in crash_mixes() {
+        for seed in (offset + 1)..=(offset + 8) {
+            let label = format!("torture/{mix_name}/seed{seed}");
+            let report = run_torture_guarded(
+                label.clone(),
+                TortureParams { seed, mix, ..Default::default() },
+            );
+            assert!(report.sound(), "{label}: torture chain unsound: {report:?}");
+            crashes += report.crashed as u32;
+            mid_crashes += report.mid_crashes as u32;
+            rerecoveries += report.rerecovery_detected as u32;
+            erased += ((report.winners as u64) < report.committed) as u32;
+        }
+    }
+    assert!(crashes > 0, "the initial crash never fired across the sweep");
+    assert!(mid_crashes > 0, "no recovery pass was ever crashed — the chains prove nothing");
+    assert!(rerecoveries > 0, "no final pass ever saw a prior pass's progress mark");
+    assert!(erased > 0, "no run ever lost committed work — the audit is vacuous");
+}
+
+/// Checkpoint parity across seeds: recover-from-checkpoint must produce a
+/// store dump identical to recover-from-full-log, for several crashed
+/// checkpointing runs.
+#[test]
+fn checkpoint_parity_differential_across_seeds() {
+    for seed in [7, 19, 31] {
+        run_torture_parity(seed);
+    }
+}
+
+fn run_torture_parity(seed: u64) {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(run_checkpoint_parity(&TortureParams {
+            seed,
+            txns: 120,
+            faults: FaultSpec::default().with_crash(CrashPoint::AtLeafAppend { nth: 160 }),
+            ..Default::default()
+        }));
+    });
+    match rx.recv_timeout(RUN_TIMEOUT) {
+        Ok(result) => result.unwrap_or_else(|e| panic!("parity seed {seed}: {e}")),
+        Err(_) => panic!("checkpoint parity run seed {seed} hung (> {RUN_TIMEOUT:?})"),
+    }
+}
+
+/// The fsyncgate invariant under the workload: an injected fsync failure
+/// poisons the log, and no update transaction is ever acknowledged whose
+/// commit record is not durable.
+#[test]
+fn fsync_failure_acknowledgement_audit_across_seeds() {
+    for (seed, nth) in [(11, 5), (23, 9), (37, 3)] {
+        run_fsync_failure(seed, 40, nth)
+            .unwrap_or_else(|e| panic!("fsync audit seed {seed} nth {nth}: {e}"));
     }
 }
 
@@ -152,6 +235,119 @@ fn recovery_compensates_a_loser_back_to_the_initial_state() {
     assert_eq!(stats.recovery_compensations, 4, "{stats:?}");
     assert_eq!(engine.live_transactions(), 0);
     assert_eq!(engine.lock_entries(), 0);
+}
+
+/// Idempotent re-recovery, deterministic edition: the first recovery pass
+/// is crashed right after it logged its progress mark (its compensation
+/// work is lost with the machine), and a second pass over the wreckage
+/// must converge to exactly the state a single clean recovery reaches.
+#[test]
+fn double_crash_recovery_converges_to_the_clean_recovery_state() {
+    semcc::core::silence_injected_panics();
+    let image = LogImage {
+        checkpoint: None,
+        segments: vec![SegmentImage { seq: 0, base_lsn: 0, bytes: losing_log() }],
+    };
+
+    // Pass 0: dies at its second recovery append (the first compensation
+    // record — the RecoveryMark before it is already durable).
+    let plan =
+        FaultPlan::new(1, FaultSpec::default().with_crash(CrashPoint::AtRecoveryAppend { nth: 2 }));
+    let doomed = db2();
+    let progress =
+        WalWriter::resume(&image, FsyncPolicy::EveryAppend, Some(plan), WalConfig::default())
+            .expect("resume for the doomed pass");
+    recover_image(
+        &image,
+        Arc::clone(&doomed.store),
+        Arc::clone(&doomed.catalog),
+        ProtocolConfig::semantic(),
+        None,
+        Some(Arc::clone(&progress)),
+    )
+    .expect("a crashed pass still returns (its writer is dead, not failed)");
+    assert!(progress.crashed(), "the mid-recovery crash point must fire");
+    let wreckage = progress.surviving_image();
+
+    // Pass 1: clean, over the wreckage.
+    let chained = db2();
+    let progress2 =
+        WalWriter::resume(&wreckage, FsyncPolicy::EveryAppend, None, WalConfig::default())
+            .expect("resume for the clean pass");
+    let (engine, report) = recover_image(
+        &wreckage,
+        Arc::clone(&chained.store),
+        Arc::clone(&chained.catalog),
+        ProtocolConfig::semantic(),
+        None,
+        Some(progress2),
+    )
+    .expect("the second pass must succeed");
+    assert!(report.rerecovery, "the second pass must see the first pass's mark: {report:?}");
+    assert!(report.failures.is_empty(), "{report:?}");
+    assert_eq!(engine.stats().rerecoveries, 1, "{:?}", engine.stats());
+    assert_eq!(engine.live_transactions(), 0);
+    assert_eq!(engine.lock_entries(), 0);
+
+    // Reference: one clean recovery of the original image.
+    let clean = db2();
+    recover_image(
+        &image,
+        Arc::clone(&clean.store),
+        Arc::clone(&clean.catalog),
+        ProtocolConfig::semantic(),
+        None,
+        None,
+    )
+    .expect("clean recovery");
+    assert_eq!(
+        chained.store.dump(),
+        clean.store.dump(),
+        "double-crash recovery must converge to the clean-recovery state"
+    );
+}
+
+/// A CRC mismatch in the *middle* of the log — valid records follow the
+/// damaged frame — is media corruption, not a torn tail: recovery must
+/// refuse the image with a hard error instead of silently truncating away
+/// committed work.
+#[test]
+fn mid_log_corruption_is_quarantined_not_silently_truncated() {
+    let db = db2();
+    let plan =
+        FaultPlan::new(1, FaultSpec::default().with_io(IoFaultPoint::CorruptFrame { nth: 3 }));
+    let wal = WalWriter::with_faults(FsyncPolicy::EveryAppend, plan);
+    let engine =
+        Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog))
+            .protocol(ProtocolConfig::semantic())
+            .wal(Arc::clone(&wal))
+            .build();
+    // Two committed transactions: the bit flipped in the first one's
+    // frames sits well before the second one's valid records.
+    let t = Target { item: db.items[0].item, order: db.items[0].orders[0].order };
+    let ship = FnProgram::new("ship", move |ctx: &mut dyn MethodContext| {
+        ctx.call(t.item, "ShipOrder", vec![Value::Id(t.order)])
+    });
+    let pay = FnProgram::new("pay", move |ctx: &mut dyn MethodContext| {
+        ctx.call(t.item, "PayOrder", vec![Value::Id(t.order), Value::Money(3)])
+    });
+    engine.execute(&ship).expect("first transaction commits");
+    engine.execute(&pay).expect("second transaction commits");
+
+    let base = db2();
+    let err = recover(
+        &wal.surviving(),
+        Arc::clone(&base.store),
+        Arc::clone(&base.catalog),
+        ProtocolConfig::semantic(),
+        None,
+    )
+    .expect_err("mid-log corruption must be a hard error");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("corrupt") || msg.contains("Corrupt"),
+        "the error must name the corruption: {msg}"
+    );
 }
 
 /// Recovery replay must bump version stamps exactly as the live path did:
