@@ -1,7 +1,7 @@
 //! The experiment driver: regenerates every evaluation artifact.
 //!
 //! ```text
-//! experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|b8|chaos|recover|torture|observe] [--quick]
+//! experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|b8|b9|chaos|recover|torture|observe] [--quick]
 //! ```
 
 use semcc_bench::sweeps::{self, Scale};
@@ -14,6 +14,22 @@ fn print_and_save(title: &str, name: &str, table: semcc_bench::tables::Table) {
         println!("(csv written to {path})");
     }
     println!();
+}
+
+/// B9 also emits `BENCH_pr8.json` at the repo root (override with
+/// `SEMCC_B9_OUT`): the group-commit gate and the saturation audit in
+/// machine-readable form, uploaded by the CI bench-smoke job.
+fn run_b9(scale: Scale, quick: bool) {
+    let (table, json) = sweeps::b9_group_commit(scale, !quick);
+    print_and_save(
+        "B9: group commit (durable B2 cell, dir-backed log, oncommit vs never; saturation)",
+        "b9_group_commit",
+        table,
+    );
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr8.json").to_string();
+    let out = std::env::var("SEMCC_B9_OUT").unwrap_or(default_out);
+    std::fs::write(&out, json).expect("write BENCH_pr8.json");
+    println!("(bench json written to {out})\n");
 }
 
 fn main() {
@@ -82,6 +98,7 @@ fn main() {
             "b8_read_path",
             sweeps::b8_read_path(scale, !quick),
         ),
+        "b9" => run_b9(scale, quick),
         "chaos" => {
             figures::containment();
             print_and_save(
@@ -185,11 +202,12 @@ fn main() {
                 "b7d_disk_bound",
                 sweeps::b7_disk_bound(scale),
             );
+            run_b9(scale, quick);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|b8|chaos|recover|torture|observe] [--quick]"
+                "usage: experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|b8|b9|chaos|recover|torture|observe] [--quick]"
             );
             std::process::exit(2);
         }

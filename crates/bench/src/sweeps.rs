@@ -682,6 +682,168 @@ pub fn b8_read_path(scale: Scale, strict: bool) -> Table {
     t
 }
 
+/// B9: group commit. The durable B2 contention cell — update-heavy mix
+/// against a *dir-backed* log (real segment files, real fsync) — measured
+/// at fsync=oncommit vs fsync=never across worker counts, plus the
+/// ≥10k-in-flight saturation cell pushed through the bounded session
+/// front-end. With a single committer every commit pays its own device
+/// sync; with many committers the leader-based barrier amortizes one sync
+/// over the whole parked batch, so the durable column must close on the
+/// fsync=never column as workers grow. `strict` (full runs) asserts the
+/// PR-8 gate: oncommit within 2× of never at ≥64 workers, and the
+/// saturation cell actually reaching ≥10k queued-or-executing sessions
+/// (its lost/duplicate-ack audit is inside `run_saturation` — an `Err`
+/// there is a panic here at any scale). Returns the table and the
+/// `BENCH_pr8.json` payload.
+pub fn b9_group_commit(scale: Scale, strict: bool) -> (Table, String) {
+    let db_params = DbParams { n_items: 16, orders_per_item: 8, ..Default::default() };
+    let wl =
+        WorkloadConfig { mix: MixWeights::update_heavy(), zipf_theta: 0.6, ..Default::default() };
+    let dir = std::env::temp_dir().join(format!("semcc-b9-{}", std::process::id()));
+    let measure_cell = |workers: usize, fsync: FsyncPolicy| {
+        let db = Database::build(&db_params).expect("schema builds");
+        let config = WalConfig { segment_bytes: 64 << 10, ..WalConfig::default() };
+        let wal = WalWriter::with_dir(fsync, config, &dir).expect("dir-backed wal");
+        let engine =
+            Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog))
+                .protocol(ProtocolConfig::semantic())
+                .lock_wait_timeout(Duration::from_secs(10))
+                .op_delay(OP_DELAY)
+                .wal(Arc::clone(&wal))
+                .build();
+        let mut w = Workload::new(&db, wl.clone());
+        // Enough transactions that every worker commits several times —
+        // a 256-worker cell with fewer transactions than workers would
+        // never form a batch.
+        let batch = w.batch(&db, scale.txns.max(workers * 4));
+        let m = run_workload(
+            &engine,
+            batch,
+            &RunParams { workers, max_retries: 100_000, ..Default::default() },
+        )
+        .metrics;
+        (m, wal.fsyncs(), wal.group_commits())
+    };
+
+    let mut t = Table::new(&[
+        "cell",
+        "workers",
+        "fsync",
+        "txn/s",
+        "fsyncs",
+        "group commits",
+        "oncommit/never",
+    ]);
+    let mut cells_json: Vec<String> = Vec::new();
+    let mut ratios: Vec<(usize, f64)> = Vec::new();
+    let mut total_group_commits = 0u64;
+    for &workers in &[1usize, 16, 64, 256] {
+        let (never, never_fsyncs, never_groups) = measure_cell(workers, FsyncPolicy::Never);
+        let (on, on_fsyncs, on_groups) = measure_cell(workers, FsyncPolicy::OnCommit);
+        let ratio = on.throughput / never.throughput.max(f64::MIN_POSITIVE);
+        ratios.push((workers, ratio));
+        total_group_commits += on_groups;
+        for (policy, m, fsyncs, groups, r) in [
+            ("never", &never, never_fsyncs, never_groups, "-".to_string()),
+            ("oncommit", &on, on_fsyncs, on_groups, format!("{ratio:.3}")),
+        ] {
+            t.row(vec![
+                "b2-durable".into(),
+                workers.to_string(),
+                policy.into(),
+                fmt_f(m.throughput),
+                fsyncs.to_string(),
+                groups.to_string(),
+                r,
+            ]);
+            cells_json.push(format!(
+                "{{\"workers\":{workers},\"fsync\":\"{policy}\",\"txn_per_s\":{:.1},\
+                 \"fsyncs\":{fsyncs},\"group_commits\":{groups}}}",
+                m.throughput
+            ));
+        }
+        assert_eq!(never_fsyncs, 0, "fsync=never must never sync");
+        assert!(on_fsyncs > 0, "fsync=oncommit must sync");
+        if workers == 1 {
+            // A lone committer always elects itself leader: no follower
+            // acknowledgments can exist.
+            assert_eq!(on_groups, 0, "single-worker cell rode a batch that cannot exist");
+        }
+    }
+    assert!(
+        total_group_commits > 0,
+        "no commit ever rode another leader's sync — group commit never engaged"
+    );
+
+    // The saturation cell: thousands of sessions over a small fixed core
+    // pool, in-memory log at fsync=oncommit, audited for lost/duplicate
+    // acknowledgments and serial-replay equivalence inside the driver.
+    let sessions = if strict { 16_000 } else { (scale.txns * 25).min(2_000) };
+    let sat = semcc_sim::run_saturation(&semcc_sim::SaturationParams {
+        sessions,
+        core_threads: 4,
+        n_items: 4,
+        ..Default::default()
+    })
+    .unwrap_or_else(|e| panic!("saturation audit failed: {e}"));
+    let sat_tps = sat.committed as f64 / sat.elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    t.row(vec![
+        "saturation".into(),
+        format!("{sessions}@4"),
+        "oncommit".into(),
+        fmt_f(sat_tps),
+        sat.fsyncs.to_string(),
+        sat.group_commits.to_string(),
+        format!("peak {}", sat.peak_in_flight),
+    ]);
+    assert_eq!(sat.committed + sat.failed, sessions as u64);
+
+    let gate_ratio = 0.5;
+    let high_mpl_ok = ratios.iter().filter(|(w, _)| *w >= 64).all(|(_, r)| *r >= gate_ratio);
+    let pass = if strict {
+        assert!(
+            high_mpl_ok,
+            "durable throughput not within 2x of fsync=never at >=64 workers: {ratios:?}"
+        );
+        assert!(
+            sat.peak_in_flight >= 10_000,
+            "saturation cell never reached 10k in-flight sessions (peak {})",
+            sat.peak_in_flight
+        );
+        true
+    } else {
+        high_mpl_ok && total_group_commits > 0
+    };
+
+    let ratio_rows: Vec<String> = ratios
+        .iter()
+        .map(|(w, r)| format!("{{\"workers\":{w},\"oncommit_over_never\":{r:.3}}}"))
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"group_commit\",\"mode\":\"{}\",\
+         \"gate\":{{\"min_oncommit_over_never_at_64\":{gate_ratio},\
+         \"min_peak_in_flight\":10000,\"lost_acks\":0,\"duplicate_acks\":0,\
+         \"scope\":\"durable B2 cell, dir-backed log, oncommit vs never; \
+         saturation cell audited by run_saturation\",\"pass\":{pass}}},\
+         \"ratios\":[{}],\"cells\":[{}],\
+         \"saturation\":{{\"sessions\":{},\"core_threads\":4,\"committed\":{},\
+         \"failed\":{},\"peak_in_flight\":{},\"fsyncs\":{},\"group_commits\":{},\
+         \"txn_per_s\":{:.1},\"elapsed_ms\":{}}}}}\n",
+        if strict { "full" } else { "quick" },
+        ratio_rows.join(","),
+        cells_json.join(","),
+        sat.sessions,
+        sat.committed,
+        sat.failed,
+        sat.peak_in_flight,
+        sat.fsyncs,
+        sat.group_commits,
+        sat_tps,
+        sat.elapsed.as_millis(),
+    );
+    (t, json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -749,6 +911,18 @@ mod tests {
         assert_eq!(text.lines().count(), 2 + 6, "{text}");
         assert!(text.contains("snapshot on"), "{text}");
         assert!(text.contains("snapshot off"), "{text}");
+    }
+
+    #[test]
+    fn b9_group_commit_smoke() {
+        let (t, json) = b9_group_commit(Scale { txns: 30 }, false);
+        let text = t.render();
+        // 4 worker counts × 2 policies + the saturation row + header + rule.
+        assert_eq!(text.lines().count(), 2 + 9, "{text}");
+        assert!(text.contains("oncommit"), "{text}");
+        assert!(text.contains("saturation"), "{text}");
+        assert!(json.contains("\"bench\":\"group_commit\""), "{json}");
+        assert!(json.contains("\"saturation\":"), "{json}");
     }
 
     #[test]

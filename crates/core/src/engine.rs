@@ -30,7 +30,7 @@ use crate::lock::SemanticLockManager;
 use crate::notify::CompletionHub;
 use crate::stats::{Stats, StatsSnapshot};
 use crate::tree::{Registry, TxnTree};
-use crate::wal::{RedoOp, WalFailMode, WalRecord, WalWriter};
+use crate::wal::{AppendInfo, RedoOp, WalFailMode, WalRecord, WalWriter};
 use parking_lot::Mutex;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use semcc_semantics::{
@@ -422,24 +422,57 @@ impl Engine {
         let Some(w) = &self.wal else { return Ok(()) };
         match w.append(&rec) {
             Ok(info) => {
-                if info.appended {
-                    Stats::bump(&self.deps.stats.wal_appends);
-                    Stats::add(&self.deps.stats.wal_bytes, info.bytes as u64);
-                }
-                if info.synced {
-                    Stats::bump(&self.deps.stats.wal_fsyncs);
-                }
-                if info.rotated {
-                    Stats::bump(&self.deps.stats.wal_segments_rotated);
-                    if let Some(j) = &self.deps.journal {
-                        j.record(JournalKind::WalRotate, 0, 0, 0, 0, info.lsn, info.bytes as u64);
-                    }
-                }
+                self.account_wal_append(info);
                 Ok(())
             }
             Err(e) => {
                 Stats::bump(&self.deps.stats.wal_io_errors);
                 Err(SemccError::Durability(e.to_string()))
+            }
+        }
+    }
+
+    /// Commit-record append that draws the commit-order number under the
+    /// log's state lock (see [`WalWriter::append_commit`]): ascending LSN
+    /// then implies ascending `commit_seq`, so snapshot-read validation
+    /// order equals durable commit order even when a group-commit batch
+    /// wakes its members out of append order.
+    fn wal_append_commit(&self, rec: WalRecord) -> Result<u64> {
+        let Some(w) = &self.wal else {
+            return Ok(self.commit_seq.fetch_add(1, Ordering::SeqCst) + 1);
+        };
+        match w.append_commit(&rec, || self.commit_seq.fetch_add(1, Ordering::SeqCst) + 1) {
+            Ok((info, seq)) => {
+                self.account_wal_append(info);
+                Ok(seq)
+            }
+            Err(e) => {
+                Stats::bump(&self.deps.stats.wal_io_errors);
+                Err(SemccError::Durability(e.to_string()))
+            }
+        }
+    }
+
+    fn account_wal_append(&self, info: AppendInfo) {
+        if info.appended {
+            Stats::bump(&self.deps.stats.wal_appends);
+            Stats::add(&self.deps.stats.wal_bytes, info.bytes as u64);
+        }
+        if info.synced {
+            Stats::bump(&self.deps.stats.wal_fsyncs);
+        }
+        if info.durable && !info.synced {
+            // A group-commit follower: durable on the back of a
+            // concurrent leader's single fsync.
+            Stats::bump(&self.deps.stats.wal_group_commits);
+            if let Some(j) = &self.deps.journal {
+                j.record(JournalKind::GroupCommit, 0, 0, 0, 0, info.lsn, 0);
+            }
+        }
+        if info.rotated {
+            Stats::bump(&self.deps.stats.wal_segments_rotated);
+            if let Some(j) = &self.deps.journal {
+                j.record(JournalKind::WalRotate, 0, 0, 0, 0, info.lsn, info.bytes as u64);
             }
         }
     }
@@ -758,15 +791,36 @@ impl Engine {
         result
     }
 
-    /// Jittered exponential backoff, seeded by the aborted attempt's
-    /// `TopId`: deterministic for a given id sequence (reproducible tests),
-    /// yet decorrelated across competing transactions.
-    fn retry_backoff(&self, top: TopId, attempt: u32) {
-        let mut rng = StdRng::seed_from_u64(top.0);
-        let exp = 1u64 << attempt.min(6);
+    /// Exponential-backoff doubling stops here: shifting by more than the
+    /// attempt count's value width is undefined in release and a panic in
+    /// debug, and attempt counts run to the compensation-retry limit
+    /// (1000 by default) — far past the 63-bit shift width of `1u64 <<`.
+    const MAX_BACKOFF_SHIFT: u32 = 6;
+
+    /// Hard ceiling on any single backoff sleep, whatever the attempt
+    /// count or configured base: a budget of 1000 compensation retries
+    /// must stay in seconds, not minutes.
+    const MAX_BACKOFF: Duration = Duration::from_millis(5);
+
+    /// Jittered, capped exponential backoff: deterministic for a given
+    /// seed (reproducible tests), decorrelated across competing
+    /// transactions, and bounded for *any* `attempt` value — the exponent
+    /// saturates at [`Self::MAX_BACKOFF_SHIFT`] and the product at
+    /// [`Self::MAX_BACKOFF`].
+    fn backoff_duration(base: Duration, seed: u64, attempt: u32) -> Duration {
+        let mut rng = StdRng::seed_from_u64(seed ^ u64::from(attempt));
+        let exp = 1u64 << attempt.min(Self::MAX_BACKOFF_SHIFT);
         let jitter = 0.5 + rng.random::<f64>(); // uniform in [0.5, 1.5)
-        let sleep = self.comp_retry_backoff.as_secs_f64() * exp as f64 * jitter;
-        std::thread::sleep(Duration::from_secs_f64(sleep));
+                                                // Cap *before* jittering so saturated retries stay decorrelated
+                                                // instead of all sleeping the identical ceiling.
+        let capped = (base.as_secs_f64() * exp as f64).min(Self::MAX_BACKOFF.as_secs_f64());
+        Duration::from_secs_f64(capped * jitter)
+    }
+
+    /// Backoff before re-running an aborted attempt, seeded by its
+    /// `TopId`.
+    fn retry_backoff(&self, top: TopId, attempt: u32) {
+        std::thread::sleep(Self::backoff_duration(self.comp_retry_backoff, top.0, attempt));
     }
 
     fn commit(&self, top: TopId, shared: &Arc<TxnShared>) -> Result<u64> {
@@ -780,13 +834,17 @@ impl Engine {
         // transaction is ever acknowledged without a durable record.
         // Recovery's aliased wrappers skip this: the loser's resolution
         // is recovery's to log.
-        if shared.wal_alias.is_none() {
-            self.wal_append(WalRecord::TopCommit { top: top.0 })?;
-        }
         // Draw the commit-order number *before* releasing write intents: a
         // snapshot reader that later validates against our effects
         // (observing `writers == 0`) is then guaranteed a larger number.
-        let seq = self.commit_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        // With a log attached the number is drawn *inside* the append,
+        // under the log's state lock, so durable commit order (LSN order)
+        // and validation order agree even across a group-commit batch.
+        let seq = if shared.wal_alias.is_none() {
+            self.wal_append_commit(WalRecord::TopCommit { top: top.0 })?
+        } else {
+            self.commit_seq.fetch_add(1, Ordering::SeqCst) + 1
+        };
         self.release_write_intents(shared);
         // Release every lock first (wakes waiters into a world without our
         // entries), then mark the root committed and notify.
@@ -911,7 +969,11 @@ impl Engine {
                         if attempts < self.comp_retry_limit {
                             attempts += 1;
                             Stats::bump(&self.deps.stats.compensation_retries);
-                            std::thread::sleep(self.comp_retry_backoff);
+                            std::thread::sleep(Self::backoff_duration(
+                                self.comp_retry_backoff,
+                                shared.tree.top().0 ^ inv.object.0,
+                                attempts,
+                            ));
                             continue;
                         }
                         return Err(SemccError::CompensationFailed(format!(
@@ -935,9 +997,17 @@ impl Engine {
                         break;
                     }
                     Err(e) if e.is_retryable() && attempts < self.comp_retry_limit => {
+                        // Same seeded jittered backoff as the top-level
+                        // retry path: colliding compensations (two aborts
+                        // inverting the same object) must not retry in
+                        // lockstep under contention.
                         attempts += 1;
                         Stats::bump(&self.deps.stats.compensation_retries);
-                        std::thread::sleep(self.comp_retry_backoff);
+                        std::thread::sleep(Self::backoff_duration(
+                            self.comp_retry_backoff,
+                            shared.tree.top().0 ^ inv.object.0,
+                            attempts,
+                        ));
                     }
                     Err(e) => {
                         return Err(SemccError::CompensationFailed(format!("{inv}: {e}")));
@@ -1598,5 +1668,47 @@ impl MethodContext for SnapshotCtx<'_> {
 
     fn catalog(&self) -> &Catalog {
         &self.engine.catalog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite regression (PR 8): the exponential factor is a shift of
+    /// the attempt count. Attempt counts at or beyond the shift width
+    /// (the compensation-retry budget defaults to 1000) must neither
+    /// panic nor overflow into a zero/huge sleep — the exponent saturates
+    /// and the sleep is hard-capped.
+    #[test]
+    fn backoff_saturates_at_high_attempt_counts() {
+        let base = Duration::from_micros(200);
+        let ceiling = Duration::from_secs_f64(Engine::MAX_BACKOFF.as_secs_f64() * 1.5);
+        for attempt in [0, 1, Engine::MAX_BACKOFF_SHIFT, 63, 64, 65, 1000, u32::MAX] {
+            let d = Engine::backoff_duration(base, 7, attempt);
+            assert!(d > Duration::ZERO, "attempt {attempt}: zero sleep");
+            assert!(d <= ceiling, "attempt {attempt}: {d:?} above the jittered ceiling");
+        }
+        // Saturation: every attempt past the shift cap draws from the
+        // same (capped) base, so only the jitter differs.
+        let lo = Duration::from_secs_f64(Engine::MAX_BACKOFF.as_secs_f64() * 0.5);
+        let d = Engine::backoff_duration(base, 7, u32::MAX);
+        assert!(d >= lo, "saturated backoff stays near the ceiling, got {d:?}");
+    }
+
+    /// The backoff stays deterministic per (seed, attempt) yet
+    /// decorrelated across seeds — colliding compensations must not
+    /// retry in lockstep.
+    #[test]
+    fn backoff_is_seeded_and_decorrelated() {
+        let base = Duration::from_micros(200);
+        assert_eq!(
+            Engine::backoff_duration(base, 42, 3),
+            Engine::backoff_duration(base, 42, 3),
+            "same seed and attempt must reproduce"
+        );
+        let distinct: std::collections::BTreeSet<Duration> =
+            (0..16).map(|seed| Engine::backoff_duration(base, seed, 3)).collect();
+        assert!(distinct.len() > 8, "seeds must spread the jitter: {distinct:?}");
     }
 }

@@ -88,6 +88,9 @@ pub enum JournalKind {
     /// The WAL rotated to a fresh segment (`key` = first LSN of the new
     /// segment).
     WalRotate = 21,
+    /// A commit became durable as a group-commit follower — covered by a
+    /// concurrent leader's fsync (`key` = the commit record's LSN).
+    GroupCommit = 22,
 }
 
 impl JournalKind {
@@ -116,11 +119,12 @@ impl JournalKind {
             JournalKind::CheckpointBegin => "checkpoint_begin",
             JournalKind::CheckpointEnd => "checkpoint_end",
             JournalKind::WalRotate => "wal_rotate",
+            JournalKind::GroupCommit => "group_commit",
         }
     }
 
     /// Every kind, in wire order.
-    pub const ALL: [JournalKind; 22] = [
+    pub const ALL: [JournalKind; 23] = [
         JournalKind::LockRequest,
         JournalKind::LockGrant,
         JournalKind::LockWait,
@@ -143,6 +147,7 @@ impl JournalKind {
         JournalKind::CheckpointBegin,
         JournalKind::CheckpointEnd,
         JournalKind::WalRotate,
+        JournalKind::GroupCommit,
     ];
 
     fn from_u64(v: u64) -> Option<JournalKind> {

@@ -154,6 +154,10 @@ counters! {
     /// Recovery passes that found a prior pass's progress in the log
     /// (crash mid-recovery, recovered again).
     rerecoveries,
+    /// Commits made durable by a concurrent group-commit leader's fsync
+    /// rather than their own (batching wins; `wal_fsyncs` counts the
+    /// leaders).
+    wal_group_commits,
 }
 
 impl Stats {

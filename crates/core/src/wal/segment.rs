@@ -28,7 +28,7 @@
 use super::checkpoint::{decode_checkpoint, encode_checkpoint, fold, CheckpointImage};
 use super::{encode_frame, read_log_from, read_log_verified, WalError, WalRecord};
 use crate::fault::{CrashPoint, FaultPlan, IoFaultPoint};
-use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard};
 use semcc_semantics::StoreDump;
 use std::collections::BTreeMap;
 use std::io::Write as _;
@@ -96,8 +96,14 @@ pub struct AppendInfo {
     /// The record was accepted into the log (false once the injected
     /// crash killed the device — a dead machine drops writes silently).
     pub appended: bool,
-    /// An fsync made the buffer durable as part of this append.
+    /// An fsync made the buffer durable as part of this append (this
+    /// call itself paid for the device sync — it was the batch leader,
+    /// or the policy syncs inline).
     pub synced: bool,
+    /// This record is proven durable. Implied by `synced`; additionally
+    /// true for a group-commit *follower* whose frame was inside the
+    /// byte range a concurrent leader's single fsync covered.
+    pub durable: bool,
     /// The record's LSN (meaningless when not appended).
     pub lsn: u64,
     /// This append sealed the active segment and opened a new one.
@@ -145,11 +151,17 @@ struct Segment {
     durable: Vec<u8>,
     /// Appended but not yet synced bytes (lost on crash).
     buffer: Vec<u8>,
+    /// Prefix of `durable` already written to the backing file (dir-backed
+    /// logs only). `durable` never shrinks, so each sync writes just the
+    /// delta — without this a sync would rewrite every live segment in
+    /// full, making the per-commit cost grow with the log instead of with
+    /// the batch.
+    persisted: usize,
 }
 
 impl Segment {
     fn fresh(seq: u64, base_lsn: u64) -> Self {
-        Segment { seq, base_lsn, durable: Vec::new(), buffer: Vec::new() }
+        Segment { seq, base_lsn, durable: Vec::new(), buffer: Vec::new(), persisted: 0 }
     }
 
     fn len(&self) -> usize {
@@ -165,6 +177,42 @@ impl Segment {
     }
 }
 
+/// Shared state of the group-commit barrier. Committers under
+/// [`FsyncPolicy::OnCommit`] append their resolution frame, then rendezvous
+/// here: whoever finds no leader in flight elects itself, performs **one**
+/// fsync covering every byte appended so far, and wakes the parked
+/// followers whose frames that sync covered. A failed fsync fails the
+/// *whole* batch typed (fsyncgate extended to batches — no partial acks),
+/// and a simulated crash silently un-acknowledges it.
+struct GroupState {
+    /// Exclusive upper bound of proven-durable LSNs: a waiter whose
+    /// `lsn < durable_lsn` is durably committed and may return.
+    durable_lsn: u64,
+    /// A leader is currently syncing (elected under this lock, syncs
+    /// outside it under the writer state lock).
+    leader: bool,
+    /// Terminal: an fsync failed (or found the log poisoned); every
+    /// non-durable waiter — present and future — fails with this error.
+    failed: Option<WalError>,
+    /// Terminal: the simulated crash fired; every non-durable waiter
+    /// returns un-acknowledged, exactly as a dead machine would.
+    dead: bool,
+    /// Follower acknowledgments: commits that became durable without
+    /// paying for their own fsync.
+    group_commits: u64,
+}
+
+/// What the elected leader's sync attempt produced, carried from the
+/// writer state lock back under the group lock for publication.
+enum LeaderOutcome {
+    /// One fsync covered every LSN below this bound.
+    Synced(u64),
+    /// The simulated crash fired (before or during the sync).
+    Dead,
+    /// The sync failed or the log was already poisoned.
+    Failed(WalError),
+}
+
 struct WriterState {
     /// Live segments, seq-ascending; the last one is active.
     segments: Vec<Segment>,
@@ -173,6 +221,10 @@ struct WriterState {
     truncated: Vec<Segment>,
     /// Latest durable checkpoint image.
     checkpoint: Option<Vec<u8>>,
+    /// The checkpoint image has reached the backing directory (dir-backed
+    /// logs only): it is immutable once taken, so it is written once, not
+    /// on every sync.
+    checkpoint_persisted: bool,
     next_lsn: u64,
     next_seq: u64,
     /// Crash simulation killed the device (appends drop silently).
@@ -204,6 +256,12 @@ pub struct WalWriter {
     faults: Option<Arc<FaultPlan>>,
     dir: Option<PathBuf>,
     state: Mutex<WriterState>,
+    /// The group-commit barrier (leader election + follower parking).
+    /// Lock order: `state` → `group` is allowed (appends take `state`,
+    /// drop it, then park on `group`); a leader holds `group` only to
+    /// elect/publish, never while holding `state`.
+    group: Mutex<GroupState>,
+    group_cv: Condvar,
     /// The apply/append-vs-checkpoint barrier (module docs).
     barrier: RwLock<()>,
     /// Set while a recovery pass drives this writer, so
@@ -227,6 +285,7 @@ impl WalWriter {
                 segments: vec![Segment::fresh(0, 0)],
                 truncated: Vec::new(),
                 checkpoint: None,
+                checkpoint_persisted: false,
                 next_lsn: 0,
                 next_seq: 1,
                 dead: false,
@@ -239,6 +298,14 @@ impl WalWriter {
                 checkpoints: 0,
                 bytes_since_checkpoint: 0,
             }),
+            group: Mutex::new(GroupState {
+                durable_lsn: 0,
+                leader: false,
+                failed: None,
+                dead: false,
+                group_commits: 0,
+            }),
+            group_cv: Condvar::new(),
             barrier: RwLock::new(()),
             recovery_mode: AtomicBool::new(false),
         }
@@ -314,6 +381,7 @@ impl WalWriter {
                     base_lsn: s.base_lsn,
                     durable: s.bytes[..valid].to_vec(),
                     buffer: Vec::new(),
+                    persisted: 0,
                 }
             })
             .collect();
@@ -375,17 +443,58 @@ impl WalWriter {
     /// Failure surface: a crash-simulation death yields
     /// `Ok(appended: false)` (silent, like a dead machine); a poisoned or
     /// injected-faulty device yields a typed [`WalError`].
+    ///
+    /// Under [`FsyncPolicy::OnCommit`], a `TopCommit`/`TopAbort` append
+    /// does **not** pay for its own fsync unconditionally: it joins the
+    /// group-commit barrier, where one elected leader syncs the whole
+    /// batch (see [`GroupState`]). The call returns only once the record
+    /// is proven durable (`durable: true`), the simulated machine died
+    /// (`durable: false`, silent), or the sync failed (typed `Err` for
+    /// the entire batch).
     pub fn append(&self, rec: &WalRecord) -> Result<AppendInfo, WalError> {
-        let mut st = self.state.lock();
-        let st = &mut *st;
+        self.append_inner(rec, None).map(|(info, _)| info)
+    }
+
+    /// [`WalWriter::append`] for commit records that must draw a
+    /// commit-sequence number in **log order**: `seq` is invoked exactly
+    /// once, under the writer state lock, immediately after the record
+    /// receives its LSN — so ascending LSN implies ascending sequence
+    /// number, and snapshot-read validation order equals durable commit
+    /// order even when a group batch reorders wakeups. The hook also runs
+    /// on the silent dead-device path (the engine still resolves the
+    /// transaction locally); it does **not** run when the append fails
+    /// typed, since the commit is then never acknowledged.
+    pub fn append_commit(
+        &self,
+        rec: &WalRecord,
+        seq: impl FnOnce() -> u64,
+    ) -> Result<(AppendInfo, u64), WalError> {
+        let mut seq = Some(seq);
+        let mut hook = move || (seq.take().expect("seq hook runs once"))();
+        self.append_inner(rec, Some(&mut hook))
+            .map(|(info, seq)| (info, seq.expect("commit append draws a sequence number")))
+    }
+
+    fn append_inner(
+        &self,
+        rec: &WalRecord,
+        mut seq_hook: Option<&mut dyn FnMut() -> u64>,
+    ) -> Result<(AppendInfo, Option<u64>), WalError> {
+        let mut guard = self.state.lock();
+        let st = &mut *guard;
         if st.dead {
-            return Ok(AppendInfo {
-                appended: false,
-                synced: false,
-                lsn: st.next_lsn,
-                rotated: false,
-                bytes: 0,
-            });
+            let seq = seq_hook.as_mut().map(|h| h());
+            return Ok((
+                AppendInfo {
+                    appended: false,
+                    synced: false,
+                    durable: false,
+                    lsn: st.next_lsn,
+                    rotated: false,
+                    bytes: 0,
+                },
+                seq,
+            ));
         }
         if st.poisoned.is_some() {
             // The original cause is kept in `poisoned()`; later appends
@@ -433,13 +542,18 @@ impl WalWriter {
                 for seg in &mut st.segments {
                     seg.buffer.clear();
                 }
-                return Ok(AppendInfo {
-                    appended: false,
-                    synced: false,
-                    lsn: st.next_lsn,
-                    rotated: false,
-                    bytes: 0,
-                });
+                let seq = seq_hook.as_mut().map(|h| h());
+                return Ok((
+                    AppendInfo {
+                        appended: false,
+                        synced: false,
+                        durable: false,
+                        lsn: st.next_lsn,
+                        rotated: false,
+                        bytes: 0,
+                    },
+                    seq,
+                ));
             }
         }
         let io = self.faults.as_ref().and_then(|p| p.io());
@@ -485,20 +599,96 @@ impl WalWriter {
         active.buffer.extend_from_slice(&frame);
         st.next_lsn += 1;
         st.bytes_since_checkpoint += bytes;
-        let want_sync = match self.policy {
-            FsyncPolicy::EveryAppend => true,
-            FsyncPolicy::OnCommit => {
-                matches!(rec, WalRecord::TopCommit { .. } | WalRecord::TopAbort { .. })
-            }
-            FsyncPolicy::Never => false,
-        };
-        let synced = if want_sync { self.sync_locked(st)? } else { false };
+        // Commit-sequence linearization point: the record holds its LSN
+        // and the state lock serializes us against every other append, so
+        // drawing the number here makes LSN order == sequence order.
+        let seq = seq_hook.as_mut().map(|h| h());
+        let group_wait = self.policy == FsyncPolicy::OnCommit
+            && matches!(rec, WalRecord::TopCommit { .. } | WalRecord::TopAbort { .. });
+        let synced =
+            if self.policy == FsyncPolicy::EveryAppend { self.sync_locked(st)? } else { false };
         let mut rotated = false;
         if !st.dead && st.segments.last().expect("active").len() >= self.config.segment_bytes {
             self.rotate_locked(st);
             rotated = true;
         }
-        Ok(AppendInfo { appended: true, synced, lsn, rotated, bytes })
+        drop(guard);
+        if group_wait {
+            let (synced, durable) = self.commit_barrier(lsn)?;
+            return Ok((AppendInfo { appended: true, synced, durable, lsn, rotated, bytes }, seq));
+        }
+        Ok((AppendInfo { appended: true, synced, durable: synced, lsn, rotated, bytes }, seq))
+    }
+
+    /// Park on the group-commit barrier until the record at `lsn` is
+    /// proven durable. Returns `(synced, durable)`: the leader that paid
+    /// for the batch's fsync reports `(true, true)`, a follower covered
+    /// by it `(false, true)`, and a simulated-crash batch `(false, false)`
+    /// (silently un-acknowledged, like any dead-device append). A failed
+    /// or poisoned sync fails every waiter in the batch typed.
+    fn commit_barrier(&self, lsn: u64) -> Result<(bool, bool), WalError> {
+        let mut g = self.group.lock();
+        loop {
+            // Durability first: a record synced before a *later* failure
+            // is still a valid acknowledgment.
+            if lsn < g.durable_lsn {
+                g.group_commits += 1;
+                return Ok((false, true));
+            }
+            if let Some(err) = &g.failed {
+                return Err(err.clone());
+            }
+            if g.dead {
+                return Ok((false, false));
+            }
+            if !g.leader {
+                g.leader = true;
+                drop(g);
+                // Sync under the writer state lock (no group lock held —
+                // new appenders keep making progress into the *next*
+                // batch's buffer while we publish below).
+                let outcome = {
+                    let mut st = self.state.lock();
+                    if st.dead {
+                        LeaderOutcome::Dead
+                    } else if st.poisoned.is_some() {
+                        // Poisoned between our append and our election
+                        // (another append or a checkpoint): our buffered
+                        // bytes are part of the unknowable loss.
+                        LeaderOutcome::Failed(WalError::Poisoned)
+                    } else {
+                        // Every LSN below this bound is buffered or
+                        // durable right now; one sync covers them all.
+                        let covered_end = st.next_lsn;
+                        match self.sync_locked(&mut st) {
+                            Ok(true) => LeaderOutcome::Synced(covered_end),
+                            Ok(false) => LeaderOutcome::Dead,
+                            Err(e) => LeaderOutcome::Failed(e),
+                        }
+                    }
+                };
+                g = self.group.lock();
+                g.leader = false;
+                let verdict = match &outcome {
+                    LeaderOutcome::Synced(end) => {
+                        g.durable_lsn = g.durable_lsn.max(*end);
+                        debug_assert!(lsn < g.durable_lsn, "leader's own frame inside its sync");
+                        Ok((true, true))
+                    }
+                    LeaderOutcome::Dead => {
+                        g.dead = true;
+                        Ok((false, false))
+                    }
+                    LeaderOutcome::Failed(e) => {
+                        g.failed = Some(e.clone());
+                        Err(e.clone())
+                    }
+                };
+                self.group_cv.notify_all();
+                return verdict;
+            }
+            self.group_cv.wait(&mut g);
+        }
     }
 
     /// Force buffered appends to durable storage. Returns `false` once
@@ -593,6 +783,7 @@ impl WalWriter {
             }
         }
         st.checkpoint = Some(image);
+        st.checkpoint_persisted = false;
         // The checkpoint declares the log durable up to cp_lsn: flush.
         for seg in &mut st.segments {
             let buffered = std::mem::take(&mut seg.buffer);
@@ -667,15 +858,30 @@ impl WalWriter {
         Ok(true)
     }
 
-    /// Persist durable bytes to the backing directory, if any. Real file
-    /// I/O errors are typed, surfaced, and poison the log at the caller.
-    fn sync_dir(&self, st: &WriterState) -> Result<(), WalError> {
+    /// Persist newly-durable bytes to the backing directory, if any.
+    /// Incremental: `durable` never shrinks, so each segment file is
+    /// appended with just the delta since the last successful sync, and
+    /// the (immutable) checkpoint image is written once — the cost of a
+    /// sync is proportional to the batch it covers, not to the size of
+    /// the live log. Real file I/O errors are typed, surfaced, and poison
+    /// the log at the caller.
+    fn sync_dir(&self, st: &mut WriterState) -> Result<(), WalError> {
         let Some(dir) = &self.dir else { return Ok(()) };
-        for seg in &st.segments {
-            write_file(&dir.join(segment_file_name(seg.seq)), &seg.durable)?;
-        }
         if let Some(cp) = &st.checkpoint {
-            write_file(&dir.join("checkpoint.img"), cp)?;
+            if !st.checkpoint_persisted {
+                write_file(&dir.join("checkpoint.img"), cp)?;
+                st.checkpoint_persisted = true;
+            }
+        }
+        for seg in &mut st.segments {
+            if seg.persisted < seg.durable.len() {
+                append_file(
+                    &dir.join(segment_file_name(seg.seq)),
+                    seg.persisted as u64,
+                    &seg.durable[seg.persisted..],
+                )?;
+                seg.persisted = seg.durable.len();
+            }
         }
         Ok(())
     }
@@ -699,6 +905,14 @@ impl WalWriter {
     /// fsyncs issued so far (including the one the crash interrupted).
     pub fn fsyncs(&self) -> u64 {
         self.state.lock().fsyncs
+    }
+
+    /// Group-commit follower acknowledgments so far: resolution records
+    /// proven durable by a concurrent leader's fsync rather than their
+    /// own. `fsyncs()` + `group_commits()` ≈ resolved commits under
+    /// [`FsyncPolicy::OnCommit`]; the ratio is the batching win.
+    pub fn group_commits(&self) -> u64 {
+        self.group.lock().group_commits
     }
 
     /// Checkpoints attempted so far.
@@ -774,6 +988,25 @@ fn write_file(path: &Path, bytes: &[u8]) -> Result<(), WalError> {
     let io_err =
         |what: &str, e: std::io::Error| WalError::Io(format!("{what} {}: {e}", path.display()));
     let mut f = std::fs::File::create(path).map_err(|e| io_err("create", e))?;
+    f.write_all(bytes).map_err(|e| io_err("write", e))?;
+    f.sync_data().map_err(|e| io_err("fsync", e))?;
+    Ok(())
+}
+
+/// Write `bytes` at `offset` and fsync. `offset` is always the current
+/// length of the file (the persisted prefix of the segment), so this is
+/// an append that never rewrites already-durable bytes.
+fn append_file(path: &Path, offset: u64, bytes: &[u8]) -> Result<(), WalError> {
+    use std::io::{Seek, SeekFrom};
+    let io_err =
+        |what: &str, e: std::io::Error| WalError::Io(format!("{what} {}: {e}", path.display()));
+    let mut f = std::fs::OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)
+        .map_err(|e| io_err("open", e))?;
+    f.seek(SeekFrom::Start(offset)).map_err(|e| io_err("seek", e))?;
     f.write_all(bytes).map_err(|e| io_err("write", e))?;
     f.sync_data().map_err(|e| io_err("fsync", e))?;
     Ok(())
@@ -1060,6 +1293,125 @@ mod tests {
         let parsed = read_image(&after).unwrap();
         assert_eq!(parsed.checkpoint.unwrap().cp_lsn, 4);
         assert_eq!(parsed.records.len(), recs.len() - 4);
+    }
+
+    #[test]
+    fn group_commit_acknowledges_every_committer_with_bounded_fsyncs() {
+        const THREADS: usize = 8;
+        const COMMITS_PER_THREAD: u64 = 4;
+        let w = WalWriter::new(FsyncPolicy::OnCommit);
+        let start = std::sync::Barrier::new(THREADS);
+        std::thread::scope(|s| {
+            for t in 0..THREADS as u64 {
+                let w = &w;
+                let start = &start;
+                s.spawn(move || {
+                    start.wait();
+                    for i in 0..COMMITS_PER_THREAD {
+                        let info = w
+                            .append(&WalRecord::TopCommit { top: t * 100 + i })
+                            .expect("healthy log");
+                        // Both roles are legal here: leaders report
+                        // `synced`, followers only `durable`.
+                        assert!(info.appended && info.durable, "ack implies durable");
+                    }
+                });
+            }
+        });
+        let total = THREADS as u64 * COMMITS_PER_THREAD;
+        // Every commit was either a leader (paid an fsync) or a follower
+        // (counted as a group commit) — exactly once each.
+        assert_eq!(w.fsyncs() + w.group_commits(), total);
+        assert!(w.fsyncs() >= 1);
+        assert!(w.fsyncs() <= total);
+        let parsed = read_image(&w.surviving_image()).unwrap();
+        assert_eq!(parsed.records.len(), total as usize);
+    }
+
+    #[test]
+    fn single_threaded_commits_always_lead_their_own_batch() {
+        // Backward compatibility: with no concurrency there is no batch,
+        // so every resolution record pays its own fsync and reports
+        // `synced` — the pre-group-commit contract.
+        let w = WalWriter::new(FsyncPolicy::OnCommit);
+        for top in 0..3 {
+            let info = w.append(&WalRecord::TopCommit { top }).unwrap();
+            assert!(info.synced && info.durable);
+        }
+        assert_eq!(w.fsyncs(), 3);
+        assert_eq!(w.group_commits(), 0);
+    }
+
+    #[test]
+    fn fsync_failure_fails_the_whole_batch_typed_with_no_partial_acks() {
+        const THREADS: usize = 6;
+        let w = WalWriter::with_config_and_faults(
+            FsyncPolicy::OnCommit,
+            WalConfig::default(),
+            plan_io(IoFaultPoint::FsyncError { nth: 1 }),
+        );
+        let start = std::sync::Barrier::new(THREADS);
+        let failures = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..THREADS as u64 {
+                let (w, start, failures) = (&w, &start, &failures);
+                s.spawn(move || {
+                    start.wait();
+                    // The very first leader sync fails: every committer in
+                    // the batch — and every later one, the log being
+                    // poisoned — must fail *typed*, none acknowledged.
+                    let err = w.append(&WalRecord::TopCommit { top: t }).unwrap_err();
+                    assert!(
+                        matches!(err, WalError::Io(_) | WalError::Poisoned),
+                        "typed batch failure, got {err:?}"
+                    );
+                    failures.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(failures.load(Ordering::Relaxed), THREADS as u64);
+        assert!(w.poisoned().is_some());
+        assert_eq!(w.group_commits(), 0, "no follower was ever acknowledged");
+        // Nothing reached durable storage: the surviving (durable-only,
+        // because poisoned) image is empty.
+        let parsed = read_image(&w.surviving_image()).unwrap();
+        assert_eq!(parsed.records.len(), 0, "zero acked-but-lost records");
+    }
+
+    #[test]
+    fn commit_seq_hook_runs_in_lsn_order_across_racing_committers() {
+        use std::sync::atomic::AtomicU64;
+        const THREADS: usize = 8;
+        let w = WalWriter::new(FsyncPolicy::OnCommit);
+        let seq = AtomicU64::new(0);
+        let pairs = Mutex::new(Vec::new());
+        let start = std::sync::Barrier::new(THREADS);
+        std::thread::scope(|s| {
+            for t in 0..THREADS as u64 {
+                let (w, seq, pairs, start) = (&w, &seq, &pairs, &start);
+                s.spawn(move || {
+                    start.wait();
+                    for i in 0..4 {
+                        let (info, n) = w
+                            .append_commit(&WalRecord::TopCommit { top: t * 100 + i }, || {
+                                seq.fetch_add(1, Ordering::SeqCst) + 1
+                            })
+                            .unwrap();
+                        pairs.lock().push((info.lsn, n));
+                    }
+                });
+            }
+        });
+        let mut pairs = pairs.into_inner();
+        pairs.sort_unstable();
+        for win in pairs.windows(2) {
+            assert!(
+                win[0].1 < win[1].1,
+                "LSN order must equal commit-seq order: {:?} then {:?}",
+                win[0],
+                win[1]
+            );
+        }
     }
 
     #[test]

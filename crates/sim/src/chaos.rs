@@ -574,7 +574,7 @@ impl TortureReport {
 }
 
 /// Winners (`TopCommit` tops) of a log image, in commit order.
-fn image_winners(image: &LogImage) -> Vec<u64> {
+pub(crate) fn image_winners(image: &LogImage) -> Vec<u64> {
     match read_image(image) {
         Ok(parsed) => parsed
             .records
@@ -880,6 +880,18 @@ pub fn run_checkpoint_parity(params: &TortureParams) -> Result<(), String> {
 /// not durable, and the *live* store equals the serial replay of exactly
 /// the acknowledged transactions (failed commits were compensated).
 pub fn run_fsync_failure(seed: u64, txns: usize, nth: u64) -> Result<(), String> {
+    run_fsync_failure_at(seed, txns, nth, 4)
+}
+
+/// [`run_fsync_failure`] with an explicit worker count: at ≥16 workers the
+/// failing fsync is a group-commit *batch* leader's, so the audit also
+/// proves that no follower in the failed batch was acknowledged.
+pub fn run_fsync_failure_at(
+    seed: u64,
+    txns: usize,
+    nth: u64,
+    workers: usize,
+) -> Result<(), String> {
     silence_injected_panics();
     let db_params = DbParams { n_items: 4, orders_per_item: 4, ..Default::default() };
     let db = Database::build(&db_params).expect("database build");
@@ -900,28 +912,30 @@ pub fn run_fsync_failure(seed: u64, txns: usize, nth: u64) -> Result<(), String>
     let out = run_workload(
         &engine,
         batch,
-        &RunParams { workers: 4, max_retries: 50, record_outcomes: true, ..Default::default() },
+        &RunParams { workers, max_retries: 50, record_outcomes: true, ..Default::default() },
     );
     if wal.poisoned().is_none() {
         return Err("the fsync fault never fired — nothing audited".into());
     }
     let durable: std::collections::HashSet<u64> =
         image_winners(&wal.surviving_image()).into_iter().collect();
-    // Pure readers commit through the lock-free snapshot path and write no
-    // log record — durability is only promised to updaters.
+    // Snapshot readers write no log record — durability is only promised
+    // to locking-path commits. A reader that fails snapshot validation
+    // falls back to the locking path and logs a `TopCommit` like any
+    // updater, so the audit keys on the path taken, not on the spec.
     let acked: Vec<&crate::executor::CommittedTxn> =
-        out.committed.iter().filter(|c| c.spec.is_update()).collect();
+        out.committed.iter().filter(|c| !c.snapshot).collect();
     for c in &acked {
         if !durable.contains(&c.top.0) {
             return Err(format!(
-                "update transaction {} was acknowledged but its commit record is not durable",
+                "transaction {} was acknowledged but its commit record is not durable",
                 c.top.0
             ));
         }
     }
     if durable.len() != acked.len() {
         return Err(format!(
-            "durable winners ({}) != acknowledged update transactions ({})",
+            "durable winners ({}) != acknowledged locking-path commits ({})",
             durable.len(),
             acked.len()
         ));
@@ -1058,11 +1072,12 @@ mod tests {
 
     #[test]
     fn torture_chain_with_checkpointing_converges() {
+        let params_chain = 3usize;
         let report = run_torture(&TortureParams {
             seed: 5,
             txns: 120,
             checkpoint: true,
-            chain: 3,
+            chain: params_chain,
             // Late crash so the checkpoint cadence fires before the log
             // device dies — otherwise the run never checkpoints and the
             // test degenerates to the plain torture chain.
@@ -1071,7 +1086,17 @@ mod tests {
         });
         assert!(report.crashed, "{report:?}");
         assert!(report.checkpoints_taken > 0, "the run must checkpoint: {report:?}");
-        assert_eq!(report.mid_crashes, 2, "{report:?}");
+        // A non-final pass only crashes if its shifting `AtRecoveryAppend`
+        // ordinal lands inside its own progress log, whose length is the
+        // number of loser-compensation records — a function of thread
+        // scheduling in the pre-crash run. Demanding *every* non-final
+        // pass crash made this test flake; the chain's soundness claims
+        // need at least one crashed pass plus a detected re-recovery.
+        assert!(
+            (1..params_chain).contains(&report.mid_crashes),
+            "at least one mid-recovery crash: {report:?}"
+        );
+        assert!(report.rerecovery_detected, "{report:?}");
         assert!(report.sound(), "{report:?}");
     }
 

@@ -29,20 +29,22 @@ pub mod chaos;
 pub mod executor;
 pub mod metrics;
 pub mod protocols;
+pub mod saturate;
 pub mod scenario;
 pub mod treeview;
 pub mod validate;
 
 pub use chaos::{
     crash_mixes, crash_points, fault_mixes, run_chaos, run_checkpoint_parity, run_crash_recover,
-    run_fsync_failure, run_torture, ChaosParams, ChaosReport, CrashParams, CrashReport,
-    TortureParams, TortureReport,
+    run_fsync_failure, run_fsync_failure_at, run_torture, ChaosParams, ChaosReport, CrashParams,
+    CrashReport, TortureParams, TortureReport,
 };
 pub use executor::{run_workload, CommittedTxn, LockTableSample, RunOutcome, RunParams};
 pub use metrics::RunMetrics;
 pub use protocols::{
     build_engine, build_engine_cfg, build_engine_full, build_engine_observed, ProtocolKind,
 };
+pub use saturate::{run_saturation, SaturationParams, SaturationReport};
 pub use scenario::Gate;
 pub use treeview::TreeView;
 pub use validate::{

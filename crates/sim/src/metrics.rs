@@ -223,6 +223,7 @@ mod tests {
         semcc_core::Stats::add(&stats_src.wal_bytes, 8192);
         semcc_core::Stats::add(&stats_src.wal_io_errors, 2);
         semcc_core::Stats::bump(&stats_src.rerecoveries);
+        semcc_core::Stats::add(&stats_src.wal_group_commits, 29);
         RunMetrics {
             protocol: "semantic".into(),
             workers: 8,
@@ -299,6 +300,8 @@ mod tests {
         assert_eq!(parsed.stats.wal_bytes, 8192);
         assert_eq!(parsed.stats.wal_io_errors, 2);
         assert_eq!(parsed.stats.rerecoveries, 1);
+        assert!(json.contains("\"wal_group_commits\":29"), "{json}");
+        assert_eq!(parsed.stats.wal_group_commits, 29);
     }
 
     #[test]
@@ -352,6 +355,7 @@ mod tests {
         assert!(text.contains("semcc_stats_wal_bytes_total"));
         assert!(text.contains("semcc_stats_wal_io_errors_total"));
         assert!(text.contains("semcc_stats_rerecoveries_total"));
+        assert!(text.contains("semcc_stats_wal_group_commits_total"));
         assert!(text
             .contains("semcc_stats_snapshot_reads_total{protocol=\"semantic\",workers=\"8\"} 42"));
         assert!(text.contains("semcc_stats_read_validations_total"));

@@ -19,7 +19,7 @@ use semcc::semantics::{MethodContext, SemccError, Storage, Value};
 use semcc::sim::scenario::Gate;
 use semcc::sim::{
     crash_mixes, crash_points, run_checkpoint_parity, run_crash_recover, run_fsync_failure,
-    run_torture, CrashParams, CrashReport, TortureParams, TortureReport,
+    run_fsync_failure_at, run_torture, CrashParams, CrashReport, TortureParams, TortureReport,
 };
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -151,6 +151,49 @@ fn fsync_failure_acknowledgement_audit_across_seeds() {
         run_fsync_failure(seed, 40, nth)
             .unwrap_or_else(|e| panic!("fsync audit seed {seed} nth {nth}: {e}"));
     }
+}
+
+/// Batch fsyncgate: with 16 workers the failing fsync belongs to a
+/// group-commit *leader*, so the poisoned sync covers a whole batch of
+/// parked followers. The audit inside [`run_fsync_failure_at`] proves no
+/// member of the failed batch — leader or follower — was acknowledged
+/// without a durable commit record, and that the live store equals the
+/// serial replay of exactly the acknowledged set.
+#[test]
+fn fsync_failure_in_a_group_commit_batch_leaves_no_partial_acks() {
+    for (seed, nth) in [(13, 4), (29, 8), (41, 2)] {
+        run_fsync_failure_at(seed, 60, nth, 16)
+            .unwrap_or_else(|e| panic!("batch fsync audit seed {seed} nth {nth}: {e}"));
+    }
+}
+
+/// Torn tail *inside a group-commit batch*: under `OnCommit` the torn
+/// frame can sit in the middle of a batch whose later members the process
+/// saw acknowledged. Recovery must truncate the tear and converge to the
+/// committed-prefix serial replay — and across the seed sweep the crash
+/// must actually fire and actually erase acknowledged work, or the test
+/// proves nothing.
+#[test]
+fn torn_tail_inside_a_group_commit_batch_recovers_sound() {
+    let (mut crashes, mut erased) = (0u32, 0u32);
+    for seed in 1..=6 {
+        let label = format!("torn-batch/seed{seed}");
+        let report = run_guarded(
+            label.clone(),
+            CrashParams {
+                seed,
+                workers: 8,
+                faults: FaultSpec::default().with_crash(CrashPoint::TornTail { nth: 40, keep: 5 }),
+                fsync: FsyncPolicy::OnCommit,
+                ..Default::default()
+            },
+        );
+        assert!(report.sound(), "{label}: recovery unsound: {report:?}");
+        crashes += report.crashed as u32;
+        erased += ((report.winners as u64) < report.committed) as u32;
+    }
+    assert!(crashes > 0, "the torn tail never fired across the sweep");
+    assert!(erased > 0, "no run ever lost acknowledged work — the audit is vacuous");
 }
 
 fn db2() -> Database {

@@ -303,3 +303,71 @@ fn mixed_workload_snapshot_commits_pass_the_commit_order_validator() {
     assert!(report.ok(), "snapshot reads inconsistent with commit order: {:?}", report.mismatches);
     assert_eq!(report.checked, snapshots);
 }
+
+/// Differential audit of the group-commit ordering invariant: snapshot
+/// readers race a batched writer group (a durable `OnCommit` log, many
+/// workers), and the commit-sequence order the snapshot validator uses
+/// must be the *same* order in which commit records reached the log.
+/// `commit_seq` is drawn under the WAL's append lock, so a durable
+/// `TopCommit` at a smaller LSN must carry a smaller sequence — if it
+/// didn't, a snapshot reader could validate against a prefix that is not
+/// a durable prefix.
+#[test]
+fn snapshot_validation_order_equals_durable_commit_order_under_group_commit() {
+    use semcc::core::{read_log, FsyncPolicy, WalRecord, WalWriter};
+    use std::collections::HashMap;
+
+    let db = Database::build(&DbParams { n_items: 3, orders_per_item: 4, ..Default::default() })
+        .unwrap();
+    let initial = db.store.snapshot();
+    let wal = WalWriter::new(FsyncPolicy::OnCommit);
+    let engine =
+        Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog))
+            .protocol(ProtocolConfig::semantic())
+            .lock_wait_timeout(Duration::from_secs(5))
+            .wal(Arc::clone(&wal))
+            .build();
+    let mut w = Workload::new(
+        &db,
+        WorkloadConfig { seed: 23, mix: MixWeights::with_read_ratio(50), ..Default::default() },
+    );
+    let batch = w.batch(&db, 80);
+    let out = run_workload(
+        &engine,
+        batch,
+        &RunParams { workers: 8, max_retries: 200, record_outcomes: true, ..Default::default() },
+    );
+    assert_eq!(out.metrics.failed, 0);
+    assert!(
+        out.committed.iter().any(|c| c.snapshot),
+        "a 50%-read mix must commit snapshot readers"
+    );
+
+    // Readers validated against a consistent commit-seq prefix…
+    let report = check_snapshot_reads(&initial, &db.catalog, &out.committed).unwrap();
+    assert!(report.ok(), "snapshot reads inconsistent with commit order: {:?}", report.mismatches);
+
+    // …and that prefix order is the durable order: walking the log's
+    // TopCommit records front to back, commit sequences strictly ascend.
+    let seq_of: HashMap<u64, u64> =
+        out.committed.iter().filter(|c| !c.snapshot).map(|c| (c.top.0, c.commit_seq)).collect();
+    let mut durable_commits = 0usize;
+    let mut last_seq = 0u64;
+    for rec in &read_log(&wal.surviving()).records {
+        let WalRecord::TopCommit { top } = rec else { continue };
+        let seq = *seq_of
+            .get(top)
+            .unwrap_or_else(|| panic!("durable winner {top} has no committed outcome"));
+        assert!(
+            seq > last_seq,
+            "log order violates commit_seq order: top {top} has seq {seq} after {last_seq}"
+        );
+        last_seq = seq;
+        durable_commits += 1;
+    }
+    assert_eq!(
+        durable_commits,
+        seq_of.len(),
+        "every locking-path commit must have a durable record"
+    );
+}
