@@ -153,9 +153,10 @@ fn run_scenario(depth: u32, layout: Layout, density_pct: u64, iters: u64, reps: 
     let requestor = Requestor { node: r_node, inv: &r_inv, chain: &r_chain };
 
     // The two paths must agree before we bother timing them.
-    let fast_decision = test_conflict(&router, &registry, &cfg, &stats, None, &holder, &requestor);
+    let fast_decision =
+        test_conflict(&router, &registry, &cfg, &stats, None, None, &holder, &requestor);
     let ref_decision =
-        test_conflict_reference(&router, &registry, &cfg, &stats, None, &holder, &requestor);
+        test_conflict_reference(&router, &registry, &cfg, &stats, None, None, &holder, &requestor);
     assert_eq!(fast_decision, ref_decision, "fast/reference drift in scenario setup");
     let decision = match fast_decision {
         None => "grant",
@@ -165,12 +166,12 @@ fn run_scenario(depth: u32, layout: Layout, density_pct: u64, iters: u64, reps: 
 
     let fast_ns = time_ns_per_call(iters, reps, || {
         std::hint::black_box(test_conflict(
-            &router, &registry, &cfg, &stats, None, &holder, &requestor,
+            &router, &registry, &cfg, &stats, None, None, &holder, &requestor,
         ));
     });
     let reference_ns = time_ns_per_call(iters, reps, || {
         std::hint::black_box(test_conflict_reference(
-            &router, &registry, &cfg, &stats, None, &holder, &requestor,
+            &router, &registry, &cfg, &stats, None, None, &holder, &requestor,
         ));
     });
     let speedup = reference_ns / fast_ns;

@@ -93,7 +93,7 @@ fn bench_conflict_test_depth(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("worst_case_depth", depth), &depth, |b, _| {
             b.iter(|| {
                 let r = Requestor { node: r_node, inv: &r_inv, chain: &r_chain };
-                black_box(test_conflict(&router, &registry, &cfg, &stats, None, &holder, &r))
+                black_box(test_conflict(&router, &registry, &cfg, &stats, None, None, &holder, &r))
             })
         });
     }

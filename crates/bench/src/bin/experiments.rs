@@ -1,7 +1,7 @@
 //! The experiment driver: regenerates every evaluation artifact.
 //!
 //! ```text
-//! experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|b8|b9|chaos|recover|torture|observe] [--quick]
+//! experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|b8|b9|b10|chaos|recover|torture|observe] [--quick]
 //! ```
 
 use semcc_bench::sweeps::{self, Scale};
@@ -29,6 +29,23 @@ fn run_b9(scale: Scale, quick: bool) {
     let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr8.json").to_string();
     let out = std::env::var("SEMCC_B9_OUT").unwrap_or(default_out);
     std::fs::write(&out, json).expect("write BENCH_pr8.json");
+    println!("(bench json written to {out})\n");
+}
+
+/// B10 also emits `BENCH_pr9.json` at the repo root (override with
+/// `SEMCC_B10_OUT`): the hot-spot gate — escrow + speculative Case-2
+/// grants vs the stock semantic protocol across the contention sweep —
+/// in machine-readable form, uploaded by the CI bench-smoke job.
+fn run_b10(scale: Scale, quick: bool) {
+    let (table, json) = sweeps::b10_hotspot(scale, !quick);
+    print_and_save(
+        "B10: hot-spot engine (escrow counters + speculative Case-2 grants vs stock semantic)",
+        "b10_hotspot",
+        table,
+    );
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr9.json").to_string();
+    let out = std::env::var("SEMCC_B10_OUT").unwrap_or(default_out);
+    std::fs::write(&out, json).expect("write BENCH_pr9.json");
     println!("(bench json written to {out})\n");
 }
 
@@ -99,6 +116,7 @@ fn main() {
             sweeps::b8_read_path(scale, !quick),
         ),
         "b9" => run_b9(scale, quick),
+        "b10" => run_b10(scale, quick),
         "chaos" => {
             figures::containment();
             print_and_save(
@@ -203,11 +221,12 @@ fn main() {
                 sweeps::b7_disk_bound(scale),
             );
             run_b9(scale, quick);
+            run_b10(scale, quick);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|b8|b9|chaos|recover|torture|observe] [--quick]"
+                "usage: experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|b8|b9|b10|chaos|recover|torture|observe] [--quick]"
             );
             std::process::exit(2);
         }

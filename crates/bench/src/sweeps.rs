@@ -844,6 +844,219 @@ pub fn b9_group_commit(scale: Scale, strict: bool) -> (Table, String) {
     (t, json)
 }
 
+/// B10: the hot-spot engine. A small, skewed order-entry population —
+/// every transaction hammers a handful of items, with the skew swept via
+/// the zipf theta — measured under three configurations per cell:
+///
+/// * `semantic` — the PR-1 protocol on the stock schema: `TotalPayment`
+///   scans the orders, `PayOrder` conflicts with it (and, without the
+///   parameter-aware matrix, with other `PayOrder`s) at the item level.
+/// * `semantic+escrow` — same protocol, escrow schema: `QOH`/`PaidTotal`
+///   are bounded escrow counters, `TotalPayment` reads the running
+///   counter, and the escrow matrix declares the Pay/Total and New/Total
+///   pairs compatible.
+/// * `escrow+speculation` — escrow schema plus speculative Case-2 grants
+///   (`ProtocolConfig::with_speculation`): the residual order-level
+///   conflicts (re-paying an order someone else is mid-pay on) are
+///   granted early against an abort-dependency edge instead of waiting
+///   for top-level commit.
+///
+/// Two mixes: the *hot-counter* cell (pays + totals only — the escrow
+/// paper's motivating workload) and a *mixed* cell that adds new-order
+/// and ship traffic. `strict` (full runs) asserts the PR-9 gate:
+/// `escrow+speculation` at least 2× the stock semantic protocol on every
+/// hot-counter cell with theta ≥ 1.2, and within 5% of it on the
+/// low-skew theta = 0.6 cells (the fast path must not tax uncontended
+/// runs). Returns the table and the `BENCH_pr9.json` payload.
+pub fn b10_hotspot(scale: Scale, strict: bool) -> (Table, String) {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Cfg {
+        Base,
+        Escrow,
+        Spec,
+    }
+    impl Cfg {
+        fn name(self) -> &'static str {
+            match self {
+                Cfg::Base => "semantic",
+                Cfg::Escrow => "semantic+escrow",
+                Cfg::Spec => "escrow+speculation",
+            }
+        }
+        fn kind(self) -> ProtocolKind {
+            match self {
+                Cfg::Base | Cfg::Escrow => ProtocolKind::Semantic,
+                Cfg::Spec => ProtocolKind::SemanticSpeculative,
+            }
+        }
+        fn escrow(self) -> bool {
+            !matches!(self, Cfg::Base)
+        }
+    }
+    const CFGS: [Cfg; 3] = [Cfg::Base, Cfg::Escrow, Cfg::Spec];
+
+    let hot_counter = MixWeights {
+        t0_new: 0,
+        t1_ship: 0,
+        t2_pay: 3,
+        t3_check_shipped: 0,
+        t4_check_paid: 0,
+        t5_total: 2,
+    };
+    let mixed = MixWeights {
+        t0_new: 1,
+        t1_ship: 2,
+        t2_pay: 2,
+        t3_check_shipped: 0,
+        t4_check_paid: 0,
+        t5_total: 2,
+    };
+    let mixes: [(&str, MixWeights); 2] = [("hot-counter", hot_counter), ("mixed", mixed)];
+    let thetas = [0.6f64, 0.99, 1.2, 1.5];
+
+    let measure_cell = |cfg: Cfg, mix: &MixWeights, theta: f64| {
+        let db_params =
+            DbParams { n_items: 4, orders_per_item: 8, escrow: cfg.escrow(), ..Default::default() };
+        let wl = WorkloadConfig { mix: *mix, zipf_theta: theta, ..Default::default() };
+        measure(cfg.kind(), &db_params, &wl, scale.txns, 8)
+    };
+
+    // Median over repetitions with a rotated config order (same rationale
+    // as B8: a single multi-worker run on a shared host swings far more
+    // than the 5% band the strict asserts police).
+    let reps = if strict { 3 } else { 1 };
+    let median = |mut runs: Vec<semcc_sim::RunMetrics>| {
+        runs.sort_by(|a, b| a.throughput.total_cmp(&b.throughput));
+        let mid = runs.len() / 2;
+        runs.swap_remove(mid)
+    };
+
+    let mut t = Table::new(&[
+        "mix", "theta", "config", "txn/s", "p99us", "block%", "case2", "escrow", "spec", "cascade",
+        "vs base",
+    ]);
+    let mut cells_json: Vec<String> = Vec::new();
+    let mut ratio_rows: Vec<String> = Vec::new();
+    let mut hot_ok = true;
+    let mut cool_ok = true;
+    let mut total_escrow_grants = 0u64;
+    let mut total_spec_grants = 0u64;
+    for (mix_name, mix) in &mixes {
+        for &theta in &thetas {
+            let mut runs: [Vec<semcc_sim::RunMetrics>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+            for rep in 0..reps {
+                for slot in 0..CFGS.len() {
+                    let i = (slot + rep) % CFGS.len();
+                    runs[i].push(measure_cell(CFGS[i], mix, theta));
+                }
+            }
+            let [base_runs, escrow_runs, spec_runs] = runs;
+            let (base, escrow, spec) = (median(base_runs), median(escrow_runs), median(spec_runs));
+            let ratio = spec.throughput / base.throughput.max(f64::MIN_POSITIVE);
+            for (cfg, m, r) in [
+                (Cfg::Base, &base, "-".to_string()),
+                (Cfg::Escrow, &escrow, {
+                    let er = escrow.throughput / base.throughput.max(f64::MIN_POSITIVE);
+                    format!("{er:.2}")
+                }),
+                (Cfg::Spec, &spec, format!("{ratio:.2}")),
+            ] {
+                t.row(vec![
+                    (*mix_name).into(),
+                    format!("{theta:.2}"),
+                    cfg.name().into(),
+                    fmt_f(m.throughput),
+                    m.commit_latency.p99_us.to_string(),
+                    fmt_pct(m.block_ratio),
+                    m.stats.case2_waits.to_string(),
+                    m.stats.escrow_grants.to_string(),
+                    m.stats.speculative_grants.to_string(),
+                    m.stats.cascade_aborts.to_string(),
+                    r,
+                ]);
+                cells_json.push(format!(
+                    "{{\"mix\":\"{mix_name}\",\"theta\":{theta:.2},\
+                     \"config\":\"{}\",\"txn_per_s\":{:.1},\"p99_us\":{},\
+                     \"block_ratio\":{:.4},\"case2_waits\":{},\"escrow_grants\":{},\
+                     \"speculative_grants\":{},\"cascade_aborts\":{},\
+                     \"dependency_edges\":{}}}",
+                    cfg.name(),
+                    m.throughput,
+                    m.commit_latency.p99_us,
+                    m.block_ratio,
+                    m.stats.case2_waits,
+                    m.stats.escrow_grants,
+                    m.stats.speculative_grants,
+                    m.stats.cascade_aborts,
+                    m.stats.dependency_edges,
+                ));
+                // Every transaction must eventually commit: the guard never
+                // trips (QOH starts at a million), and cascade-aborted
+                // dependents are retryable.
+                assert_eq!(m.failed, 0, "{mix_name}/theta={theta}/{}: gave up", cfg.name());
+                if cfg.escrow() {
+                    total_escrow_grants += m.stats.escrow_grants;
+                }
+                if cfg == Cfg::Spec {
+                    total_spec_grants += m.stats.speculative_grants;
+                } else {
+                    assert_eq!(
+                        m.stats.speculative_grants, 0,
+                        "speculation leaked into a non-speculative config"
+                    );
+                }
+            }
+            assert_eq!(base.stats.escrow_grants, 0, "escrow leaked into the stock schema");
+            ratio_rows.push(format!(
+                "{{\"mix\":\"{mix_name}\",\"theta\":{theta:.2},\"spec_over_base\":{ratio:.3}}}"
+            ));
+            if *mix_name == "hot-counter" && theta >= 1.2 {
+                hot_ok &= ratio >= 2.0;
+            }
+            if theta <= 0.6 {
+                cool_ok &= ratio >= 0.95;
+            }
+        }
+    }
+    assert!(total_escrow_grants > 0, "escrow cells never exercised the escrow ledger");
+
+    let pass = if strict {
+        assert!(
+            hot_ok,
+            "escrow+speculation below 2x stock semantic on a hot-counter theta>=1.2 cell:\n{}",
+            ratio_rows.join("\n")
+        );
+        assert!(
+            cool_ok,
+            "escrow+speculation regressed >5% on a theta=0.6 cell:\n{}",
+            ratio_rows.join("\n")
+        );
+        assert!(
+            total_spec_grants > 0,
+            "no cell ever granted speculatively — the fast path never engaged"
+        );
+        true
+    } else {
+        hot_ok && cool_ok
+    };
+
+    let json = format!(
+        "{{\"bench\":\"hotspot\",\"mode\":\"{}\",\
+         \"gate\":{{\"min_spec_over_base_hot\":2.0,\"hot_theta_min\":1.2,\
+         \"hot_mix\":\"hot-counter\",\"min_spec_over_base_cool\":0.95,\
+         \"cool_theta\":0.6,\"scope\":\"4 hot items, 8 orders each, MPL 8; \
+         stock semantic vs escrow schema vs escrow+speculative Case-2 grants\",\
+         \"pass\":{pass}}},\
+         \"totals\":{{\"escrow_grants\":{total_escrow_grants},\
+         \"speculative_grants\":{total_spec_grants}}},\
+         \"ratios\":[{}],\"cells\":[{}]}}\n",
+        if strict { "full" } else { "quick" },
+        ratio_rows.join(","),
+        cells_json.join(","),
+    );
+    (t, json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -923,6 +1136,18 @@ mod tests {
         assert!(text.contains("saturation"), "{text}");
         assert!(json.contains("\"bench\":\"group_commit\""), "{json}");
         assert!(json.contains("\"saturation\":"), "{json}");
+    }
+
+    #[test]
+    fn b10_hotspot_smoke() {
+        let (t, json) = b10_hotspot(Scale { txns: 24 }, false);
+        let text = t.render();
+        // 2 mixes × 4 thetas × 3 configs + header + rule.
+        assert_eq!(text.lines().count(), 2 + 24, "{text}");
+        assert!(text.contains("hot-counter"), "{text}");
+        assert!(text.contains("escrow+speculation"), "{text}");
+        assert!(json.contains("\"bench\":\"hotspot\""), "{json}");
+        assert!(json.contains("\"ratios\":"), "{json}");
     }
 
     #[test]

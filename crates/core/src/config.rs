@@ -35,6 +35,14 @@ pub struct ProtocolConfig {
     /// buffer (records). 0 — the default — disables journaling entirely:
     /// the hot path then pays a single branch per would-be record.
     pub journal_capacity: usize,
+    /// Speculative grant of Case-2 waits (controlled lock violation, after
+    /// Bamboo): a requestor that commutes with the holder's retained set
+    /// but is blocked on an uncommitted ancestor is granted early, with an
+    /// abort-dependency edge recorded. Its commit then waits until the
+    /// depended-on subtransaction finishes; if that subtransaction aborts,
+    /// the dependent cascade-aborts through the ordinary compensation
+    /// machinery. Off by default.
+    pub speculative_case2: bool,
 }
 
 /// Default lock-wait timeout: long enough that it never fires under
@@ -51,6 +59,7 @@ impl ProtocolConfig {
             ancestor_check: true,
             lock_wait_timeout_ms: DEFAULT_LOCK_WAIT_TIMEOUT_MS,
             journal_capacity: 0,
+            speculative_case2: false,
         }
     }
 
@@ -63,6 +72,7 @@ impl ProtocolConfig {
             ancestor_check: false,
             lock_wait_timeout_ms: DEFAULT_LOCK_WAIT_TIMEOUT_MS,
             journal_capacity: 0,
+            speculative_case2: false,
         }
     }
 
@@ -75,7 +85,18 @@ impl ProtocolConfig {
             ancestor_check: true,
             lock_wait_timeout_ms: DEFAULT_LOCK_WAIT_TIMEOUT_MS,
             journal_capacity: 0,
+            speculative_case2: false,
         }
+    }
+
+    /// Enable or disable speculative Case-2 grants. Enabling it on the
+    /// stock semantic preset renames it so reports distinguish the two.
+    pub fn with_speculation(mut self, on: bool) -> Self {
+        self.speculative_case2 = on;
+        if on && self.name == "semantic" {
+            self.name = "semantic/speculative";
+        }
+        self
     }
 
     /// Override the lock-wait timeout (0 disables it).
@@ -129,6 +150,14 @@ mod tests {
         assert_eq!(off.lock_wait_timeout(), None);
         let tight = s.with_lock_timeout_ms(50);
         assert_eq!(tight.lock_wait_timeout(), Some(std::time::Duration::from_millis(50)));
+    }
+
+    #[test]
+    fn speculation_knob() {
+        assert!(!ProtocolConfig::semantic().speculative_case2, "off by default");
+        assert!(!ProtocolConfig::no_ancestor_check().speculative_case2);
+        assert!(!ProtocolConfig::open_nested_plain().speculative_case2);
+        assert!(ProtocolConfig::semantic().with_speculation(true).speculative_case2);
     }
 
     #[test]

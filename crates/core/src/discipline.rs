@@ -12,6 +12,7 @@ use crate::ids::{NodeRef, TopId};
 use crate::journal::EventJournal;
 use crate::kernel::LockTableDump;
 use crate::notify::CompletionHub;
+use crate::speculate::DepGraph;
 use crate::stats::{Stats, StatsSnapshot};
 use crate::tree::{Chain, Registry, TxnTree};
 use semcc_semantics::{Invocation, PageId, Result, SemanticsRouter, Storage};
@@ -47,6 +48,11 @@ pub struct DisciplineDeps {
     /// the kernel, the conflict test and the engine all write through this
     /// handle, so every discipline emits the same event vocabulary.
     pub journal: Option<Arc<EventJournal>>,
+    /// Abort-dependency graph for speculative Case-2 grants. Always built;
+    /// only consulted when
+    /// [`ProtocolConfig::speculative_case2`](crate::config::ProtocolConfig)
+    /// is on (a single relaxed load otherwise).
+    pub dep_graph: Arc<DepGraph>,
 }
 
 /// A lock acquisition request for one action of a transaction tree.

@@ -28,6 +28,7 @@ use crate::journal::{EventJournal, JournalKind};
 use crate::kernel::LockTableDump;
 use crate::lock::SemanticLockManager;
 use crate::notify::CompletionHub;
+use crate::speculate::DepGraph;
 use crate::stats::{Stats, StatsSnapshot};
 use crate::tree::{Registry, TxnTree};
 use crate::wal::{AppendInfo, RedoOp, WalFailMode, WalRecord, WalWriter};
@@ -37,7 +38,7 @@ use semcc_semantics::{
     Catalog, GenericMethod, Invocation, MethodContext, MethodSel, ObjectId, Result,
     SemanticsRouter, SemccError, Storage, TypeId, Value,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -152,6 +153,11 @@ struct TxnShared {
     /// also logs no `TopCommit`/`TopAbort` of its own — recovery resolves
     /// the loser explicitly.
     wal_alias: Option<u64>,
+    /// Positive escrow deltas this transaction has applied but not yet
+    /// committed, mirrored in the engine's escrow ledger. Released (ledger
+    /// decrement) exactly once, at commit or after the abort path's
+    /// compensations have restored the store.
+    escrow_pos: Mutex<Vec<(ObjectId, i64)>>,
 }
 
 impl TxnShared {
@@ -282,8 +288,9 @@ impl EngineBuilder {
         let stats = Arc::new(Stats::default());
         let journal = (self.config.journal_capacity > 0)
             .then(|| Arc::new(EventJournal::new(self.config.journal_capacity)));
+        let registry = Arc::new(Registry::new());
         let deps = DisciplineDeps {
-            registry: Arc::new(Registry::new()),
+            registry: Arc::clone(&registry),
             hub: Arc::new(CompletionHub::new()),
             wfg: Arc::new(WaitsForGraph::with_stats(Arc::clone(&stats))),
             stats,
@@ -292,6 +299,7 @@ impl EngineBuilder {
             storage: Arc::clone(&self.storage),
             lock_wait_timeout: self.config.lock_wait_timeout(),
             journal,
+            dep_graph: Arc::new(DepGraph::new(registry)),
         };
         let discipline: Arc<dyn Discipline> = match self.discipline_factory {
             Some(f) => f(&deps),
@@ -310,6 +318,7 @@ impl EngineBuilder {
             wal: self.wal,
             snapshot_enabled,
             commit_seq: AtomicU64::new(0),
+            escrow: Mutex::new(HashMap::new()),
         })
     }
 }
@@ -333,6 +342,15 @@ pub struct Engine {
     /// validation, so validation success orders a reader after exactly
     /// the writers it observed.
     commit_seq: AtomicU64,
+    /// Escrow ledger: per object, the sum of *uncommitted positive*
+    /// `EscrowAdd` deltas across all live transactions. The guard of a
+    /// bounded escrow operation tests against the worst-case value
+    /// (current minus this sum): every pending increment might still roll
+    /// back, while pending decrements rolling back only raise the value —
+    /// safe for a lower bound. Held across the leaf's read-modify-write,
+    /// because commuting `EscrowAdd`s hold their semantic locks
+    /// concurrently and this mutex is their only serialization point.
+    escrow: Mutex<HashMap<ObjectId, i64>>,
 }
 
 impl Engine {
@@ -395,6 +413,12 @@ impl Engine {
     /// stale-state audit).
     pub fn wfg_residue(&self) -> (usize, usize, usize, usize) {
         self.deps.wfg.residue()
+    }
+
+    /// Live abort-dependency edges in the speculation graph — zero once
+    /// every transaction has exited (residue audit for speculative runs).
+    pub fn speculation_edges(&self) -> usize {
+        self.deps.dep_graph.live_edge_count()
     }
 
     /// Append one record to the event journal, if one is attached.
@@ -584,6 +608,7 @@ impl Engine {
             created: Mutex::new(Vec::new()),
             written: Mutex::new(Vec::new()),
             wal_alias: None,
+            escrow_pos: Mutex::new(Vec::new()),
         });
         // Backstop containment: if anything below unwinds past the
         // commit/abort calls (e.g. a panic inside the abort path itself),
@@ -776,6 +801,7 @@ impl Engine {
             created: Mutex::new(Vec::new()),
             written: Mutex::new(Vec::new()),
             wal_alias: alias,
+            escrow_pos: Mutex::new(Vec::new()),
         });
         let mut guard = AbortGuard { engine: self, shared: Arc::clone(&shared), armed: true };
         let result = match self.compensate_list(&shared, intents, true) {
@@ -825,6 +851,26 @@ impl Engine {
 
     fn commit(&self, top: TopId, shared: &Arc<TxnShared>) -> Result<u64> {
         let tree = &shared.tree;
+        // Speculative grants recorded abort-dependencies: we must not become
+        // durable while a subtransaction we read past is still undecided. If
+        // it aborted (or the wait times out on a commit-wait cycle), this
+        // transaction cascade-aborts through the ordinary compensation path.
+        if let Err(holder) = self.deps.dep_graph.wait_commit(top) {
+            Stats::bump(&self.deps.stats.cascade_aborts);
+            if let Some(j) = &self.deps.journal {
+                let h = holder.unwrap_or(NodeRef::root(top));
+                j.record(JournalKind::CascadeAbort, top.0, 0, h.top.0, h.idx, 0, 0);
+            }
+            return Err(match holder {
+                Some(h) => SemccError::CascadeAborted(format!(
+                    "depended-on subtransaction {}/{} aborted",
+                    h.top.0, h.idx
+                )),
+                None => SemccError::CascadeAborted(
+                    "abort-dependency wait timed out (commit-wait cycle)".into(),
+                ),
+            });
+        }
         // Durability point: the commit record must reach the log *before*
         // any lock is released (a crash after release but before the
         // record would let dependents of an officially-uncommitted
@@ -846,13 +892,16 @@ impl Engine {
             self.commit_seq.fetch_add(1, Ordering::SeqCst) + 1
         };
         self.release_write_intents(shared);
+        self.release_escrow(shared);
         // Release every lock first (wakes waiters into a world without our
         // entries), then mark the root committed and notify.
         self.discipline.top_finished(top);
         tree.complete(0);
+        self.deps.dep_graph.node_done(NodeRef::root(top), true);
         self.deps.hub.node_finished(NodeRef::root(top));
         self.deps.registry.remove(top);
         self.deps.wfg.finished(top);
+        self.deps.dep_graph.clear(top);
         Stats::bump(&self.deps.stats.commits);
         self.deps.sink.record(Event::TopCommit { top });
         self.journal_record(JournalKind::TopCommit, NodeRef::root(top), 0);
@@ -865,6 +914,27 @@ impl Engine {
         let written = std::mem::take(&mut *shared.written.lock());
         for o in written {
             self.storage.end_object_write(o);
+        }
+    }
+
+    /// Drop this transaction's pending escrow contributions from the
+    /// engine-wide ledger. At commit the deltas are part of the committed
+    /// value; at abort the compensations (which bypass the ledger) have
+    /// already restored the store — either way the reservations must go,
+    /// exactly once. Idempotent: the take empties the per-txn list.
+    fn release_escrow(&self, shared: &Arc<TxnShared>) {
+        let pos = std::mem::take(&mut *shared.escrow_pos.lock());
+        if pos.is_empty() {
+            return;
+        }
+        let mut ledger = self.escrow.lock();
+        for (obj, delta) in pos {
+            if let Some(p) = ledger.get_mut(&obj) {
+                *p -= delta;
+                if *p <= 0 {
+                    ledger.remove(&obj);
+                }
+            }
         }
     }
 
@@ -889,6 +959,12 @@ impl Engine {
                 original: reason.to_string(),
             });
         }
+
+        // The compensations above restored any escrow effects in the store,
+        // so the ledger reservations come off only now — releasing earlier
+        // would let a concurrent guard count value this abort is still about
+        // to take back.
+        self.release_escrow(shared);
 
         // Garbage-collect objects created by this transaction.
         let created = std::mem::take(&mut *shared.created.lock());
@@ -919,10 +995,12 @@ impl Engine {
         self.discipline.top_finished(top);
         for idx in shared.tree.active_nodes() {
             shared.tree.abort(idx);
+            self.deps.dep_graph.node_done(NodeRef { top, idx }, false);
             self.deps.hub.node_finished(NodeRef { top, idx });
         }
         self.deps.registry.remove(top);
         self.deps.wfg.finished(top);
+        self.deps.dep_graph.clear(top);
         self.deps.sink.record(Event::TopAbort { top, reason: reason.to_string() });
         self.journal_record(JournalKind::TopAbort, NodeRef::root(top), 0);
     }
@@ -1062,6 +1140,7 @@ impl Engine {
             Ok(g) => g,
             Err(e) => {
                 tree.abort(child);
+                self.deps.dep_graph.node_done(node, false);
                 self.deps.hub.node_finished(node);
                 return Err(e);
             }
@@ -1096,7 +1175,7 @@ impl Engine {
                 // that a later compensation undid.
                 let applied = {
                     let _cp = self.wal.as_ref().map(|w| w.checkpoint_guard());
-                    match self.apply_generic(&inv, g) {
+                    match self.apply_generic(shared, node, &inv, g, compensating) {
                         Ok((value, comp)) => {
                             let logged = match Self::redo_of(&inv) {
                                 Some(op) if writes && compensating => {
@@ -1181,6 +1260,7 @@ impl Engine {
                             // failing the node with the durability error.
                             let _ = self.compensate_list(shared, comp, false);
                             tree.abort(child);
+                            self.deps.dep_graph.node_done(node, false);
                             self.deps.hub.node_finished(node);
                             return Err(e);
                         }
@@ -1188,6 +1268,10 @@ impl Engine {
                 }
                 tree.complete(child);
                 self.discipline.node_completed(tree, child);
+                // A committed subtransaction resolves its speculative
+                // dependents safely: the grant has become an ordinary
+                // Case 1 (committed commutative ancestor).
+                self.deps.dep_graph.node_done(node, true);
                 self.deps.hub.node_finished(node);
                 self.deps.sink.record(Event::ActionComplete { node });
                 self.journal_record(JournalKind::SubCommit, node, 0);
@@ -1195,6 +1279,7 @@ impl Engine {
             }
             Err(e) => {
                 tree.abort(child);
+                self.deps.dep_graph.node_done(node, false);
                 self.deps.hub.node_finished(node);
                 Err(e)
             }
@@ -1217,6 +1302,12 @@ impl Engine {
             }),
             GenericMethod::Remove => {
                 Some(RedoOp::Remove { set: inv.object, key: inv.arg_key(0).ok()? })
+            }
+            GenericMethod::EscrowAdd => {
+                // Delta-logged: replay re-applies the increment on top of
+                // whatever absolute value earlier records produced, which is
+                // exactly repeating history.
+                Some(RedoOp::EscrowAdd { obj: inv.object, delta: inv.arg_int(0).ok()? })
             }
             GenericMethod::Get | GenericMethod::Select | GenericMethod::Scan => None,
         }
@@ -1323,8 +1414,11 @@ impl Engine {
     /// built-in compensation.
     fn apply_generic(
         &self,
+        shared: &Arc<TxnShared>,
+        node: NodeRef,
         inv: &Invocation,
         g: GenericMethod,
+        compensating: bool,
     ) -> Result<(Value, Vec<Invocation>)> {
         if !self.op_delay.is_zero() {
             // Simulated page access, while the leaf's lock is held.
@@ -1366,6 +1460,60 @@ impl Engine {
                     .collect();
                 Ok((Value::List(list), Vec::new()))
             }
+            GenericMethod::EscrowAdd => {
+                let delta = inv.arg_int(0)?;
+                // The ledger mutex is held across the read-modify-write:
+                // commuting EscrowAdds hold their semantic locks
+                // concurrently, so this is their only serialization point.
+                let mut ledger = self.escrow.lock();
+                let cur = match self.storage.get(obj)? {
+                    Value::Int(i) => i,
+                    other => {
+                        return Err(SemccError::EscrowViolation(format!(
+                            "escrow target {obj:?} holds non-integer {other:?}"
+                        )))
+                    }
+                };
+                // Guard against the *worst-case* value: every pending
+                // positive delta (including our own earlier ones) might
+                // still roll back. Compensations skip the guard — an
+                // inverse must always succeed.
+                if !compensating {
+                    if let Ok(lo) = inv.arg_int(1) {
+                        let pending = ledger.get(&obj).copied().unwrap_or(0);
+                        if cur - pending + delta < lo {
+                            return Err(SemccError::EscrowViolation(format!(
+                                "escrow bound on {obj:?}: worst-case {} + {delta} < {lo}",
+                                cur - pending
+                            )));
+                        }
+                    }
+                }
+                self.storage.put(obj, Value::Int(cur + delta))?;
+                if delta > 0 && !compensating {
+                    *ledger.entry(obj).or_insert(0) += delta;
+                    shared.escrow_pos.lock().push((obj, delta));
+                }
+                drop(ledger);
+                Stats::bump(&self.deps.stats.escrow_grants);
+                if let Some(j) = &self.deps.journal {
+                    j.record(
+                        JournalKind::EscrowGrant,
+                        node.top.0,
+                        node.idx,
+                        0,
+                        0,
+                        obj.0,
+                        delta as u64,
+                    );
+                }
+                let comp = if compensating {
+                    Vec::new()
+                } else {
+                    vec![Invocation::escrow_add(obj, inv.type_id, -delta)]
+                };
+                Ok((Value::Unit, comp))
+            }
         }
     }
 }
@@ -1392,13 +1540,20 @@ impl Drop for AbortGuard<'_> {
         let top = self.shared.tree.top();
         Stats::bump(&engine.deps.stats.aborts);
         engine.release_write_intents(&self.shared);
+        // No compensation ran (that is what just failed), so the store may
+        // keep this transaction's escrow deltas; release the reservations
+        // anyway — a leaked entry would depress the worst-case value of
+        // the object forever.
+        engine.release_escrow(&self.shared);
         engine.discipline.top_finished(top);
         for idx in self.shared.tree.active_nodes() {
             self.shared.tree.abort(idx);
+            engine.deps.dep_graph.node_done(NodeRef { top, idx }, false);
             engine.deps.hub.node_finished(NodeRef { top, idx });
         }
         engine.deps.registry.remove(top);
         engine.deps.wfg.finished(top);
+        engine.deps.dep_graph.clear(top);
         engine
             .deps
             .sink
@@ -1596,7 +1751,10 @@ impl SnapshotCtx<'_> {
                     .collect();
                 Ok(Value::List(list))
             }
-            GenericMethod::Put | GenericMethod::Insert | GenericMethod::Remove => {
+            GenericMethod::Put
+            | GenericMethod::Insert
+            | GenericMethod::Remove
+            | GenericMethod::EscrowAdd => {
                 unreachable!("write leaves are rejected before dispatch")
             }
         }

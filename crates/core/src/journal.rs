@@ -91,6 +91,16 @@ pub enum JournalKind {
     /// A commit became durable as a group-commit follower — covered by a
     /// concurrent leader's fsync (`key` = the commit record's LSN).
     GroupCommit = 22,
+    /// An escrow update was applied (`key` = object id, `aux` = the delta
+    /// cast to u64).
+    EscrowGrant = 23,
+    /// A Case-2 wait was converted into a speculative early grant
+    /// (controlled lock violation): `other` = the holder's uncommitted
+    /// ancestor node the requestor now abort-depends on.
+    SpeculativeGrant = 24,
+    /// A transaction is cascade-aborting because a speculatively depended-on
+    /// subtransaction aborted; `other` = that holder node.
+    CascadeAbort = 25,
 }
 
 impl JournalKind {
@@ -120,11 +130,14 @@ impl JournalKind {
             JournalKind::CheckpointEnd => "checkpoint_end",
             JournalKind::WalRotate => "wal_rotate",
             JournalKind::GroupCommit => "group_commit",
+            JournalKind::EscrowGrant => "escrow_grant",
+            JournalKind::SpeculativeGrant => "speculative_grant",
+            JournalKind::CascadeAbort => "cascade_abort",
         }
     }
 
     /// Every kind, in wire order.
-    pub const ALL: [JournalKind; 23] = [
+    pub const ALL: [JournalKind; 26] = [
         JournalKind::LockRequest,
         JournalKind::LockGrant,
         JournalKind::LockWait,
@@ -148,6 +161,9 @@ impl JournalKind {
         JournalKind::CheckpointEnd,
         JournalKind::WalRotate,
         JournalKind::GroupCommit,
+        JournalKind::EscrowGrant,
+        JournalKind::SpeculativeGrant,
+        JournalKind::CascadeAbort,
     ];
 
     fn from_u64(v: u64) -> Option<JournalKind> {

@@ -738,6 +738,7 @@ mod tests {
     use super::*;
     use crate::history::NullSink;
     use crate::notify::CompletionHub;
+    use crate::speculate::DepGraph;
     use crate::tree::Registry;
     use crate::WaitsForGraph;
     use semcc_objstore::MemoryStore;
@@ -745,8 +746,9 @@ mod tests {
 
     fn deps() -> DisciplineDeps {
         let catalog = Catalog::new();
+        let registry = Arc::new(Registry::new());
         DisciplineDeps {
-            registry: Arc::new(Registry::new()),
+            registry: Arc::clone(&registry),
             hub: Arc::new(CompletionHub::new()),
             wfg: Arc::new(WaitsForGraph::new()),
             stats: Arc::new(Stats::default()),
@@ -755,6 +757,7 @@ mod tests {
             storage: Arc::new(MemoryStore::new()),
             lock_wait_timeout: None,
             journal: None,
+            dep_graph: Arc::new(DepGraph::new(registry)),
         }
     }
 

@@ -46,6 +46,7 @@ pub mod journal;
 pub mod kernel;
 pub mod lock;
 pub mod notify;
+pub mod speculate;
 pub mod stats;
 pub mod tree;
 pub mod wal;
@@ -69,6 +70,7 @@ pub use kernel::{
     Outcome, RwLockPolicy, RwMode,
 };
 pub use lock::SemanticLockManager;
+pub use speculate::{DepGraph, RecordOutcome};
 pub use stats::{Stats, StatsSnapshot};
 pub use tree::{Chain, ChainLink, NodeState, Registry, TxnTree};
 pub use wal::checkpoint::{CheckpointImage, TopInfo};

@@ -34,6 +34,7 @@ use crate::kernel::{
 };
 use crate::lock::conflict::{test_conflict, Requestor};
 use crate::lock::entry::LockEntry;
+use crate::speculate::DepGraph;
 use crate::stats::{Stats, StatsSnapshot};
 use crate::tree::{Registry, TxnTree};
 use semcc_semantics::{Result, SemanticsRouter};
@@ -47,6 +48,7 @@ pub struct SemanticPolicy {
     registry: Arc<Registry>,
     stats: Arc<Stats>,
     journal: Option<Arc<EventJournal>>,
+    dep_graph: Arc<DepGraph>,
 }
 
 impl KernelPolicy for SemanticPolicy {
@@ -54,12 +56,16 @@ impl KernelPolicy for SemanticPolicy {
         let h = held.mode.semantic().expect("semantic kernel holds semantic entries");
         let r = req.mode.semantic().expect("semantic kernel receives semantic requests");
         let requestor = Requestor { node: req.node, inv: &r.inv, chain: &r.chain };
+        // Compensating requestors never speculate: an abort path must not
+        // acquire new abort dependencies of its own.
+        let speculate = (self.cfg.speculative_case2 && !req.compensating).then(|| &*self.dep_graph);
         test_conflict(
             &self.router,
             &self.registry,
             &self.cfg,
             &self.stats,
             self.journal.as_deref(),
+            speculate,
             h,
             &requestor,
         )
@@ -94,6 +100,7 @@ impl SemanticLockManager {
             registry: Arc::clone(&deps.registry),
             stats: Arc::clone(&deps.stats),
             journal: deps.journal.clone(),
+            dep_graph: Arc::clone(&deps.dep_graph),
         };
         let kernel = ConcurrencyKernel::new(policy, deps.clone());
         Arc::new(SemanticLockManager { cfg, deps, kernel })
@@ -172,6 +179,7 @@ mod tests {
     use super::*;
     use crate::history::NullSink;
     use crate::notify::CompletionHub;
+    use crate::speculate::DepGraph;
     use crate::tree::Registry;
     use crate::WaitsForGraph;
     use parking_lot::Mutex;
@@ -180,8 +188,9 @@ mod tests {
 
     fn deps() -> DisciplineDeps {
         let catalog = Catalog::new();
+        let registry = Arc::new(Registry::new());
         DisciplineDeps {
-            registry: Arc::new(Registry::new()),
+            registry: Arc::clone(&registry),
             hub: Arc::new(CompletionHub::new()),
             wfg: Arc::new(WaitsForGraph::new()),
             stats: Arc::new(Stats::default()),
@@ -190,6 +199,7 @@ mod tests {
             storage: Arc::new(MemoryStore::new()),
             lock_wait_timeout: None,
             journal: None,
+            dep_graph: Arc::new(DepGraph::new(registry)),
         }
     }
 

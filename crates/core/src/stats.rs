@@ -158,6 +158,18 @@ counters! {
     /// rather than their own (batching wins; `wal_fsyncs` counts the
     /// leaders).
     wal_group_commits,
+    /// Escrow updates applied (the guard held; the delta was folded into
+    /// the object under the escrow ledger).
+    escrow_grants,
+    /// Case-2 waits converted into speculative early grants (controlled
+    /// lock violation): the requestor proceeded with an abort-dependency
+    /// edge on the holder's uncommitted subtransaction.
+    speculative_grants,
+    /// Transactions cascade-aborted because a subtransaction they
+    /// speculatively depended on aborted.
+    cascade_aborts,
+    /// Distinct abort-dependency edges recorded in the dependency graph.
+    dependency_edges,
 }
 
 impl Stats {
@@ -214,6 +226,10 @@ mod tests {
         let pairs = snap.field_pairs();
         assert!(pairs.iter().any(|&(n, v)| n == "case2_waits" && v == 2));
         assert!(pairs.iter().any(|&(n, v)| n == "victims" && v == 1));
+        for hotspot in ["escrow_grants", "speculative_grants", "cascade_aborts", "dependency_edges"]
+        {
+            assert!(pairs.iter().any(|&(n, _)| n == hotspot), "{hotspot} is exported");
+        }
         assert!(pairs.len() >= 20, "every declared counter is listed");
         let rebuilt = StatsSnapshot::from_field_pairs(&pairs);
         assert_eq!(rebuilt, snap);

@@ -139,6 +139,11 @@ pub enum RedoOp {
     CreateTuple { id: ObjectId, type_id: TypeId, fields: Vec<(String, ObjectId)> },
     /// A set object was created under `id`.
     CreateSet { id: ObjectId, type_id: TypeId },
+    /// `EscrowAdd(obj, delta)` — logged as a *delta*, not an absolute
+    /// value: replay re-applies the increment on top of whatever earlier
+    /// records produced, so concurrent escrow histories replay correctly
+    /// in log order (repeating history).
+    EscrowAdd { obj: ObjectId, delta: i64 },
 }
 
 impl RedoOp {
@@ -155,7 +160,7 @@ impl RedoOp {
     /// The object the op touches (for journaling).
     pub fn object(&self) -> ObjectId {
         match self {
-            RedoOp::Put { obj, .. } => *obj,
+            RedoOp::Put { obj, .. } | RedoOp::EscrowAdd { obj, .. } => *obj,
             RedoOp::Insert { set, .. } | RedoOp::Remove { set, .. } => *set,
             RedoOp::CreateAtomic { id, .. }
             | RedoOp::CreateTuple { id, .. }
@@ -289,6 +294,7 @@ pub(crate) fn put_invocation(out: &mut Vec<u8>, inv: &Invocation) {
                 GenericMethod::Insert => 3,
                 GenericMethod::Remove => 4,
                 GenericMethod::Scan => 5,
+                GenericMethod::EscrowAdd => 6,
             });
         }
         MethodSel::User(m) => {
@@ -340,6 +346,11 @@ pub(crate) fn put_redo(out: &mut Vec<u8>, op: &RedoOp) {
             out.push(5);
             put_u64(out, id.0);
             put_u32(out, type_id.0);
+        }
+        RedoOp::EscrowAdd { obj, delta } => {
+            out.push(6);
+            put_u64(out, obj.0);
+            put_u64(out, *delta as u64);
         }
     }
 }
@@ -470,6 +481,7 @@ impl<'a> Cursor<'a> {
                 3 => GenericMethod::Insert,
                 4 => GenericMethod::Remove,
                 5 => GenericMethod::Scan,
+                6 => GenericMethod::EscrowAdd,
                 _ => return None,
             }),
             1 => MethodSel::User(MethodId(self.u32()?)),
@@ -509,6 +521,7 @@ impl<'a> Cursor<'a> {
                 RedoOp::CreateTuple { id, type_id, fields }
             }
             5 => RedoOp::CreateSet { id: ObjectId(self.u64()?), type_id: TypeId(self.u32()?) },
+            6 => RedoOp::EscrowAdd { obj: ObjectId(self.u64()?), delta: self.u64()? as i64 },
             _ => return None,
         })
     }
@@ -747,6 +760,18 @@ pub(crate) mod testutil {
                 op: RedoOp::Insert { set: ObjectId(9), key: 5, member: ObjectId(40) },
             },
             WalRecord::CompRedo { top: 2, op: RedoOp::Remove { set: ObjectId(9), key: 5 } },
+            WalRecord::LeafRedo {
+                top: 2,
+                subtree: 1,
+                // Negative delta exercises the two's-complement round-trip
+                // of the delta field.
+                op: RedoOp::EscrowAdd { obj: ObjectId(11), delta: -42 },
+            },
+            WalRecord::SubCommit {
+                top: 2,
+                subtree: 1,
+                comp: vec![Invocation::escrow_add_bounded(ObjectId(11), TypeId(19), 42, 0)],
+            },
             WalRecord::CompApplied { top: 2 },
             WalRecord::TopAbort { top: 2 },
             WalRecord::TopCommit { top: 1 },

@@ -51,7 +51,7 @@ use crate::fault::FaultPlan;
 use crate::journal::JournalKind;
 use crate::stats::Stats;
 use semcc_objstore::MemoryStore;
-use semcc_semantics::{Catalog, Result, SemccError, Storage};
+use semcc_semantics::{Catalog, Result, SemccError, Storage, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -232,6 +232,20 @@ pub fn recover_image(
             }
             RedoOp::CreateSet { id, type_id } => {
                 store.restore_set(*id, *type_id)?;
+            }
+            RedoOp::EscrowAdd { obj, delta } => {
+                // Delta replay: re-apply the increment on top of whatever
+                // value earlier records (absolute or delta) produced —
+                // history repeats in log order.
+                let cur = match store.get(*obj)? {
+                    Value::Int(i) => i,
+                    other => {
+                        return Err(SemccError::Durability(format!(
+                            "escrow replay target {obj:?} holds non-integer {other:?}"
+                        )))
+                    }
+                };
+                store.put(*obj, Value::Int(cur + delta))?;
             }
         }
         report.replayed_actions += 1;

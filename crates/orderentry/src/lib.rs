@@ -41,7 +41,7 @@ pub mod workload;
 pub use schema::{Database, DbParams, ItemInfo, OrderInfo};
 pub use txns::{Target, TxnSpec};
 pub use types::{
-    build_catalog, build_catalog_hooked, ScenarioHook, StatusEvent, HOOK_SHIP_AFTER_CHANGE_STATUS,
-    ITEM_METHODS, ORDER_METHODS,
+    build_catalog, build_catalog_full, build_catalog_hooked, ScenarioHook, StatusEvent,
+    HOOK_SHIP_AFTER_CHANGE_STATUS, ITEM_METHODS, ORDER_METHODS,
 };
 pub use workload::{MixWeights, Workload, WorkloadConfig, ZipfSampler};

@@ -115,6 +115,34 @@ pub fn item_matrix(param_aware: bool) -> CompatibilityMatrix {
     m
 }
 
+/// Escrow variant of the Item matrix (hot-spot extension). With `QOH` and
+/// `PaidTotal` re-expressed as bounded escrow counters and `TotalPayment`
+/// reading the maintained counter instead of scanning the orders, three
+/// families of entries relax relative to [`item_matrix`]:
+///
+/// * `PayOrder` / `TotalPayment` → ok. The reader observes the running
+///   counter, which may include payments of still-active transactions;
+///   an abort compensates the counter back, so *state* serializability is
+///   preserved — the classic escrow trade-off of exact point-in-time reads
+///   against hot-spot throughput (O'Neil-style escrow reads would report
+///   `[min, max]` bounds; we report the current value).
+/// * `NewOrder` / `TotalPayment` → ok: the escrow `TotalPayment` no longer
+///   scans the orders set, and a freshly entered order is unpaid — invisible
+///   to the counter.
+/// * `ShipOrder`/`ShipOrder` and `PayOrder`/`PayOrder` on *different*
+///   orders → ok (the param-aware refinement): their counter updates are
+///   commuting escrow increments.
+///
+/// Everything else is inherited unchanged from `item_matrix(true)`, which
+/// therefore serves as the differential oracle: the escrow matrix may only
+/// *relax* entries, never introduce a conflict the base matrix lacks.
+pub fn item_matrix_escrow() -> CompatibilityMatrix {
+    let mut m = item_matrix(true);
+    m.ok(ITEM_PAY_ORDER, ITEM_TOTAL_PAYMENT);
+    m.ok(ITEM_NEW_ORDER, ITEM_TOTAL_PAYMENT);
+    m
+}
+
 /// One cell of a rendered matrix.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Cell {
@@ -259,6 +287,68 @@ mod tests {
         assert!(m.commute(&check(StatusEvent::Paid), &ship), "Figure-6 analogue");
         assert!(!m.commute(&check(StatusEvent::Paid), &pay));
         assert!(m.commute(&check(StatusEvent::Shipped), &pay));
+    }
+
+    /// The escrow matrix's relaxed cells, one by one — and the cells that
+    /// must NOT relax (same-order pairs, RemoveOrder, CheckOrder).
+    #[test]
+    fn escrow_matrix_relaxes_hotspot_pairs() {
+        let m = item_matrix_escrow();
+        use crate::types::*;
+        let with_order = |mth: MethodId, o: u64| item_inv(mth, vec![Value::Id(ObjectId(o))]);
+        let total = item_inv(ITEM_TOTAL_PAYMENT, vec![]);
+        let new_order = item_inv(ITEM_NEW_ORDER, vec![Value::Int(7)]);
+
+        // Relaxed: concurrent payers no longer conflict with the reader…
+        assert!(m.commute(&with_order(ITEM_PAY_ORDER, 1), &total));
+        assert!(m.commute(&total, &with_order(ITEM_PAY_ORDER, 1)), "symmetry");
+        // …nor does entering a fresh (unpaid) order.
+        assert!(m.commute(&new_order, &total));
+        // Param-aware refinement is folded in.
+        assert!(m.commute(&with_order(ITEM_PAY_ORDER, 1), &with_order(ITEM_PAY_ORDER, 2)));
+        assert!(m.commute(&with_order(ITEM_SHIP_ORDER, 1), &with_order(ITEM_SHIP_ORDER, 2)));
+
+        // NOT relaxed: same-order updates still conflict…
+        assert!(!m.commute(&with_order(ITEM_PAY_ORDER, 1), &with_order(ITEM_PAY_ORDER, 1)));
+        assert!(!m.commute(&with_order(ITEM_SHIP_ORDER, 1), &with_order(ITEM_SHIP_ORDER, 1)));
+        // …and the conservative RemoveOrder / CheckOrder rows survive.
+        assert!(!m.commute(&with_order(ITEM_REMOVE_ORDER, 1), &total));
+        assert!(!m.commute(
+            &item_inv(ITEM_CHECK_ORDER, vec![Value::Id(ObjectId(1)), StatusEvent::Paid.value()]),
+            &with_order(ITEM_PAY_ORDER, 1),
+        ));
+    }
+
+    proptest::proptest! {
+        /// Differential oracle: wherever the hand-written base matrix says
+        /// "commute", the escrow matrix must agree — it may only RELAX
+        /// entries (turn conflicts into ok), never introduce a conflict.
+        #[test]
+        fn escrow_matrix_only_relaxes_the_base_matrix(
+            a in 0u32..6, b in 0u32..6, oa in 1u64..4, ob in 1u64..4, ea in 1i64..3, eb in 1i64..3,
+        ) {
+            let base = item_matrix(true);
+            let escrow = item_matrix_escrow();
+            use crate::types::*;
+            let build = |mth: u32, o: u64, e: i64| {
+                let m = MethodId(mth);
+                let args = if m == ITEM_CHECK_ORDER {
+                    vec![Value::Id(ObjectId(o)), Value::Int(e)]
+                } else if m == ITEM_TOTAL_PAYMENT {
+                    vec![]
+                } else {
+                    vec![Value::Id(ObjectId(o))]
+                };
+                item_inv(m, args)
+            };
+            let (ia, ib) = (build(a, oa, ea), build(b, ob, eb));
+            if base.commute(&ia, &ib) {
+                proptest::prop_assert!(
+                    escrow.commute(&ia, &ib),
+                    "escrow matrix regressed {ia:?} vs {ib:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Database construction: the object schema of the paper's Figure 1,
 //! populated with items and orders.
 
-use crate::types::{build_catalog_hooked, ScenarioHook};
+use crate::types::{build_catalog_full, ScenarioHook};
 use semcc_objstore::{MemoryStore, PagePolicy};
 use semcc_semantics::{Catalog, ObjectId, Result, Storage, TypeId, Value, TYPE_SET};
 use std::sync::Arc;
@@ -21,6 +21,10 @@ pub struct DbParams {
     pub page_policy: PagePolicy,
     /// Use the parameter-aware variant of the Item matrix (extension).
     pub param_aware_item_matrix: bool,
+    /// Use the escrow method bodies and matrix: `QOH` and `PaidTotal`
+    /// become bounded escrow counters, `TotalPayment` reads the running
+    /// counter instead of scanning the orders (hot-spot extension).
+    pub escrow: bool,
 }
 
 impl Default for DbParams {
@@ -32,6 +36,7 @@ impl Default for DbParams {
             base_price_cents: 100,
             page_policy: PagePolicy::default(),
             param_aware_item_matrix: false,
+            escrow: false,
         }
     }
 }
@@ -64,6 +69,10 @@ pub struct ItemInfo {
     pub price: ObjectId,
     /// Price in cents.
     pub price_cents: i64,
+    /// The `PaidTotal` atom — running `Price × Quantity` total over paid
+    /// orders, maintained by the escrow `PayOrder` (always present, stays
+    /// 0 when `DbParams::escrow` is off).
+    pub paid_total: ObjectId,
     /// The `Orders` set object.
     pub orders_set: ObjectId,
     /// Pre-populated orders.
@@ -98,7 +107,7 @@ impl Database {
     /// bodies (deterministic figure reproductions only).
     pub fn build_with_hook(params: &DbParams, hook: Option<ScenarioHook>) -> Result<Database> {
         let (catalog, item_type, order_type) =
-            build_catalog_hooked(params.param_aware_item_matrix, hook);
+            build_catalog_full(params.param_aware_item_matrix, params.escrow, hook);
         let store = Arc::new(MemoryStore::with_policy(params.page_policy));
 
         let items_set = store.create_set(TYPE_SET)?;
@@ -120,16 +129,19 @@ impl Database {
                 store.create_atomic(semcc_semantics::TYPE_ATOMIC, Value::Int(price_cents))?;
             let qoh_atom = store
                 .create_atomic(semcc_semantics::TYPE_ATOMIC, Value::Int(params.initial_qoh))?;
+            let paid_total_atom =
+                store.create_atomic(semcc_semantics::TYPE_ATOMIC, Value::Int(0))?;
             let item = store.create_tuple(
                 item_type,
                 vec![
                     ("ItemNo".into(), item_no_atom),
                     ("Price".into(), price_atom),
                     ("QOH".into(), qoh_atom),
+                    ("PaidTotal".into(), paid_total_atom),
                     ("Orders".into(), orders_set),
                 ],
             )?;
-            let atoms = [item_no_atom, price_atom, qoh_atom];
+            let atoms = [item_no_atom, price_atom, qoh_atom, paid_total_atom];
             store.set_insert(items_set, item_no, item)?;
 
             let mut orders = Vec::with_capacity(params.orders_per_item);
@@ -162,6 +174,7 @@ impl Database {
                 qoh: atoms[2],
                 price: atoms[1],
                 price_cents,
+                paid_total: atoms[3],
                 orders_set,
                 orders,
             });
@@ -222,6 +235,8 @@ mod tests {
             assert_eq!(db.store.set_scan(item.orders_set).unwrap().len(), 2);
             assert_eq!(db.store.type_of(item.item).unwrap(), db.item_type);
             assert_eq!(db.store.get(item.qoh).unwrap(), Value::Int(1_000_000));
+            assert_eq!(db.store.get(item.paid_total).unwrap(), Value::Int(0));
+            assert_eq!(db.store.field(item.item, "PaidTotal").unwrap(), item.paid_total);
             for o in &item.orders {
                 assert_eq!(db.store.type_of(o.order).unwrap(), db.order_type);
                 assert_eq!(db.store.get(o.status).unwrap(), Value::Int(0), "status 'new'");

@@ -272,6 +272,99 @@ mod tests {
         assert_eq!(db.store.get(db.items[0].qoh).unwrap(), Value::Int(1_000_000));
     }
 
+    fn setup_escrow() -> (Database, Arc<Engine>) {
+        let db = Database::build(&DbParams {
+            n_items: 2,
+            orders_per_item: 2,
+            escrow: true,
+            ..Default::default()
+        })
+        .unwrap();
+        let engine =
+            Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog))
+                .build();
+        (db, engine)
+    }
+
+    /// The escrow pipeline end to end: `PayOrder` maintains `PaidTotal`,
+    /// `TotalPayment` reads it, the scan-based oracle agrees, and repeat
+    /// payment of the same order does not double-count.
+    #[test]
+    fn escrow_pay_total_matches_the_scan_oracle() {
+        let (db, engine) = setup_escrow();
+        engine.execute(&TxnSpec::Pay(vec![target(&db, 0, 0), target(&db, 0, 1)])).unwrap();
+        // Pay order 0 again: idempotent in the counter.
+        engine.execute(&TxnSpec::Pay(vec![target(&db, 0, 0)])).unwrap();
+        let out = engine.execute(&TxnSpec::Total(db.items[0].item)).unwrap();
+        let expected =
+            db.items[0].price_cents * (db.items[0].orders[0].qty + db.items[0].orders[1].qty);
+        assert_eq!(out.value, Value::Money(expected));
+        assert_eq!(db.oracle_total_payment(0).unwrap(), expected);
+        assert_eq!(db.store.get(db.items[0].paid_total).unwrap(), Value::Int(expected));
+        // The untouched item stays at zero.
+        assert_eq!(
+            engine.execute(&TxnSpec::Total(db.items[1].item)).unwrap().value,
+            Value::Money(0)
+        );
+    }
+
+    /// Escrow ship decrements QOH through the bounded escrow op; an abort
+    /// compensates both the status bit and the counter.
+    #[test]
+    fn escrow_aborted_ship_and_pay_are_fully_compensated() {
+        let (db, engine) = setup_escrow();
+        let t = target(&db, 0, 0);
+        engine.execute(&TxnSpec::Ship(vec![t])).unwrap();
+        let qty = db.items[0].orders[0].qty;
+        assert_eq!(
+            db.store.get(db.items[0].qoh).unwrap(),
+            Value::Int(1_000_000 - qty),
+            "escrow ship decrements QOH"
+        );
+        let prog = semcc_core::FnProgram::new("pay-abort", move |ctx: &mut dyn MethodContext| {
+            let ty = ctx.type_of(t.item)?;
+            ctx.invoke(Invocation::user(t.item, ty, ITEM_PAY_ORDER, vec![Value::Id(t.order)]))?;
+            Err(semcc_semantics::SemccError::Aborted("test".into()))
+        });
+        let _ = engine.execute(&prog).unwrap_err();
+        assert_eq!(db.store.get(db.items[0].paid_total).unwrap(), Value::Int(0), "counter back");
+        assert_eq!(
+            db.store.get(db.items[0].orders[0].status).unwrap(),
+            Value::Int(StatusEvent::Shipped.bit()),
+            "paid bit cleared, shipped bit untouched"
+        );
+        assert_eq!(
+            engine.execute(&TxnSpec::Total(db.items[0].item)).unwrap().value,
+            Value::Money(0)
+        );
+    }
+
+    /// The QOH lower bound is enforced: shipping more than is on hand
+    /// aborts with `EscrowViolation` instead of driving QOH negative.
+    #[test]
+    fn escrow_qoh_bound_rejects_overshipment() {
+        let db = Database::build(&DbParams {
+            n_items: 1,
+            orders_per_item: 2,
+            initial_qoh: 1,
+            escrow: true,
+            ..Default::default()
+        })
+        .unwrap();
+        let engine =
+            Engine::builder(Arc::clone(&db.store) as Arc<dyn Storage>, Arc::clone(&db.catalog))
+                .build();
+        // orders[1] has qty 2 > QOH 1.
+        assert_eq!(db.items[0].orders[1].qty, 2);
+        let err = engine.execute(&TxnSpec::Ship(vec![target(&db, 0, 1)])).unwrap_err();
+        assert!(matches!(err, semcc_semantics::SemccError::EscrowViolation(_)), "got {err:?}");
+        assert_eq!(db.store.get(db.items[0].qoh).unwrap(), Value::Int(1), "state untouched");
+        assert_eq!(db.store.get(db.items[0].orders[1].status).unwrap(), Value::Int(0));
+        // A fitting shipment still goes through afterwards.
+        engine.execute(&TxnSpec::Ship(vec![target(&db, 0, 0)])).unwrap();
+        assert_eq!(db.store.get(db.items[0].qoh).unwrap(), Value::Int(0));
+    }
+
     #[test]
     fn aborted_new_order_is_removed_and_objects_deleted() {
         let (db, engine) = setup();

@@ -244,6 +244,52 @@ fn pay_order_body(ctx: &mut dyn MethodContext, inv: &Invocation) -> Result<Value
     Ok(Value::Unit)
 }
 
+/// `ShipOrder(i, order)` — escrow variant: the QOH decrement becomes a
+/// bounded escrow operation (`QOH` may never drop below 0), which commutes
+/// with every other escrow update of the same counter instead of
+/// conflicting at the leaf.
+fn ship_order_escrow_body_hooked(
+    hook: Option<ScenarioHook>,
+) -> Arc<dyn semcc_semantics::MethodBody> {
+    body(move |ctx: &mut dyn MethodContext, inv: &Invocation| {
+        let order = inv.arg_id(0)?;
+        ctx.call(order, "ChangeStatus", vec![StatusEvent::Shipped.value()])?;
+        if let Some(h) = &hook {
+            h(HOOK_SHIP_AFTER_CHANGE_STATUS);
+        }
+        let qty = ctx.get_field(order, "Quantity")?.as_int().unwrap_or(0);
+        ctx.escrow_add_field(inv.object, "QOH", -qty, Some(0))?;
+        Ok(Value::Unit)
+    })
+}
+
+/// `PayOrder(i, order)` — escrow variant: record the payment *and* fold
+/// `Price × Quantity` into the item's running `PaidTotal` counter. The
+/// `TestStatus` pre-check keeps repeated payment of the same order out of
+/// the counter (the status bit-set is idempotent on its own; the counter
+/// is not).
+fn pay_order_escrow_body(ctx: &mut dyn MethodContext, inv: &Invocation) -> Result<Value> {
+    let order = inv.arg_id(0)?;
+    let already =
+        ctx.call(order, "TestStatus", vec![StatusEvent::Paid.value()])?.as_bool().unwrap_or(false);
+    ctx.call(order, "ChangeStatus", vec![StatusEvent::Paid.value()])?;
+    if !already {
+        let price = ctx.get_field(inv.object, "Price")?.as_int().unwrap_or(0);
+        let qty = ctx.get_field(order, "Quantity")?.as_int().unwrap_or(0);
+        ctx.escrow_add_field(inv.object, "PaidTotal", price * qty, None)?;
+    }
+    Ok(Value::Unit)
+}
+
+/// `TotalPayment(i)` — escrow variant: one read of the maintained
+/// `PaidTotal` counter replaces the scan over all orders. Concurrent
+/// payers no longer conflict with the reader at the method level (see
+/// [`matrices::item_matrix_escrow`] for the trade-off discussion).
+fn total_payment_escrow_body(ctx: &mut dyn MethodContext, inv: &Invocation) -> Result<Value> {
+    let total = ctx.get_field(inv.object, "PaidTotal")?.as_int().unwrap_or(0);
+    Ok(Value::Money(total))
+}
+
 /// `TotalPayment(i)`: total value (price × quantity) of the already-paid
 /// orders. **Bypasses** the `Order` encapsulation by reading the status
 /// atoms directly (paper footnote 4: "for efficiency reasons, or because
@@ -288,7 +334,22 @@ fn check_order_body(ctx: &mut dyn MethodContext, inv: &Invocation) -> Result<Val
 /// parameter-dependent variant of the Figure-2 matrix (an extension the
 /// paper explicitly allows: "taking into account the actual input
 /// parameters of operations").
-fn register_item(catalog: &mut Catalog, param_aware: bool, hook: Option<ScenarioHook>) -> TypeId {
+fn register_item(
+    catalog: &mut Catalog,
+    param_aware: bool,
+    escrow: bool,
+    hook: Option<ScenarioHook>,
+) -> TypeId {
+    let ship_body =
+        if escrow { ship_order_escrow_body_hooked(hook) } else { ship_order_body_hooked(hook) };
+    let pay_body = if escrow { body(pay_order_escrow_body) } else { body(pay_order_body) };
+    let total_body =
+        if escrow { body(total_payment_escrow_body) } else { body(total_payment_body) };
+    let spec = if escrow {
+        Arc::new(matrices::item_matrix_escrow())
+    } else {
+        Arc::new(matrices::item_matrix(param_aware))
+    };
     catalog.register_type(TypeDef {
         name: "Item".into(),
         kind: TypeKind::Encapsulated,
@@ -301,19 +362,19 @@ fn register_item(catalog: &mut Catalog, param_aware: bool, hook: Option<Scenario
             },
             MethodDef {
                 name: "ShipOrder".into(),
-                body: Some(ship_order_body_hooked(hook)),
+                body: Some(ship_body),
                 compensation: None, // structural: ClearStatus + QOH restore
                 updates: true,
             },
             MethodDef {
                 name: "PayOrder".into(),
-                body: Some(body(pay_order_body)),
-                compensation: None, // structural: ClearStatus
+                body: Some(pay_body),
+                compensation: None, // structural: ClearStatus (+ counter restore)
                 updates: true,
             },
             MethodDef {
                 name: "TotalPayment".into(),
-                body: Some(body(total_payment_body)),
+                body: Some(total_body),
                 compensation: None,
                 updates: false,
             },
@@ -330,7 +391,7 @@ fn register_item(catalog: &mut Catalog, param_aware: bool, hook: Option<Scenario
                 updates: false,
             },
         ],
-        spec: Arc::new(matrices::item_matrix(param_aware)),
+        spec,
     })
 }
 
@@ -344,9 +405,20 @@ pub fn build_catalog_hooked(
     param_aware_item_matrix: bool,
     hook: Option<ScenarioHook>,
 ) -> (Catalog, TypeId, TypeId) {
+    build_catalog_full(param_aware_item_matrix, false, hook)
+}
+
+/// [`build_catalog_hooked`] with the escrow variant switchable: `escrow`
+/// swaps in the escrow method bodies and the escrow Item matrix (the
+/// hot-spot extension; see [`matrices::item_matrix_escrow`]).
+pub fn build_catalog_full(
+    param_aware_item_matrix: bool,
+    escrow: bool,
+    hook: Option<ScenarioHook>,
+) -> (Catalog, TypeId, TypeId) {
     let mut catalog = Catalog::new();
     let order_type = register_order(&mut catalog);
-    let item_type = register_item(&mut catalog, param_aware_item_matrix, hook);
+    let item_type = register_item(&mut catalog, param_aware_item_matrix, escrow, hook);
     (catalog, item_type, order_type)
 }
 

@@ -177,6 +177,16 @@ impl Workload {
     pub fn new(db: &Database, cfg: WorkloadConfig) -> Self {
         let n_items = db.items.len();
         let dist = WeightedIndex::new(cfg.mix.weights()).expect("at least one non-zero weight");
+        // Fail fast with a diagnosis instead of the empty-range panic
+        // `pick_target` used to hit mid-run: T1–T4 need at least one
+        // pre-populated order somewhere in the database.
+        let needs_orders =
+            cfg.mix.t1_ship + cfg.mix.t2_pay + cfg.mix.t3_check_shipped + cfg.mix.t4_check_paid > 0;
+        assert!(
+            !needs_orders || db.items.iter().any(|i| !i.orders.is_empty()),
+            "workload mix includes order-targeting transactions (T1-T4) but no item has any \
+             orders; build the database with orders_per_item > 0 or zero those mix weights"
+        );
         Workload {
             zipf: ZipfSampler::new(n_items, cfg.zipf_theta),
             rng: StdRng::seed_from_u64(cfg.seed),
@@ -194,7 +204,18 @@ impl Workload {
     }
 
     fn pick_target(&mut self, db: &Database, item_idx: usize) -> Target {
-        let item = &db.items[item_idx];
+        // Walk to the next item that has orders: `random_range(0..0)`
+        // panics, and nothing guarantees every item is populated.
+        let n = db.items.len();
+        let mut idx = item_idx;
+        for _ in 0..n {
+            if !db.items[idx].orders.is_empty() {
+                break;
+            }
+            idx = (idx + 1) % n;
+        }
+        let item = &db.items[idx];
+        assert!(!item.orders.is_empty(), "no item has orders (checked in Workload::new)");
         let o = self.rng.random_range(0..item.orders.len());
         Target { item: item.item, order: item.orders[o].order }
     }
@@ -338,6 +359,78 @@ mod tests {
         let reads = batch.iter().filter(|t| !t.is_update()).count();
         assert!(reads > 50 && reads < 150, "roughly balanced: {reads}/200");
         assert_eq!(MixWeights::with_read_ratio(250).t1_ship, 0, "percentages clamp at 100");
+    }
+
+    /// Regression: `orders_per_item: 0` used to panic inside
+    /// `pick_target` (`random_range` over an empty range) as soon as a
+    /// T1–T4 transaction was sampled. Order-free mixes must work…
+    #[test]
+    fn order_free_mix_supports_an_empty_order_population() {
+        let database =
+            Database::build(&DbParams { n_items: 4, orders_per_item: 0, ..Default::default() })
+                .unwrap();
+        let cfg = WorkloadConfig {
+            mix: MixWeights {
+                t0_new: 1,
+                t1_ship: 0,
+                t2_pay: 0,
+                t3_check_shipped: 0,
+                t4_check_paid: 0,
+                t5_total: 1,
+            },
+            ..Default::default()
+        };
+        let batch = Workload::new(&database, cfg).batch(&database, 40);
+        assert!(batch.iter().all(|t| matches!(t.kind(), "T0" | "T5")));
+    }
+
+    /// …and mixes that do need order targets fail fast at construction
+    /// with a diagnosis, not mid-run with an empty-range panic.
+    #[test]
+    #[should_panic(expected = "no item has any orders")]
+    fn order_targeting_mix_without_orders_fails_fast() {
+        let database =
+            Database::build(&DbParams { n_items: 4, orders_per_item: 0, ..Default::default() })
+                .unwrap();
+        Workload::new(&database, WorkloadConfig::default());
+    }
+
+    /// A partially populated database: `pick_target` walks past items
+    /// without orders instead of panicking on them.
+    #[test]
+    fn pick_target_skips_items_without_orders() {
+        let mut database =
+            Database::build(&DbParams { n_items: 4, orders_per_item: 1, ..Default::default() })
+                .unwrap();
+        // Depopulate all but one item (handles only; the store is not
+        // consulted by the generator).
+        for i in [0usize, 1, 3] {
+            database.items[i].orders.clear();
+        }
+        let only = database.items[2].orders[0].order;
+        let mut w = Workload::new(
+            &database,
+            WorkloadConfig {
+                mix: MixWeights {
+                    t0_new: 0,
+                    t1_ship: 1,
+                    t2_pay: 1,
+                    t3_check_shipped: 0,
+                    t4_check_paid: 0,
+                    t5_total: 0,
+                },
+                targets_per_txn: 1,
+                ..Default::default()
+            },
+        );
+        for _ in 0..30 {
+            match w.next_txn(&database) {
+                TxnSpec::Ship(ts) | TxnSpec::Pay(ts) => {
+                    assert!(ts.iter().all(|t| t.order == only));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -178,6 +178,13 @@ impl GenericSpec {
         match (ga, gb) {
             (Get, Get) => true,
             (Get, Put) | (Put, Get) | (Put, Put) => false,
+            // Escrow adds commute with each other by construction: the
+            // lower-bound guard is evaluated against the worst-case value
+            // (current minus all uncommitted positive deltas), so both
+            // orders produce identical guard outcomes, and addition itself
+            // commutes. Against Get/Put (exact observations/overwrites)
+            // they fall to the conservative catch-all conflict below.
+            (EscrowAdd, EscrowAdd) => true,
             (Select, Select) | (Scan, Scan) | (Select, Scan) | (Scan, Select) => true,
             (Scan, Insert) | (Insert, Scan) | (Scan, Remove) | (Remove, Scan) => false,
             (Select | Insert | Remove, Select | Insert | Remove) => {
@@ -491,6 +498,18 @@ mod tests {
         assert!(!s.commute(&get(1), &put(1)));
         assert!(!s.commute(&put(1), &get(1)));
         assert!(!s.commute(&put(1), &put(1)));
+    }
+
+    #[test]
+    fn generic_escrow_rules() {
+        let s = GenericSpec;
+        let ea = |d| Invocation::escrow_add(ObjectId(1), TYPE_ATOMIC, d);
+        assert!(s.commute(&ea(5), &ea(-3)), "escrow adds commute with each other");
+        assert!(s.commute(&ea(5), &Invocation::escrow_add_bounded(ObjectId(1), TYPE_ATOMIC, -3, 0)));
+        assert!(!s.commute(&ea(5), &get(1)), "escrow vs exact read conflicts");
+        assert!(!s.commute(&get(1), &ea(5)));
+        assert!(!s.commute(&ea(5), &put(1)), "escrow vs overwrite conflicts");
+        assert!(!s.commute(&put(1), &ea(5)));
     }
 
     #[test]

@@ -118,6 +118,31 @@ pub trait MethodContext {
         }
     }
 
+    /// `EscrowAdd` a delta into an atomic integer, optionally guarded by a
+    /// lower bound on the worst-case post-value. Escrow adds commute with
+    /// each other, so concurrent hot-counter updates do not conflict.
+    fn escrow_add(&mut self, obj: ObjectId, delta: i64, lo: Option<i64>) -> Result<()> {
+        let t = self.type_of(obj)?;
+        let inv = match lo {
+            Some(lo) => Invocation::escrow_add_bounded(obj, t, delta, lo),
+            None => Invocation::escrow_add(obj, t, delta),
+        };
+        self.invoke(inv)?;
+        Ok(())
+    }
+
+    /// `EscrowAdd` into the atomic component `name` of tuple `obj`.
+    fn escrow_add_field(
+        &mut self,
+        obj: ObjectId,
+        name: &str,
+        delta: i64,
+        lo: Option<i64>,
+    ) -> Result<()> {
+        let f = self.field(obj, name)?;
+        self.escrow_add(f, delta, lo)
+    }
+
     /// `Scan` all `(key, member)` pairs of a set.
     fn scan(&mut self, set: ObjectId) -> Result<Vec<(u64, ObjectId)>> {
         let t = self.type_of(set)?;
@@ -225,6 +250,24 @@ mod tests {
                         .map(|(k, m)| Value::List(vec![Value::Int(*k as i64), Value::Id(*m)]))
                         .collect(),
                 )),
+                GenericMethod::EscrowAdd => {
+                    let delta = inv.arg_int(0)?;
+                    let cur = self
+                        .atoms
+                        .get(&inv.object)
+                        .and_then(|v| v.as_int())
+                        .ok_or(SemccError::NoSuchObject(inv.object))?;
+                    if let Ok(lo) = inv.arg_int(1) {
+                        if cur + delta < lo {
+                            return Err(SemccError::EscrowViolation(format!(
+                                "{} + {delta} < {lo}",
+                                cur
+                            )));
+                        }
+                    }
+                    self.atoms.insert(inv.object, Value::Int(cur + delta));
+                    Ok(Value::Unit)
+                }
             }
         }
 
@@ -289,6 +332,18 @@ mod tests {
         assert_eq!(scanned, vec![(7, m)]);
         assert_eq!(ctx.remove(s, 7).unwrap(), Some(m));
         assert_eq!(ctx.remove(s, 7).unwrap(), None);
+    }
+
+    #[test]
+    fn escrow_helper_round_trip() {
+        let mut ctx = FakeCtx::new();
+        let o = ctx.create_atomic(Value::Int(10)).unwrap();
+        ctx.escrow_add(o, 5, None).unwrap();
+        assert_eq!(ctx.get(o).unwrap(), Value::Int(15));
+        ctx.escrow_add(o, -15, Some(0)).unwrap();
+        assert_eq!(ctx.get(o).unwrap(), Value::Int(0));
+        let err = ctx.escrow_add(o, -1, Some(0)).unwrap_err();
+        assert!(matches!(err, SemccError::EscrowViolation(_)));
     }
 
     #[test]

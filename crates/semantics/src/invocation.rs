@@ -28,6 +28,13 @@ pub enum GenericMethod {
     Remove,
     /// Return all `(key, member)` pairs of a set.
     Scan,
+    /// Escrow update of an atomic integer: add a (possibly negative) delta
+    /// under an optional lower-bound guard. Args: `[delta]` or
+    /// `[delta, lower_bound]`. The guard is tested against the worst-case
+    /// value (current value minus all uncommitted positive escrow deltas),
+    /// so concurrent escrow adds commute by construction. Returns `Unit`
+    /// (returning the new value would break that commutativity).
+    EscrowAdd,
 }
 
 impl GenericMethod {
@@ -40,22 +47,30 @@ impl GenericMethod {
             GenericMethod::Insert => "Insert",
             GenericMethod::Remove => "Remove",
             GenericMethod::Scan => "Scan",
+            GenericMethod::EscrowAdd => "EscrowAdd",
         }
     }
 
     /// Whether the operation may modify the object.
     pub fn is_update(self) -> bool {
-        matches!(self, GenericMethod::Put | GenericMethod::Insert | GenericMethod::Remove)
+        matches!(
+            self,
+            GenericMethod::Put
+                | GenericMethod::Insert
+                | GenericMethod::Remove
+                | GenericMethod::EscrowAdd
+        )
     }
 
     /// All generic methods, for exhaustive tests.
-    pub const ALL: [GenericMethod; 6] = [
+    pub const ALL: [GenericMethod; 7] = [
         GenericMethod::Get,
         GenericMethod::Put,
         GenericMethod::Select,
         GenericMethod::Insert,
         GenericMethod::Remove,
         GenericMethod::Scan,
+        GenericMethod::EscrowAdd,
     ];
 }
 
@@ -159,6 +174,22 @@ impl Invocation {
         Self::generic(set, type_id, GenericMethod::Scan, vec![])
     }
 
+    /// `EscrowAdd(object, delta)` — unbounded escrow update.
+    pub fn escrow_add(object: ObjectId, type_id: TypeId, delta: i64) -> Self {
+        Self::generic(object, type_id, GenericMethod::EscrowAdd, vec![Value::Int(delta)])
+    }
+
+    /// `EscrowAdd(object, delta, lower_bound)` — escrow update that fails
+    /// unless the worst-case post-value stays at or above `lower_bound`.
+    pub fn escrow_add_bounded(object: ObjectId, type_id: TypeId, delta: i64, lo: i64) -> Self {
+        Self::generic(
+            object,
+            type_id,
+            GenericMethod::EscrowAdd,
+            vec![Value::Int(delta), Value::Int(lo)],
+        )
+    }
+
     /// The n-th argument, or an error naming the method.
     pub fn arg(&self, n: usize) -> crate::error::Result<&Value> {
         self.args.get(n).ok_or_else(|| {
@@ -209,6 +240,7 @@ mod tests {
         assert!(GenericMethod::Put.is_update());
         assert!(GenericMethod::Insert.is_update());
         assert!(GenericMethod::Remove.is_update());
+        assert!(GenericMethod::EscrowAdd.is_update());
         assert!(!GenericMethod::Get.is_update());
         assert!(!GenericMethod::Select.is_update());
         assert!(!GenericMethod::Scan.is_update());

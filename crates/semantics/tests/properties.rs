@@ -28,6 +28,7 @@ fn arb_generic_invocation() -> impl Strategy<Value = Invocation> {
         Just(GenericMethod::Insert),
         Just(GenericMethod::Remove),
         Just(GenericMethod::Scan),
+        Just(GenericMethod::EscrowAdd),
     ];
     (0u64..4, method, 0i64..6).prop_map(|(obj, m, key)| {
         let object = ObjectId(obj);
@@ -40,6 +41,7 @@ fn arb_generic_invocation() -> impl Strategy<Value = Invocation> {
             }
             GenericMethod::Remove => Invocation::remove(object, TYPE_SET, key as u64),
             GenericMethod::Scan => Invocation::scan(object, TYPE_SET),
+            GenericMethod::EscrowAdd => Invocation::escrow_add_bounded(object, TYPE_ATOMIC, key, 0),
         }
     })
 }

@@ -134,6 +134,9 @@ fn build_chaos_engine(
     // applied afterwards in every arm.
     match params.protocol {
         ProtocolKind::Semantic => builder.protocol(ProtocolConfig::semantic()),
+        ProtocolKind::SemanticSpeculative => {
+            builder.protocol(ProtocolConfig::semantic().with_speculation(true))
+        }
         ProtocolKind::SemanticNoAncestor => builder.protocol(ProtocolConfig::no_ancestor_check()),
         ProtocolKind::OpenNoRetention => builder.protocol(ProtocolConfig::open_nested_plain()),
         ProtocolKind::Object2pl => {

@@ -224,6 +224,10 @@ mod tests {
         semcc_core::Stats::add(&stats_src.wal_io_errors, 2);
         semcc_core::Stats::bump(&stats_src.rerecoveries);
         semcc_core::Stats::add(&stats_src.wal_group_commits, 29);
+        semcc_core::Stats::add(&stats_src.escrow_grants, 21);
+        semcc_core::Stats::add(&stats_src.speculative_grants, 14);
+        semcc_core::Stats::add(&stats_src.cascade_aborts, 2);
+        semcc_core::Stats::add(&stats_src.dependency_edges, 15);
         RunMetrics {
             protocol: "semantic".into(),
             workers: 8,
@@ -318,6 +322,19 @@ mod tests {
     }
 
     #[test]
+    fn json_roundtrip_preserves_hotspot_counters() {
+        let m = sample_metrics();
+        let json = m.to_json();
+        assert!(json.contains("\"escrow_grants\":21"), "{json}");
+        assert!(json.contains("\"speculative_grants\":14"), "{json}");
+        let parsed = RunMetrics::from_json(&json).unwrap();
+        assert_eq!(parsed.stats.escrow_grants, 21);
+        assert_eq!(parsed.stats.speculative_grants, 14);
+        assert_eq!(parsed.stats.cascade_aborts, 2);
+        assert_eq!(parsed.stats.dependency_edges, 15);
+    }
+
+    #[test]
     fn json_stats_object_lists_every_declared_counter() {
         let m = sample_metrics();
         let json = m.to_json();
@@ -361,6 +378,11 @@ mod tests {
         assert!(text.contains("semcc_stats_read_validations_total"));
         assert!(text.contains("semcc_stats_read_validation_failures_total"));
         assert!(text.contains("semcc_stats_snapshot_retries_total"));
+        assert!(text
+            .contains("semcc_stats_escrow_grants_total{protocol=\"semantic\",workers=\"8\"} 21"));
+        assert!(text.contains("semcc_stats_speculative_grants_total"));
+        assert!(text.contains("semcc_stats_cascade_aborts_total"));
+        assert!(text.contains("semcc_stats_dependency_edges_total"));
         for line in text.lines() {
             assert!(
                 line.starts_with("# TYPE semcc_") || line.starts_with("semcc_"),

@@ -13,6 +13,11 @@ pub enum ProtocolKind {
     /// The paper's full protocol: open nesting + retained semantic locks +
     /// commutative-ancestor conflict test.
     Semantic,
+    /// The full protocol plus speculative Case-2 grants: a requestor
+    /// blocked on a commutative but uncommitted ancestor is granted early
+    /// with an abort-dependency edge; if the holder's subtransaction
+    /// aborts, the dependents cascade-abort (and retry).
+    SemanticSpeculative,
     /// Ablation: retained locks whose conflicts always wait for top-level
     /// commit (no Case 1 / Case 2).
     SemanticNoAncestor,
@@ -29,8 +34,9 @@ pub enum ProtocolKind {
 
 impl ProtocolKind {
     /// All protocols, in report order.
-    pub const ALL: [ProtocolKind; 6] = [
+    pub const ALL: [ProtocolKind; 7] = [
         ProtocolKind::Semantic,
+        ProtocolKind::SemanticSpeculative,
         ProtocolKind::SemanticNoAncestor,
         ProtocolKind::OpenNoRetention,
         ProtocolKind::ClosedNested,
@@ -39,8 +45,11 @@ impl ProtocolKind {
     ];
 
     /// The safe protocols (correct even with bypassing transactions).
-    pub const SAFE: [ProtocolKind; 5] = [
+    /// Speculation stays safe: a dependent either waits for its holder to
+    /// commit or cascade-aborts with full compensation.
+    pub const SAFE: [ProtocolKind; 6] = [
         ProtocolKind::Semantic,
+        ProtocolKind::SemanticSpeculative,
         ProtocolKind::SemanticNoAncestor,
         ProtocolKind::ClosedNested,
         ProtocolKind::Object2pl,
@@ -51,6 +60,7 @@ impl ProtocolKind {
     pub fn name(self) -> &'static str {
         match self {
             ProtocolKind::Semantic => "semantic",
+            ProtocolKind::SemanticSpeculative => "semantic/speculative",
             ProtocolKind::SemanticNoAncestor => "semantic/no-ancestor",
             ProtocolKind::OpenNoRetention => "open-nested/no-retention",
             ProtocolKind::Object2pl => "2pl/object",
@@ -115,6 +125,9 @@ pub fn build_engine_full(
     // applied afterwards in every arm.
     match kind {
         ProtocolKind::Semantic => builder.protocol(ProtocolConfig::semantic()),
+        ProtocolKind::SemanticSpeculative => {
+            builder.protocol(ProtocolConfig::semantic().with_speculation(true))
+        }
         ProtocolKind::SemanticNoAncestor => builder.protocol(ProtocolConfig::no_ancestor_check()),
         ProtocolKind::OpenNoRetention => builder.protocol(ProtocolConfig::open_nested_plain()),
         ProtocolKind::Object2pl => {

@@ -19,8 +19,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn deps_with_catalog(catalog: Catalog) -> DisciplineDeps {
+    let registry = Arc::new(Registry::new());
     DisciplineDeps {
-        registry: Arc::new(Registry::new()),
+        registry: Arc::clone(&registry),
         hub: Arc::new(CompletionHub::new()),
         wfg: Arc::new(WaitsForGraph::new()),
         stats: Arc::new(Stats::default()),
@@ -29,6 +30,7 @@ fn deps_with_catalog(catalog: Catalog) -> DisciplineDeps {
         storage: Arc::new(MemoryStore::new()),
         lock_wait_timeout: None,
         journal: None,
+        dep_graph: Arc::new(semcc::core::DepGraph::new(registry)),
     }
 }
 
