@@ -1,7 +1,7 @@
 //! The experiment driver: regenerates every evaluation artifact.
 //!
 //! ```text
-//! experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|b8|b9|b10|chaos|recover|torture|observe] [--quick]
+//! experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|b8|b9|b10|b11|chaos|recover|torture|observe] [--quick]
 //! ```
 
 use semcc_bench::sweeps::{self, Scale};
@@ -46,6 +46,24 @@ fn run_b10(scale: Scale, quick: bool) {
     let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr9.json").to_string();
     let out = std::env::var("SEMCC_B10_OUT").unwrap_or(default_out);
     std::fs::write(&out, json).expect("write BENCH_pr9.json");
+    println!("(bench json written to {out})\n");
+}
+
+/// B11 also emits `BENCH_pr10.json` at the repo root (override with
+/// `SEMCC_B11_OUT`): the sharded-fleet gate — semantic open-nested
+/// cross-shard commit vs classic presumed-abort 2PC across shard-count ×
+/// cross-shard-ratio cells, plus the k-of-N availability audit — in
+/// machine-readable form, uploaded by the CI bench-smoke job.
+fn run_b11(scale: Scale, quick: bool) {
+    let (table, json) = sweeps::b11_sharded(scale, !quick);
+    print_and_save(
+        "B11: sharded fleet (semantic open-nested vs classic 2PC; cross-shard ratio sweep)",
+        "b11_sharded",
+        table,
+    );
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr10.json").to_string();
+    let out = std::env::var("SEMCC_B11_OUT").unwrap_or(default_out);
+    std::fs::write(&out, json).expect("write BENCH_pr10.json");
     println!("(bench json written to {out})\n");
 }
 
@@ -117,6 +135,7 @@ fn main() {
         ),
         "b9" => run_b9(scale, quick),
         "b10" => run_b10(scale, quick),
+        "b11" => run_b11(scale, quick),
         "chaos" => {
             figures::containment();
             print_and_save(
@@ -222,11 +241,12 @@ fn main() {
             );
             run_b9(scale, quick);
             run_b10(scale, quick);
+            run_b11(scale, quick);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|b8|b9|b10|chaos|recover|torture|observe] [--quick]"
+                "usage: experiments [all|figures|fig1..fig7|b1|b2|b3|b4|b5|b8|b9|b10|b11|chaos|recover|torture|observe] [--quick]"
             );
             std::process::exit(2);
         }

@@ -43,12 +43,29 @@ pub struct ProtocolConfig {
     /// the dependent cascade-aborts through the ordinary compensation
     /// machinery. Off by default.
     pub speculative_case2: bool,
+    /// Commit-wait backstop for speculative abort-dependency edges, in
+    /// milliseconds (see [`crate::speculate::DepGraph::wait_commit`]).
+    /// Must be positive; the partial-fleet chaos harness tightens it so a
+    /// crashed-shard cycle resolves in bounded time.
+    pub dep_wait_cap_ms: u64,
+    /// Ceiling for the seeded exponential retry backoff, in microseconds
+    /// (applied in [`Engine`](crate::engine::Engine) retry loops and
+    /// compensation replay). Must be positive.
+    pub max_backoff_us: u64,
 }
 
 /// Default lock-wait timeout: long enough that it never fires under
 /// healthy operation (deadlocks are detected, wake-ups are targeted), short
 /// enough that a lost wake-up surfaces as an abort instead of a hang.
 pub const DEFAULT_LOCK_WAIT_TIMEOUT_MS: u64 = 30_000;
+
+/// Default commit-wait cap for speculative dependency edges — matches the
+/// historical hardcoded 2s `DEP_WAIT_CAP`.
+pub const DEFAULT_DEP_WAIT_CAP_MS: u64 = 2_000;
+
+/// Default retry-backoff ceiling — matches the historical hardcoded 5ms
+/// `MAX_BACKOFF`.
+pub const DEFAULT_MAX_BACKOFF_US: u64 = 5_000;
 
 impl ProtocolConfig {
     /// The full protocol of the paper (Section 4).
@@ -60,6 +77,8 @@ impl ProtocolConfig {
             lock_wait_timeout_ms: DEFAULT_LOCK_WAIT_TIMEOUT_MS,
             journal_capacity: 0,
             speculative_case2: false,
+            dep_wait_cap_ms: DEFAULT_DEP_WAIT_CAP_MS,
+            max_backoff_us: DEFAULT_MAX_BACKOFF_US,
         }
     }
 
@@ -73,6 +92,8 @@ impl ProtocolConfig {
             lock_wait_timeout_ms: DEFAULT_LOCK_WAIT_TIMEOUT_MS,
             journal_capacity: 0,
             speculative_case2: false,
+            dep_wait_cap_ms: DEFAULT_DEP_WAIT_CAP_MS,
+            max_backoff_us: DEFAULT_MAX_BACKOFF_US,
         }
     }
 
@@ -86,6 +107,8 @@ impl ProtocolConfig {
             lock_wait_timeout_ms: DEFAULT_LOCK_WAIT_TIMEOUT_MS,
             journal_capacity: 0,
             speculative_case2: false,
+            dep_wait_cap_ms: DEFAULT_DEP_WAIT_CAP_MS,
+            max_backoff_us: DEFAULT_MAX_BACKOFF_US,
         }
     }
 
@@ -111,10 +134,34 @@ impl ProtocolConfig {
         self
     }
 
+    /// Override the speculative commit-wait cap (milliseconds, clamped to
+    /// at least 1).
+    pub fn with_dep_wait_cap_ms(mut self, ms: u64) -> Self {
+        self.dep_wait_cap_ms = ms.max(1);
+        self
+    }
+
+    /// Override the retry-backoff ceiling (microseconds, clamped to at
+    /// least 1).
+    pub fn with_max_backoff_us(mut self, us: u64) -> Self {
+        self.max_backoff_us = us.max(1);
+        self
+    }
+
     /// The timeout as a `Duration`, `None` when disabled.
     pub fn lock_wait_timeout(&self) -> Option<std::time::Duration> {
         (self.lock_wait_timeout_ms > 0)
             .then(|| std::time::Duration::from_millis(self.lock_wait_timeout_ms))
+    }
+
+    /// The speculative commit-wait cap as a `Duration`.
+    pub fn dep_wait_cap(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.dep_wait_cap_ms.max(1))
+    }
+
+    /// The retry-backoff ceiling as a `Duration`.
+    pub fn max_backoff(&self) -> std::time::Duration {
+        std::time::Duration::from_micros(self.max_backoff_us.max(1))
     }
 }
 
@@ -158,6 +205,28 @@ mod tests {
         assert!(!ProtocolConfig::no_ancestor_check().speculative_case2);
         assert!(!ProtocolConfig::open_nested_plain().speculative_case2);
         assert!(ProtocolConfig::semantic().with_speculation(true).speculative_case2);
+    }
+
+    #[test]
+    fn wait_cap_and_backoff_defaults_match_historical_constants() {
+        // Satellite regression guard: the lifted knobs default to exactly
+        // the values that were hardcoded before they became configurable.
+        let s = ProtocolConfig::semantic();
+        assert_eq!(s.dep_wait_cap_ms, 2_000);
+        assert_eq!(s.dep_wait_cap(), std::time::Duration::from_secs(2));
+        assert_eq!(s.max_backoff_us, 5_000);
+        assert_eq!(s.max_backoff(), std::time::Duration::from_millis(5));
+        for cfg in [ProtocolConfig::no_ancestor_check(), ProtocolConfig::open_nested_plain()] {
+            assert_eq!(cfg.dep_wait_cap_ms, DEFAULT_DEP_WAIT_CAP_MS);
+            assert_eq!(cfg.max_backoff_us, DEFAULT_MAX_BACKOFF_US);
+        }
+        let tight = s.with_dep_wait_cap_ms(50).with_max_backoff_us(200);
+        assert_eq!(tight.dep_wait_cap(), std::time::Duration::from_millis(50));
+        assert_eq!(tight.max_backoff(), std::time::Duration::from_micros(200));
+        // Zero is clamped rather than producing a degenerate spin.
+        let clamped = s.with_dep_wait_cap_ms(0).with_max_backoff_us(0);
+        assert_eq!(clamped.dep_wait_cap_ms, 1);
+        assert_eq!(clamped.max_backoff_us, 1);
     }
 
     #[test]

@@ -167,6 +167,11 @@ impl TxnShared {
     }
 }
 
+/// Prepare hook of [`Engine::execute_open_prepared`]: runs after the
+/// transaction body succeeds and before the local commit record, with the
+/// top id and the chronological compensation intent.
+pub type PrepareHook<'a> = &'a mut dyn FnMut(TopId, &[Invocation]) -> Result<()>;
+
 /// Builds an [`Engine`].
 pub struct EngineBuilder {
     storage: Arc<dyn Storage>,
@@ -299,7 +304,7 @@ impl EngineBuilder {
             storage: Arc::clone(&self.storage),
             lock_wait_timeout: self.config.lock_wait_timeout(),
             journal,
-            dep_graph: Arc::new(DepGraph::new(registry)),
+            dep_graph: Arc::new(DepGraph::with_cap(registry, self.config.dep_wait_cap())),
         };
         let discipline: Arc<dyn Discipline> = match self.discipline_factory {
             Some(f) => f(&deps),
@@ -313,6 +318,7 @@ impl EngineBuilder {
             discipline,
             comp_retry_limit: self.comp_retry_limit,
             comp_retry_backoff: self.comp_retry_backoff,
+            max_backoff: self.config.max_backoff(),
             op_delay: self.op_delay,
             faults: self.faults,
             wal: self.wal,
@@ -331,6 +337,9 @@ pub struct Engine {
     discipline: Arc<dyn Discipline>,
     comp_retry_limit: u32,
     comp_retry_backoff: Duration,
+    /// Ceiling on any single backoff sleep, from
+    /// [`ProtocolConfig::max_backoff_us`] (default [`Self::MAX_BACKOFF`]).
+    max_backoff: Duration,
     op_delay: Duration,
     faults: Option<Arc<FaultPlan>>,
     wal: Option<Arc<WalWriter>>,
@@ -432,6 +441,12 @@ impl Engine {
     /// replay/compensation tallies here).
     pub(crate) fn stats_ref(&self) -> &Arc<Stats> {
         &self.deps.stats
+    }
+
+    /// The transaction registry (recovery raises its id floor past the
+    /// surviving log's largest transaction id).
+    pub(crate) fn registry_ref(&self) -> &Arc<Registry> {
+        &self.deps.registry
     }
 
     /// Append one record to the write-ahead log, if one is attached.
@@ -567,6 +582,47 @@ impl Engine {
     /// Like [`Engine::execute`], but also returns the attempt's `TopId`
     /// even when it aborted (retry loops key their backoff on it).
     pub fn execute_traced(&self, prog: &dyn TransactionProgram) -> (TopId, Result<TxnOutcome>) {
+        let (top, result) = self.execute_collecting(prog, None);
+        (top, result.map(|(outcome, _)| outcome))
+    }
+
+    /// Execute a transaction as an **open-nested piece** of a larger
+    /// (distributed) transaction: on commit, additionally return the
+    /// accumulated compensation intent — the inverse invocations that
+    /// would undo the piece's now-exposed effects. A coordinator that
+    /// commits shard-local pieces early (retained semantic locks covering
+    /// the cross-shard window, paper Section 3/4 lifted one level up) uses
+    /// this to compensate a committed piece if the *global* transaction
+    /// later aborts. Read-only snapshot commits return an empty intent.
+    pub fn execute_open(
+        &self,
+        prog: &dyn TransactionProgram,
+    ) -> (TopId, Result<(TxnOutcome, Vec<Invocation>)>) {
+        self.execute_collecting(prog, None)
+    }
+
+    /// [`Engine::execute_open`] with a **prepare hook**: after the program
+    /// body succeeds but *before* the local commit record is written, the
+    /// callback sees the piece's `TopId` and its accumulated compensation
+    /// intent. A distributed participant durably logs its prepare record
+    /// (gtid → compensation) here, guaranteeing the write-ordering
+    /// invariant *prepare-record ⟶ local commit*: a crash between the two
+    /// leaves a loser that generic recovery rolls back, never a committed
+    /// piece the coordinator cannot later compensate. A callback `Err`
+    /// aborts the piece through the normal compensation path.
+    pub fn execute_open_prepared(
+        &self,
+        prog: &dyn TransactionProgram,
+        prepare: PrepareHook<'_>,
+    ) -> (TopId, Result<(TxnOutcome, Vec<Invocation>)>) {
+        self.execute_collecting(prog, Some(prepare))
+    }
+
+    fn execute_collecting(
+        &self,
+        prog: &dyn TransactionProgram,
+        prepare: Option<PrepareHook<'_>>,
+    ) -> (TopId, Result<(TxnOutcome, Vec<Invocation>)>) {
         // Degraded mode: once the log is poisoned (an I/O fault made
         // durability unprovable), no transaction that would need a log
         // record may run. Under `WalFailMode::ReadOnly`, programs declared
@@ -581,8 +637,8 @@ impl Engine {
                     && self.snapshot_enabled
                     && prog.read_only_hint()
                 {
-                    if let Some(done) = self.execute_snapshot(prog) {
-                        return done;
+                    if let Some((top, done)) = self.execute_snapshot(prog) {
+                        return (top, done.map(|o| (o, Vec::new())));
                     }
                 }
                 let top = self.deps.registry.allocate_top();
@@ -593,8 +649,8 @@ impl Engine {
             }
         }
         if self.snapshot_enabled && prog.read_only_hint() {
-            if let Some(done) = self.execute_snapshot(prog) {
-                return done;
+            if let Some((top, done)) = self.execute_snapshot(prog) {
+                return (top, done.map(|o| (o, Vec::new())));
             }
             // Ineligible or validation failed: promote to the ordinary
             // locking path below (a fresh top-level transaction).
@@ -635,14 +691,23 @@ impl Engine {
             // through the ordinary compensation path — its effects are
             // undone under the locking discipline and it is *not*
             // acknowledged, upholding acked ⇒ durable.
-            Ok(value) => match self.commit(top, &shared) {
-                Ok(seq) => Ok(TxnOutcome { top, value, snapshot: false, commit_seq: seq }),
-                Err(e) => {
-                    let comp = std::mem::take(&mut ctx.comp);
-                    self.abort(top, &shared, comp, &e);
-                    Err(e)
+            Ok(value) => {
+                let prepared = match prepare {
+                    Some(hook) => hook(top, &ctx.comp),
+                    None => Ok(()),
+                };
+                match prepared.and_then(|()| self.commit(top, &shared)) {
+                    Ok(seq) => Ok((
+                        TxnOutcome { top, value, snapshot: false, commit_seq: seq },
+                        std::mem::take(&mut ctx.comp),
+                    )),
+                    Err(e) => {
+                        let comp = std::mem::take(&mut ctx.comp);
+                        self.abort(top, &shared, comp, &e);
+                        Err(e)
+                    }
                 }
-            },
+            }
             Err(e) => {
                 let comp = std::mem::take(&mut ctx.comp);
                 self.abort(top, &shared, comp, &e);
@@ -823,30 +888,36 @@ impl Engine {
     /// (1000 by default) — far past the 63-bit shift width of `1u64 <<`.
     const MAX_BACKOFF_SHIFT: u32 = 6;
 
-    /// Hard ceiling on any single backoff sleep, whatever the attempt
-    /// count or configured base: a budget of 1000 compensation retries
-    /// must stay in seconds, not minutes.
-    const MAX_BACKOFF: Duration = Duration::from_millis(5);
+    /// Default hard ceiling on any single backoff sleep, whatever the
+    /// attempt count or configured base: a budget of 1000 compensation
+    /// retries must stay in seconds, not minutes. Configurable per engine
+    /// via [`ProtocolConfig::max_backoff_us`].
+    pub const MAX_BACKOFF: Duration = Duration::from_millis(5);
 
     /// Jittered, capped exponential backoff: deterministic for a given
     /// seed (reproducible tests), decorrelated across competing
     /// transactions, and bounded for *any* `attempt` value — the exponent
-    /// saturates at [`Self::MAX_BACKOFF_SHIFT`] and the product at
-    /// [`Self::MAX_BACKOFF`].
-    fn backoff_duration(base: Duration, seed: u64, attempt: u32) -> Duration {
+    /// saturates at [`Self::MAX_BACKOFF_SHIFT`] and the product at `cap`
+    /// (default [`Self::MAX_BACKOFF`]).
+    fn backoff_duration(base: Duration, seed: u64, attempt: u32, cap: Duration) -> Duration {
         let mut rng = StdRng::seed_from_u64(seed ^ u64::from(attempt));
         let exp = 1u64 << attempt.min(Self::MAX_BACKOFF_SHIFT);
         let jitter = 0.5 + rng.random::<f64>(); // uniform in [0.5, 1.5)
                                                 // Cap *before* jittering so saturated retries stay decorrelated
                                                 // instead of all sleeping the identical ceiling.
-        let capped = (base.as_secs_f64() * exp as f64).min(Self::MAX_BACKOFF.as_secs_f64());
+        let capped = (base.as_secs_f64() * exp as f64).min(cap.as_secs_f64());
         Duration::from_secs_f64(capped * jitter)
     }
 
     /// Backoff before re-running an aborted attempt, seeded by its
     /// `TopId`.
     fn retry_backoff(&self, top: TopId, attempt: u32) {
-        std::thread::sleep(Self::backoff_duration(self.comp_retry_backoff, top.0, attempt));
+        std::thread::sleep(Self::backoff_duration(
+            self.comp_retry_backoff,
+            top.0,
+            attempt,
+            self.max_backoff,
+        ));
     }
 
     fn commit(&self, top: TopId, shared: &Arc<TxnShared>) -> Result<u64> {
@@ -1051,6 +1122,7 @@ impl Engine {
                                 self.comp_retry_backoff,
                                 shared.tree.top().0 ^ inv.object.0,
                                 attempts,
+                                self.max_backoff,
                             ));
                             continue;
                         }
@@ -1085,6 +1157,7 @@ impl Engine {
                             self.comp_retry_backoff,
                             shared.tree.top().0 ^ inv.object.0,
                             attempts,
+                            self.max_backoff,
                         ));
                     }
                     Err(e) => {
@@ -1841,16 +1914,17 @@ mod tests {
     #[test]
     fn backoff_saturates_at_high_attempt_counts() {
         let base = Duration::from_micros(200);
-        let ceiling = Duration::from_secs_f64(Engine::MAX_BACKOFF.as_secs_f64() * 1.5);
+        let cap = Engine::MAX_BACKOFF;
+        let ceiling = Duration::from_secs_f64(cap.as_secs_f64() * 1.5);
         for attempt in [0, 1, Engine::MAX_BACKOFF_SHIFT, 63, 64, 65, 1000, u32::MAX] {
-            let d = Engine::backoff_duration(base, 7, attempt);
+            let d = Engine::backoff_duration(base, 7, attempt, cap);
             assert!(d > Duration::ZERO, "attempt {attempt}: zero sleep");
             assert!(d <= ceiling, "attempt {attempt}: {d:?} above the jittered ceiling");
         }
         // Saturation: every attempt past the shift cap draws from the
         // same (capped) base, so only the jitter differs.
-        let lo = Duration::from_secs_f64(Engine::MAX_BACKOFF.as_secs_f64() * 0.5);
-        let d = Engine::backoff_duration(base, 7, u32::MAX);
+        let lo = Duration::from_secs_f64(cap.as_secs_f64() * 0.5);
+        let d = Engine::backoff_duration(base, 7, u32::MAX, cap);
         assert!(d >= lo, "saturated backoff stays near the ceiling, got {d:?}");
     }
 
@@ -1860,13 +1934,28 @@ mod tests {
     #[test]
     fn backoff_is_seeded_and_decorrelated() {
         let base = Duration::from_micros(200);
+        let cap = Engine::MAX_BACKOFF;
         assert_eq!(
-            Engine::backoff_duration(base, 42, 3),
-            Engine::backoff_duration(base, 42, 3),
+            Engine::backoff_duration(base, 42, 3, cap),
+            Engine::backoff_duration(base, 42, 3, cap),
             "same seed and attempt must reproduce"
         );
         let distinct: std::collections::BTreeSet<Duration> =
-            (0..16).map(|seed| Engine::backoff_duration(base, seed, 3)).collect();
+            (0..16).map(|seed| Engine::backoff_duration(base, seed, 3, cap)).collect();
         assert!(distinct.len() > 8, "seeds must spread the jitter: {distinct:?}");
+    }
+
+    /// Satellite regression (PR 10): the configurable ceiling defaults to
+    /// the historical constant, and a tightened ceiling actually lowers
+    /// the worst-case sleep.
+    #[test]
+    fn backoff_ceiling_is_configurable() {
+        assert_eq!(ProtocolConfig::semantic().max_backoff(), Engine::MAX_BACKOFF);
+        let base = Duration::from_micros(200);
+        let tight = Duration::from_micros(300);
+        for attempt in [4, 10, 100] {
+            let d = Engine::backoff_duration(base, 9, attempt, tight);
+            assert!(d <= Duration::from_secs_f64(tight.as_secs_f64() * 1.5));
+        }
     }
 }

@@ -99,6 +99,55 @@ pub enum CrashPoint {
     },
 }
 
+/// A deterministic fault in the distributed (coordinator ↔ shard) plane.
+/// Ordinals are counted by the *consumer* (the RPC seam or the
+/// coordinator's commit driver), so a point is meaningful independent of
+/// workload interleaving — the same discipline as [`CrashPoint`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardFaultPoint {
+    /// The `nth` coordinator→shard request is dropped on the wire: the
+    /// shard never sees it and the caller times out and retries.
+    DropRequest {
+        /// 1-based request ordinal.
+        nth: u64,
+    },
+    /// The `nth` coordinator→shard request is delayed past the caller's
+    /// timeout (the shard processed it; the *reply* is what the caller
+    /// never saw in time). The retry seam must tolerate the duplicate.
+    DelayRequest {
+        /// 1-based request ordinal.
+        nth: u64,
+    },
+    /// The `nth` coordinator→shard request fails with a transport error
+    /// (connection reset); retried like a drop.
+    FailRequest {
+        /// 1-based request ordinal.
+        nth: u64,
+    },
+    /// The shard owning the `nth` prepare crashes (WAL device dies) just
+    /// *before* durably logging the prepare: on recovery the piece never
+    /// existed and presumed-abort applies.
+    CrashBeforePrepare {
+        /// 1-based prepare ordinal (fleet-wide).
+        nth: u64,
+    },
+    /// The shard crashes right *after* the coordinator's decision was
+    /// logged but before applying/acknowledging it: the participant
+    /// recovers in doubt and must resolve from the decision log.
+    CrashAfterDecision {
+        /// 1-based decision ordinal (fleet-wide).
+        nth: u64,
+    },
+    /// The coordinator crashes midway through driving the `nth` global
+    /// commit: the decision record may or may not be durable, and the
+    /// restarted coordinator must re-drive in-doubt participants either
+    /// way.
+    CoordinatorCrashMidCommit {
+        /// 1-based global-commit ordinal.
+        nth: u64,
+    },
+}
+
 /// A deterministic I/O failure of the write-ahead-log device — unlike a
 /// [`CrashPoint`] the *process survives*: the write fails, the writer
 /// reports a typed [`WalError`](crate::wal::WalError), and (for append and
@@ -154,6 +203,9 @@ pub struct FaultSpec {
     pub crash: Option<CrashPoint>,
     /// Deterministic WAL I/O failure (`None` = the device never errors).
     pub io: Option<IoFaultPoint>,
+    /// Deterministic distributed-plane fault (`None` = the fleet's wires
+    /// and shard devices never fail).
+    pub shard: Option<ShardFaultPoint>,
 }
 
 impl Default for FaultSpec {
@@ -165,6 +217,7 @@ impl Default for FaultSpec {
             max_triggers: None,
             crash: None,
             io: None,
+            shard: None,
         }
     }
 }
@@ -200,6 +253,12 @@ impl FaultSpec {
     /// Fail (without crashing) a deterministic WAL I/O operation.
     pub fn with_io(mut self, point: IoFaultPoint) -> Self {
         self.io = Some(point);
+        self
+    }
+
+    /// Inject a deterministic distributed-plane fault.
+    pub fn with_shard(mut self, point: ShardFaultPoint) -> Self {
+        self.shard = Some(point);
         self
     }
 }
@@ -264,6 +323,12 @@ impl FaultPlan {
     /// The plan's WAL I/O-fault point, if any.
     pub fn io(&self) -> Option<IoFaultPoint> {
         self.spec.io
+    }
+
+    /// The plan's distributed-plane fault point, if any (read by the
+    /// coordinator's RPC seam and commit driver).
+    pub fn shard(&self) -> Option<ShardFaultPoint> {
+        self.spec.shard
     }
 }
 

@@ -101,6 +101,18 @@ pub enum JournalKind {
     /// A transaction is cascade-aborting because a speculatively depended-on
     /// subtransaction aborted; `other` = that holder node.
     CascadeAbort = 25,
+    /// A shard participant durably prepared (or piece-committed) its part
+    /// of a distributed transaction; `key` = global transaction id,
+    /// `aux` = shard index.
+    ShardPrepare = 26,
+    /// The coordinator durably logged a global commit/abort decision;
+    /// `key` = global transaction id, `aux` = 1 for commit, 0 for abort.
+    ShardDecide = 27,
+    /// An in-doubt shard participant was resolved from the coordinator's
+    /// decision log during recovery; `key` = global transaction id,
+    /// `aux` = 1 when the decision was commit (effects kept), 0 when the
+    /// piece was compensated.
+    InDoubtResolve = 28,
 }
 
 impl JournalKind {
@@ -133,11 +145,14 @@ impl JournalKind {
             JournalKind::EscrowGrant => "escrow_grant",
             JournalKind::SpeculativeGrant => "speculative_grant",
             JournalKind::CascadeAbort => "cascade_abort",
+            JournalKind::ShardPrepare => "shard_prepare",
+            JournalKind::ShardDecide => "shard_decide",
+            JournalKind::InDoubtResolve => "in_doubt_resolve",
         }
     }
 
     /// Every kind, in wire order.
-    pub const ALL: [JournalKind; 26] = [
+    pub const ALL: [JournalKind; 29] = [
         JournalKind::LockRequest,
         JournalKind::LockGrant,
         JournalKind::LockWait,
@@ -164,6 +179,9 @@ impl JournalKind {
         JournalKind::EscrowGrant,
         JournalKind::SpeculativeGrant,
         JournalKind::CascadeAbort,
+        JournalKind::ShardPrepare,
+        JournalKind::ShardDecide,
+        JournalKind::InDoubtResolve,
     ];
 
     fn from_u64(v: u64) -> Option<JournalKind> {

@@ -58,7 +58,7 @@ pub use discipline::{AcquireRequest, Discipline, GrantInfo};
 pub use engine::{Engine, EngineBuilder, FnProgram, TransactionProgram, TxnOutcome};
 pub use fault::{
     injected_panic, silence_injected_panics, CrashPoint, FaultPlan, FaultSite, FaultSpec,
-    FaultyStorage, InjectedPanic, IoFaultPoint,
+    FaultyStorage, InjectedPanic, IoFaultPoint, ShardFaultPoint,
 };
 pub use hist::{HistogramSummary, LatencyHistogram};
 pub use history::{Event, HistorySink, MemorySink, NullSink, Stamped};

@@ -38,7 +38,9 @@ use std::time::Duration;
 /// transaction is blocked on while the dependent waits for the holder's
 /// subtransaction). Timing out conservatively cascade-aborts the
 /// dependent, which is retryable — the same resolution the lock-wait
-/// timeout applies to lost wake-ups.
+/// timeout applies to lost wake-ups. This is the *default*; the cap is
+/// configurable per engine via
+/// [`ProtocolConfig::dep_wait_cap_ms`](crate::config::ProtocolConfig).
 pub const DEP_WAIT_CAP: Duration = Duration::from_secs(2);
 
 /// Outcome of recording a dependency edge.
@@ -80,17 +82,26 @@ pub struct DepGraph {
     /// Live (unresolved) edge count; `0` makes [`DepGraph::node_done`] and
     /// [`DepGraph::wait_commit`] a single relaxed load.
     live_edges: AtomicUsize,
+    /// Commit-wait backstop applied in [`DepGraph::wait_commit`].
+    wait_cap: Duration,
 }
 
 impl DepGraph {
     /// Empty graph over the given transaction registry (consulted to
-    /// resolve edges whose holder finished before the edge was recorded).
+    /// resolve edges whose holder finished before the edge was recorded),
+    /// with the default [`DEP_WAIT_CAP`] backstop.
     pub fn new(registry: Arc<Registry>) -> Self {
+        Self::with_cap(registry, DEP_WAIT_CAP)
+    }
+
+    /// Like [`DepGraph::new`], with an explicit commit-wait backstop.
+    pub fn with_cap(registry: Arc<Registry>, cap: Duration) -> Self {
         DepGraph {
             registry,
             inner: Mutex::new(GraphInner::default()),
             resolved: Condvar::new(),
             live_edges: AtomicUsize::new(0),
+            wait_cap: cap.max(Duration::from_millis(1)),
         }
     }
 
@@ -152,7 +163,8 @@ impl DepGraph {
     /// Commit barrier for a dependent: block until every depended-on node
     /// has finished. `Ok(())` when all committed (or no edges exist);
     /// `Err(holder)` when one aborted — the caller must cascade-abort.
-    /// `Err(None)` on the [`DEP_WAIT_CAP`] timeout backstop.
+    /// `Err(None)` on the configured commit-wait timeout backstop
+    /// (default [`DEP_WAIT_CAP`]).
     pub fn wait_commit(&self, top: TopId) -> Result<(), Option<NodeRef>> {
         if self.live_edges.load(Ordering::Relaxed) == 0 {
             // No live edges anywhere — but an aborted-edge verdict for us
@@ -166,7 +178,7 @@ impl DepGraph {
                 None => return Ok(()),
             }
         }
-        let deadline = std::time::Instant::now() + DEP_WAIT_CAP;
+        let deadline = std::time::Instant::now() + self.wait_cap;
         let mut g = self.inner.lock();
         loop {
             let verdict = match g.deps.get(&top) {
@@ -307,6 +319,23 @@ mod tests {
         // Late resolution of the purged holder is a no-op.
         dg.node_done(h, false);
         assert_eq!(dg.wait_commit(dep.top()), Ok(()));
+    }
+
+    #[test]
+    fn default_cap_matches_historical_constant_and_tight_cap_times_out() {
+        let (reg, dg) = setup();
+        assert_eq!(dg.wait_cap, DEP_WAIT_CAP);
+        // A tightened cap fires quickly on an unresolved edge and clears
+        // the dependent's state (conservative cascade-abort, retryable).
+        let dg = DepGraph::with_cap(Arc::clone(&reg), Duration::from_millis(10));
+        let holder_tree = reg.begin();
+        let dep = reg.begin();
+        let h = child(&holder_tree);
+        assert!(matches!(dg.record(dep.top(), h), RecordOutcome::Recorded { .. }));
+        let start = std::time::Instant::now();
+        assert_eq!(dg.wait_commit(dep.top()), Err(None));
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert_eq!(dg.live_edge_count(), 0);
     }
 
     #[test]

@@ -170,6 +170,19 @@ counters! {
     cascade_aborts,
     /// Distinct abort-dependency edges recorded in the dependency graph.
     dependency_edges,
+    /// Distributed transactions that touched more than one shard.
+    cross_shard_txns,
+    /// Prepare requests processed by shard participants (semantic
+    /// open-nested piece commits and 2PC prepare votes alike).
+    prepares,
+    /// In-doubt participants resolved deterministically from the
+    /// coordinator's decision log during shard recovery.
+    in_doubt_resolved,
+    /// Coordinator→shard calls re-sent by the typed retry/timeout seam
+    /// after a dropped, delayed or failed request.
+    shard_rpc_retries,
+    /// Shard-node crashes observed by the fleet (injected or organic).
+    shard_crashes,
 }
 
 impl Stats {
@@ -229,6 +242,15 @@ mod tests {
         for hotspot in ["escrow_grants", "speculative_grants", "cascade_aborts", "dependency_edges"]
         {
             assert!(pairs.iter().any(|&(n, _)| n == hotspot), "{hotspot} is exported");
+        }
+        for dist in [
+            "cross_shard_txns",
+            "prepares",
+            "in_doubt_resolved",
+            "shard_rpc_retries",
+            "shard_crashes",
+        ] {
+            assert!(pairs.iter().any(|&(n, _)| n == dist), "{dist} is exported");
         }
         assert!(pairs.len() >= 20, "every declared counter is listed");
         let rebuilt = StatsSnapshot::from_field_pairs(&pairs);

@@ -262,6 +262,16 @@ impl Registry {
         TopId(self.next.fetch_add(1, Ordering::Relaxed))
     }
 
+    /// Raise the id floor: every top-level id allocated from here on is
+    /// `> past`. Recovery calls this with the largest transaction id in
+    /// the surviving log, so transactions started on a recovered engine
+    /// (whose WAL resumes the same log) never reuse a logged id — a
+    /// collision would make a later recovery pass fold two different
+    /// transactions' records into one analysis entry.
+    pub fn advance_past(&self, past: u64) {
+        self.next.fetch_max(past.saturating_add(1), Ordering::Relaxed);
+    }
+
     /// Look up a live tree.
     pub fn tree(&self, top: TopId) -> Option<Arc<TxnTree>> {
         self.trees.read().get(&top).cloned()

@@ -175,6 +175,12 @@ pub fn recover_image(
         builder = builder.wal(Arc::clone(w));
     }
     let engine = builder.build();
+    // New transactions on the recovered engine (its WAL resumes this very
+    // log) must never reuse a logged transaction id: a collision would
+    // merge two transactions' records in a later pass's analysis.
+    if let Some(max_top) = tops.keys().next_back() {
+        engine.registry_ref().advance_past(*max_top);
+    }
     let journal = |kind: JournalKind, top: u64, key: u64, aux: u64| {
         if let Some(j) = engine.journal() {
             j.record(kind, top, 0, 0, 0, key, aux);

@@ -891,6 +891,20 @@ impl WalWriter {
         self.state.lock().dead
     }
 
+    /// Externally-driven power failure: mark the writer dead — every
+    /// later append is silently dropped, like a dead machine — and
+    /// discard buffered-but-unsynced bytes, so
+    /// [`WalWriter::surviving_image`] returns exactly what a post-crash
+    /// open would find on the device. The shard fleet kills nodes with
+    /// this; in-process crash schedules use [`CrashPoint`] instead.
+    pub fn power_fail(&self) {
+        let mut st = self.state.lock();
+        st.dead = true;
+        for seg in &mut st.segments {
+            seg.buffer.clear();
+        }
+    }
+
     /// The poisoning error, if an I/O failure poisoned the log.
     pub fn poisoned(&self) -> Option<WalError> {
         self.state.lock().poisoned.clone()

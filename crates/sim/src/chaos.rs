@@ -974,6 +974,303 @@ pub fn run_fsync_failure_at(
     }
 }
 
+// ---------------------------------------------------------------------
+// Partial-fleet crash / recover / audit (the sharded deployment)
+// ---------------------------------------------------------------------
+
+/// One partial-fleet chaos run: drive the workload through the sharded
+/// coordinator, kill `kill`-of-`n_shards` shards at seeded points in the
+/// batch (plus whatever the injected [`ShardFaultPoint`] kills on its
+/// own), recover everything, and audit.
+#[derive(Clone, Debug)]
+pub struct FleetParams {
+    /// Seed for the workload, the kill schedule, and the rpc backoff.
+    pub seed: u64,
+    /// Transactions submitted.
+    pub txns: usize,
+    /// Fleet size.
+    pub n_shards: usize,
+    /// Shards killed at seeded points during the batch.
+    pub kill: usize,
+    /// Injected fleet fault, if any.
+    pub fault: Option<semcc_core::ShardFaultPoint>,
+    /// Crash (and recover) the coordinator after the batch as well.
+    pub coordinator_crash: bool,
+    /// Crash each killed shard *again* mid-recovery before the final
+    /// recovery pass (the double-crash case).
+    pub double_crash: bool,
+    /// Transaction mix.
+    pub mix: MixWeights,
+    /// Database size.
+    pub n_items: usize,
+    /// Orders per item.
+    pub orders_per_item: usize,
+}
+
+impl Default for FleetParams {
+    fn default() -> Self {
+        FleetParams {
+            seed: 42,
+            txns: 40,
+            n_shards: 3,
+            kill: 1,
+            fault: None,
+            coordinator_crash: false,
+            double_crash: false,
+            mix: MixWeights::default(),
+            n_items: 6,
+            orders_per_item: 3,
+        }
+    }
+}
+
+/// Outcome of one partial-fleet run.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Transactions submitted.
+    pub submitted: usize,
+    /// Commits acknowledged to the client.
+    pub acked: usize,
+    /// Commit decisions durably logged by the coordinator.
+    pub committed: usize,
+    /// Submissions that returned an error (global abort / down node).
+    pub failed: usize,
+    /// Cross-shard transactions observed.
+    pub cross_shard: u64,
+    /// Total shard crashes (scheduled kills + fault-injected).
+    pub shard_crashes: u64,
+    /// In-doubt pieces resolved during shard recovery.
+    pub in_doubt: usize,
+    /// In-doubt pieces kept (commit decision found).
+    pub kept: usize,
+    /// In-doubt pieces compensated (presumed abort).
+    pub compensated: usize,
+    /// Acked commits whose decision is missing after recovery (MUST be 0:
+    /// an acked commit may never be lost, whatever crashed).
+    pub lost_acked: usize,
+    /// Residue violations (live txns / leaked locks / wfg / speculation
+    /// edges still present on a quiescent recovered shard).
+    pub residue_violations: Vec<String>,
+    /// First state-audit failure, if any: a shard's recovered slice did
+    /// not equal the serial replay of the committed prefix.
+    pub audit_failure: Option<String>,
+}
+
+impl FleetReport {
+    /// The fleet robustness invariant: no acked commit lost, every shard's
+    /// state equals the committed-prefix replay, zero residue everywhere.
+    pub fn sound(&self) -> bool {
+        self.lost_acked == 0 && self.residue_violations.is_empty() && self.audit_failure.is_none()
+    }
+}
+
+/// Run one partial-fleet crash/recover/audit cycle.
+pub fn run_fleet_crash_recover(params: &FleetParams) -> FleetReport {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use semcc_dist::{CommitProtocol, Coordinator, FleetConfig};
+    use std::collections::BTreeMap;
+
+    silence_injected_panics();
+    let db_params = DbParams {
+        n_items: params.n_items,
+        orders_per_item: params.orders_per_item,
+        ..Default::default()
+    };
+    let coord = Coordinator::new(FleetConfig {
+        n_shards: params.n_shards,
+        db_params: db_params.clone(),
+        fault: params.fault,
+        seed: params.seed,
+        journal_capacity: 4096,
+        ..Default::default()
+    });
+
+    // Seeded kill schedule: `kill` distinct shards die at distinct points
+    // inside the batch.
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0xf1ee7);
+    let mut victims: Vec<usize> = (0..params.n_shards).collect();
+    let mut kills: Vec<(usize, usize)> = Vec::new();
+    for _ in 0..params.kill.min(params.n_shards) {
+        let v = victims.remove(rng.random_range(0..victims.len()));
+        let at = rng.random_range(params.txns / 4..(3 * params.txns / 4).max(params.txns / 4 + 1));
+        kills.push((at, v));
+    }
+
+    let reference = Database::build(&db_params).expect("workload reference build");
+    let mut w = Workload::new(
+        &reference,
+        WorkloadConfig { seed: params.seed, mix: params.mix, ..Default::default() },
+    );
+    let batch = w.batch(&reference, params.txns);
+
+    let mut specs: BTreeMap<u64, semcc_orderentry::TxnSpec> = BTreeMap::new();
+    let mut acked_ok = 0usize;
+    let mut failed = 0usize;
+    for (i, spec) in batch.iter().enumerate() {
+        for (at, v) in &kills {
+            if *at == i {
+                coord.shards()[*v].crash();
+            }
+        }
+        if coord.is_down() {
+            // The client-visible face of a coordinator crash: the fleet
+            // is unavailable until the decision log is reparsed.
+            let _ = coord.recover();
+        }
+        let (gtid, out) = coord.submit(spec, CommitProtocol::OpenNested);
+        specs.insert(gtid, spec.clone());
+        match out {
+            Ok(_) => acked_ok += 1,
+            Err(_) => failed += 1,
+        }
+    }
+
+    if params.coordinator_crash {
+        coord.crash();
+    }
+
+    // Settle: recover the coordinator and every dead shard; re-driven
+    // resolutions may themselves trip a not-yet-fired crash fault, so
+    // iterate until the fleet is stable.
+    let mut reports: Vec<semcc_dist::ShardRecoveryReport> = Vec::new();
+    let mut audit_failure: Option<String> = None;
+    if params.double_crash {
+        for idx in 0..params.n_shards {
+            if coord.shards()[idx].is_dead() {
+                // First recovery attempt dies mid-flight (injected); the
+                // final pass below must converge from the re-crashed logs.
+                let _ = coord.shards()[idx].recover_opts(&coord.decisions(), true);
+            }
+        }
+    }
+    for _round in 0..4 {
+        if coord.is_down() {
+            if let Err(e) = coord.recover() {
+                audit_failure = Some(format!("coordinator recovery failed: {e}"));
+                break;
+            }
+        }
+        let mut any_dead = false;
+        for idx in 0..params.n_shards {
+            if coord.shards()[idx].is_dead() {
+                any_dead = true;
+                match coord.recover_shard(idx) {
+                    Ok(r) => reports.push(r),
+                    Err(e) => {
+                        audit_failure = Some(format!("shard {idx} recovery failed: {e}"));
+                    }
+                }
+            }
+        }
+        if audit_failure.is_some() {
+            break;
+        }
+        // Re-drive every decision (idempotent) so shards that missed a
+        // resolution — dropped rpc, crash windows — converge.
+        if let Err(e) = coord.recover() {
+            audit_failure = Some(format!("decision re-drive failed: {e}"));
+            break;
+        }
+        if !any_dead && !coord.is_down() {
+            break;
+        }
+    }
+
+    // ---- audits -------------------------------------------------------
+    let committed = coord.committed_gtids();
+    let committed_set: std::collections::HashSet<u64> = committed.iter().copied().collect();
+    let lost_acked = coord.acked().iter().filter(|g| !committed_set.contains(g)).count();
+
+    let mut residue_violations = Vec::new();
+    for shard in coord.shards() {
+        match shard.residue() {
+            Some((0, 0, (0, 0, 0, 0), 0)) => {}
+            Some(r) => residue_violations.push(format!(
+                "shard {}: residue {r:?} (live, locks, wfg, speculation)",
+                shard.idx()
+            )),
+            None => residue_violations.push(format!("shard {} still dead", shard.idx())),
+        }
+    }
+
+    // State audit: each recovered shard's slice must equal the serial
+    // replay of its pieces of the committed prefix, in decision order.
+    if audit_failure.is_none() {
+        'shards: for shard in coord.shards() {
+            let idx = shard.idx();
+            let serial = Database::build(&db_params).expect("serial replay build");
+            let serial_engine = Engine::builder(
+                Arc::clone(&serial.store) as Arc<dyn Storage>,
+                Arc::clone(&serial.catalog),
+            )
+            .protocol(ProtocolConfig::semantic())
+            .build();
+            for gtid in &committed {
+                let Some(spec) = specs.get(gtid) else {
+                    audit_failure = Some(format!("committed gtid {gtid} was never submitted"));
+                    break 'shards;
+                };
+                for (s, piece) in coord.partition().split(spec) {
+                    if s != idx {
+                        continue;
+                    }
+                    if let Err(e) = serial_engine.execute(&piece) {
+                        audit_failure = Some(format!(
+                            "serial replay of gtid {gtid} piece on shard {idx} failed: {e}"
+                        ));
+                        break 'shards;
+                    }
+                }
+            }
+            let want = crate::validate::canonical_shard_state(
+                serial.store.as_ref() as &dyn Storage,
+                serial.items_set,
+                params.n_shards,
+                idx,
+            );
+            let got = shard.with_live(|engine, db| {
+                crate::validate::canonical_shard_state(
+                    engine.storage().as_ref(),
+                    db.items_set,
+                    params.n_shards,
+                    idx,
+                )
+            });
+            match (got, want) {
+                (Some(Ok(g)), Ok(w)) if g == w => {}
+                (Some(Ok(g)), Ok(w)) => {
+                    audit_failure = Some(format!(
+                        "shard {idx} state != committed-prefix replay\n got: {g:?}\nwant: {w:?}"
+                    ));
+                    break 'shards;
+                }
+                (g, w) => {
+                    audit_failure =
+                        Some(format!("shard {idx} canonical projection failed: {g:?} / {w:?}"));
+                    break 'shards;
+                }
+            }
+        }
+    }
+
+    let stats = coord.fleet_stats();
+    FleetReport {
+        submitted: params.txns,
+        acked: acked_ok,
+        committed: committed.len(),
+        failed,
+        cross_shard: stats.cross_shard_txns,
+        shard_crashes: stats.shard_crashes,
+        in_doubt: reports.iter().map(|r| r.in_doubt).sum(),
+        kept: reports.iter().map(|r| r.kept).sum(),
+        compensated: reports.iter().map(|r| r.compensated).sum(),
+        lost_acked,
+        residue_violations,
+        audit_failure,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

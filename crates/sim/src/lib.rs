@@ -36,8 +36,8 @@ pub mod validate;
 
 pub use chaos::{
     crash_mixes, crash_points, fault_mixes, run_chaos, run_checkpoint_parity, run_crash_recover,
-    run_fsync_failure, run_fsync_failure_at, run_torture, ChaosParams, ChaosReport, CrashParams,
-    CrashReport, TortureParams, TortureReport,
+    run_fleet_crash_recover, run_fsync_failure, run_fsync_failure_at, run_torture, ChaosParams,
+    ChaosReport, CrashParams, CrashReport, FleetParams, FleetReport, TortureParams, TortureReport,
 };
 pub use executor::{run_workload, CommittedTxn, LockTableSample, RunOutcome, RunParams};
 pub use metrics::RunMetrics;
@@ -48,6 +48,6 @@ pub use saturate::{run_saturation, SaturationParams, SaturationReport};
 pub use scenario::Gate;
 pub use treeview::TreeView;
 pub use validate::{
-    check_semantic_graph, check_snapshot_reads, check_state_equivalence, GraphReport,
-    SnapshotReport,
+    canonical_shard_state, check_semantic_graph, check_snapshot_reads, check_state_equivalence,
+    GraphReport, SnapshotReport,
 };

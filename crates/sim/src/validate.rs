@@ -58,6 +58,22 @@ pub fn canonical_state(store: &dyn Storage, items_set: ObjectId) -> Result<Canon
     Ok(out)
 }
 
+/// Project a store onto the canonical state of **one shard's slice**:
+/// only items owned by `shard` under the fleet's `item_no % n_shards`
+/// partitioning. This is the authoritative observable state of a single
+/// shard replica in the sharded deployment.
+pub fn canonical_shard_state(
+    store: &dyn Storage,
+    items_set: ObjectId,
+    n_shards: usize,
+    shard: usize,
+) -> Result<CanonicalDb> {
+    Ok(canonical_state(store, items_set)?
+        .into_iter()
+        .filter(|row| (row.0 as u64) % (n_shards as u64) == shard as u64)
+        .collect())
+}
+
 /// Replay `order` serially on a copy of `initial`; return the canonical
 /// final state and per-transaction values, or `None` if a replayed
 /// transaction fails.

@@ -15,6 +15,7 @@
 //! | [`core`] | `semcc-core` | transaction trees, semantic lock manager (Figures 8+9), engine, compensation, deadlock detection |
 //! | [`baselines`] | `semcc-baselines` | object/page 2PL, closed nested locking |
 //! | [`orderentry`] | `semcc-orderentry` | the paper's order-entry example (Figures 1–3, T1–T5) |
+//! | [`dist`] | `semcc-dist` | sharded multi-engine fleet: partition map, coordinator, open-nested vs 2PC cross-shard commit, in-doubt recovery |
 //! | [`service`] | `semcc-service` | bounded session front-end: parked transaction continuations over a fixed core pool |
 //! | [`sim`] | `semcc-sim` | workload executor, scenario driver, serializability validators |
 //!
@@ -35,6 +36,7 @@
 
 pub use semcc_baselines as baselines;
 pub use semcc_core as core;
+pub use semcc_dist as dist;
 pub use semcc_objstore as objstore;
 pub use semcc_orderentry as orderentry;
 pub use semcc_semantics as semantics;

@@ -1,0 +1,247 @@
+//! Sharded-fleet robustness regression suite.
+//!
+//! Drives the order-entry workload through the coordinator across a
+//! partitioned fleet and audits every crash window of the cross-shard
+//! commit protocol: shard death before prepare, shard death after the
+//! decision, coordinator death mid-commit, and a double crash during
+//! shard recovery itself. Every run must converge to the serial replay
+//! of the committed prefix on every shard, with zero lock / waits-for /
+//! dependency residue, and no acknowledged commit may ever be lost.
+//! Runs are watchdog-guarded: a hang is a protocol failure and must
+//! surface as a test failure, not a stuck CI job.
+
+use semcc::core::ShardFaultPoint;
+use semcc::dist::{CommitProtocol, Coordinator, FleetConfig};
+use semcc::orderentry::{Database, DbParams};
+use semcc::sim::{run_fleet_crash_recover, FleetParams, FleetReport};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Hard per-run watchdog: distributed-recovery bugs tend to hang.
+const RUN_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn seed_offset() -> u64 {
+    std::env::var("SEMCC_CHAOS_SEED_OFFSET").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+fn run_guarded(label: String, params: FleetParams) -> FleetReport {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(run_fleet_crash_recover(&params));
+    });
+    match rx.recv_timeout(RUN_TIMEOUT) {
+        Ok(report) => report,
+        Err(_) => panic!("fleet run {label} hung (> {RUN_TIMEOUT:?})"),
+    }
+}
+
+fn assert_sound(label: &str, report: &FleetReport) {
+    assert!(
+        report.sound(),
+        "{label}: fleet invariant violated\n\
+         lost_acked={} residue={:?} audit={:?}\n{report:?}",
+        report.lost_acked,
+        report.residue_violations,
+        report.audit_failure
+    );
+    assert_eq!(report.lost_acked, 0, "{label}: acked commit lost");
+}
+
+/// Healthy fleet, no kills: everything commits and both shards' slices
+/// equal the committed-prefix replay.
+#[test]
+fn healthy_fleet_commits_and_converges() {
+    for seed in (seed_offset() + 1)..=(seed_offset() + 4) {
+        let report = run_guarded(
+            format!("healthy/seed{seed}"),
+            FleetParams { seed, kill: 0, ..Default::default() },
+        );
+        assert_sound(&format!("healthy/seed{seed}"), &report);
+        assert_eq!(report.failed, 0, "no faults injected, nothing may fail: {report:?}");
+        assert!(report.cross_shard > 0, "the default mix must produce cross-shard txns");
+    }
+}
+
+/// k-of-N partial-fleet kill at seeded points mid-batch.
+#[test]
+fn partial_fleet_kill_recovers_without_losing_acked_commits() {
+    let offset = seed_offset();
+    for n_shards in [2usize, 4] {
+        for kill in 1..n_shards.min(3) {
+            for seed in (offset + 1)..=(offset + 4) {
+                let label = format!("kill{kill}of{n_shards}/seed{seed}");
+                let report = run_guarded(
+                    label.clone(),
+                    FleetParams { seed, n_shards, kill, txns: 48, ..Default::default() },
+                );
+                assert_sound(&label, &report);
+                assert!(report.shard_crashes >= kill as u64, "{label}: kills scheduled");
+            }
+        }
+    }
+}
+
+/// Crash window 1: a shard dies *before* writing the participant record.
+/// The piece is a local loser; the coordinator aborts globally; nothing
+/// may be left in doubt as a winner.
+#[test]
+fn crash_before_prepare_aborts_globally_with_nothing_in_doubt() {
+    let offset = seed_offset();
+    for nth in [3u64, 9, 17] {
+        for seed in (offset + 1)..=(offset + 3) {
+            let label = format!("before-prepare/nth{nth}/seed{seed}");
+            let report = run_guarded(
+                label.clone(),
+                FleetParams {
+                    seed,
+                    kill: 0,
+                    fault: Some(ShardFaultPoint::CrashBeforePrepare { nth }),
+                    ..Default::default()
+                },
+            );
+            assert_sound(&label, &report);
+            assert!(report.shard_crashes >= 1, "{label}: the fault must fire: {report:?}");
+            assert_eq!(report.kept, 0, "{label}: nothing was decided for the dying gtid");
+        }
+    }
+}
+
+/// Crash window 2: a shard dies *after* the commit decision was durably
+/// logged but before the resolution reached it. Recovery must resolve
+/// the in-doubt piece from the decision log and keep it.
+#[test]
+fn crash_after_decision_resolves_in_doubt_from_decision_log() {
+    let offset = seed_offset();
+    let mut kept_total = 0usize;
+    for nth in [2u64, 7, 13] {
+        for seed in (offset + 1)..=(offset + 3) {
+            let label = format!("after-decision/nth{nth}/seed{seed}");
+            let report = run_guarded(
+                label.clone(),
+                FleetParams {
+                    seed,
+                    kill: 0,
+                    fault: Some(ShardFaultPoint::CrashAfterDecision { nth }),
+                    ..Default::default()
+                },
+            );
+            assert_sound(&label, &report);
+            assert!(report.shard_crashes >= 1, "{label}: the fault must fire: {report:?}");
+            kept_total += report.kept;
+        }
+    }
+    assert!(
+        kept_total > 0,
+        "at least one run must recover an in-doubt piece via a kept commit decision"
+    );
+}
+
+/// Crash window 3: the coordinator dies right after logging a commit
+/// decision, before acking or notifying any shard. The decision log is
+/// the only survivor; recovery must re-drive it and no state may diverge.
+#[test]
+fn coordinator_crash_mid_commit_redrives_from_decision_log() {
+    let offset = seed_offset();
+    for nth in [1u64, 5, 11] {
+        for seed in (offset + 1)..=(offset + 3) {
+            let label = format!("coord-crash/nth{nth}/seed{seed}");
+            let report = run_guarded(
+                label.clone(),
+                FleetParams {
+                    seed,
+                    kill: 0,
+                    fault: Some(ShardFaultPoint::CoordinatorCrashMidCommit { nth }),
+                    ..Default::default()
+                },
+            );
+            assert_sound(&label, &report);
+            // The decided-but-unacked transaction commits durably even
+            // though its client saw an error: committed ≥ acked.
+            assert!(
+                report.committed >= report.acked,
+                "{label}: committed {} < acked {}",
+                report.committed,
+                report.acked
+            );
+        }
+    }
+}
+
+/// Crash window 4: a killed shard crashes *again* in the middle of its
+/// own recovery, after resolving some (but not all) in-doubt pieces.
+/// The second recovery must converge without re-compensating.
+#[test]
+fn double_crash_during_shard_recovery_converges() {
+    let offset = seed_offset();
+    for seed in (offset + 1)..=(offset + 4) {
+        let label = format!("double-crash/seed{seed}");
+        let report = run_guarded(
+            label.clone(),
+            FleetParams {
+                seed,
+                n_shards: 3,
+                kill: 2,
+                double_crash: true,
+                txns: 48,
+                ..Default::default()
+            },
+        );
+        assert_sound(&label, &report);
+    }
+}
+
+/// Transport chaos: dropped and delayed coordinator→shard calls must be
+/// absorbed by the retry seam (idempotent pieces, cached acks) without
+/// state divergence or duplicated effects.
+#[test]
+fn transport_faults_are_absorbed_by_retry_and_idempotence() {
+    let offset = seed_offset();
+    for (name, fault) in [
+        ("drop", ShardFaultPoint::DropRequest { nth: 4 }),
+        ("delay", ShardFaultPoint::DelayRequest { nth: 4 }),
+        ("fail", ShardFaultPoint::FailRequest { nth: 4 }),
+    ] {
+        for seed in (offset + 1)..=(offset + 3) {
+            let label = format!("transport-{name}/seed{seed}");
+            let report = run_guarded(
+                label.clone(),
+                FleetParams { seed, kill: 0, fault: Some(fault), ..Default::default() },
+            );
+            assert_sound(&label, &report);
+            assert_eq!(report.failed, 0, "{label}: transport faults must be transparent");
+        }
+    }
+}
+
+/// The 2PC baseline reaches the same committed state on a healthy fleet —
+/// it is a correctness peer, only slower under contention.
+#[test]
+fn two_phase_baseline_converges_on_healthy_fleet() {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let db_params = DbParams { n_items: 6, orders_per_item: 3, ..Default::default() };
+        let coord = Coordinator::new(FleetConfig {
+            n_shards: 2,
+            db_params: db_params.clone(),
+            ..Default::default()
+        });
+        let reference = Database::build(&db_params).expect("reference");
+        let mut w = semcc::orderentry::Workload::new(
+            &reference,
+            semcc::orderentry::WorkloadConfig { seed: 11, ..Default::default() },
+        );
+        let mut acked = 0usize;
+        for spec in w.batch(&reference, 24) {
+            let (_gtid, out, _retries) =
+                coord.submit_with_retry(&spec, CommitProtocol::TwoPhase, 10);
+            if out.is_ok() {
+                acked += 1;
+            }
+        }
+        let committed = coord.committed_gtids().len();
+        let _ = tx.send((acked, committed, coord.acked().len()));
+    });
+    let (acked, committed, acked_log) = rx.recv_timeout(RUN_TIMEOUT).expect("2pc healthy run hung");
+    assert_eq!(acked, 24, "healthy 2pc fleet commits everything");
+    assert_eq!(acked_log, committed, "every 2pc ack has a logged decision");
+}
